@@ -1,0 +1,374 @@
+//! Warp access patterns for a `w⁴` array (paper §VII, Table IV).
+//!
+//! Elements are addressed as `A[d3][d2][d1][d0]` (outermost first). A warp
+//! of `w` threads performs one of:
+//!
+//! * **Contiguous** — vary `d0` (unit stride);
+//! * **Stride1/2/3** — vary `d1` / `d2` / `d3` (stride `w`, `w²`, `w³`);
+//! * **Random** — uniformly random elements;
+//! * **Malicious** — the strongest *scheme-aware but instance-blind*
+//!   adversary known for each scheme: the adversary knows which RAP
+//!   variant is deployed but not the randomly drawn permutations/shifts.
+//!
+//! The malicious constructions (one per scheme) implement the paper's §VII
+//! discussion:
+//!
+//! | scheme | attack | expected congestion |
+//! |---|---|---|
+//! | RAW | stride1 (all threads share `d0`) | `w` |
+//! | RAS | stride1 (i.i.d. row shifts) | max-load |
+//! | 1P | stride2 (`f = σ(d1)` constant) | `w` |
+//! | R1P | **index-permutation groups**: the 6 permutations of a distinct triple `(a,b,c)` share `σ(a)+σ(b)+σ(c)` and hence the bank | `6·Θ(log(w/6)/log log(w/6))` |
+//! | 3P | the same grouping (fails: `σ,τ,υ` independent) | max-load |
+//! | w²P / 1P+w²R | vary `(d3,d2)` at fixed `(d1,d0)` — shifts are i.i.d. across groups | max-load |
+
+use rand::Rng;
+use rap_core::multidim::{Mapping4d, Scheme4d};
+use serde::{Deserialize, Serialize};
+
+/// A logical 4-D coordinate `[d3, d2, d1, d0]`.
+pub type Coord4 = [u32; 4];
+
+/// Access-pattern kinds of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern4d {
+    /// Vary `d0`: unit-stride access.
+    Contiguous,
+    /// Vary `d1`: stride-`w` access.
+    Stride1,
+    /// Vary `d2`: stride-`w²` access.
+    Stride2,
+    /// Vary `d3`: stride-`w³` access.
+    Stride3,
+    /// Uniformly random elements.
+    Random,
+    /// Scheme-aware adversarial access (see module docs).
+    Malicious,
+}
+
+impl Pattern4d {
+    /// All Table IV rows in paper order.
+    #[must_use]
+    pub fn table4() -> [Pattern4d; 6] {
+        [
+            Pattern4d::Contiguous,
+            Pattern4d::Stride1,
+            Pattern4d::Stride2,
+            Pattern4d::Stride3,
+            Pattern4d::Random,
+            Pattern4d::Malicious,
+        ]
+    }
+
+    /// Display name matching the paper's row labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pattern4d::Contiguous => "Contiguous",
+            Pattern4d::Stride1 => "Stride1",
+            Pattern4d::Stride2 => "Stride2",
+            Pattern4d::Stride3 => "Stride3",
+            Pattern4d::Random => "Random",
+            Pattern4d::Malicious => "Malicious",
+        }
+    }
+}
+
+impl std::fmt::Display for Pattern4d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate one warp (length `w`) of logical coordinates for `pattern`.
+///
+/// Fixed coordinates of the stride patterns are drawn from `rng`, so
+/// repeated calls sample different rows/columns. `target` selects the
+/// adversary used for [`Pattern4d::Malicious`] and is ignored otherwise.
+///
+/// # Panics
+/// Panics if `w == 0`.
+#[must_use]
+pub fn generate_warp<R: Rng + ?Sized>(
+    pattern: Pattern4d,
+    target: Scheme4d,
+    w: usize,
+    rng: &mut R,
+) -> Vec<Coord4> {
+    assert!(w > 0, "width must be positive");
+    let wu = w as u32;
+    let mut pick = |_axis: &str| rng.gen_range(0..wu);
+    match pattern {
+        Pattern4d::Contiguous => {
+            let (d3, d2, d1) = (pick("d3"), pick("d2"), pick("d1"));
+            (0..wu).map(|d0| [d3, d2, d1, d0]).collect()
+        }
+        Pattern4d::Stride1 => {
+            let (d3, d2, d0) = (pick("d3"), pick("d2"), pick("d0"));
+            (0..wu).map(|d1| [d3, d2, d1, d0]).collect()
+        }
+        Pattern4d::Stride2 => {
+            let (d3, d1, d0) = (pick("d3"), pick("d1"), pick("d0"));
+            (0..wu).map(|d2| [d3, d2, d1, d0]).collect()
+        }
+        Pattern4d::Stride3 => {
+            let (d2, d1, d0) = (pick("d2"), pick("d1"), pick("d0"));
+            (0..wu).map(|d3| [d3, d2, d1, d0]).collect()
+        }
+        Pattern4d::Random => (0..wu)
+            .map(|_| [pick("d3"), pick("d2"), pick("d1"), pick("d0")])
+            .collect(),
+        Pattern4d::Malicious => malicious_warp(target, w, rng),
+    }
+}
+
+/// The strongest known instance-blind adversary against `target`
+/// (see the module-level table).
+///
+/// # Panics
+/// Panics if `w == 0`, or if `w < 3` for the R1P/3P grouping attack
+/// (distinct triples need at least three values).
+#[must_use]
+pub fn malicious_warp<R: Rng + ?Sized>(target: Scheme4d, w: usize, rng: &mut R) -> Vec<Coord4> {
+    let wu = w as u32;
+    match target {
+        // RAW and RAS: all requests share d0 across distinct rows.
+        Scheme4d::Raw | Scheme4d::Ras => generate_warp(Pattern4d::Stride1, target, w, rng),
+        // 1P: f depends only on d1 — fix d1 and d0, vary d2.
+        Scheme4d::OneP => generate_warp(Pattern4d::Stride2, target, w, rng),
+        // R1P and 3P: index-permutation grouping. Against R1P every group
+        // of 6 collides in one bank; against 3P it degenerates to a
+        // random-like access (which is the point of 3P).
+        Scheme4d::R1P | Scheme4d::ThreeP => permutation_group_warp(w, rng),
+        // w²P and 1P+w²R: vary the (d3, d2) pair at fixed (d1, d0); each
+        // pair picks an independent permutation/shift, so the banks are
+        // i.i.d. — no better attack is known without the instance.
+        Scheme4d::WSquaredP | Scheme4d::OnePlusWSquaredR => {
+            let d1 = rng.gen_range(0..wu);
+            let d0 = rng.gen_range(0..wu);
+            // w distinct (d3, d2) pairs
+            let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(w);
+            let mut seen = std::collections::HashSet::new();
+            while pairs.len() < w {
+                let p = (rng.gen_range(0..wu), rng.gen_range(0..wu));
+                if seen.insert(p) {
+                    pairs.push(p);
+                }
+            }
+            pairs.into_iter().map(|(d3, d2)| [d3, d2, d1, d0]).collect()
+        }
+    }
+}
+
+/// The §VII grouping attack: partition the warp into groups of 6 threads;
+/// group `g` accesses the 6 index-permutations of a distinct triple
+/// `(a_g, b_g, c_g)` as `(d3, d2, d1)`, all with `d0 = 0`. Under R1P every
+/// group shares `σ(a)+σ(b)+σ(c) mod w` and therefore a single bank.
+///
+/// # Panics
+/// Panics if `w < 3`.
+#[must_use]
+pub fn permutation_group_warp<R: Rng + ?Sized>(w: usize, rng: &mut R) -> Vec<Coord4> {
+    assert!(w >= 3, "grouping attack needs w ≥ 3 distinct index values");
+    let wu = w as u32;
+    let mut out = Vec::with_capacity(w);
+    let mut used_triples = std::collections::HashSet::new();
+    while out.len() < w {
+        // Draw a fresh unordered triple of distinct values.
+        let triple = loop {
+            let mut t = [
+                rng.gen_range(0..wu),
+                rng.gen_range(0..wu),
+                rng.gen_range(0..wu),
+            ];
+            t.sort_unstable();
+            if t[0] != t[1] && t[1] != t[2] && used_triples.insert(t) {
+                break t;
+            }
+        };
+        let [a, b, c] = triple;
+        for (x, y, z) in [
+            (a, b, c),
+            (a, c, b),
+            (b, a, c),
+            (b, c, a),
+            (c, a, b),
+            (c, b, a),
+        ] {
+            if out.len() == w {
+                break;
+            }
+            out.push([x, y, z, 0]);
+        }
+    }
+    out
+}
+
+/// Map one warp's logical coordinates to flat physical addresses.
+#[must_use]
+pub fn warp_addresses(mapping: &Mapping4d, warp: &[Coord4]) -> Vec<u64> {
+    warp.iter()
+        .map(|&[d3, d2, d1, d0]| mapping.address(d3, d2, d1, d0))
+        .collect()
+}
+
+/// Congestion of one warp's access under `mapping`.
+#[must_use]
+pub fn warp_congestion(mapping: &Mapping4d, warp: &[Coord4]) -> u32 {
+    rap_core::congestion::congestion(mapping.width(), &warp_addresses(mapping, warp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn warps_have_w_threads_and_valid_coords() {
+        let mut r = rng();
+        for p in Pattern4d::table4() {
+            for scheme in Scheme4d::all() {
+                let warp = generate_warp(p, scheme, 12, &mut r);
+                assert_eq!(warp.len(), 12, "{p}/{scheme}");
+                assert!(
+                    warp.iter().all(|c| c.iter().all(|&d| d < 12)),
+                    "{p}/{scheme}: coordinate out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stride_patterns_vary_the_right_axis() {
+        let mut r = rng();
+        let checks: [(Pattern4d, usize); 4] = [
+            (Pattern4d::Contiguous, 3),
+            (Pattern4d::Stride1, 2),
+            (Pattern4d::Stride2, 1),
+            (Pattern4d::Stride3, 0),
+        ];
+        for (p, axis) in checks {
+            let warp = generate_warp(p, Scheme4d::Raw, 8, &mut r);
+            let varying: HashSet<u32> = warp.iter().map(|c| c[axis]).collect();
+            assert_eq!(varying.len(), 8, "{p} must sweep axis {axis}");
+            for other in 0..4 {
+                if other != axis {
+                    let fixed: HashSet<u32> = warp.iter().map(|c| c[other]).collect();
+                    assert_eq!(fixed.len(), 1, "{p} must fix axis {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn malicious_vs_raw_hits_one_bank() {
+        let mut r = rng();
+        let m = Mapping4d::new(Scheme4d::Raw, &mut r, 16).unwrap();
+        let warp = malicious_warp(Scheme4d::Raw, 16, &mut r);
+        assert_eq!(warp_congestion(&m, &warp), 16);
+    }
+
+    #[test]
+    fn malicious_vs_1p_hits_one_bank() {
+        let mut r = rng();
+        let m = Mapping4d::new(Scheme4d::OneP, &mut r, 16).unwrap();
+        let warp = malicious_warp(Scheme4d::OneP, 16, &mut r);
+        assert_eq!(warp_congestion(&m, &warp), 16);
+    }
+
+    #[test]
+    fn grouping_attack_collides_groups_under_r1p() {
+        let mut r = rng();
+        let w = 18; // exactly 3 groups of 6
+        let m = Mapping4d::new(Scheme4d::R1P, &mut r, w).unwrap();
+        let warp = permutation_group_warp(w, &mut r);
+        // Every aligned group of 6 must land in a single bank.
+        for group in warp.chunks(6) {
+            let banks: HashSet<u32> = group
+                .iter()
+                .map(|&[d3, d2, d1, d0]| m.bank(d3, d2, d1, d0))
+                .collect();
+            assert_eq!(banks.len(), 1, "R1P group must collide in one bank");
+        }
+        assert!(
+            warp_congestion(&m, &warp) >= 6,
+            "R1P congestion must be at least one full group"
+        );
+    }
+
+    #[test]
+    fn grouping_attack_addresses_are_distinct() {
+        let mut r = rng();
+        let m = Mapping4d::new(Scheme4d::R1P, &mut r, 18).unwrap();
+        let warp = permutation_group_warp(18, &mut r);
+        let addrs = warp_addresses(&m, &warp);
+        let set: HashSet<u64> = addrs.iter().copied().collect();
+        assert_eq!(set.len(), addrs.len(), "the attack must not rely on merging");
+    }
+
+    #[test]
+    fn grouping_attack_mostly_harmless_to_3p() {
+        // Against 3P the grouped warp behaves like a random one: across
+        // trials the mean congestion stays far below a full group per bank.
+        let mut r = rng();
+        let w = 24;
+        let mut total = 0u32;
+        let trials = 200;
+        for _ in 0..trials {
+            let m = Mapping4d::new(Scheme4d::ThreeP, &mut r, w).unwrap();
+            let warp = permutation_group_warp(w, &mut r);
+            total += warp_congestion(&m, &warp);
+        }
+        let mean = f64::from(total) / f64::from(trials);
+        assert!(
+            mean < 8.0,
+            "3P should shrug off the grouping attack, got mean {mean}"
+        );
+    }
+
+    #[test]
+    fn contiguous_is_conflict_free_for_all_schemes() {
+        let mut r = rng();
+        for scheme in Scheme4d::all() {
+            let m = Mapping4d::new(scheme, &mut r, 16).unwrap();
+            let warp = generate_warp(Pattern4d::Contiguous, scheme, 16, &mut r);
+            assert_eq!(warp_congestion(&m, &warp), 1, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn stride1_conflict_free_for_permutation_schemes() {
+        let mut r = rng();
+        for scheme in [
+            Scheme4d::OneP,
+            Scheme4d::R1P,
+            Scheme4d::ThreeP,
+            Scheme4d::WSquaredP,
+            Scheme4d::OnePlusWSquaredR,
+        ] {
+            let m = Mapping4d::new(scheme, &mut r, 16).unwrap();
+            let warp = generate_warp(Pattern4d::Stride1, scheme, 16, &mut r);
+            assert_eq!(warp_congestion(&m, &warp), 1, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn random_warp_is_fresh_per_call() {
+        let mut r = rng();
+        let a = generate_warp(Pattern4d::Random, Scheme4d::Raw, 16, &mut r);
+        let b = generate_warp(Pattern4d::Random, Scheme4d::Raw, 16, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "w ≥ 3")]
+    fn grouping_attack_needs_three_values() {
+        let _ = permutation_group_warp(2, &mut rng());
+    }
+}

@@ -1,0 +1,23 @@
+//! # rap-access — warp access pattern generators
+//!
+//! Generators for every memory access pattern the paper evaluates:
+//!
+//! * [`matrix`] — contiguous / stride / diagonal / random / broadcast
+//!   accesses to a `w × w` matrix (paper §III, Figure 4), plus the
+//!   mapping-aware adversary of §I;
+//! * [`array4d`] — the `w⁴`-array patterns of §VII (contiguous,
+//!   stride1..3, random) and the per-scheme malicious adversaries of
+//!   Table IV, including the index-permutation grouping attack against
+//!   R1P;
+//! * [`montecarlo`] — reproducible expected-congestion estimators, the
+//!   engine behind the Table II and Table IV reproductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array4d;
+pub mod matrix;
+pub mod montecarlo;
+
+pub use array4d::{Coord4, Pattern4d};
+pub use matrix::{Coord, MatrixPattern};

@@ -1,0 +1,277 @@
+//! Warp access patterns for a `w × w` matrix (paper §III and §V).
+//!
+//! An *access operation* assigns one matrix element to each of `w²`
+//! threads; the threads are partitioned into `w` warps of `w`. This module
+//! generates the logical coordinates per warp for the patterns the paper
+//! simulates in Table II — contiguous, stride, diagonal, random — plus the
+//! broadcast and adversarial patterns discussed in §I/§II.
+
+use rand::Rng;
+use rap_core::mapping::MatrixMapping;
+use rap_core::RowShift;
+use serde::{Deserialize, Serialize};
+
+/// Logical matrix coordinate `(row i, column j)`.
+pub type Coord = (u32, u32);
+
+/// The access pattern kinds evaluated in Table II (plus extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatrixPattern {
+    /// Row-major: warp `r` accesses row `r` (`A[r][0..w]`).
+    Contiguous,
+    /// Column-major: warp `c` accesses column `c` (`A[0..w][c]`).
+    Stride,
+    /// Diagonal: thread `j` of warp `d` accesses `A[j][(j + d) mod w]`.
+    Diagonal,
+    /// Uniformly random elements (fresh per call).
+    Random,
+    /// Every thread of every warp reads `A[0][0]` (tests CRCW merging).
+    Broadcast,
+}
+
+impl MatrixPattern {
+    /// All Table II patterns in row order.
+    #[must_use]
+    pub fn table2() -> [MatrixPattern; 4] {
+        [
+            MatrixPattern::Contiguous,
+            MatrixPattern::Stride,
+            MatrixPattern::Diagonal,
+            MatrixPattern::Random,
+        ]
+    }
+
+    /// Display name matching the paper's row labels.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixPattern::Contiguous => "Contiguous",
+            MatrixPattern::Stride => "Stride",
+            MatrixPattern::Diagonal => "Diagonal",
+            MatrixPattern::Random => "Random",
+            MatrixPattern::Broadcast => "Broadcast",
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate the full access operation for `pattern` on a `w × w` matrix:
+/// one coordinate list per warp, `w` warps of `w` threads.
+///
+/// Deterministic patterns ignore `rng`; [`MatrixPattern::Random`] draws
+/// fresh coordinates from it.
+///
+/// # Panics
+/// Panics if `w == 0`.
+#[must_use]
+pub fn generate<R: Rng + ?Sized>(pattern: MatrixPattern, w: usize, rng: &mut R) -> Vec<Vec<Coord>> {
+    assert!(w > 0, "matrix width must be positive");
+    let wu = w as u32;
+    match pattern {
+        MatrixPattern::Contiguous => (0..wu)
+            .map(|r| (0..wu).map(|j| (r, j)).collect())
+            .collect(),
+        MatrixPattern::Stride => (0..wu)
+            .map(|c| (0..wu).map(|i| (i, c)).collect())
+            .collect(),
+        MatrixPattern::Diagonal => (0..wu)
+            .map(|d| (0..wu).map(|j| (j, (j + d) % wu)).collect())
+            .collect(),
+        MatrixPattern::Random => (0..wu)
+            .map(|_| {
+                (0..wu)
+                    .map(|_| (rng.gen_range(0..wu), rng.gen_range(0..wu)))
+                    .collect()
+            })
+            .collect(),
+        MatrixPattern::Broadcast => (0..wu).map(|_| vec![(0, 0); w]).collect(),
+    }
+}
+
+/// The scheme-aware adversary: given full knowledge of the mapping,
+/// construct one warp access in which every thread hits bank `bank`
+/// with a distinct address (congestion exactly `w`).
+///
+/// For RAW this is simply a column access; for RAS/RAP it inverts the
+/// row shifts (`j = (bank − shift_i) mod w`). Its existence shows that the
+/// RAP guarantee is probabilistic over `σ` — an adversary who *knows* `σ`
+/// defeats it, which is why the permutation must be chosen at run time
+/// (paper §IV chooses σ uniformly at random).
+///
+/// # Panics
+/// Panics if `bank ≥ w`.
+#[must_use]
+pub fn adversarial_warp(mapping: &RowShift, bank: u32) -> Vec<Coord> {
+    let w = mapping.width() as u32;
+    assert!(bank < w, "bank {bank} out of range for width {w}");
+    (0..w)
+        .map(|i| {
+            let j = (bank + w - mapping.shift_of_row(i) % w) % w;
+            (i, j)
+        })
+        .collect()
+}
+
+/// Map one warp's logical coordinates to physical flat addresses under
+/// `mapping`.
+#[must_use]
+pub fn warp_addresses(mapping: &dyn MatrixMapping, warp: &[Coord]) -> Vec<u64> {
+    warp.iter()
+        .map(|&(i, j)| u64::from(mapping.address(i, j)))
+        .collect()
+}
+
+/// Congestion of one warp's access under `mapping`.
+#[must_use]
+pub fn warp_congestion(mapping: &dyn MatrixMapping, warp: &[Coord]) -> u32 {
+    rap_core::congestion::congestion(mapping.width(), &warp_addresses(mapping, warp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rap_core::Scheme;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn shapes_are_w_by_w() {
+        let mut r = rng();
+        for p in [
+            MatrixPattern::Contiguous,
+            MatrixPattern::Stride,
+            MatrixPattern::Diagonal,
+            MatrixPattern::Random,
+            MatrixPattern::Broadcast,
+        ] {
+            let op = generate(p, 8, &mut r);
+            assert_eq!(op.len(), 8, "{p}");
+            assert!(op.iter().all(|w| w.len() == 8), "{p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_patterns_cover_matrix_once() {
+        let mut r = rng();
+        for p in [
+            MatrixPattern::Contiguous,
+            MatrixPattern::Stride,
+            MatrixPattern::Diagonal,
+        ] {
+            let op = generate(p, 16, &mut r);
+            let mut seen = std::collections::HashSet::new();
+            for warp in &op {
+                for &c in warp {
+                    assert!(seen.insert(c), "{p}: coordinate {c:?} repeated");
+                }
+            }
+            assert_eq!(seen.len(), 256, "{p} must touch every element once");
+        }
+    }
+
+    #[test]
+    fn contiguous_warps_are_rows() {
+        let op = generate(MatrixPattern::Contiguous, 4, &mut rng());
+        assert_eq!(op[2], vec![(2, 0), (2, 1), (2, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn stride_warps_are_columns() {
+        let op = generate(MatrixPattern::Stride, 4, &mut rng());
+        assert_eq!(op[1], vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn diagonal_matches_paper_figure4() {
+        // Figure 4 (w=4) diagonal: warp d, thread j → A[j][(j+d) mod 4].
+        let op = generate(MatrixPattern::Diagonal, 4, &mut rng());
+        assert_eq!(op[0], vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+        assert_eq!(op[1], vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+    }
+
+    #[test]
+    fn congestion_classes_under_raw() {
+        let raw = RowShift::raw(32);
+        let mut r = rng();
+        let cont = generate(MatrixPattern::Contiguous, 32, &mut r);
+        let stride = generate(MatrixPattern::Stride, 32, &mut r);
+        let diag = generate(MatrixPattern::Diagonal, 32, &mut r);
+        assert!(cont.iter().all(|wp| warp_congestion(&raw, wp) == 1));
+        assert!(stride.iter().all(|wp| warp_congestion(&raw, wp) == 32));
+        assert!(diag.iter().all(|wp| warp_congestion(&raw, wp) == 1));
+    }
+
+    #[test]
+    fn congestion_classes_under_rap() {
+        let mut r = rng();
+        let rap = RowShift::rap(&mut r, 32);
+        let cont = generate(MatrixPattern::Contiguous, 32, &mut r);
+        let stride = generate(MatrixPattern::Stride, 32, &mut r);
+        assert!(cont.iter().all(|wp| warp_congestion(&rap, wp) == 1));
+        assert!(
+            stride.iter().all(|wp| warp_congestion(&rap, wp) == 1),
+            "RAP stride must be conflict-free (Theorem 2)"
+        );
+    }
+
+    #[test]
+    fn broadcast_is_congestion_one_everywhere() {
+        let mut r = rng();
+        for scheme in Scheme::all() {
+            let m = RowShift::of_scheme(scheme, &mut r, 16);
+            let op = generate(MatrixPattern::Broadcast, 16, &mut r);
+            assert!(op.iter().all(|wp| warp_congestion(&m, wp) == 1));
+        }
+    }
+
+    #[test]
+    fn adversary_defeats_every_scheme_it_knows() {
+        let mut r = rng();
+        for scheme in Scheme::all() {
+            let m = RowShift::of_scheme(scheme, &mut r, 32);
+            for bank in [0u32, 7, 31] {
+                let warp = adversarial_warp(&m, bank);
+                assert_eq!(
+                    warp_congestion(&m, &warp),
+                    32,
+                    "{scheme}: informed adversary must achieve full congestion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversary_against_raw_is_harmless_to_fresh_rap() {
+        // The anti-RAW warp (a plain column) does NOT hurt RAP.
+        let mut r = rng();
+        let raw = RowShift::raw(32);
+        let warp = adversarial_warp(&raw, 5); // = column 5
+        let rap = RowShift::rap(&mut r, 32);
+        assert_eq!(warp_congestion(&rap, &warp), 1);
+    }
+
+    #[test]
+    fn random_pattern_is_reproducible_per_seed() {
+        let a = generate(MatrixPattern::Random, 8, &mut SmallRng::seed_from_u64(5));
+        let b = generate(MatrixPattern::Random, 8, &mut SmallRng::seed_from_u64(5));
+        let c = generate(MatrixPattern::Random, 8, &mut SmallRng::seed_from_u64(6));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn adversarial_bank_bounds_checked() {
+        let m = RowShift::raw(8);
+        let _ = adversarial_warp(&m, 8);
+    }
+}

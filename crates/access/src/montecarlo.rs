@@ -1,0 +1,205 @@
+//! Monte-Carlo congestion estimation — the engine behind Tables II and IV.
+//!
+//! The paper's simulation (§V) draws fresh randomness (shifts for RAS, a
+//! permutation for RAP, fresh random coordinates for the random pattern)
+//! and reports the *expected congestion* of each (scheme, pattern) pair.
+//! The estimators here do exactly that: per trial, build a fresh mapping,
+//! generate the access operation, and record the congestion of every warp.
+//!
+//! Reproducibility: estimators take a [`SeedDomain`]; the same domain
+//! always yields the same estimate, regardless of call order elsewhere.
+
+use crate::array4d::{self, Pattern4d};
+use crate::matrix::{self, MatrixPattern};
+use rap_core::multidim::{Mapping4d, Scheme4d};
+use rap_core::{RowShift, Scheme};
+use rap_stats::{OnlineStats, SeedDomain};
+
+/// Estimate the expected per-warp congestion of `pattern` under `scheme`
+/// on a `w × w` matrix.
+///
+/// Each trial draws a fresh mapping and a fresh instance of the pattern
+/// (for the random pattern), then records the congestion of **every** warp
+/// of the access operation, matching the paper's per-warp averaging.
+///
+/// # Panics
+/// Panics if `w == 0` or `trials == 0`.
+#[must_use]
+pub fn matrix_congestion(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    trials: u64,
+    domain: &SeedDomain,
+) -> OnlineStats {
+    assert!(trials > 0, "need at least one trial");
+    let mut stats = OnlineStats::new();
+    for trial in 0..trials {
+        let mut rng = domain.child("matrix").rng(trial);
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        let op = matrix::generate(pattern, w, &mut rng);
+        for warp in &op {
+            stats.push_u32(matrix::warp_congestion(&mapping, warp));
+        }
+    }
+    stats
+}
+
+/// Estimate the expected per-warp congestion of `pattern` under `scheme`
+/// on a `w⁴` array (Table IV).
+///
+/// Each trial draws a fresh mapping and `warps_per_trial` fresh warps.
+/// Malicious warps target `scheme` (scheme-aware, instance-blind).
+///
+/// # Panics
+/// Panics if `w == 0` or `trials == 0` or `warps_per_trial == 0`.
+#[must_use]
+pub fn array4d_congestion(
+    scheme: Scheme4d,
+    pattern: Pattern4d,
+    w: usize,
+    trials: u64,
+    warps_per_trial: u32,
+    domain: &SeedDomain,
+) -> OnlineStats {
+    assert!(trials > 0 && warps_per_trial > 0, "need at least one sample");
+    let mut stats = OnlineStats::new();
+    for trial in 0..trials {
+        let mut rng = domain.child("array4d").rng(trial);
+        let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
+        for _ in 0..warps_per_trial {
+            let warp = array4d::generate_warp(pattern, scheme, w, &mut rng);
+            stats.push_u32(array4d::warp_congestion(&mapping, &warp));
+        }
+    }
+    stats
+}
+
+/// Estimate the expected congestion of the *worst known blind adversary*
+/// against the matrix RAP/RAS mappings: all `w` threads aim at one
+/// RAW-bank (a column access). Under RAW this is congestion `w`; under a
+/// fresh RAP instance it must collapse to 1; under RAS it behaves like
+/// balls-into-bins. This backs the abstract's claim that "malicious
+/// memory access requests destined for the same bank take congestion 32"
+/// while the RAP keeps the expected congestion small.
+#[must_use]
+pub fn matrix_malicious_congestion(
+    scheme: Scheme,
+    w: usize,
+    trials: u64,
+    domain: &SeedDomain,
+) -> OnlineStats {
+    // A column access *is* the strongest blind attack: any fixed warp of
+    // distinct addresses is rotated row-wise by the (secret) shifts.
+    matrix_congestion(scheme, MatrixPattern::Stride, w, trials, domain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_stats::MaxLoad;
+
+    fn domain() -> SeedDomain {
+        SeedDomain::new(2014)
+    }
+
+    #[test]
+    fn contiguous_is_exactly_one_for_all_schemes() {
+        for scheme in Scheme::all() {
+            let s = matrix_congestion(scheme, MatrixPattern::Contiguous, 16, 20, &domain());
+            assert_eq!(s.mean(), 1.0, "{scheme}");
+            assert_eq!(s.max(), Some(1.0), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn stride_classes() {
+        let raw = matrix_congestion(Scheme::Raw, MatrixPattern::Stride, 16, 10, &domain());
+        assert_eq!(raw.mean(), 16.0);
+        let rap = matrix_congestion(Scheme::Rap, MatrixPattern::Stride, 16, 50, &domain());
+        assert_eq!(rap.mean(), 1.0, "RAP stride must be deterministically 1");
+        let ras = matrix_congestion(Scheme::Ras, MatrixPattern::Stride, 16, 400, &domain());
+        let exact = MaxLoad::exact(16, 16).expected();
+        assert!(
+            (ras.mean() - exact).abs() < 0.15,
+            "RAS stride mean {} should approach balls-into-bins {exact}",
+            ras.mean()
+        );
+    }
+
+    #[test]
+    fn diagonal_classes() {
+        let raw = matrix_congestion(Scheme::Raw, MatrixPattern::Diagonal, 16, 10, &domain());
+        assert_eq!(raw.mean(), 1.0, "diagonal is optimized for RAW");
+        let rap = matrix_congestion(Scheme::Rap, MatrixPattern::Diagonal, 16, 300, &domain());
+        // Paper Table II: 3.20 at w=16 (slightly above the RAS 3.08).
+        assert!(
+            (rap.mean() - 3.20).abs() < 0.2,
+            "RAP diagonal mean {} should be near the paper's 3.20",
+            rap.mean()
+        );
+    }
+
+    #[test]
+    fn random_is_scheme_independent() {
+        let raw = matrix_congestion(Scheme::Raw, MatrixPattern::Random, 16, 300, &domain());
+        let rap = matrix_congestion(Scheme::Rap, MatrixPattern::Random, 16, 300, &domain());
+        assert!(
+            (raw.mean() - rap.mean()).abs() < 0.2,
+            "random congestion must not depend on the scheme ({} vs {})",
+            raw.mean(),
+            rap.mean()
+        );
+        // Paper Table II: 2.92 at w=16.
+        assert!((raw.mean() - 2.92).abs() < 0.2);
+    }
+
+    #[test]
+    fn malicious_matrix_summary() {
+        let raw = matrix_malicious_congestion(Scheme::Raw, 32, 5, &domain());
+        assert_eq!(raw.mean(), 32.0);
+        let rap = matrix_malicious_congestion(Scheme::Rap, 32, 20, &domain());
+        assert_eq!(rap.mean(), 1.0);
+    }
+
+    #[test]
+    fn array4d_stride2_separates_1p_from_r1p() {
+        let d = domain();
+        let onep = array4d_congestion(Scheme4d::OneP, Pattern4d::Stride2, 16, 10, 4, &d);
+        assert_eq!(onep.mean(), 16.0, "1P stride2 fully serializes");
+        let r1p = array4d_congestion(Scheme4d::R1P, Pattern4d::Stride2, 16, 10, 4, &d);
+        assert_eq!(r1p.mean(), 1.0, "R1P stride2 is conflict-free");
+    }
+
+    #[test]
+    fn array4d_malicious_separates_r1p_from_3p() {
+        let d = domain();
+        let w = 18;
+        let r1p = array4d_congestion(Scheme4d::R1P, Pattern4d::Malicious, w, 60, 2, &d);
+        let threep = array4d_congestion(Scheme4d::ThreeP, Pattern4d::Malicious, w, 60, 2, &d);
+        assert!(
+            r1p.mean() >= 6.0,
+            "R1P malicious must collide whole groups, got {}",
+            r1p.mean()
+        );
+        assert!(
+            threep.mean() < r1p.mean() / 1.5,
+            "3P ({}) must resist the attack that breaks R1P ({})",
+            threep.mean(),
+            r1p.mean()
+        );
+    }
+
+    #[test]
+    fn estimates_are_reproducible() {
+        let a = matrix_congestion(Scheme::Ras, MatrixPattern::Random, 8, 50, &domain());
+        let b = matrix_congestion(Scheme::Ras, MatrixPattern::Random, 8, 50, &domain());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = matrix_congestion(Scheme::Raw, MatrixPattern::Random, 8, 0, &domain());
+    }
+}

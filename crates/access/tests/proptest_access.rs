@@ -1,0 +1,118 @@
+//! Property tests for the access-pattern generators.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_access::array4d::{self, Pattern4d};
+use rap_access::matrix::{self, MatrixPattern};
+use rap_core::multidim::{Mapping4d, Scheme4d};
+use rap_core::{RowShift, Scheme};
+
+fn scheme4d_strategy() -> impl Strategy<Value = Scheme4d> {
+    prop_oneof![
+        Just(Scheme4d::Raw),
+        Just(Scheme4d::Ras),
+        Just(Scheme4d::OneP),
+        Just(Scheme4d::R1P),
+        Just(Scheme4d::ThreeP),
+        Just(Scheme4d::WSquaredP),
+        Just(Scheme4d::OnePlusWSquaredR),
+    ]
+}
+
+proptest! {
+    /// The deterministic matrix patterns partition the matrix: every
+    /// element exactly once, for any width.
+    #[test]
+    fn deterministic_patterns_partition(seed in any::<u64>(), w in 1usize..48) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for pattern in [MatrixPattern::Contiguous, MatrixPattern::Stride, MatrixPattern::Diagonal] {
+            let op = matrix::generate(pattern, w, &mut rng);
+            let mut seen = std::collections::HashSet::new();
+            for warp in &op {
+                prop_assert_eq!(warp.len(), w);
+                for &c in warp {
+                    prop_assert!(seen.insert(c), "{} duplicated {:?}", pattern, c);
+                }
+            }
+            prop_assert_eq!(seen.len(), w * w);
+        }
+    }
+
+    /// Under any mapping, contiguous access is conflict-free for every
+    /// warp (the row-rotation property).
+    #[test]
+    fn contiguous_always_one(seed in any::<u64>(), w in 1usize..40, scheme_idx in 0usize..3) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        for warp in matrix::generate(MatrixPattern::Contiguous, w, &mut rng) {
+            prop_assert_eq!(matrix::warp_congestion(&mapping, &warp), 1);
+        }
+    }
+
+    /// The scheme-aware adversary achieves full congestion against the
+    /// exact instance it inspected — for every scheme, width, and bank.
+    #[test]
+    fn adversary_always_wins_known_instance(
+        seed in any::<u64>(), w in 1usize..40, scheme_idx in 0usize..3, bank_sel in any::<u32>()
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let bank = bank_sel % w as u32;
+        let warp = matrix::adversarial_warp(&mapping, bank);
+        prop_assert_eq!(matrix::warp_congestion(&mapping, &warp), w as u32);
+        // and indeed every request is in the chosen bank
+        for a in matrix::warp_addresses(&mapping, &warp) {
+            prop_assert_eq!((a % w as u64) as u32, bank);
+        }
+    }
+
+    /// 4-D warps always have w in-range coordinates and the malicious
+    /// generator produces distinct addresses (no accidental CRCW merge).
+    #[test]
+    fn warp4d_well_formed(
+        seed in any::<u64>(), w in 3usize..20, scheme in scheme4d_strategy(),
+        pattern_idx in 0usize..6,
+    ) {
+        let pattern = Pattern4d::table4()[pattern_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let warp = array4d::generate_warp(pattern, scheme, w, &mut rng);
+        prop_assert_eq!(warp.len(), w);
+        prop_assert!(warp.iter().all(|c| c.iter().all(|&d| (d as usize) < w)));
+        if pattern == Pattern4d::Malicious {
+            let mapping = Mapping4d::new(scheme, &mut rng, w).unwrap();
+            let addrs = array4d::warp_addresses(&mapping, &warp);
+            let set: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+            prop_assert_eq!(set.len(), addrs.len(), "malicious warps must not merge");
+        }
+    }
+
+    /// Stride1 is conflict-free under every permutation-based 4-D scheme,
+    /// for arbitrary fixed coordinates.
+    #[test]
+    fn stride1_conflict_free_prop(seed in any::<u64>(), w in 2usize..24) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for scheme in [Scheme4d::OneP, Scheme4d::R1P, Scheme4d::ThreeP,
+                       Scheme4d::WSquaredP, Scheme4d::OnePlusWSquaredR] {
+            let mapping = Mapping4d::new(scheme, &mut rng, w).unwrap();
+            let warp = array4d::generate_warp(Pattern4d::Stride1, scheme, w, &mut rng);
+            prop_assert_eq!(array4d::warp_congestion(&mapping, &warp), 1, "{}", scheme);
+        }
+    }
+
+    /// The R1P grouping attack collides every complete group of 6 for any
+    /// width and instance.
+    #[test]
+    fn r1p_groups_always_collide(seed in any::<u64>(), w in 6usize..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = Mapping4d::new(Scheme4d::R1P, &mut rng, w).unwrap();
+        let warp = array4d::permutation_group_warp(w, &mut rng);
+        for group in warp.chunks(6).filter(|g| g.len() == 6) {
+            let banks: std::collections::HashSet<u32> = group
+                .iter()
+                .map(|&[d3, d2, d1, d0]| mapping.bank(d3, d2, d1, d0))
+                .collect();
+            prop_assert_eq!(banks.len(), 1);
+        }
+    }
+}

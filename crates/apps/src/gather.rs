@@ -1,0 +1,284 @@
+//! Data-dependent gather on the Discrete Memory Machine.
+//!
+//! `b[t] = a[idx[t]]` with an index vector only known at run time — the
+//! paper's §V conclusion names this exact situation as the reason to use
+//! RAP: *"addresses accessed by threads are not known beforehand"*, so no
+//! offline scheduling (and no DRDW-style hand optimization) is possible.
+//! The gather's read congestion is whatever the index distribution
+//! induces: adversarial or skewed indices serialize RAW warps, while RAP
+//! keeps the expectation at `O(log w / log log w)` no matter what.
+
+use rand::Rng;
+use rap_core::mapping::MatrixMapping;
+use rap_dmm::{BankedMemory, Dmm, ExecReport, Machine, MemOp, Program, WriteSource};
+use serde::{Deserialize, Serialize};
+
+/// Index-vector distributions of increasing hostility to RAW.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexDistribution {
+    /// Uniformly random cells.
+    Uniform,
+    /// Every warp gathers a whole column (classic stride — worst case for
+    /// RAW, free under RAP).
+    ColumnGather,
+    /// All threads read one hot cell (merged by CRCW — free everywhere).
+    Hotspot,
+    /// 75% of indices land in one column, the rest are uniform — a
+    /// realistic skewed histogram/join probe.
+    Skewed,
+}
+
+impl IndexDistribution {
+    /// All distributions.
+    #[must_use]
+    pub fn all() -> [IndexDistribution; 4] {
+        [
+            IndexDistribution::Uniform,
+            IndexDistribution::ColumnGather,
+            IndexDistribution::Hotspot,
+            IndexDistribution::Skewed,
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexDistribution::Uniform => "Uniform",
+            IndexDistribution::ColumnGather => "ColumnGather",
+            IndexDistribution::Hotspot => "Hotspot",
+            IndexDistribution::Skewed => "Skewed",
+        }
+    }
+
+    /// Draw an index vector of `w²` entries (flat logical indices into a
+    /// `w × w` array).
+    ///
+    /// # Panics
+    /// Panics if `w == 0`.
+    #[must_use]
+    pub fn sample<R: Rng + ?Sized>(self, w: usize, rng: &mut R) -> Vec<u32> {
+        assert!(w > 0, "width must be positive");
+        let wu = w as u32;
+        let n = wu * wu;
+        match self {
+            IndexDistribution::Uniform => (0..n).map(|_| rng.gen_range(0..n)).collect(),
+            IndexDistribution::ColumnGather => {
+                // Thread t of warp i gathers column (i + c₀) mod w,
+                // element (t mod w): every warp sweeps one column.
+                let c0 = rng.gen_range(0..wu);
+                (0..n)
+                    .map(|t| {
+                        let col = (t / wu + c0) % wu;
+                        (t % wu) * wu + col
+                    })
+                    .collect()
+            }
+            IndexDistribution::Hotspot => {
+                let hot = rng.gen_range(0..n);
+                vec![hot; n as usize]
+            }
+            IndexDistribution::Skewed => {
+                let hot_col = rng.gen_range(0..wu);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(0.75) {
+                            rng.gen_range(0..wu) * wu + hot_col
+                        } else {
+                            rng.gen_range(0..n)
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for IndexDistribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Result of one gather run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatherRun {
+    /// Scheme name of the mapping used.
+    pub scheme: String,
+    /// DMM report.
+    pub report: ExecReport,
+    /// Whether `b[t] = a[idx[t]]` held for every `t`.
+    pub verified: bool,
+}
+
+impl GatherRun {
+    /// Mean congestion of the gather's read phase.
+    #[must_use]
+    pub fn read_congestion(&self) -> f64 {
+        self.report.phases[0].mean_congestion()
+    }
+}
+
+/// Run the gather on the DMM. `indices` holds `w²` flat logical indices;
+/// the source array `a` and destination `b` are both laid out by
+/// `mapping`.
+///
+/// # Panics
+/// Panics if `data` or `indices` is not `w²` long, or an index is out of
+/// range.
+#[must_use]
+pub fn run_gather(
+    mapping: &dyn MatrixMapping,
+    latency: u64,
+    data: &[f64],
+    indices: &[u32],
+) -> GatherRun {
+    let w = mapping.width();
+    let n = w * w;
+    assert_eq!(data.len(), n, "data must be w×w");
+    assert_eq!(indices.len(), n, "need one index per thread");
+    assert!(
+        indices.iter().all(|&i| (i as usize) < n),
+        "index out of range"
+    );
+    let wu = w as u32;
+    let sq = mapping.storage_words() as u64;
+
+    let mut memory: BankedMemory<f64> = BankedMemory::new(w, 2 * sq as usize);
+    for i in 0..wu {
+        for j in 0..wu {
+            memory.write(
+                u64::from(mapping.address(i, j)),
+                data[(i * wu + j) as usize],
+            );
+        }
+    }
+
+    let machine: Dmm = Machine::new(w, latency);
+    let mut program: Program<f64> = Program::new(n);
+    program.phase("gather read", |t| {
+        let idx = indices[t];
+        Some(MemOp::Read(u64::from(mapping.address(idx / wu, idx % wu))))
+    });
+    program.phase("store write", |t| {
+        let t = t as u32;
+        Some(MemOp::Write(
+            sq + u64::from(mapping.address(t / wu, t % wu)),
+            WriteSource::LastRead,
+        ))
+    });
+    let report = machine.execute(&program, &mut memory);
+
+    let verified = (0..n as u32).all(|t| {
+        memory.read(sq + u64::from(mapping.address(t / wu, t % wu)))
+            == data[indices[t as usize] as usize]
+    });
+
+    GatherRun {
+        scheme: mapping.scheme().name().to_string(),
+        report,
+        verified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rap_core::{RowShift, Scheme};
+
+    fn data(w: usize) -> Vec<f64> {
+        (0..w * w).map(|x| x as f64 * 1.5 - 7.0).collect()
+    }
+
+    #[test]
+    fn sample_shapes_and_ranges() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        for dist in IndexDistribution::all() {
+            let idx = dist.sample(8, &mut rng);
+            assert_eq!(idx.len(), 64, "{dist}");
+            assert!(idx.iter().all(|&i| i < 64), "{dist}");
+        }
+    }
+
+    #[test]
+    fn column_gather_sweeps_whole_columns() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let idx = IndexDistribution::ColumnGather.sample(8, &mut rng);
+        for warp in 0..8 {
+            let cols: std::collections::HashSet<u32> =
+                (0..8).map(|lane| idx[warp * 8 + lane] % 8).collect();
+            assert_eq!(cols.len(), 1, "warp {warp} must target one column");
+            let rows: std::collections::HashSet<u32> =
+                (0..8).map(|lane| idx[warp * 8 + lane] / 8).collect();
+            assert_eq!(rows.len(), 8, "warp {warp} must sweep all rows");
+        }
+    }
+
+    #[test]
+    fn gather_is_correct_for_all_schemes_and_distributions() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        let w = 8;
+        let d = data(w);
+        for scheme in Scheme::all() {
+            for dist in IndexDistribution::all() {
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                let idx = dist.sample(w, &mut rng);
+                let run = run_gather(&mapping, 2, &d, &idx);
+                assert!(run.verified, "{scheme}/{dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn column_gather_congestion_profile() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let w = 32;
+        let d = data(w);
+        let idx = IndexDistribution::ColumnGather.sample(w, &mut rng);
+        let raw = run_gather(&RowShift::raw(w), 1, &d, &idx);
+        assert_eq!(raw.read_congestion(), w as f64);
+        let rap = run_gather(&RowShift::rap(&mut rng, w), 1, &d, &idx);
+        assert_eq!(rap.read_congestion(), 1.0, "column gather is stride access");
+    }
+
+    #[test]
+    fn hotspot_merges_everywhere() {
+        let mut rng = SmallRng::seed_from_u64(16);
+        let w = 16;
+        let d = data(w);
+        let idx = IndexDistribution::Hotspot.sample(w, &mut rng);
+        for scheme in Scheme::all() {
+            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+            let run = run_gather(&mapping, 1, &d, &idx);
+            assert_eq!(run.read_congestion(), 1.0, "{scheme}: CRCW must merge");
+        }
+    }
+
+    #[test]
+    fn skewed_gather_rap_beats_raw() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let w = 32;
+        let d = data(w);
+        let mut raw_total = 0u64;
+        let mut rap_total = 0u64;
+        for _ in 0..20 {
+            let idx = IndexDistribution::Skewed.sample(w, &mut rng);
+            raw_total += run_gather(&RowShift::raw(w), 4, &d, &idx).report.cycles;
+            rap_total += run_gather(&RowShift::rap(&mut rng, w), 4, &d, &idx)
+                .report
+                .cycles;
+        }
+        assert!(
+            raw_total > 2 * rap_total,
+            "skewed gather must favour RAP: raw {raw_total} vs rap {rap_total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn indices_validated() {
+        let _ = run_gather(&RowShift::raw(4), 1, &data(4), &[16; 16]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rap-apps — application kernels that motivate RAP
+//!
+//! The paper's pitch is that CUDA developers should not have to reason
+//! about bank conflicts at all: apply RAP and the congestion of *any*
+//! kernel drops to `O(log w / log log w)` expected. This crate builds two
+//! realistic shared-memory kernels on the DMM where that matters:
+//!
+//! * [`matmul`] — tiled `C = A·Bᵀ` (Gram matrices, attention scores):
+//!   the `B` operand is read column-wise, which serializes RAW warps
+//!   `w×` and is free under RAP;
+//! * [`gather`] — data-dependent `b[t] = a[idx[t]]` with index vectors
+//!   from benign to adversarial: the §V use case where "addresses are
+//!   not known beforehand" and no offline scheduling is possible;
+//! * [`big_transpose`] — the full tile pipeline for an `N × N` matrix in
+//!   global memory (§I, refs \[4\]/\[14\]): coalesced loads/stores around
+//!   the shared-memory transpose, quantifying RAP's whole-application
+//!   speedup.
+//!
+//! Both verify functional correctness against host references and report
+//! DMM timing/congestion, and both are exercised by the `apps` bench
+//! binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod big_transpose;
+pub mod gather;
+pub mod matmul;
+
+pub use big_transpose::{run_big_transpose, BigTransposeReport};
+pub use gather::{run_gather, GatherRun, IndexDistribution};
+pub use matmul::{matmul_abt_program, reference_abt, run_matmul_abt, MatmulRun};

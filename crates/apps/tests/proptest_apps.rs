@@ -1,0 +1,86 @@
+//! Property tests for the application kernels.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_apps::gather::{run_gather, IndexDistribution};
+use rap_apps::matmul::{reference_abt, run_matmul_abt};
+use rap_core::{RowShift, Scheme};
+
+proptest! {
+    /// `A·Bᵀ` is exact for arbitrary integer-valued matrices under any
+    /// scheme, width (powers of two keep it fast), and latency.
+    #[test]
+    fn matmul_always_exact(
+        seed in any::<u64>(), w_exp in 1u32..5, scheme_idx in 0usize..3, l in 1u64..5
+    ) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-16i8..16))).collect();
+        let b: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-16i8..16))).collect();
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let run = run_matmul_abt(&mapping, l, &a, &b);
+        prop_assert!(run.verified);
+    }
+
+    /// The reference implementation satisfies `(A·Bᵀ)ᵀ = B·Aᵀ`.
+    #[test]
+    fn reference_transpose_identity(seed in any::<u64>(), w in 1usize..10) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-8i8..8))).collect();
+        let b: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-8i8..8))).collect();
+        let ab = reference_abt(w, &a, &b);
+        let ba = reference_abt(w, &b, &a);
+        for i in 0..w {
+            for j in 0..w {
+                prop_assert_eq!(ab[i * w + j], ba[j * w + i]);
+            }
+        }
+    }
+
+    /// Gather is exact for arbitrary index vectors (not only the named
+    /// distributions).
+    #[test]
+    fn gather_always_exact(
+        seed in any::<u64>(), w_exp in 1u32..5, scheme_idx in 0usize..3,
+    ) {
+        let w = 1usize << w_exp;
+        let n = (w * w) as u32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let idx: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let run = run_gather(&mapping, 2, &data, &idx);
+        prop_assert!(run.verified);
+    }
+
+    /// Gather read congestion is bounded by the densest column of the
+    /// index vector (the structural worst case).
+    #[test]
+    fn gather_congestion_bounded_by_column_density(seed in any::<u64>(), w_exp in 2u32..5) {
+        let w = 1usize << w_exp;
+        let n = (w * w) as u32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let idx: Vec<u32> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let run = run_gather(&RowShift::raw(w), 1, &data, &idx);
+        // Worst per-warp congestion cannot exceed the warp size.
+        prop_assert!(run.report.max_congestion() as usize <= w);
+        prop_assert!(run.read_congestion() >= 1.0);
+    }
+
+    /// Every named distribution stays verified across schemes and its
+    /// congestion ordering holds: RAP ≤ RAW on column gathers.
+    #[test]
+    fn column_gather_ordering(seed in any::<u64>(), w_exp in 2u32..6) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let idx = IndexDistribution::ColumnGather.sample(w, &mut rng);
+        let raw = run_gather(&RowShift::raw(w), 1, &data, &idx);
+        let rap = run_gather(&RowShift::rap(&mut rng, w), 1, &data, &idx);
+        prop_assert_eq!(raw.read_congestion(), w as f64);
+        prop_assert_eq!(rap.read_congestion(), 1.0);
+        prop_assert!(rap.report.cycles < raw.report.cycles);
+    }
+}

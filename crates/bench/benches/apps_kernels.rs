@@ -1,0 +1,46 @@
+//! C6 — end-to-end cost of the application-kernel simulations (the units
+//! of work behind experiment A5).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_apps::gather::{run_gather, IndexDistribution};
+use rap_apps::matmul::run_matmul_abt;
+use rap_core::{RowShift, Scheme};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul_abt_sim");
+    let w = 32;
+    let mut rng = SmallRng::seed_from_u64(11);
+    let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+    let b_mat: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+    for scheme in Scheme::all() {
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        group.bench_with_input(
+            BenchmarkId::new("w32", scheme.name()),
+            &mapping,
+            |bch, m| {
+                bch.iter(|| black_box(run_matmul_abt(m, 8, &a, &b_mat)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_gather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gather_sim");
+    let w = 32;
+    let mut rng = SmallRng::seed_from_u64(12);
+    let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+    for dist in [IndexDistribution::Uniform, IndexDistribution::ColumnGather] {
+        let idx = dist.sample(w, &mut rng);
+        let mapping = RowShift::rap(&mut rng, w);
+        group.bench_with_input(BenchmarkId::new("rap_w32", dist.name()), &idx, |b, idx| {
+            b.iter(|| black_box(run_gather(&mapping, 8, &data, idx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_gather);
+criterion_main!(benches);

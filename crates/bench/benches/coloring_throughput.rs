@@ -1,0 +1,48 @@
+//! C5 — cost of the offline graph-coloring schedule vs the "free" RAP
+//! setup (drawing one permutation). This quantifies the paper's point
+//! that the conflict-free schedule requires real offline work.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_core::Permutation;
+use rap_permute::{RapArrayMapping, Schedule};
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_setup");
+    for w in [16usize, 32] {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let pi = Permutation::random(&mut rng, w * w);
+        group.bench_with_input(BenchmarkId::new("graph_coloring", w), &pi, |b, pi| {
+            b.iter(|| black_box(Schedule::conflict_free(w, black_box(pi)).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("rap_draw_sigma", w), &w, |b, &w| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            b.iter(|| black_box(RapArrayMapping::random(&mut rng, w)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_color_scaling(c: &mut Criterion) {
+    use rap_permute::edge_color;
+    let mut group = c.benchmark_group("edge_color");
+    for (w, k) in [(32usize, 8usize), (32, 32), (64, 64)] {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let pi = Permutation::random(&mut rng, w * k);
+        let pairs: Vec<(u32, u32)> = (0..pi.len() as u32)
+            .map(|t| (t % w as u32, pi.apply(t) % w as u32))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("regular", format!("w{w}_k{k}")),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| black_box(edge_color(w, black_box(pairs)).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_construction, bench_edge_color_scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! C2 — throughput of the congestion metric, the inner loop of every
+//! Monte-Carlo sweep in Tables II and IV.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::congestion::{congestion, BankLoads};
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion");
+    for w in [32usize, 256] {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let addrs: Vec<u64> = (0..w).map(|_| rng.gen_range(0..(w * w) as u64)).collect();
+        group.bench_with_input(BenchmarkId::new("random_warp", w), &addrs, |b, a| {
+            b.iter(|| black_box(congestion(w, black_box(a))));
+        });
+        group.bench_with_input(BenchmarkId::new("full_analysis", w), &addrs, |b, a| {
+            b.iter(|| {
+                let loads = BankLoads::analyze(w, black_box(a));
+                black_box((loads.congestion(), loads.busy_banks()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_montecarlo_cell(c: &mut Criterion) {
+    use rap_access::montecarlo::matrix_congestion;
+    use rap_access::MatrixPattern;
+    use rap_core::Scheme;
+    use rap_stats::SeedDomain;
+
+    c.bench_function("table2_cell_w32_10trials", |b| {
+        let domain = SeedDomain::new(5);
+        b.iter(|| {
+            black_box(matrix_congestion(
+                Scheme::Rap,
+                MatrixPattern::Random,
+                32,
+                10,
+                &domain,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_congestion, bench_montecarlo_cell);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! C3 — throughput of the DMM cycle-exact simulator itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rap_dmm::{BankedMemory, Dmm, Machine, MemOp, Program};
+
+fn contiguous_program(w: usize, phases: usize) -> Program<u64> {
+    let mut p = Program::new(w * w);
+    for k in 0..phases {
+        p.phase(format!("read{k}"), |t| Some(MemOp::Read(t as u64)));
+    }
+    p
+}
+
+fn stride_program(w: usize) -> Program<u64> {
+    let mut p = Program::new(w * w);
+    p.phase("stride", move |t| {
+        Some(MemOp::Read(((t % w) * w + t / w) as u64))
+    });
+    p
+}
+
+fn bench_dmm_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmm_execute");
+    for w in [32usize, 64] {
+        let machine: Dmm = Machine::new(w, 8);
+        let cont = contiguous_program(w, 4);
+        group.bench_with_input(BenchmarkId::new("contiguous_4phase", w), &cont, |b, p| {
+            b.iter(|| {
+                let mut mem = BankedMemory::new(w, w * w);
+                black_box(machine.execute(p, &mut mem))
+            });
+        });
+        let stride = stride_program(w);
+        group.bench_with_input(BenchmarkId::new("stride_1phase", w), &stride, |b, p| {
+            b.iter(|| {
+                let mut mem = BankedMemory::new(w, w * w);
+                black_box(machine.execute(p, &mut mem))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    use rap_gpu_sim::{lower_program, simulate, SmConfig};
+    let w = 32;
+    let p = stride_program(w);
+    let kernel = lower_program(&p, w, &[2]);
+    let sm = SmConfig::gtx_titan();
+    c.bench_function("gpu_sim_stride_kernel", |b| {
+        b.iter(|| black_box(simulate(black_box(&kernel), &sm)));
+    });
+}
+
+criterion_group!(benches, bench_dmm_execute, bench_gpu_sim);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! C1 — address-computation overhead of the mapping schemes.
+//!
+//! The paper argues the RAP address conversion is cheap enough to apply
+//! blindly (and could even be hardware). This bench measures the
+//! per-access cost of the RAW / RAS / RAP address functions and of the
+//! Figure-7 packed-register unpack on the host CPU.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_core::{MatrixMapping, PackedShifts, RowShift, Scheme};
+
+fn bench_mappings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_address");
+    let w = 32usize;
+    let mut rng = SmallRng::seed_from_u64(1);
+    for scheme in Scheme::all() {
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        group.bench_with_input(
+            BenchmarkId::new("full_matrix", scheme.name()),
+            &mapping,
+            |b, m| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for i in 0..w as u32 {
+                        for j in 0..w as u32 {
+                            acc = acc.wrapping_add(u64::from(m.address(i, j)));
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_packed_unpack(c: &mut Criterion) {
+    let shifts: Vec<u32> = (0..32u32).map(|i| (i * 11 + 3) % 32).collect();
+    let packed = PackedShifts::pack(32, &shifts).unwrap();
+    c.bench_function("packed_shift_unpack_32", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..32 {
+                acc = acc.wrapping_add(packed.get(black_box(i)));
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_mapping_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_construction");
+    for w in [32usize, 256] {
+        group.bench_with_input(BenchmarkId::new("rap", w), &w, |b, &w| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| black_box(RowShift::rap(&mut rng, w)));
+        });
+        group.bench_with_input(BenchmarkId::new("ras", w), &w, |b, &w| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            b.iter(|| black_box(RowShift::ras(&mut rng, w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mappings,
+    bench_packed_unpack,
+    bench_mapping_construction
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! C4 — end-to-end transpose runs (the unit of work behind Table III).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_core::{RowShift, Scheme};
+use rap_gpu_sim::{lower_program, simulate, SmConfig};
+use rap_transpose::{run_transpose, transpose_program, TransposeKind};
+
+fn bench_dmm_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transpose_dmm");
+    let w = 32;
+    let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+    let mut rng = SmallRng::seed_from_u64(6);
+    for scheme in Scheme::all() {
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        for kind in TransposeKind::all() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), scheme.name()),
+                &mapping,
+                |b, m| {
+                    b.iter(|| black_box(run_transpose(kind, m, 1, &data)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_full_table3_cell(c: &mut Criterion) {
+    let w = 32;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mapping = RowShift::rap(&mut rng, w);
+    let sm = SmConfig::gtx_titan();
+    c.bench_function("table3_cell_crsw_rap", |b| {
+        b.iter(|| {
+            let program = transpose_program::<f64>(TransposeKind::Crsw, &mapping, 0, 1024);
+            let alu = rap_gpu_sim::titan::transpose_alu_costs(Scheme::Rap, false);
+            let kernel = lower_program(&program, w, &alu);
+            black_box(simulate(&kernel, &sm))
+        });
+    });
+}
+
+criterion_group!(benches, bench_dmm_transpose, bench_full_table3_cell);
+criterion_main!(benches);

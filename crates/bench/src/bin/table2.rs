@@ -1,0 +1,63 @@
+//! Reproduce Table II: expected congestion of matrix access patterns.
+//!
+//! Usage: `cargo run -p rap-bench --bin table2 --release [--trials 2000]
+//! [--seed 2014]`
+
+use rap_bench::experiments::table2::{self, Table2Config};
+use rap_bench::table::{fmt2, TextTable};
+use rap_bench::{output, CliArgs};
+use rap_core::Scheme;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let mut cfg = Table2Config {
+        base_trials: args.get_u64("trials", 2000),
+        seed: args.get_u64("seed", 2014),
+        ..Table2Config::default()
+    };
+    // --wmax extends the sweep beyond the paper's 256 ("the value of w
+    // may be increased in future GPUs", paper §V).
+    let wmax = args.get_usize("wmax", 256);
+    let mut w = 512;
+    while w <= wmax {
+        cfg.widths.push(w);
+        w *= 2;
+    }
+
+    println!("Table II — congestion of memory access to a w×w matrix");
+    println!(
+        "(Monte-Carlo, {} trials at w=32 scaled by 32/w, seed {})\n",
+        cfg.base_trials, cfg.seed
+    );
+
+    let cells = table2::run(&cfg);
+
+    for scheme in Scheme::all() {
+        println!("{scheme} implementation (paper value in parentheses):");
+        let mut header = vec!["w".to_string()];
+        header.extend(cfg.widths.iter().map(|w| w.to_string()));
+        let mut t = TextTable::new(header);
+        for pattern in rap_access::MatrixPattern::table2() {
+            let mut line = vec![pattern.name().to_string()];
+            for &w in &cfg.widths {
+                let c = cells
+                    .iter()
+                    .find(|c| c.pattern == pattern && c.scheme == scheme && c.w == w)
+                    .expect("cell exists");
+                let paper = c.paper.map_or_else(|| "-".into(), fmt2);
+                line.push(format!("{} ({paper})", fmt2(c.stats.mean())));
+            }
+            t.row(line);
+        }
+        println!("{}", t.render());
+    }
+
+    let record = table2::to_record(&cfg, &cells);
+    if let Some(worst) = record.worst_relative_error() {
+        println!("worst relative deviation from the paper: {:.2}%", worst * 100.0);
+    }
+    match output::write_record(&output::default_root(), &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

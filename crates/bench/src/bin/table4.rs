@@ -1,0 +1,61 @@
+//! Reproduce Table IV: congestion of 4-D array access under the RAP
+//! extensions, plus the stored-random-number accounting.
+//!
+//! Usage: `cargo run -p rap-bench --bin table4 --release [--width 32]
+//! [--trials 300] [--seed 2014]`
+
+use rap_bench::experiments::table4::{self, class_reference, Table4Config};
+use rap_bench::table::{fmt2, TextTable};
+use rap_bench::{output, CliArgs};
+use rap_core::multidim::Scheme4d;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let cfg = Table4Config {
+        width: args.get_usize("width", 32),
+        trials: args.get_u64("trials", 300),
+        warps_per_trial: 8,
+        seed: args.get_u64("seed", 2014),
+    };
+
+    println!(
+        "Table IV — congestion for an array of size w⁴ (w={}, {} instances × {} warps)\n",
+        cfg.width, cfg.trials, cfg.warps_per_trial
+    );
+
+    let cells = table4::run(&cfg);
+
+    let mut header = vec!["Access".to_string()];
+    header.extend(Scheme4d::all().iter().map(|s| s.name().to_string()));
+    let mut t = TextTable::new(header);
+    for pattern in rap_access::Pattern4d::table4() {
+        let mut line = vec![pattern.name().to_string()];
+        for scheme in Scheme4d::all() {
+            let c = cells
+                .iter()
+                .find(|c| c.pattern == pattern && c.scheme == scheme)
+                .expect("cell exists");
+            line.push(format!(
+                "{} [{}≈{}]",
+                fmt2(c.stats.mean()),
+                c.class.symbol(),
+                fmt2(class_reference(c.class, cfg.width))
+            ));
+        }
+        t.row(line);
+    }
+    // The paper's final row: stored random numbers.
+    let mut line = vec!["Random numbers".to_string()];
+    for scheme in Scheme4d::all() {
+        line.push(scheme.random_number_count(cfg.width).to_string());
+    }
+    t.row(line);
+    println!("{}", t.render());
+    println!("[class ≈ numeric reference]: 1/w exact; Θ cells use the exact balls-into-bins expectation\n");
+
+    let record = table4::to_record(&cfg, &cells);
+    match output::write_record(&output::default_root(), &record) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

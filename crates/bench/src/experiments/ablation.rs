@@ -1,0 +1,188 @@
+//! Experiment A3 — ablation of the SM timing model.
+//!
+//! Table III's shape (the RAP ~10× speedup on naive transposes and the
+//! ~2.5× DRDW penalty) should be robust to the simulator's free
+//! parameters. This experiment sweeps the memory latency, the
+//! address-computation ALU cost, and the DMM pipeline latency, reporting
+//! how the two headline ratios move. DESIGN.md §8 lists these as the
+//! design choices worth ablating.
+
+use rap_core::{RowShift, Scheme};
+use rap_gpu_sim::{lower_program, simulate, SmConfig};
+use rap_stats::{CellSummary, ExperimentRecord, SeedDomain};
+use rap_transpose::{transpose_program, TransposeKind};
+
+/// Headline ratios at one parameter setting.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Which parameter was varied and its value.
+    pub setting: String,
+    /// CRSW time RAW / RAP (the paper's ~10×).
+    pub crsw_speedup: f64,
+    /// DRDW time RAP / RAW (the paper's ~2.7×).
+    pub drdw_penalty: f64,
+}
+
+fn transpose_ns(kind: TransposeKind, scheme: Scheme, sm: &SmConfig, seed: u64) -> f64 {
+    let w = sm.width;
+    let domain = SeedDomain::new(seed).child("ablation");
+    let instances = if scheme == Scheme::Raw { 1 } else { 12 };
+    let mut total = 0.0;
+    for inst in 0..instances {
+        let mut rng = domain.child(kind.name()).child(scheme.name()).rng(inst);
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
+        let alu = rap_gpu_sim::titan::transpose_alu_costs(scheme, kind == TransposeKind::Drdw);
+        let kernel = lower_program(&program, w, &alu);
+        total += simulate(&kernel, sm).ns;
+    }
+    total / instances as f64
+}
+
+/// Compute the headline ratios for one SM configuration.
+#[must_use]
+pub fn ratios(sm: &SmConfig, seed: u64) -> (f64, f64) {
+    let crsw_raw = transpose_ns(TransposeKind::Crsw, Scheme::Raw, sm, seed);
+    let crsw_rap = transpose_ns(TransposeKind::Crsw, Scheme::Rap, sm, seed);
+    let drdw_raw = transpose_ns(TransposeKind::Drdw, Scheme::Raw, sm, seed);
+    let drdw_rap = transpose_ns(TransposeKind::Drdw, Scheme::Rap, sm, seed);
+    (crsw_raw / crsw_rap, drdw_rap / drdw_raw)
+}
+
+/// Sweep memory latency and ALU throughput around the calibrated point.
+#[must_use]
+pub fn run(seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for mem_latency in [4u64, 12, 26, 40, 64] {
+        let sm = SmConfig {
+            mem_latency,
+            ..SmConfig::gtx_titan()
+        };
+        let (s, p) = ratios(&sm, seed);
+        rows.push(AblationRow {
+            setting: format!("mem_latency={mem_latency}"),
+            crsw_speedup: s,
+            drdw_penalty: p,
+        });
+    }
+    for alu in [1u64, 2, 4] {
+        let sm = SmConfig {
+            alu_cycles_per_op: alu,
+            ..SmConfig::gtx_titan()
+        };
+        let (s, p) = ratios(&sm, seed);
+        rows.push(AblationRow {
+            setting: format!("alu_cycles_per_op={alu}"),
+            crsw_speedup: s,
+            drdw_penalty: p,
+        });
+    }
+    for overhead in [0u64, 12, 50, 150] {
+        let sm = SmConfig {
+            launch_overhead: overhead,
+            ..SmConfig::gtx_titan()
+        };
+        let (s, p) = ratios(&sm, seed);
+        rows.push(AblationRow {
+            setting: format!("launch_overhead={overhead}"),
+            crsw_speedup: s,
+            drdw_penalty: p,
+        });
+    }
+    // The paper's §VIII proposal: hardware RAP removes the address-ALU
+    // overhead entirely.
+    let (s, p) = ratios_hw(&SmConfig::gtx_titan(), seed);
+    rows.push(AblationRow {
+        setting: "hardware RAP (§VIII)".to_string(),
+        crsw_speedup: s,
+        drdw_penalty: p,
+    });
+    rows
+}
+
+/// [`ratios`] but with the RAP/RAS address conversion done in hardware
+/// (zero extra ALU ops — `titan::transpose_alu_costs_hw`).
+#[must_use]
+pub fn ratios_hw(sm: &SmConfig, seed: u64) -> (f64, f64) {
+    let w = sm.width;
+    let domain = SeedDomain::new(seed).child("ablation-hw");
+    let ns = |kind: TransposeKind, scheme: Scheme| {
+        let instances = if scheme == Scheme::Raw { 1 } else { 12 };
+        let mut total = 0.0;
+        for inst in 0..instances {
+            let mut rng = domain.child(kind.name()).child(scheme.name()).rng(inst);
+            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+            let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
+            let alu =
+                rap_gpu_sim::titan::transpose_alu_costs_hw(kind == TransposeKind::Drdw);
+            total += simulate(&lower_program(&program, w, &alu), sm).ns;
+        }
+        total / instances as f64
+    };
+    (
+        ns(TransposeKind::Crsw, Scheme::Raw) / ns(TransposeKind::Crsw, Scheme::Rap),
+        ns(TransposeKind::Drdw, Scheme::Rap) / ns(TransposeKind::Drdw, Scheme::Raw),
+    )
+}
+
+/// Serialize the sweep.
+#[must_use]
+pub fn to_record(seed: u64, rows: &[AblationRow]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "A3",
+        "Ablation: robustness of Table III's shape to SM model parameters",
+        format!("seed={seed}; paper ratios: speedup 10.3, penalty 2.74"),
+    );
+    for r in rows {
+        record.push(CellSummary::exact(
+            "CRSW RAW/RAP speedup",
+            &r.setting,
+            r.crsw_speedup,
+            Some(1595.0 / 154.5),
+        ));
+        record.push(CellSummary::exact(
+            "DRDW RAP/RAW penalty",
+            &r.setting,
+            r.drdw_penalty,
+            Some(433.3 / 158.4),
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_robust_across_parameters() {
+        for r in run(3) {
+            assert!(
+                r.crsw_speedup > 4.0,
+                "{}: RAP must stay clearly ahead, got {:.1}x",
+                r.setting,
+                r.crsw_speedup
+            );
+            assert!(
+                r.drdw_penalty > 1.3 && r.drdw_penalty < 5.0,
+                "{}: DRDW penalty {:.1} out of plausible range",
+                r.setting,
+                r.drdw_penalty
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_point_is_near_paper() {
+        let (speedup, penalty) = ratios(&SmConfig::gtx_titan(), 3);
+        assert!((7.0..14.0).contains(&speedup), "speedup {speedup:.1}");
+        assert!((1.8..3.6).contains(&penalty), "penalty {penalty:.2}");
+    }
+
+    #[test]
+    fn record_covers_all_settings() {
+        let rows = run(3);
+        let rec = to_record(3, &rows);
+        assert_eq!(rec.cells.len(), rows.len() * 2);
+    }
+}

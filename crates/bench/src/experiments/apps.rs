@@ -1,0 +1,292 @@
+//! Experiment A5 — application kernels: tiled `A·Bᵀ` and data-dependent
+//! gather under RAW / RAS / RAP.
+//!
+//! These extend the paper's transpose evaluation to the §I workloads
+//! (tile-based matrix multiplication) and the §V "addresses not known
+//! beforehand" scenario. The expected shape: RAP removes the `w×`
+//! column-read serialization of `A·Bᵀ` and keeps every gather
+//! distribution at max-load scale.
+
+use rap_apps::gather::{run_gather, IndexDistribution};
+use rap_apps::matmul::run_matmul_abt;
+use rap_core::{RowShift, Scheme};
+use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
+use rand::Rng;
+
+/// Measurements for the matmul kernel under one scheme.
+#[derive(Debug, Clone)]
+pub struct MatmulCell {
+    /// Mapping scheme.
+    pub scheme: Scheme,
+    /// DMM cycles over instances.
+    pub cycles: OnlineStats,
+    /// Mean congestion of the `B` column reads.
+    pub b_congestion: OnlineStats,
+    /// All runs verified.
+    pub all_verified: bool,
+}
+
+/// Measurements for one (distribution, scheme) gather cell.
+#[derive(Debug, Clone)]
+pub struct GatherCell {
+    /// Index distribution.
+    pub distribution: IndexDistribution,
+    /// Mapping scheme.
+    pub scheme: Scheme,
+    /// DMM cycles over instances.
+    pub cycles: OnlineStats,
+    /// Read congestion over instances.
+    pub read_congestion: OnlineStats,
+    /// All runs verified.
+    pub all_verified: bool,
+}
+
+/// Run the matmul comparison.
+#[must_use]
+pub fn run_matmul(w: usize, latency: u64, instances: u64, seed: u64) -> Vec<MatmulCell> {
+    let domain = SeedDomain::new(seed).child("apps-matmul");
+    Scheme::all()
+        .into_iter()
+        .map(|scheme| {
+            let n_inst = if scheme == Scheme::Raw { 1 } else { instances };
+            let mut cycles = OnlineStats::new();
+            let mut b_cong = OnlineStats::new();
+            let mut all_verified = true;
+            for inst in 0..n_inst {
+                let mut rng = domain.child(scheme.name()).rng(inst);
+                let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+                let b: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                let run = run_matmul_abt(&mapping, latency, &a, &b);
+                all_verified &= run.verified;
+                cycles.push(run.report.cycles as f64);
+                b_cong.push(run.b_read_congestion());
+            }
+            MatmulCell {
+                scheme,
+                cycles,
+                b_congestion: b_cong,
+                all_verified,
+            }
+        })
+        .collect()
+}
+
+/// Run the gather comparison over every distribution × scheme.
+#[must_use]
+pub fn run_gather_sweep(w: usize, latency: u64, instances: u64, seed: u64) -> Vec<GatherCell> {
+    let domain = SeedDomain::new(seed).child("apps-gather");
+    let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+    let mut out = Vec::new();
+    for distribution in IndexDistribution::all() {
+        for scheme in Scheme::all() {
+            let mut cycles = OnlineStats::new();
+            let mut read_c = OnlineStats::new();
+            let mut all_verified = true;
+            for inst in 0..instances {
+                let mut rng = domain
+                    .child(distribution.name())
+                    .child(scheme.name())
+                    .rng(inst);
+                let idx = distribution.sample(w, &mut rng);
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                let run = run_gather(&mapping, latency, &data, &idx);
+                all_verified &= run.verified;
+                cycles.push(run.report.cycles as f64);
+                read_c.push(run.read_congestion());
+            }
+            out.push(GatherCell {
+                distribution,
+                scheme,
+                cycles,
+                read_congestion: read_c,
+                all_verified,
+            });
+        }
+    }
+    out
+}
+
+/// One large-matrix transpose measurement (the §I tile pipeline).
+#[derive(Debug, Clone)]
+pub struct BigTransposeCell {
+    /// Matrix dimension `N`.
+    pub n: usize,
+    /// Scheme of the shared-memory mapping.
+    pub scheme: Scheme,
+    /// Whole-pipeline report (averaged over instances for RAS/RAP).
+    pub total_cycles: OnlineStats,
+    /// Fraction of cycles spent in shared memory.
+    pub shared_fraction: OnlineStats,
+    /// All instances verified.
+    pub all_verified: bool,
+}
+
+/// Sweep the tile pipeline over matrix sizes: whole-application speedup
+/// of RAP as the shared-memory share of the pipeline.
+#[must_use]
+pub fn run_big_transpose_sweep(
+    w: usize,
+    sizes: &[usize],
+    shared_latency: u64,
+    global_latency: u64,
+    instances: u64,
+    seed: u64,
+) -> Vec<BigTransposeCell> {
+    let domain = SeedDomain::new(seed).child("apps-bigtranspose");
+    let mut out = Vec::new();
+    for &n in sizes {
+        for scheme in Scheme::all() {
+            let n_inst = if scheme == Scheme::Raw { 1 } else { instances };
+            let mut total = OnlineStats::new();
+            let mut frac = OnlineStats::new();
+            let mut all_verified = true;
+            for inst in 0..n_inst {
+                let mut rng = domain.child(scheme.name()).child_idx(n as u64).rng(inst);
+                let data: Vec<f64> = (0..n * n).map(|_| f64::from(rng.gen_range(-99i8..99))).collect();
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                let report = rap_apps::big_transpose::run_big_transpose(
+                    &mapping,
+                    n,
+                    shared_latency,
+                    global_latency,
+                    &data,
+                );
+                all_verified &= report.verified;
+                total.push(report.total_cycles as f64);
+                frac.push(report.shared_fraction());
+            }
+            out.push(BigTransposeCell {
+                n,
+                scheme,
+                total_cycles: total,
+                shared_fraction: frac,
+                all_verified,
+            });
+        }
+    }
+    out
+}
+
+/// Serialize both sweeps into one record.
+#[must_use]
+pub fn to_record(
+    w: usize,
+    latency: u64,
+    seed: u64,
+    matmul: &[MatmulCell],
+    gather: &[GatherCell],
+) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "A5",
+        "Application kernels (A·Bᵀ, gather) under RAW/RAS/RAP",
+        format!("w={w} latency={latency} seed={seed}"),
+    );
+    for c in matmul {
+        record.push(CellSummary::from_stats(
+            "matmul cycles",
+            c.scheme.name(),
+            &c.cycles,
+            None,
+        ));
+        record.push(CellSummary::from_stats(
+            "matmul B-read congestion",
+            c.scheme.name(),
+            &c.b_congestion,
+            None,
+        ));
+    }
+    for c in gather {
+        record.push(CellSummary::from_stats(
+            format!("gather {} cycles", c.distribution),
+            c.scheme.name(),
+            &c.cycles,
+            None,
+        ));
+        record.push(CellSummary::from_stats(
+            format!("gather {} read congestion", c.distribution),
+            c.scheme.name(),
+            &c.read_congestion,
+            None,
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_shape() {
+        let cells = run_matmul(16, 2, 3, 1);
+        assert_eq!(cells.len(), 3);
+        assert!(cells.iter().all(|c| c.all_verified));
+        let get = |s: Scheme| cells.iter().find(|c| c.scheme == s).unwrap();
+        assert_eq!(get(Scheme::Raw).b_congestion.mean(), 16.0);
+        assert_eq!(get(Scheme::Rap).b_congestion.mean(), 1.0);
+        assert!(get(Scheme::Rap).cycles.mean() * 3.0 < get(Scheme::Raw).cycles.mean());
+    }
+
+    #[test]
+    fn gather_shape() {
+        let cells = run_gather_sweep(16, 2, 4, 2);
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|c| c.all_verified));
+        let get = |d: IndexDistribution, s: Scheme| {
+            cells
+                .iter()
+                .find(|c| c.distribution == d && c.scheme == s)
+                .unwrap()
+        };
+        assert_eq!(
+            get(IndexDistribution::ColumnGather, Scheme::Raw)
+                .read_congestion
+                .mean(),
+            16.0
+        );
+        assert_eq!(
+            get(IndexDistribution::ColumnGather, Scheme::Rap)
+                .read_congestion
+                .mean(),
+            1.0
+        );
+        assert_eq!(
+            get(IndexDistribution::Hotspot, Scheme::Raw)
+                .read_congestion
+                .mean(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn big_transpose_sweep_shape() {
+        let cells = run_big_transpose_sweep(16, &[16, 32], 4, 100, 3, 5);
+        assert_eq!(cells.len(), 6);
+        assert!(cells.iter().all(|c| c.all_verified));
+        let get = |n: usize, s: Scheme| {
+            cells
+                .iter()
+                .find(|c| c.n == n && c.scheme == s)
+                .unwrap()
+        };
+        // RAP pipeline is faster and less shared-memory-bound than RAW.
+        for n in [16, 32] {
+            assert!(
+                get(n, Scheme::Rap).total_cycles.mean() < get(n, Scheme::Raw).total_cycles.mean()
+            );
+            assert!(
+                get(n, Scheme::Rap).shared_fraction.mean()
+                    < get(n, Scheme::Raw).shared_fraction.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn record_covers_everything() {
+        let m = run_matmul(8, 1, 2, 3);
+        let g = run_gather_sweep(8, 1, 2, 3);
+        let rec = to_record(8, 1, 3, &m, &g);
+        assert_eq!(rec.cells.len(), 3 * 2 + 12 * 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment A2 — Lemma 1: DMM step counts of the transpose algorithms.
+//!
+//! Lemma 1 gives the DMM times of CRSW/SRCW (`Θ(w² + l)`) and DRDW
+//! (`Θ(w + l)`) with `w²` threads. Our scheduler admits exact closed
+//! forms under RAW for `l ≤ w`:
+//!
+//! * CRSW = SRCW: `w² + w + l − 1`;
+//! * DRDW: `2w + l − 1`.
+//!
+//! This experiment sweeps `(w, l)`, asserts the simulated cycle counts
+//! equal the closed forms, and reports the CRSW/DRDW ratio that motivates
+//! the whole paper (the naive algorithm is ~`w/2`× slower).
+
+use rap_core::RowShift;
+use rap_stats::{CellSummary, ExperimentRecord};
+use rap_transpose::{raw_crsw_time, raw_drdw_time, run_transpose, TransposeKind};
+
+/// One `(w, l)` measurement.
+#[derive(Debug, Clone)]
+pub struct Lemma1Row {
+    /// Width.
+    pub w: usize,
+    /// DMM latency.
+    pub l: u64,
+    /// Simulated CRSW cycles.
+    pub crsw: u64,
+    /// Simulated SRCW cycles.
+    pub srcw: u64,
+    /// Simulated DRDW cycles.
+    pub drdw: u64,
+    /// Closed-form CRSW/SRCW cycles.
+    pub crsw_formula: u64,
+    /// Closed-form DRDW cycles.
+    pub drdw_formula: u64,
+}
+
+/// Run the sweep over all `(w, l)` pairs with `l ≤ w`.
+#[must_use]
+pub fn run(widths: &[usize], latencies: &[u64]) -> Vec<Lemma1Row> {
+    let mut rows = Vec::new();
+    for &w in widths {
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let mapping = RowShift::raw(w);
+        for &l in latencies.iter().filter(|&&l| l <= w as u64) {
+            let cycles = |kind| run_transpose(kind, &mapping, l, &data).report.cycles;
+            rows.push(Lemma1Row {
+                w,
+                l,
+                crsw: cycles(TransposeKind::Crsw),
+                srcw: cycles(TransposeKind::Srcw),
+                drdw: cycles(TransposeKind::Drdw),
+                crsw_formula: raw_crsw_time(w as u64, l),
+                drdw_formula: raw_drdw_time(w as u64, l),
+            });
+        }
+    }
+    rows
+}
+
+/// Serialize the sweep.
+#[must_use]
+pub fn to_record(rows: &[Lemma1Row]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "A2",
+        "Lemma 1: DMM cycle counts vs closed forms (RAW)",
+        "exact, no randomness".to_string(),
+    );
+    for r in rows {
+        let col = format!("w={} l={}", r.w, r.l);
+        record.push(CellSummary::exact(
+            "CRSW cycles",
+            &col,
+            r.crsw as f64,
+            Some(r.crsw_formula as f64),
+        ));
+        record.push(CellSummary::exact(
+            "SRCW cycles",
+            &col,
+            r.srcw as f64,
+            Some(r.crsw_formula as f64),
+        ));
+        record.push(CellSummary::exact(
+            "DRDW cycles",
+            &col,
+            r.drdw as f64,
+            Some(r.drdw_formula as f64),
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_closed_forms_exactly() {
+        for r in run(&[4, 8, 16, 32], &[1, 2, 4, 8, 16, 32]) {
+            assert_eq!(r.crsw, r.crsw_formula, "CRSW w={} l={}", r.w, r.l);
+            assert_eq!(r.srcw, r.crsw_formula, "SRCW w={} l={}", r.w, r.l);
+            assert_eq!(r.drdw, r.drdw_formula, "DRDW w={} l={}", r.w, r.l);
+        }
+    }
+
+    #[test]
+    fn crsw_grows_quadratically_drdw_linearly() {
+        let rows = run(&[8, 16, 32], &[1]);
+        let crsw: Vec<u64> = rows.iter().map(|r| r.crsw).collect();
+        let drdw: Vec<u64> = rows.iter().map(|r| r.drdw).collect();
+        // Doubling w roughly quadruples CRSW but only doubles DRDW.
+        assert!(crsw[2] as f64 / crsw[1] as f64 > 3.5);
+        assert!((drdw[2] as f64 / drdw[1] as f64) < 2.2);
+    }
+
+    #[test]
+    fn oversized_latencies_are_skipped() {
+        let rows = run(&[4], &[1, 8]);
+        assert_eq!(rows.len(), 1, "l=8 > w=4 must be skipped");
+    }
+
+    #[test]
+    fn record_is_exact_everywhere() {
+        let rows = run(&[8], &[1, 2]);
+        let rec = to_record(&rows);
+        assert!(rec.worst_relative_error().unwrap() == 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! The experiment implementations, one module per DESIGN.md experiment id.
+
+pub mod ablation;
+pub mod apps;
+pub mod lemma1;
+pub mod permutation;
+pub mod malicious;
+pub mod modern;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod umm;

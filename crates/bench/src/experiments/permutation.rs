@@ -1,0 +1,214 @@
+//! Experiment A4 — offline permutation: direct vs graph-coloring vs RAP
+//! (the paper's §I motivation, refs \[8\]/\[13\]).
+//!
+//! For each permutation family the three strategies run on the DMM; we
+//! report cycles and worst congestion. The paper's narrative to
+//! reproduce: the coloring is optimal but requires offline analysis; RAP
+//! achieves near-optimal time with none.
+
+use rap_core::Permutation;
+use rap_permute::{run_permutation, transpose_permutation, RapArrayMapping, Strategy};
+use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
+use serde::{Deserialize, Serialize};
+
+/// The permutation families evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PermFamily {
+    /// The identity (best case for everyone).
+    Identity,
+    /// The matrix transpose viewed as a flat permutation (worst case for
+    /// direct execution).
+    Transpose,
+    /// Uniformly random permutations.
+    Random,
+    /// Bit-reversal of the flat index (FFT reordering) — a structured
+    /// permutation whose direct write pattern also serializes RAW.
+    BitReversal,
+}
+
+impl PermFamily {
+    /// All families.
+    #[must_use]
+    pub fn all() -> [PermFamily; 4] {
+        [
+            PermFamily::Identity,
+            PermFamily::Transpose,
+            PermFamily::Random,
+            PermFamily::BitReversal,
+        ]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PermFamily::Identity => "Identity",
+            PermFamily::Transpose => "Transpose",
+            PermFamily::Random => "Random",
+            PermFamily::BitReversal => "BitReversal",
+        }
+    }
+
+    /// Build an instance on `n = w²` elements.
+    ///
+    /// # Panics
+    /// Panics if `w` is not a power of two (bit reversal needs one).
+    #[must_use]
+    pub fn build<R: rand::Rng + ?Sized>(self, w: usize, rng: &mut R) -> Permutation {
+        let n = w * w;
+        match self {
+            PermFamily::Identity => Permutation::identity(n),
+            PermFamily::Transpose => transpose_permutation(w),
+            PermFamily::Random => Permutation::random(rng, n),
+            PermFamily::BitReversal => {
+                assert!(n.is_power_of_two(), "bit reversal needs a power-of-two size");
+                let bits = n.trailing_zeros();
+                Permutation::from_table(
+                    (0..n as u32)
+                        .map(|t| t.reverse_bits() >> (32 - bits))
+                        .collect(),
+                )
+                .expect("bit reversal is a permutation")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PermFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Measurements for one (family, strategy) pair.
+#[derive(Debug, Clone)]
+pub struct PermutationCell {
+    /// Permutation family.
+    pub family: PermFamily,
+    /// Execution strategy.
+    pub strategy: Strategy,
+    /// DMM cycles over instances.
+    pub cycles: OnlineStats,
+    /// Worst per-warp congestion over instances.
+    pub max_congestion: OnlineStats,
+    /// All runs verified.
+    pub all_verified: bool,
+}
+
+/// Run the comparison at width `w` with the given DMM latency.
+#[must_use]
+pub fn run(w: usize, latency: u64, instances: u64, seed: u64) -> Vec<PermutationCell> {
+    let domain = SeedDomain::new(seed).child("permutation");
+    let data: Vec<u64> = (0..(w * w) as u64).collect();
+    let mut out = Vec::new();
+    for family in PermFamily::all() {
+        for strategy in Strategy::all() {
+            let fresh_each = matches!(family, PermFamily::Random) || strategy == Strategy::Rap;
+            let n_inst = if fresh_each { instances } else { 1 };
+            let mut cycles = OnlineStats::new();
+            let mut maxc = OnlineStats::new();
+            let mut all_verified = true;
+            for inst in 0..n_inst {
+                let mut rng = domain.child(family.name()).child(strategy.name()).rng(inst);
+                let pi = family.build(w, &mut rng);
+                let mapping = RapArrayMapping::random(&mut rng, w);
+                let run = run_permutation(strategy, w, &pi, latency, &data, Some(&mapping));
+                all_verified &= run.verified;
+                cycles.push(run.report.cycles as f64);
+                maxc.push(f64::from(run.report.max_congestion()));
+            }
+            out.push(PermutationCell {
+                family,
+                strategy,
+                cycles,
+                max_congestion: maxc,
+                all_verified,
+            });
+        }
+    }
+    out
+}
+
+/// Serialize the comparison.
+#[must_use]
+pub fn to_record(w: usize, latency: u64, seed: u64, cells: &[PermutationCell]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "A4",
+        "Offline permutation: direct vs graph-coloring vs RAP on the DMM",
+        format!("w={w} latency={latency} seed={seed}"),
+    );
+    for c in cells {
+        record.push(CellSummary::from_stats(
+            format!("{} cycles", c.family),
+            c.strategy.name(),
+            &c.cycles,
+            None,
+        ));
+        record.push(CellSummary::from_stats(
+            format!("{} max congestion", c.family),
+            c.strategy.name(),
+            &c.max_congestion,
+            None,
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_build_valid_permutations() {
+        let mut rng = rap_stats::SeedDomain::new(1).rng(0);
+        for family in PermFamily::all() {
+            let pi = family.build(8, &mut rng);
+            assert_eq!(pi.len(), 64, "{family}");
+        }
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let mut rng = rap_stats::SeedDomain::new(2).rng(0);
+        let pi = PermFamily::BitReversal.build(8, &mut rng);
+        assert!(pi.compose(&pi).is_identity());
+    }
+
+    #[test]
+    fn comparison_shape() {
+        let cells = run(16, 4, 4, 3);
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|c| c.all_verified));
+        let get = |f: PermFamily, s: Strategy| {
+            cells
+                .iter()
+                .find(|c| c.family == f && c.strategy == s)
+                .unwrap()
+        };
+        // Coloring is congestion-1 always.
+        for f in PermFamily::all() {
+            assert_eq!(
+                get(f, Strategy::ConflictFree).max_congestion.mean(),
+                1.0,
+                "{f}"
+            );
+        }
+        // Direct transpose is the disaster case; RAP rescues it.
+        let direct_t = get(PermFamily::Transpose, Strategy::Direct);
+        let rap_t = get(PermFamily::Transpose, Strategy::Rap);
+        assert_eq!(direct_t.max_congestion.mean(), 16.0);
+        assert!(rap_t.cycles.mean() * 3.0 < direct_t.cycles.mean());
+        // Identity is free for direct.
+        assert_eq!(
+            get(PermFamily::Identity, Strategy::Direct).max_congestion.mean(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn record_shape() {
+        let cells = run(8, 2, 2, 4);
+        let rec = to_record(8, 2, 4, &cells);
+        assert_eq!(rec.cells.len(), 24);
+    }
+}

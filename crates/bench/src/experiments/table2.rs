@@ -1,0 +1,196 @@
+//! Experiment T2 — reproduce Table II: expected congestion of memory
+//! access to a `w × w` matrix, for `w ∈ {16, 32, 64, 128, 256}`, patterns
+//! {contiguous, stride, diagonal, random} × schemes {RAW, RAS, RAP}.
+
+use crate::paper::table2_reference;
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_core::Scheme;
+use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
+use rayon::prelude::*;
+
+/// Configuration of the Table II sweep.
+#[derive(Debug, Clone)]
+pub struct Table2Config {
+    /// Matrix widths to sweep (the paper uses 16..256).
+    pub widths: Vec<usize>,
+    /// Monte-Carlo trials at `w = 32`; other widths are scaled by `32/w`
+    /// so each cell sees a comparable number of warp samples.
+    pub base_trials: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Table2Config {
+    fn default() -> Self {
+        Self {
+            widths: crate::paper::TABLE2_WIDTHS.to_vec(),
+            base_trials: 2000,
+            seed: 2014,
+        }
+    }
+}
+
+impl Table2Config {
+    /// Trials used at width `w` (≥ 100).
+    #[must_use]
+    pub fn trials_for(&self, w: usize) -> u64 {
+        ((self.base_trials * 32) / w as u64).max(100)
+    }
+}
+
+/// One measured cell of Table II.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Access pattern (row).
+    pub pattern: MatrixPattern,
+    /// Mapping scheme (column group).
+    pub scheme: Scheme,
+    /// Matrix width.
+    pub w: usize,
+    /// Measured congestion statistics.
+    pub stats: OnlineStats,
+    /// The paper's value for this cell.
+    pub paper: Option<f64>,
+}
+
+/// Run the full sweep (parallel over cells).
+#[must_use]
+pub fn run(cfg: &Table2Config) -> Vec<Table2Cell> {
+    let domain = SeedDomain::new(cfg.seed).child("table2");
+    let mut cells: Vec<(MatrixPattern, Scheme, usize)> = Vec::new();
+    for pattern in MatrixPattern::table2() {
+        for scheme in Scheme::all() {
+            for &w in &cfg.widths {
+                cells.push((pattern, scheme, w));
+            }
+        }
+    }
+    cells
+        .into_par_iter()
+        .map(|(pattern, scheme, w)| {
+            let cell_domain = domain
+                .child(pattern.name())
+                .child(scheme.name())
+                .child_idx(w as u64);
+            let stats = matrix_congestion(scheme, pattern, w, cfg.trials_for(w), &cell_domain);
+            Table2Cell {
+                pattern,
+                scheme,
+                w,
+                stats,
+                paper: table2_reference(scheme, pattern.name(), w),
+            }
+        })
+        .collect()
+}
+
+/// Convert the measured cells into a serializable record.
+#[must_use]
+pub fn to_record(cfg: &Table2Config, cells: &[Table2Cell]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "T2",
+        "Table II: expected congestion of matrix access patterns",
+        format!(
+            "widths={:?} base_trials={} seed={}",
+            cfg.widths, cfg.base_trials, cfg.seed
+        ),
+    );
+    for c in cells {
+        record.push(CellSummary::from_stats(
+            c.pattern.name(),
+            format!("{} w={}", c.scheme, c.w),
+            &c.stats,
+            c.paper,
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> Table2Config {
+        Table2Config {
+            widths: vec![16, 32],
+            base_trials: 60,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let cfg = small_cfg();
+        let cells = run(&cfg);
+        // 4 patterns × 3 schemes × 2 widths
+        assert_eq!(cells.len(), 24);
+        assert!(cells.iter().all(|c| c.stats.count() > 0));
+        assert!(cells.iter().all(|c| c.paper.is_some()));
+    }
+
+    #[test]
+    fn deterministic_cells_are_exact() {
+        let cells = run(&small_cfg());
+        for c in &cells {
+            if c.pattern == MatrixPattern::Contiguous {
+                assert_eq!(c.stats.mean(), 1.0, "{} w={}", c.scheme, c.w);
+            }
+            if c.pattern == MatrixPattern::Stride && c.scheme == Scheme::Rap {
+                assert_eq!(c.stats.mean(), 1.0);
+            }
+            if c.pattern == MatrixPattern::Stride && c.scheme == Scheme::Raw {
+                assert_eq!(c.stats.mean(), c.w as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_cells_land_near_paper() {
+        let cells = run(&Table2Config {
+            widths: vec![32],
+            base_trials: 600,
+            seed: 11,
+        });
+        for c in &cells {
+            if let Some(p) = c.paper {
+                let tol: f64 = if p > 2.0 { 0.15 } else { 1e-9 };
+                assert!(
+                    (c.stats.mean() - p).abs() <= tol.max(p * 0.05),
+                    "{} {} w={}: measured {} vs paper {p}",
+                    c.pattern,
+                    c.scheme,
+                    c.w,
+                    c.stats.mean()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trials_scale_with_width() {
+        let cfg = Table2Config::default();
+        assert!(cfg.trials_for(16) > cfg.trials_for(256));
+        assert!(cfg.trials_for(4096) >= 100);
+    }
+
+    #[test]
+    fn record_has_all_cells() {
+        let cfg = small_cfg();
+        let cells = run(&cfg);
+        let rec = to_record(&cfg, &cells);
+        assert_eq!(rec.cells.len(), cells.len());
+        assert_eq!(rec.id, "T2");
+        assert!(rec.worst_relative_error().is_some());
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let cfg = small_cfg();
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.stats, y.stats);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Experiment T3 — reproduce Table III: the three transpose algorithms
+//! under RAW / RAS / RAP, reporting (a) the exact DMM congestion of the
+//! read and write phases and (b) the simulated GTX TITAN time in
+//! nanoseconds.
+//!
+//! The congestion columns come from executing the kernels on the DMM
+//! simulator; the time columns come from lowering the same programs to
+//! the SM timing model (`rap-gpu-sim`) with the per-scheme address-ALU
+//! costs of the paper's CUDA listings. RAS and RAP are averaged over
+//! fresh random instances.
+
+use rap_core::{RowShift, Scheme};
+use rap_gpu_sim::{lower_program, simulate, SmConfig};
+use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
+use rap_transpose::{run_transpose, transpose_program, TransposeKind};
+
+/// Configuration of the Table III reproduction.
+#[derive(Debug, Clone)]
+pub struct Table3Config {
+    /// Matrix width (the paper uses 32).
+    pub width: usize,
+    /// Random mapping instances averaged for RAS/RAP.
+    pub instances: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// SM timing model.
+    pub sm: SmConfig,
+    /// DMM latency used for the congestion run (does not affect
+    /// congestion, only the DMM cycle count also reported).
+    pub dmm_latency: u64,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Self {
+            width: 32,
+            instances: 25,
+            seed: 2014,
+            sm: SmConfig::gtx_titan(),
+            dmm_latency: 1,
+        }
+    }
+}
+
+/// One measured cell of Table III.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Transpose algorithm.
+    pub kind: TransposeKind,
+    /// Mapping scheme.
+    pub scheme: Scheme,
+    /// Mean congestion of the read phase (over instances).
+    pub read_congestion: OnlineStats,
+    /// Mean congestion of the write phase.
+    pub write_congestion: OnlineStats,
+    /// Simulated GPU time in nanoseconds (over instances).
+    pub time_ns: OnlineStats,
+    /// DMM cycle count (over instances).
+    pub dmm_cycles: OnlineStats,
+    /// Whether every instance produced a correct transpose.
+    pub all_verified: bool,
+}
+
+/// Run the full 3×3 table.
+#[must_use]
+pub fn run(cfg: &Table3Config) -> Vec<Table3Row> {
+    let domain = SeedDomain::new(cfg.seed).child("table3");
+    let w = cfg.width;
+    let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+    let mut rows = Vec::new();
+
+    for kind in TransposeKind::all() {
+        for scheme in Scheme::all() {
+            let instances = if scheme == Scheme::Raw { 1 } else { cfg.instances };
+            let mut read_c = OnlineStats::new();
+            let mut write_c = OnlineStats::new();
+            let mut ns = OnlineStats::new();
+            let mut cycles = OnlineStats::new();
+            let mut all_verified = true;
+
+            for inst in 0..instances {
+                let mut rng = domain
+                    .child(kind.name())
+                    .child(scheme.name())
+                    .rng(inst);
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+
+                // DMM run: congestion + correctness.
+                let run = run_transpose(kind, &mapping, cfg.dmm_latency, &data);
+                all_verified &= run.verified;
+                read_c.push(run.read_congestion());
+                write_c.push(run.write_congestion());
+                cycles.push(run.report.cycles as f64);
+
+                // GPU run: same program lowered to the SM model.
+                let program =
+                    transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
+                let alu = rap_gpu_sim::titan::transpose_alu_costs(
+                    scheme,
+                    kind == TransposeKind::Drdw,
+                );
+                let kernel = lower_program(&program, w, &alu);
+                let report = simulate(&kernel, &cfg.sm);
+                ns.push(report.ns);
+            }
+
+            rows.push(Table3Row {
+                kind,
+                scheme,
+                read_congestion: read_c,
+                write_congestion: write_c,
+                time_ns: ns,
+                dmm_cycles: cycles,
+                all_verified,
+            });
+        }
+    }
+    rows
+}
+
+/// Convert rows into a serializable record (congestion and ns cells).
+#[must_use]
+pub fn to_record(cfg: &Table3Config, rows: &[Table3Row]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "T3",
+        "Table III: transpose congestion (DMM) and time (simulated GTX TITAN)",
+        format!(
+            "w={} instances={} seed={} clock={}GHz mem_latency={} overhead={}",
+            cfg.width,
+            cfg.instances,
+            cfg.seed,
+            cfg.sm.clock_ghz,
+            cfg.sm.mem_latency,
+            cfg.sm.launch_overhead
+        ),
+    );
+    for r in rows {
+        let paper = crate::paper::table3_reference(r.kind, r.scheme);
+        record.push(CellSummary::from_stats(
+            format!("{} read congestion", r.kind),
+            r.scheme.name(),
+            &r.read_congestion,
+            Some(paper.read_congestion),
+        ));
+        record.push(CellSummary::from_stats(
+            format!("{} write congestion", r.kind),
+            r.scheme.name(),
+            &r.write_congestion,
+            Some(paper.write_congestion),
+        ));
+        record.push(CellSummary::from_stats(
+            format!("{} time ns", r.kind),
+            r.scheme.name(),
+            &r.time_ns,
+            Some(paper.time_ns),
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> Table3Config {
+        Table3Config {
+            instances: 5,
+            ..Table3Config::default()
+        }
+    }
+
+    fn find(rows: &[Table3Row], kind: TransposeKind, scheme: Scheme) -> &Table3Row {
+        rows.iter()
+            .find(|r| r.kind == kind && r.scheme == scheme)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn table_has_nine_rows_all_verified() {
+        let rows = run(&quick_cfg());
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().all(|r| r.all_verified));
+    }
+
+    #[test]
+    fn congestion_columns_match_paper() {
+        let rows = run(&quick_cfg());
+        let crsw_raw = find(&rows, TransposeKind::Crsw, Scheme::Raw);
+        assert_eq!(crsw_raw.read_congestion.mean(), 1.0);
+        assert_eq!(crsw_raw.write_congestion.mean(), 32.0);
+        let crsw_rap = find(&rows, TransposeKind::Crsw, Scheme::Rap);
+        assert_eq!(crsw_rap.read_congestion.mean(), 1.0);
+        assert_eq!(crsw_rap.write_congestion.mean(), 1.0);
+        let drdw_raw = find(&rows, TransposeKind::Drdw, Scheme::Raw);
+        assert_eq!(drdw_raw.read_congestion.mean(), 1.0);
+        assert_eq!(drdw_raw.write_congestion.mean(), 1.0);
+    }
+
+    #[test]
+    fn timing_shape_matches_paper() {
+        let rows = run(&quick_cfg());
+        let t = |k, s| find(&rows, k, s).time_ns.mean();
+        use Scheme::{Rap, Ras, Raw};
+        use TransposeKind::{Crsw, Drdw, Srcw};
+
+        // RAP accelerates the naive transposes by roughly 10x.
+        let speedup = t(Crsw, Raw) / t(Crsw, Rap);
+        assert!(
+            (7.0..14.0).contains(&speedup),
+            "CRSW RAW/RAP speedup {speedup:.1} should be near the paper's 10.3"
+        );
+        // RAP is about twice as fast as RAS on the naive transposes.
+        let vs_ras = t(Crsw, Ras) / t(Crsw, Rap);
+        assert!((1.4..2.6).contains(&vs_ras), "got {vs_ras:.2}");
+        // DRDW under RAW is the fast hand-optimized baseline, comparable
+        // to CRSW under RAP.
+        let drdw_ratio = t(Drdw, Raw) / t(Crsw, Rap);
+        assert!((0.7..1.4).contains(&drdw_ratio), "got {drdw_ratio:.2}");
+        // DRDW is the worst case for RAP: ~2.5-3x slower than RAW DRDW.
+        let penalty = t(Drdw, Rap) / t(Drdw, Raw);
+        assert!((1.8..3.6).contains(&penalty), "got {penalty:.2}");
+        // SRCW mirrors CRSW.
+        assert!((t(Srcw, Raw) / t(Crsw, Raw) - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn record_carries_paper_references() {
+        let cfg = quick_cfg();
+        let rows = run(&cfg);
+        let rec = to_record(&cfg, &rows);
+        assert_eq!(rec.cells.len(), 27); // 9 rows × 3 metrics
+        assert!(rec.cells.iter().all(|c| c.paper.is_some()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Experiment T4 — reproduce Table IV: congestion of access patterns to a
+//! `w⁴` array under the seven schemes {RAW, RAS, 1P, R1P, 3P, w²P,
+//! 1P+w²R}, plus the stored-random-number accounting.
+//!
+//! Table IV in the paper is qualitative (`1`, `w`, `Θ(log w / log log w)`,
+//! `6Θ(log(w/6)/log log(w/6))`); we measure the actual expected congestion
+//! and check each cell's *class*: exact 1, exact `w`, near the
+//! balls-into-bins expectation, or near the grouped expectation.
+
+use rap_access::montecarlo::array4d_congestion;
+use rap_access::Pattern4d;
+use rap_core::multidim::Scheme4d;
+use rap_core::theory::{table4, CongestionClass};
+use rap_stats::{CellSummary, ExperimentRecord, MaxLoad, OnlineStats, SeedDomain};
+use rayon::prelude::*;
+
+/// Configuration of the Table IV sweep.
+#[derive(Debug, Clone)]
+pub struct Table4Config {
+    /// Array width (the paper's analysis targets `w = 32`).
+    pub width: usize,
+    /// Fresh mapping instances per cell.
+    pub trials: u64,
+    /// Warps sampled per instance.
+    pub warps_per_trial: u32,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Table4Config {
+    fn default() -> Self {
+        Self {
+            width: 32,
+            trials: 300,
+            warps_per_trial: 8,
+            seed: 2014,
+        }
+    }
+}
+
+/// One measured cell of Table IV.
+#[derive(Debug, Clone)]
+pub struct Table4Cell {
+    /// Access pattern (row).
+    pub pattern: Pattern4d,
+    /// Scheme (column).
+    pub scheme: Scheme4d,
+    /// Measured congestion.
+    pub stats: OnlineStats,
+    /// The paper's qualitative class for this cell.
+    pub class: CongestionClass,
+}
+
+/// The paper's class for `(pattern, scheme)` from `rap_core::theory`.
+#[must_use]
+pub fn class_of(pattern: Pattern4d, scheme: Scheme4d) -> CongestionClass {
+    let row = Pattern4d::table4()
+        .iter()
+        .position(|&p| p == pattern)
+        .expect("pattern is a table row");
+    let col = Scheme4d::all()
+        .iter()
+        .position(|&s| s == scheme)
+        .expect("scheme is a table column");
+    table4()[row][col]
+}
+
+/// A numeric reference for a class at width `w`: exact values for
+/// `One`/`Full`, the balls-into-bins expectation for `MaxLoad`, and the
+/// grouped expectation (`6 · E[max of w/6 balls in w bins]`) for
+/// `GroupedMaxLoad`.
+#[must_use]
+pub fn class_reference(class: CongestionClass, w: usize) -> f64 {
+    match class {
+        CongestionClass::One => 1.0,
+        CongestionClass::Full => w as f64,
+        CongestionClass::MaxLoad => MaxLoad::exact(w, w).expected(),
+        CongestionClass::GroupedMaxLoad => {
+            let groups = w.div_ceil(6);
+            6.0 * MaxLoad::exact(groups, w).expected()
+        }
+    }
+}
+
+/// Run the full sweep (parallel over cells).
+#[must_use]
+pub fn run(cfg: &Table4Config) -> Vec<Table4Cell> {
+    let domain = SeedDomain::new(cfg.seed).child("table4");
+    let mut cells: Vec<(Pattern4d, Scheme4d)> = Vec::new();
+    for pattern in Pattern4d::table4() {
+        for scheme in Scheme4d::all() {
+            cells.push((pattern, scheme));
+        }
+    }
+    cells
+        .into_par_iter()
+        .map(|(pattern, scheme)| {
+            let cell_domain = domain.child(pattern.name()).child(scheme.name());
+            let stats = array4d_congestion(
+                scheme,
+                pattern,
+                cfg.width,
+                cfg.trials,
+                cfg.warps_per_trial,
+                &cell_domain,
+            );
+            Table4Cell {
+                pattern,
+                scheme,
+                stats,
+                class: class_of(pattern, scheme),
+            }
+        })
+        .collect()
+}
+
+/// Convert the cells into a serializable record; the `paper` field holds
+/// the class's numeric reference.
+#[must_use]
+pub fn to_record(cfg: &Table4Config, cells: &[Table4Cell]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "T4",
+        "Table IV: congestion of 4-D array access under the RAP extensions",
+        format!(
+            "w={} trials={} warps_per_trial={} seed={}",
+            cfg.width, cfg.trials, cfg.warps_per_trial, cfg.seed
+        ),
+    );
+    for c in cells {
+        record.push(CellSummary::from_stats(
+            c.pattern.name(),
+            format!("{} [{}]", c.scheme, c.class.symbol()),
+            &c.stats,
+            Some(class_reference(c.class, cfg.width)),
+        ));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> Table4Config {
+        Table4Config {
+            width: 16,
+            trials: 40,
+            warps_per_trial: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let cells = run(&quick_cfg());
+        assert_eq!(cells.len(), 6 * 7);
+    }
+
+    #[test]
+    fn exact_classes_hold() {
+        let cfg = quick_cfg();
+        for c in run(&cfg) {
+            match c.class {
+                CongestionClass::One => {
+                    assert_eq!(
+                        c.stats.mean(),
+                        1.0,
+                        "{}/{} must be conflict-free",
+                        c.pattern,
+                        c.scheme
+                    );
+                }
+                CongestionClass::Full => {
+                    assert_eq!(
+                        c.stats.mean(),
+                        cfg.width as f64,
+                        "{}/{} must fully serialize",
+                        c.pattern,
+                        c.scheme
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn maxload_cells_near_reference() {
+        let cfg = Table4Config {
+            width: 16,
+            trials: 250,
+            warps_per_trial: 4,
+            seed: 9,
+        };
+        let reference = class_reference(CongestionClass::MaxLoad, 16);
+        for c in run(&cfg) {
+            if c.class == CongestionClass::MaxLoad && c.pattern != Pattern4d::Malicious {
+                assert!(
+                    (c.stats.mean() - reference).abs() < 0.35,
+                    "{}/{}: {} vs reference {reference}",
+                    c.pattern,
+                    c.scheme,
+                    c.stats.mean()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn r1p_malicious_exceeds_3p_malicious() {
+        let cfg = Table4Config {
+            width: 18,
+            trials: 120,
+            warps_per_trial: 2,
+            seed: 10,
+        };
+        let cells = run(&cfg);
+        let get = |s: Scheme4d| {
+            cells
+                .iter()
+                .find(|c| c.pattern == Pattern4d::Malicious && c.scheme == s)
+                .unwrap()
+                .stats
+                .mean()
+        };
+        assert!(
+            get(Scheme4d::R1P) > 2.0 * get(Scheme4d::ThreeP),
+            "R1P {} should be far above 3P {}",
+            get(Scheme4d::R1P),
+            get(Scheme4d::ThreeP)
+        );
+    }
+
+    #[test]
+    fn class_reference_values() {
+        assert_eq!(class_reference(CongestionClass::One, 32), 1.0);
+        assert_eq!(class_reference(CongestionClass::Full, 32), 32.0);
+        let ml = class_reference(CongestionClass::MaxLoad, 32);
+        assert!((ml - 3.53).abs() < 0.05);
+        let grouped = class_reference(CongestionClass::GroupedMaxLoad, 32);
+        assert!(grouped > 6.0 && grouped < 32.0);
+    }
+
+    #[test]
+    fn record_shape() {
+        let cfg = quick_cfg();
+        let cells = run(&cfg);
+        let rec = to_record(&cfg, &cells);
+        assert_eq!(rec.cells.len(), 42);
+        assert!(rec.cells.iter().all(|c| c.paper.is_some()));
+    }
+}

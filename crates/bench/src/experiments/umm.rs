@@ -1,0 +1,190 @@
+//! Experiment A6 — DMM vs UMM: the two memory models contrasted.
+//!
+//! The paper's §I–II define both machines: the DMM (shared memory —
+//! per-bank address lines, conflicts are *bank* collisions) and the UMM
+//! (global memory — one broadcast address line, cost is the number of
+//! distinct *rows*, i.e. coalescing). Their defining contrast, which
+//! this experiment reproduces on our simulators: **diagonal access is
+//! free on the DMM but worst-case on the UMM**, while contiguous access
+//! is free on both. Consequently DRDW — the hand-optimized transpose for
+//! shared memory — is exactly the wrong algorithm for global memory.
+
+use rap_core::RowShift;
+use rap_dmm::{BankedMemory, Dmm, Machine, MemOp, Program, Umm};
+use rap_stats::{CellSummary, ExperimentRecord};
+use rap_transpose::{transpose_program, TransposeKind};
+use serde::{Deserialize, Serialize};
+
+/// The access operations contrasted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UmmPattern {
+    /// Thread `t` accesses address `t`.
+    Contiguous,
+    /// Thread `t` accesses `(t mod w)·w + t/w` (column-major).
+    Stride,
+    /// Thread `t = i·w + j` accesses `A[j][(i+j) mod w]` — each warp
+    /// sweeps a diagonal.
+    Diagonal,
+}
+
+impl UmmPattern {
+    /// All patterns.
+    #[must_use]
+    pub fn all() -> [UmmPattern; 3] {
+        [UmmPattern::Contiguous, UmmPattern::Stride, UmmPattern::Diagonal]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            UmmPattern::Contiguous => "Contiguous",
+            UmmPattern::Stride => "Stride",
+            UmmPattern::Diagonal => "Diagonal",
+        }
+    }
+
+    /// Build the one-phase read program.
+    #[must_use]
+    pub fn program(self, w: usize) -> Program<u64> {
+        let mut p: Program<u64> = Program::new(w * w);
+        match self {
+            UmmPattern::Contiguous => {
+                p.phase("read", |t| Some(MemOp::Read(t as u64)));
+            }
+            UmmPattern::Stride => {
+                p.phase("read", move |t| {
+                    Some(MemOp::Read(((t % w) * w + t / w) as u64))
+                });
+            }
+            UmmPattern::Diagonal => {
+                p.phase("read", move |t| {
+                    let (i, j) = (t / w, t % w);
+                    Some(MemOp::Read((j * w + (i + j) % w) as u64))
+                });
+            }
+        }
+        p
+    }
+}
+
+impl std::fmt::Display for UmmPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Cycles of one pattern/kernel on both machines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UmmRow {
+    /// Row label.
+    pub label: String,
+    /// DMM cycles.
+    pub dmm: u64,
+    /// UMM cycles.
+    pub umm: u64,
+}
+
+/// Run the contrast at width `w`, latency `l`, under RAW.
+#[must_use]
+pub fn run(w: usize, latency: u64) -> Vec<UmmRow> {
+    let dmm: Dmm = Machine::new(w, latency);
+    let umm: Umm = Machine::new(w, latency);
+    let mut rows = Vec::new();
+
+    for pattern in UmmPattern::all() {
+        let program = pattern.program(w);
+        let mut mem = BankedMemory::new(w, w * w);
+        let d = dmm.execute(&program, &mut mem).cycles;
+        let u = umm.execute(&program, &mut mem).cycles;
+        rows.push(UmmRow {
+            label: format!("{pattern} access"),
+            dmm: d,
+            umm: u,
+        });
+    }
+
+    let mapping = RowShift::raw(w);
+    for kind in TransposeKind::all() {
+        let program = transpose_program::<u64>(kind, &mapping, 0, (w * w) as u64);
+        let mut mem = BankedMemory::new(w, 2 * w * w);
+        let d = dmm.execute(&program, &mut mem).cycles;
+        let mut mem = BankedMemory::new(w, 2 * w * w);
+        let u = umm.execute(&program, &mut mem).cycles;
+        rows.push(UmmRow {
+            label: format!("{kind} transpose"),
+            dmm: d,
+            umm: u,
+        });
+    }
+    rows
+}
+
+/// Serialize the contrast.
+#[must_use]
+pub fn to_record(w: usize, latency: u64, rows: &[UmmRow]) -> ExperimentRecord {
+    let mut record = ExperimentRecord::new(
+        "A6",
+        "DMM vs UMM: bank conflicts vs coalescing (RAW layout)",
+        format!("w={w} latency={latency}, exact"),
+    );
+    for r in rows {
+        record.push(CellSummary::exact(&r.label, "DMM cycles", r.dmm as f64, None));
+        record.push(CellSummary::exact(&r.label, "UMM cycles", r.umm as f64, None));
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'a>(rows: &'a [UmmRow], label: &str) -> &'a UmmRow {
+        rows.iter().find(|r| r.label == label).expect("row exists")
+    }
+
+    #[test]
+    fn contiguous_free_on_both() {
+        let rows = run(16, 4);
+        let c = get(&rows, "Contiguous access");
+        assert_eq!(c.dmm, c.umm, "contiguous must cost the same on both models");
+        assert_eq!(c.dmm, 16 + 4 - 1);
+    }
+
+    #[test]
+    fn stride_slow_on_both() {
+        let rows = run(16, 4);
+        let s = get(&rows, "Stride access");
+        assert_eq!(s.dmm, 256 + 4 - 1, "same bank on DMM");
+        assert_eq!(s.umm, 256 + 4 - 1, "w distinct rows on UMM");
+    }
+
+    #[test]
+    fn diagonal_splits_the_models() {
+        let rows = run(16, 4);
+        let d = get(&rows, "Diagonal access");
+        assert_eq!(d.dmm, 16 + 4 - 1, "distinct banks: free on the DMM");
+        assert_eq!(d.umm, 256 + 4 - 1, "w distinct rows: worst case on the UMM");
+    }
+
+    #[test]
+    fn drdw_is_dmm_only_optimization() {
+        let rows = run(16, 4);
+        let drdw = get(&rows, "DRDW transpose");
+        let crsw = get(&rows, "CRSW transpose");
+        assert!(drdw.dmm * 4 < crsw.dmm, "DRDW wins on the DMM");
+        assert!(
+            drdw.umm >= crsw.umm,
+            "…but is no better (in fact worse) on the UMM: {} vs {}",
+            drdw.umm,
+            crsw.umm
+        );
+    }
+
+    #[test]
+    fn record_shape() {
+        let rows = run(8, 2);
+        let rec = to_record(8, 2, &rows);
+        assert_eq!(rec.cells.len(), rows.len() * 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! # rap-bench — the experiment harness
+//!
+//! Reproduces every table of the RAP paper plus the ablations indexed in
+//! DESIGN.md:
+//!
+//! | id | binary | paper artifact |
+//! |---|---|---|
+//! | T1 | `table1` | Table I — congestion classes |
+//! | T2 | `table2` | Table II — congestion simulation |
+//! | T3 | `table3` | Table III — transpose timing on (simulated) GTX TITAN |
+//! | T4 | `table4` | Table IV — 4-D extensions |
+//! | A1 | `malicious_bound` | abstract claim + Theorem 2 bound |
+//! | A2 | `lemma1` | Lemma 1 closed forms |
+//! | A3 | `ablation` | SM-model robustness |
+//!
+//! Each binary prints the paper's value next to ours and writes
+//! `results/<id>.json`. Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod paper;
+pub mod table;
+
+/// Parse `--key value` style options from `std::env::args`, with defaults.
+/// Minimal by design — the binaries accept `--trials`, `--seed`,
+/// `--width`, `--instances`.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    opts: std::collections::HashMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parse the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse_args(std::env::args().skip(1))
+    }
+
+    /// Parse an explicit argument list (for tests).
+    pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut opts = std::collections::HashMap::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if let Some(value) = iter.next() {
+                    opts.insert(key.to_string(), value);
+                }
+            }
+        }
+        Self { opts }
+    }
+
+    /// Look up a numeric option with a default.
+    #[must_use]
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.opts
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Look up a usize option with a default.
+    #[must_use]
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.opts
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cli_args_parse_pairs() {
+        let a = CliArgs::parse_args(
+            ["--trials", "500", "--seed", "9"].map(String::from),
+        );
+        assert_eq!(a.get_u64("trials", 1), 500);
+        assert_eq!(a.get_u64("seed", 1), 9);
+        assert_eq!(a.get_u64("missing", 7), 7);
+        assert_eq!(a.get_usize("trials", 1), 500);
+    }
+
+    #[test]
+    fn cli_args_ignore_malformed() {
+        let a = CliArgs::parse_args(["--trials", "abc", "stray"].map(String::from));
+        assert_eq!(a.get_u64("trials", 3), 3);
+    }
+}

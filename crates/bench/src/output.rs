@@ -1,0 +1,59 @@
+//! JSON output of experiment records.
+//!
+//! Each bench binary writes its [`ExperimentRecord`] under `results/` so
+//! EXPERIMENTS.md can be cross-checked against machine-readable data.
+
+use rap_stats::ExperimentRecord;
+use std::path::{Path, PathBuf};
+
+/// Serialize `record` to `results/<id>.json` under `root` (created if
+/// missing). Returns the written path.
+///
+/// # Errors
+/// Propagates I/O and serialization errors.
+pub fn write_record(root: &Path, record: &ExperimentRecord) -> std::io::Result<PathBuf> {
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", record.id.to_lowercase()));
+    let json = serde_json::to_string_pretty(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Read a record back (used by tests and tooling).
+///
+/// # Errors
+/// Propagates I/O and deserialization errors.
+pub fn read_record(path: &Path) -> std::io::Result<ExperimentRecord> {
+    let data = std::fs::read_to_string(path)?;
+    serde_json::from_str(&data)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// The default output root: the workspace directory if invoked via cargo,
+/// else the current directory.
+#[must_use]
+pub fn default_root() -> PathBuf {
+    std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(|d| PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_stats::CellSummary;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let mut record = ExperimentRecord::new("TX", "test", "p=1");
+        record.push(CellSummary::exact("r", "c", 1.5, Some(1.0)));
+        let tmp = std::env::temp_dir().join(format!("rap-bench-test-{}", std::process::id()));
+        let path = write_record(&tmp, &record).unwrap();
+        assert!(path.ends_with("results/tx.json"));
+        let back = read_record(&path).unwrap();
+        assert_eq!(back, record);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's published numbers, hard-coded as reference values.
+//!
+//! Every bench binary prints these next to our measurements and
+//! EXPERIMENTS.md records the comparison. Sources: Table II (congestion
+//! simulation) and Table III (GTX TITAN timing) of the ICPP 2014 paper.
+
+use rap_core::Scheme;
+use rap_transpose::TransposeKind;
+
+/// The widths Table II sweeps.
+pub const TABLE2_WIDTHS: [usize; 5] = [16, 32, 64, 128, 256];
+
+/// Table II: expected congestion of stride access under RAS
+/// (and of diagonal access under RAS), for the widths in
+/// [`TABLE2_WIDTHS`].
+pub const TABLE2_STRIDE_RAS: [f64; 5] = [3.08, 3.53, 3.96, 4.38, 4.77];
+
+/// Table II: expected congestion of diagonal access under RAP.
+pub const TABLE2_DIAGONAL_RAP: [f64; 5] = [3.20, 3.61, 4.00, 4.41, 4.78];
+
+/// Table II: expected congestion of random access (identical for RAW,
+/// RAS, and RAP).
+pub const TABLE2_RANDOM: [f64; 5] = [2.92, 3.44, 3.90, 4.34, 4.75];
+
+/// Table II lookup: the paper's value for `(scheme, pattern, w)`, if the
+/// paper reports that cell. `pattern` uses the paper's row names.
+#[must_use]
+pub fn table2_reference(scheme: Scheme, pattern: &str, w: usize) -> Option<f64> {
+    let idx = TABLE2_WIDTHS.iter().position(|&x| x == w)?;
+    match (pattern, scheme) {
+        ("Contiguous", _) => Some(1.0),
+        ("Stride", Scheme::Raw) => Some(w as f64),
+        ("Stride", Scheme::Ras) => Some(TABLE2_STRIDE_RAS[idx]),
+        ("Stride", Scheme::Rap) => Some(1.0),
+        ("Diagonal", Scheme::Raw) => Some(1.0),
+        ("Diagonal", Scheme::Ras) => Some(TABLE2_STRIDE_RAS[idx]),
+        ("Diagonal", Scheme::Rap) => Some(TABLE2_DIAGONAL_RAP[idx]),
+        ("Random", _) => Some(TABLE2_RANDOM[idx]),
+        _ => None,
+    }
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Cell {
+    /// Congestion of the read phase on the DMM.
+    pub read_congestion: f64,
+    /// Congestion of the write phase on the DMM.
+    pub write_congestion: f64,
+    /// Measured time on the GeForce GTX TITAN, nanoseconds.
+    pub time_ns: f64,
+}
+
+/// Table III: the paper's congestion and GTX TITAN time for
+/// `(algorithm, scheme)`, 32×32 double matrix.
+///
+/// # Panics
+/// Panics for the modern-baseline schemes (XOR, Padded), which the paper
+/// does not evaluate.
+#[must_use]
+pub fn table3_reference(kind: TransposeKind, scheme: Scheme) -> Table3Cell {
+    use Scheme::{Rap, Ras, Raw};
+    use TransposeKind::{Crsw, Drdw, Srcw};
+    let (r, w, t) = match (kind, scheme) {
+        (Crsw, Raw) => (1.0, 32.0, 1595.0),
+        (Crsw, Ras) => (1.0, 3.53, 303.6),
+        (Crsw, Rap) => (1.0, 1.0, 154.5),
+        (Srcw, Raw) => (32.0, 1.0, 1596.0),
+        (Srcw, Ras) => (3.53, 1.0, 297.1),
+        (Srcw, Rap) => (1.0, 1.0, 159.1),
+        (Drdw, Raw) => (1.0, 1.0, 158.4),
+        (Drdw, Ras) => (3.53, 3.53, 427.4),
+        (Drdw, Rap) => (3.61, 3.61, 433.3),
+        (_, Scheme::Xor | Scheme::Padded) => {
+            panic!("the paper's Table III has no {scheme} column")
+        }
+    };
+    Table3Cell {
+        read_congestion: r,
+        write_congestion: w,
+        time_ns: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lookup_known_cells() {
+        assert_eq!(table2_reference(Scheme::Raw, "Stride", 32), Some(32.0));
+        assert_eq!(table2_reference(Scheme::Ras, "Stride", 32), Some(3.53));
+        assert_eq!(table2_reference(Scheme::Rap, "Stride", 256), Some(1.0));
+        assert_eq!(table2_reference(Scheme::Rap, "Diagonal", 16), Some(3.20));
+        assert_eq!(table2_reference(Scheme::Raw, "Random", 64), Some(3.90));
+        assert_eq!(table2_reference(Scheme::Raw, "Contiguous", 128), Some(1.0));
+    }
+
+    #[test]
+    fn table2_lookup_unknown_cells() {
+        assert_eq!(table2_reference(Scheme::Raw, "Stride", 17), None);
+        assert_eq!(table2_reference(Scheme::Raw, "Bogus", 32), None);
+    }
+
+    #[test]
+    fn table3_headline_numbers() {
+        let raw = table3_reference(TransposeKind::Crsw, Scheme::Raw);
+        let rap = table3_reference(TransposeKind::Crsw, Scheme::Rap);
+        assert_eq!(raw.time_ns, 1595.0);
+        assert_eq!(rap.time_ns, 154.5);
+        // The abstract's headline: a factor ~10 speedup.
+        assert!((raw.time_ns / rap.time_ns) > 10.0);
+        // DRDW is the RAW-optimized algorithm.
+        let drdw = table3_reference(TransposeKind::Drdw, Scheme::Raw);
+        assert!(drdw.time_ns < 160.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal fixed-width table printer for the bench binaries.
+
+/// A simple text table: a header row plus data rows, rendered with
+/// per-column widths and right-aligned cells (first column left-aligned).
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given header.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match the header"
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Render the table to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{cell:<width$}", width = widths[c]));
+                } else {
+                    line.push_str(&format!("{cell:>width$}", width = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with 2–3 significant decimals as the paper does.
+#[must_use]
+pub fn fmt2(x: f64) -> String {
+    if (x - x.round()).abs() < 5e-4 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a paper-vs-measured pair with relative deviation.
+#[must_use]
+pub fn fmt_vs(measured: f64, paper: Option<f64>) -> String {
+    match paper {
+        Some(p) if p != 0.0 => {
+            let dev = 100.0 * (measured - p) / p;
+            format!("{} (paper {}, {dev:+.1}%)", fmt2(measured), fmt2(p))
+        }
+        _ => fmt2(measured),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["longer", "123.45"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("longer"));
+        // all data lines equal width
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn fmt2_integers_and_decimals() {
+        assert_eq!(fmt2(32.0), "32");
+        assert_eq!(fmt2(3.53), "3.53");
+        assert_eq!(fmt2(1.0001), "1");
+    }
+
+    #[test]
+    fn fmt_vs_shows_deviation() {
+        let s = fmt_vs(3.6, Some(3.53));
+        assert!(s.contains("paper 3.53"));
+        assert!(s.contains('%'));
+        assert_eq!(fmt_vs(2.0, None), "2");
+    }
+}

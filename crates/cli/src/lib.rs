@@ -1,0 +1,455 @@
+//! # rap-cli — command-line explorer for the RAP toolkit
+//!
+//! A small, dependency-free CLI over the workspace:
+//!
+//! ```text
+//! rap layout    --scheme rap --width 8 [--seed 1]
+//! rap congestion --width 32 --addresses 0,32,64,96
+//! rap pattern   --pattern stride --scheme ras --width 32 [--trials 1000]
+//! rap transpose --kind crsw --scheme rap [--width 32] [--latency 8]
+//! rap trace     --kind drdw --scheme raw [--width 8] [--latency 3]
+//! rap permute   --family transpose [--width 16] [--latency 8]
+//! ```
+//!
+//! All logic lives in [`run`], which returns the rendered output so the
+//! whole surface is unit-testable; `main` just prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_core::diagnostics::{render_bank_loads, render_layout};
+use rap_core::modern::build_mapping;
+use rap_core::{BankLoads, MatrixMapping, Scheme};
+use rap_dmm::{trace as dmm_trace, Dmm, Machine};
+use rap_permute::{run_permutation, transpose_permutation, RapArrayMapping, Strategy};
+use rap_stats::SeedDomain;
+use rap_transpose::{run_transpose, transpose_program, TransposeKind};
+use std::collections::HashMap;
+
+/// Usage text shown on errors and `rap help`.
+pub const USAGE: &str = "\
+rap — Random Address Permute-Shift explorer
+
+USAGE:
+  rap layout     --scheme <raw|ras|rap|xor|padded> --width <w> [--seed <n>]
+  rap congestion --width <w> --addresses <a,b,c,...>
+  rap pattern    --pattern <contiguous|stride|diagonal|random> --scheme <s>
+                 --width <w> [--trials <n>] [--seed <n>]
+  rap transpose  --kind <crsw|srcw|drdw> --scheme <s> [--width 32]
+                 [--latency 8] [--seed <n>]
+  rap trace      --kind <crsw|srcw|drdw> --scheme <s> [--width 8]
+                 [--latency 3] [--seed <n>] [--gantt <cols>]
+  rap permute    --family <identity|transpose|random|bitrev> [--width 16]
+                 [--latency 8] [--seed <n>]
+  rap help
+";
+
+/// Parsed `--key value` options.
+#[derive(Debug, Default)]
+struct Opts {
+    map: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Self {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(k) = a.strip_prefix("--") {
+                if let Some(v) = it.next() {
+                    map.insert(k.to_string(), v.clone());
+                }
+            }
+        }
+        Self { map }
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got '{v}'")),
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got '{v}'")),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.map
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "raw" => Ok(Scheme::Raw),
+        "ras" => Ok(Scheme::Ras),
+        "rap" => Ok(Scheme::Rap),
+        "xor" => Ok(Scheme::Xor),
+        "padded" => Ok(Scheme::Padded),
+        other => Err(format!(
+            "unknown scheme '{other}' (expected raw|ras|rap|xor|padded)"
+        )),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<TransposeKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "crsw" => Ok(TransposeKind::Crsw),
+        "srcw" => Ok(TransposeKind::Srcw),
+        "drdw" => Ok(TransposeKind::Drdw),
+        other => Err(format!("unknown kind '{other}' (expected crsw|srcw|drdw)")),
+    }
+}
+
+fn parse_pattern(s: &str) -> Result<MatrixPattern, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "contiguous" => Ok(MatrixPattern::Contiguous),
+        "stride" => Ok(MatrixPattern::Stride),
+        "diagonal" => Ok(MatrixPattern::Diagonal),
+        "random" => Ok(MatrixPattern::Random),
+        other => Err(format!(
+            "unknown pattern '{other}' (expected contiguous|stride|diagonal|random)"
+        )),
+    }
+}
+
+/// Execute a command line (without the program name) and return the
+/// rendered output.
+///
+/// # Errors
+/// Returns a user-facing message for unknown commands or bad options.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(command) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let opts = Opts::parse(&args[1..]);
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "layout" => cmd_layout(&opts),
+        "congestion" => cmd_congestion(&opts),
+        "pattern" => cmd_pattern(&opts),
+        "transpose" => cmd_transpose(&opts),
+        "trace" => cmd_trace(&opts),
+        "permute" => cmd_permute(&opts),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn mapping_for(
+    opts: &Opts,
+    default_width: usize,
+) -> Result<(Box<dyn MatrixMapping>, usize), String> {
+    let scheme = parse_scheme(opts.required("scheme")?)?;
+    let width = opts.usize("width", default_width)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    if scheme == Scheme::Xor && !width.is_power_of_two() {
+        return Err("--scheme xor needs a power-of-two --width".into());
+    }
+    let seed = opts.u64("seed", 2014)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Ok((build_mapping(scheme, &mut rng, width), width))
+}
+
+fn cmd_layout(opts: &Opts) -> Result<String, String> {
+    let (mapping, _) = mapping_for(opts, 8)?;
+    Ok(render_layout(mapping.as_ref()))
+}
+
+fn cmd_congestion(opts: &Opts) -> Result<String, String> {
+    let width = opts.usize("width", 32)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    let raw = opts.required("addresses")?;
+    let addresses: Vec<u64> = raw
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .map_err(|_| format!("bad address '{t}' in --addresses"))
+        })
+        .collect::<Result<_, _>>()?;
+    let loads = BankLoads::analyze(width, &addresses);
+    Ok(render_bank_loads(&loads))
+}
+
+fn cmd_pattern(opts: &Opts) -> Result<String, String> {
+    let pattern = parse_pattern(opts.required("pattern")?)?;
+    let scheme = parse_scheme(opts.required("scheme")?)?;
+    let width = opts.usize("width", 32)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    let trials = opts.u64("trials", 1000)?.max(1);
+    let seed = opts.u64("seed", 2014)?;
+    let stats = match scheme {
+        Scheme::Raw | Scheme::Ras | Scheme::Rap => {
+            matrix_congestion(scheme, pattern, width, trials, &SeedDomain::new(seed))
+        }
+        // Deterministic layouts: evaluate the pattern directly.
+        Scheme::Xor | Scheme::Padded => {
+            if scheme == Scheme::Xor && !width.is_power_of_two() {
+                return Err("--scheme xor needs a power-of-two --width".into());
+            }
+            let mut stats = rap_stats::OnlineStats::new();
+            let n_trials = if pattern == MatrixPattern::Random { trials } else { 1 };
+            for t in 0..n_trials {
+                let mut rng = SeedDomain::new(seed).rng(t);
+                let mapping = build_mapping(scheme, &mut rng, width);
+                for warp in rap_access::matrix::generate(pattern, width, &mut rng) {
+                    stats.push_u32(rap_access::matrix::warp_congestion(
+                        mapping.as_ref(),
+                        &warp,
+                    ));
+                }
+            }
+            stats
+        }
+    };
+    Ok(format!(
+        "{pattern} access under {scheme}, w={width}, {trials} trials:\n\
+         expected congestion {:.4} (stderr {:.4}), range [{:.0}, {:.0}]\n",
+        stats.mean(),
+        stats.std_error(),
+        stats.min().unwrap_or(0.0),
+        stats.max().unwrap_or(0.0),
+    ))
+}
+
+fn cmd_transpose(opts: &Opts) -> Result<String, String> {
+    let kind = parse_kind(opts.required("kind")?)?;
+    let (mapping, width) = mapping_for(opts, 32)?;
+    let latency = opts.u64("latency", 8)?.max(1);
+    let data: Vec<f64> = (0..width * width).map(|x| x as f64).collect();
+    let run = run_transpose(kind, mapping.as_ref(), latency, &data);
+    Ok(format!(
+        "{kind} transpose of a {width}x{width} matrix under {} (DMM, l={latency}):\n\
+         cycles {}, read congestion {:.2}, write congestion {:.2}, verified: {}\n",
+        run.scheme,
+        run.report.cycles,
+        run.read_congestion(),
+        run.write_congestion(),
+        run.verified,
+    ))
+}
+
+fn cmd_trace(opts: &Opts) -> Result<String, String> {
+    let kind = parse_kind(opts.required("kind")?)?;
+    let (mapping, width) = mapping_for(opts, 8)?;
+    let latency = opts.u64("latency", 3)?.max(1);
+    let machine: Dmm = Machine::new(width, latency);
+    let program = transpose_program::<f64>(
+        kind,
+        mapping.as_ref(),
+        0,
+        mapping.storage_words() as u64,
+    );
+    let tl = dmm_trace(&machine, &program);
+    let mut out = tl.render();
+    out.push_str(&format!("total: {} cycles\n", tl.cycles()));
+    if opts.usize("gantt", 0)? > 0 {
+        out.push('\n');
+        out.push_str(&tl.render_gantt(opts.usize("gantt", 0)?));
+    }
+    Ok(out)
+}
+
+fn cmd_permute(opts: &Opts) -> Result<String, String> {
+    let width = opts.usize("width", 16)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    let latency = opts.u64("latency", 8)?.max(1);
+    let seed = opts.u64("seed", 2014)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = width * width;
+    let family = opts.required("family")?.to_ascii_lowercase();
+    let pi = match family.as_str() {
+        "identity" => rap_core::Permutation::identity(n),
+        "transpose" => transpose_permutation(width),
+        "random" => rap_core::Permutation::random(&mut rng, n),
+        "bitrev" => {
+            if !n.is_power_of_two() {
+                return Err("bitrev needs a power-of-two w²".into());
+            }
+            let bits = n.trailing_zeros();
+            rap_core::Permutation::from_table(
+                (0..n as u32).map(|t| t.reverse_bits() >> (32 - bits)).collect(),
+            )
+            .expect("bit reversal is a permutation")
+        }
+        other => {
+            return Err(format!(
+                "unknown family '{other}' (expected identity|transpose|random|bitrev)"
+            ))
+        }
+    };
+    let data: Vec<u64> = (0..n as u64).collect();
+    let mut out = format!("offline permutation '{family}' of {n} words, w={width}, l={latency}:\n");
+    for strategy in Strategy::all() {
+        let mapping = RapArrayMapping::random(&mut rng, width);
+        let run = run_permutation(strategy, width, &pi, latency, &data, Some(&mapping));
+        out.push_str(&format!(
+            "  {:<13} {:>7} cycles  max congestion {:>3}  verified {}\n",
+            strategy.name(),
+            run.report.cycles,
+            run.report.max_congestion(),
+            run.verified,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn help_and_empty() {
+        assert!(call(&["help"]).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap_err().contains("USAGE"));
+        assert!(call(&["bogus"]).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn layout_renders() {
+        let out = call(&["layout", "--scheme", "rap", "--width", "4", "--seed", "1"]).unwrap();
+        assert!(out.contains("RAP layout, w = 4"));
+        assert_eq!(out.lines().count(), 2 + 4);
+    }
+
+    #[test]
+    fn layout_requires_scheme() {
+        let err = call(&["layout", "--width", "4"]).unwrap_err();
+        assert!(err.contains("--scheme"));
+    }
+
+    #[test]
+    fn congestion_analyzes_lists() {
+        let out = call(&[
+            "congestion",
+            "--width",
+            "4",
+            "--addresses",
+            "0,4,8,1",
+        ])
+        .unwrap();
+        assert!(out.contains("congestion 3"));
+        let err = call(&["congestion", "--width", "4", "--addresses", "0,x"]).unwrap_err();
+        assert!(err.contains("bad address"));
+    }
+
+    #[test]
+    fn pattern_reports_expectation() {
+        let out = call(&[
+            "pattern", "--pattern", "stride", "--scheme", "rap", "--width", "16",
+            "--trials", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("expected congestion 1.0000"));
+        let raw = call(&[
+            "pattern", "--pattern", "stride", "--scheme", "raw", "--width", "16",
+            "--trials", "2",
+        ])
+        .unwrap();
+        assert!(raw.contains("expected congestion 16"));
+    }
+
+    #[test]
+    fn transpose_runs_and_verifies() {
+        let out = call(&[
+            "transpose", "--kind", "crsw", "--scheme", "rap", "--width", "8",
+            "--latency", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("verified: true"));
+        assert!(out.contains("write congestion 1.00"));
+    }
+
+    #[test]
+    fn trace_prints_timeline() {
+        let out = call(&["trace", "--kind", "drdw", "--scheme", "raw", "--width", "4"]).unwrap();
+        assert!(out.starts_with("start"));
+        assert!(out.contains("total:"));
+        assert!(!out.contains("cycles 0.."), "no gantt unless requested");
+    }
+
+    #[test]
+    fn trace_gantt_on_request() {
+        let out = call(&[
+            "trace", "--kind", "drdw", "--scheme", "raw", "--width", "4", "--gantt", "60",
+        ])
+        .unwrap();
+        assert!(out.contains("cycles 0.."));
+        assert!(out.contains("warp   0 |"));
+    }
+
+    #[test]
+    fn permute_compares_strategies() {
+        let out = call(&["permute", "--family", "transpose", "--width", "8"]).unwrap();
+        assert!(out.contains("Direct"));
+        assert!(out.contains("ConflictFree"));
+        assert!(out.contains("RAP"));
+        assert!(!out.contains("verified false"));
+    }
+
+    #[test]
+    fn modern_schemes_supported() {
+        let out = call(&["layout", "--scheme", "xor", "--width", "4"]).unwrap();
+        assert!(out.contains("XOR layout"));
+        let out = call(&["pattern", "--pattern", "stride", "--scheme", "padded", "--width", "8"])
+            .unwrap();
+        assert!(out.contains("expected congestion 1.0000"));
+        let out = call(&[
+            "transpose", "--kind", "crsw", "--scheme", "xor", "--width", "8", "--latency", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("verified: true"));
+        let err = call(&["layout", "--scheme", "xor", "--width", "12"]).unwrap_err();
+        assert!(err.contains("power-of-two"));
+    }
+
+    #[test]
+    fn bad_enum_values_reported() {
+        assert!(call(&["transpose", "--kind", "zzz", "--scheme", "raw"])
+            .unwrap_err()
+            .contains("unknown kind"));
+        assert!(call(&["layout", "--scheme", "zzz"])
+            .unwrap_err()
+            .contains("unknown scheme"));
+        assert!(call(&["pattern", "--pattern", "zzz", "--scheme", "raw"])
+            .unwrap_err()
+            .contains("unknown pattern"));
+        assert!(call(&["permute", "--family", "zzz"])
+            .unwrap_err()
+            .contains("unknown family"));
+    }
+
+    #[test]
+    fn numeric_validation() {
+        assert!(call(&["layout", "--scheme", "raw", "--width", "abc"])
+            .unwrap_err()
+            .contains("expected a number"));
+        assert!(call(&["layout", "--scheme", "raw", "--width", "0"])
+            .unwrap_err()
+            .contains("positive"));
+    }
+}

@@ -1,0 +1,12 @@
+//! The `rap` binary: see [`rap_cli::USAGE`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match rap_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}

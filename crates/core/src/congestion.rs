@@ -1,0 +1,220 @@
+//! Memory access congestion — the paper's central cost metric.
+//!
+//! For a warp of `w` threads issuing one memory request each, the
+//! **congestion** is the maximum, over the `w` banks, of the number of
+//! *unique* addresses requested in that bank (paper §II). Two rules from
+//! the DMM's CRCW semantics matter:
+//!
+//! 1. requests to the **same address are merged** and count once (so a
+//!    full-warp broadcast has congestion 1);
+//! 2. distinct addresses in the same bank serialize (congestion `c` costs
+//!    `c` pipeline slots).
+//!
+//! Congestion of a non-empty access is therefore in `1..=w`.
+
+use serde::{Deserialize, Serialize};
+
+/// Bank of a flat address on a machine with `width` banks.
+///
+/// # Panics
+/// Panics (in debug builds via the division) if `width == 0`.
+#[inline]
+#[must_use]
+pub fn bank_of(width: usize, address: u64) -> u32 {
+    (address % width as u64) as u32
+}
+
+/// Per-bank unique-request loads plus the merged request list of one warp
+/// access.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankLoads {
+    width: usize,
+    loads: Vec<u32>,
+    unique_requests: usize,
+}
+
+impl BankLoads {
+    /// Analyze one warp access given the flat physical addresses requested
+    /// by its threads. Duplicate addresses are merged (CRCW).
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn analyze(width: usize, addresses: &[u64]) -> Self {
+        assert!(width > 0, "machine width must be positive");
+        let mut sorted: Vec<u64> = addresses.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut loads = vec![0u32; width];
+        for &a in &sorted {
+            loads[(a % width as u64) as usize] += 1;
+        }
+        Self {
+            width,
+            unique_requests: sorted.len(),
+            loads,
+        }
+    }
+
+    /// The congestion: maximum unique-request count over banks (0 for an
+    /// empty access).
+    #[must_use]
+    pub fn congestion(&self) -> u32 {
+        self.loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Unique-request count of a specific bank.
+    ///
+    /// # Panics
+    /// Panics if `bank ≥ width`.
+    #[must_use]
+    pub fn load(&self, bank: u32) -> u32 {
+        self.loads[bank as usize]
+    }
+
+    /// All per-bank loads.
+    #[must_use]
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Number of distinct addresses after CRCW merging.
+    #[must_use]
+    pub fn unique_requests(&self) -> usize {
+        self.unique_requests
+    }
+
+    /// Number of banks receiving at least one request.
+    #[must_use]
+    pub fn busy_banks(&self) -> usize {
+        self.loads.iter().filter(|&&l| l > 0).count()
+    }
+
+    /// Whether the access is conflict-free (congestion ≤ 1).
+    #[must_use]
+    pub fn is_conflict_free(&self) -> bool {
+        self.congestion() <= 1
+    }
+
+    /// Machine width used for the analysis.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Congestion of one warp access (convenience wrapper over
+/// [`BankLoads::analyze`]).
+#[must_use]
+pub fn congestion(width: usize, addresses: &[u64]) -> u32 {
+    BankLoads::analyze(width, addresses).congestion()
+}
+
+/// Whether a warp access is conflict-free.
+#[must_use]
+pub fn is_conflict_free(width: usize, addresses: &[u64]) -> bool {
+    congestion(width, addresses) <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_of_wraps() {
+        assert_eq!(bank_of(4, 0), 0);
+        assert_eq!(bank_of(4, 5), 1);
+        assert_eq!(bank_of(4, 15), 3);
+        assert_eq!(bank_of(32, 1024), 0);
+    }
+
+    #[test]
+    fn empty_access_is_zero() {
+        let b = BankLoads::analyze(8, &[]);
+        assert_eq!(b.congestion(), 0);
+        assert_eq!(b.unique_requests(), 0);
+        assert_eq!(b.busy_banks(), 0);
+        assert!(b.is_conflict_free());
+    }
+
+    /// Paper Figure 2 (1): requests to distinct banks → congestion 1.
+    #[test]
+    fn figure2_case1_distinct_banks() {
+        // w = 4; addresses 0, 5, 10, 15 are in banks 0, 1, 2, 3.
+        let b = BankLoads::analyze(4, &[0, 5, 10, 15]);
+        assert_eq!(b.congestion(), 1);
+        assert!(b.is_conflict_free());
+        assert_eq!(b.busy_banks(), 4);
+    }
+
+    /// Paper Figure 2 (2): all requests to the same bank → congestion w.
+    #[test]
+    fn figure2_case2_same_bank() {
+        let b = BankLoads::analyze(4, &[0, 4, 8, 12]);
+        assert_eq!(b.congestion(), 4);
+        assert_eq!(b.load(0), 4);
+        assert_eq!(b.busy_banks(), 1);
+    }
+
+    /// Paper Figure 2 (3): all threads access the same address → merged,
+    /// congestion 1.
+    #[test]
+    fn figure2_case3_broadcast_merges() {
+        let b = BankLoads::analyze(4, &[7, 7, 7, 7]);
+        assert_eq!(b.congestion(), 1);
+        assert_eq!(b.unique_requests(), 1);
+    }
+
+    #[test]
+    fn partial_merge() {
+        // Two threads share address 3, two more hit addresses 7 and 11 —
+        // banks 3, 3, 3 after merge → loads [0,0,0,3].
+        let b = BankLoads::analyze(4, &[3, 3, 7, 11]);
+        assert_eq!(b.unique_requests(), 3);
+        assert_eq!(b.congestion(), 3);
+        assert_eq!(b.loads(), &[0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn mixed_banks_max_is_taken() {
+        // Bank 0: addresses 0, 8 (2 unique); bank 1: address 1 (1).
+        let b = BankLoads::analyze(4, &[0, 8, 1]);
+        assert_eq!(b.congestion(), 2);
+        assert_eq!(b.load(0), 2);
+        assert_eq!(b.load(1), 1);
+        assert_eq!(b.load(2), 0);
+    }
+
+    #[test]
+    fn convenience_wrappers_agree() {
+        let addrs = [0u64, 4, 8, 1, 2];
+        assert_eq!(
+            congestion(4, &addrs),
+            BankLoads::analyze(4, &addrs).congestion()
+        );
+        assert!(!is_conflict_free(4, &addrs));
+        assert!(is_conflict_free(4, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn congestion_bounded_by_warp_size_and_width() {
+        // 32 requests into width 8: congestion ≤ 32 but also each bank sees
+        // ≤ 32 unique addresses; with addresses 0..32 each bank gets 4.
+        let addrs: Vec<u64> = (0..32).collect();
+        let b = BankLoads::analyze(8, &addrs);
+        assert_eq!(b.congestion(), 4);
+        assert_eq!(b.busy_banks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _ = BankLoads::analyze(0, &[1]);
+    }
+
+    #[test]
+    fn width_one_serializes_everything() {
+        let b = BankLoads::analyze(1, &[10, 20, 30]);
+        assert_eq!(b.congestion(), 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Human-readable layout and congestion diagnostics.
+//!
+//! The paper explains RAP with pictures (Figure 6: the physical
+//! arrangement after the permute-shift; Figure 2: per-bank loads). These
+//! renderers produce the same views as text, for docs, examples, and
+//! debugging: [`render_layout`] shows which logical element sits in each
+//! physical slot, and [`render_bank_loads`] draws a per-bank load bar
+//! for one warp access.
+
+use crate::congestion::BankLoads;
+use crate::mapping::MatrixMapping;
+
+/// Render the physical arrangement of a `w × w` matrix under `mapping`:
+/// one line per physical row, each column being a bank, showing the
+/// *logical* element index (`i·w + j`) stored there — the paper's
+/// Figure 6 as text.
+///
+/// # Panics
+/// Panics if the mapping is not injective over the matrix (would
+/// indicate a broken implementation).
+#[must_use]
+pub fn render_layout(mapping: &dyn MatrixMapping) -> String {
+    let w = mapping.width() as u32;
+    let cells = (w * w) as usize;
+    let mut physical: Vec<Option<u32>> = vec![None; cells];
+    for i in 0..w {
+        for j in 0..w {
+            let a = mapping.address(i, j) as usize;
+            assert!(
+                physical[a].is_none(),
+                "mapping is not injective at address {a}"
+            );
+            physical[a] = Some(i * w + j);
+        }
+    }
+    let width = ((cells.max(2) - 1) as f64).log10() as usize + 1;
+    let mut out = String::new();
+    out.push_str(&format!("{} layout, w = {w}:\n", mapping.scheme()));
+    out.push_str(&format!("{:>pad$}", "", pad = 6));
+    for b in 0..w {
+        out.push_str(&format!(" B{b:<width$}"));
+    }
+    out.push('\n');
+    for row in 0..w {
+        out.push_str(&format!("row {row:>2}"));
+        for col in 0..w {
+            let v = physical[(row * w + col) as usize].expect("bijective");
+            out.push_str(&format!(" {v:>width$} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the per-bank unique-request loads of one warp access as a bar
+/// chart (the view of the paper's Figure 2).
+#[must_use]
+pub fn render_bank_loads(loads: &BankLoads) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "congestion {} over {} banks ({} unique requests)\n",
+        loads.congestion(),
+        loads.width(),
+        loads.unique_requests()
+    ));
+    for (bank, &load) in loads.loads().iter().enumerate() {
+        out.push_str(&format!(
+            "bank {bank:>3} | {:<width$} {load}\n",
+            "#".repeat(load as usize),
+            width = loads.congestion() as usize
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RowShift;
+    use crate::permutation::Permutation;
+
+    #[test]
+    fn raw_layout_is_sequential() {
+        let s = render_layout(&RowShift::raw(4));
+        // Physical row 0 holds logical 0..3 in order under RAW.
+        let row0 = s.lines().nth(2).unwrap();
+        assert!(row0.contains("row  0"));
+        let nums: Vec<&str> = row0.split_whitespace().skip(2).collect();
+        assert_eq!(nums, vec!["0", "1", "2", "3"]);
+    }
+
+    #[test]
+    fn figure6_layout_renders_rotations() {
+        // Paper Figure 6: σ = (2, 0, 3, 1) → physical row 0 holds logical
+        // (2 3 0 1) — logical column (c − 2) mod 4 at physical column c.
+        let sigma = Permutation::from_table(vec![2, 0, 3, 1]).unwrap();
+        let s = render_layout(&RowShift::rap_from(sigma));
+        let row0 = s.lines().nth(2).unwrap();
+        let nums: Vec<&str> = row0.split_whitespace().skip(2).collect();
+        assert_eq!(nums, vec!["2", "3", "0", "1"]);
+    }
+
+    #[test]
+    fn bank_loads_render() {
+        let loads = BankLoads::analyze(4, &[0, 4, 8, 1]);
+        let s = render_bank_loads(&loads);
+        assert!(s.contains("congestion 3"));
+        assert!(s.contains("bank   0 | ###"));
+        assert!(s.contains("bank   2 |"));
+    }
+
+    #[test]
+    fn layout_works_for_nontrivial_widths() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let s = render_layout(&RowShift::rap(&mut rng, 32));
+        assert_eq!(s.lines().count(), 2 + 32);
+    }
+}

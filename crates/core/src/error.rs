@@ -1,0 +1,95 @@
+//! Error types for the core crate.
+
+use std::fmt;
+
+/// Errors produced while constructing mappings and permutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A table passed to [`crate::Permutation::from_table`] was not a
+    /// bijection on `{0..len}`.
+    NotAPermutation {
+        /// Expected domain size.
+        len: usize,
+        /// The offending value (duplicate or out of range).
+        value: u32,
+    },
+    /// A width parameter was invalid (zero, or not a power of two where one
+    /// is required by the packed-register layout).
+    InvalidWidth {
+        /// The rejected width.
+        width: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A shift value does not fit in the packed bit layout.
+    ShiftOutOfRange {
+        /// The rejected shift.
+        shift: u32,
+        /// Maximum representable shift.
+        max: u32,
+    },
+    /// A mapping was asked about coordinates outside its domain.
+    IndexOutOfBounds {
+        /// The rejected linear or component index.
+        index: usize,
+        /// The domain bound.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NotAPermutation { len, value } => write!(
+                f,
+                "table is not a permutation of 0..{len}: offending value {value}"
+            ),
+            CoreError::InvalidWidth { width, reason } => {
+                write!(f, "invalid width {width}: {reason}")
+            }
+            CoreError::ShiftOutOfRange { shift, max } => {
+                write!(f, "shift {shift} exceeds packed maximum {max}")
+            }
+            CoreError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for domain of size {bound}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::NotAPermutation { len: 4, value: 9 };
+        assert!(e.to_string().contains("0..4"));
+        assert!(e.to_string().contains('9'));
+
+        let e = CoreError::InvalidWidth {
+            width: 0,
+            reason: "width must be positive",
+        };
+        assert!(e.to_string().contains("width must be positive"));
+
+        let e = CoreError::ShiftOutOfRange { shift: 40, max: 31 };
+        assert!(e.to_string().contains("40"));
+        assert!(e.to_string().contains("31"));
+
+        let e = CoreError::IndexOutOfBounds { index: 5, bound: 4 };
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::InvalidWidth {
+            width: 3,
+            reason: "not a power of two",
+        });
+    }
+}

@@ -1,0 +1,319 @@
+//! Generic N-dimensional RAP — the natural generalization of the paper's
+//! 3P scheme (§VII) to arrays of shape `wⁿ`.
+//!
+//! The paper works out the 4-D case in detail and concludes that using one
+//! independent random permutation per non-innermost axis ("3P" for `n = 4`)
+//! is the best trade-off. This module implements that scheme for arbitrary
+//! `n ≥ 2`, which we call **(n−1)P**: element `(d_{n−1}, …, d_1, d_0)` maps
+//! to bank `(d_0 + Σ_{k=1}^{n−1} σ_k(d_k)) mod w`. For `n = 2` it
+//! degenerates to the matrix RAP of §IV.
+//!
+//! This is an *extension* beyond the paper's evaluation — the paper states
+//! the pattern but only evaluates `n = 4`; we provide it as a library
+//! feature and verify the invariants (bijectivity, per-axis stride
+//! conflict-freedom) by property tests.
+
+use crate::error::CoreError;
+use crate::permutation::Permutation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Scheme of an N-dimensional mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeNd {
+    /// Straightforward layout.
+    Raw,
+    /// Independent random shift per innermost row (`w^{n−1}` values).
+    Ras,
+    /// One independent permutation per non-innermost axis (`(n−1)·w`
+    /// values) — the generalized 3P.
+    PerAxisPermutations,
+}
+
+impl SchemeNd {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeNd::Raw => "RAW",
+            SchemeNd::Ras => "RAS",
+            SchemeNd::PerAxisPermutations => "(n-1)P",
+        }
+    }
+}
+
+/// Shift payload of [`MappingNd`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum NdData {
+    None,
+    PerRow(Vec<u32>),
+    PerAxis(Vec<Permutation>),
+}
+
+/// An address mapping for an `n`-dimensional array of shape `w × … × w`.
+///
+/// Coordinates are given outermost-first: `coords[0]` is the slowest-varying
+/// index, `coords[n−1]` the innermost (contiguous) one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingNd {
+    width: u32,
+    ndim: usize,
+    scheme: SchemeNd,
+    data: NdData,
+}
+
+impl MappingNd {
+    /// Build a mapping for an `ndim`-dimensional array of extent `width`
+    /// per axis.
+    ///
+    /// # Errors
+    /// * [`CoreError::InvalidWidth`] if `width == 0` or `ndim < 2`, or if
+    ///   the total element count `w^n` would overflow `u64`.
+    pub fn new<R: Rng + ?Sized>(
+        scheme: SchemeNd,
+        rng: &mut R,
+        width: usize,
+        ndim: usize,
+    ) -> Result<Self, CoreError> {
+        if width == 0 {
+            return Err(CoreError::InvalidWidth {
+                width,
+                reason: "N-D mapping width must be positive",
+            });
+        }
+        if ndim < 2 {
+            return Err(CoreError::InvalidWidth {
+                width: ndim,
+                reason: "N-D mapping needs at least 2 dimensions",
+            });
+        }
+        // Reject shapes whose flat size overflows u64.
+        let mut total: u64 = 1;
+        for _ in 0..ndim {
+            total = total.checked_mul(width as u64).ok_or(CoreError::InvalidWidth {
+                width,
+                reason: "w^n overflows u64",
+            })?;
+        }
+        let w = width as u32;
+        let data = match scheme {
+            SchemeNd::Raw => NdData::None,
+            SchemeNd::Ras => {
+                let rows = (total / u64::from(w)) as usize;
+                NdData::PerRow((0..rows).map(|_| rng.gen_range(0..w)).collect())
+            }
+            SchemeNd::PerAxisPermutations => NdData::PerAxis(
+                (0..ndim - 1)
+                    .map(|_| Permutation::random(rng, width))
+                    .collect(),
+            ),
+        };
+        Ok(Self {
+            width: w,
+            ndim,
+            scheme,
+            data,
+        })
+    }
+
+    /// Per-axis extent `w`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+
+    /// Number of dimensions `n`.
+    #[must_use]
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// The scheme identifier.
+    #[must_use]
+    pub fn scheme(&self) -> SchemeNd {
+        self.scheme
+    }
+
+    /// Number of stored random values.
+    #[must_use]
+    pub fn random_number_count(&self) -> usize {
+        match &self.data {
+            NdData::None => 0,
+            NdData::PerRow(rows) => rows.len(),
+            NdData::PerAxis(perms) => perms.len() * self.width as usize,
+        }
+    }
+
+    /// Index of the innermost row containing `coords` (flat address divided
+    /// by `w`).
+    fn row_index(&self, coords: &[u32]) -> u64 {
+        let w = u64::from(self.width);
+        coords[..self.ndim - 1]
+            .iter()
+            .fold(0u64, |acc, &c| acc * w + u64::from(c))
+    }
+
+    /// The shift applied to the innermost index at the given outer
+    /// coordinates.
+    #[must_use]
+    pub fn shift(&self, coords: &[u32]) -> u32 {
+        match &self.data {
+            NdData::None => 0,
+            NdData::PerRow(rows) => rows[self.row_index(coords) as usize],
+            NdData::PerAxis(perms) => coords[..self.ndim - 1]
+                .iter()
+                .zip(perms)
+                .map(|(&c, p)| p.apply(c))
+                .sum(),
+        }
+    }
+
+    /// Physical flat address of the element at `coords`
+    /// (outermost-first, length `ndim`, every coordinate `< w`).
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != ndim` or any coordinate is out of range.
+    #[must_use]
+    pub fn address(&self, coords: &[u32]) -> u64 {
+        assert_eq!(coords.len(), self.ndim, "coordinate arity mismatch");
+        assert!(
+            coords.iter().all(|&c| c < self.width),
+            "coordinate out of range"
+        );
+        let w = u64::from(self.width);
+        let row = self.row_index(coords);
+        let d0 = coords[self.ndim - 1];
+        let rotated = (u64::from(d0) + u64::from(self.shift(coords))) % w;
+        row * w + rotated
+    }
+
+    /// Bank of the element at `coords`.
+    #[must_use]
+    pub fn bank(&self, coords: &[u32]) -> u32 {
+        (self.address(coords) % u64::from(self.width)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn validation() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(MappingNd::new(SchemeNd::Raw, &mut rng, 0, 3).is_err());
+        assert!(MappingNd::new(SchemeNd::Raw, &mut rng, 4, 1).is_err());
+        assert!(MappingNd::new(SchemeNd::Raw, &mut rng, 4, 3).is_ok());
+        // 2^64 elements overflows
+        assert!(MappingNd::new(SchemeNd::Raw, &mut rng, 2, 65).is_err());
+    }
+
+    #[test]
+    fn raw_matches_row_major() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = MappingNd::new(SchemeNd::Raw, &mut rng, 3, 3).unwrap();
+        assert_eq!(m.address(&[0, 0, 0]), 0);
+        assert_eq!(m.address(&[0, 0, 2]), 2);
+        assert_eq!(m.address(&[0, 1, 0]), 3);
+        assert_eq!(m.address(&[1, 0, 0]), 9);
+        assert_eq!(m.address(&[2, 2, 2]), 26);
+    }
+
+    #[test]
+    fn degenerates_to_matrix_rap_for_n2() {
+        use crate::mapping::{MatrixMapping, RowShift};
+        let mut rng = SmallRng::seed_from_u64(2);
+        let nd = MappingNd::new(SchemeNd::PerAxisPermutations, &mut rng, 8, 2).unwrap();
+        // Reconstruct the matrix RAP with the same permutation.
+        let sigma = match &nd.data {
+            NdData::PerAxis(p) => p[0].clone(),
+            _ => unreachable!(),
+        };
+        let matrix = RowShift::rap_from(sigma);
+        for i in 0..8u32 {
+            for j in 0..8u32 {
+                assert_eq!(u64::from(matrix.address(i, j)), nd.address(&[i, j]));
+            }
+        }
+    }
+
+    fn assert_bijective(m: &MappingNd, w: u32, n: usize) {
+        // enumerate all coordinates via mixed-radix counting
+        let total = (w as u64).pow(n as u32);
+        let mut seen = HashSet::new();
+        let mut coords = vec![0u32; n];
+        for _ in 0..total {
+            assert!(seen.insert(m.address(&coords)));
+            // increment
+            for k in (0..n).rev() {
+                coords[k] += 1;
+                if coords[k] < w {
+                    break;
+                }
+                coords[k] = 0;
+            }
+        }
+        assert_eq!(seen.len() as u64, total);
+        assert!(seen.iter().all(|&a| a < total));
+    }
+
+    #[test]
+    fn all_schemes_bijective_3d() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for scheme in [SchemeNd::Raw, SchemeNd::Ras, SchemeNd::PerAxisPermutations] {
+            let m = MappingNd::new(scheme, &mut rng, 4, 3).unwrap();
+            assert_bijective(&m, 4, 3);
+        }
+    }
+
+    #[test]
+    fn per_axis_strides_conflict_free_5d() {
+        let w = 8u32;
+        let n = 5usize;
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = MappingNd::new(SchemeNd::PerAxisPermutations, &mut rng, w as usize, n).unwrap();
+        let base = [3u32, 1, 4, 1, 5];
+        // Varying any single axis (including the innermost) sweeps all w
+        // banks exactly once.
+        for axis in 0..n {
+            let banks: HashSet<u32> = (0..w)
+                .map(|v| {
+                    let mut c = base;
+                    c[axis] = v;
+                    m.bank(&c)
+                })
+                .collect();
+            assert_eq!(banks.len(), w as usize, "axis {axis} must be conflict-free");
+        }
+    }
+
+    #[test]
+    fn random_number_counts() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let raw = MappingNd::new(SchemeNd::Raw, &mut rng, 8, 4).unwrap();
+        assert_eq!(raw.random_number_count(), 0);
+        let ras = MappingNd::new(SchemeNd::Ras, &mut rng, 8, 4).unwrap();
+        assert_eq!(ras.random_number_count(), 512); // 8³ rows
+        let kp = MappingNd::new(SchemeNd::PerAxisPermutations, &mut rng, 8, 4).unwrap();
+        assert_eq!(kp.random_number_count(), 24); // 3 axes × 8
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let m = MappingNd::new(SchemeNd::Raw, &mut rng, 4, 3).unwrap();
+        let _ = m.address(&[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_coordinate_panics() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = MappingNd::new(SchemeNd::Raw, &mut rng, 4, 3).unwrap();
+        let _ = m.address(&[0, 4, 0]);
+    }
+}

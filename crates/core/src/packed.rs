@@ -1,0 +1,228 @@
+//! Register packing of the shift table (paper Figure 7).
+//!
+//! On the GPU, the per-row shifts `σ_0 … σ_{w−1}` must be available to every
+//! thread without spending shared memory (which would itself incur bank
+//! conflicts). The paper packs them into a small array of 32-bit local
+//! registers: for `w = 32` each shift needs 5 bits, so **6 shifts fit per
+//! register** and the whole table occupies `r[0..6]`. Thread code then
+//! recovers shift `i` as
+//!
+//! ```c
+//! (r[i/6] >> (5 * (i % 6))) & 0x1f      // paper §VI CUDA listing
+//! ```
+//!
+//! [`PackedShifts`] reproduces that exact bit layout for any power-of-two
+//! width, and the GPU simulator charges the same shift/mask ALU operations
+//! that the real kernel executes.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// A shift table packed into 32-bit words, `32 / bits` values per word
+/// (least-significant field first), where `bits = log2(width)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedShifts {
+    width: u32,
+    bits: u32,
+    per_word: u32,
+    words: Vec<u32>,
+    len: u32,
+}
+
+impl PackedShifts {
+    /// Pack `shifts` (each `< width`) for a machine of power-of-two `width`.
+    ///
+    /// # Errors
+    /// * [`CoreError::InvalidWidth`] if `width` is 0, 1, or not a power of
+    ///   two (the bit layout needs a fixed field size `log2 w ≥ 1`);
+    /// * [`CoreError::ShiftOutOfRange`] if any shift is `≥ width`.
+    pub fn pack(width: usize, shifts: &[u32]) -> Result<Self, CoreError> {
+        if width < 2 || !width.is_power_of_two() {
+            return Err(CoreError::InvalidWidth {
+                width,
+                reason: "packed layout requires a power-of-two width ≥ 2",
+            });
+        }
+        let w = width as u32;
+        if let Some(&bad) = shifts.iter().find(|&&s| s >= w) {
+            return Err(CoreError::ShiftOutOfRange {
+                shift: bad,
+                max: w - 1,
+            });
+        }
+        let bits = w.trailing_zeros(); // log2(width)
+        let per_word = 32 / bits;
+        let n_words = (shifts.len() as u32).div_ceil(per_word);
+        let mut words = vec![0u32; n_words as usize];
+        for (i, &s) in shifts.iter().enumerate() {
+            let word = i as u32 / per_word;
+            let field = i as u32 % per_word;
+            words[word as usize] |= s << (bits * field);
+        }
+        Ok(Self {
+            width: w,
+            bits,
+            per_word,
+            words,
+            len: shifts.len() as u32,
+        })
+    }
+
+    /// Unpack shift `i` — the Rust equivalent of the paper's
+    /// `(r[i/6] >> (5*(i%6))) & 0x1f` for `w = 32`.
+    ///
+    /// # Panics
+    /// Panics if `i ≥ len`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: u32) -> u32 {
+        assert!(i < self.len, "shift index {i} out of range {}", self.len);
+        let mask = self.width - 1;
+        (self.words[(i / self.per_word) as usize] >> (self.bits * (i % self.per_word))) & mask
+    }
+
+    /// Number of packed shift values.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per shift field (`log2(width)`).
+    #[must_use]
+    pub fn bits_per_shift(&self) -> u32 {
+        self.bits
+    }
+
+    /// Shift fields per 32-bit register (6 for `w = 32`, matching Figure 7).
+    #[must_use]
+    pub fn shifts_per_word(&self) -> u32 {
+        self.per_word
+    }
+
+    /// The raw register words (`r[*]` in the paper).
+    #[must_use]
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Number of 32-bit registers consumed.
+    #[must_use]
+    pub fn register_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Unpack the whole table.
+    #[must_use]
+    pub fn unpack(&self) -> Vec<u32> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure7_layout_w32() {
+        // w = 32 → 5-bit fields, 6 per word, 32 shifts need 6 registers —
+        // exactly the paper's `int r[6]`.
+        let shifts: Vec<u32> = (0..32).map(|i| (i * 7 + 3) % 32).collect();
+        let p = PackedShifts::pack(32, &shifts).unwrap();
+        assert_eq!(p.bits_per_shift(), 5);
+        assert_eq!(p.shifts_per_word(), 6);
+        assert_eq!(p.register_count(), 6);
+        assert_eq!(p.unpack(), shifts);
+    }
+
+    #[test]
+    fn matches_paper_cuda_expression() {
+        // The paper's expression, transcribed literally for w = 32:
+        // (r[i/6] >> (5*(i%6))) & 0x1f
+        let shifts: Vec<u32> = (0..32).map(|i| (31 - i) % 32).collect();
+        let p = PackedShifts::pack(32, &shifts).unwrap();
+        let r = p.words();
+        for i in 0..32u32 {
+            let cuda = (r[(i / 6) as usize] >> (5 * (i % 6))) & 0x1f;
+            assert_eq!(cuda, p.get(i), "mismatch at i={i}");
+            assert_eq!(cuda, shifts[i as usize]);
+        }
+    }
+
+    #[test]
+    fn various_widths_roundtrip() {
+        for width in [2usize, 4, 8, 16, 64, 128, 256] {
+            let shifts: Vec<u32> = (0..width as u32).map(|i| i % width as u32).collect();
+            let p = PackedShifts::pack(width, &shifts).unwrap();
+            assert_eq!(p.unpack(), shifts, "roundtrip failed for w={width}");
+            assert_eq!(p.len(), width as u32);
+        }
+    }
+
+    #[test]
+    fn register_counts_by_width() {
+        // w=16: 4-bit fields, 8 per word → 2 registers for 16 shifts.
+        let p = PackedShifts::pack(16, &[0; 16]).unwrap();
+        assert_eq!(p.register_count(), 2);
+        // w=64: 6-bit fields, 5 per word → 13 registers for 64 shifts.
+        let p = PackedShifts::pack(64, &vec![0; 64]).unwrap();
+        assert_eq!(p.shifts_per_word(), 5);
+        assert_eq!(p.register_count(), 13);
+        // w=256: 8-bit fields, 4 per word → 64 registers.
+        let p = PackedShifts::pack(256, &vec![0; 256]).unwrap();
+        assert_eq!(p.register_count(), 64);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(
+            PackedShifts::pack(24, &[0]),
+            Err(CoreError::InvalidWidth { width: 24, .. })
+        ));
+        assert!(matches!(
+            PackedShifts::pack(0, &[]),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+        assert!(matches!(
+            PackedShifts::pack(1, &[0]),
+            Err(CoreError::InvalidWidth { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_shift() {
+        assert!(matches!(
+            PackedShifts::pack(8, &[7, 8]),
+            Err(CoreError::ShiftOutOfRange { shift: 8, max: 7 })
+        ));
+    }
+
+    #[test]
+    fn empty_table() {
+        let p = PackedShifts::pack(32, &[]).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.register_count(), 0);
+        assert_eq!(p.unpack(), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let p = PackedShifts::pack(32, &[1, 2]).unwrap();
+        let _ = p.get(2);
+    }
+
+    #[test]
+    fn partial_last_word() {
+        // 7 shifts at w=32: fits in 2 words (6 + 1).
+        let shifts = [1u32, 2, 3, 4, 5, 6, 7];
+        let p = PackedShifts::pack(32, &shifts).unwrap();
+        assert_eq!(p.register_count(), 2);
+        assert_eq!(p.unpack(), shifts);
+    }
+}

@@ -1,0 +1,313 @@
+//! Theoretical congestion bounds (paper §IV) and the qualitative
+//! classifications of Tables I and IV.
+//!
+//! The paper's Theorem 2 states that under RAP the congestion of *any*
+//! warp access is `O(log w / log log w)` in expectation. The proof splits
+//! the warp into two half-warps and applies a Chernoff bound (Theorem 3)
+//! per bank:
+//!
+//! * Lemma 4: for one bank and one half-warp,
+//!   `Pr[X ≥ T] ≤ 1/w²` with threshold `T = 2e·ln w / ln ln w`
+//!   (the mean `μ = E[X] ≤ 1`, and `(1+δ) = T` makes the Chernoff exponent
+//!   at most `−2 ln w`);
+//! * union bound over `w` banks: `Pr[congestion ≥ T] ≤ 1/w`;
+//! * therefore `E[half-warp congestion] ≤ T + (w/2)·(1/w) = T + 1/2`, and a
+//!   full warp is at most the sum of its halves:
+//!   `E[congestion] ≤ 2T + 1`.
+//!
+//! These bounds are *asymptotic*; for practical `w` the measured congestion
+//! (Table II: ~3.5 at `w = 32`) is far below them. The `malicious_bound`
+//! bench quantifies the slack.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::E;
+
+/// `ln w / ln ln w` — the balls-into-bins max-load growth rate.
+///
+/// # Panics
+/// Panics if `w < 3` (for `w ≤ 2`, `ln ln w ≤ 0` and the expression is
+/// meaningless).
+#[must_use]
+pub fn log_ratio(w: usize) -> f64 {
+    assert!(w >= 3, "log_ratio requires w ≥ 3, got {w}");
+    let lw = (w as f64).ln();
+    lw / lw.ln()
+}
+
+/// Lemma 4's threshold `T = 2e · ln w / ln ln w`.
+///
+/// # Panics
+/// Panics if `w < 3`.
+#[must_use]
+pub fn lemma4_threshold(w: usize) -> f64 {
+    2.0 * E * log_ratio(w)
+}
+
+/// Theorem 2's explicit expected-congestion bound for a full warp:
+/// `E[congestion] ≤ 2T + 1` with `T` from [`lemma4_threshold`].
+///
+/// ```
+/// // At w = 32 the bound is ~31.3 — loose (the measured expectation is
+/// // ~3.5), but finite and sub-logarithmic in growth.
+/// let b = rap_core::theory::theorem2_expected_bound(32);
+/// assert!(b > 30.0 && b < 32.0);
+/// ```
+///
+/// # Panics
+/// Panics if `w < 3`.
+#[must_use]
+pub fn theorem2_expected_bound(w: usize) -> f64 {
+    2.0 * lemma4_threshold(w) + 1.0
+}
+
+/// The Chernoff tail `Pr[X ≥ (1+δ)μ] ≤ (e^δ / (1+δ)^{1+δ})^μ`
+/// (paper Theorem 3, from Motwani & Raghavan), evaluated in the log domain
+/// for numerical stability.
+///
+/// # Panics
+/// Panics if `mu < 0` or `delta < 0`.
+#[must_use]
+pub fn chernoff_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0 && delta >= 0.0, "chernoff_tail needs μ, δ ≥ 0");
+    if mu == 0.0 {
+        return 1.0; // the bound is vacuous at μ = 0
+    }
+    let one_plus = 1.0 + delta;
+    let ln_bound = mu * (delta - one_plus * one_plus.ln());
+    ln_bound.exp().min(1.0)
+}
+
+/// The per-bank tail probability promised by Lemma 4:
+/// `Pr[X ≥ T] ≤ chernoff_tail(1, T−1)`, which the lemma shows is `≤ w⁻²`.
+///
+/// # Panics
+/// Panics if `w < 3`.
+#[must_use]
+pub fn lemma4_tail(w: usize) -> f64 {
+    chernoff_tail(1.0, lemma4_threshold(w) - 1.0)
+}
+
+/// Qualitative congestion class of a (scheme, access pattern) pair, as the
+/// paper tabulates in Tables I and IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionClass {
+    /// Deterministically conflict-free (congestion exactly 1).
+    One,
+    /// `Θ(log w / log log w)` expected (balls-into-bins max load).
+    MaxLoad,
+    /// R1P under a scheme-aware adversary:
+    /// `6·Θ(log(w/6) / log log(w/6))` expected.
+    GroupedMaxLoad,
+    /// Worst case `w`: the whole warp serializes on one bank.
+    Full,
+}
+
+impl CongestionClass {
+    /// A numeric *reference scale* for the class at width `w` — exact for
+    /// [`One`](Self::One) and [`Full`](Self::Full), the leading-order
+    /// asymptote otherwise. Used by the bench harness to sanity-order
+    /// measured values; not a rigorous bound.
+    ///
+    /// # Panics
+    /// Panics if `w < 3` (or `w < 18` for [`GroupedMaxLoad`](Self::GroupedMaxLoad),
+    /// which needs `w/6 ≥ 3`).
+    #[must_use]
+    pub fn reference_scale(self, w: usize) -> f64 {
+        match self {
+            CongestionClass::One => 1.0,
+            CongestionClass::MaxLoad => log_ratio(w),
+            CongestionClass::GroupedMaxLoad => 6.0 * log_ratio(w / 6),
+            CongestionClass::Full => w as f64,
+        }
+    }
+
+    /// Symbol used when printing the qualitative tables.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CongestionClass::One => "1",
+            CongestionClass::MaxLoad => "Θ(log w/log log w)",
+            CongestionClass::GroupedMaxLoad => "6Θ(log(w/6)/log log(w/6))",
+            CongestionClass::Full => "w",
+        }
+    }
+}
+
+/// Row labels of Table I.
+pub const TABLE1_ROWS: [&str; 3] = ["Any", "Contiguous", "Stride"];
+
+/// Table I of the paper: congestion classes of RAW / RAS / RAP for
+/// arbitrary, contiguous, and stride access. Returned row-major in
+/// [`TABLE1_ROWS`] order with columns (RAW, RAS, RAP).
+#[must_use]
+pub fn table1() -> [[CongestionClass; 3]; 3] {
+    use CongestionClass::{Full, MaxLoad, One};
+    [
+        // Any access: RAW can be fully malicious; RAS and RAP are max-load.
+        [Full, MaxLoad, MaxLoad],
+        // Contiguous: conflict-free everywhere.
+        [One, One, One],
+        // Stride: RAW fully serializes; RAS is max-load; RAP is 1.
+        [Full, MaxLoad, One],
+    ]
+}
+
+/// Access-pattern labels of Table IV, in paper order.
+pub const TABLE4_ROWS: [&str; 6] = [
+    "Contiguous",
+    "Stride1",
+    "Stride2",
+    "Stride3",
+    "Random",
+    "Malicious",
+];
+
+/// Table IV of the paper: congestion classes for a `w⁴` array under
+/// RAW, RAS, 1P, R1P, 3P, w²P, 1P+w²R (columns, in that order).
+#[must_use]
+pub fn table4() -> [[CongestionClass; 7]; 6] {
+    use CongestionClass::{Full, GroupedMaxLoad, MaxLoad, One};
+    [
+        // Contiguous
+        [One, One, One, One, One, One, One],
+        // Stride1 (d1 varies): every permutation scheme is conflict-free.
+        [Full, MaxLoad, One, One, One, One, One],
+        // Stride2 (d2 varies)
+        [Full, MaxLoad, Full, One, One, MaxLoad, MaxLoad],
+        // Stride3 (d3 varies)
+        [Full, MaxLoad, Full, One, One, MaxLoad, MaxLoad],
+        // Random
+        [
+            MaxLoad, MaxLoad, MaxLoad, MaxLoad, MaxLoad, MaxLoad, MaxLoad,
+        ],
+        // Malicious (scheme-aware adversary)
+        [
+            Full,
+            MaxLoad,
+            Full,
+            GroupedMaxLoad,
+            MaxLoad,
+            MaxLoad,
+            MaxLoad,
+        ],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_ratio_values() {
+        // ln 32 / ln ln 32 = 3.4657 / 1.2432 ≈ 2.7878
+        assert!((log_ratio(32) - 2.7878).abs() < 1e-3);
+        assert!(log_ratio(256) > log_ratio(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires w ≥ 3")]
+    fn log_ratio_rejects_small_w() {
+        let _ = log_ratio(2);
+    }
+
+    #[test]
+    fn chernoff_tail_monotone_in_delta() {
+        let a = chernoff_tail(1.0, 1.0);
+        let b = chernoff_tail(1.0, 2.0);
+        let c = chernoff_tail(1.0, 10.0);
+        assert!(a > b && b > c);
+        assert!(a <= 1.0 && c > 0.0);
+    }
+
+    #[test]
+    fn chernoff_tail_vacuous_at_zero_mu() {
+        assert_eq!(chernoff_tail(0.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn chernoff_known_value() {
+        // μ=1, δ=1: e / 4 ≈ 0.6796
+        assert!((chernoff_tail(1.0, 1.0) - E / 4.0).abs() < 1e-12);
+    }
+
+    /// The heart of Lemma 4: the tail at the threshold is at most `w⁻²`
+    /// for every width used anywhere in the paper or the benches.
+    #[test]
+    fn lemma4_tail_is_below_inverse_w_squared() {
+        for w in [4usize, 8, 16, 32, 64, 128, 256, 1024, 4096] {
+            let tail = lemma4_tail(w);
+            let target = (w as f64).powi(-2);
+            assert!(
+                tail <= target,
+                "w={w}: Chernoff tail {tail:.3e} exceeds w⁻² = {target:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_bound_is_finite_and_grows_slowly() {
+        let b32 = theorem2_expected_bound(32);
+        let b256 = theorem2_expected_bound(256);
+        let b4096 = theorem2_expected_bound(4096);
+        assert!(b32 > 1.0 && b32 < 64.0);
+        assert!(b256 > b32);
+        // sub-logarithmic growth: quadrupling w² only adds a few units
+        assert!(b4096 < 2.0 * b32, "bound must grow much slower than w");
+    }
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1();
+        use CongestionClass as C;
+        // Stride row: RAW = w, RAS = max-load, RAP = 1.
+        assert_eq!(t[2], [C::Full, C::MaxLoad, C::One]);
+        // Contiguous row all 1.
+        assert!(t[1].iter().all(|&c| c == C::One));
+        // Any row: RAW can be malicious.
+        assert_eq!(t[0][0], C::Full);
+        assert_eq!(t[0][2], C::MaxLoad);
+    }
+
+    #[test]
+    fn table4_key_cells() {
+        let t = table4();
+        use CongestionClass as C;
+        // 1P fails stride2/3 (column index 2).
+        assert_eq!(t[2][2], C::Full);
+        assert_eq!(t[3][2], C::Full);
+        // R1P (col 3) is clean on all strides but weak against malicious.
+        assert_eq!(t[1][3], C::One);
+        assert_eq!(t[2][3], C::One);
+        assert_eq!(t[5][3], C::GroupedMaxLoad);
+        // 3P (col 4) is the paper's recommendation: strides 1, malicious
+        // max-load.
+        assert!(t[1][4] == C::One && t[2][4] == C::One && t[3][4] == C::One);
+        assert_eq!(t[5][4], C::MaxLoad);
+        // Random row is max-load for every scheme.
+        assert!(t[4].iter().all(|&c| c == C::MaxLoad));
+    }
+
+    #[test]
+    fn reference_scales_order_correctly_at_w32() {
+        use CongestionClass as C;
+        let one = C::One.reference_scale(32);
+        let ml = C::MaxLoad.reference_scale(32);
+        let full = C::Full.reference_scale(32);
+        assert!(one < ml && ml < full);
+        assert_eq!(one, 1.0);
+        assert_eq!(full, 32.0);
+    }
+
+    #[test]
+    fn symbols_are_distinct() {
+        use CongestionClass as C;
+        let syms = [
+            C::One.symbol(),
+            C::MaxLoad.symbol(),
+            C::GroupedMaxLoad.symbol(),
+            C::Full.symbol(),
+        ];
+        let set: std::collections::HashSet<&str> = syms.into_iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+}

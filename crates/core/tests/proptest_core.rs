@@ -1,0 +1,203 @@
+//! Property tests for the core mappings and theory.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_core::congestion::{congestion, BankLoads};
+use rap_core::multidim::{Mapping4d, Scheme4d};
+use rap_core::theory;
+use rap_core::{MatrixMapping, Permutation, RowShift, Scheme};
+
+fn scheme4d_strategy() -> impl Strategy<Value = Scheme4d> {
+    prop_oneof![
+        Just(Scheme4d::Raw),
+        Just(Scheme4d::Ras),
+        Just(Scheme4d::OneP),
+        Just(Scheme4d::R1P),
+        Just(Scheme4d::ThreeP),
+        Just(Scheme4d::WSquaredP),
+        Just(Scheme4d::OnePlusWSquaredR),
+    ]
+}
+
+proptest! {
+    /// Composition with the inverse is the identity, both ways, for any
+    /// random permutation.
+    #[test]
+    fn permutation_group_laws(seed in any::<u64>(), len in 1usize..200) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Permutation::random(&mut rng, len);
+        let q = Permutation::random(&mut rng, len);
+        prop_assert!(p.compose(&p.inverse()).is_identity());
+        prop_assert!(p.inverse().compose(&p).is_identity());
+        // (p ∘ q)⁻¹ = q⁻¹ ∘ p⁻¹
+        prop_assert_eq!(
+            p.compose(&q).inverse(),
+            q.inverse().compose(&p.inverse())
+        );
+    }
+
+    /// Cycle lengths always partition the domain.
+    #[test]
+    fn cycles_partition(seed in any::<u64>(), len in 0usize..150) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Permutation::random(&mut rng, len);
+        prop_assert_eq!(p.cycle_lengths().iter().sum::<usize>(), len);
+        prop_assert!(p.fixed_points() <= len);
+    }
+
+    /// Every row of every scheme is a rotation: the multiset of logical
+    /// columns in each physical row is exactly {0..w}.
+    #[test]
+    fn rows_are_rotations(seed in any::<u64>(), w in 1usize..40, scheme_idx in 0usize..3) {
+        let scheme = Scheme::all()[scheme_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = RowShift::of_scheme(scheme, &mut rng, w);
+        for i in 0..w as u32 {
+            let mut cols: Vec<u32> = (0..w as u32)
+                .map(|j| m.address(i, j) % w as u32)
+                .collect();
+            cols.sort_unstable();
+            let expected: Vec<u32> = (0..w as u32).collect();
+            prop_assert_eq!(&cols, &expected, "row {} of {}", i, scheme);
+        }
+    }
+
+    /// The congestion of a warp access equals the max over banks computed
+    /// naively with a HashMap.
+    #[test]
+    fn congestion_matches_naive(addrs in prop::collection::vec(0u64..10_000, 0..80), w in 1usize..70) {
+        let fast = congestion(w, &addrs);
+        let mut unique: Vec<u64> = addrs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut counts = std::collections::HashMap::new();
+        for a in unique {
+            *counts.entry(a % w as u64).or_insert(0u32) += 1;
+        }
+        let naive = counts.values().copied().max().unwrap_or(0);
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// BankLoads invariants: loads sum to unique count; busy banks ≤ w.
+    #[test]
+    fn bank_loads_invariants(addrs in prop::collection::vec(0u64..4096, 1..64), w in 1usize..40) {
+        let loads = BankLoads::analyze(w, &addrs);
+        let sum: u32 = loads.loads().iter().sum();
+        prop_assert_eq!(sum as usize, loads.unique_requests());
+        prop_assert!(loads.busy_banks() <= w);
+        prop_assert!(loads.congestion() <= loads.unique_requests() as u32);
+    }
+
+    /// Every 4-D scheme keeps the rotation inside the row and is
+    /// injective on a sampled sub-box.
+    #[test]
+    fn mapping4d_row_locality(seed in any::<u64>(), w in 2usize..12, scheme in scheme4d_strategy()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = Mapping4d::new(scheme, &mut rng, w).unwrap();
+        let wu = w as u32;
+        let mut seen = std::collections::HashSet::new();
+        for d3 in 0..wu.min(4) {
+            for d2 in 0..wu.min(4) {
+                for d1 in 0..wu {
+                    for d0 in 0..wu {
+                        let a = m.address(d3, d2, d1, d0);
+                        // row base is preserved
+                        let row = (u64::from(d3) * u64::from(wu) + u64::from(d2))
+                            * u64::from(wu) + u64::from(d1) ;
+                        prop_assert_eq!(a / u64::from(wu), row);
+                        prop_assert!(seen.insert(a));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The Chernoff tail is a probability and decreasing in δ.
+    #[test]
+    fn chernoff_tail_behaves(mu in 0.01f64..4.0, delta in 0.0f64..50.0) {
+        let t = theory::chernoff_tail(mu, delta);
+        prop_assert!((0.0..=1.0).contains(&t));
+        let t2 = theory::chernoff_tail(mu, delta + 1.0);
+        prop_assert!(t2 <= t + 1e-12);
+    }
+
+    /// Theorem 2's bound grows with w but sub-linearly. (Only from w = 16
+    /// up: for tiny w the `ln ln w` denominator is below 1 and the
+    /// asymptotic expression is not yet monotone.)
+    #[test]
+    fn theorem2_bound_sublinear(w_exp in 4u32..12) {
+        let w = 1usize << w_exp;
+        let b1 = theory::theorem2_expected_bound(w);
+        let b2 = theory::theorem2_expected_bound(w * 2);
+        prop_assert!(b2 > b1, "bound must grow");
+        prop_assert!(b2 < b1 * 1.5, "but far slower than w");
+    }
+
+    /// XOR swizzle and padding are injective with conflict-free rows and
+    /// columns for every valid width, and the blind adversary always
+    /// achieves full congestion against them.
+    #[test]
+    fn modern_baseline_invariants(w_exp in 1u32..7, bank_sel in any::<u32>()) {
+        use rap_core::modern::{blind_adversary, XorSwizzle, Padded};
+        use rap_core::congestion::congestion;
+        let w = 1usize << w_exp;
+        let bank = bank_sel % w as u32;
+        for scheme in [Scheme::Xor, Scheme::Padded] {
+            let mapping: Box<dyn MatrixMapping> = match scheme {
+                Scheme::Xor => Box::new(XorSwizzle::new(w).unwrap()),
+                _ => Box::new(Padded::new(w).unwrap()),
+            };
+            // bijective into storage
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..w as u32 {
+                for j in 0..w as u32 {
+                    let a = mapping.address(i, j);
+                    prop_assert!((a as usize) < mapping.storage_words());
+                    prop_assert!(seen.insert(a));
+                }
+            }
+            // stride conflict-free
+            let col: Vec<u64> = (0..w as u32)
+                .map(|i| u64::from(mapping.address(i, bank % w as u32)))
+                .collect();
+            prop_assert_eq!(congestion(w, &col), 1);
+            // blind adversary wins
+            let warp = blind_adversary(scheme, w, bank).expect("deterministic");
+            let addrs: Vec<u64> = warp
+                .iter()
+                .map(|&(i, j)| u64::from(mapping.address(i, j)))
+                .collect();
+            prop_assert_eq!(congestion(w, &addrs), w as u32);
+        }
+    }
+
+    /// Serde round-trip for RowShift (the type persisted in experiment
+    /// records).
+    #[test]
+    fn rowshift_serde_roundtrip(seed in any::<u64>(), w in 1usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = RowShift::rap(&mut rng, w);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: RowShift = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    /// Serde rejects corrupted permutations (the validated constructor is
+    /// enforced through deserialization too).
+    #[test]
+    fn permutation_serde_validates(len in 2usize..20) {
+        // A table with a duplicate is rejected.
+        let mut bad: Vec<u32> = (0..len as u32).collect();
+        bad[1] = bad[0];
+        let json = serde_json::to_string(&bad).unwrap();
+        let parsed: Result<Permutation, _> = serde_json::from_str(&json);
+        prop_assert!(parsed.is_err());
+        // A valid one round-trips.
+        let mut rng = SmallRng::seed_from_u64(len as u64);
+        let p = Permutation::random(&mut rng, len);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Permutation = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-thread memory operations and warp-level CRCW merging.
+//!
+//! Threads of a warp execute in SIMD lockstep, so within one program phase
+//! every thread issues at most one memory operation and all operations have
+//! the same direction (the DMM forbids mixing reads and writes in one
+//! SIMD instruction, paper §II). Requests to the same address are merged:
+//! a full-warp broadcast read counts as a single request, and simultaneous
+//! writes to one address are resolved arbitrarily (we deterministically
+//! keep the lowest-numbered thread's value, a valid "arbitrary CRCW"
+//! resolution).
+
+use serde::{Deserialize, Serialize};
+
+/// Where a write gets its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WriteSource<T> {
+    /// The value most recently read by the same thread (the `c = a[..];
+    /// b[..] = c` idiom of the paper's CUDA listings).
+    LastRead,
+    /// An immediate value.
+    Const(T),
+    /// A reduction of *all* values the thread has read so far, computed by
+    /// the reducer passed to
+    /// [`Machine::execute_with`](crate::Machine::execute_with). Models
+    /// register-resident accumulation (e.g. a dot product across the read
+    /// phases of a matrix-multiply kernel) without charging memory
+    /// traffic for it.
+    Reduced,
+}
+
+/// One thread's memory operation in one program phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemOp<T> {
+    /// Read the word at the flat address into the thread's `last_read`
+    /// register.
+    Read(u64),
+    /// Write to the flat address.
+    Write(u64, WriteSource<T>),
+}
+
+impl<T> MemOp<T> {
+    /// The flat address this operation touches.
+    #[must_use]
+    pub fn address(&self) -> u64 {
+        match *self {
+            MemOp::Read(a) | MemOp::Write(a, _) => a,
+        }
+    }
+
+    /// Whether this is a read.
+    #[must_use]
+    pub fn is_read(&self) -> bool {
+        matches!(self, MemOp::Read(_))
+    }
+}
+
+/// The merged view of one warp's phase: the unique addresses it touches
+/// and the number of pipeline stages the access occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedAccess {
+    /// Unique addresses, sorted.
+    pub addresses: Vec<u64>,
+    /// Per-bank unique-request counts (length = machine width).
+    pub bank_loads: Vec<u32>,
+}
+
+impl MergedAccess {
+    /// Merge the operations of one warp (CRCW: duplicate addresses count
+    /// once) on a machine with `width` banks.
+    #[must_use]
+    pub fn merge<T>(width: usize, ops: &[Option<MemOp<T>>]) -> Self {
+        let mut addresses: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| op.as_ref().map(MemOp::address))
+            .collect();
+        addresses.sort_unstable();
+        addresses.dedup();
+        let mut bank_loads = vec![0u32; width];
+        for &a in &addresses {
+            bank_loads[(a % width as u64) as usize] += 1;
+        }
+        Self {
+            addresses,
+            bank_loads,
+        }
+    }
+
+    /// The congestion of the merged access: max unique requests per bank.
+    #[must_use]
+    pub fn congestion(&self) -> u32 {
+        self.bank_loads.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the warp issued anything at all this phase.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+}
+
+/// Validate that the operations of one warp phase are SIMD-consistent:
+/// either all issued operations are reads or all are writes.
+///
+/// Returns `true` when consistent (an all-`None` phase is trivially so).
+#[must_use]
+pub fn simd_consistent<T>(ops: &[Option<MemOp<T>>]) -> bool {
+    let mut any_read = false;
+    let mut any_write = false;
+    for op in ops.iter().flatten() {
+        if op.is_read() {
+            any_read = true;
+        } else {
+            any_write = true;
+        }
+    }
+    !(any_read && any_write)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Op = MemOp<u64>;
+
+    #[test]
+    fn address_and_kind() {
+        let r: Op = MemOp::Read(7);
+        let w: Op = MemOp::Write(9, WriteSource::Const(1));
+        assert_eq!(r.address(), 7);
+        assert_eq!(w.address(), 9);
+        assert!(r.is_read());
+        assert!(!w.is_read());
+    }
+
+    #[test]
+    fn merge_counts_unique_only() {
+        let ops: Vec<Option<Op>> = vec![
+            Some(MemOp::Read(0)),
+            Some(MemOp::Read(0)),
+            Some(MemOp::Read(4)),
+            None,
+        ];
+        let m = MergedAccess::merge(4, &ops);
+        assert_eq!(m.addresses, vec![0, 4]);
+        assert_eq!(m.bank_loads, vec![2, 0, 0, 0]);
+        assert_eq!(m.congestion(), 2);
+    }
+
+    #[test]
+    fn broadcast_merges_to_one() {
+        let ops: Vec<Option<Op>> = (0..32).map(|_| Some(MemOp::Read(5))).collect();
+        let m = MergedAccess::merge(32, &ops);
+        assert_eq!(m.congestion(), 1);
+        assert_eq!(m.addresses.len(), 1);
+    }
+
+    #[test]
+    fn empty_phase() {
+        let ops: Vec<Option<Op>> = vec![None, None];
+        let m = MergedAccess::merge(8, &ops);
+        assert!(m.is_empty());
+        assert_eq!(m.congestion(), 0);
+    }
+
+    #[test]
+    fn simd_consistency() {
+        let reads: Vec<Option<Op>> = vec![Some(MemOp::Read(0)), None, Some(MemOp::Read(1))];
+        assert!(simd_consistent(&reads));
+        let writes: Vec<Option<Op>> =
+            vec![Some(MemOp::Write(0, WriteSource::LastRead)), None];
+        assert!(simd_consistent(&writes));
+        let mixed: Vec<Option<Op>> = vec![
+            Some(MemOp::Read(0)),
+            Some(MemOp::Write(1, WriteSource::LastRead)),
+        ];
+        assert!(!simd_consistent(&mixed));
+        let empty: Vec<Option<Op>> = vec![None, None];
+        assert!(simd_consistent(&empty));
+    }
+
+    #[test]
+    fn merge_respects_width() {
+        let ops: Vec<Option<Op>> = vec![Some(MemOp::Read(3)), Some(MemOp::Read(11))];
+        // width 4: both in bank 3 → congestion 2
+        assert_eq!(MergedAccess::merge(4, &ops).congestion(), 2);
+        // width 8: banks 3 and 3 → still 2
+        assert_eq!(MergedAccess::merge(8, &ops).congestion(), 2);
+        // width 16: banks 3 and 11 → 1
+        assert_eq!(MergedAccess::merge(16, &ops).congestion(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Shared-memory capacity management.
+//!
+//! The paper's §I sizes the problem: a streaming multiprocessor has at
+//! most 48 KB of shared memory, a `32 × 32` matrix of doubles occupies
+//! 8 KB, so *"it is not possible to store more than 6 matrices of size
+//! 32 × 32 in a shared memory"* — which is why shared-memory algorithms
+//! operate tile by tile. [`Arena`] models that budget: it hands out
+//! word-aligned base offsets for matrices/arrays inside a fixed-capacity
+//! banked memory and refuses to over-allocate, so kernels that juggle
+//! several tiles (transpose: 2, `A·Bᵀ`: 3) state their footprint
+//! explicitly.
+
+use serde::{Deserialize, Serialize};
+
+/// GTX-TITAN-class shared memory per SM, in bytes (paper §I: 16–48 KB;
+/// CC 3.5 configures up to 48 KB).
+pub const TITAN_SHARED_BYTES: usize = 48 * 1024;
+
+/// A bump allocator over a banked shared memory of fixed word capacity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Arena {
+    width: usize,
+    capacity_words: usize,
+    used_words: usize,
+}
+
+/// A region handed out by the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First word address of the region.
+    pub base: u64,
+    /// Length in words.
+    pub words: usize,
+}
+
+/// Error returned when a request exceeds the remaining capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutOfSharedMemory {
+    /// Words requested.
+    pub requested: usize,
+    /// Words remaining.
+    pub available: usize,
+}
+
+impl std::fmt::Display for OutOfSharedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared memory exhausted: requested {} words, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfSharedMemory {}
+
+impl Arena {
+    /// An arena over `capacity_words` words on `width` banks.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(width: usize, capacity_words: usize) -> Self {
+        assert!(width > 0, "width must be positive");
+        Self {
+            width,
+            capacity_words,
+            used_words: 0,
+        }
+    }
+
+    /// The GTX-TITAN configuration for `word_bytes`-sized elements
+    /// (8 for the paper's doubles): 48 KB on 32 banks.
+    #[must_use]
+    pub fn titan(word_bytes: usize) -> Self {
+        assert!(word_bytes > 0, "word size must be positive");
+        Self::new(32, TITAN_SHARED_BYTES / word_bytes)
+    }
+
+    /// Words handed out so far.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used_words
+    }
+
+    /// Words still available.
+    #[must_use]
+    pub fn available(&self) -> usize {
+        self.capacity_words - self.used_words
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Allocate `words` words.
+    ///
+    /// # Errors
+    /// Returns [`OutOfSharedMemory`] when the budget is exceeded.
+    pub fn alloc(&mut self, words: usize) -> Result<Region, OutOfSharedMemory> {
+        if words > self.available() {
+            return Err(OutOfSharedMemory {
+                requested: words,
+                available: self.available(),
+            });
+        }
+        let base = self.used_words as u64;
+        self.used_words += words;
+        Ok(Region { base, words })
+    }
+
+    /// Allocate a `w × w` matrix for this arena's width.
+    ///
+    /// # Errors
+    /// Returns [`OutOfSharedMemory`] when the budget is exceeded.
+    pub fn alloc_matrix(&mut self) -> Result<Region, OutOfSharedMemory> {
+        self.alloc(self.width * self.width)
+    }
+
+    /// Build the backing memory for everything allocated so far.
+    #[must_use]
+    pub fn memory<T: Copy + Default>(&self) -> crate::BankedMemory<T> {
+        crate::BankedMemory::new(self.width, self.used_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's capacity arithmetic: exactly six 32×32 double matrices
+    /// fit in 48 KB, and a seventh does not.
+    #[test]
+    fn six_double_matrices_fit_in_titan() {
+        let mut arena = Arena::titan(std::mem::size_of::<f64>());
+        assert_eq!(arena.capacity(), 6144);
+        for k in 0..6 {
+            let region = arena.alloc_matrix().unwrap_or_else(|e| {
+                panic!("matrix {k} must fit: {e}");
+            });
+            assert_eq!(region.words, 1024);
+            assert_eq!(region.base, k * 1024);
+        }
+        let err = arena.alloc_matrix().unwrap_err();
+        assert_eq!(err.requested, 1024);
+        assert_eq!(err.available, 0);
+    }
+
+    #[test]
+    fn float_matrices_fit_twice_as_many() {
+        let mut arena = Arena::titan(std::mem::size_of::<f32>());
+        let mut count = 0;
+        while arena.alloc_matrix().is_ok() {
+            count += 1;
+        }
+        assert_eq!(count, 12);
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_packed() {
+        let mut arena = Arena::new(4, 100);
+        let a = arena.alloc(10).unwrap();
+        let b = arena.alloc(20).unwrap();
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 10);
+        assert_eq!(arena.used(), 30);
+        assert_eq!(arena.available(), 70);
+    }
+
+    #[test]
+    fn memory_covers_allocations() {
+        let mut arena = Arena::new(4, 64);
+        arena.alloc(16).unwrap();
+        arena.alloc(16).unwrap();
+        let mem: crate::BankedMemory<u64> = arena.memory();
+        assert_eq!(mem.len(), 32);
+        assert_eq!(mem.width(), 4);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = OutOfSharedMemory {
+            requested: 1024,
+            available: 3,
+        };
+        assert!(e.to_string().contains("1024"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn zero_word_alloc_is_free() {
+        let mut arena = Arena::new(4, 4);
+        let r = arena.alloc(0).unwrap();
+        assert_eq!(r.words, 0);
+        assert_eq!(arena.used(), 0);
+    }
+}

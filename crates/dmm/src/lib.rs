@@ -1,0 +1,44 @@
+//! # rap-dmm — Discrete / Unified Memory Machine simulators
+//!
+//! The Discrete Memory Machine (DMM) is the theoretical model of a GPU
+//! streaming multiprocessor's shared memory introduced by Nakano ("Simple
+//! memory machine models for GPUs", IPDPSW 2012) and used by the RAP paper
+//! for all of its analysis: `w` memory banks, warps of `w` threads
+//! dispatched round-robin, and an `l`-stage access pipeline in which
+//! requests to the same bank serialize. The Unified Memory Machine (UMM)
+//! is the companion model of the *global* memory, where one address line is
+//! broadcast to all banks.
+//!
+//! This crate provides:
+//!
+//! * [`BankedMemory`] — the interleaved flat address space;
+//! * [`Program`] — SIMD programs (phases of per-thread [`MemOp`]s);
+//! * [`Machine`] with the [`Dmm`] and [`Umm`] aliases — cycle-exact
+//!   execution reproducing the paper's time accounting, with congestion
+//!   statistics in an [`ExecReport`];
+//! * closed forms ([`contiguous_time`], [`stride_time`]) for
+//!   cross-checking.
+//!
+//! The simulator reproduces Figure 3 of the paper exactly: see
+//! `machine::tests::figure3_example`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod arena;
+pub mod machine;
+pub mod memory;
+pub mod program;
+pub mod report;
+pub mod trace;
+
+pub use access::{MemOp, MergedAccess, WriteSource};
+pub use arena::{Arena, OutOfSharedMemory, Region};
+pub use machine::{
+    contiguous_time, stride_time, DiscreteBanks, Dmm, Machine, StageModel, Umm, UnifiedRows,
+};
+pub use memory::BankedMemory;
+pub use program::{Phase, Program};
+pub use report::{ExecReport, PhaseStats};
+pub use trace::{trace, DispatchEvent, Trace};

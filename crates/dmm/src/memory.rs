@@ -1,0 +1,181 @@
+//! Banked shared memory.
+//!
+//! A single flat address space of `len` words mapped onto `width` banks in
+//! the interleaved fashion of the DMM (paper §II): address `a` lives in
+//! bank `a mod width`, at offset `a / width` within the bank. The storage
+//! is functional — the timing machine decides *when* operations happen,
+//! this type only materializes their effects.
+
+use serde::{Deserialize, Serialize};
+
+/// Flat word-addressable memory with interleaved bank structure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankedMemory<T> {
+    width: usize,
+    words: Vec<T>,
+}
+
+impl<T: Copy + Default> BankedMemory<T> {
+    /// Zero-initialized memory of `len` words on `width` banks.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(width: usize, len: usize) -> Self {
+        assert!(width > 0, "memory width must be positive");
+        Self {
+            width,
+            words: vec![T::default(); len],
+        }
+    }
+
+    /// Memory initialized from existing contents.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn from_words(width: usize, words: Vec<T>) -> Self {
+        assert!(width > 0, "memory width must be positive");
+        Self { width, words }
+    }
+}
+
+impl<T: Copy> BankedMemory<T> {
+    /// Number of banks.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of addressable words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the memory has zero words.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Bank holding address `a`.
+    #[must_use]
+    pub fn bank_of(&self, a: u64) -> u32 {
+        (a % self.width as u64) as u32
+    }
+
+    /// Offset of address `a` within its bank.
+    #[must_use]
+    pub fn offset_of(&self, a: u64) -> u64 {
+        a / self.width as u64
+    }
+
+    /// Read the word at `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn read(&self, a: u64) -> T {
+        self.words[usize::try_from(a).expect("address exceeds platform usize")]
+    }
+
+    /// Write the word at `a`.
+    ///
+    /// # Panics
+    /// Panics if `a` is out of bounds.
+    #[inline]
+    pub fn write(&mut self, a: u64, value: T) {
+        let idx = usize::try_from(a).expect("address exceeds platform usize");
+        self.words[idx] = value;
+    }
+
+    /// The whole address space as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.words
+    }
+
+    /// The contents of one bank, in offset order (address
+    /// `bank`, `bank + width`, `bank + 2·width`, …).
+    ///
+    /// # Panics
+    /// Panics if `bank ≥ width`.
+    #[must_use]
+    pub fn bank_contents(&self, bank: u32) -> Vec<T> {
+        assert!((bank as usize) < self.width, "bank {bank} out of range");
+        self.words
+            .iter()
+            .skip(bank as usize)
+            .step_by(self.width)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_interleaved() {
+        let m: BankedMemory<u32> = BankedMemory::new(4, 16);
+        assert_eq!(m.bank_of(0), 0);
+        assert_eq!(m.bank_of(5), 1);
+        assert_eq!(m.bank_of(15), 3);
+        assert_eq!(m.offset_of(0), 0);
+        assert_eq!(m.offset_of(5), 1);
+        assert_eq!(m.offset_of(15), 3);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m: BankedMemory<f64> = BankedMemory::new(8, 64);
+        m.write(17, 2.5);
+        assert_eq!(m.read(17), 2.5);
+        assert_eq!(m.read(16), 0.0);
+    }
+
+    #[test]
+    fn from_words_preserves_contents() {
+        let m = BankedMemory::from_words(2, vec![10u64, 20, 30, 40]);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.read(2), 30);
+        assert_eq!(m.as_slice(), &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn bank_contents_strides_through_memory() {
+        let m = BankedMemory::from_words(4, (0u32..16).collect());
+        assert_eq!(m.bank_contents(0), vec![0, 4, 8, 12]);
+        assert_eq!(m.bank_contents(3), vec![3, 7, 11, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_rejected() {
+        let _: BankedMemory<u8> = BankedMemory::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bank_rejected() {
+        let m: BankedMemory<u8> = BankedMemory::new(2, 4);
+        let _ = m.bank_contents(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let m: BankedMemory<u8> = BankedMemory::new(2, 4);
+        let _ = m.read(4);
+    }
+
+    #[test]
+    fn empty_memory() {
+        let m: BankedMemory<u8> = BankedMemory::new(3, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.bank_contents(1), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,120 @@
+//! Execution reports of the memory machines.
+
+use rap_stats::IntHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one program phase across all warps.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Phase label from the program.
+    pub label: String,
+    /// Distribution of per-warp congestion (only warps that dispatched).
+    pub congestion: IntHistogram,
+    /// Total pipeline stages consumed by this phase.
+    pub stages: u64,
+}
+
+impl PhaseStats {
+    /// Mean per-warp congestion of the phase (0 if nothing dispatched).
+    #[must_use]
+    pub fn mean_congestion(&self) -> f64 {
+        self.congestion.mean()
+    }
+
+    /// Maximum per-warp congestion seen in the phase.
+    #[must_use]
+    pub fn max_congestion(&self) -> u32 {
+        self.congestion.max().unwrap_or(0)
+    }
+}
+
+/// The result of executing a [`crate::Program`] on a memory machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecReport {
+    /// Total time units from first dispatch to last completion.
+    pub cycles: u64,
+    /// Number of warp-phase dispatches.
+    pub dispatches: u64,
+    /// Total pipeline stages injected.
+    pub total_stages: u64,
+    /// Per-phase statistics, in program order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl ExecReport {
+    /// Congestion histogram aggregated over all phases.
+    #[must_use]
+    pub fn overall_congestion(&self) -> IntHistogram {
+        let mut h = IntHistogram::new();
+        for p in &self.phases {
+            h.merge(&p.congestion);
+        }
+        h
+    }
+
+    /// Maximum congestion over the whole execution.
+    #[must_use]
+    pub fn max_congestion(&self) -> u32 {
+        self.phases
+            .iter()
+            .map(PhaseStats::max_congestion)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Stats of the phase with the given label, if present.
+    #[must_use]
+    pub fn phase(&self, label: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(label: &str, congestions: &[u32]) -> PhaseStats {
+        PhaseStats {
+            label: label.to_string(),
+            congestion: congestions.iter().copied().collect(),
+            stages: congestions.iter().map(|&c| u64::from(c)).sum(),
+        }
+    }
+
+    #[test]
+    fn phase_stats_summaries() {
+        let p = phase("read", &[1, 1, 3]);
+        assert!((p.mean_congestion() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.max_congestion(), 3);
+        assert_eq!(p.stages, 5);
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let r = ExecReport {
+            cycles: 10,
+            dispatches: 6,
+            total_stages: 9,
+            phases: vec![phase("read", &[1, 1, 1]), phase("write", &[2, 2, 2])],
+        };
+        assert_eq!(r.max_congestion(), 2);
+        let h = r.overall_congestion();
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 3);
+        assert!(r.phase("write").is_some());
+        assert!(r.phase("nope").is_none());
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = ExecReport {
+            cycles: 0,
+            dispatches: 0,
+            total_stages: 0,
+            phases: vec![],
+        };
+        assert_eq!(r.max_congestion(), 0);
+        assert_eq!(r.overall_congestion().total(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the memory machines.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_dmm::{
+    trace, BankedMemory, Dmm, Machine, MemOp, MergedAccess, Program, Umm, WriteSource,
+};
+
+/// Build a random single-phase read program over `warps` warps of width
+/// `w`, with addresses in `0..n`.
+fn random_read_program(rng: &mut SmallRng, w: usize, warps: usize, n: u64) -> Program<u64> {
+    let addrs: Vec<u64> = (0..w * warps).map(|_| rng.gen_range(0..n)).collect();
+    let mut p = Program::new(w * warps);
+    p.phase("read", move |t| Some(MemOp::Read(addrs[t])));
+    p
+}
+
+proptest! {
+    /// Lower and upper bounds on the execution time of any single-phase
+    /// program: `stages + l − 1 ≥ cycles ≥ max(warps, stages) + l − 1`
+    /// is not generally tight, but the exact law for one phase is
+    /// `cycles = total_stages + l − 1` (the port is never idle when all
+    /// warps are ready at cycle 0).
+    #[test]
+    fn single_phase_time_is_exact(seed in any::<u64>(), w in 1usize..17, warps in 1usize..9, l in 1u64..12) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = (w * w) as u64;
+        let program = random_read_program(&mut rng, w, warps, n);
+        let machine: Dmm = Machine::new(w, l);
+        let mut mem = BankedMemory::new(w, n as usize);
+        let report = machine.execute(&program, &mut mem);
+        prop_assert_eq!(report.cycles, report.total_stages + l - 1);
+    }
+
+    /// Cycles are monotone in latency for arbitrary programs.
+    #[test]
+    fn cycles_monotone_in_latency(seed in any::<u64>(), w in 1usize..9, warps in 1usize..5) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = (w * w) as u64;
+        // Two dependent phases to make latency matter.
+        let a: Vec<u64> = (0..w * warps).map(|_| rng.gen_range(0..n)).collect();
+        let b: Vec<u64> = (0..w * warps).map(|_| rng.gen_range(0..n)).collect();
+        let mut program: Program<u64> = Program::new(w * warps);
+        let (a2, b2) = (a.clone(), b.clone());
+        program.phase("r1", move |t| Some(MemOp::Read(a2[t])));
+        program.phase("r2", move |t| Some(MemOp::Read(b2[t])));
+        let mut prev = 0;
+        for l in [1u64, 2, 5, 11] {
+            let machine: Dmm = Machine::new(w, l);
+            let mut mem = BankedMemory::new(w, n as usize);
+            let c = machine.execute(&program, &mut mem).cycles;
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+    }
+
+    /// The trace always predicts exactly what execute reports, for both
+    /// machines and arbitrary programs.
+    #[test]
+    fn trace_agrees_with_execute(seed in any::<u64>(), w in 1usize..9, warps in 1usize..5, l in 1u64..8) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = (w * w) as u64;
+        let program = random_read_program(&mut rng, w, warps, n);
+
+        let dmm: Dmm = Machine::new(w, l);
+        let mut mem = BankedMemory::new(w, n as usize);
+        prop_assert_eq!(trace(&dmm, &program).cycles(), dmm.execute(&program, &mut mem).cycles);
+
+        let umm: Umm = Machine::new(w, l);
+        prop_assert_eq!(trace(&umm, &program).cycles(), umm.execute(&program, &mut mem).cycles);
+    }
+
+    /// The UMM never beats the DMM: distinct rows ≥ congestion for any
+    /// merged access (each row contributes at most one request per bank…
+    /// in fact each distinct address is in one row and one bank, and a
+    /// bank's unique requests sit in distinct rows).
+    #[test]
+    fn umm_stages_at_least_dmm_stages(addrs in prop::collection::vec(0u64..512, 1..40), w in 1usize..33) {
+        use rap_dmm::{DiscreteBanks, StageModel, UnifiedRows};
+        let ops: Vec<Option<MemOp<u64>>> = addrs.iter().map(|&a| Some(MemOp::Read(a))).collect();
+        let merged = MergedAccess::merge(w, &ops);
+        prop_assert!(UnifiedRows::stages(w, &merged) >= DiscreteBanks::stages(w, &merged));
+    }
+
+    /// Functional semantics: a copy program moves exactly the right data
+    /// regardless of scheduling parameters.
+    #[test]
+    fn copy_semantics_independent_of_latency(seed in any::<u64>(), w in 1usize..9, l in 1u64..9) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = w * w;
+        let src: Vec<u64> = (0..n as u64).map(|x| x * 3 + 1).collect();
+        let dst_of: Vec<u64> = {
+            // random destination permutation
+            let mut d: Vec<u64> = (n as u64..2 * n as u64).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                d.swap(i, j);
+            }
+            d
+        };
+        let mut program: Program<u64> = Program::new(n);
+        let d2 = dst_of.clone();
+        program.phase("read", |t| Some(MemOp::Read(t as u64)));
+        program.phase("write", move |t| Some(MemOp::Write(d2[t], WriteSource::LastRead)));
+        let machine: Dmm = Machine::new(w, l);
+        let mut mem = BankedMemory::from_words(
+            w,
+            src.iter().copied().chain(std::iter::repeat_n(0, n)).collect(),
+        );
+        machine.execute(&program, &mut mem);
+        for t in 0..n {
+            prop_assert_eq!(mem.read(dst_of[t]), src[t]);
+        }
+    }
+
+    /// Merged access: congestion ≤ warp size and loads sum to uniques.
+    #[test]
+    fn merge_invariants(addrs in prop::collection::vec(0u64..256, 0..32), w in 1usize..33) {
+        let ops: Vec<Option<MemOp<u64>>> = addrs.iter().map(|&a| Some(MemOp::Read(a))).collect();
+        let merged = MergedAccess::merge(w, &ops);
+        let unique: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+        prop_assert_eq!(merged.addresses.len(), unique.len());
+        let sum: u32 = merged.bank_loads.iter().sum();
+        prop_assert_eq!(sum as usize, unique.len());
+    }
+
+    /// Report bookkeeping: dispatches = active warp-phases; stage total
+    /// equals the sum of per-phase stage counters.
+    #[test]
+    fn report_bookkeeping(seed in any::<u64>(), w in 1usize..9, warps in 1usize..5) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = (w * w) as u64;
+        let program = random_read_program(&mut rng, w, warps, n);
+        let machine: Dmm = Machine::new(w, 2);
+        let mut mem = BankedMemory::new(w, n as usize);
+        let report = machine.execute(&program, &mut mem);
+        prop_assert_eq!(report.dispatches, warps as u64);
+        let phase_sum: u64 = report.phases.iter().map(|p| p.stages).sum();
+        prop_assert_eq!(phase_sum, report.total_stages);
+        prop_assert_eq!(report.overall_congestion().total(), report.dispatches);
+    }
+}

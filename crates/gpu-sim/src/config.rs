@@ -1,0 +1,112 @@
+//! SM timing-model configuration.
+//!
+//! The model is deliberately first-order: Table III's shape is driven by
+//! (a) shared-memory bank-conflict replays and (b) the fixed costs around
+//! them. Parameters:
+//!
+//! * one shared-memory **stage** (a conflict-free set of ≤ w requests)
+//!   issues per cycle — a warp access with congestion `c` replays `c`
+//!   times, exactly the DMM injection rule;
+//! * a stage completes `mem_latency` cycles after issue;
+//! * address-computation ALU instructions execute in the warp's private
+//!   ALU pipe (they delay that warp, but do not consume the shared-memory
+//!   port — Kepler dual-issues them);
+//! * a fixed `launch_overhead` covers block launch and drain;
+//! * `clock_ghz` converts cycles to nanoseconds.
+//!
+//! `SmConfig::gtx_titan()` is calibrated against **one** cell of the
+//! paper's Table III (RAW/CRSW = 1595 ns); every other cell is then a
+//! prediction. See EXPERIMENTS.md for the fit.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of the simulated streaming multiprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Number of shared-memory banks = threads per warp.
+    pub width: usize,
+    /// Completion latency of a shared-memory stage, in cycles.
+    pub mem_latency: u64,
+    /// Throughput of the warp-private ALU pipe, in cycles per instruction.
+    pub alu_cycles_per_op: u64,
+    /// Fixed overhead (launch + pipeline drain), in cycles.
+    pub launch_overhead: u64,
+    /// Effective clock in GHz used to convert cycles to nanoseconds.
+    pub clock_ghz: f64,
+}
+
+impl SmConfig {
+    /// The GeForce GTX TITAN substitute used for the Table III
+    /// reproduction.
+    ///
+    /// `clock_ghz` was calibrated so that the simulated RAW/CRSW transpose
+    /// of a 32×32 double matrix lands on the paper's 1595 ns; the other
+    /// parameters are representative Kepler values (shared-memory latency
+    /// ≈ 26 cycles; one shared-memory transaction per cycle per SM quad).
+    #[must_use]
+    pub fn gtx_titan() -> Self {
+        Self {
+            width: 32,
+            mem_latency: 26,
+            alu_cycles_per_op: 1,
+            launch_overhead: 12,
+            clock_ghz: 0.6865,
+        }
+    }
+
+    /// Convert a cycle count to nanoseconds at this clock.
+    ///
+    /// # Panics
+    /// Panics if `clock_ghz` is not positive.
+    #[must_use]
+    pub fn to_ns(&self, cycles: u64) -> f64 {
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+        cycles as f64 / self.clock_ghz
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// Panics on nonsensical parameters (zero width, latency, or clock).
+    pub fn validate(&self) {
+        assert!(self.width > 0, "width must be positive");
+        assert!(self.mem_latency >= 1, "memory latency must be ≥ 1 cycle");
+        assert!(self.clock_ghz > 0.0, "clock must be positive");
+    }
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        Self::gtx_titan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_defaults_are_sane() {
+        let c = SmConfig::gtx_titan();
+        c.validate();
+        assert_eq!(c.width, 32);
+        assert!(c.mem_latency > 1);
+    }
+
+    #[test]
+    fn ns_conversion() {
+        let mut c = SmConfig::gtx_titan();
+        c.clock_ghz = 1.0;
+        assert_eq!(c.to_ns(1000), 1000.0);
+        c.clock_ghz = 0.5;
+        assert_eq!(c.to_ns(1000), 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must be positive")]
+    fn bad_clock_panics() {
+        let mut c = SmConfig::gtx_titan();
+        c.clock_ghz = 0.0;
+        let _ = c.to_ns(1);
+    }
+}

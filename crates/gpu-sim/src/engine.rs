@@ -1,0 +1,248 @@
+//! The SM execution engine.
+//!
+//! Scheduling rules (mirroring the validated DMM engine, plus an ALU pipe):
+//!
+//! * warps are selected round-robin among those whose previous instruction
+//!   has completed;
+//! * the shared-memory port accepts **one stage per cycle**; an access
+//!   with congestion `c` occupies `c` consecutive port slots (replays);
+//! * a stage issued at cycle `t` completes at `t + mem_latency − 1`;
+//! * `pre_alu` address-computation ops run in the warp's private ALU pipe
+//!   *before* the access may issue: they delay that warp by
+//!   `pre_alu × alu_cycles_per_op` cycles but do not block other warps —
+//!   with ≥ 32 resident warps this overhead is almost fully hidden, which
+//!   is exactly why the paper's RAP overhead is small on real hardware;
+//! * the reported time adds `launch_overhead` and converts to nanoseconds
+//!   at `clock_ghz`.
+
+use crate::config::SmConfig;
+use crate::kernel::GpuKernel;
+use serde::{Deserialize, Serialize};
+
+/// Result of simulating one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuReport {
+    /// Total cycles including launch overhead.
+    pub cycles: u64,
+    /// Wall-clock nanoseconds at the configured clock.
+    pub ns: f64,
+    /// Shared-memory stages issued (memory-boundedness indicator).
+    pub stages: u64,
+    /// Cycles the port sat idle while warps computed addresses or waited
+    /// on latency (scheduling inefficiency indicator).
+    pub idle_cycles: u64,
+}
+
+/// Simulate `kernel` on `config`.
+///
+/// ```
+/// use rap_gpu_sim::{simulate, GpuKernel, SmConfig, WarpInstr};
+///
+/// // 32 conflict-free warps pipeline through the calibrated GTX TITAN
+/// // model in far less time than 32 serialized replays would take.
+/// let free = GpuKernel::new(32, vec![vec![WarpInstr { pre_alu: 2, stages: 1 }]; 32]);
+/// let hot = GpuKernel::new(32, vec![vec![WarpInstr { pre_alu: 2, stages: 32 }]; 32]);
+/// let cfg = SmConfig::gtx_titan();
+/// assert!(simulate(&hot, &cfg).ns > 5.0 * simulate(&free, &cfg).ns);
+/// ```
+///
+/// # Panics
+/// Panics if the configuration is invalid (see [`SmConfig::validate`]).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // warp indexes parallel state arrays
+pub fn simulate(kernel: &GpuKernel, config: &SmConfig) -> GpuReport {
+    config.validate();
+    let n_warps = kernel.num_warps();
+    // Per-warp: next instruction index and earliest cycle it may issue.
+    let mut pc = vec![0usize; n_warps];
+    let mut ready_at = vec![0u64; n_warps];
+
+    // Fold each warp's leading ALU work into its initial readiness.
+    for wi in 0..n_warps {
+        if let Some(instr) = kernel.warp(wi).first() {
+            ready_at[wi] = u64::from(instr.pre_alu) * config.alu_cycles_per_op;
+        }
+    }
+
+    let mut port_time: u64 = 0;
+    let mut busy_cycles: u64 = 0;
+    let mut last_completion: u64 = 0;
+    let mut stages_total: u64 = 0;
+    let mut rr = 0usize;
+    let mut any = false;
+
+    loop {
+        // Skip zero-stage instructions (inactive warp phases).
+        for wi in 0..n_warps {
+            while pc[wi] < kernel.warp(wi).len() && kernel.warp(wi)[pc[wi]].stages == 0 {
+                pc[wi] += 1;
+            }
+        }
+        if (0..n_warps).all(|wi| pc[wi] >= kernel.warp(wi).len()) {
+            break;
+        }
+
+        let candidate = (0..n_warps)
+            .map(|k| (rr + k) % n_warps)
+            .find(|&wi| pc[wi] < kernel.warp(wi).len() && ready_at[wi] <= port_time);
+        let wi = match candidate {
+            Some(wi) => wi,
+            None => {
+                port_time = (0..n_warps)
+                    .filter(|&wi| pc[wi] < kernel.warp(wi).len())
+                    .map(|wi| ready_at[wi])
+                    .min()
+                    .expect("an unfinished warp must exist");
+                continue;
+            }
+        };
+        rr = (wi + 1) % n_warps;
+
+        let instr = kernel.warp(wi)[pc[wi]];
+        let stages = u64::from(instr.stages);
+        let start = port_time;
+        port_time = start + stages;
+        busy_cycles += stages;
+        stages_total += stages;
+        let completion = start + stages - 1 + (config.mem_latency - 1);
+        last_completion = last_completion.max(completion);
+        pc[wi] += 1;
+        any = true;
+
+        // The warp's next instruction must wait for this access to
+        // complete, then for its own address computation.
+        let next_alu = kernel
+            .warp(wi)
+            .get(pc[wi])
+            .map_or(0, |n| u64::from(n.pre_alu) * config.alu_cycles_per_op);
+        ready_at[wi] = completion + 1 + next_alu;
+    }
+
+    let body = if any { last_completion + 1 } else { 0 };
+    let cycles = body + config.launch_overhead;
+    GpuReport {
+        cycles,
+        ns: config.to_ns(cycles),
+        stages: stages_total,
+        idle_cycles: body.saturating_sub(busy_cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::WarpInstr;
+
+    fn cfg(mem_latency: u64, overhead: u64) -> SmConfig {
+        SmConfig {
+            width: 4,
+            mem_latency,
+            alu_cycles_per_op: 1,
+            launch_overhead: overhead,
+            clock_ghz: 1.0,
+        }
+    }
+
+    fn uniform_kernel(warps: usize, instrs: usize, stages: u32, alu: u32) -> GpuKernel {
+        GpuKernel::new(
+            4,
+            (0..warps)
+                .map(|_| vec![WarpInstr { pre_alu: alu, stages }; instrs])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn single_warp_single_stage() {
+        let k = uniform_kernel(1, 1, 1, 0);
+        let r = simulate(&k, &cfg(5, 0));
+        // issue at 0, completes at 0 + 0 + 4 = 4 → 5 cycles
+        assert_eq!(r.cycles, 5);
+        assert_eq!(r.stages, 1);
+    }
+
+    #[test]
+    fn conflict_free_warps_pipeline() {
+        // W warps, 1 stage each: W + l - 1 cycles (like the DMM).
+        let k = uniform_kernel(8, 1, 1, 0);
+        let r = simulate(&k, &cfg(6, 0));
+        assert_eq!(r.cycles, 8 + 6 - 1);
+    }
+
+    #[test]
+    fn replays_serialize_the_port() {
+        // 4 warps × 4 replays = 16 port slots.
+        let k = uniform_kernel(4, 1, 4, 0);
+        let r = simulate(&k, &cfg(3, 0));
+        assert_eq!(r.cycles, 16 + 3 - 1);
+        assert_eq!(r.stages, 16);
+    }
+
+    #[test]
+    fn alu_hidden_by_other_warps() {
+        // Plenty of warps: per-warp ALU delay overlaps with the busy port.
+        let with_alu = simulate(&uniform_kernel(16, 2, 2, 3), &cfg(4, 0));
+        let without = simulate(&uniform_kernel(16, 2, 2, 0), &cfg(4, 0));
+        let slowdown = with_alu.cycles as f64 / without.cycles as f64;
+        assert!(
+            slowdown < 1.15,
+            "ALU work should be mostly hidden, got {slowdown}"
+        );
+    }
+
+    #[test]
+    fn alu_visible_with_one_warp() {
+        // A single warp cannot hide its address computation.
+        let with_alu = simulate(&uniform_kernel(1, 3, 1, 10), &cfg(2, 0));
+        let without = simulate(&uniform_kernel(1, 3, 1, 0), &cfg(2, 0));
+        assert!(with_alu.cycles >= without.cycles + 20);
+    }
+
+    #[test]
+    fn launch_overhead_added() {
+        let k = uniform_kernel(1, 1, 1, 0);
+        let a = simulate(&k, &cfg(2, 0));
+        let b = simulate(&k, &cfg(2, 50));
+        assert_eq!(b.cycles, a.cycles + 50);
+    }
+
+    #[test]
+    fn empty_kernel_costs_only_overhead() {
+        let k = GpuKernel::new(4, vec![vec![], vec![]]);
+        let r = simulate(&k, &cfg(3, 7));
+        assert_eq!(r.cycles, 7);
+        assert_eq!(r.stages, 0);
+    }
+
+    #[test]
+    fn zero_stage_instructions_skipped() {
+        let k = GpuKernel::new(
+            4,
+            vec![vec![
+                WarpInstr { pre_alu: 0, stages: 0 },
+                WarpInstr { pre_alu: 0, stages: 1 },
+            ]],
+        );
+        let r = simulate(&k, &cfg(2, 0));
+        assert_eq!(r.stages, 1);
+        assert_eq!(r.cycles, 2);
+    }
+
+    #[test]
+    fn idle_cycles_reported() {
+        // One warp with dependent accesses: the port idles during latency.
+        let k = uniform_kernel(1, 4, 1, 0);
+        let r = simulate(&k, &cfg(10, 0));
+        assert!(r.idle_cycles > 0);
+        assert_eq!(r.cycles, 4 * 10);
+    }
+
+    #[test]
+    fn ns_uses_clock() {
+        let k = uniform_kernel(1, 1, 1, 0);
+        let mut c = cfg(2, 0);
+        c.clock_ghz = 0.5;
+        let r = simulate(&k, &c);
+        assert_eq!(r.ns, r.cycles as f64 * 2.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! GPU kernels as per-warp instruction streams.
+//!
+//! The SM engine consumes a [`GpuKernel`]: for every warp, a sequence of
+//! [`WarpInstr`]s, each combining the address-computation ALU work with
+//! one shared-memory access and its replay count (`stages` = the access's
+//! bank congestion). Kernels are usually *lowered* from a DMM
+//! [`Program`] via [`lower_program`], which computes the real congestion
+//! of every warp access under the mapping already baked into the program's
+//! addresses.
+
+use rap_dmm::{MergedAccess, Program};
+use serde::{Deserialize, Serialize};
+
+/// One warp-level instruction: `pre_alu` address-computation ops followed
+/// by a shared-memory access occupying `stages` replay slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarpInstr {
+    /// ALU operations executed in the warp's private pipe before the
+    /// access issues (address computation, e.g. the RAP shift unpacking).
+    pub pre_alu: u32,
+    /// Shared-memory replay slots = congestion of the access (0 means the
+    /// warp skips the access entirely).
+    pub stages: u32,
+}
+
+/// A kernel: per-warp instruction streams.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GpuKernel {
+    width: usize,
+    warps: Vec<Vec<WarpInstr>>,
+}
+
+impl GpuKernel {
+    /// Build from explicit per-warp streams.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or there are no warps.
+    #[must_use]
+    pub fn new(width: usize, warps: Vec<Vec<WarpInstr>>) -> Self {
+        assert!(width > 0, "width must be positive");
+        assert!(!warps.is_empty(), "kernel needs at least one warp");
+        Self { width, warps }
+    }
+
+    /// Threads per warp / banks.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of warps.
+    #[must_use]
+    pub fn num_warps(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// Instruction stream of one warp.
+    #[must_use]
+    pub fn warp(&self, i: usize) -> &[WarpInstr] {
+        &self.warps[i]
+    }
+
+    /// Total shared-memory stages across all warps (the memory-bound lower
+    /// bound on issue cycles).
+    #[must_use]
+    pub fn total_stages(&self) -> u64 {
+        self.warps
+            .iter()
+            .flatten()
+            .map(|i| u64::from(i.stages))
+            .sum()
+    }
+}
+
+/// Lower a DMM [`Program`] to a [`GpuKernel`] for an SM with `width`
+/// banks. `alu_per_phase[k]` is the address-computation cost charged
+/// before each access of phase `k` (e.g. 2 ops for a RAW index, 5–6 for
+/// the RAS/RAP shift lookup; see [`crate::titan`] for the table).
+///
+/// The congestion of each warp access is computed from the program's
+/// physical addresses with full CRCW merging, so the kernel reflects the
+/// actual conflicts of whatever mapping generated the program.
+///
+/// # Panics
+/// Panics if `alu_per_phase.len() != program.num_phases()` or the thread
+/// count is not a positive multiple of `width`.
+#[must_use]
+pub fn lower_program<T: Copy>(
+    program: &Program<T>,
+    width: usize,
+    alu_per_phase: &[u32],
+) -> GpuKernel {
+    assert_eq!(
+        alu_per_phase.len(),
+        program.num_phases(),
+        "one ALU cost per phase required"
+    );
+    let p = program.num_threads();
+    assert!(
+        width > 0 && p.is_multiple_of(width),
+        "thread count {p} must be a multiple of width {width}"
+    );
+    let n_warps = p / width;
+    let warps = (0..n_warps)
+        .map(|wi| {
+            program
+                .phases()
+                .iter()
+                .zip(alu_per_phase)
+                .filter_map(|(phase, &alu)| {
+                    let ops = &phase.ops[wi * width..(wi + 1) * width];
+                    let merged = MergedAccess::merge(width, ops);
+                    (!merged.is_empty()).then_some(WarpInstr {
+                        pre_alu: alu,
+                        stages: merged.congestion(),
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    GpuKernel::new(width, warps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_dmm::MemOp;
+
+    #[test]
+    fn lower_contiguous_program() {
+        let w = 4;
+        let mut p: Program<u64> = Program::new(16);
+        p.phase("read", |t| Some(MemOp::Read(t as u64)));
+        let k = lower_program(&p, w, &[2]);
+        assert_eq!(k.num_warps(), 4);
+        for wi in 0..4 {
+            assert_eq!(k.warp(wi), &[WarpInstr { pre_alu: 2, stages: 1 }]);
+        }
+        assert_eq!(k.total_stages(), 4);
+    }
+
+    #[test]
+    fn lower_stride_program_counts_replays() {
+        let w = 4;
+        let mut p: Program<u64> = Program::new(16);
+        p.phase("read", move |t| {
+            Some(MemOp::Read(((t % w) * w + t / w) as u64))
+        });
+        let k = lower_program(&p, w, &[0]);
+        for wi in 0..4 {
+            assert_eq!(k.warp(wi)[0].stages, 4, "warp {wi} hammers one bank");
+        }
+        assert_eq!(k.total_stages(), 16);
+    }
+
+    #[test]
+    fn empty_phases_are_skipped_per_warp() {
+        let w = 4;
+        let mut p: Program<u64> = Program::new(8);
+        p.phase("warp0 only", |t| (t < 4).then_some(MemOp::Read(t as u64)));
+        let k = lower_program(&p, w, &[1]);
+        assert_eq!(k.warp(0).len(), 1);
+        assert_eq!(k.warp(1).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ALU cost per phase")]
+    fn alu_cost_arity_checked() {
+        let mut p: Program<u64> = Program::new(4);
+        p.phase("read", |t| Some(MemOp::Read(t as u64)));
+        let _ = lower_program(&p, 4, &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one warp")]
+    fn empty_kernel_rejected() {
+        let _ = GpuKernel::new(4, vec![]);
+    }
+}

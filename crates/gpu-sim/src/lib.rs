@@ -1,0 +1,31 @@
+//! # rap-gpu-sim — single-SM GPU timing simulator
+//!
+//! The paper's §VI evaluates the transpose kernels on a GeForce GTX TITAN.
+//! No GPU is available in this reproduction, so this crate provides the
+//! documented substitute (DESIGN.md §5): a first-order timing model of one
+//! streaming multiprocessor whose behaviour is driven by the two effects
+//! that actually shape Table III —
+//!
+//! 1. **bank-conflict replays**: a shared-memory access with congestion
+//!    `c` occupies the shared-memory port for `c` cycles;
+//! 2. **address-computation cost**: RAS/RAP spend a few extra ALU ops per
+//!    access unpacking their shift registers, executed in the warp's
+//!    private pipe and hidden when enough warps are resident.
+//!
+//! Pipeline: DMM [`Program`](rap_dmm::Program) → [`lower_program`] →
+//! [`GpuKernel`] → [`simulate`] → [`GpuReport`] (cycles and ns).
+//! `SmConfig::gtx_titan()` holds the calibrated parameters; the
+//! calibration procedure and paper-vs-simulated numbers are in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod kernel;
+pub mod titan;
+
+pub use config::SmConfig;
+pub use engine::{simulate, GpuReport};
+pub use kernel::{lower_program, GpuKernel, WarpInstr};

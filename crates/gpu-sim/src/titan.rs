@@ -1,0 +1,86 @@
+//! GTX-TITAN-specific cost tables for the paper's transpose kernels.
+//!
+//! The paper's §VI CUDA listings differ across schemes only in how each
+//! access's address is computed:
+//!
+//! * **RAW**: plain index arithmetic (`i = t/32`, `j = t%32`, hoisted;
+//!   per access only the base offset remains) — ~2 ops;
+//! * **RAS**: a shift lookup from packed registers plus `(j + r_i) & 0x1f`
+//!   — ~6 ops;
+//! * **RAP**: the Figure-7 unpack `(r[i/6] >> (5*(i%6))) & 0x1f` plus the
+//!   rotate — ~6 ops (same packed layout as RAS; the permutation property
+//!   is free at access time);
+//! * the **diagonal** algorithms (DRDW) add `(i+j) mod w` on both
+//!   coordinates — +2 ops per access.
+//!
+//! These are warp-private ALU ops; with 32 resident warps they are almost
+//! entirely hidden behind the shared-memory port (see
+//! [`crate::engine::simulate`]), which reproduces the paper's observation
+//! that the RAP address conversion costs little.
+
+use rap_core::Scheme;
+
+/// ALU ops charged per access for a scheme's address computation.
+#[must_use]
+pub fn address_alu_ops(scheme: Scheme) -> u32 {
+    match scheme {
+        Scheme::Raw => 2,
+        Scheme::Ras | Scheme::Rap => 6,
+        // The modern deterministic baselines: XOR is one extra op over
+        // RAW; padding changes only the row pitch (a constant multiply).
+        Scheme::Xor => 3,
+        Scheme::Padded => 2,
+    }
+}
+
+/// Extra ALU ops for diagonal index arithmetic (`(i + j) mod w`).
+pub const DIAGONAL_EXTRA_OPS: u32 = 2;
+
+/// Per-phase ALU costs `[read, write]` of a transpose kernel under
+/// `scheme`; `diagonal` selects the DRDW variant.
+#[must_use]
+pub fn transpose_alu_costs(scheme: Scheme, diagonal: bool) -> [u32; 2] {
+    let base = address_alu_ops(scheme) + if diagonal { DIAGONAL_EXTRA_OPS } else { 0 };
+    [base, base]
+}
+
+/// Per-phase ALU costs assuming the paper's proposed **hardware RAP**
+/// (§I/§VIII: "a circuit that evaluates `σ(a mod w) + a/w` … can be
+/// embedded. Using such hardware support, the overhead of address
+/// conversion by the RAP can be negligible"): the permute-shift happens
+/// in the memory path, so every scheme pays only the RAW index cost.
+#[must_use]
+pub fn transpose_alu_costs_hw(diagonal: bool) -> [u32; 2] {
+    transpose_alu_costs(Scheme::Raw, diagonal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_is_cheapest() {
+        assert!(address_alu_ops(Scheme::Raw) < address_alu_ops(Scheme::Rap));
+        assert_eq!(address_alu_ops(Scheme::Ras), address_alu_ops(Scheme::Rap));
+    }
+
+    #[test]
+    fn diagonal_adds_ops() {
+        let plain = transpose_alu_costs(Scheme::Rap, false);
+        let diag = transpose_alu_costs(Scheme::Rap, true);
+        assert_eq!(diag[0], plain[0] + DIAGONAL_EXTRA_OPS);
+        assert_eq!(diag[1], plain[1] + DIAGONAL_EXTRA_OPS);
+    }
+
+    #[test]
+    fn hardware_rap_costs_like_raw() {
+        assert_eq!(
+            transpose_alu_costs_hw(false),
+            transpose_alu_costs(Scheme::Raw, false)
+        );
+        assert_eq!(
+            transpose_alu_costs_hw(true),
+            transpose_alu_costs(Scheme::Raw, true)
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests for the SM timing model.
+
+use proptest::prelude::*;
+use rap_gpu_sim::{lower_program, simulate, GpuKernel, SmConfig, WarpInstr};
+
+fn cfg(mem_latency: u64, alu: u64, overhead: u64) -> SmConfig {
+    SmConfig {
+        width: 32,
+        mem_latency,
+        alu_cycles_per_op: alu,
+        launch_overhead: overhead,
+        clock_ghz: 1.0,
+    }
+}
+
+fn kernel_strategy() -> impl Strategy<Value = GpuKernel> {
+    prop::collection::vec(
+        prop::collection::vec((0u32..8, 0u32..8), 0..6),
+        1..8,
+    )
+    .prop_map(|warps| {
+        GpuKernel::new(
+            32,
+            warps
+                .into_iter()
+                .map(|w| {
+                    w.into_iter()
+                        .map(|(pre_alu, stages)| WarpInstr { pre_alu, stages })
+                        .collect()
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// Simulated time is at least the port-occupancy lower bound and at
+    /// least the latency of the last stage.
+    #[test]
+    fn time_lower_bounds(kernel in kernel_strategy(), l in 1u64..32, oh in 0u64..20) {
+        let r = simulate(&kernel, &cfg(l, 1, oh));
+        prop_assert!(r.cycles >= r.stages + oh);
+        if r.stages > 0 {
+            prop_assert!(r.cycles >= l + oh, "must cover at least one full latency");
+        }
+        prop_assert_eq!(r.stages, kernel.total_stages());
+    }
+
+    /// Launch overhead is a pure additive constant — exactly monotone for
+    /// any kernel. (Memory latency and ALU cost are NOT globally monotone:
+    /// round-robin greedy scheduling exhibits Graham-style anomalies where
+    /// slowing one warp reorders dispatches and finishes earlier. The
+    /// uniform-kernel test below covers the anomaly-free case.)
+    #[test]
+    fn overhead_exactly_additive(kernel in kernel_strategy(), oh in 0u64..50, extra in 1u64..50) {
+        let a = simulate(&kernel, &cfg(4, 1, oh)).cycles;
+        let b = simulate(&kernel, &cfg(4, 1, oh + extra)).cycles;
+        prop_assert_eq!(b, a + extra);
+    }
+
+    /// For uniform kernels (identical warps — no scheduling anomalies),
+    /// time is monotone in memory latency and ALU cost, and adding a warp
+    /// never speeds things up.
+    #[test]
+    fn uniform_kernels_are_anomaly_free(
+        warps in 1usize..8, instrs in 1usize..5, stages in 1u32..6, alu in 0u32..6
+    ) {
+        let uniform = |n: usize| GpuKernel::new(
+            32,
+            (0..n).map(|_| vec![WarpInstr { pre_alu: alu, stages }; instrs]).collect(),
+        );
+        let kernel = uniform(warps);
+        let base = simulate(&kernel, &cfg(4, 1, 5)).cycles;
+        prop_assert!(simulate(&kernel, &cfg(8, 1, 5)).cycles >= base);
+        prop_assert!(simulate(&kernel, &cfg(4, 3, 5)).cycles >= base);
+        let bigger = uniform(warps + 1);
+        prop_assert!(simulate(&bigger, &cfg(4, 1, 5)).cycles >= base);
+    }
+
+    /// Lowering a program conserves total stage counts: the kernel's
+    /// stages equal the DMM's total stages for the same program.
+    #[test]
+    fn lowering_conserves_stages(
+        seed in any::<u64>(), w in 1usize..9, warps in 1usize..5
+    ) {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use rap_dmm::{BankedMemory, Dmm, Machine, MemOp, Program};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = (w * w) as u64;
+        let addrs: Vec<u64> = (0..w * warps).map(|_| rng.gen_range(0..n)).collect();
+        let mut program: Program<u64> = Program::new(w * warps);
+        program.phase("read", move |t| Some(MemOp::Read(addrs[t])));
+
+        let kernel = lower_program(&program, w, &[3]);
+        let machine: Dmm = Machine::new(w, 1);
+        let mut mem = BankedMemory::new(w, n as usize);
+        let report = machine.execute(&program, &mut mem);
+        prop_assert_eq!(kernel.total_stages(), report.total_stages);
+    }
+
+    /// ns scales inversely with the clock.
+    #[test]
+    fn ns_inverse_in_clock(kernel in kernel_strategy(), clock_milli in 100u64..4000) {
+        let mut config = cfg(4, 1, 3);
+        config.clock_ghz = clock_milli as f64 / 1000.0;
+        let r = simulate(&kernel, &config);
+        prop_assert!((r.ns - r.cycles as f64 / config.clock_ghz).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rap-permute — offline permutation on the Discrete Memory Machine
+//!
+//! The RAP paper's §I motivates the technique with offline permutation:
+//! its authors had previously shown that a *graph-coloring* schedule
+//! (Kasagi, Nakano & Ito — refs \[8\] and \[13\] of the paper) makes any
+//! offline permutation conflict-free on the DMM, but called constructing
+//! it "a very hard task" that RAP renders unnecessary. This crate builds
+//! both sides of that comparison:
+//!
+//! * [`coloring`] — bipartite edge coloring of the bank-transfer
+//!   multigraph (Euler splits + augmenting-path matchings);
+//! * [`schedule`] — conflict-free round schedules derived from the
+//!   coloring;
+//! * [`runner`] — execution of a permutation on the DMM under three
+//!   strategies: direct, conflict-free (colored), and RAP-mapped direct.
+//!
+//! The headline result (see the `permutation` bench): on the worst-case
+//! transpose permutation, direct execution costs `w×` serialization, the
+//! coloring achieves the optimum, and RAP matches the optimum here
+//! (the transpose permutation's writes become stride accesses, which RAP
+//! makes conflict-free) while requiring no offline analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coloring;
+pub mod runner;
+pub mod schedule;
+
+pub use coloring::{edge_color, ColoringError};
+pub use runner::{run_permutation, transpose_permutation, PermuteRun, RapArrayMapping, Strategy};
+pub use schedule::Schedule;

@@ -1,0 +1,330 @@
+//! Execute offline permutations on the DMM under three strategies.
+//!
+//! The task: move every word `src[t]` to `dst[π(t)]` for a permutation
+//! `π` known offline, with both arrays in banked shared memory
+//! (`n = k·w` words each, one thread per word).
+//!
+//! * [`Strategy::Direct`] — thread `t` reads `src[t]` and writes
+//!   `dst[π(t)]`: simple, but the write congestion is whatever `π`
+//!   induces — up to `w` (e.g. the transpose permutation);
+//! * [`Strategy::ConflictFree`] — the Kasagi–Nakano–Ito approach: an
+//!   offline bipartite edge coloring reorders the moves into rounds with
+//!   congestion exactly 1 on both sides (see [`crate::schedule`]);
+//! * [`Strategy::Rap`] — the paper's answer: lay both arrays out with a
+//!   random permute-shift and run the *direct* kernel; the expected
+//!   congestion drops to `O(log w / log log w)` with no offline analysis
+//!   at all.
+//!
+//! The `permutation` bench compares the three, reproducing the paper's
+//! §I narrative: the coloring is optimal but "may be a very hard task";
+//! RAP gets most of the benefit for free.
+
+use crate::schedule::Schedule;
+use rap_core::Permutation;
+use rap_dmm::{BankedMemory, Dmm, Machine, MemOp, Program, WriteSource};
+use serde::{Deserialize, Serialize};
+
+/// How to execute the permutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Thread `t` moves word `t` directly.
+    Direct,
+    /// Graph-coloring schedule with congestion 1 per round.
+    ConflictFree,
+    /// Direct execution over RAP-mapped arrays.
+    Rap,
+}
+
+impl Strategy {
+    /// All strategies in comparison order.
+    #[must_use]
+    pub fn all() -> [Strategy; 3] {
+        [Strategy::Direct, Strategy::ConflictFree, Strategy::Rap]
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Direct => "Direct",
+            Strategy::ConflictFree => "ConflictFree",
+            Strategy::Rap => "RAP",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// RAP layout for a flat array of `n = k·w` words: word `t` (row
+/// `t / w`, column `t mod w`) is stored at
+/// `(t/w)·w + (t + σ(t/w mod w)) mod w` — the §VII "one permutation"
+/// extension applied row-wise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RapArrayMapping {
+    width: u32,
+    sigma: Permutation,
+}
+
+impl RapArrayMapping {
+    /// Build from an explicit permutation of `{0..w}`.
+    #[must_use]
+    pub fn new(sigma: Permutation) -> Self {
+        Self {
+            width: sigma.len() as u32,
+            sigma,
+        }
+    }
+
+    /// Draw a fresh random instance.
+    #[must_use]
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R, width: usize) -> Self {
+        Self::new(Permutation::random(rng, width))
+    }
+
+    /// Physical address of logical word `t`.
+    #[inline]
+    #[must_use]
+    pub fn map(&self, t: u64) -> u64 {
+        let w = u64::from(self.width);
+        let row = t / w;
+        let col = t % w;
+        let shift = u64::from(self.sigma.apply((row % w) as u32));
+        row * w + (col + shift) % w
+    }
+
+    /// Banks-per-row width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width as usize
+    }
+}
+
+/// Result of one permutation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PermuteRun {
+    /// Strategy used.
+    pub strategy: Strategy,
+    /// Timing/congestion report from the DMM.
+    pub report: rap_dmm::ExecReport,
+    /// Whether the output matched `dst[π(t)] = src[t]` for all `t`.
+    pub verified: bool,
+}
+
+impl PermuteRun {
+    /// Mean congestion of the read phase.
+    #[must_use]
+    pub fn read_congestion(&self) -> f64 {
+        self.report.phases[0].mean_congestion()
+    }
+
+    /// Mean congestion of the write phase.
+    #[must_use]
+    pub fn write_congestion(&self) -> f64 {
+        self.report.phases[1].mean_congestion()
+    }
+}
+
+/// Execute `pi` over `data` on a DMM of the given width and latency.
+///
+/// For [`Strategy::Rap`], `rap_mapping` supplies the (secret) layout; it
+/// is required for that strategy and ignored otherwise.
+///
+/// # Panics
+/// Panics if `data.len()` is not a positive multiple of `width`, if
+/// `pi.len() != data.len()`, or if `rap_mapping` is missing for
+/// [`Strategy::Rap`].
+#[must_use]
+pub fn run_permutation(
+    strategy: Strategy,
+    width: usize,
+    pi: &Permutation,
+    latency: u64,
+    data: &[u64],
+    rap_mapping: Option<&RapArrayMapping>,
+) -> PermuteRun {
+    let n = data.len();
+    assert!(n > 0 && n.is_multiple_of(width), "array must fill whole warps");
+    assert_eq!(pi.len(), n, "permutation arity must match the data");
+    let n64 = n as u64;
+
+    let machine: Dmm = Machine::new(width, latency);
+    let mut memory: BankedMemory<u64> = BankedMemory::new(width, 2 * n);
+
+    // Logical→physical address of the source / destination word.
+    let map: Box<dyn Fn(u64) -> u64> = match strategy {
+        Strategy::Rap => {
+            let m = rap_mapping
+                .expect("Strategy::Rap requires a RapArrayMapping")
+                .clone();
+            Box::new(move |t| m.map(t))
+        }
+        _ => Box::new(|t| t),
+    };
+
+    // Stage the input.
+    for (t, &v) in data.iter().enumerate() {
+        memory.write(map(t as u64), v);
+    }
+
+    // element_of(thread) = which logical word this thread moves.
+    let element_of: Box<dyn Fn(usize) -> u32> = match strategy {
+        Strategy::ConflictFree => {
+            let schedule = Schedule::conflict_free(width, pi)
+                .expect("whole-array permutations are regular");
+            Box::new(move |thread| schedule.round(thread / width)[thread % width])
+        }
+        _ => Box::new(|thread| thread as u32),
+    };
+
+    let mut program: Program<u64> = Program::new(n);
+    {
+        let map = &map;
+        let element_of = &element_of;
+        program.phase("read", |thread| {
+            Some(MemOp::Read(map(u64::from(element_of(thread)))))
+        });
+        program.phase("write", |thread| {
+            let e = element_of(thread);
+            Some(MemOp::Write(
+                n64 + map(u64::from(pi.apply(e))),
+                WriteSource::LastRead,
+            ))
+        });
+    }
+
+    let report = machine.execute(&program, &mut memory);
+
+    let verified = (0..n as u64).all(|t| {
+        memory.read(n64 + map(u64::from(pi.apply(t as u32)))) == data[usize::try_from(t).unwrap()]
+    });
+
+    PermuteRun {
+        strategy,
+        report,
+        verified,
+    }
+}
+
+/// The transpose permutation of a `w × w` array viewed flat — the worst
+/// case for [`Strategy::Direct`] (every warp's writes hit a single bank).
+///
+/// # Panics
+/// Panics if `w == 0`.
+#[must_use]
+pub fn transpose_permutation(w: usize) -> Permutation {
+    let wu = w as u32;
+    Permutation::from_table((0..wu * wu).map(|t| (t % wu) * wu + t / wu).collect())
+        .expect("transpose is a permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn data(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|x| x.wrapping_mul(0x9E37) ^ 0xABCD).collect()
+    }
+
+    #[test]
+    fn all_strategies_permute_correctly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for (w, k) in [(4usize, 4usize), (8, 8), (16, 4), (32, 32)] {
+            let n = w * k;
+            let pi = Permutation::random(&mut rng, n);
+            let d = data(n);
+            for strategy in Strategy::all() {
+                let mapping = RapArrayMapping::random(&mut rng, w);
+                let run = run_permutation(strategy, w, &pi, 2, &d, Some(&mapping));
+                assert!(run.verified, "{strategy} w={w} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_free_is_always_congestion_one() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..10 {
+            let w = 16;
+            let pi = Permutation::random(&mut rng, w * w);
+            let run = run_permutation(Strategy::ConflictFree, w, &pi, 1, &data(w * w), None);
+            assert_eq!(run.report.max_congestion(), 1);
+            assert_eq!(run.read_congestion(), 1.0);
+            assert_eq!(run.write_congestion(), 1.0);
+        }
+    }
+
+    #[test]
+    fn direct_hits_worst_case_on_transpose() {
+        let w = 16;
+        let pi = transpose_permutation(w);
+        let run = run_permutation(Strategy::Direct, w, &pi, 1, &data(w * w), None);
+        assert!(run.verified);
+        assert_eq!(run.write_congestion(), w as f64);
+    }
+
+    #[test]
+    fn rap_tames_the_transpose_permutation() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let w = 32;
+        let pi = transpose_permutation(w);
+        let mapping = RapArrayMapping::random(&mut rng, w);
+        let run = run_permutation(Strategy::Rap, w, &pi, 1, &data(w * w), Some(&mapping));
+        assert!(run.verified);
+        // Under RAP the transpose write is a stride access → exactly 1.
+        assert_eq!(run.write_congestion(), 1.0);
+    }
+
+    #[test]
+    fn timing_order_on_worst_case() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let w = 32;
+        let pi = transpose_permutation(w);
+        let d = data(w * w);
+        let mapping = RapArrayMapping::random(&mut rng, w);
+        let direct = run_permutation(Strategy::Direct, w, &pi, 8, &d, None);
+        let colored = run_permutation(Strategy::ConflictFree, w, &pi, 8, &d, None);
+        let rap = run_permutation(Strategy::Rap, w, &pi, 8, &d, Some(&mapping));
+        assert!(
+            colored.report.cycles <= rap.report.cycles,
+            "coloring is optimal: {} vs {}",
+            colored.report.cycles,
+            rap.report.cycles
+        );
+        assert!(
+            rap.report.cycles * 4 < direct.report.cycles,
+            "RAP must be far ahead of direct: {} vs {}",
+            rap.report.cycles,
+            direct.report.cycles
+        );
+    }
+
+    #[test]
+    fn rap_array_mapping_is_bijective() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let m = RapArrayMapping::random(&mut rng, 8);
+        let n = 8 * 24; // k = 24 > w exercises the row % w reuse
+        let seen: std::collections::HashSet<u64> = (0..n as u64).map(|t| m.map(t)).collect();
+        assert_eq!(seen.len(), n);
+        assert!(seen.iter().all(|&a| a < n as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a RapArrayMapping")]
+    fn rap_without_mapping_panics() {
+        let pi = Permutation::identity(16);
+        let _ = run_permutation(Strategy::Rap, 4, &pi, 1, &data(16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole warps")]
+    fn partial_warp_rejected() {
+        let pi = Permutation::identity(6);
+        let _ = run_permutation(Strategy::Direct, 4, &pi, 1, &data(6), None);
+    }
+}

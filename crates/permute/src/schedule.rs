@@ -1,0 +1,137 @@
+//! Conflict-free schedules for offline permutations.
+//!
+//! Given a permutation `π` of `n = k·w` words (word at address `t` must
+//! move to address `π(t)`), [`Schedule::conflict_free`] partitions the
+//! moves into `k` rounds via [`edge_color`]
+//! such that every round touches each source bank once and each
+//! destination bank once — congestion 1 on both sides, by construction.
+
+use crate::coloring::{edge_color, ColoringError};
+use rap_core::Permutation;
+use serde::{Deserialize, Serialize};
+
+/// A round-partition of a permutation's moves.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    width: usize,
+    /// `rounds[r]` lists source addresses moved in round `r`; each round
+    /// has exactly `width` entries.
+    rounds: Vec<Vec<u32>>,
+}
+
+impl Schedule {
+    /// Build the conflict-free schedule of `pi` on a machine with
+    /// `width` banks.
+    ///
+    /// # Errors
+    /// Returns an error if `pi.len()` is not a multiple of `width` (the
+    /// induced bank graph would not be regular).
+    pub fn conflict_free(width: usize, pi: &Permutation) -> Result<Self, ColoringError> {
+        let pairs: Vec<(u32, u32)> = (0..pi.len() as u32)
+            .map(|t| (t % width as u32, pi.apply(t) % width as u32))
+            .collect();
+        let colors = edge_color(width, &pairs)?;
+        let k = pi.len() / width;
+        let mut rounds: Vec<Vec<u32>> = vec![Vec::with_capacity(width); k];
+        for (t, &c) in colors.iter().enumerate() {
+            rounds[c as usize].push(t as u32);
+        }
+        Ok(Self { width, rounds })
+    }
+
+    /// Number of rounds (`k = n / w`).
+    #[must_use]
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Machine width the schedule was built for.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source addresses moved in round `r`.
+    #[must_use]
+    pub fn round(&self, r: usize) -> &[u32] {
+        &self.rounds[r]
+    }
+
+    /// Verify the defining property against `pi`: every round's sources
+    /// hit distinct banks and their targets hit distinct banks, and every
+    /// address appears exactly once overall.
+    #[must_use]
+    pub fn is_conflict_free(&self, pi: &Permutation) -> bool {
+        let w = self.width as u32;
+        let mut seen = vec![false; pi.len()];
+        for round in &self.rounds {
+            if round.len() != self.width {
+                return false;
+            }
+            let src_banks: std::collections::HashSet<u32> =
+                round.iter().map(|&t| t % w).collect();
+            let dst_banks: std::collections::HashSet<u32> =
+                round.iter().map(|&t| pi.apply(t) % w).collect();
+            if src_banks.len() != self.width || dst_banks.len() != self.width {
+                return false;
+            }
+            for &t in round {
+                if seen[t as usize] {
+                    return false;
+                }
+                seen[t as usize] = true;
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_of_random_permutations_is_conflict_free() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (w, k) in [(4usize, 4usize), (8, 8), (16, 5), (32, 32)] {
+            let pi = Permutation::random(&mut rng, w * k);
+            let s = Schedule::conflict_free(w, &pi).unwrap();
+            assert_eq!(s.num_rounds(), k);
+            assert!(s.is_conflict_free(&pi), "w={w} k={k}");
+        }
+    }
+
+    #[test]
+    fn transpose_schedule() {
+        let w = 8;
+        let table: Vec<u32> = (0..64u32).map(|t| (t % 8) * 8 + t / 8).collect();
+        let pi = Permutation::from_table(table).unwrap();
+        let s = Schedule::conflict_free(w, &pi).unwrap();
+        assert!(s.is_conflict_free(&pi));
+    }
+
+    #[test]
+    fn rejects_partial_array() {
+        let pi = Permutation::identity(6);
+        assert!(Schedule::conflict_free(4, &pi).is_err());
+    }
+
+    #[test]
+    fn is_conflict_free_detects_bad_schedules() {
+        let pi = Permutation::identity(8);
+        // Two rounds that both move address 0 (and skip 4).
+        let bad = Schedule {
+            width: 4,
+            rounds: vec![vec![0, 1, 2, 3], vec![0, 5, 6, 7]],
+        };
+        assert!(!bad.is_conflict_free(&pi));
+        // A round with two sources in one bank.
+        let bad2 = Schedule {
+            width: 4,
+            rounds: vec![vec![0, 4, 2, 3], vec![1, 5, 6, 7]],
+        };
+        assert!(!bad2.is_conflict_free(&pi));
+    }
+}

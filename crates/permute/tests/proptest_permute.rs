@@ -1,0 +1,106 @@
+//! Property tests for the offline-permutation machinery.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::Permutation;
+use rap_permute::{edge_color, run_permutation, RapArrayMapping, Schedule, Strategy};
+
+/// A random `k`-regular bipartite multigraph on `w + w` nodes, built as
+/// the union of `k` random perfect matchings (so regularity holds by
+/// construction but the multigraph is otherwise arbitrary, including
+/// parallel edges).
+fn random_regular(rng: &mut SmallRng, w: usize, k: usize) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::with_capacity(w * k);
+    for _ in 0..k {
+        let m = Permutation::random(rng, w);
+        for s in 0..w as u32 {
+            pairs.push((s, m.apply(s)));
+        }
+    }
+    // Shuffle so color classes are not handed to the algorithm for free.
+    for i in (1..pairs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pairs.swap(i, j);
+    }
+    pairs
+}
+
+proptest! {
+    /// Edge coloring of arbitrary regular multigraphs is always proper:
+    /// each color class is a perfect matching.
+    #[test]
+    fn edge_coloring_is_proper(seed in any::<u64>(), w in 1usize..17, k in 1usize..17) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pairs = random_regular(&mut rng, w, k);
+        let colors = edge_color(w, &pairs).unwrap();
+        prop_assert_eq!(colors.len(), pairs.len());
+        for color in 0..k as u32 {
+            let class: Vec<(u32, u32)> = pairs
+                .iter()
+                .zip(&colors)
+                .filter(|(_, &c)| c == color)
+                .map(|(&p, _)| p)
+                .collect();
+            prop_assert_eq!(class.len(), w, "color {} size", color);
+            let srcs: std::collections::HashSet<u32> = class.iter().map(|&(s, _)| s).collect();
+            let dsts: std::collections::HashSet<u32> = class.iter().map(|&(_, d)| d).collect();
+            prop_assert_eq!(srcs.len(), w);
+            prop_assert_eq!(dsts.len(), w);
+        }
+    }
+
+    /// Conflict-free schedules exist and verify for any whole-array
+    /// permutation.
+    #[test]
+    fn schedules_always_conflict_free(seed in any::<u64>(), w in 1usize..13, k in 1usize..13) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pi = Permutation::random(&mut rng, w * k);
+        let s = Schedule::conflict_free(w, &pi).unwrap();
+        prop_assert_eq!(s.num_rounds(), k);
+        prop_assert!(s.is_conflict_free(&pi));
+    }
+
+    /// All three strategies move the data correctly for arbitrary
+    /// permutations, widths, and latencies.
+    #[test]
+    fn strategies_always_correct(
+        seed in any::<u64>(), w in 1usize..10, k in 1usize..6, l in 1u64..6
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = w * k;
+        let pi = Permutation::random(&mut rng, n);
+        let data: Vec<u64> = (0..n as u64).map(|x| x ^ 0x5A5A).collect();
+        let mapping = RapArrayMapping::random(&mut rng, w);
+        for strategy in Strategy::all() {
+            let run = run_permutation(strategy, w, &pi, l, &data, Some(&mapping));
+            prop_assert!(run.verified, "{} failed", strategy);
+            if strategy == Strategy::ConflictFree {
+                prop_assert_eq!(run.report.max_congestion(), 1);
+            }
+        }
+    }
+
+    /// The RAP array mapping is a bijection of `0..k·w` for any `k`.
+    #[test]
+    fn rap_array_mapping_bijective(seed in any::<u64>(), w in 1usize..20, k in 1usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = RapArrayMapping::random(&mut rng, w);
+        let n = (w * k) as u64;
+        let seen: std::collections::HashSet<u64> = (0..n).map(|t| m.map(t)).collect();
+        prop_assert_eq!(seen.len() as u64, n);
+        prop_assert!(seen.iter().all(|&a| a < n));
+    }
+
+    /// The conflict-free strategy is never slower than direct execution.
+    #[test]
+    fn coloring_is_never_worse(seed in any::<u64>(), w in 2usize..10, k in 1usize..6) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = w * k;
+        let pi = Permutation::random(&mut rng, n);
+        let data: Vec<u64> = (0..n as u64).collect();
+        let direct = run_permutation(Strategy::Direct, w, &pi, 3, &data, None);
+        let colored = run_permutation(Strategy::ConflictFree, w, &pi, 3, &data, None);
+        prop_assert!(colored.report.cycles <= direct.report.cycles);
+    }
+}

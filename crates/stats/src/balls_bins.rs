@@ -1,0 +1,324 @@
+//! Exact maximum-load distribution for balls thrown into bins.
+//!
+//! Several cells of the paper's Table II are *exactly* balls-into-bins
+//! processes:
+//!
+//! * **stride access under RAS**: the `w` threads of a warp hit banks
+//!   `(c + r_i) mod w` for i.i.d. uniform shifts `r_i` — i.e. `w` balls into
+//!   `w` bins — so the expected congestion is the expected maximum load
+//!   (3.08, 3.53, 3.96, 4.38, 4.77 for `w` = 16…256 per the paper);
+//! * **random access** under every scheme is balls-into-bins with the small
+//!   correction that duplicate *addresses* are merged before counting.
+//!
+//! Having the closed-form distribution lets the test-suite check the
+//! Monte-Carlo simulators against ground truth instead of against
+//! hard-coded magic numbers.
+//!
+//! The count of placements of `m` distinguishable balls into `b`
+//! distinguishable bins with every bin holding at most `k` balls is
+//! `m! · [x^m] (Σ_{t=0}^{k} x^t/t!)^b` (exponential generating function).
+//! We evaluate the coefficient with a log-domain dynamic program over bins,
+//! which is numerically stable for every size used in the experiments
+//! (`b, m ≤ 4096`).
+
+use rand::Rng;
+
+/// `ln(a) + ln(1 + exp(ln(b) - ln(a)))` — numerically stable `ln(a + b)`
+/// for values stored as logarithms.
+#[inline]
+fn log_add(ln_a: f64, ln_b: f64) -> f64 {
+    if ln_a == f64::NEG_INFINITY {
+        return ln_b;
+    }
+    if ln_b == f64::NEG_INFINITY {
+        return ln_a;
+    }
+    let (hi, lo) = if ln_a >= ln_b { (ln_a, ln_b) } else { (ln_b, ln_a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Table of `ln(n!)` for `n = 0..=max`.
+fn ln_factorials(max: usize) -> Vec<f64> {
+    let mut t = Vec::with_capacity(max + 1);
+    t.push(0.0);
+    let mut acc = 0.0;
+    for n in 1..=max {
+        acc += (n as f64).ln();
+        t.push(acc);
+    }
+    t
+}
+
+/// The exact distribution of the maximum bin load when `balls`
+/// distinguishable balls are thrown uniformly into `bins` bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxLoad {
+    balls: usize,
+    bins: usize,
+    /// `cdf[k] = P(max load ≤ k)` for `k = 0..=balls`.
+    cdf: Vec<f64>,
+}
+
+impl MaxLoad {
+    /// Compute the exact distribution. Cost is `O(bins · balls²)` in the
+    /// worst case; `O(bins · balls · k*)` in practice because the CDF is
+    /// computed lazily up to the point where it reaches 1.
+    ///
+    /// ```
+    /// use rap_stats::MaxLoad;
+    /// // The paper's Table II stride-RAS cell at w = 32 IS this number.
+    /// let d = MaxLoad::exact(32, 32);
+    /// assert!((d.expected() - 3.53).abs() < 0.01);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` while `balls > 0` (no valid placement exists).
+    #[must_use]
+    pub fn exact(balls: usize, bins: usize) -> Self {
+        assert!(
+            bins > 0 || balls == 0,
+            "cannot place {balls} balls into zero bins"
+        );
+        let mut cdf = vec![0.0; balls + 1];
+        if balls == 0 {
+            // The max of an empty placement is 0.
+            return Self {
+                balls,
+                bins: bins.max(1),
+                cdf: vec![1.0],
+            };
+        }
+        let lnfact = ln_factorials(balls);
+        let ln_total = balls as f64 * (bins as f64).ln();
+        let mut converged = false;
+        for (k, slot) in cdf.iter_mut().enumerate() {
+            if k == 0 {
+                *slot = 0.0;
+                continue;
+            }
+            if converged || k >= balls {
+                *slot = 1.0;
+                continue;
+            }
+            if k * bins < balls {
+                *slot = 0.0; // pigeonhole: impossible to fit
+                continue;
+            }
+            *slot = Self::prob_max_le(balls, bins, k, &lnfact, ln_total);
+            // The tail Σ (1 − cdf) beyond this point contributes < b·1e-9
+            // to the expectation — below the DP's own rounding noise —
+            // so skip the remaining (expensive) evaluations. (A tighter
+            // threshold never fires: the log-domain DP's error floor is
+            // around 1e-12.)
+            if *slot > 1.0 - 1e-9 {
+                converged = true;
+            }
+        }
+        // Enforce monotonicity against rounding noise.
+        for i in 1..cdf.len() {
+            if cdf[i] < cdf[i - 1] {
+                cdf[i] = cdf[i - 1];
+            }
+        }
+        Self { balls, bins, cdf }
+    }
+
+    /// `P(max ≤ k)` via the EGF dynamic program, in the log domain.
+    fn prob_max_le(balls: usize, bins: usize, k: usize, lnfact: &[f64], ln_total: f64) -> f64 {
+        // dp[j] = ln([x^j] f(x)^i) after processing i bins,
+        // with f(x) = Σ_{t=0..k} x^t / t!.
+        let mut dp = vec![f64::NEG_INFINITY; balls + 1];
+        dp[0] = 0.0;
+        let mut new_dp = vec![f64::NEG_INFINITY; balls + 1];
+        for _bin in 0..bins {
+            for slot in new_dp.iter_mut() {
+                *slot = f64::NEG_INFINITY;
+            }
+            for j in 0..=balls {
+                // new_dp[j] = logsum_{t=0..min(k,j)} dp[j-t] - ln(t!)
+                let mut acc = f64::NEG_INFINITY;
+                for t in 0..=k.min(j) {
+                    let prev = dp[j - t];
+                    if prev != f64::NEG_INFINITY {
+                        acc = log_add(acc, prev - lnfact[t]);
+                    }
+                }
+                new_dp[j] = acc;
+            }
+            std::mem::swap(&mut dp, &mut new_dp);
+        }
+        let ln_count = lnfact[balls] + dp[balls];
+        (ln_count - ln_total).exp().clamp(0.0, 1.0)
+    }
+
+    /// `P(max load ≤ k)`.
+    #[must_use]
+    pub fn cdf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            1.0
+        } else {
+            self.cdf[k]
+        }
+    }
+
+    /// `P(max load = k)`.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf(0)
+        } else {
+            (self.cdf(k) - self.cdf(k - 1)).max(0.0)
+        }
+    }
+
+    /// Expected maximum load, `E[max] = Σ_{k≥1} P(max ≥ k)`.
+    #[must_use]
+    pub fn expected(&self) -> f64 {
+        (0..self.balls).map(|k| 1.0 - self.cdf(k)).sum()
+    }
+
+    /// Number of balls in the model.
+    #[must_use]
+    pub fn balls(&self) -> usize {
+        self.balls
+    }
+
+    /// Number of bins in the model.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+}
+
+/// Sample the maximum bin load of one random placement of `balls` balls
+/// into `bins` bins (Monte-Carlo counterpart of [`MaxLoad::exact`]).
+///
+/// `scratch` must have length `bins`; it is cleared and reused so that
+/// callers in tight loops avoid reallocating.
+pub fn sample_max_load<R: Rng + ?Sized>(rng: &mut R, balls: usize, scratch: &mut [u32]) -> u32 {
+    scratch.fill(0);
+    let bins = scratch.len();
+    assert!(bins > 0, "need at least one bin");
+    for _ in 0..balls {
+        let b = rng.gen_range(0..bins);
+        scratch[b] += 1;
+    }
+    scratch.iter().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_add_basic() {
+        let a: f64 = 0.3_f64.ln();
+        let b: f64 = 0.2_f64.ln();
+        assert!((log_add(a, b).exp() - 0.5).abs() < 1e-12);
+        assert_eq!(log_add(f64::NEG_INFINITY, a), a);
+        assert_eq!(log_add(a, f64::NEG_INFINITY), a);
+    }
+
+    #[test]
+    fn ln_factorials_table() {
+        let t = ln_factorials(5);
+        assert_eq!(t[0], 0.0);
+        assert!((t[5] - 120f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_balls_two_bins() {
+        // 4 equally likely placements; max=1 in 2 of them (the two
+        // "one ball each" assignments), max=2 in the other 2.
+        let d = MaxLoad::exact(2, 2);
+        assert!((d.pmf(1) - 0.5).abs() < 1e-12);
+        assert!((d.pmf(2) - 0.5).abs() < 1e-12);
+        assert!((d.expected() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_balls_three_bins() {
+        // 27 placements: max=1 → 3! = 6; max=3 → 3; max=2 → 18.
+        let d = MaxLoad::exact(3, 3);
+        assert!((d.pmf(1) - 6.0 / 27.0).abs() < 1e-12);
+        assert!((d.pmf(2) - 18.0 / 27.0).abs() < 1e-12);
+        assert!((d.pmf(3) - 3.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_bin_forces_full_load() {
+        let d = MaxLoad::exact(5, 1);
+        assert_eq!(d.pmf(5), 1.0);
+        assert_eq!(d.expected(), 5.0);
+    }
+
+    #[test]
+    fn zero_balls() {
+        let d = MaxLoad::exact(0, 4);
+        assert_eq!(d.cdf(0), 1.0);
+        assert_eq!(d.expected(), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_proper() {
+        let d = MaxLoad::exact(16, 16);
+        let mut prev = 0.0;
+        for k in 0..=16 {
+            let c = d.cdf(k);
+            assert!(c >= prev - 1e-12, "cdf not monotone at {k}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        assert!((d.cdf(16) - 1.0).abs() < 1e-9);
+        // pigeonhole: 16 balls in 16 bins can't all fit with max 0
+        assert_eq!(d.cdf(0), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = MaxLoad::exact(20, 7);
+        let s: f64 = (0..=20).map(|k| d.pmf(k)).sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    /// The key validation: the exact expectation at w=16 and w=32 must land
+    /// on the paper's Table II stride-RAS values (3.08 and 3.53).
+    #[test]
+    fn expected_max_matches_paper_table2() {
+        let e16 = MaxLoad::exact(16, 16).expected();
+        assert!(
+            (e16 - 3.08).abs() < 0.02,
+            "E[max] for 16/16 = {e16}, paper says 3.08"
+        );
+        let e32 = MaxLoad::exact(32, 32).expected();
+        assert!(
+            (e32 - 3.53).abs() < 0.02,
+            "E[max] for 32/32 = {e32}, paper says 3.53"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact() {
+        let d = MaxLoad::exact(32, 32);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut scratch = vec![0u32; 32];
+        let trials = 20_000;
+        let mean: f64 = (0..trials)
+            .map(|_| f64::from(sample_max_load(&mut rng, 32, &mut scratch)))
+            .sum::<f64>()
+            / f64::from(trials);
+        assert!(
+            (mean - d.expected()).abs() < 0.05,
+            "MC mean {mean} vs exact {}",
+            d.expected()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_rejected() {
+        let _ = MaxLoad::exact(1, 0);
+    }
+}

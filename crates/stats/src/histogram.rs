@@ -1,0 +1,265 @@
+//! Dense histograms over small non-negative integers.
+//!
+//! Congestion values live in `1..=w` with `w ≤ 256` in every experiment, so
+//! a dense `Vec<u64>` of counts is the right representation: O(1) updates,
+//! exact quantiles, trivially mergeable.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense histogram of `u32` observations.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty histogram with capacity for values `0..=max_value`.
+    #[must_use]
+    pub fn with_max(max_value: u32) -> Self {
+        Self {
+            counts: vec![0; max_value as usize + 1],
+            total: 0,
+        }
+    }
+
+    /// Record one observation of `value`.
+    pub fn record(&mut self, value: u32) {
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Record `n` observations of `value`.
+    pub fn record_n(&mut self, value: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = value as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of observations equal to `value`.
+    #[must_use]
+    pub fn count(&self, value: u32) -> u64 {
+        self.counts.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Empirical probability of `value` (0 for an empty histogram).
+    #[must_use]
+    pub fn probability(&self, value: u32) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the recorded values.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        sum / self.total as f64
+    }
+
+    /// Smallest recorded value, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|v| v as u32)
+    }
+
+    /// Largest recorded value, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|v| v as u32)
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) using the "lower value" rule:
+    /// the smallest `v` whose cumulative count reaches `ceil(q · total)`.
+    ///
+    /// Returns `None` for an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u32> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut cum = 0;
+        for (v, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Some(v as u32);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterator over `(value, count)` pairs with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v as u32, c))
+    }
+}
+
+impl Extend<u32> for IntHistogram {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u32> for IntHistogram {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut h = Self::new();
+        h.extend(iter);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = IntHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.probability(3), 0.0);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut h = IntHistogram::with_max(8);
+        h.record(3);
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(7));
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut h = IntHistogram::with_max(2);
+        h.record(100);
+        assert_eq!(h.count(100), 1);
+        assert_eq!(h.max(), Some(100));
+    }
+
+    #[test]
+    fn mean_exact() {
+        let h: IntHistogram = [1u32, 2, 3, 4].into_iter().collect();
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = IntHistogram::new();
+        a.record_n(5, 4);
+        let b: IntHistogram = std::iter::repeat_n(5u32, 4).collect();
+        assert_eq!(a, b);
+        a.record_n(9, 0); // no-op
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn quantiles() {
+        let h: IntHistogram = (1..=100u32).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn quantile_rejects_bad_q() {
+        let h: IntHistogram = [1u32].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let a: IntHistogram = [1u32, 2, 2].into_iter().collect();
+        let b: IntHistogram = [2u32, 3, 9].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        let union: IntHistogram = [1u32, 2, 2, 2, 3, 9].into_iter().collect();
+        assert_eq!(m, union);
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let h: IntHistogram = (0..50u32).chain(0..25).collect();
+        let s: f64 = (0..64).map(|v| h.probability(v)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_nonzero_skips_gaps() {
+        let mut h = IntHistogram::new();
+        h.record(0);
+        h.record(4);
+        let pairs: Vec<_> = h.iter_nonzero().collect();
+        assert_eq!(pairs, vec![(0, 1), (4, 1)]);
+    }
+}

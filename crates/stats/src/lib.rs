@@ -1,0 +1,35 @@
+//! Statistics and RNG substrate for the RAP shared-memory reproduction.
+//!
+//! This crate contains the numerical plumbing shared by every other crate in
+//! the workspace:
+//!
+//! * [`rng`] — deterministic seed derivation so that every experiment,
+//!   trial, and warp draws from an independent, reproducible stream;
+//! * [`online`] — single-pass (Welford) mean/variance accumulators that can
+//!   be merged, used by the Monte-Carlo sweeps;
+//! * [`histogram`] — dense integer histograms for congestion values (small
+//!   non-negative integers), with means and quantiles;
+//! * [`balls_bins`] — the exact distribution of the *maximum load* of `m`
+//!   balls thrown into `b` bins. This is the reference model behind the
+//!   paper's Table II: stride access under RAS and random access under any
+//!   scheme behave exactly like balls-into-bins, so the simulated
+//!   congestion must converge to these closed-form values;
+//! * [`summary`] — serializable result records written by the bench harness.
+//!
+//! Nothing in this crate knows about GPUs, banks, or address mappings; it is
+//! deliberately the bottom of the dependency stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balls_bins;
+pub mod histogram;
+pub mod online;
+pub mod rng;
+pub mod summary;
+
+pub use balls_bins::MaxLoad;
+pub use histogram::IntHistogram;
+pub use online::OnlineStats;
+pub use rng::SeedDomain;
+pub use summary::{CellSummary, ExperimentRecord};

@@ -1,0 +1,261 @@
+//! Single-pass moment accumulators (Welford / Chan et al.).
+//!
+//! Monte-Carlo sweeps in the bench harness observe millions of congestion
+//! samples; storing them all would be wasteful. [`OnlineStats`] keeps count,
+//! mean, and the centered sum of squares in O(1) space with the numerically
+//! stable Welford update, and supports merging partial accumulators from
+//! parallel workers (the parallel-algorithm form from Chan, Golub & LeVeque).
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / min / max accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the current mean (aka `M2`).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for OnlineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Observe one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observe an integer sample (congestion values are small integers).
+    pub fn push_u32(&mut self, x: u32) {
+        self.push(f64::from(x));
+    }
+
+    /// Merge another accumulator into this one.
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed both sample streams into a single accumulator.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; 0 for an empty accumulator.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance; 0 with fewer than two samples.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (`std_dev / sqrt(n)`).
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Normal-approximation 95% confidence interval for the mean,
+    /// `mean ± 1.96·stderr`. Adequate for the Monte-Carlo sample sizes
+    /// used here (hundreds to millions).
+    #[must_use]
+    pub fn ci95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_error();
+        (self.mean() - half, self.mean() + half)
+    }
+
+    /// Smallest sample seen, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn empty_is_sane() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: OnlineStats = [3.5].into_iter().collect();
+        assert_eq!(s.count(), 1);
+        assert!(close(s.mean(), 3.5));
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        // 1..=5: mean 3, sample variance 2.5
+        let s: OnlineStats = (1..=5).map(f64::from).collect();
+        assert!(close(s.mean(), 3.0));
+        assert!(close(s.variance(), 2.5));
+        assert!(close(s.std_dev(), 2.5f64.sqrt()));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 - 5.0).collect();
+        let sequential: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..33].iter().copied().collect();
+        let b: OnlineStats = xs[33..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), sequential.count());
+        assert!(close(a.mean(), sequential.mean()));
+        assert!(close(a.variance(), sequential.variance()));
+        assert_eq!(a.min(), sequential.min());
+        assert_eq!(a.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let xs: OnlineStats = [1.0, 2.0, 4.0].into_iter().collect();
+        let mut a = xs;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, xs);
+        let mut b = OnlineStats::new();
+        b.merge(&xs);
+        assert_eq!(b, xs);
+    }
+
+    #[test]
+    fn std_error_shrinks_with_n() {
+        let mut s = OnlineStats::new();
+        for i in 0..10 {
+            s.push(f64::from(i % 2));
+        }
+        let se10 = s.std_error();
+        for i in 0..990 {
+            s.push(f64::from(i % 2));
+        }
+        assert!(s.std_error() < se10);
+    }
+
+    #[test]
+    fn ci95_brackets_the_true_mean() {
+        // 0/1 samples, true mean 0.5: the CI must contain it and shrink.
+        let mut s = OnlineStats::new();
+        for i in 0..10_000 {
+            s.push(f64::from(i % 2));
+        }
+        let (lo, hi) = s.ci95();
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.05, "width {}", hi - lo);
+    }
+
+    #[test]
+    fn ci95_empty_is_degenerate() {
+        let s = OnlineStats::new();
+        assert_eq!(s.ci95(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn push_u32_matches_push() {
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        a.push_u32(7);
+        b.push(7.0);
+        assert_eq!(a, b);
+    }
+}

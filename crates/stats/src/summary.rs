@@ -1,0 +1,168 @@
+//! Serializable experiment records.
+//!
+//! The bench harness prints human-readable tables *and* writes JSON records
+//! so that `EXPERIMENTS.md` can be regenerated mechanically. These types are
+//! the shared schema.
+
+use crate::online::OnlineStats;
+use serde::{Deserialize, Serialize};
+
+/// One measured cell of a paper table: a labelled scalar with uncertainty
+/// and the paper's reference value (if the paper reports one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Row label, e.g. `"Stride"`.
+    pub row: String,
+    /// Column label, e.g. `"RAS w=32"`.
+    pub column: String,
+    /// Our measured value (mean over trials).
+    pub measured: f64,
+    /// Standard error of the measurement, if stochastic.
+    pub std_error: Option<f64>,
+    /// The value the paper reports for this cell, if any.
+    pub paper: Option<f64>,
+    /// Number of Monte-Carlo trials behind the measurement.
+    pub trials: u64,
+}
+
+impl CellSummary {
+    /// Build a cell from an online accumulator.
+    #[must_use]
+    pub fn from_stats(
+        row: impl Into<String>,
+        column: impl Into<String>,
+        stats: &OnlineStats,
+        paper: Option<f64>,
+    ) -> Self {
+        Self {
+            row: row.into(),
+            column: column.into(),
+            measured: stats.mean(),
+            std_error: (stats.count() > 1).then(|| stats.std_error()),
+            paper,
+            trials: stats.count(),
+        }
+    }
+
+    /// Build an exact (non-stochastic) cell.
+    #[must_use]
+    pub fn exact(
+        row: impl Into<String>,
+        column: impl Into<String>,
+        value: f64,
+        paper: Option<f64>,
+    ) -> Self {
+        Self {
+            row: row.into(),
+            column: column.into(),
+            measured: value,
+            std_error: None,
+            paper,
+            trials: 1,
+        }
+    }
+
+    /// Relative deviation from the paper value, if the paper reports one
+    /// and it is non-zero.
+    #[must_use]
+    pub fn relative_error(&self) -> Option<f64> {
+        match self.paper {
+            Some(p) if p != 0.0 => Some((self.measured - p).abs() / p.abs()),
+            _ => None,
+        }
+    }
+}
+
+/// A full experiment: id (e.g. `"table2"`), free-form parameters, and the
+/// measured cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier matching DESIGN.md's index (e.g. `"T2"`).
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Parameter string (seeds, trial counts, sweep ranges).
+    pub parameters: String,
+    /// Measured cells.
+    pub cells: Vec<CellSummary>,
+}
+
+impl ExperimentRecord {
+    /// Create an empty record.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        parameters: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            description: description.into(),
+            parameters: parameters.into(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a cell.
+    pub fn push(&mut self, cell: CellSummary) {
+        self.cells.push(cell);
+    }
+
+    /// Largest relative error across cells that have paper references.
+    #[must_use]
+    pub fn worst_relative_error(&self) -> Option<f64> {
+        self.cells
+            .iter()
+            .filter_map(CellSummary::relative_error)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.max(e))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_stats_carries_uncertainty() {
+        let stats: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        let c = CellSummary::from_stats("Stride", "RAS", &stats, Some(2.1));
+        assert_eq!(c.trials, 3);
+        assert!((c.measured - 2.0).abs() < 1e-12);
+        assert!(c.std_error.is_some());
+        let rel = c.relative_error().unwrap();
+        assert!((rel - (0.1 / 2.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_cell_has_no_error_bar() {
+        let c = CellSummary::exact("Contiguous", "RAW", 1.0, Some(1.0));
+        assert_eq!(c.std_error, None);
+        assert_eq!(c.relative_error(), Some(0.0));
+    }
+
+    #[test]
+    fn relative_error_none_without_paper_value() {
+        let c = CellSummary::exact("x", "y", 5.0, None);
+        assert_eq!(c.relative_error(), None);
+        let z = CellSummary::exact("x", "y", 5.0, Some(0.0));
+        assert_eq!(z.relative_error(), None);
+    }
+
+    #[test]
+    fn worst_relative_error_over_record() {
+        let mut r = ExperimentRecord::new("T2", "congestion", "seed=1");
+        assert_eq!(r.worst_relative_error(), None);
+        r.push(CellSummary::exact("a", "b", 1.0, Some(1.0)));
+        r.push(CellSummary::exact("a", "c", 1.2, Some(1.0)));
+        let w = r.worst_relative_error().unwrap();
+        assert!((w - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_clone_and_eq() {
+        let mut r = ExperimentRecord::new("T3", "transpose timing", "clock=0.837GHz");
+        r.push(CellSummary::exact("CRSW", "RAP", 154.5, Some(154.5)));
+        let r2 = r.clone();
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use rap_stats::{balls_bins, IntHistogram, MaxLoad, OnlineStats, SeedDomain};
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn online_merge_equals_concat(
+        xs in prop::collection::vec(-1e6f64..1e6, 0..200),
+        ys in prop::collection::vec(-1e6f64..1e6, 0..200),
+    ) {
+        let mut merged: OnlineStats = xs.iter().copied().collect();
+        let other: OnlineStats = ys.iter().copied().collect();
+        merged.merge(&other);
+        let all: OnlineStats = xs.iter().chain(&ys).copied().collect();
+        prop_assert_eq!(merged.count(), all.count());
+        prop_assert!(close(merged.mean(), all.mean(), 1e-9));
+        prop_assert!(close(merged.variance(), all.variance(), 1e-6));
+        prop_assert_eq!(merged.min(), all.min());
+        prop_assert_eq!(merged.max(), all.max());
+    }
+
+    /// Mean lies between min and max; variance is non-negative.
+    #[test]
+    fn online_mean_bounded(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        prop_assert!(s.mean() >= s.min().unwrap() - 1e-6);
+        prop_assert!(s.mean() <= s.max().unwrap() + 1e-6);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Histogram totals, mean, and quantiles agree with a naive
+    /// recomputation.
+    #[test]
+    fn histogram_agrees_with_naive(values in prop::collection::vec(0u32..64, 1..300)) {
+        let h: IntHistogram = values.iter().copied().collect();
+        prop_assert_eq!(h.total(), values.len() as u64);
+        let naive_mean = values.iter().map(|&v| f64::from(v)).sum::<f64>() / values.len() as f64;
+        prop_assert!(close(h.mean(), naive_mean, 1e-12));
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.min(), Some(sorted[0]));
+        prop_assert_eq!(h.max(), Some(*sorted.last().unwrap()));
+        // Median by the "lower value at ceil(q·n)" rule.
+        let rank = ((0.5 * values.len() as f64).ceil() as usize).max(1);
+        prop_assert_eq!(h.quantile(0.5), Some(sorted[rank - 1]));
+    }
+
+    /// Quantiles are monotone in q.
+    #[test]
+    fn histogram_quantiles_monotone(values in prop::collection::vec(0u32..32, 1..100)) {
+        let h: IntHistogram = values.iter().copied().collect();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let quantiles: Vec<u32> = qs.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        prop_assert!(quantiles.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Histogram merge is commutative and total-preserving.
+    #[test]
+    fn histogram_merge_commutes(
+        a in prop::collection::vec(0u32..32, 0..100),
+        b in prop::collection::vec(0u32..32, 0..100),
+    ) {
+        let ha: IntHistogram = a.iter().copied().collect();
+        let hb: IntHistogram = b.iter().copied().collect();
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.total(), (a.len() + b.len()) as u64);
+        for v in 0..32 {
+            prop_assert_eq!(ab.count(v), ba.count(v));
+        }
+    }
+
+    /// MaxLoad pmf sums to 1 and the expectation is inside [m/b ceil, m].
+    #[test]
+    fn max_load_is_a_distribution(balls in 1usize..24, bins in 1usize..24) {
+        let d = MaxLoad::exact(balls, bins);
+        let total: f64 = (0..=balls).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let e = d.expected();
+        let lower = balls.div_ceil(bins) as f64;
+        prop_assert!(e >= lower - 1e-9, "E={e} < pigeonhole {lower}");
+        prop_assert!(e <= balls as f64 + 1e-9);
+    }
+
+    /// Monte-Carlo max load matches the exact expectation.
+    #[test]
+    fn sampled_max_load_in_support(seed in any::<u64>(), balls in 1usize..40, bins in 1usize..16) {
+        let mut rng = SeedDomain::new(seed).rng(0);
+        let mut scratch = vec![0u32; bins];
+        let m = balls_bins::sample_max_load(&mut rng, balls, &mut scratch);
+        prop_assert!(m >= 1 && m as usize <= balls);
+        prop_assert!((m as usize) * bins >= balls, "max load below pigeonhole");
+    }
+
+    /// Seed domains: identical paths agree, different indices differ
+    /// (with overwhelming probability — treated as certainty here).
+    #[test]
+    fn seed_domain_paths(seed in any::<u64>(), a in 0u64..1000, b in 0u64..1000) {
+        let d = SeedDomain::new(seed).child("p");
+        prop_assert_eq!(d.child_idx(a).seed(), d.child_idx(a).seed());
+        if a != b {
+            prop_assert_ne!(d.child_idx(a).seed(), d.child_idx(b).seed());
+        }
+    }
+}

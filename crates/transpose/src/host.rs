@@ -1,0 +1,143 @@
+//! Host-side matrix helpers: moving logical matrices in and out of the
+//! banked shared memory through an address mapping, plus the reference
+//! transpose used to verify the DMM kernels.
+
+use rap_core::mapping::MatrixMapping;
+use rap_dmm::BankedMemory;
+
+/// Store a row-major logical matrix (`data[i·w + j] = A[i][j]`) into
+/// `memory` at `base`, placing each element at the address chosen by
+/// `mapping`.
+///
+/// # Panics
+/// Panics if `data.len() != w²` or the target addresses exceed the memory.
+pub fn store_matrix<T: Copy>(
+    memory: &mut BankedMemory<T>,
+    mapping: &dyn MatrixMapping,
+    base: u64,
+    data: &[T],
+) {
+    let w = mapping.width() as u32;
+    assert_eq!(
+        data.len(),
+        (w * w) as usize,
+        "matrix data must have w² elements"
+    );
+    for i in 0..w {
+        for j in 0..w {
+            let a = base + u64::from(mapping.address(i, j));
+            memory.write(a, data[(i * w + j) as usize]);
+        }
+    }
+}
+
+/// Load a row-major logical matrix from `memory` at `base` through
+/// `mapping` (inverse of [`store_matrix`]).
+///
+/// # Panics
+/// Panics if the source addresses exceed the memory.
+#[must_use]
+pub fn load_matrix<T: Copy + Default>(
+    memory: &BankedMemory<T>,
+    mapping: &dyn MatrixMapping,
+    base: u64,
+) -> Vec<T> {
+    let w = mapping.width() as u32;
+    let mut out = vec![T::default(); (w * w) as usize];
+    for i in 0..w {
+        for j in 0..w {
+            let a = base + u64::from(mapping.address(i, j));
+            out[(i * w + j) as usize] = memory.read(a);
+        }
+    }
+    out
+}
+
+/// Reference transpose of a row-major `w × w` matrix.
+///
+/// # Panics
+/// Panics if `data.len() != w²`.
+#[must_use]
+pub fn reference_transpose<T: Copy>(w: usize, data: &[T]) -> Vec<T> {
+    assert_eq!(data.len(), w * w, "matrix data must have w² elements");
+    let mut t = data.to_vec();
+    for i in 0..w {
+        for j in 0..w {
+            t[j * w + i] = data[i * w + j];
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rap_core::{RowShift, Scheme};
+
+    #[test]
+    fn reference_transpose_small() {
+        let m = vec![1, 2, 3, 4]; // [[1,2],[3,4]]
+        assert_eq!(reference_transpose(2, &m), vec![1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn reference_transpose_involution() {
+        let w = 7;
+        let m: Vec<u32> = (0..49).collect();
+        assert_eq!(reference_transpose(w, &reference_transpose(w, &m)), m);
+    }
+
+    #[test]
+    fn store_load_roundtrip_all_schemes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let w = 8;
+        let data: Vec<u64> = (0..64).collect();
+        for scheme in Scheme::all() {
+            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+            let mut mem = BankedMemory::new(w, 2 * w * w);
+            store_matrix(&mut mem, &mapping, 64, &data);
+            assert_eq!(load_matrix(&mem, &mapping, 64), data, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn raw_store_is_row_major_in_memory() {
+        let w = 4;
+        let mapping = RowShift::raw(w);
+        let data: Vec<u32> = (0..16).collect();
+        let mut mem = BankedMemory::new(w, 16);
+        store_matrix(&mut mem, &mapping, 0, &data);
+        assert_eq!(mem.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn rap_store_rotates_rows_physically() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let w = 4;
+        let mapping = RowShift::rap(&mut rng, w);
+        let data: Vec<u32> = (0..16).collect();
+        let mut mem = BankedMemory::new(w, 16);
+        store_matrix(&mut mem, &mapping, 0, &data);
+        // Physical row i contains the logical row i rotated by shift[i].
+        for i in 0..4u32 {
+            let s = mapping.shift_of_row(i);
+            for j in 0..4u32 {
+                let phys_col = (j + s) % 4;
+                assert_eq!(
+                    mem.read(u64::from(i * 4 + phys_col)),
+                    data[(i * 4 + j) as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "w² elements")]
+    fn store_validates_length() {
+        let mapping = RowShift::raw(4);
+        let mut mem: BankedMemory<u32> = BankedMemory::new(4, 16);
+        store_matrix(&mut mem, &mapping, 0, &[1, 2, 3]);
+    }
+}

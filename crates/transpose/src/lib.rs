@@ -1,0 +1,25 @@
+//! # rap-transpose — matrix transpose on the Discrete Memory Machine
+//!
+//! The paper's running application (§III, §VI): transposing a `w × w`
+//! matrix held in banked shared memory. Three algorithms — the naive
+//! CRSW and SRCW (which stride through banks) and the hand-optimized DRDW
+//! (diagonal order, conflict-free under RAW) — are built as DMM programs
+//! generic over the address mapping, so every (algorithm × RAW/RAS/RAP)
+//! combination of Table III can be executed, timed, and verified.
+//!
+//! * [`TransposeKind`] / [`transpose_program`] — the kernels;
+//! * [`run_transpose`] — allocate, execute on a [`rap_dmm::Dmm`], verify
+//!   against the host reference;
+//! * [`host`] — matrix staging through a mapping, reference transpose;
+//! * closed forms [`raw_crsw_time`] / [`raw_drdw_time`] for Lemma 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod host;
+pub mod runner;
+
+pub use algorithms::{transpose_program, TransposeKind};
+pub use host::{load_matrix, reference_transpose, store_matrix};
+pub use runner::{raw_crsw_time, raw_drdw_time, run_transpose, TransposeRun};

@@ -1,0 +1,219 @@
+//! End-to-end transpose execution on the DMM, with verification and the
+//! Lemma-1 closed forms.
+
+use crate::algorithms::{transpose_program, TransposeKind};
+use crate::host::{load_matrix, reference_transpose, store_matrix};
+use rap_core::mapping::MatrixMapping;
+use rap_dmm::{BankedMemory, Dmm, ExecReport, Machine};
+use serde::{Deserialize, Serialize};
+
+/// Result of one transpose run on the DMM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransposeRun {
+    /// Which algorithm ran.
+    pub kind: TransposeKind,
+    /// Scheme name of the mapping used.
+    pub scheme: String,
+    /// Timing and congestion report from the machine.
+    pub report: ExecReport,
+    /// Whether the output equalled the reference transpose.
+    pub verified: bool,
+}
+
+impl TransposeRun {
+    /// Mean congestion of the read phase.
+    #[must_use]
+    pub fn read_congestion(&self) -> f64 {
+        self.report.phases[0].mean_congestion()
+    }
+
+    /// Mean congestion of the write phase.
+    #[must_use]
+    pub fn write_congestion(&self) -> f64 {
+        self.report.phases[1].mean_congestion()
+    }
+}
+
+/// Run `kind` on the DMM with the given mapping and latency, transposing
+/// the matrix `data` (row-major, `w²` elements), and verify the result.
+///
+/// ```
+/// use rap_core::RowShift;
+/// use rap_transpose::{run_transpose, TransposeKind};
+///
+/// let data: Vec<f64> = (0..16).map(f64::from).collect();
+/// let run = run_transpose(TransposeKind::Crsw, &RowShift::raw(4), 1, &data);
+/// assert!(run.verified);
+/// assert_eq!(run.write_congestion(), 4.0); // RAW stride write serializes
+/// ```
+///
+/// The source matrix `a` occupies addresses `0..w²`, the destination `b`
+/// occupies `w²..2w²`, both laid out by `mapping` — mirroring the paper's
+/// `__shared__ double a[32][32], b[32][32]`.
+///
+/// # Panics
+/// Panics if `data.len() != w²`.
+#[must_use]
+pub fn run_transpose(
+    kind: TransposeKind,
+    mapping: &dyn MatrixMapping,
+    latency: u64,
+    data: &[f64],
+) -> TransposeRun {
+    let w = mapping.width();
+    assert_eq!(data.len(), w * w, "matrix data must have w² elements");
+    let storage = mapping.storage_words();
+    let base_b = storage as u64;
+
+    let mut memory: BankedMemory<f64> = BankedMemory::new(w, 2 * storage);
+    store_matrix(&mut memory, mapping, 0, data);
+
+    let machine: Dmm = Machine::new(w, latency);
+    let program = transpose_program::<f64>(kind, mapping, 0, base_b);
+    let report = machine.execute(&program, &mut memory);
+
+    let out = load_matrix(&memory, mapping, base_b);
+    let verified = out == reference_transpose(w, data);
+
+    TransposeRun {
+        kind,
+        scheme: mapping.scheme().name().to_string(),
+        report,
+        verified,
+    }
+}
+
+/// Exact DMM time of CRSW/SRCW under RAW for `l ≤ w`:
+/// `w² + w + l − 1` (a conflict-free phase of `w` stages plus a stride
+/// phase of `w²` stages; Lemma 1's `Θ(w² + l)`).
+#[must_use]
+pub fn raw_crsw_time(w: u64, l: u64) -> u64 {
+    debug_assert!(l <= w, "closed form assumes l ≤ w");
+    w * w + w + l - 1
+}
+
+/// Exact DMM time of DRDW under RAW for `l ≤ w`:
+/// `2w + l − 1` (two conflict-free phases; Lemma 1's `Θ(w + l)`).
+#[must_use]
+pub fn raw_drdw_time(w: u64, l: u64) -> u64 {
+    debug_assert!(l <= w, "closed form assumes l ≤ w");
+    2 * w + l - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rap_core::{RowShift, Scheme};
+
+    fn test_matrix(w: usize) -> Vec<f64> {
+        (0..w * w).map(|x| x as f64).collect()
+    }
+
+    #[test]
+    fn every_algorithm_transposes_under_every_scheme() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for w in [4usize, 8, 32] {
+            for scheme in Scheme::all() {
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                for kind in TransposeKind::all() {
+                    let run = run_transpose(kind, &mapping, 2, &test_matrix(w));
+                    assert!(run.verified, "{kind} under {scheme} at w={w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raw_crsw_matches_closed_form() {
+        for (w, l) in [(4usize, 1u64), (8, 2), (16, 8), (32, 16)] {
+            let mapping = RowShift::raw(w);
+            let run = run_transpose(TransposeKind::Crsw, &mapping, l, &test_matrix(w));
+            assert_eq!(
+                run.report.cycles,
+                raw_crsw_time(w as u64, l),
+                "CRSW w={w} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_srcw_matches_closed_form() {
+        // SRCW mirrors CRSW: stride first, contiguous second — same total.
+        for (w, l) in [(4usize, 1u64), (8, 4)] {
+            let mapping = RowShift::raw(w);
+            let run = run_transpose(TransposeKind::Srcw, &mapping, l, &test_matrix(w));
+            assert_eq!(run.report.cycles, raw_crsw_time(w as u64, l));
+        }
+    }
+
+    #[test]
+    fn raw_drdw_matches_closed_form() {
+        for (w, l) in [(4usize, 1u64), (8, 2), (32, 8)] {
+            let mapping = RowShift::raw(w);
+            let run = run_transpose(TransposeKind::Drdw, &mapping, l, &test_matrix(w));
+            assert_eq!(
+                run.report.cycles,
+                raw_drdw_time(w as u64, l),
+                "DRDW w={w} l={l}"
+            );
+        }
+    }
+
+    #[test]
+    fn congestion_profile_matches_table3_raw() {
+        let w = 32;
+        let mapping = RowShift::raw(w);
+        let crsw = run_transpose(TransposeKind::Crsw, &mapping, 1, &test_matrix(w));
+        assert_eq!(crsw.read_congestion(), 1.0);
+        assert_eq!(crsw.write_congestion(), 32.0);
+        let srcw = run_transpose(TransposeKind::Srcw, &mapping, 1, &test_matrix(w));
+        assert_eq!(srcw.read_congestion(), 32.0);
+        assert_eq!(srcw.write_congestion(), 1.0);
+        let drdw = run_transpose(TransposeKind::Drdw, &mapping, 1, &test_matrix(w));
+        assert_eq!(drdw.read_congestion(), 1.0);
+        assert_eq!(drdw.write_congestion(), 1.0);
+    }
+
+    #[test]
+    fn congestion_profile_matches_table3_rap() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let w = 32;
+        let mapping = RowShift::rap(&mut rng, w);
+        let crsw = run_transpose(TransposeKind::Crsw, &mapping, 1, &test_matrix(w));
+        assert_eq!(crsw.read_congestion(), 1.0, "RAP contiguous read");
+        assert_eq!(crsw.write_congestion(), 1.0, "RAP stride write (Theorem 2)");
+        let drdw = run_transpose(TransposeKind::Drdw, &mapping, 1, &test_matrix(w));
+        // Diagonal under RAP is the one pattern with conflicts (~3.6).
+        assert!(drdw.read_congestion() > 1.5);
+        assert!(drdw.write_congestion() > 1.5);
+    }
+
+    #[test]
+    fn rap_speeds_up_crsw_by_an_order_of_magnitude() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let w = 32;
+        let l = 8;
+        let raw = run_transpose(TransposeKind::Crsw, &RowShift::raw(w), l, &test_matrix(w));
+        let rap = run_transpose(
+            TransposeKind::Crsw,
+            &RowShift::rap(&mut rng, w),
+            l,
+            &test_matrix(w),
+        );
+        let speedup = raw.report.cycles as f64 / rap.report.cycles as f64;
+        assert!(
+            speedup > 8.0,
+            "RAP should be ~10x faster on the DMM, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn run_metadata_is_filled() {
+        let run = run_transpose(TransposeKind::Crsw, &RowShift::raw(4), 1, &test_matrix(4));
+        assert_eq!(run.kind, TransposeKind::Crsw);
+        assert_eq!(run.scheme, "RAW");
+        assert_eq!(run.report.phases.len(), 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the transpose algorithms.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::{RowShift, Scheme};
+use rap_transpose::{
+    load_matrix, raw_crsw_time, raw_drdw_time, reference_transpose, run_transpose, store_matrix,
+    TransposeKind,
+};
+
+proptest! {
+    /// Transposing twice with any pair of algorithms under any mapping is
+    /// the identity.
+    #[test]
+    fn double_transpose_identity(
+        seed in any::<u64>(), w_exp in 1u32..6,
+        k1 in 0usize..3, k2 in 0usize..3, scheme_idx in 0usize..3,
+    ) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let data: Vec<f64> = (0..w * w).map(|_| rng.gen_range(-1e3..1e3)).collect();
+
+        let once = run_transpose(TransposeKind::all()[k1], &mapping, 1, &data);
+        prop_assert!(once.verified);
+        // Reconstruct the intermediate logical matrix and transpose again.
+        let t = reference_transpose(w, &data);
+        let twice = run_transpose(TransposeKind::all()[k2], &mapping, 1, &t);
+        prop_assert!(twice.verified);
+    }
+
+    /// Store/load through any mapping round-trips arbitrary data at any
+    /// base offset.
+    #[test]
+    fn store_load_roundtrip(
+        seed in any::<u64>(), w in 1usize..24, scheme_idx in 0usize..3, base_rows in 0u64..4,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let data: Vec<u64> = (0..(w * w) as u64).map(|x| x.wrapping_mul(31)).collect();
+        let base = base_rows * (w * w) as u64;
+        let mut mem = rap_dmm::BankedMemory::new(w, (base_rows as usize + 1) * w * w);
+        store_matrix(&mut mem, &mapping, base, &data);
+        prop_assert_eq!(load_matrix(&mem, &mapping, base), data);
+    }
+
+    /// Closed forms order correctly: DRDW < CRSW for every (w, l), and
+    /// both grow monotonically in l.
+    #[test]
+    fn closed_form_orderings(w in 2u64..64, l in 1u64..64) {
+        prop_assume!(l <= w);
+        prop_assert!(raw_drdw_time(w, l) < raw_crsw_time(w, l));
+        if l > 1 {
+            prop_assert_eq!(raw_crsw_time(w, l), raw_crsw_time(w, l - 1) + 1);
+            prop_assert_eq!(raw_drdw_time(w, l), raw_drdw_time(w, l - 1) + 1);
+        }
+    }
+
+    /// Congestion of CRSW under RAP is exactly (1, 1) for every instance
+    /// (the paper's Table III RAP row is deterministic, not just likely).
+    #[test]
+    fn crsw_rap_always_one_one(seed in any::<u64>(), w_exp in 1u32..6) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::rap(&mut rng, w);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        for kind in [TransposeKind::Crsw, TransposeKind::Srcw] {
+            let run = run_transpose(kind, &mapping, 1, &data);
+            prop_assert_eq!(run.read_congestion(), 1.0);
+            prop_assert_eq!(run.write_congestion(), 1.0);
+        }
+    }
+
+    /// RAS is never better than RAP on CRSW total time (RAP's stride
+    /// write is free; RAS's is balls-into-bins), and never better than
+    /// RAW on DRDW.
+    #[test]
+    fn scheme_orderings_hold(seed in any::<u64>()) {
+        let w = 32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let ras = RowShift::ras(&mut rng, w);
+        let rap = RowShift::rap(&mut rng, w);
+        let raw = RowShift::raw(w);
+        let crsw_ras = run_transpose(TransposeKind::Crsw, &ras, 4, &data).report.cycles;
+        let crsw_rap = run_transpose(TransposeKind::Crsw, &rap, 4, &data).report.cycles;
+        prop_assert!(crsw_rap <= crsw_ras);
+        let drdw_raw = run_transpose(TransposeKind::Drdw, &raw, 4, &data).report.cycles;
+        let drdw_ras = run_transpose(TransposeKind::Drdw, &ras, 4, &data).report.cycles;
+        prop_assert!(drdw_raw <= drdw_ras);
+    }
+}

@@ -1,0 +1,78 @@
+//! Explore the congestion distribution of any (scheme, pattern, width)
+//! combination, with the theory bound alongside.
+//!
+//! Run with: `cargo run --release --example congestion_explorer -- \
+//!            [--width 32] [--trials 2000]`
+
+use rap_shmem::access::montecarlo::matrix_congestion;
+use rap_shmem::access::MatrixPattern;
+use rap_shmem::core::theory;
+use rap_shmem::core::Scheme;
+use rap_shmem::stats::{IntHistogram, MaxLoad, SeedDomain};
+
+fn parse_arg(name: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let w = parse_arg("--width", 32) as usize;
+    let trials = parse_arg("--trials", 2000);
+    let domain = SeedDomain::new(99);
+
+    println!("congestion explorer: w = {w}, {trials} Monte-Carlo trials\n");
+    println!(
+        "theory: ln w / ln ln w = {:.2};  Theorem 2 expected-congestion bound = {:.1}",
+        theory::log_ratio(w),
+        theory::theorem2_expected_bound(w)
+    );
+    println!(
+        "balls-into-bins E[max load] (w balls, w bins) = {:.3}\n",
+        MaxLoad::exact(w, w).expected()
+    );
+
+    for pattern in [
+        MatrixPattern::Contiguous,
+        MatrixPattern::Stride,
+        MatrixPattern::Diagonal,
+        MatrixPattern::Random,
+    ] {
+        println!("-- {pattern} access --");
+        for scheme in Scheme::all() {
+            let stats = matrix_congestion(scheme, pattern, w, trials, &domain);
+            println!(
+                "  {:<4} mean {:.3}  (min {:.0}, max {:.0}, stderr {:.4})",
+                scheme.name(),
+                stats.mean(),
+                stats.min().unwrap_or(0.0),
+                stats.max().unwrap_or(0.0),
+                stats.std_error()
+            );
+        }
+        println!();
+    }
+
+    // A histogram for the most interesting cell: diagonal access under RAP.
+    println!("-- per-warp congestion histogram: diagonal access under RAP --");
+    let mut hist = IntHistogram::new();
+    for trial in 0..trials.min(500) {
+        let mut rng = domain.child("hist").rng(trial);
+        let mapping = rap_shmem::core::RowShift::rap(&mut rng, w);
+        for warp in rap_shmem::access::matrix::generate(MatrixPattern::Diagonal, w, &mut rng) {
+            hist.record(rap_shmem::access::matrix::warp_congestion(&mapping, &warp));
+        }
+    }
+    for (value, count) in hist.iter_nonzero() {
+        let bar = "#".repeat((count * 50 / hist.total()).max(1) as usize);
+        println!("  {value:>3}: {count:>7} {bar}");
+    }
+    println!(
+        "  median {} / p99 {}",
+        hist.quantile(0.5).unwrap_or(0),
+        hist.quantile(0.99).unwrap_or(0)
+    );
+}

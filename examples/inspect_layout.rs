@@ -1,0 +1,48 @@
+//! Look inside: the physical layout (paper Figure 6), per-bank loads
+//! (Figure 2), and the dispatch timeline (Figure 3) — rendered as text.
+//!
+//! Run with: `cargo run --release --example inspect_layout`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_shmem::core::diagnostics::{render_bank_loads, render_layout};
+use rap_shmem::core::{BankLoads, MatrixMapping, Permutation, RowShift};
+use rap_shmem::dmm::{trace, Dmm, Machine};
+use rap_shmem::transpose::{transpose_program, TransposeKind};
+
+fn main() {
+    // 1. The paper's Figure 6: w = 4, σ = (2, 0, 3, 1).
+    let sigma = Permutation::from_table(vec![2, 0, 3, 1]).unwrap();
+    let rap4 = RowShift::rap_from(sigma);
+    println!("{}", render_layout(&rap4));
+    println!("(compare the paper's Figure 6: row i rotated right by σ(i))\n");
+
+    // 2. Figure 2: per-bank loads of a column access, RAW vs RAP.
+    let w = 8;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let raw = RowShift::raw(w);
+    let rap = RowShift::rap(&mut rng, w);
+    let column = |m: &dyn MatrixMapping| -> Vec<u64> {
+        (0..w as u32).map(|i| u64::from(m.address(i, 3))).collect()
+    };
+    println!("column access under RAW:");
+    println!("{}", render_bank_loads(&BankLoads::analyze(w, &column(&raw))));
+    println!("the same column under RAP:");
+    println!("{}", render_bank_loads(&BankLoads::analyze(w, &column(&rap))));
+
+    // 3. Figure 3: the dispatch timeline of a small CRSW transpose.
+    let machine: Dmm = Machine::new(4, 3);
+    let program = transpose_program::<u64>(TransposeKind::Crsw, &RowShift::raw(4), 0, 16);
+    let tl = trace(&machine, &program);
+    println!("CRSW transpose on the DMM (w=4, l=3), dispatch timeline:");
+    println!("{}", tl.render());
+    let worst = tl.worst().unwrap();
+    println!(
+        "worst dispatch: warp {} spent {} stages on bank {} during '{}'\n",
+        worst.warp, worst.stages, worst.hottest_bank, worst.label
+    );
+
+    // 4. The same schedule as a Gantt chart: # = port busy, . = in flight.
+    println!("Gantt view of the same run:");
+    println!("{}", tl.render_gantt(100));
+}

@@ -1,0 +1,58 @@
+//! Transposing a large matrix through shared-memory tiles — the pipeline
+//! every tiled GPU algorithm uses (paper §I), end to end.
+//!
+//! Run with: `cargo run --release --example large_matrix`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_shmem::apps::run_big_transpose;
+use rap_shmem::core::{RowShift, Scheme};
+
+fn main() {
+    let w = 32; // tile width = warp size = banks
+    let n = 128; // global matrix: 128x128 = 16 tiles
+    let shared_latency = 8;
+    let global_latency = 400; // DRAM is two orders slower than shared
+
+    let mut rng = SmallRng::seed_from_u64(99);
+    let data: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1e3..1e3)).collect();
+
+    println!("transposing a {n}x{n} matrix through {w}x{w} shared-memory tiles");
+    println!("(global latency {global_latency} cy, shared latency {shared_latency} cy)\n");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>10} {:>9}",
+        "scheme", "total cy", "shared cy", "global cy", "shared %", "verified"
+    );
+
+    let mut raw_total = 0;
+    for scheme in Scheme::all() {
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        let r = run_big_transpose(&mapping, n, shared_latency, global_latency, &data);
+        if scheme == Scheme::Raw {
+            raw_total = r.total_cycles;
+        }
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>9.1}% {:>9}",
+            r.scheme,
+            r.total_cycles,
+            r.shared_cycles,
+            r.global_cycles,
+            100.0 * r.shared_fraction(),
+            r.verified
+        );
+    }
+    println!(
+        "\nRAW spends most of the pipeline serialized on shared-memory banks;\n\
+         RAP turns the shared phase into a footnote — a {:.1}x end-to-end win\n\
+         without touching the (already coalesced) global transfers.",
+        raw_total as f64
+            / run_big_transpose(
+                &RowShift::rap(&mut rng, w),
+                n,
+                shared_latency,
+                global_latency,
+                &data
+            )
+            .total_cycles as f64
+    );
+}

@@ -1,0 +1,57 @@
+//! Offline permutation three ways: the paper's §I motivation.
+//!
+//! Moving data along a known permutation is a core shared-memory
+//! primitive (FFT reordering, transposition, sorting networks). This
+//! example runs the same permutation under:
+//!   1. direct execution (simple, conflict-prone),
+//!   2. the graph-coloring schedule of Kasagi-Nakano-Ito (optimal, but
+//!      needs offline analysis the paper calls "a very hard task"),
+//!   3. RAP (no analysis, near-optimal).
+//!
+//! Run with: `cargo run --release --example offline_permutation`
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_shmem::core::Permutation;
+use rap_shmem::permute::{
+    run_permutation, transpose_permutation, RapArrayMapping, Schedule, Strategy,
+};
+
+fn main() {
+    let w = 32;
+    let n = w * w;
+    let latency = 8;
+    let mut rng = SmallRng::seed_from_u64(2014);
+    let data: Vec<u64> = (0..n as u64).collect();
+
+    for (name, pi) in [
+        ("transpose", transpose_permutation(w)),
+        ("random", Permutation::random(&mut rng, n)),
+    ] {
+        println!("== permutation: {name} ({n} words, w = {w}) ==");
+
+        // Peek at the schedule the coloring produces.
+        let schedule = Schedule::conflict_free(w, &pi).expect("regular");
+        println!(
+            "coloring: {} rounds, conflict-free = {}",
+            schedule.num_rounds(),
+            schedule.is_conflict_free(&pi)
+        );
+
+        for strategy in Strategy::all() {
+            let mapping = RapArrayMapping::random(&mut rng, w);
+            let run = run_permutation(strategy, w, &pi, latency, &data, Some(&mapping));
+            assert!(run.verified);
+            println!(
+                "  {:<13} {:>6} cycles   read congestion {:>5.2}   write congestion {:>5.2}",
+                strategy.name(),
+                run.report.cycles,
+                run.read_congestion(),
+                run.write_congestion()
+            );
+        }
+        println!();
+    }
+    println!("RAP matches the hand-built optimal schedule on structured permutations");
+    println!("and stays within ~2x on random ones — without ever looking at π.");
+}

@@ -1,0 +1,30 @@
+//! # rap-shmem — facade crate
+//!
+//! Re-exports the whole RAP workspace: the Random Address Permute-Shift
+//! technique (ICPP 2014) with its Discrete-Memory-Machine substrate, access
+//! pattern generators, transpose algorithms, and GPU timing simulator.
+//!
+//! See the individual crates for full documentation:
+//!
+//! * [`core`] — RAW / RAS / RAP mappings, higher-dimension
+//!   variants, theory;
+//! * [`dmm`] — the Discrete/Unified Memory Machine simulators;
+//! * [`access`] — contiguous / stride / diagonal / random /
+//!   malicious warp access patterns;
+//! * [`transpose`] — CRSW / SRCW / DRDW transpose kernels;
+//! * [`gpu_sim`] — the GTX-TITAN-substitute timing simulator;
+//! * [`permute`] — offline permutation: direct vs
+//!   graph-coloring-scheduled vs RAP;
+//! * [`apps`] — application kernels (tiled `A·Bᵀ`, gather);
+//! * [`stats`] — RNG and statistics substrate.
+
+#![forbid(unsafe_code)]
+
+pub use rap_access as access;
+pub use rap_apps as apps;
+pub use rap_core as core;
+pub use rap_dmm as dmm;
+pub use rap_gpu_sim as gpu_sim;
+pub use rap_permute as permute;
+pub use rap_stats as stats;
+pub use rap_transpose as transpose;

@@ -1,0 +1,88 @@
+//! Integration test: the Monte-Carlo congestion simulators agree with the
+//! closed-form balls-into-bins distribution — the ground truth behind the
+//! stochastic cells of Tables II and IV.
+
+use rap_shmem::access::montecarlo::{array4d_congestion, matrix_congestion};
+use rap_shmem::access::{MatrixPattern, Pattern4d};
+use rap_shmem::core::multidim::Scheme4d;
+use rap_shmem::core::Scheme;
+use rap_shmem::stats::{MaxLoad, SeedDomain};
+
+/// Stride access under RAS is *exactly* `w` balls into `w` bins: the banks
+/// are `(c + r_i) mod w` with i.i.d. `r_i`. The simulated mean must match
+/// the exact expectation at every width.
+#[test]
+fn ras_stride_matches_exact_max_load() {
+    let domain = SeedDomain::new(42);
+    for (w, trials) in [(16usize, 3000u64), (32, 1500), (64, 800)] {
+        let exact = MaxLoad::exact(w, w).expected();
+        let sim = matrix_congestion(Scheme::Ras, MatrixPattern::Stride, w, trials, &domain);
+        let tolerance = 4.0 * sim.std_error() + 0.01;
+        assert!(
+            (sim.mean() - exact).abs() < tolerance,
+            "w={w}: simulated {:.4} vs exact {exact:.4} (tol {tolerance:.4})",
+            sim.mean()
+        );
+    }
+}
+
+/// The paper's Table II RAS stride row (3.08, 3.53, 3.96) IS the exact
+/// expectation — confirm the closed form reproduces the paper directly.
+#[test]
+fn exact_expectation_reproduces_paper_row() {
+    for (w, paper) in [(16usize, 3.08), (32, 3.53), (64, 3.96), (128, 4.38)] {
+        let exact = MaxLoad::exact(w, w).expected();
+        assert!(
+            (exact - paper).abs() < 0.012,
+            "w={w}: exact {exact:.4} vs paper {paper}"
+        );
+    }
+}
+
+/// Random access merges duplicate addresses, so its expected congestion is
+/// slightly BELOW the pure balls-into-bins value (2.92 < 3.08 at w=16).
+#[test]
+fn random_access_sits_below_max_load_due_to_merging() {
+    let domain = SeedDomain::new(43);
+    for w in [16usize, 32] {
+        let exact = MaxLoad::exact(w, w).expected();
+        let sim = matrix_congestion(Scheme::Raw, MatrixPattern::Random, w, 2000, &domain);
+        assert!(
+            sim.mean() < exact - 0.05,
+            "w={w}: merging must push {:.3} below {exact:.3}",
+            sim.mean()
+        );
+    }
+}
+
+/// 4-D: the w²P scheme's stride2 banks are i.i.d. uniform (independent
+/// permutations evaluated at a fixed point), so they too match the exact
+/// max-load expectation.
+#[test]
+fn wsquaredp_stride2_matches_exact_max_load() {
+    let domain = SeedDomain::new(44);
+    let w = 16;
+    let exact = MaxLoad::exact(w, w).expected();
+    let sim = array4d_congestion(Scheme4d::WSquaredP, Pattern4d::Stride2, w, 300, 4, &domain);
+    assert!(
+        (sim.mean() - exact).abs() < 0.1,
+        "simulated {:.3} vs exact {exact:.3}",
+        sim.mean()
+    );
+}
+
+/// The R1P malicious expectation is `6·E[max load of ⌈w/6⌉ balls in w
+/// bins]` — verify the simulation against the closed form.
+#[test]
+fn r1p_malicious_matches_grouped_closed_form() {
+    let domain = SeedDomain::new(45);
+    let w = 24; // 4 full groups of 6
+    let groups = w / 6;
+    let expected = 6.0 * MaxLoad::exact(groups, w).expected();
+    let sim = array4d_congestion(Scheme4d::R1P, Pattern4d::Malicious, w, 600, 2, &domain);
+    assert!(
+        (sim.mean() - expected).abs() < 0.35,
+        "simulated {:.3} vs closed form {expected:.3}",
+        sim.mean()
+    );
+}

@@ -1,0 +1,118 @@
+//! Integration test: the full pipeline from logical matrix to verified
+//! transpose to GPU timing, across every (algorithm, scheme) pair.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_shmem::core::{RowShift, Scheme};
+use rap_shmem::gpu_sim::{lower_program, simulate, SmConfig};
+use rap_shmem::transpose::{run_transpose, transpose_program, TransposeKind};
+
+fn random_matrix(rng: &mut SmallRng, w: usize) -> Vec<f64> {
+    (0..w * w).map(|_| rng.gen_range(-1e6..1e6)).collect()
+}
+
+#[test]
+fn every_combination_transposes_random_matrices() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for w in [4usize, 16, 32] {
+        for kind in TransposeKind::all() {
+            for scheme in Scheme::all() {
+                let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+                let data = random_matrix(&mut rng, w);
+                for latency in [1u64, 3, w as u64] {
+                    let run = run_transpose(kind, &mapping, latency, &data);
+                    assert!(run.verified, "{kind}/{scheme} w={w} l={latency}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dmm_and_gpu_agree_on_the_winner() {
+    // Whatever the timing model details, both the DMM cycle count and the
+    // simulated GPU time must rank RAP ahead of RAW on CRSW and RAW ahead
+    // of RAP on DRDW.
+    let mut rng = SmallRng::seed_from_u64(12);
+    let w = 32;
+    let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+    let sm = SmConfig::gtx_titan();
+
+    let time = |kind: TransposeKind, scheme: Scheme, rng: &mut SmallRng| {
+        let mapping = RowShift::of_scheme(scheme, rng, w);
+        let dmm = run_transpose(kind, &mapping, 8, &data).report.cycles;
+        let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
+        let alu =
+            rap_shmem::gpu_sim::titan::transpose_alu_costs(scheme, kind == TransposeKind::Drdw);
+        let gpu = simulate(&lower_program(&program, w, &alu), &sm).ns;
+        (dmm, gpu)
+    };
+
+    // Average a few instances for the random schemes.
+    let avg = |kind, scheme, rng: &mut SmallRng| {
+        let mut dmm = 0.0;
+        let mut gpu = 0.0;
+        for _ in 0..8 {
+            let (d, g) = time(kind, scheme, rng);
+            dmm += d as f64;
+            gpu += g;
+        }
+        (dmm / 8.0, gpu / 8.0)
+    };
+
+    let (crsw_raw_d, crsw_raw_g) = avg(TransposeKind::Crsw, Scheme::Raw, &mut rng);
+    let (crsw_rap_d, crsw_rap_g) = avg(TransposeKind::Crsw, Scheme::Rap, &mut rng);
+    assert!(crsw_rap_d < crsw_raw_d / 4.0, "DMM: RAP must win CRSW big");
+    assert!(crsw_rap_g < crsw_raw_g / 4.0, "GPU: RAP must win CRSW big");
+
+    let (drdw_raw_d, drdw_raw_g) = avg(TransposeKind::Drdw, Scheme::Raw, &mut rng);
+    let (drdw_rap_d, drdw_rap_g) = avg(TransposeKind::Drdw, Scheme::Rap, &mut rng);
+    assert!(drdw_raw_d < drdw_rap_d, "DMM: RAW must win DRDW");
+    assert!(drdw_raw_g < drdw_rap_g, "GPU: RAW must win DRDW");
+}
+
+#[test]
+fn double_transpose_is_identity() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let w = 16;
+    let mapping = RowShift::rap(&mut rng, w);
+    let data = random_matrix(&mut rng, w);
+
+    use rap_shmem::transpose::{load_matrix, store_matrix, transpose_program};
+    let mut memory = rap_shmem::dmm::BankedMemory::new(w, 3 * w * w);
+    store_matrix(&mut memory, &mapping, 0, &data);
+    let machine: rap_shmem::dmm::Dmm = rap_shmem::dmm::Machine::new(w, 2);
+
+    // a (base 0) → b (base w²) → c (base 2w²)
+    let p1 = transpose_program::<f64>(TransposeKind::Crsw, &mapping, 0, (w * w) as u64);
+    machine.execute(&p1, &mut memory);
+    let p2 = transpose_program::<f64>(
+        TransposeKind::Srcw,
+        &mapping,
+        (w * w) as u64,
+        (2 * w * w) as u64,
+    );
+    machine.execute(&p2, &mut memory);
+
+    let back = load_matrix(&memory, &mapping, (2 * w * w) as u64);
+    assert_eq!(back, data, "transposing twice must return the original");
+}
+
+#[test]
+fn gpu_time_scales_with_congestion_not_data() {
+    // Two kernels touching the same number of elements but with different
+    // congestion must be ranked by congestion alone.
+    let w = 32;
+    let sm = SmConfig::gtx_titan();
+    let mut rng = SmallRng::seed_from_u64(14);
+    let raw = RowShift::raw(w);
+    let rap = RowShift::rap(&mut rng, w);
+    let p_raw = transpose_program::<f64>(TransposeKind::Crsw, &raw, 0, (w * w) as u64);
+    let p_rap = transpose_program::<f64>(TransposeKind::Crsw, &rap, 0, (w * w) as u64);
+    let alu = [2u32, 2];
+    let t_raw = simulate(&lower_program(&p_raw, w, &alu), &sm);
+    let t_rap = simulate(&lower_program(&p_rap, w, &alu), &sm);
+    assert_eq!(t_raw.stages, 32 + 32 * 32);
+    assert_eq!(t_rap.stages, 64);
+    assert!(t_raw.ns > 8.0 * t_rap.ns);
+}

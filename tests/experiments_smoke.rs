@@ -1,0 +1,111 @@
+//! Integration smoke tests of the experiment harness: each DESIGN.md
+//! experiment runs at reduced scale and lands on the paper's shape.
+
+use rap_bench::experiments::{ablation, lemma1, malicious, table1, table2, table3, table4};
+use rap_bench::paper;
+use rap_core::Scheme;
+use rap_transpose::TransposeKind;
+
+#[test]
+fn t1_classes_check_out() {
+    let cells = table1::run(32, 60, 1);
+    assert_eq!(cells.len(), 9);
+    for c in &cells {
+        match c.class {
+            rap_core::theory::CongestionClass::One => assert_eq!(c.measured, 1.0),
+            rap_core::theory::CongestionClass::Full => assert_eq!(c.measured, 32.0),
+            _ => assert!(c.measured > 1.0 && c.measured < 8.0),
+        }
+    }
+}
+
+#[test]
+fn t2_reduced_sweep_tracks_paper() {
+    let cfg = table2::Table2Config {
+        widths: vec![16, 32, 64],
+        base_trials: 400,
+        seed: 1,
+    };
+    let cells = table2::run(&cfg);
+    let record = table2::to_record(&cfg, &cells);
+    let worst = record.worst_relative_error().expect("has references");
+    assert!(
+        worst < 0.06,
+        "worst deviation from the paper {:.1}% exceeds 6%",
+        worst * 100.0
+    );
+}
+
+#[test]
+fn t3_reduced_run_matches_shape() {
+    let cfg = table3::Table3Config {
+        instances: 8,
+        ..table3::Table3Config::default()
+    };
+    let rows = table3::run(&cfg);
+    assert!(rows.iter().all(|r| r.all_verified));
+    let ns = |k, s| {
+        rows.iter()
+            .find(|r| r.kind == k && r.scheme == s)
+            .unwrap()
+            .time_ns
+            .mean()
+    };
+    // Orderings of the paper's Table III.
+    assert!(ns(TransposeKind::Crsw, Scheme::Rap) < ns(TransposeKind::Crsw, Scheme::Ras));
+    assert!(ns(TransposeKind::Crsw, Scheme::Ras) < ns(TransposeKind::Crsw, Scheme::Raw));
+    assert!(ns(TransposeKind::Drdw, Scheme::Raw) < ns(TransposeKind::Drdw, Scheme::Ras));
+    assert!(ns(TransposeKind::Drdw, Scheme::Ras) <= ns(TransposeKind::Drdw, Scheme::Rap));
+    // Within 25% of the paper per timing cell (the model is first-order).
+    for kind in TransposeKind::all() {
+        for scheme in Scheme::all() {
+            let p = paper::table3_reference(kind, scheme).time_ns;
+            let m = ns(kind, scheme);
+            assert!(
+                (m - p).abs() / p < 0.25,
+                "{kind}/{scheme}: {m:.1} vs paper {p:.1}"
+            );
+        }
+    }
+}
+
+#[test]
+fn t4_reduced_sweep_classes_hold() {
+    let cfg = table4::Table4Config {
+        width: 16,
+        trials: 60,
+        warps_per_trial: 4,
+        seed: 2,
+    };
+    for c in table4::run(&cfg) {
+        match c.class {
+            rap_core::theory::CongestionClass::One => assert_eq!(c.stats.mean(), 1.0),
+            rap_core::theory::CongestionClass::Full => assert_eq!(c.stats.mean(), 16.0),
+            _ => assert!(c.stats.mean() > 1.0),
+        }
+    }
+}
+
+#[test]
+fn a1_bound_never_violated() {
+    for r in malicious::run(&[16, 32, 64], 60, 3) {
+        assert!(r.blind_vs_rap.mean() <= r.theorem2_bound);
+        assert_eq!(r.anti_raw_vs_rap, 1.0);
+        assert_eq!(r.aware_vs_rap, r.w as f64);
+    }
+}
+
+#[test]
+fn a2_closed_forms_exact() {
+    for r in lemma1::run(&[8, 16], &[1, 4, 8]) {
+        assert_eq!(r.crsw, r.crsw_formula);
+        assert_eq!(r.drdw, r.drdw_formula);
+    }
+}
+
+#[test]
+fn a3_shape_robust() {
+    for r in ablation::run(5) {
+        assert!(r.crsw_speedup > 4.0, "{}: {}", r.setting, r.crsw_speedup);
+    }
+}

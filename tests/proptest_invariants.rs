@@ -1,0 +1,159 @@
+//! Property-based tests on the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_shmem::core::{congestion, MatrixMapping, Permutation, RowShift, Scheme};
+use rap_shmem::dmm::{BankedMemory, Dmm, Machine, MemOp, Program, WriteSource};
+use rap_shmem::transpose::{run_transpose, TransposeKind};
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![Just(Scheme::Raw), Just(Scheme::Ras), Just(Scheme::Rap)]
+}
+
+fn kind_strategy() -> impl Strategy<Value = TransposeKind> {
+    prop_oneof![
+        Just(TransposeKind::Crsw),
+        Just(TransposeKind::Srcw),
+        Just(TransposeKind::Drdw)
+    ]
+}
+
+proptest! {
+    /// Every mapping is a bijection of the matrix onto its own storage.
+    #[test]
+    fn mappings_are_bijective(seed in any::<u64>(), w in 1usize..48, scheme in scheme_strategy()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = RowShift::of_scheme(scheme, &mut rng, w);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..w as u32 {
+            for j in 0..w as u32 {
+                let a = m.address(i, j);
+                prop_assert!(a < (w * w) as u32);
+                prop_assert!(seen.insert(a));
+            }
+        }
+    }
+
+    /// RAP stride access is conflict-free for EVERY permutation, not just
+    /// random ones.
+    #[test]
+    fn rap_stride_conflict_free_for_any_permutation(
+        seed in any::<u64>(), w in 2usize..64, col in 0u32..64
+    ) {
+        let col = col % w as u32;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let m = RowShift::rap_from(Permutation::random(&mut rng, w));
+        let addrs: Vec<u64> = (0..w as u32).map(|i| u64::from(m.address(i, col))).collect();
+        prop_assert_eq!(congestion::congestion(w, &addrs), 1);
+    }
+
+    /// Congestion is bounded by both the warp size and the number of
+    /// unique addresses, and is at least ceil(unique / w).
+    #[test]
+    fn congestion_bounds(addrs in prop::collection::vec(0u64..4096, 1..64), w in 1usize..64) {
+        let c = congestion::congestion(w, &addrs);
+        let unique: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+        prop_assert!(c >= 1);
+        prop_assert!(c as usize <= unique.len());
+        prop_assert!((c as usize) * w >= unique.len(), "banks cannot hold fewer than all uniques");
+    }
+
+    /// Congestion never decreases when extra (distinct) requests join the
+    /// warp.
+    #[test]
+    fn congestion_monotone_under_superset(
+        addrs in prop::collection::vec(0u64..512, 1..32), extra in 0u64..512, w in 1usize..33
+    ) {
+        let base = congestion::congestion(w, &addrs);
+        let mut more = addrs.clone();
+        more.push(extra);
+        prop_assert!(congestion::congestion(w, &more) >= base);
+    }
+
+    /// Every transpose algorithm is correct on arbitrary data under
+    /// arbitrary mappings and latencies.
+    #[test]
+    fn transpose_always_correct(
+        seed in any::<u64>(),
+        w_exp in 1u32..6, // w ∈ {2,4,8,16,32}
+        scheme in scheme_strategy(),
+        kind in kind_strategy(),
+        latency in 1u64..16,
+    ) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        let data: Vec<f64> = (0..w * w).map(|x| (x as f64).sin()).collect();
+        let run = run_transpose(kind, &mapping, latency, &data);
+        prop_assert!(run.verified);
+    }
+
+    /// DMM execution time is monotone in the pipeline latency.
+    #[test]
+    fn dmm_time_monotone_in_latency(seed in any::<u64>(), w_exp in 1u32..5) {
+        let w = 1usize << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::rap(&mut rng, w);
+        let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
+        let mut prev = 0;
+        for l in [1u64, 2, 4, 8] {
+            let cycles = run_transpose(TransposeKind::Crsw, &mapping, l, &data).report.cycles;
+            prop_assert!(cycles >= prev, "latency {l}: {cycles} < {prev}");
+            prev = cycles;
+        }
+    }
+
+    /// The DMM preserves data under arbitrary copy programs: writing
+    /// LastRead values moves exactly the read words.
+    #[test]
+    fn dmm_copy_preserves_values(
+        perm_seed in any::<u64>(), w_exp in 1u32..5, latency in 1u64..8
+    ) {
+        let w = 1usize << w_exp;
+        let n = w * w;
+        let mut rng = SmallRng::seed_from_u64(perm_seed);
+        let target = Permutation::random(&mut rng, n);
+        let mut program: Program<u64> = Program::new(n);
+        program.phase("read", |t| Some(MemOp::Read(t as u64)));
+        let t2 = target.clone();
+        program.phase("write", move |t| {
+            Some(MemOp::Write(n as u64 + u64::from(t2.apply(t as u32)), WriteSource::LastRead))
+        });
+        let machine: Dmm = Machine::new(w, latency);
+        let mut mem = BankedMemory::from_words(
+            w,
+            (0..2 * n as u64).map(|a| if a < n as u64 { a + 1000 } else { 0 }).collect(),
+        );
+        machine.execute(&program, &mut mem);
+        for t in 0..n as u32 {
+            prop_assert_eq!(
+                mem.read(n as u64 + u64::from(target.apply(t))),
+                u64::from(t) + 1000
+            );
+        }
+    }
+
+    /// Permutation inverse round-trips for arbitrary sizes.
+    #[test]
+    fn permutation_inverse_roundtrip(seed in any::<u64>(), len in 1usize..300) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = Permutation::random(&mut rng, len);
+        let inv = p.inverse();
+        for i in 0..len as u32 {
+            prop_assert_eq!(inv.apply(p.apply(i)), i);
+        }
+    }
+
+    /// PackedShifts round-trips arbitrary shift tables at any
+    /// power-of-two width.
+    #[test]
+    fn packed_shifts_roundtrip(seed in any::<u64>(), w_exp in 1u32..9, n in 0usize..80) {
+        use rand::Rng;
+        let w = 1u32 << w_exp;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let shifts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..w)).collect();
+        let packed = rap_shmem::core::PackedShifts::pack(w as usize, &shifts).unwrap();
+        prop_assert_eq!(packed.unpack(), shifts);
+    }
+}

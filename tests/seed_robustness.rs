@@ -1,0 +1,78 @@
+//! Integration test: the reproduction's conclusions do not depend on the
+//! choice of seed. Every stochastic headline is re-derived under three
+//! unrelated seeds and must agree within Monte-Carlo error.
+
+use rap_shmem::access::montecarlo::matrix_congestion;
+use rap_shmem::access::MatrixPattern;
+use rap_shmem::core::Scheme;
+use rap_shmem::stats::SeedDomain;
+
+const SEEDS: [u64; 3] = [2014, 0xDEAD_BEEF, 31_415_926];
+
+#[test]
+fn table2_stochastic_cells_are_seed_stable() {
+    for (pattern, scheme, expected) in [
+        (MatrixPattern::Stride, Scheme::Ras, 3.53),
+        (MatrixPattern::Diagonal, Scheme::Rap, 3.61),
+        (MatrixPattern::Random, Scheme::Raw, 3.44),
+    ] {
+        let mut means = Vec::new();
+        for seed in SEEDS {
+            let stats = matrix_congestion(scheme, pattern, 32, 600, &SeedDomain::new(seed));
+            let (lo, hi) = stats.ci95();
+            assert!(
+                lo <= expected && expected <= hi || (stats.mean() - expected).abs() < 0.1,
+                "{pattern}/{scheme} seed {seed}: CI [{lo:.3}, {hi:.3}] vs paper {expected}"
+            );
+            means.push(stats.mean());
+        }
+        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
+            - means.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread < 0.12,
+            "{pattern}/{scheme}: cross-seed spread {spread:.3} too large ({means:?})"
+        );
+    }
+}
+
+#[test]
+fn deterministic_cells_are_seed_independent_exactly() {
+    for seed in SEEDS {
+        let domain = SeedDomain::new(seed);
+        assert_eq!(
+            matrix_congestion(Scheme::Rap, MatrixPattern::Stride, 32, 50, &domain).mean(),
+            1.0
+        );
+        assert_eq!(
+            matrix_congestion(Scheme::Raw, MatrixPattern::Stride, 32, 1, &domain).mean(),
+            32.0
+        );
+    }
+}
+
+#[test]
+fn table3_shape_is_seed_stable() {
+    use rap_bench::experiments::table3::{run, Table3Config};
+    use rap_shmem::transpose::TransposeKind;
+    let mut speedups = Vec::new();
+    for seed in SEEDS {
+        let rows = run(&Table3Config {
+            instances: 10,
+            seed,
+            ..Table3Config::default()
+        });
+        let ns = |k, s| {
+            rows.iter()
+                .find(|r| r.kind == k && r.scheme == s)
+                .unwrap()
+                .time_ns
+                .mean()
+        };
+        let speedup = ns(TransposeKind::Crsw, Scheme::Raw) / ns(TransposeKind::Crsw, Scheme::Rap);
+        assert!((8.0..13.0).contains(&speedup), "seed {seed}: {speedup:.2}");
+        speedups.push(speedup);
+    }
+    let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
+        - speedups.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 1.0, "speedup spread {spread:.2} ({speedups:?})");
+}

@@ -1,0 +1,81 @@
+//! Regression pins: exact values that must never drift.
+//!
+//! These are deterministic facts of the models (not Monte-Carlo
+//! estimates), pinned so that a refactor of any scheduler or mapping is
+//! caught immediately.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rap_shmem::core::{RowShift, Scheme};
+use rap_shmem::transpose::{run_transpose, TransposeKind};
+
+/// The exact DMM cycle counts behind Table III's congestion columns,
+/// RAW layout, w = 32, l = 1.
+#[test]
+fn dmm_cycle_pins_raw_w32() {
+    let data: Vec<f64> = (0..1024).map(f64::from).collect();
+    let raw = RowShift::raw(32);
+    let cases = [
+        (TransposeKind::Crsw, 1056),
+        (TransposeKind::Srcw, 1056),
+        (TransposeKind::Drdw, 64),
+    ];
+    for (kind, expected) in cases {
+        let run = run_transpose(kind, &raw, 1, &data);
+        assert_eq!(run.report.cycles, expected, "{kind}");
+    }
+}
+
+/// RAP CRSW at any seed: exactly 2w stages → 2w + l − 1 cycles.
+#[test]
+fn dmm_cycle_pins_rap_crsw() {
+    let data: Vec<f64> = (0..1024).map(f64::from).collect();
+    for seed in [1u64, 2, 3, 999] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let rap = RowShift::rap(&mut rng, 32);
+        for l in [1u64, 8, 16] {
+            let run = run_transpose(TransposeKind::Crsw, &rap, l, &data);
+            assert_eq!(run.report.cycles, 64 + l - 1, "seed {seed} l {l}");
+            assert_eq!(run.report.total_stages, 64);
+        }
+    }
+}
+
+/// The calibrated SM model's Table III predictions, pinned to 0.1 ns.
+/// If the model or calibration changes, EXPERIMENTS.md must be
+/// regenerated — this test is the reminder.
+#[test]
+fn gpu_ns_pins() {
+    use rap_shmem::gpu_sim::{lower_program, simulate, SmConfig};
+    use rap_shmem::transpose::transpose_program;
+    let sm = SmConfig::gtx_titan();
+    let raw = RowShift::raw(32);
+    let program = transpose_program::<f64>(TransposeKind::Crsw, &raw, 0, 1024);
+    let alu = rap_shmem::gpu_sim::titan::transpose_alu_costs(Scheme::Raw, false);
+    let report = simulate(&lower_program(&program, 32, &alu), &sm);
+    assert!(
+        (report.ns - 1595.0).abs() < 1.0,
+        "calibration cell drifted: {:.1} ns (expected 1595)",
+        report.ns
+    );
+}
+
+/// The balls-into-bins expectations that anchor every stochastic cell.
+#[test]
+fn exact_max_load_pins() {
+    use rap_shmem::stats::MaxLoad;
+    let pins = [
+        (16usize, 3.0782),
+        (32, 3.5329),
+        (64, 3.9577),
+        (128, 4.3787),
+        (256, 4.7666),
+    ];
+    for (w, expected) in pins {
+        let e = MaxLoad::exact(w, w).expected();
+        assert!(
+            (e - expected).abs() < 5e-4,
+            "E[max] for {w}/{w} = {e:.4}, pinned {expected}"
+        );
+    }
+}

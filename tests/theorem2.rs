@@ -1,0 +1,113 @@
+//! Integration test: Theorem 2's guarantees, checked end-to-end across
+//! the mapping, access, and theory layers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_shmem::access::matrix::{generate, warp_congestion};
+use rap_shmem::access::MatrixPattern;
+use rap_shmem::core::theory::theorem2_expected_bound;
+use rap_shmem::core::{congestion, MatrixMapping, RowShift};
+
+/// Part 1 of Theorem 2: contiguous and stride access are ALWAYS
+/// conflict-free under RAP — not in expectation, deterministically.
+#[test]
+fn rap_contiguous_and_stride_always_one() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    for w in [4usize, 16, 32, 64, 128] {
+        for trial in 0..50 {
+            let mapping = RowShift::rap(&mut rng, w);
+            for pattern in [MatrixPattern::Contiguous, MatrixPattern::Stride] {
+                for warp in generate(pattern, w, &mut rng) {
+                    assert_eq!(
+                        warp_congestion(&mapping, &warp),
+                        1,
+                        "w={w} trial={trial} {pattern}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Part 2: ANY access — here, adversarially arbitrary warps of distinct
+/// addresses — has expected congestion below the explicit bound `2T + 1`.
+#[test]
+fn arbitrary_access_expectation_below_bound() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    for w in [16usize, 32, 64, 256] {
+        let bound = theorem2_expected_bound(w);
+        let trials = 400;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let mapping = RowShift::rap(&mut rng, w);
+            // an arbitrary warp: w distinct logical cells
+            let mut cells = std::collections::HashSet::new();
+            while cells.len() < w {
+                cells.insert((rng.gen_range(0..w as u32), rng.gen_range(0..w as u32)));
+            }
+            let addrs: Vec<u64> = cells
+                .iter()
+                .map(|&(i, j)| u64::from(mapping.address(i, j)))
+                .collect();
+            total += u64::from(congestion::congestion(w, &addrs));
+        }
+        let mean = total as f64 / f64::from(trials);
+        assert!(
+            mean < bound,
+            "w={w}: mean congestion {mean:.2} must be below the bound {bound:.2}"
+        );
+        // The bound is loose; the real expectation sits at max-load scale.
+        assert!(mean < 8.0, "w={w}: mean {mean:.2} should be small");
+    }
+}
+
+/// RAS vs RAP on stride access: the one guarantee RAS lacks.
+#[test]
+fn ras_strides_conflict_rap_strides_do_not() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let w = 32;
+    let mut ras_conflicted = 0u32;
+    for _ in 0..100 {
+        let ras = RowShift::ras(&mut rng, w);
+        let rap = RowShift::rap(&mut rng, w);
+        let stride = generate(MatrixPattern::Stride, w, &mut rng);
+        for warp in &stride {
+            if warp_congestion(&ras, warp) > 1 {
+                ras_conflicted += 1;
+            }
+            assert_eq!(warp_congestion(&rap, warp), 1);
+        }
+    }
+    assert!(
+        ras_conflicted > 3000,
+        "RAS stride should conflict nearly always, got {ras_conflicted}/3200"
+    );
+}
+
+/// Congestion is invariant under relabeling banks (adding a constant
+/// column offset before the mapping) — a sanity property the proof
+/// implicitly uses.
+#[test]
+fn congestion_invariant_under_column_rotation() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let w = 32u32;
+    let mapping = RowShift::rap(&mut rng, w as usize);
+    for _ in 0..50 {
+        let cells: Vec<(u32, u32)> = (0..w)
+            .map(|_| (rng.gen_range(0..w), rng.gen_range(0..w)))
+            .collect();
+        let base: Vec<u64> = cells
+            .iter()
+            .map(|&(i, j)| u64::from(mapping.address(i, j)))
+            .collect();
+        let shift = rng.gen_range(0..w);
+        let rotated: Vec<u64> = cells
+            .iter()
+            .map(|&(i, j)| u64::from(mapping.address(i, (j + shift) % w)))
+            .collect();
+        assert_eq!(
+            congestion::congestion(w as usize, &base),
+            congestion::congestion(w as usize, &rotated)
+        );
+    }
+}
