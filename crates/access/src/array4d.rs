@@ -22,6 +22,7 @@
 //! | 3P | the same grouping (fails: `σ,τ,υ` independent) | max-load |
 //! | w²P / 1P+w²R | vary `(d3,d2)` at fixed `(d1,d0)` — shifts are i.i.d. across groups | max-load |
 
+use crate::scratch::AccessScratch;
 use rand::Rng;
 use rap_core::multidim::{Mapping4d, Scheme4d};
 use serde::{Deserialize, Serialize};
@@ -122,6 +123,54 @@ pub fn generate_warp<R: Rng + ?Sized>(
     }
 }
 
+/// Fill `out` with one warp of logical coordinates — the scratch-reusing
+/// counterpart of [`generate_warp`]. Consumes the random stream exactly
+/// like [`generate_warp`], so results are identical per call.
+///
+/// The stride/contiguous/random patterns write straight into `out`; the
+/// malicious constructions still build intermediate sets internally (they
+/// are a negligible fraction of any sweep).
+///
+/// # Panics
+/// Panics if `w == 0` (or `w < 3` for the R1P/3P grouping adversary).
+pub fn generate_warp_into<R: Rng + ?Sized>(
+    pattern: Pattern4d,
+    target: Scheme4d,
+    w: usize,
+    rng: &mut R,
+    out: &mut Vec<Coord4>,
+) {
+    assert!(w > 0, "width must be positive");
+    let wu = w as u32;
+    out.clear();
+    let mut pick = |_axis: &str| rng.gen_range(0..wu);
+    match pattern {
+        Pattern4d::Contiguous => {
+            let (d3, d2, d1) = (pick("d3"), pick("d2"), pick("d1"));
+            out.extend((0..wu).map(|d0| [d3, d2, d1, d0]));
+        }
+        Pattern4d::Stride1 => {
+            let (d3, d2, d0) = (pick("d3"), pick("d2"), pick("d0"));
+            out.extend((0..wu).map(|d1| [d3, d2, d1, d0]));
+        }
+        Pattern4d::Stride2 => {
+            let (d3, d1, d0) = (pick("d3"), pick("d1"), pick("d0"));
+            out.extend((0..wu).map(|d2| [d3, d2, d1, d0]));
+        }
+        Pattern4d::Stride3 => {
+            let (d2, d1, d0) = (pick("d2"), pick("d1"), pick("d0"));
+            out.extend((0..wu).map(|d3| [d3, d2, d1, d0]));
+        }
+        Pattern4d::Random => {
+            for _ in 0..wu {
+                let c = [pick("d3"), pick("d2"), pick("d1"), pick("d0")];
+                out.push(c);
+            }
+        }
+        Pattern4d::Malicious => out.extend(malicious_warp(target, w, rng)),
+    }
+}
+
 /// The strongest known instance-blind adversary against `target`
 /// (see the module-level table).
 ///
@@ -218,6 +267,31 @@ pub fn warp_congestion(mapping: &Mapping4d, warp: &[Coord4]) -> u32 {
     rap_core::congestion::congestion(mapping.width(), &warp_addresses(mapping, warp))
 }
 
+/// Fill `out` with the flat physical addresses of one warp — the
+/// scratch-reusing counterpart of [`warp_addresses`].
+pub fn warp_addresses_into(mapping: &Mapping4d, warp: &[Coord4], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(
+        warp.iter()
+            .map(|&[d3, d2, d1, d0]| mapping.address(d3, d2, d1, d0)),
+    );
+}
+
+/// Congestion of one warp's access, reusing `scratch`'s buffers — the
+/// allocation-free counterpart of [`warp_congestion`].
+#[must_use]
+pub fn warp_congestion_with(
+    mapping: &Mapping4d,
+    warp: &[Coord4],
+    scratch: &mut AccessScratch,
+) -> u32 {
+    let mut addrs = std::mem::take(&mut scratch.addrs);
+    warp_addresses_into(mapping, warp, &mut addrs);
+    let result = scratch.congestion.congestion(mapping.width(), &addrs);
+    scratch.addrs = addrs;
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,7 +383,11 @@ mod tests {
         let warp = permutation_group_warp(18, &mut r);
         let addrs = warp_addresses(&m, &warp);
         let set: HashSet<u64> = addrs.iter().copied().collect();
-        assert_eq!(set.len(), addrs.len(), "the attack must not rely on merging");
+        assert_eq!(
+            set.len(),
+            addrs.len(),
+            "the attack must not rely on merging"
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 pub mod array4d;
 pub mod matrix;
 pub mod montecarlo;
+pub mod scratch;
 
 pub use array4d::{Coord4, Pattern4d};
 pub use matrix::{Coord, MatrixPattern};
+pub use scratch::AccessScratch;

@@ -6,6 +6,7 @@
 //! simulates in Table II — contiguous, stride, diagonal, random — plus the
 //! broadcast and adversarial patterns discussed in §I/§II.
 
+use crate::scratch::AccessScratch;
 use rand::Rng;
 use rap_core::mapping::MatrixMapping;
 use rap_core::RowShift;
@@ -73,12 +74,8 @@ pub fn generate<R: Rng + ?Sized>(pattern: MatrixPattern, w: usize, rng: &mut R) 
     assert!(w > 0, "matrix width must be positive");
     let wu = w as u32;
     match pattern {
-        MatrixPattern::Contiguous => (0..wu)
-            .map(|r| (0..wu).map(|j| (r, j)).collect())
-            .collect(),
-        MatrixPattern::Stride => (0..wu)
-            .map(|c| (0..wu).map(|i| (i, c)).collect())
-            .collect(),
+        MatrixPattern::Contiguous => (0..wu).map(|r| (0..wu).map(|j| (r, j)).collect()).collect(),
+        MatrixPattern::Stride => (0..wu).map(|c| (0..wu).map(|i| (i, c)).collect()).collect(),
         MatrixPattern::Diagonal => (0..wu)
             .map(|d| (0..wu).map(|j| (j, (j + d) % wu)).collect())
             .collect(),
@@ -90,6 +87,38 @@ pub fn generate<R: Rng + ?Sized>(pattern: MatrixPattern, w: usize, rng: &mut R) 
             })
             .collect(),
         MatrixPattern::Broadcast => (0..wu).map(|_| vec![(0, 0); w]).collect(),
+    }
+}
+
+/// Fill `out` with warp `warp`'s coordinates — the scratch-reusing
+/// counterpart of one row of [`generate`].
+///
+/// Calling this for `warp = 0..w` in order with the same `rng` consumes
+/// the random stream exactly like one [`generate`] call, so per-warp
+/// results are identical to indexing `generate(..)[warp]` — only without
+/// the `Vec<Vec<Coord>>` per trial.
+///
+/// # Panics
+/// Panics if `w == 0` or `warp ≥ w`.
+pub fn generate_warp_into<R: Rng + ?Sized>(
+    pattern: MatrixPattern,
+    w: usize,
+    warp: u32,
+    rng: &mut R,
+    out: &mut Vec<Coord>,
+) {
+    assert!(w > 0, "matrix width must be positive");
+    let wu = w as u32;
+    assert!(warp < wu, "warp {warp} out of range for width {w}");
+    out.clear();
+    match pattern {
+        MatrixPattern::Contiguous => out.extend((0..wu).map(|j| (warp, j))),
+        MatrixPattern::Stride => out.extend((0..wu).map(|i| (i, warp))),
+        MatrixPattern::Diagonal => out.extend((0..wu).map(|j| (j, (j + warp) % wu))),
+        MatrixPattern::Random => {
+            out.extend((0..wu).map(|_| (rng.gen_range(0..wu), rng.gen_range(0..wu))));
+        }
+        MatrixPattern::Broadcast => out.extend(std::iter::repeat_n((0, 0), w)),
     }
 }
 
@@ -130,6 +159,28 @@ pub fn warp_addresses(mapping: &dyn MatrixMapping, warp: &[Coord]) -> Vec<u64> {
 #[must_use]
 pub fn warp_congestion(mapping: &dyn MatrixMapping, warp: &[Coord]) -> u32 {
     rap_core::congestion::congestion(mapping.width(), &warp_addresses(mapping, warp))
+}
+
+/// Fill `out` with the physical addresses of one warp — the
+/// scratch-reusing counterpart of [`warp_addresses`].
+pub fn warp_addresses_into(mapping: &dyn MatrixMapping, warp: &[Coord], out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(warp.iter().map(|&(i, j)| u64::from(mapping.address(i, j))));
+}
+
+/// Congestion of one warp's access, reusing `scratch`'s buffers — the
+/// allocation-free counterpart of [`warp_congestion`].
+#[must_use]
+pub fn warp_congestion_with(
+    mapping: &dyn MatrixMapping,
+    warp: &[Coord],
+    scratch: &mut AccessScratch,
+) -> u32 {
+    let mut addrs = std::mem::take(&mut scratch.addrs);
+    warp_addresses_into(mapping, warp, &mut addrs);
+    let result = scratch.congestion.congestion(mapping.width(), &addrs);
+    scratch.addrs = addrs;
+    result
 }
 
 #[cfg(test)]

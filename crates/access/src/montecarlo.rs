@@ -6,14 +6,64 @@
 //! The estimators here do exactly that: per trial, build a fresh mapping,
 //! generate the access operation, and record the congestion of every warp.
 //!
+//! # Parallelism and determinism
+//!
+//! Trials are independent by construction — trial `t` draws its entire
+//! random stream from `domain.child(..).rng(t)` — so the estimators run
+//! trials in parallel. To keep the estimate **invariant to the worker
+//! count**, trials are grouped into fixed blocks of [`TRIALS_PER_BLOCK`]:
+//! each block is evaluated serially into its own [`OnlineStats`] (with one
+//! reused [`AccessScratch`], so the hot loop allocates nothing), the blocks
+//! are mapped in parallel, and the per-block accumulators are merged in
+//! block-index order. The block boundaries and the merge order depend only
+//! on `trials`, never on the scheduler, so 1 worker and N workers produce
+//! bit-identical [`OnlineStats`].
+//!
+//! Relative to a single serial accumulator over the same sample stream,
+//! the block merge is exact for `count`/`min`/`max` and agrees on
+//! `mean`/`variance` up to floating-point merge rounding (≈ 1e-12
+//! relative); the tests pin both properties.
+//!
 //! Reproducibility: estimators take a [`SeedDomain`]; the same domain
 //! always yields the same estimate, regardless of call order elsewhere.
 
-use crate::array4d::{self, Pattern4d};
-use crate::matrix::{self, MatrixPattern};
+use crate::array4d::{self, Coord4, Pattern4d};
+use crate::matrix::{self, Coord, MatrixPattern};
+use crate::scratch::AccessScratch;
 use rap_core::multidim::{Mapping4d, Scheme4d};
 use rap_core::{RowShift, Scheme};
 use rap_stats::{OnlineStats, SeedDomain};
+use rayon::prelude::*;
+
+/// Trials per work unit. Fixed (not derived from the worker count) so the
+/// block structure — and therefore the merge order and the floating-point
+/// result — is identical for every thread count. 32 trials amortise the
+/// per-block scratch allocation well below measurement noise while still
+/// exposing enough blocks to saturate a pool on Table-sized sweeps.
+const TRIALS_PER_BLOCK: u64 = 32;
+
+/// Run `run_block` over fixed-size trial blocks in parallel and merge the
+/// per-block statistics in block-index order.
+///
+/// This is the determinism kernel of the engine: the result depends only
+/// on `trials` and `run_block`, never on how many workers executed the
+/// blocks (see the module docs).
+fn parallel_trials<F>(trials: u64, run_block: F) -> OnlineStats
+where
+    F: Fn(std::ops::Range<u64>) -> OnlineStats + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let blocks: Vec<std::ops::Range<u64>> = (0..trials)
+        .step_by(TRIALS_PER_BLOCK as usize)
+        .map(|start| start..trials.min(start + TRIALS_PER_BLOCK))
+        .collect();
+    let per_block: Vec<OnlineStats> = blocks.into_par_iter().map(run_block).collect();
+    let mut total = OnlineStats::new();
+    for block in &per_block {
+        total.merge(block);
+    }
+    total
+}
 
 /// Estimate the expected per-warp congestion of `pattern` under `scheme`
 /// on a `w × w` matrix.
@@ -21,6 +71,9 @@ use rap_stats::{OnlineStats, SeedDomain};
 /// Each trial draws a fresh mapping and a fresh instance of the pattern
 /// (for the random pattern), then records the congestion of **every** warp
 /// of the access operation, matching the paper's per-warp averaging.
+///
+/// Trials run in parallel on the ambient rayon pool; the result is
+/// bit-identical for every thread count (see the module docs).
 ///
 /// # Panics
 /// Panics if `w == 0` or `trials == 0`.
@@ -33,16 +86,25 @@ pub fn matrix_congestion(
     domain: &SeedDomain,
 ) -> OnlineStats {
     assert!(trials > 0, "need at least one trial");
-    let mut stats = OnlineStats::new();
-    for trial in 0..trials {
-        let mut rng = domain.child("matrix").rng(trial);
-        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
-        let op = matrix::generate(pattern, w, &mut rng);
-        for warp in &op {
-            stats.push_u32(matrix::warp_congestion(&mapping, warp));
+    let child = domain.child("matrix");
+    parallel_trials(trials, |block| {
+        let mut scratch = AccessScratch::new();
+        let mut warp_buf: Vec<Coord> = Vec::new();
+        let mut stats = OnlineStats::new();
+        for trial in block {
+            let mut rng = child.rng(trial);
+            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+            for warp in 0..w as u32 {
+                matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
+                stats.push_u32(matrix::warp_congestion_with(
+                    &mapping,
+                    &warp_buf,
+                    &mut scratch,
+                ));
+            }
         }
-    }
-    stats
+        stats
+    })
 }
 
 /// Estimate the expected per-warp congestion of `pattern` under `scheme`
@@ -50,6 +112,9 @@ pub fn matrix_congestion(
 ///
 /// Each trial draws a fresh mapping and `warps_per_trial` fresh warps.
 /// Malicious warps target `scheme` (scheme-aware, instance-blind).
+///
+/// Trials run in parallel on the ambient rayon pool; the result is
+/// bit-identical for every thread count (see the module docs).
 ///
 /// # Panics
 /// Panics if `w == 0` or `trials == 0` or `warps_per_trial == 0`.
@@ -62,17 +127,29 @@ pub fn array4d_congestion(
     warps_per_trial: u32,
     domain: &SeedDomain,
 ) -> OnlineStats {
-    assert!(trials > 0 && warps_per_trial > 0, "need at least one sample");
-    let mut stats = OnlineStats::new();
-    for trial in 0..trials {
-        let mut rng = domain.child("array4d").rng(trial);
-        let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
-        for _ in 0..warps_per_trial {
-            let warp = array4d::generate_warp(pattern, scheme, w, &mut rng);
-            stats.push_u32(array4d::warp_congestion(&mapping, &warp));
+    assert!(
+        trials > 0 && warps_per_trial > 0,
+        "need at least one sample"
+    );
+    let child = domain.child("array4d");
+    parallel_trials(trials, |block| {
+        let mut scratch = AccessScratch::new();
+        let mut warp_buf: Vec<Coord4> = Vec::new();
+        let mut stats = OnlineStats::new();
+        for trial in block {
+            let mut rng = child.rng(trial);
+            let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
+            for _ in 0..warps_per_trial {
+                array4d::generate_warp_into(pattern, scheme, w, &mut rng, &mut warp_buf);
+                stats.push_u32(array4d::warp_congestion_with(
+                    &mapping,
+                    &warp_buf,
+                    &mut scratch,
+                ));
+            }
         }
-    }
-    stats
+        stats
+    })
 }
 
 /// Estimate the expected congestion of the *worst known blind adversary*
@@ -101,6 +178,57 @@ mod tests {
 
     fn domain() -> SeedDomain {
         SeedDomain::new(2014)
+    }
+
+    /// The pre-engine serial estimator, kept verbatim as the reference the
+    /// parallel engine is validated against: one accumulator, one
+    /// allocation-per-warp `generate` call, trials in order.
+    fn matrix_congestion_serial(
+        scheme: Scheme,
+        pattern: MatrixPattern,
+        w: usize,
+        trials: u64,
+        domain: &SeedDomain,
+    ) -> OnlineStats {
+        let mut stats = OnlineStats::new();
+        for trial in 0..trials {
+            let mut rng = domain.child("matrix").rng(trial);
+            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+            let op = matrix::generate(pattern, w, &mut rng);
+            for warp in &op {
+                stats.push_u32(matrix::warp_congestion(&mapping, warp));
+            }
+        }
+        stats
+    }
+
+    /// Serial reference for the 4-D estimator (pre-engine code, verbatim).
+    fn array4d_congestion_serial(
+        scheme: Scheme4d,
+        pattern: Pattern4d,
+        w: usize,
+        trials: u64,
+        warps_per_trial: u32,
+        domain: &SeedDomain,
+    ) -> OnlineStats {
+        let mut stats = OnlineStats::new();
+        for trial in 0..trials {
+            let mut rng = domain.child("array4d").rng(trial);
+            let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
+            for _ in 0..warps_per_trial {
+                let warp = array4d::generate_warp(pattern, scheme, w, &mut rng);
+                stats.push_u32(array4d::warp_congestion(&mapping, &warp));
+            }
+        }
+        stats
+    }
+
+    fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("pool")
+            .install(op)
     }
 
     #[test]
@@ -201,5 +329,81 @@ mod tests {
     #[should_panic(expected = "at least one trial")]
     fn zero_trials_rejected() {
         let _ = matrix_congestion(Scheme::Raw, MatrixPattern::Random, 8, 0, &domain());
+    }
+
+    /// The engine's core contract: the estimate is **bit-identical** for
+    /// every worker count, because the block structure and merge order
+    /// depend only on `trials`.
+    #[test]
+    fn thread_count_invariance_is_exact() {
+        let d = domain();
+        // 100 trials = 4 blocks; enough to exercise uneven chunking at
+        // every tested pool size.
+        let runs: Vec<(OnlineStats, OnlineStats)> = [1usize, 2, 3, 8]
+            .iter()
+            .map(|&threads| {
+                with_threads(threads, || {
+                    (
+                        matrix_congestion(Scheme::Ras, MatrixPattern::Random, 16, 100, &d),
+                        array4d_congestion(Scheme4d::R1P, Pattern4d::Random, 16, 100, 4, &d),
+                    )
+                })
+            })
+            .collect();
+        for pair in &runs[1..] {
+            assert_eq!(pair.0, runs[0].0, "matrix estimate varies with threads");
+            assert_eq!(pair.1, runs[0].1, "array4d estimate varies with threads");
+        }
+    }
+
+    /// The engine must reproduce the pre-engine serial estimator: the
+    /// sample stream is identical (`generate_warp_into` consumes the RNG
+    /// exactly like `generate`), so `count`/`min`/`max` match exactly and
+    /// `mean`/`variance` match up to block-merge rounding.
+    #[test]
+    fn engine_matches_serial_reference() {
+        let d = domain();
+        let cases = [
+            (Scheme::Ras, MatrixPattern::Random, 16, 100),
+            (Scheme::Rap, MatrixPattern::Diagonal, 32, 70),
+            (Scheme::Raw, MatrixPattern::Stride, 8, 33),
+        ];
+        for (scheme, pattern, w, trials) in cases {
+            let par = matrix_congestion(scheme, pattern, w, trials, &d);
+            let ser = matrix_congestion_serial(scheme, pattern, w, trials, &d);
+            assert_eq!(par.count(), ser.count(), "{scheme} {pattern}");
+            assert_eq!(par.min(), ser.min(), "{scheme} {pattern}");
+            assert_eq!(par.max(), ser.max(), "{scheme} {pattern}");
+            assert!(
+                (par.mean() - ser.mean()).abs() <= 1e-12 * ser.mean().abs(),
+                "{scheme} {pattern}: mean {} vs serial {}",
+                par.mean(),
+                ser.mean()
+            );
+            assert!(
+                (par.variance() - ser.variance()).abs() <= 1e-9 * (1.0 + ser.variance()),
+                "{scheme} {pattern}: variance {} vs serial {}",
+                par.variance(),
+                ser.variance()
+            );
+        }
+
+        let par = array4d_congestion(Scheme4d::Ras, Pattern4d::Random, 16, 100, 4, &d);
+        let ser = array4d_congestion_serial(Scheme4d::Ras, Pattern4d::Random, 16, 100, 4, &d);
+        assert_eq!(par.count(), ser.count());
+        assert_eq!(par.min(), ser.min());
+        assert_eq!(par.max(), ser.max());
+        assert!((par.mean() - ser.mean()).abs() <= 1e-12 * ser.mean().abs());
+    }
+
+    /// A single block (trials ≤ TRIALS_PER_BLOCK) merges into an empty
+    /// accumulator, which copies it verbatim — so small runs are
+    /// bit-identical to the serial reference, not merely close.
+    #[test]
+    fn single_block_is_bit_identical_to_serial() {
+        let d = domain();
+        let par = matrix_congestion(Scheme::Ras, MatrixPattern::Random, 16, 32, &d);
+        let ser = matrix_congestion_serial(Scheme::Ras, MatrixPattern::Random, 16, 32, &d);
+        assert_eq!(par, ser);
     }
 }

@@ -1,0 +1,27 @@
+//! Reusable per-worker buffers for warp-granular congestion evaluation.
+//!
+//! The Monte-Carlo estimators evaluate millions of warps; allocating a
+//! coordinate list, an address list, and the congestion kernel's buffers
+//! for each one dominates the profile. One [`AccessScratch`] per worker
+//! (or per serial loop) reduces that to a handful of high-water-mark
+//! allocations for a whole sweep.
+
+use rap_core::congestion::CongestionScratch;
+
+/// Caller-owned buffers threaded through the `*_into` / `*_with` variants
+/// in [`crate::matrix`] and [`crate::array4d`].
+#[derive(Debug, Clone, Default)]
+pub struct AccessScratch {
+    /// Physical address buffer (one entry per thread of the current warp).
+    pub(crate) addrs: Vec<u64>,
+    /// Congestion kernel buffers (unused on the `width ≤ 128` fast path).
+    pub(crate) congestion: CongestionScratch,
+}
+
+impl AccessScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

@@ -115,4 +115,65 @@ proptest! {
             prop_assert_eq!(banks.len(), 1);
         }
     }
+
+    /// The scratch-reusing per-warp generator consumes the RNG stream
+    /// exactly like the allocating `generate`, so warp `k` of either path
+    /// is identical — for every pattern, width, and seed.
+    #[test]
+    fn warp_into_matches_generate(seed in any::<u64>(), w in 1usize..40, pattern_idx in 0usize..5) {
+        let pattern = [
+            MatrixPattern::Contiguous,
+            MatrixPattern::Stride,
+            MatrixPattern::Diagonal,
+            MatrixPattern::Random,
+            MatrixPattern::Broadcast,
+        ][pattern_idx];
+        let op = matrix::generate(pattern, w, &mut SmallRng::seed_from_u64(seed));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut buf = Vec::new();
+        for (k, warp) in op.iter().enumerate() {
+            matrix::generate_warp_into(pattern, w, k as u32, &mut rng, &mut buf);
+            prop_assert_eq!(&buf, warp, "{} w={} warp {}", pattern, w, k);
+        }
+    }
+
+    /// The scratch congestion path agrees with the allocating path for
+    /// arbitrary warps and mappings (matrix and 4-D).
+    #[test]
+    fn scratch_congestion_matches_alloc(
+        seed in any::<u64>(), w in 1usize..40, scheme_idx in 0usize..3,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mapping = RowShift::of_scheme(Scheme::all()[scheme_idx], &mut rng, w);
+        let mut scratch = rap_access::AccessScratch::new();
+        for pattern in [MatrixPattern::Stride, MatrixPattern::Diagonal, MatrixPattern::Random] {
+            for warp in matrix::generate(pattern, w, &mut rng) {
+                prop_assert_eq!(
+                    matrix::warp_congestion_with(&mapping, &warp, &mut scratch),
+                    matrix::warp_congestion(&mapping, &warp)
+                );
+            }
+        }
+    }
+
+    /// The parallel Monte-Carlo engine is invariant to the worker count:
+    /// 1 thread and N threads produce bit-identical statistics for any
+    /// seed, width, trial count, and pool size.
+    #[test]
+    fn engine_thread_count_invariant(
+        seed in any::<u64>(), w in 1usize..12, trials in 1u64..80, threads in 2usize..6,
+    ) {
+        use rap_access::montecarlo::matrix_congestion;
+        use rap_stats::SeedDomain;
+        let d = SeedDomain::new(seed);
+        let run = |n: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap()
+                .install(|| matrix_congestion(Scheme::Ras, MatrixPattern::Random, w, trials, &d))
+        };
+        let single = run(1);
+        prop_assert_eq!(run(threads), single);
+    }
 }

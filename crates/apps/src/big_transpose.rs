@@ -87,7 +87,8 @@ pub fn run_big_transpose(
     let region_a = arena.alloc_matrix().expect("tile a fits");
     let region_b = arena.alloc_matrix().expect("tile b fits");
     let machine: Dmm = Machine::new(w, shared_latency);
-    let program = transpose_program::<f64>(TransposeKind::Crsw, mapping, region_a.base, region_b.base);
+    let program =
+        transpose_program::<f64>(TransposeKind::Crsw, mapping, region_a.base, region_b.base);
 
     let mut out = vec![0.0f64; n * n];
     let mut shared_cycles = 0u64;

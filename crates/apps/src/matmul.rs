@@ -64,10 +64,7 @@ pub fn matmul_abt_program(
 /// `Σ pairs a·b`.
 #[must_use]
 pub fn dot_reducer(history: &[f64]) -> f64 {
-    history
-        .chunks_exact(2)
-        .map(|pair| pair[0] * pair[1])
-        .sum()
+    history.chunks_exact(2).map(|pair| pair[0] * pair[1]).sum()
 }
 
 /// Result of one `A·Bᵀ` run.
@@ -174,8 +171,12 @@ mod tests {
 
     fn matrices(rng: &mut SmallRng, w: usize) -> (Vec<f64>, Vec<f64>) {
         // Small integers: exact float arithmetic, order-independent sums.
-        let a = (0..w * w).map(|_| f64::from(rng.gen_range(-8i8..8))).collect();
-        let b = (0..w * w).map(|_| f64::from(rng.gen_range(-8i8..8))).collect();
+        let a = (0..w * w)
+            .map(|_| f64::from(rng.gen_range(-8i8..8)))
+            .collect();
+        let b = (0..w * w)
+            .map(|_| f64::from(rng.gen_range(-8i8..8)))
+            .collect();
         (a, b)
     }
 
@@ -211,7 +212,11 @@ mod tests {
         let w = 16;
         let (a, b) = matrices(&mut rng, w);
         let raw = run_matmul_abt(&RowShift::raw(w), 1, &a, &b);
-        assert_eq!(raw.b_read_congestion(), w as f64, "RAW column reads serialize");
+        assert_eq!(
+            raw.b_read_congestion(),
+            w as f64,
+            "RAW column reads serialize"
+        );
         let rap = run_matmul_abt(&RowShift::rap(&mut rng, w), 1, &a, &b);
         assert_eq!(rap.b_read_congestion(), 1.0, "RAP column reads are free");
     }

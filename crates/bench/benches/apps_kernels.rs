@@ -12,8 +12,12 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul_abt_sim");
     let w = 32;
     let mut rng = SmallRng::seed_from_u64(11);
-    let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
-    let b_mat: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+    let a: Vec<f64> = (0..w * w)
+        .map(|_| f64::from(rng.gen_range(-4i8..4)))
+        .collect();
+    let b_mat: Vec<f64> = (0..w * w)
+        .map(|_| f64::from(rng.gen_range(-4i8..4)))
+        .collect();
     for scheme in Scheme::all() {
         let mapping = RowShift::of_scheme(scheme, &mut rng, w);
         group.bench_with_input(

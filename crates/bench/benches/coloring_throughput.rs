@@ -44,5 +44,9 @@ fn bench_edge_color_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedule_construction, bench_edge_color_scaling);
+criterion_group!(
+    benches,
+    bench_schedule_construction,
+    bench_edge_color_scaling
+);
 criterion_main!(benches);

@@ -4,21 +4,30 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rap_core::congestion::{congestion, BankLoads};
+use rap_core::congestion::{congestion, BankLoads, CongestionScratch};
 
 fn bench_congestion(c: &mut Criterion) {
     let mut group = c.benchmark_group("congestion");
     for w in [32usize, 256] {
         let mut rng = SmallRng::seed_from_u64(4);
         let addrs: Vec<u64> = (0..w).map(|_| rng.gen_range(0..(w * w) as u64)).collect();
-        group.bench_with_input(BenchmarkId::new("random_warp", w), &addrs, |b, a| {
-            b.iter(|| black_box(congestion(w, black_box(a))));
-        });
+        // The allocating baseline the scratch/bitmask paths are measured
+        // against (this was the seed's only kernel).
         group.bench_with_input(BenchmarkId::new("full_analysis", w), &addrs, |b, a| {
             b.iter(|| {
                 let loads = BankLoads::analyze(w, black_box(a));
                 black_box((loads.congestion(), loads.busy_banks()))
             });
+        });
+        // Free function: dispatches to the fixed-size bitmask kernel for
+        // w ≤ 128, else allocates like the baseline.
+        group.bench_with_input(BenchmarkId::new("random_warp", w), &addrs, |b, a| {
+            b.iter(|| black_box(congestion(w, black_box(a))));
+        });
+        // Reusable scratch: zero allocations per call at every width.
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", w), &addrs, |b, a| {
+            let mut scratch = CongestionScratch::new();
+            b.iter(|| black_box(scratch.congestion(w, black_box(a))));
         });
     }
     group.finish();
@@ -44,5 +53,44 @@ fn bench_montecarlo_cell(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_congestion, bench_montecarlo_cell);
+/// One warp end to end (generate + map + congestion), allocating per call
+/// versus reusing an [`rap_access::AccessScratch`] — the per-sample cost
+/// the Monte-Carlo engine pays millions of times.
+fn bench_warp_path(c: &mut Criterion) {
+    use rap_access::{matrix, AccessScratch, MatrixPattern};
+    use rap_core::{RowShift, Scheme};
+
+    let w = 32usize;
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mapping = RowShift::of_scheme(Scheme::Rap, &mut rng, w);
+    let mut group = c.benchmark_group("warp_path_w32");
+    group.bench_function("alloc_per_warp", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        b.iter(|| {
+            let op = matrix::generate(MatrixPattern::Random, w, &mut rng);
+            for warp in &op {
+                black_box(matrix::warp_congestion(&mapping, warp));
+            }
+        });
+    });
+    group.bench_function("scratch_reuse", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut scratch = AccessScratch::new();
+        let mut warp = Vec::new();
+        b.iter(|| {
+            for i in 0..w as u32 {
+                matrix::generate_warp_into(MatrixPattern::Random, w, i, &mut rng, &mut warp);
+                black_box(matrix::warp_congestion_with(&mapping, &warp, &mut scratch));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_congestion,
+    bench_montecarlo_cell,
+    bench_warp_path
+);
 criterion_main!(benches);

@@ -59,7 +59,13 @@ fn main() {
     println!("global latency 400 cycles):");
     let sizes = [w, 2 * w, 4 * w];
     let big = apps::run_big_transpose_sweep(w, &sizes, latency, 400, instances.min(8), seed);
-    let mut t = TextTable::new(["N", "RAW cycles", "RAS cycles", "RAP cycles", "speedup RAW/RAP"]);
+    let mut t = TextTable::new([
+        "N",
+        "RAW cycles",
+        "RAS cycles",
+        "RAP cycles",
+        "speedup RAW/RAP",
+    ]);
     for &n in &sizes {
         let get = |s: Scheme| {
             big.iter()

@@ -4,15 +4,22 @@
 //! Usage: `cargo run -p rap-bench --bin lemma1 --release`
 
 use rap_bench::experiments::lemma1;
-use rap_bench::table::TextTable;
 use rap_bench::output;
+use rap_bench::table::TextTable;
 
 fn main() {
     println!("A2 — Lemma 1: DMM cycles of CRSW/SRCW/DRDW under RAW\n");
     let rows = lemma1::run(&[4, 8, 16, 32, 64], &[1, 2, 4, 8, 16, 32, 64]);
 
     let mut t = TextTable::new([
-        "w", "l", "CRSW", "SRCW", "DRDW", "w²+w+l-1", "2w+l-1", "match",
+        "w",
+        "l",
+        "CRSW",
+        "SRCW",
+        "DRDW",
+        "w²+w+l-1",
+        "2w+l-1",
+        "match",
     ]);
     for r in &rows {
         let ok = r.crsw == r.crsw_formula && r.srcw == r.crsw_formula && r.drdw == r.drdw_formula;

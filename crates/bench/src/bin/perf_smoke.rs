@@ -1,0 +1,157 @@
+//! Performance smoke test of the Monte-Carlo engine.
+//!
+//! Times a fixed Table-II-style sweep (every pattern × scheme at one
+//! width) at several thread counts and writes `results/perf_smoke.json`
+//! with trials/sec, wall time, and the speedup over one thread. Unlike the
+//! criterion benches this runs in seconds and produces machine-readable
+//! output, so it can gate regressions in CI or quick local checks.
+//!
+//! Usage: `cargo run -p rap-bench --bin perf_smoke --release
+//! [--trials 2000] [--w 32] [--seed 2014]`
+
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_bench::{output, CliArgs};
+use rap_core::Scheme;
+use rap_stats::SeedDomain;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed sweep at a fixed thread count.
+#[derive(Debug, Serialize)]
+struct ThreadSample {
+    /// Worker threads used by the engine.
+    threads: usize,
+    /// Wall time of the whole sweep in seconds.
+    wall_seconds: f64,
+    /// Monte-Carlo trials completed per second (all cells combined).
+    trials_per_second: f64,
+    /// Speedup over the 1-thread sweep.
+    speedup: f64,
+}
+
+/// The full smoke report written to `results/perf_smoke.json`.
+#[derive(Debug, Serialize)]
+struct PerfSmokeReport {
+    /// Experiment id (fixed: "perf_smoke").
+    id: String,
+    /// Sweep parameters, human readable.
+    params: String,
+    /// Matrix width of the sweep.
+    w: usize,
+    /// Trials per cell.
+    trials_per_cell: u64,
+    /// Number of (pattern, scheme) cells.
+    cells: usize,
+    /// Total trials across the sweep.
+    total_trials: u64,
+    /// Hardware parallelism reported by the host.
+    hardware_threads: usize,
+    /// One entry per tested thread count.
+    samples: Vec<ThreadSample>,
+    /// Checksum: sum of all cell means, to pin that every thread count
+    /// computed the identical estimate (the engine's determinism
+    /// contract).
+    mean_checksum: f64,
+}
+
+/// Run the fixed sweep once and return (wall seconds, sum of cell means).
+fn run_sweep(w: usize, trials: u64, seed: u64) -> (f64, f64) {
+    let domain = SeedDomain::new(seed).child("perf_smoke");
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for pattern in MatrixPattern::table2() {
+        for scheme in Scheme::all() {
+            let cell_domain = domain.child(pattern.name()).child(scheme.name());
+            let stats = matrix_congestion(scheme, pattern, w, trials, &cell_domain);
+            checksum += stats.mean();
+        }
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let w = args.get_usize("w", 32);
+    let trials = args.get_u64("trials", 2000);
+    let seed = args.get_u64("seed", 2014);
+    if w == 0 || trials == 0 {
+        eprintln!("error: --w and --trials must be at least 1 (got w={w}, trials={trials})");
+        std::process::exit(2);
+    }
+
+    let cells = MatrixPattern::table2().len() * Scheme::all().len();
+    let total_trials = trials * cells as u64;
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("perf_smoke — Table-II-style sweep, w={w}, {trials} trials/cell, {cells} cells");
+
+    // Warm up (page in code, grow allocator arenas) before timing.
+    let _ = run_sweep(w, trials.min(100), seed);
+
+    // Always time 2 threads even on a 1-core host: the run doubles as a
+    // cross-thread-count determinism check (see the checksum assert).
+    let mut thread_counts = vec![1usize, 2];
+    if hardware > 3 {
+        thread_counts.push(hardware / 2);
+    }
+    if hardware > 2 {
+        thread_counts.push(hardware);
+    }
+    thread_counts.dedup();
+
+    let mut samples = Vec::new();
+    let mut baseline = None;
+    let mut checksum = None;
+    for &threads in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let (wall, sum) = pool.install(|| run_sweep(w, trials, seed));
+        match checksum {
+            None => checksum = Some(sum),
+            // Engine contract: the estimate is bit-identical per thread
+            // count, so the checksum must be too.
+            Some(c) => assert!(c == sum, "thread-count determinism violated: {c} vs {sum}"),
+        }
+        let base = *baseline.get_or_insert(wall);
+        let sample = ThreadSample {
+            threads,
+            wall_seconds: wall,
+            trials_per_second: total_trials as f64 / wall,
+            speedup: base / wall,
+        };
+        println!(
+            "  threads={:<3} wall={:.3}s  {:.0} trials/s  speedup {:.2}x",
+            sample.threads, sample.wall_seconds, sample.trials_per_second, sample.speedup
+        );
+        samples.push(sample);
+    }
+
+    let report = PerfSmokeReport {
+        id: "perf_smoke".into(),
+        params: format!("w={w} trials={trials} seed={seed}"),
+        w,
+        trials_per_cell: trials,
+        cells,
+        total_trials,
+        hardware_threads: hardware,
+        samples,
+        mean_checksum: checksum.unwrap_or(0.0),
+    };
+
+    let dir = output::default_root().join("results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join("perf_smoke.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        },
+        Err(e) => eprintln!("could not serialize report: {e}"),
+    }
+}

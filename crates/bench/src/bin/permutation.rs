@@ -15,7 +15,10 @@ fn main() {
     let instances = args.get_u64("instances", 15);
     let seed = args.get_u64("seed", 2014);
 
-    println!("A4 — offline permutation of w² = {} words on the DMM (w={w}, l={latency})", w * w);
+    println!(
+        "A4 — offline permutation of w² = {} words on the DMM (w={w}, l={latency})",
+        w * w
+    );
     println!("Direct = one thread per word; ConflictFree = Kasagi-Nakano-Ito edge coloring;");
     println!("RAP = direct over permute-shifted arrays (no offline analysis)\n");
 

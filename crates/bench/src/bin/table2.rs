@@ -54,7 +54,10 @@ fn main() {
 
     let record = table2::to_record(&cfg, &cells);
     if let Some(worst) = record.worst_relative_error() {
-        println!("worst relative deviation from the paper: {:.2}%", worst * 100.0);
+        println!(
+            "worst relative deviation from the paper: {:.2}%",
+            worst * 100.0
+        );
     }
     match output::write_record(&output::default_root(), &record) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -13,7 +13,9 @@ fn main() {
     let latency = args.get_u64("latency", 8);
 
     println!("A6 — the same RAW kernels on the DMM (shared memory) and the UMM (global memory)");
-    println!("DMM cost = bank conflicts; UMM cost = distinct rows (coalescing). w={w}, l={latency}\n");
+    println!(
+        "DMM cost = bank conflicts; UMM cost = distinct rows (coalescing). w={w}, l={latency}\n"
+    );
 
     let rows = umm::run(w, latency);
     let mut t = TextTable::new(["Workload", "DMM cycles", "UMM cycles"]);

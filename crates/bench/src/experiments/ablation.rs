@@ -113,8 +113,7 @@ pub fn ratios_hw(sm: &SmConfig, seed: u64) -> (f64, f64) {
             let mut rng = domain.child(kind.name()).child(scheme.name()).rng(inst);
             let mapping = RowShift::of_scheme(scheme, &mut rng, w);
             let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
-            let alu =
-                rap_gpu_sim::titan::transpose_alu_costs_hw(kind == TransposeKind::Drdw);
+            let alu = rap_gpu_sim::titan::transpose_alu_costs_hw(kind == TransposeKind::Drdw);
             total += simulate(&lower_program(&program, w, &alu), sm).ns;
         }
         total / instances as f64

@@ -7,11 +7,11 @@
 //! column-read serialization of `A·Bᵀ` and keeps every gather
 //! distribution at max-load scale.
 
+use rand::Rng;
 use rap_apps::gather::{run_gather, IndexDistribution};
 use rap_apps::matmul::run_matmul_abt;
 use rap_core::{RowShift, Scheme};
 use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
-use rand::Rng;
 
 /// Measurements for the matmul kernel under one scheme.
 #[derive(Debug, Clone)]
@@ -54,8 +54,12 @@ pub fn run_matmul(w: usize, latency: u64, instances: u64, seed: u64) -> Vec<Matm
             let mut all_verified = true;
             for inst in 0..n_inst {
                 let mut rng = domain.child(scheme.name()).rng(inst);
-                let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
-                let b: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+                let a: Vec<f64> = (0..w * w)
+                    .map(|_| f64::from(rng.gen_range(-4i8..4)))
+                    .collect();
+                let b: Vec<f64> = (0..w * w)
+                    .map(|_| f64::from(rng.gen_range(-4i8..4)))
+                    .collect();
                 let mapping = RowShift::of_scheme(scheme, &mut rng, w);
                 let run = run_matmul_abt(&mapping, latency, &a, &b);
                 all_verified &= run.verified;
@@ -143,7 +147,9 @@ pub fn run_big_transpose_sweep(
             let mut all_verified = true;
             for inst in 0..n_inst {
                 let mut rng = domain.child(scheme.name()).child_idx(n as u64).rng(inst);
-                let data: Vec<f64> = (0..n * n).map(|_| f64::from(rng.gen_range(-99i8..99))).collect();
+                let data: Vec<f64> = (0..n * n)
+                    .map(|_| f64::from(rng.gen_range(-99i8..99)))
+                    .collect();
                 let mapping = RowShift::of_scheme(scheme, &mut rng, w);
                 let report = rap_apps::big_transpose::run_big_transpose(
                     &mapping,
@@ -264,12 +270,7 @@ mod tests {
         let cells = run_big_transpose_sweep(16, &[16, 32], 4, 100, 3, 5);
         assert_eq!(cells.len(), 6);
         assert!(cells.iter().all(|c| c.all_verified));
-        let get = |n: usize, s: Scheme| {
-            cells
-                .iter()
-                .find(|c| c.n == n && c.scheme == s)
-                .unwrap()
-        };
+        let get = |n: usize, s: Scheme| cells.iter().find(|c| c.n == n && c.scheme == s).unwrap();
         // RAP pipeline is faster and less shared-memory-bound than RAW.
         for n in [16, 32] {
             assert!(

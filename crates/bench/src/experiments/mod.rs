@@ -3,9 +3,9 @@
 pub mod ablation;
 pub mod apps;
 pub mod lemma1;
-pub mod permutation;
 pub mod malicious;
 pub mod modern;
+pub mod permutation;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -14,8 +14,8 @@
 //!   no information; RAP's expectation stays `O(log w/ log log w)` for
 //!   *every* pattern because `σ` is secret.
 
-use rap_access::montecarlo::matrix_congestion;
 use rap_access::matrix::warp_congestion;
+use rap_access::montecarlo::matrix_congestion;
 use rap_access::MatrixPattern;
 use rap_core::modern::{blind_adversary, build_mapping};
 use rap_core::Scheme;
@@ -50,7 +50,11 @@ fn pattern_congestion(
         Scheme::Xor | Scheme::Padded => {
             // Deterministic layout; only the Random pattern needs trials.
             let mut stats = OnlineStats::new();
-            let n_trials = if pattern == MatrixPattern::Random { trials } else { 1 };
+            let n_trials = if pattern == MatrixPattern::Random {
+                trials
+            } else {
+                1
+            };
             for trial in 0..n_trials {
                 let mut rng = domain.child("modern").rng(trial);
                 let mapping = build_mapping(scheme, &mut rng, w);
@@ -110,7 +114,11 @@ pub fn run(w: usize, trials: u64, seed: u64) -> Vec<ModernCell> {
     // Transpose timing row (CRSW on the DMM, latency 8).
     let data: Vec<f64> = (0..w * w).map(|x| x as f64).collect();
     for scheme in Scheme::extended() {
-        let instances = if matches!(scheme, Scheme::Ras | Scheme::Rap) { 15 } else { 1 };
+        let instances = if matches!(scheme, Scheme::Ras | Scheme::Rap) {
+            15
+        } else {
+            1
+        };
         let mut stats = OnlineStats::new();
         for inst in 0..instances {
             let mut rng = domain.child("transpose").child(scheme.name()).rng(inst);
@@ -160,7 +168,12 @@ pub fn to_record(w: usize, trials: u64, seed: u64, cells: &[ModernCell]) -> Expe
         format!("w={w} trials={trials} seed={seed}"),
     );
     for c in cells {
-        record.push(CellSummary::from_stats(&c.row, c.scheme.name(), &c.stats, None));
+        record.push(CellSummary::from_stats(
+            &c.row,
+            c.scheme.name(),
+            &c.stats,
+            None,
+        ));
     }
     record
 }
@@ -198,7 +211,9 @@ mod tests {
         let cells = run(16, 80, 2);
         for scheme in [Scheme::Raw, Scheme::Xor, Scheme::Padded] {
             assert_eq!(
-                get(&cells, "blind adversary congestion", scheme).stats.mean(),
+                get(&cells, "blind adversary congestion", scheme)
+                    .stats
+                    .mean(),
                 16.0,
                 "{scheme} must fall to the blind adversary"
             );
@@ -215,7 +230,12 @@ mod tests {
     #[test]
     fn only_padding_wastes_storage() {
         let cells = run(8, 10, 3);
-        assert_eq!(get(&cells, "storage overhead words", Scheme::Padded).stats.mean(), 7.0);
+        assert_eq!(
+            get(&cells, "storage overhead words", Scheme::Padded)
+                .stats
+                .mean(),
+            7.0
+        );
         for scheme in [Scheme::Raw, Scheme::Ras, Scheme::Rap, Scheme::Xor] {
             assert_eq!(
                 get(&cells, "storage overhead words", scheme).stats.mean(),
@@ -228,7 +248,9 @@ mod tests {
     #[test]
     fn transpose_fast_under_all_conflict_free_schemes() {
         let cells = run(16, 10, 4);
-        let raw = get(&cells, "CRSW transpose cycles", Scheme::Raw).stats.mean();
+        let raw = get(&cells, "CRSW transpose cycles", Scheme::Raw)
+            .stats
+            .mean();
         for scheme in [Scheme::Rap, Scheme::Xor, Scheme::Padded] {
             let t = get(&cells, "CRSW transpose cycles", scheme).stats.mean();
             assert!(t * 4.0 < raw, "{scheme}: {t} vs RAW {raw}");

@@ -61,7 +61,10 @@ impl PermFamily {
             PermFamily::Transpose => transpose_permutation(w),
             PermFamily::Random => Permutation::random(rng, n),
             PermFamily::BitReversal => {
-                assert!(n.is_power_of_two(), "bit reversal needs a power-of-two size");
+                assert!(
+                    n.is_power_of_two(),
+                    "bit reversal needs a power-of-two size"
+                );
                 let bits = n.trailing_zeros();
                 Permutation::from_table(
                     (0..n as u32)
@@ -200,7 +203,9 @@ mod tests {
         assert!(rap_t.cycles.mean() * 3.0 < direct_t.cycles.mean());
         // Identity is free for direct.
         assert_eq!(
-            get(PermFamily::Identity, Strategy::Direct).max_congestion.mean(),
+            get(PermFamily::Identity, Strategy::Direct)
+                .max_congestion
+                .mean(),
             1.0
         );
     }

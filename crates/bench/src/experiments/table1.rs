@@ -34,8 +34,7 @@ pub fn run(w: usize, trials: u64, seed: u64) -> Vec<Table1Cell> {
         for (ci, scheme) in Scheme::all().into_iter().enumerate() {
             let measured = match row {
                 "Contiguous" => {
-                    matrix_congestion(scheme, MatrixPattern::Contiguous, w, trials, &domain)
-                        .mean()
+                    matrix_congestion(scheme, MatrixPattern::Contiguous, w, trials, &domain).mean()
                 }
                 "Stride" => {
                     matrix_congestion(scheme, MatrixPattern::Stride, w, trials, &domain).mean()
@@ -43,11 +42,9 @@ pub fn run(w: usize, trials: u64, seed: u64) -> Vec<Table1Cell> {
                 // "Any": the adversary picks the worse of stride and random.
                 _ => {
                     let s =
-                        matrix_congestion(scheme, MatrixPattern::Stride, w, trials, &domain)
-                            .mean();
+                        matrix_congestion(scheme, MatrixPattern::Stride, w, trials, &domain).mean();
                     let r =
-                        matrix_congestion(scheme, MatrixPattern::Random, w, trials, &domain)
-                            .mean();
+                        matrix_congestion(scheme, MatrixPattern::Random, w, trials, &domain).mean();
                     s.max(r)
                 }
             };

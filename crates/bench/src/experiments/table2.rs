@@ -7,7 +7,6 @@ use rap_access::montecarlo::matrix_congestion;
 use rap_access::MatrixPattern;
 use rap_core::Scheme;
 use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
-use rayon::prelude::*;
 
 /// Configuration of the Table II sweep.
 #[derive(Debug, Clone)]
@@ -54,7 +53,10 @@ pub struct Table2Cell {
     pub paper: Option<f64>,
 }
 
-/// Run the full sweep (parallel over cells).
+/// Run the full sweep. Cells run serially; each cell's Monte-Carlo
+/// estimator parallelizes over trials internally (see
+/// [`rap_access::montecarlo`]), which balances far better than one thread
+/// per cell — large-`w` cells no longer straggle behind an idle pool.
 #[must_use]
 pub fn run(cfg: &Table2Config) -> Vec<Table2Cell> {
     let domain = SeedDomain::new(cfg.seed).child("table2");
@@ -67,7 +69,7 @@ pub fn run(cfg: &Table2Config) -> Vec<Table2Cell> {
         }
     }
     cells
-        .into_par_iter()
+        .into_iter()
         .map(|(pattern, scheme, w)| {
             let cell_domain = domain
                 .child(pattern.name())

@@ -71,7 +71,11 @@ pub fn run(cfg: &Table3Config) -> Vec<Table3Row> {
 
     for kind in TransposeKind::all() {
         for scheme in Scheme::all() {
-            let instances = if scheme == Scheme::Raw { 1 } else { cfg.instances };
+            let instances = if scheme == Scheme::Raw {
+                1
+            } else {
+                cfg.instances
+            };
             let mut read_c = OnlineStats::new();
             let mut write_c = OnlineStats::new();
             let mut ns = OnlineStats::new();
@@ -79,10 +83,7 @@ pub fn run(cfg: &Table3Config) -> Vec<Table3Row> {
             let mut all_verified = true;
 
             for inst in 0..instances {
-                let mut rng = domain
-                    .child(kind.name())
-                    .child(scheme.name())
-                    .rng(inst);
+                let mut rng = domain.child(kind.name()).child(scheme.name()).rng(inst);
                 let mapping = RowShift::of_scheme(scheme, &mut rng, w);
 
                 // DMM run: congestion + correctness.
@@ -93,12 +94,9 @@ pub fn run(cfg: &Table3Config) -> Vec<Table3Row> {
                 cycles.push(run.report.cycles as f64);
 
                 // GPU run: same program lowered to the SM model.
-                let program =
-                    transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
-                let alu = rap_gpu_sim::titan::transpose_alu_costs(
-                    scheme,
-                    kind == TransposeKind::Drdw,
-                );
+                let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
+                let alu =
+                    rap_gpu_sim::titan::transpose_alu_costs(scheme, kind == TransposeKind::Drdw);
                 let kernel = lower_program(&program, w, &alu);
                 let report = simulate(&kernel, &cfg.sm);
                 ns.push(report.ns);

@@ -12,7 +12,6 @@ use rap_access::Pattern4d;
 use rap_core::multidim::Scheme4d;
 use rap_core::theory::{table4, CongestionClass};
 use rap_stats::{CellSummary, ExperimentRecord, MaxLoad, OnlineStats, SeedDomain};
-use rayon::prelude::*;
 
 /// Configuration of the Table IV sweep.
 #[derive(Debug, Clone)]
@@ -82,7 +81,9 @@ pub fn class_reference(class: CongestionClass, w: usize) -> f64 {
     }
 }
 
-/// Run the full sweep (parallel over cells).
+/// Run the full sweep. Cells run serially; each cell's Monte-Carlo
+/// estimator parallelizes over trials internally (see
+/// [`rap_access::montecarlo`]).
 #[must_use]
 pub fn run(cfg: &Table4Config) -> Vec<Table4Cell> {
     let domain = SeedDomain::new(cfg.seed).child("table4");
@@ -93,7 +94,7 @@ pub fn run(cfg: &Table4Config) -> Vec<Table4Cell> {
         }
     }
     cells
-        .into_par_iter()
+        .into_iter()
         .map(|(pattern, scheme)| {
             let cell_domain = domain.child(pattern.name()).child(scheme.name());
             let stats = array4d_congestion(

@@ -31,7 +31,11 @@ impl UmmPattern {
     /// All patterns.
     #[must_use]
     pub fn all() -> [UmmPattern; 3] {
-        [UmmPattern::Contiguous, UmmPattern::Stride, UmmPattern::Diagonal]
+        [
+            UmmPattern::Contiguous,
+            UmmPattern::Stride,
+            UmmPattern::Diagonal,
+        ]
     }
 
     /// Display name.
@@ -129,8 +133,18 @@ pub fn to_record(w: usize, latency: u64, rows: &[UmmRow]) -> ExperimentRecord {
         format!("w={w} latency={latency}, exact"),
     );
     for r in rows {
-        record.push(CellSummary::exact(&r.label, "DMM cycles", r.dmm as f64, None));
-        record.push(CellSummary::exact(&r.label, "UMM cycles", r.umm as f64, None));
+        record.push(CellSummary::exact(
+            &r.label,
+            "DMM cycles",
+            r.dmm as f64,
+            None,
+        ));
+        record.push(CellSummary::exact(
+            &r.label,
+            "UMM cycles",
+            r.umm as f64,
+            None,
+        ));
     }
     record
 }

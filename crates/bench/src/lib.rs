@@ -78,9 +78,7 @@ mod tests {
 
     #[test]
     fn cli_args_parse_pairs() {
-        let a = CliArgs::parse_args(
-            ["--trials", "500", "--seed", "9"].map(String::from),
-        );
+        let a = CliArgs::parse_args(["--trials", "500", "--seed", "9"].map(String::from));
         assert_eq!(a.get_u64("trials", 1), 500);
         assert_eq!(a.get_u64("seed", 1), 9);
         assert_eq!(a.get_u64("missing", 7), 7);

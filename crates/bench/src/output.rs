@@ -27,8 +27,7 @@ pub fn write_record(root: &Path, record: &ExperimentRecord) -> std::io::Result<P
 /// Propagates I/O and deserialization errors.
 pub fn read_record(path: &Path) -> std::io::Result<ExperimentRecord> {
     let data = std::fs::read_to_string(path)?;
-    serde_json::from_str(&data)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    serde_json::from_str(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// The default output root: the workspace directory if invoked via cargo,

@@ -71,14 +71,18 @@ impl Opts {
     fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got '{v}'")),
         }
     }
 
     fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.map.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: expected a number, got '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: expected a number, got '{v}'")),
         }
     }
 
@@ -205,15 +209,16 @@ fn cmd_pattern(opts: &Opts) -> Result<String, String> {
                 return Err("--scheme xor needs a power-of-two --width".into());
             }
             let mut stats = rap_stats::OnlineStats::new();
-            let n_trials = if pattern == MatrixPattern::Random { trials } else { 1 };
+            let n_trials = if pattern == MatrixPattern::Random {
+                trials
+            } else {
+                1
+            };
             for t in 0..n_trials {
                 let mut rng = SeedDomain::new(seed).rng(t);
                 let mapping = build_mapping(scheme, &mut rng, width);
                 for warp in rap_access::matrix::generate(pattern, width, &mut rng) {
-                    stats.push_u32(rap_access::matrix::warp_congestion(
-                        mapping.as_ref(),
-                        &warp,
-                    ));
+                    stats.push_u32(rap_access::matrix::warp_congestion(mapping.as_ref(), &warp));
                 }
             }
             stats
@@ -251,12 +256,8 @@ fn cmd_trace(opts: &Opts) -> Result<String, String> {
     let (mapping, width) = mapping_for(opts, 8)?;
     let latency = opts.u64("latency", 3)?.max(1);
     let machine: Dmm = Machine::new(width, latency);
-    let program = transpose_program::<f64>(
-        kind,
-        mapping.as_ref(),
-        0,
-        mapping.storage_words() as u64,
-    );
+    let program =
+        transpose_program::<f64>(kind, mapping.as_ref(), 0, mapping.storage_words() as u64);
     let tl = dmm_trace(&machine, &program);
     let mut out = tl.render();
     out.push_str(&format!("total: {} cycles\n", tl.cycles()));
@@ -287,7 +288,9 @@ fn cmd_permute(opts: &Opts) -> Result<String, String> {
             }
             let bits = n.trailing_zeros();
             rap_core::Permutation::from_table(
-                (0..n as u32).map(|t| t.reverse_bits() >> (32 - bits)).collect(),
+                (0..n as u32)
+                    .map(|t| t.reverse_bits() >> (32 - bits))
+                    .collect(),
             )
             .expect("bit reversal is a permutation")
         }
@@ -344,14 +347,7 @@ mod tests {
 
     #[test]
     fn congestion_analyzes_lists() {
-        let out = call(&[
-            "congestion",
-            "--width",
-            "4",
-            "--addresses",
-            "0,4,8,1",
-        ])
-        .unwrap();
+        let out = call(&["congestion", "--width", "4", "--addresses", "0,4,8,1"]).unwrap();
         assert!(out.contains("congestion 3"));
         let err = call(&["congestion", "--width", "4", "--addresses", "0,x"]).unwrap_err();
         assert!(err.contains("bad address"));
@@ -360,14 +356,28 @@ mod tests {
     #[test]
     fn pattern_reports_expectation() {
         let out = call(&[
-            "pattern", "--pattern", "stride", "--scheme", "rap", "--width", "16",
-            "--trials", "10",
+            "pattern",
+            "--pattern",
+            "stride",
+            "--scheme",
+            "rap",
+            "--width",
+            "16",
+            "--trials",
+            "10",
         ])
         .unwrap();
         assert!(out.contains("expected congestion 1.0000"));
         let raw = call(&[
-            "pattern", "--pattern", "stride", "--scheme", "raw", "--width", "16",
-            "--trials", "2",
+            "pattern",
+            "--pattern",
+            "stride",
+            "--scheme",
+            "raw",
+            "--width",
+            "16",
+            "--trials",
+            "2",
         ])
         .unwrap();
         assert!(raw.contains("expected congestion 16"));
@@ -376,8 +386,15 @@ mod tests {
     #[test]
     fn transpose_runs_and_verifies() {
         let out = call(&[
-            "transpose", "--kind", "crsw", "--scheme", "rap", "--width", "8",
-            "--latency", "2",
+            "transpose",
+            "--kind",
+            "crsw",
+            "--scheme",
+            "rap",
+            "--width",
+            "8",
+            "--latency",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("verified: true"));
@@ -415,11 +432,27 @@ mod tests {
     fn modern_schemes_supported() {
         let out = call(&["layout", "--scheme", "xor", "--width", "4"]).unwrap();
         assert!(out.contains("XOR layout"));
-        let out = call(&["pattern", "--pattern", "stride", "--scheme", "padded", "--width", "8"])
-            .unwrap();
+        let out = call(&[
+            "pattern",
+            "--pattern",
+            "stride",
+            "--scheme",
+            "padded",
+            "--width",
+            "8",
+        ])
+        .unwrap();
         assert!(out.contains("expected congestion 1.0000"));
         let out = call(&[
-            "transpose", "--kind", "crsw", "--scheme", "xor", "--width", "8", "--latency", "2",
+            "transpose",
+            "--kind",
+            "crsw",
+            "--scheme",
+            "xor",
+            "--width",
+            "8",
+            "--latency",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("verified: true"));

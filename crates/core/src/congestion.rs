@@ -17,7 +17,8 @@ use serde::{Deserialize, Serialize};
 /// Bank of a flat address on a machine with `width` banks.
 ///
 /// # Panics
-/// Panics (in debug builds via the division) if `width == 0`.
+/// Panics if `width == 0` (integer division by zero — in release builds
+/// too, not just debug).
 #[inline]
 #[must_use]
 pub fn bank_of(width: usize, address: u64) -> u32 {
@@ -103,11 +104,151 @@ impl BankLoads {
     }
 }
 
-/// Congestion of one warp access (convenience wrapper over
-/// [`BankLoads::analyze`]).
+/// Reusable scratch for the congestion kernel: a sort/dedup buffer plus
+/// per-bank unique-request counts.
+///
+/// [`BankLoads::analyze`] allocates two fresh `Vec`s per warp; in a
+/// Monte-Carlo sweep that is millions of allocations doing no useful work.
+/// Holding one `CongestionScratch` per worker amortizes the buffers to a
+/// single high-water-mark allocation, and warps with `width ≤ 128` bypass
+/// the heap entirely through a fixed stack hash set (128 slots for ≤ 64
+/// lanes, 256 up to 128) with a `u128` bank-occupancy bitmask.
+///
+/// All paths compute the exact same metric as [`BankLoads::analyze`]
+/// (sort, CRCW-merge duplicates, max unique-per-bank count) — the unit and
+/// property tests assert bit-identical results.
+#[derive(Debug, Clone, Default)]
+pub struct CongestionScratch {
+    sorted: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+/// Dedup + count in fixed stack buffers, tracking bank occupancy in an
+/// integer bitmask.
+///
+/// CRCW merging is done without sorting: each address is inserted into a
+/// `TABLE`-slot open-addressing set on the stack (Fibonacci hash, linear
+/// probing) and contributes only if it was not already present. With
+/// `TABLE ≥ 2 · len` the expected probe count per insert is ~1, so the
+/// whole kernel is `O(n)` with no allocation and the input untouched —
+/// unlike the sort-based [`BankLoads::analyze`]. Slot occupancy lives in
+/// a packed bitmask (`used`), bank occupancy in `occupied`; the
+/// power-of-two test for the bank computation is hoisted so every width
+/// the paper evaluates (16..256) replaces the per-address `u64` division
+/// with an AND.
+#[inline]
+fn congestion_fixed<const TABLE: usize>(width: usize, addresses: &[u64]) -> u32 {
+    const {
+        assert!(TABLE.is_power_of_two() && TABLE <= 256);
+    }
+    debug_assert!(width <= 128 && 2 * addresses.len() <= TABLE);
+    let wd = width as u64;
+    let pow2 = wd.is_power_of_two();
+    let m = wd - 1; // valid bank mask only when `pow2`
+    let slot_shift = 64 - TABLE.trailing_zeros();
+    let mut keys = [0u64; TABLE];
+    let mut used = [0u64; 4]; // TABLE ≤ 256 slot-occupancy bits
+    let mut occupied: u128 = 0;
+    let mut counts = [0u8; 128];
+    let mut max = 0u8;
+    'warp: for &a in addresses {
+        let mut slot = (a.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> slot_shift) as usize;
+        loop {
+            let bit = 1u64 << (slot & 63);
+            if used[slot >> 6] & bit == 0 {
+                used[slot >> 6] |= bit;
+                keys[slot] = a;
+                break; // first occurrence
+            }
+            if keys[slot] == a {
+                continue 'warp; // CRCW merge: duplicate address counts once
+            }
+            slot = (slot + 1) & (TABLE - 1);
+        }
+        let bank = if pow2 {
+            (a & m) as usize
+        } else {
+            (a % wd) as usize
+        };
+        let bit = 1u128 << bank;
+        if occupied & bit == 0 {
+            occupied |= bit;
+            counts[bank] = 1;
+            max = max.max(1);
+        } else {
+            counts[bank] += 1;
+            max = max.max(counts[bank]);
+        }
+    }
+    u32::from(max)
+}
+
+#[inline]
+fn congestion_fixed64(width: usize, addresses: &[u64]) -> u32 {
+    congestion_fixed::<128>(width, addresses)
+}
+
+#[inline]
+fn congestion_fixed128(width: usize, addresses: &[u64]) -> u32 {
+    congestion_fixed::<256>(width, addresses)
+}
+
+impl CongestionScratch {
+    /// An empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Congestion of one warp access — identical to
+    /// `BankLoads::analyze(width, addresses).congestion()` but without
+    /// per-call allocation.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        assert!(width > 0, "machine width must be positive");
+        if width <= 64 && addresses.len() <= 64 {
+            congestion_fixed64(width, addresses)
+        } else if width <= 128 && addresses.len() <= 128 {
+            congestion_fixed128(width, addresses)
+        } else {
+            self.congestion_general(width, addresses)
+        }
+    }
+
+    /// Heap-buffer path for wide machines or oversized address lists; the
+    /// buffers are reused across calls.
+    fn congestion_general(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        self.sorted.clear();
+        self.sorted.extend_from_slice(addresses);
+        self.sorted.sort_unstable();
+        self.sorted.dedup();
+        self.counts.clear();
+        self.counts.resize(width, 0);
+        let mut max = 0u32;
+        for &a in &self.sorted {
+            let bank = (a % width as u64) as usize;
+            self.counts[bank] += 1;
+            max = max.max(self.counts[bank]);
+        }
+        max
+    }
+}
+
+/// Congestion of one warp access (stack/scratch-free convenience; takes
+/// the same fast paths as [`CongestionScratch::congestion`]).
 #[must_use]
 pub fn congestion(width: usize, addresses: &[u64]) -> u32 {
-    BankLoads::analyze(width, addresses).congestion()
+    if width <= 64 && addresses.len() <= 64 {
+        assert!(width > 0, "machine width must be positive");
+        congestion_fixed64(width, addresses)
+    } else if width <= 128 && addresses.len() <= 128 {
+        congestion_fixed128(width, addresses)
+    } else {
+        BankLoads::analyze(width, addresses).congestion()
+    }
 }
 
 /// Whether a warp access is conflict-free.
@@ -216,5 +357,57 @@ mod tests {
     fn width_one_serializes_everything() {
         let b = BankLoads::analyze(1, &[10, 20, 30]);
         assert_eq!(b.congestion(), 3);
+    }
+
+    /// The scratch kernel and both bitmask fast paths must agree
+    /// bit-for-bit with the allocating `BankLoads::analyze` reference.
+    #[test]
+    fn scratch_matches_analyze_across_path_boundaries() {
+        let mut scratch = CongestionScratch::new();
+        // Hand-picked widths straddling the u64 (≤64), u128 (≤128), and
+        // general (>128) path boundaries.
+        for width in [1usize, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129, 200] {
+            for n in [0usize, 1, 2, 63, 64, 65, 127, 128, 129, 160] {
+                // Deterministic pseudo-random addresses with plenty of
+                // duplicates and same-bank collisions.
+                let addrs: Vec<u64> = (0..n)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+                        x % (3 * width as u64 + 7)
+                    })
+                    .collect();
+                let reference = BankLoads::analyze(width, &addrs).congestion();
+                assert_eq!(
+                    scratch.congestion(width, &addrs),
+                    reference,
+                    "scratch vs analyze at width={width}, n={n}"
+                );
+                assert_eq!(
+                    congestion(width, &addrs),
+                    reference,
+                    "free fn vs analyze at width={width}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_widths() {
+        let mut scratch = CongestionScratch::new();
+        assert_eq!(scratch.congestion(4, &[0, 4, 8, 12]), 4);
+        // A wide call grows the heap buffers...
+        let wide: Vec<u64> = (0..200).map(|i| i * 150).collect();
+        assert_eq!(
+            scratch.congestion(150, &wide),
+            BankLoads::analyze(150, &wide).congestion()
+        );
+        // ...and a subsequent narrow call still gets the right answer.
+        assert_eq!(scratch.congestion(4, &[7, 7, 7, 7]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn scratch_zero_width_rejected() {
+        let _ = CongestionScratch::new().congestion(0, &[1]);
     }
 }

@@ -302,7 +302,11 @@ mod tests {
             let m = RowShift::rap(&mut rng, w);
             for j in 0..w as u32 {
                 let banks: HashSet<u32> = (0..w as u32).map(|i| m.bank(i, j)).collect();
-                assert_eq!(banks.len(), w, "RAP stride column {j} must be conflict-free");
+                assert_eq!(
+                    banks.len(),
+                    w,
+                    "RAP stride column {j} must be conflict-free"
+                );
             }
         }
     }

@@ -21,8 +21,8 @@
 //! measures this. RAP's `O(log w / log log w)` expectation holds for
 //! every pattern because the adversary cannot know `σ`.
 
-use crate::mapping::{MatrixMapping, Scheme};
 use crate::error::CoreError;
+use crate::mapping::{MatrixMapping, Scheme};
 use serde::{Deserialize, Serialize};
 
 /// The XOR swizzle layout: `(i, j) ↦ i·w + (j ⊕ (i mod w))`.
@@ -215,9 +215,13 @@ mod tests {
         let w = 32;
         let m = XorSwizzle::new(w).unwrap();
         for fixed in 0..w as u32 {
-            let row: Vec<u64> = (0..w as u32).map(|j| u64::from(m.address(fixed, j))).collect();
+            let row: Vec<u64> = (0..w as u32)
+                .map(|j| u64::from(m.address(fixed, j)))
+                .collect();
             assert_eq!(congestion(w, &row), 1, "row {fixed}");
-            let col: Vec<u64> = (0..w as u32).map(|i| u64::from(m.address(i, fixed))).collect();
+            let col: Vec<u64> = (0..w as u32)
+                .map(|i| u64::from(m.address(i, fixed)))
+                .collect();
             assert_eq!(congestion(w, &col), 1, "column {fixed}");
         }
     }
@@ -239,9 +243,13 @@ mod tests {
         let w = 32;
         let m = Padded::new(w).unwrap();
         for fixed in 0..w as u32 {
-            let row: Vec<u64> = (0..w as u32).map(|j| u64::from(m.address(fixed, j))).collect();
+            let row: Vec<u64> = (0..w as u32)
+                .map(|j| u64::from(m.address(fixed, j)))
+                .collect();
             assert_eq!(congestion(w, &row), 1);
-            let col: Vec<u64> = (0..w as u32).map(|i| u64::from(m.address(i, fixed))).collect();
+            let col: Vec<u64> = (0..w as u32)
+                .map(|i| u64::from(m.address(i, fixed)))
+                .collect();
             assert_eq!(congestion(w, &col), 1);
         }
     }

@@ -156,9 +156,7 @@ impl Mapping4d {
                     .map(|_| rng.gen_range(0..w))
                     .collect(),
             ),
-            Scheme4d::OneP | Scheme4d::R1P => {
-                ShiftData::OnePerm(Permutation::random(rng, width))
-            }
+            Scheme4d::OneP | Scheme4d::R1P => ShiftData::OnePerm(Permutation::random(rng, width)),
             Scheme4d::ThreeP => ShiftData::ThreePerm(Box::new((
                 Permutation::random(rng, width),
                 Permutation::random(rng, width),
@@ -213,9 +211,7 @@ impl Mapping4d {
             },
             ShiftData::ThreePerm(p) => p.0.apply(d1) + p.1.apply(d2) + p.2.apply(d3),
             ShiftData::ManyPerm(perms) => perms[(d3 * w + d2) as usize].apply(d1),
-            ShiftData::PermPlusRand(sigma, rand) => {
-                sigma.apply(d1) + rand[(d3 * w + d2) as usize]
-            }
+            ShiftData::PermPlusRand(sigma, rand) => sigma.apply(d1) + rand[(d3 * w + d2) as usize],
         }
     }
 
@@ -293,11 +289,7 @@ mod tests {
                         for d0 in 0..4 {
                             let a = m.address(d3, d2, d1, d0);
                             assert!(a < 256, "{}: address {a} out of range", m.scheme());
-                            assert!(
-                                seen.insert(a),
-                                "{}: address {a} duplicated",
-                                m.scheme()
-                            );
+                            assert!(seen.insert(a), "{}: address {a} duplicated", m.scheme());
                         }
                     }
                 }
@@ -338,7 +330,12 @@ mod tests {
                 | Scheme4d::ThreeP
                 | Scheme4d::WSquaredP
                 | Scheme4d::OnePlusWSquaredR => {
-                    assert_eq!(banks.len(), w, "{} stride1 must be conflict-free", m.scheme());
+                    assert_eq!(
+                        banks.len(),
+                        w,
+                        "{} stride1 must be conflict-free",
+                        m.scheme()
+                    );
                 }
                 Scheme4d::Raw => assert_eq!(banks.len(), 1),
                 Scheme4d::Ras => {} // probabilistic; covered by the bench
@@ -388,13 +385,7 @@ mod tests {
         let (a, b, c) = (2, 9, 13);
         let d0 = 5;
         let reference = m.bank(a, b, c, d0);
-        for (x, y, z) in [
-            (a, c, b),
-            (b, a, c),
-            (b, c, a),
-            (c, a, b),
-            (c, b, a),
-        ] {
+        for (x, y, z) in [(a, c, b), (b, a, c), (b, c, a), (c, a, b), (c, b, a)] {
             assert_eq!(m.bank(x, y, z, d0), reference);
         }
     }

@@ -90,10 +90,12 @@ impl MappingNd {
         // Reject shapes whose flat size overflows u64.
         let mut total: u64 = 1;
         for _ in 0..ndim {
-            total = total.checked_mul(width as u64).ok_or(CoreError::InvalidWidth {
-                width,
-                reason: "w^n overflows u64",
-            })?;
+            total = total
+                .checked_mul(width as u64)
+                .ok_or(CoreError::InvalidWidth {
+                    width,
+                    reason: "w^n overflows u64",
+                })?;
         }
         let w = width as u32;
         let data = match scheme {

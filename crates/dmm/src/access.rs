@@ -166,8 +166,7 @@ mod tests {
     fn simd_consistency() {
         let reads: Vec<Option<Op>> = vec![Some(MemOp::Read(0)), None, Some(MemOp::Read(1))];
         assert!(simd_consistent(&reads));
-        let writes: Vec<Option<Op>> =
-            vec![Some(MemOp::Write(0, WriteSource::LastRead)), None];
+        let writes: Vec<Option<Op>> = vec![Some(MemOp::Write(0, WriteSource::LastRead)), None];
         assert!(simd_consistent(&writes));
         let mixed: Vec<Option<Op>> = vec![
             Some(MemOp::Read(0)),

@@ -268,7 +268,9 @@ impl<M: StageModel> Machine<M> {
             dispatches += 1;
             total_stages += stages;
             any_dispatch = true;
-            phase_stats[phase_idx].congestion.record(merged.congestion());
+            phase_stats[phase_idx]
+                .congestion
+                .record(merged.congestion());
             phase_stats[phase_idx].stages += stages;
         }
 
@@ -303,9 +305,9 @@ impl<M: StageModel> Machine<M> {
                 let reads = &history[thread_base + lane];
                 let value = match src {
                     WriteSource::Const(v) => *v,
-                    WriteSource::LastRead => *reads
-                        .last()
-                        .expect("thread wrote LastRead before any read"),
+                    WriteSource::LastRead => {
+                        *reads.last().expect("thread wrote LastRead before any read")
+                    }
                     WriteSource::Reduced => reducer(reads),
                 };
                 memory.write(*a, value);
@@ -356,11 +358,7 @@ mod tests {
             let m: Dmm = Machine::new(w, l);
             let mut mem = BankedMemory::new(w, w * w);
             let r = m.execute(&contiguous_program(w), &mut mem);
-            assert_eq!(
-                r.cycles,
-                contiguous_time(w as u64, l),
-                "w={w} l={l}"
-            );
+            assert_eq!(r.cycles, contiguous_time(w as u64, l), "w={w} l={l}");
             assert_eq!(r.max_congestion(), 1);
             assert_eq!(r.total_stages, w as u64);
         }
@@ -443,7 +441,7 @@ mod tests {
         let m: Dmm = Machine::new(w, 1);
         let mut mem = BankedMemory::new(w, 64);
         let mut p: Program<u64> = Program::new(16); // 4 warps
-        // Only warp 0 is active.
+                                                    // Only warp 0 is active.
         p.phase("sparse", |t| (t < 4).then_some(MemOp::Read(t as u64)));
         let r = m.execute(&p, &mut mem);
         assert_eq!(r.dispatches, 1);

@@ -3,9 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rap_dmm::{
-    trace, BankedMemory, Dmm, Machine, MemOp, MergedAccess, Program, Umm, WriteSource,
-};
+use rap_dmm::{trace, BankedMemory, Dmm, Machine, MemOp, MergedAccess, Program, Umm, WriteSource};
 
 /// Build a random single-phase read program over `warps` warps of width
 /// `w`, with addresses in `0..n`.

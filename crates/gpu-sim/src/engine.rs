@@ -147,7 +147,15 @@ mod tests {
         GpuKernel::new(
             4,
             (0..warps)
-                .map(|_| vec![WarpInstr { pre_alu: alu, stages }; instrs])
+                .map(|_| {
+                    vec![
+                        WarpInstr {
+                            pre_alu: alu,
+                            stages
+                        };
+                        instrs
+                    ]
+                })
                 .collect(),
         )
     }
@@ -219,8 +227,14 @@ mod tests {
         let k = GpuKernel::new(
             4,
             vec![vec![
-                WarpInstr { pre_alu: 0, stages: 0 },
-                WarpInstr { pre_alu: 0, stages: 1 },
+                WarpInstr {
+                    pre_alu: 0,
+                    stages: 0,
+                },
+                WarpInstr {
+                    pre_alu: 0,
+                    stages: 1,
+                },
             ]],
         );
         let r = simulate(&k, &cfg(2, 0));

@@ -134,7 +134,13 @@ mod tests {
         let k = lower_program(&p, w, &[2]);
         assert_eq!(k.num_warps(), 4);
         for wi in 0..4 {
-            assert_eq!(k.warp(wi), &[WarpInstr { pre_alu: 2, stages: 1 }]);
+            assert_eq!(
+                k.warp(wi),
+                &[WarpInstr {
+                    pre_alu: 2,
+                    stages: 1
+                }]
+            );
         }
         assert_eq!(k.total_stages(), 4);
     }

@@ -14,11 +14,7 @@ fn cfg(mem_latency: u64, alu: u64, overhead: u64) -> SmConfig {
 }
 
 fn kernel_strategy() -> impl Strategy<Value = GpuKernel> {
-    prop::collection::vec(
-        prop::collection::vec((0u32..8, 0u32..8), 0..6),
-        1..8,
-    )
-    .prop_map(|warps| {
+    prop::collection::vec(prop::collection::vec((0u32..8, 0u32..8), 0..6), 1..8).prop_map(|warps| {
         GpuKernel::new(
             32,
             warps

@@ -97,7 +97,10 @@ pub fn edge_color(width: usize, pairs: &[(u32, u32)]) -> Result<Vec<u32>, Colori
     let mut src_deg = vec![0usize; width];
     let mut dst_deg = vec![0usize; width];
     for &(s, d) in pairs {
-        assert!((s as usize) < width && (d as usize) < width, "bank out of range");
+        assert!(
+            (s as usize) < width && (d as usize) < width,
+            "bank out of range"
+        );
         src_deg[s as usize] += 1;
         dst_deg[d as usize] += 1;
     }
@@ -149,7 +152,14 @@ fn color_recursive(
         d if d % 2 == 0 => {
             let (a, b) = euler_split(width, pairs, edge_ids);
             color_recursive(width, pairs, &a, d / 2, first_color, colors);
-            color_recursive(width, pairs, &b, d / 2, first_color + (d / 2) as u32, colors);
+            color_recursive(
+                width,
+                pairs,
+                &b,
+                d / 2,
+                first_color + (d / 2) as u32,
+                colors,
+            );
         }
         d => {
             let matching = perfect_matching(width, pairs, edge_ids);
@@ -172,11 +182,7 @@ fn color_recursive(
 
 /// Split an even-degree bipartite multigraph into two halves of equal
 /// degree by walking Euler circuits and alternating edge directions.
-fn euler_split(
-    width: usize,
-    pairs: &[(u32, u32)],
-    edge_ids: &[usize],
-) -> (Vec<usize>, Vec<usize>) {
+fn euler_split(width: usize, pairs: &[(u32, u32)], edge_ids: &[usize]) -> (Vec<usize>, Vec<usize>) {
     // Nodes: 0..width are source banks, width..2·width destination banks.
     let n_nodes = 2 * width;
     // Incidence lists of (edge index within edge_ids, other endpoint).
@@ -199,8 +205,7 @@ fn euler_split(
     for start in 0..n_nodes {
         loop {
             // find an unused edge at `start`
-            while cursor[start] < incident[start].len() && used[incident[start][cursor[start]].0]
-            {
+            while cursor[start] < incident[start].len() && used[incident[start][cursor[start]].0] {
                 cursor[start] += 1;
             }
             if cursor[start] >= incident[start].len() {
@@ -268,7 +273,10 @@ fn perfect_matching(width: usize, pairs: &[(u32, u32)], edge_ids: &[usize]) -> V
     for u in 0..width {
         let mut visited = vec![false; width];
         let ok = try_augment(u, &adj, &mut match_dst, &mut visited);
-        assert!(ok, "regular bipartite multigraph must have a perfect matching");
+        assert!(
+            ok,
+            "regular bipartite multigraph must have a perfect matching"
+        );
     }
     match_dst
         .into_iter()
@@ -298,7 +306,11 @@ mod tests {
             let srcs: std::collections::HashSet<u32> = class.iter().map(|&(s, _)| s).collect();
             let dsts: std::collections::HashSet<u32> = class.iter().map(|&(_, d)| d).collect();
             assert_eq!(srcs.len(), width, "color {color} sources must be distinct");
-            assert_eq!(dsts.len(), width, "color {color} destinations must be distinct");
+            assert_eq!(
+                dsts.len(),
+                width,
+                "color {color} destinations must be distinct"
+            );
         }
     }
 
@@ -363,7 +375,10 @@ mod tests {
         // 4 edges on 2 banks, but all sources in bank 0.
         let pairs = vec![(0u32, 0u32), (0, 1), (0, 0), (0, 1)];
         let err = edge_color(2, &pairs).unwrap_err();
-        assert!(matches!(err, ColoringError::NotRegular { side: "source", .. }));
+        assert!(matches!(
+            err,
+            ColoringError::NotRegular { side: "source", .. }
+        ));
     }
 
     #[test]

@@ -147,7 +147,10 @@ pub fn run_permutation(
     rap_mapping: Option<&RapArrayMapping>,
 ) -> PermuteRun {
     let n = data.len();
-    assert!(n > 0 && n.is_multiple_of(width), "array must fill whole warps");
+    assert!(
+        n > 0 && n.is_multiple_of(width),
+        "array must fill whole warps"
+    );
     assert_eq!(pi.len(), n, "permutation arity must match the data");
     let n64 = n as u64;
 
@@ -173,8 +176,8 @@ pub fn run_permutation(
     // element_of(thread) = which logical word this thread moves.
     let element_of: Box<dyn Fn(usize) -> u32> = match strategy {
         Strategy::ConflictFree => {
-            let schedule = Schedule::conflict_free(width, pi)
-                .expect("whole-array permutations are regular");
+            let schedule =
+                Schedule::conflict_free(width, pi).expect("whole-array permutations are regular");
             Box::new(move |thread| schedule.round(thread / width)[thread % width])
         }
         _ => Box::new(|thread| thread as u32),
@@ -228,7 +231,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn data(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|x| x.wrapping_mul(0x9E37) ^ 0xABCD).collect()
+        (0..n as u64)
+            .map(|x| x.wrapping_mul(0x9E37) ^ 0xABCD)
+            .collect()
     }
 
     #[test]

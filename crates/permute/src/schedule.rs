@@ -68,8 +68,7 @@ impl Schedule {
             if round.len() != self.width {
                 return false;
             }
-            let src_banks: std::collections::HashSet<u32> =
-                round.iter().map(|&t| t % w).collect();
+            let src_banks: std::collections::HashSet<u32> = round.iter().map(|&t| t % w).collect();
             let dst_banks: std::collections::HashSet<u32> =
                 round.iter().map(|&t| pi.apply(t) % w).collect();
             if src_banks.len() != self.width || dst_banks.len() != self.width {

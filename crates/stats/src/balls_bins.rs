@@ -33,7 +33,11 @@ fn log_add(ln_a: f64, ln_b: f64) -> f64 {
     if ln_b == f64::NEG_INFINITY {
         return ln_a;
     }
-    let (hi, lo) = if ln_a >= ln_b { (ln_a, ln_b) } else { (ln_b, ln_a) };
+    let (hi, lo) = if ln_a >= ln_b {
+        (ln_a, ln_b)
+    } else {
+        (ln_b, ln_a)
+    };
     hi + (lo - hi).exp().ln_1p()
 }
 

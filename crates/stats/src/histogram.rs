@@ -103,19 +103,13 @@ impl IntHistogram {
     /// Smallest recorded value, or `None` if empty.
     #[must_use]
     pub fn min(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .position(|&c| c > 0)
-            .map(|v| v as u32)
+        self.counts.iter().position(|&c| c > 0).map(|v| v as u32)
     }
 
     /// Largest recorded value, or `None` if empty.
     #[must_use]
     pub fn max(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|v| v as u32)
+        self.counts.iter().rposition(|&c| c > 0).map(|v| v as u32)
     }
 
     /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) using the "lower value" rule:

@@ -25,6 +25,58 @@ proptest! {
         prop_assert_eq!(merged.max(), all.max());
     }
 
+    /// Splitting one sample stream at ANY point and merging the halves
+    /// reproduces the single-pass accumulator — the contract the parallel
+    /// Monte-Carlo engine relies on when it reduces per-block stats.
+    #[test]
+    fn online_merge_any_split_point(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        cut in 0usize..300,
+    ) {
+        let cut = cut % (xs.len() + 1);
+        let mut merged: OnlineStats = xs[..cut].iter().copied().collect();
+        let tail: OnlineStats = xs[cut..].iter().copied().collect();
+        merged.merge(&tail);
+        let single: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert!(close(merged.mean(), single.mean(), 1e-9));
+        prop_assert!(close(merged.variance(), single.variance(), 1e-6));
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+    }
+
+    /// Chain-merging fixed-size blocks in order (exactly the engine's
+    /// block reduction) reproduces the single pass, for any block size.
+    #[test]
+    fn online_merge_blockwise_chain(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..300),
+        block in 1usize..50,
+    ) {
+        let mut merged = OnlineStats::new();
+        for chunk in xs.chunks(block) {
+            let part: OnlineStats = chunk.iter().copied().collect();
+            merged.merge(&part);
+        }
+        let single: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert!(close(merged.mean(), single.mean(), 1e-9));
+        prop_assert!(close(merged.variance(), single.variance(), 1e-6));
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+    }
+
+    /// Merging with an empty accumulator is the identity, on both sides.
+    #[test]
+    fn online_merge_empty_is_identity(xs in prop::collection::vec(-1e6f64..1e6, 0..100)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mut left = OnlineStats::new();
+        left.merge(&s);
+        prop_assert_eq!(left, s);
+        let mut right = s;
+        right.merge(&OnlineStats::new());
+        prop_assert_eq!(right, s);
+    }
+
     /// Mean lies between min and max; variance is non-negative.
     #[test]
     fn online_mean_bounded(xs in prop::collection::vec(-1e9f64..1e9, 1..100)) {

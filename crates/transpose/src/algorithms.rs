@@ -39,7 +39,11 @@ impl TransposeKind {
     /// All algorithms in the paper's Table III row order.
     #[must_use]
     pub fn all() -> [TransposeKind; 3] {
-        [TransposeKind::Crsw, TransposeKind::Srcw, TransposeKind::Drdw]
+        [
+            TransposeKind::Crsw,
+            TransposeKind::Srcw,
+            TransposeKind::Drdw,
+        ]
     }
 
     /// Display name.

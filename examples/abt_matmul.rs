@@ -17,8 +17,12 @@ fn main() {
     let w = 32;
     let latency = 8;
     let mut rng = SmallRng::seed_from_u64(1);
-    let a: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
-    let b: Vec<f64> = (0..w * w).map(|_| f64::from(rng.gen_range(-4i8..4))).collect();
+    let a: Vec<f64> = (0..w * w)
+        .map(|_| f64::from(rng.gen_range(-4i8..4)))
+        .collect();
+    let b: Vec<f64> = (0..w * w)
+        .map(|_| f64::from(rng.gen_range(-4i8..4)))
+        .collect();
 
     println!("== C = A·Bᵀ on one {w}x{w} shared-memory tile ==");
     let mut raw_cycles = 0;

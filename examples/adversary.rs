@@ -33,8 +33,7 @@ fn main() {
 
     // Adversary 2: knows RAP is in use, picks the hardest blind pattern —
     // one element per row (the diagonal); banks become (j_i + σ_i) mod w.
-    let blind =
-        matrix_congestion(Scheme::Rap, MatrixPattern::Diagonal, w, trials, &domain).mean();
+    let blind = matrix_congestion(Scheme::Rap, MatrixPattern::Diagonal, w, trials, &domain).mean();
     println!("2. scheme-aware, instance-blind attack (diagonal):");
     println!(
         "   against RAP: expected congestion {blind:.2} — balls-into-bins scale, \

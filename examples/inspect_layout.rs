@@ -26,9 +26,15 @@ fn main() {
         (0..w as u32).map(|i| u64::from(m.address(i, 3))).collect()
     };
     println!("column access under RAW:");
-    println!("{}", render_bank_loads(&BankLoads::analyze(w, &column(&raw))));
+    println!(
+        "{}",
+        render_bank_loads(&BankLoads::analyze(w, &column(&raw)))
+    );
     println!("the same column under RAP:");
-    println!("{}", render_bank_loads(&BankLoads::analyze(w, &column(&rap))));
+    println!(
+        "{}",
+        render_bank_loads(&BankLoads::analyze(w, &column(&rap)))
+    );
 
     // 3. Figure 3: the dispatch timeline of a small CRSW transpose.
     let machine: Dmm = Machine::new(4, 3);

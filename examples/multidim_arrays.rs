@@ -55,7 +55,11 @@ fn main() {
         println!(
             "  axis {axis}: {} distinct banks out of 8 {}",
             banks.len(),
-            if banks.len() == 8 { "(conflict-free)" } else { "" }
+            if banks.len() == 8 {
+                "(conflict-free)"
+            } else {
+                ""
+            }
         );
     }
     println!(

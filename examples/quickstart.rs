@@ -16,8 +16,9 @@ fn main() {
     let rap = RowShift::rap(&mut rng, w); // row i rotated by σ(i), σ random permutation
 
     // A warp performing STRIDE access: thread i reads A[i][7] (a column).
-    let column =
-        |m: &dyn MatrixMapping| -> Vec<u64> { (0..32).map(|i| u64::from(m.address(i, 7))).collect() };
+    let column = |m: &dyn MatrixMapping| -> Vec<u64> {
+        (0..32).map(|i| u64::from(m.address(i, 7))).collect()
+    };
 
     println!("== stride (column) access by one warp ==");
     println!(

@@ -26,10 +26,8 @@ fn main() {
             assert!(run.verified, "{kind}/{scheme} must transpose correctly");
 
             let program = transpose_program::<f64>(kind, &mapping, 0, (w * w) as u64);
-            let alu = rap_shmem::gpu_sim::titan::transpose_alu_costs(
-                scheme,
-                kind == TransposeKind::Drdw,
-            );
+            let alu =
+                rap_shmem::gpu_sim::titan::transpose_alu_costs(scheme, kind == TransposeKind::Drdw);
             let gpu = simulate(&lower_program(&program, w, &alu), &sm);
 
             println!(

@@ -17,7 +17,13 @@ fn ras_stride_matches_exact_max_load() {
     for (w, trials) in [(16usize, 3000u64), (32, 1500), (64, 800)] {
         let exact = MaxLoad::exact(w, w).expected();
         let sim = matrix_congestion(Scheme::Ras, MatrixPattern::Stride, w, trials, &domain);
-        let tolerance = 4.0 * sim.std_error() + 0.01;
+        // Under RAS + Stride every warp in a trial sees banks `(c + r_i)
+        // mod w` with the SAME shift vector `r_i`, so all `w` warp
+        // congestions of a trial are identical: only `trials` samples are
+        // independent, not `w * trials`. `std_error()` assumes
+        // independence, so scale it back up by `sqrt(w)` or the bound is
+        // ~8x too tight at w=64 (paper row: 3.08 / 3.53 / 3.96).
+        let tolerance = 4.0 * sim.std_error() * (w as f64).sqrt() + 0.01;
         assert!(
             (sim.mean() - exact).abs() < tolerance,
             "w={w}: simulated {:.4} vs exact {exact:.4} (tol {tolerance:.4})",

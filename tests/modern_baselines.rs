@@ -40,7 +40,11 @@ fn conflict_free_schemes_tie_on_crsw_cycles() {
         .cycles
     };
     let rap = cycles(Scheme::Rap, &mut rng);
-    assert_eq!(cycles(Scheme::Xor, &mut rng), rap, "XOR matches RAP on CRSW");
+    assert_eq!(
+        cycles(Scheme::Xor, &mut rng),
+        rap,
+        "XOR matches RAP on CRSW"
+    );
     assert_eq!(
         cycles(Scheme::Padded, &mut rng),
         rap,

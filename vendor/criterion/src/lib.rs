@@ -1,0 +1,241 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of criterion this workspace's benches use — `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a real wall-clock timing harness (calibrated iteration count,
+//! multiple samples, min/mean/max report). It measures for real so bench
+//! output can back performance claims; it does not implement criterion's
+//! statistical analysis, HTML reports, or baseline comparison.
+//!
+//! Tuning via environment: `CRITERION_SAMPLE_MS` (per-sample target,
+//! default 100), `CRITERION_SAMPLES` (default 10), `CRITERION_WARMUP_MS`
+//! (default 100).
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// measured computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier `group_name/function/parameter` for parameterized benches.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+struct Settings {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: u32,
+}
+
+impl Settings {
+    fn from_env() -> Self {
+        let ms = |key: &str, default: u64| {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .map_or(Duration::from_millis(default), Duration::from_millis)
+        };
+        Settings {
+            warmup: ms("CRITERION_WARMUP_MS", 100),
+            sample_target: ms("CRITERION_SAMPLE_MS", 100),
+            samples: std::env::var("CRITERION_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    settings: Settings,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`; honor a
+        // trailing free-form argument as a substring filter like upstream.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            settings: Settings::from_env(),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    fn run_one(&self, label: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            settings: &self.settings,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!(
+                "{label:<50} time: [{} {} {}]",
+                format_ns(report.min_ns),
+                format_ns(report.mean_ns),
+                format_ns(report.max_ns),
+            ),
+            None => println!("{label:<50} (no measurement)"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a routine without an input parameter.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{name}", self.name);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// End the group (drop-equivalent; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Report {
+    min_ns: f64,
+    mean_ns: f64,
+    max_ns: f64,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    report: Option<Report>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: warm up, calibrate an iteration count per
+    /// sample, then time several samples and record min/mean/max ns.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up (also primes caches/branch predictors).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Calibrate how many iterations fill one sample window.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.settings.sample_target / 4 {
+                let scale =
+                    self.settings.sample_target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                iters_per_sample = ((iters_per_sample as f64) * scale).round().max(1.0) as u64;
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(4);
+        }
+        let _ = warm_iters;
+
+        let mut samples = Vec::with_capacity(self.settings.samples as usize);
+        for _ in 0..self.settings.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.report = Some(Report {
+            min_ns: min,
+            mean_ns: mean,
+            max_ns: max,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,472 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the exact slice of `rand` it uses (see
+//! `vendor/README.md`). The algorithms are faithful re-implementations of
+//! the upstream ones so that seeded streams match rand 0.8 on 64-bit
+//! platforms:
+//!
+//! * [`rngs::SmallRng`] is xoshiro256++ (rand 0.8's 64-bit choice),
+//!   including its SplitMix64-based `seed_from_u64`;
+//! * [`SeedableRng::seed_from_u64`]'s generic fallback uses the PCG32
+//!   stream exactly as `rand_core` 0.6 does;
+//! * integer `gen_range` uses Lemire's widening-multiply rejection method
+//!   (`UniformInt::sample_single`).
+//!
+//! Only the APIs exercised by this workspace are provided: `Rng::{gen,
+//! gen_range, gen_bool, fill_bytes}`, `SeedableRng`, and `rngs::SmallRng`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}
+
+/// A type that can be sampled uniformly from the "standard" distribution
+/// (full range for integers, `[0, 1)` for floats).
+pub trait StandardSample {
+    /// Draw one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_small {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+impl_standard_small!(u8, i8, u16, i16, u32, i32);
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardSample for i64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl StandardSample for usize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl StandardSample for isize {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl StandardSample for u128 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() & 1) == 1
+    }
+}
+impl StandardSample for f64 {
+    /// 53 random bits scaled into `[0, 1)` (rand's `Standard` for `f64`).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let bits = rng.next_u64() >> 11;
+        bits as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let bits = rng.next_u32() >> 8;
+        bits as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A type with a uniform sampler over arbitrary sub-ranges.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_range_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+/// Widening multiply helper: `(hi, lo)` of the full-width product.
+#[doc(hidden)]
+pub trait WideningMul: Sized {
+    /// Full-width product split into high and low halves.
+    fn widening_mul(self, rhs: Self) -> (Self, Self);
+}
+
+macro_rules! impl_widening {
+    ($t:ty, $wide:ty) => {
+        impl WideningMul for $t {
+            #[inline]
+            fn widening_mul(self, rhs: Self) -> (Self, Self) {
+                let wide = (self as $wide) * (rhs as $wide);
+                (((wide >> <$t>::BITS) as $t), (wide as $t))
+            }
+        }
+    };
+}
+impl_widening!(u8, u16);
+impl_widening!(u16, u32);
+impl_widening!(u32, u64);
+impl_widening!(u64, u128);
+impl WideningMul for usize {
+    #[inline]
+    fn widening_mul(self, rhs: Self) -> (Self, Self) {
+        let (hi, lo) = WideningMul::widening_mul(self as u64, rhs as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($t:ty, $unsigned:ty, $u_large:ty) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                Self::sample_range_inclusive(rng, low, high - 1)
+            }
+
+            /// Lemire's method, matching `UniformInt::sample_single_inclusive`
+            /// in rand 0.8: widening multiply, reject the low word when it
+            /// falls outside the unbiased zone.
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrap-around to 0 means the range spans the whole type.
+                if range == 0 {
+                    return <$u_large as StandardSample>::standard_sample(rng) as $t;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    // Exact zone by modulus for the narrow types.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Conservative power-of-two approximation.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as StandardSample>::standard_sample(rng);
+                    let (hi, lo) = WideningMul::widening_mul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_uniform_int!(i8, u8, u32);
+impl_uniform_int!(u8, u8, u32);
+impl_uniform_int!(i16, u16, u32);
+impl_uniform_int!(u16, u16, u32);
+impl_uniform_int!(i32, u32, u32);
+impl_uniform_int!(u32, u32, u32);
+impl_uniform_int!(i64, u64, u64);
+impl_uniform_int!(u64, u64, u64);
+impl_uniform_int!(isize, usize, usize);
+impl_uniform_int!(usize, usize, usize);
+
+macro_rules! impl_uniform_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let value0_1 = <$t as StandardSample>::standard_sample(rng);
+                let res = low + (high - low) * value0_1;
+                // Guard against rounding up to `high`.
+                if res < high {
+                    res
+                } else {
+                    high - (high - low) * <$t>::EPSILON
+                }
+            }
+            fn sample_range_inclusive<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let value0_1 = <$t as StandardSample>::standard_sample(rng);
+                low + (high - low) * value0_1
+            }
+        }
+    };
+}
+impl_uniform_float!(f32);
+impl_uniform_float!(f64);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// User-facing random value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution (full integer range, `[0,1)`
+    /// for floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range");
+        // rand's Bernoulli: compare 64 random bits against p·2⁶⁴.
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = (p * ((1u128 << 64) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from the raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with the PCG32 stream exactly
+    /// as `rand_core` 0.6 does. Types with a dedicated expansion (e.g.
+    /// xoshiro's SplitMix64) override this.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm behind rand 0.8's `SmallRng` on 64-bit
+    /// platforms. Fast, small, and statistically strong for simulation
+    /// (not cryptographic) use.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            if seed.iter().all(|&b| b == 0) {
+                return Self::seed_from_u64(0);
+            }
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            Self { s }
+        }
+
+        /// SplitMix64 expansion, matching rand 0.8's
+        /// `Xoshiro256PlusPlus::seed_from_u64`.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(8) {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                chunk.copy_from_slice(&z.to_le_bytes());
+            }
+            // The seed cannot be all-zero: splitmix64 output over four
+            // consecutive states never is.
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(SmallRng::seed_from_u64(42).gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn xoshiro256pp_reference_vector() {
+        // Reference: xoshiro256++ with state [1, 2, 3, 4] produces
+        // 41943041, 58720359, 3588806011781223, 3591011842654386,
+        // ... (from the public-domain xoshiro256plusplus.c).
+        let mut rng = SmallRng { s: [1, 2, 3, 4] };
+        use super::RngCore;
+        assert_eq!(rng.next_u64(), 41943041);
+        assert_eq!(rng.next_u64(), 58720359);
+        assert_eq!(rng.next_u64(), 3588806011781223);
+    }
+
+    #[test]
+    fn gen_range_bounds_hold() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(0..13);
+            assert!(x < 13);
+            let y: usize = rng.gen_range(5..6);
+            assert_eq!(y, 5);
+            let z: i8 = rng.gen_range(-4i8..4);
+            assert!((-4..4).contains(&z));
+            let f: f64 = rng.gen_range(-1.5..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i: u64 = rng.gen_range(0..=3);
+            assert!(i <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9000..11000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.75)).count();
+        assert!((73_000..77_000).contains(&hits), "hits {hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut buf = [0u8; 11];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

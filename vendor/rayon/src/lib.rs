@@ -1,0 +1,330 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! slice of rayon this workspace uses: `Vec::into_par_iter().map(..)` /
+//! `.map_init(..)` followed by `.collect()`, plus `ThreadPoolBuilder` /
+//! `ThreadPool::install` and [`current_num_threads`].
+//!
+//! Execution model: eager fork-join over `std::thread::scope`. Items are
+//! split into one contiguous chunk per thread, each chunk is processed in
+//! order, and chunk results are concatenated in chunk order — so `collect`
+//! is **order-preserving and deterministic** regardless of thread count or
+//! scheduling, which the Monte-Carlo engine's reproducibility tests rely
+//! on. There is no work stealing; chunks are equal-sized, which is a fine
+//! fit for the uniform per-trial workloads here.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`];
+    /// 0 means "use hardware parallelism".
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel operations will use on this
+/// thread (the `install`ed pool size, else hardware parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        overridden
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this stub;
+/// kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (0 = hardware parallelism).
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Infallible in this stub; the `Result` mirrors the upstream
+    /// signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A scoped thread-count setting. Threads are not held persistently; the
+/// pool only records how many workers parallel operations inside
+/// [`ThreadPool::install`] should spawn.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count in effect on the calling
+    /// thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREAD_OVERRIDE.with(|c| c.set(self.0));
+            }
+        }
+        let previous = THREAD_OVERRIDE.with(Cell::get);
+        let _restore = Restore(previous);
+        THREAD_OVERRIDE.with(|c| c.set(self.num_threads));
+        op()
+    }
+
+    /// This pool's worker count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+pub mod iter {
+    /// Conversion into a parallel iterator (only `Vec<T>` here).
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = VecParIter<T>;
+        fn into_par_iter(self) -> VecParIter<T> {
+            VecParIter { items: self }
+        }
+    }
+
+    /// Parallel iterator over an owned `Vec`.
+    pub struct VecParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> VecParIter<T> {
+        /// Parallel map; `collect` runs the chunks across threads.
+        pub fn map<R, F>(self, f: F) -> MapOp<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            MapOp {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Parallel map with per-worker state (e.g. a scratch buffer):
+        /// `init` runs once per worker thread, and `f` receives the
+        /// worker's state with each item.
+        pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInitOp<T, INIT, F>
+        where
+            R: Send,
+            INIT: Fn() -> S + Sync,
+            F: Fn(&mut S, T) -> R + Sync,
+        {
+            MapInitOp {
+                items: self.items,
+                init,
+                f,
+            }
+        }
+    }
+
+    /// Pending `map` stage.
+    pub struct MapOp<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> MapOp<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Execute across threads and gather results in input order.
+        pub fn collect<C: FromParallelVec<R>>(self) -> C {
+            let f = &self.f;
+            C::from_parallel_vec(run_chunked(
+                self.items,
+                &move |_state: &mut (), item| f(item),
+                &|| (),
+            ))
+        }
+    }
+
+    /// Pending `map_init` stage.
+    pub struct MapInitOp<T, INIT, F> {
+        items: Vec<T>,
+        init: INIT,
+        f: F,
+    }
+
+    impl<T, S, R, INIT, F> MapInitOp<T, INIT, F>
+    where
+        T: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        /// Execute across threads and gather results in input order.
+        pub fn collect<C: FromParallelVec<R>>(self) -> C {
+            let f = &self.f;
+            C::from_parallel_vec(run_chunked(self.items, f, &self.init))
+        }
+    }
+
+    /// Sink for parallel results (only `Vec<R>` here).
+    pub trait FromParallelVec<R> {
+        fn from_parallel_vec(v: Vec<R>) -> Self;
+    }
+
+    impl<R> FromParallelVec<R> for Vec<R> {
+        fn from_parallel_vec(v: Vec<R>) -> Self {
+            v
+        }
+    }
+
+    /// One contiguous chunk per worker; join in chunk order so output
+    /// order (and thus any order-sensitive reduction downstream) is
+    /// independent of scheduling.
+    fn run_chunked<T, S, R>(
+        items: Vec<T>,
+        f: &(impl Fn(&mut S, T) -> R + Sync),
+        init: &(impl Fn() -> S + Sync),
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        let threads = super::current_num_threads().max(1);
+        let len = items.len();
+        if threads == 1 || len <= 1 {
+            let mut state = init();
+            return items.into_iter().map(|item| f(&mut state, item)).collect();
+        }
+        let chunk_len = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut source = items.into_iter();
+        loop {
+            let chunk: Vec<T> = source.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let results: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut state = init();
+                        chunk
+                            .into_iter()
+                            .map(|item| f(&mut state, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon worker panicked"))
+                .collect()
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{FromParallelVec, IntoParallelIterator, VecParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, v.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let v: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = v.iter().map(|x| x * x).collect();
+        for n in [1usize, 2, 5, 16] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .unwrap();
+            let got: Vec<u64> = pool.install(|| v.clone().into_par_iter().map(|x| x * x).collect());
+            assert_eq!(got, reference, "thread count {n}");
+        }
+    }
+
+    #[test]
+    fn map_init_runs_per_worker() {
+        let v: Vec<u64> = (0..100).collect();
+        let got: Vec<u64> = v
+            .clone()
+            .into_par_iter()
+            .map_init(
+                || 0u64,
+                |scratch, x| {
+                    *scratch += 1;
+                    x + 1
+                },
+            )
+            .collect();
+        assert_eq!(got, v.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+}

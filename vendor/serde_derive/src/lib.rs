@@ -1,0 +1,667 @@
+//! Offline vendored `Serialize` / `Deserialize` derive macros.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the two derives against the vendored `serde` subset (a JSON-shaped
+//! [`Value`] data model) with a hand-written token parser — no `syn` or
+//! `quote`. It supports the shapes this workspace actually uses:
+//!
+//! * structs with named fields (optionally generic),
+//! * tuple and unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream serde's default representation),
+//! * the container attribute `#[serde(try_from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed generic parameter.
+struct Param {
+    /// Full declaration text, e.g. `T: Copy` or `'a`.
+    decl: String,
+    /// Bare name, e.g. `T` or `'a`.
+    name: String,
+    /// Whether this is a type parameter (gets the extra serde bound).
+    is_type: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    params: Vec<Param>,
+    where_clause: String,
+    kind: Kind,
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+/// Derive `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let model = parse_input(input);
+    generate_serialize(&model)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let model = parse_input(input);
+    generate_deserialize(&model)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut try_from = None;
+    let mut into = None;
+
+    // Container attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut try_from, &mut into);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let is_enum = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0usize;
+        let mut current = String::new();
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    if depth > 1 {
+                        current.push('<');
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !current.trim().is_empty() {
+                            params.push(parse_param(&current));
+                        }
+                        i += 1;
+                        break;
+                    }
+                    current.push('>');
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    if !current.trim().is_empty() {
+                        params.push(parse_param(&current));
+                    }
+                    current.clear();
+                }
+                Some(tt) => {
+                    current.push_str(&tt.to_string());
+                    current.push(' ');
+                }
+                None => panic!("unterminated generics on {name}"),
+            }
+            i += 1;
+        }
+    }
+
+    // Optional where clause (verbatim pass-through).
+    let mut where_clause = String::new();
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        where_clause.push_str("where ");
+        i += 1;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Group(g)
+                    if g.delimiter() == Delimiter::Brace
+                        || g.delimiter() == Delimiter::Parenthesis =>
+                {
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                other => {
+                    where_clause.push_str(&other.to_string());
+                    where_clause.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let kind = if is_enum {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => panic!("expected enum body for {name}, found {other:?}"),
+        };
+        Kind::Enum(parse_variants(body))
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("expected struct body for {name}, found {other:?}"),
+        }
+    };
+
+    Input {
+        name,
+        params,
+        where_clause,
+        kind,
+        try_from,
+        into,
+    }
+}
+
+fn parse_param(decl: &str) -> Param {
+    let trimmed = decl.trim();
+    if let Some(rest) = trimmed.strip_prefix('\'') {
+        let name: String = rest.split_whitespace().next().unwrap_or("").to_string();
+        Param {
+            decl: trimmed.to_string(),
+            name: format!("'{name}"),
+            is_type: false,
+        }
+    } else if trimmed.starts_with("const ") {
+        let name = trimmed
+            .split_whitespace()
+            .nth(1)
+            .unwrap_or("")
+            .trim_end_matches(':')
+            .to_string();
+        Param {
+            decl: trimmed.to_string(),
+            name,
+            is_type: false,
+        }
+    } else {
+        let name = trimmed
+            .split([':', ' '])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        Param {
+            decl: trimmed.to_string(),
+            name,
+            is_type: true,
+        }
+    }
+}
+
+/// Extract `try_from`/`into` from a `serde(...)` attribute body.
+fn parse_serde_attr(attr: TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    if !matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        if let (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) = (inner.get(j), inner.get(j + 1), inner.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let value = lit.to_string();
+                let value = value.trim_matches('"').to_string();
+                match key.to_string().as_str() {
+                    "try_from" => *try_from = Some(value),
+                    "into" => *into = Some(value),
+                    other => panic!("unsupported serde attribute `{other}` (vendored subset)"),
+                }
+                j += 3;
+                if matches!(inner.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    j += 1;
+                }
+                continue;
+            }
+        }
+        panic!("unsupported serde attribute shape (vendored subset)");
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                // Expect `:` then the type, up to a top-level comma.
+                assert!(
+                    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "expected `:` after field `{}`",
+                    fields.last().expect("just pushed")
+                );
+                i += 1;
+                let mut angle = 0i32;
+                while let Some(tt) = tokens.get(i) {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            other => panic!("unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    let mut saw_content_since_comma = false;
+    for tt in &tokens {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_content_since_comma = false;
+            }
+            _ => saw_content_since_comma = true,
+        }
+    }
+    if !saw_content_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip an explicit discriminant, then the separating comma.
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                    i += 1;
+                    while let Some(tt) = tokens.get(i) {
+                        if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                        i += 1;
+                    }
+                }
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                    i += 1;
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+impl Input {
+    /// `impl<...>` parameter list with `extra_bound` added to type params.
+    fn impl_params(&self, extra_bound: &str) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let parts: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| {
+                if p.is_type {
+                    if p.decl.contains(':') {
+                        format!("{} + {extra_bound}", p.decl)
+                    } else {
+                        format!("{}: {extra_bound}", p.decl.trim())
+                    }
+                } else {
+                    p.decl.clone()
+                }
+            })
+            .collect();
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// `<T, 'a, N>` — bare names for the `for Name<...>` position.
+    fn type_params(&self) -> String {
+        if self.params.is_empty() {
+            return String::new();
+        }
+        let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+        format!("<{}>", names.join(", "))
+    }
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let impl_params = input.impl_params("::serde::Serialize");
+    let type_params = input.type_params();
+    let where_clause = &input.where_clause;
+
+    let body = if let Some(into_ty) = &input.into {
+        format!(
+            "let __converted: {into_ty} = \
+             ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__converted)"
+        )
+    } else {
+        match &input.kind {
+            Kind::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "{name}::{vname} => ::serde::Value::String(\
+                                 ::std::string::String::from(\"{vname}\")),"
+                            ),
+                            VariantKind::Tuple(1) => format!(
+                                "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Serialize::to_value(__f0))]),"
+                            ),
+                            VariantKind::Tuple(n) => {
+                                let binds: Vec<String> =
+                                    (0..*n).map(|k| format!("__f{k}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vname}({}) => \
+                                     ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Array(::std::vec![{}]))]),",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            VariantKind::Struct(fields) => {
+                                let binds = fields.join(", ");
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from(\"{f}\"), \
+                                             ::serde::Serialize::to_value({f}))"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vname} {{ {binds} }} => \
+                                     ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from(\"{vname}\"), \
+                                     ::serde::Value::Object(::std::vec![{}]))]),",
+                                    entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Serialize for {name}{type_params} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let impl_params = input.impl_params("::serde::Deserialize");
+    let type_params = input.type_params();
+    let where_clause = &input.where_clause;
+
+    let body = if let Some(try_from_ty) = &input.try_from {
+        format!(
+            "let __inner: {try_from_ty} = ::serde::Deserialize::from_value(__v)?;\n\
+             ::core::convert::TryFrom::try_from(__inner)\
+             .map_err(::serde::DeError::custom_display)"
+        )
+    } else {
+        match &input.kind {
+            Kind::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::get_field(__obj, \"{f}\")?,"))
+                    .collect();
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected object for struct {name}\"))?;\n\
+                     ::core::result::Result::Ok({name} {{ {} }})",
+                    entries.join(" ")
+                )
+            }
+            Kind::TupleStruct(1) => {
+                format!(
+                    "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                )
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected array for tuple struct {name}\"))?;\n\
+                     if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                     ::serde::DeError::custom(\"wrong tuple length for {name}\")); }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(" ")
+                )
+            }
+            Kind::UnitStruct => format!("::core::result::Result::Ok({name})"),
+            Kind::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| {
+                        format!(
+                            "\"{0}\" => ::core::result::Result::Ok({name}::{0}),",
+                            v.name
+                        )
+                    })
+                    .collect();
+                let tagged_arms: Vec<String> = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => None,
+                            VariantKind::Tuple(1) => Some(format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__val)?)),"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|k| {
+                                        format!("::serde::Deserialize::from_value(&__arr[{k}])?,")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => {{\n\
+                                     let __arr = __val.as_array().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                     if __arr.len() != {n} {{ return ::core::result::Result::Err(\
+                                     ::serde::DeError::custom(\"wrong tuple length for {name}::{vname}\")); }}\n\
+                                     ::core::result::Result::Ok({name}::{vname}({}))\n}}",
+                                    items.join(" ")
+                                ))
+                            }
+                            VariantKind::Struct(fields) => {
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!("{f}: ::serde::get_field(__fields, \"{f}\")?,")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "\"{vname}\" => {{\n\
+                                     let __fields = __val.as_object().ok_or_else(|| \
+                                     ::serde::DeError::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }})\n}}",
+                                    entries.join(" ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {}\n\
+                     __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     __tagged => {{\n\
+                     let __obj = __tagged.as_object().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected string or object for enum {name}\"))?;\n\
+                     let (__tag, __val) = __obj.first().ok_or_else(|| \
+                     ::serde::DeError::custom(\"expected single-entry object for enum {name}\"))?;\n\
+                     match __tag.as_str() {{\n\
+                     {}\n\
+                     __other => ::core::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }}\n\
+                     }}\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    tagged_arms.join("\n")
+                )
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_params} ::serde::Deserialize for {name}{type_params} {where_clause} {{\n\
+             fn from_value(__v: &::serde::Value) \
+             -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
