@@ -1,0 +1,230 @@
+//! The conformance harness: runs a set of oracles over their seed
+//! streams, shrinks failures, and produces a serializable report.
+//!
+//! The report deliberately carries **no wall-clock data** — two runs from
+//! the same base seed serialize identically, which is itself asserted by
+//! the determinism test.
+
+use crate::kernels::{AnalyzePath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath};
+use crate::machine::{DmmTimingOracle, UmmRowsOracle};
+use crate::mapping_oracle::MappingAlgebraOracle;
+use crate::oracle::{Divergence, Oracle};
+use crate::pattern::case_seed;
+use crate::schedule_oracle::ScheduleOracle;
+use crate::transpose_oracle::TransposeOracle;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// At most this many (shrunk) divergences are recorded per oracle; the
+/// rest are only counted, keeping a catastrophic report readable.
+const MAX_RECORDED_PER_ORACLE: u64 = 8;
+
+/// Per-oracle tally.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleRun {
+    /// Oracle pair name.
+    pub name: String,
+    /// Differential cases executed.
+    pub cases: u64,
+    /// Cases on which reference and optimized path disagreed.
+    pub divergences: u64,
+}
+
+/// The full result of one harness run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConformanceReport {
+    /// Base seed every case seed was derived from.
+    pub base_seed: u64,
+    /// Total differential cases across all oracles.
+    pub cases_run: u64,
+    /// Number of oracle pairs exercised.
+    pub oracle_pairs: usize,
+    /// Per-oracle tallies, in registration order.
+    pub oracles: Vec<OracleRun>,
+    /// Recorded (shrunk) divergences, at most a handful per oracle.
+    pub divergences: Vec<Divergence>,
+    /// Shrinking attempts that panicked (always a harness bug).
+    pub shrink_panics: u64,
+}
+
+impl ConformanceReport {
+    /// True when no oracle diverged and no shrinker panicked.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.shrink_panics == 0 && self.oracles.iter().all(|o| o.divergences == 0)
+    }
+
+    /// One-paragraph human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let total_div: u64 = self.oracles.iter().map(|o| o.divergences).sum();
+        format!(
+            "{} cases across {} oracle pairs from base seed {:#x}: {} divergence(s), {} shrink panic(s)",
+            self.cases_run, self.oracle_pairs, self.base_seed, total_div, self.shrink_panics
+        )
+    }
+}
+
+/// A set of oracles, each with a per-run case budget.
+pub struct Harness {
+    entries: Vec<(Box<dyn Oracle>, u64)>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("oracles", &self.entries.len())
+            .finish()
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// An empty harness.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Register an oracle with a case budget.
+    pub fn push(&mut self, oracle: Box<dyn Oracle>, budget: u64) -> &mut Self {
+        self.entries.push((oracle, budget));
+        self
+    }
+
+    /// The standard bounded suite wired into `cargo test`: all nine
+    /// oracle pairs, budgeted to just over 10 000 cases in well under a
+    /// minute.
+    #[must_use]
+    pub fn bounded() -> Self {
+        Self::extended(1)
+    }
+
+    /// The bounded suite with every budget multiplied by `multiplier` —
+    /// the nightly / bench-bin configuration.
+    #[must_use]
+    pub fn extended(multiplier: u64) -> Self {
+        let m = multiplier.max(1);
+        let mut h = Self::new();
+        h.push(
+            Box::new(KernelOracle::new(
+                "congestion:analyze-vs-naive",
+                AnalyzePath,
+            )),
+            1850 * m,
+        );
+        h.push(
+            Box::new(KernelOracle::new("congestion:freefn-vs-naive", FreeFnPath)),
+            1850 * m,
+        );
+        h.push(
+            Box::new(KernelOracle::new(
+                "congestion:scratch-vs-naive",
+                ScratchPath::default(),
+            )),
+            1850 * m,
+        );
+        h.push(
+            Box::new(KernelOracle::new(
+                "congestion:merged-vs-naive",
+                MergedAccessPath,
+            )),
+            1850 * m,
+        );
+        h.push(Box::new(DmmTimingOracle), 700 * m);
+        h.push(Box::new(UmmRowsOracle), 700 * m);
+        h.push(Box::new(MappingAlgebraOracle), 700 * m);
+        h.push(Box::new(TransposeOracle), 400 * m);
+        h.push(Box::new(ScheduleOracle), 300 * m);
+        h
+    }
+
+    /// Run every oracle over its seed stream derived from `base_seed`.
+    pub fn run(&mut self, base_seed: u64) -> ConformanceReport {
+        let mut oracles = Vec::with_capacity(self.entries.len());
+        let mut recorded: Vec<Divergence> = Vec::new();
+        let mut cases_run = 0u64;
+        let mut shrink_panics = 0u64;
+
+        for (oracle, budget) in &mut self.entries {
+            let name = oracle.name().to_string();
+            let mut divergences = 0u64;
+            for index in 0..*budget {
+                let seed = case_seed(base_seed, &name, index);
+                if let Err(divergence) = oracle.check(seed) {
+                    divergences += 1;
+                    if divergences <= MAX_RECORDED_PER_ORACLE {
+                        match catch_unwind(AssertUnwindSafe(|| oracle.shrink(divergence.clone()))) {
+                            Ok(shrunk) => recorded.push(shrunk),
+                            Err(_) => {
+                                shrink_panics += 1;
+                                recorded.push(divergence);
+                            }
+                        }
+                    }
+                }
+            }
+            cases_run += *budget;
+            oracles.push(OracleRun {
+                name,
+                cases: *budget,
+                divergences,
+            });
+        }
+
+        ConformanceReport {
+            base_seed,
+            cases_run,
+            oracle_pairs: self.entries.len(),
+            oracles,
+            divergences: recorded,
+            shrink_panics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::KernelOracle;
+    use crate::mutation::NoDedupMutant;
+
+    #[test]
+    fn tiny_run_is_clean_and_counts_cases() {
+        let mut h = Harness::new();
+        h.push(
+            Box::new(KernelOracle::new(
+                "congestion:analyze-vs-naive",
+                AnalyzePath,
+            )),
+            50,
+        );
+        h.push(Box::new(ScheduleOracle), 10);
+        let report = h.run(2014);
+        assert!(report.is_clean(), "{}", report.summary());
+        assert_eq!(report.cases_run, 60);
+        assert_eq!(report.oracle_pairs, 2);
+    }
+
+    #[test]
+    fn mutant_is_caught_and_shrunk() {
+        let mut h = Harness::new();
+        h.push(
+            Box::new(KernelOracle::new("mutant:no-dedup", NoDedupMutant)),
+            300,
+        );
+        let report = h.run(7);
+        assert!(!report.is_clean());
+        assert!(report.oracles[0].divergences > 0);
+        let d = &report.divergences[0];
+        let m = d.minimal.as_ref().expect("kernel oracles always shrink");
+        assert!(m.addresses.len() <= 2, "minimal repro: {m:?}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Oracles for the congestion-kernel family: every optimized congestion
+//! path against the independent naive reference.
+
+use crate::oracle::{Divergence, MinimalCase, Oracle};
+use crate::pattern::AccessCase;
+use crate::reference::naive_congestion;
+use crate::shrink::shrink_case;
+use rap_core::congestion::CongestionScratch;
+use rap_core::BankLoads;
+use rap_dmm::{MemOp, MergedAccess};
+
+/// One production congestion implementation under test.
+pub trait CongestionPath {
+    /// Compute the congestion of one warp access.
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32;
+}
+
+/// The allocating sort-based path: [`BankLoads::analyze`].
+#[derive(Debug, Default)]
+pub struct AnalyzePath;
+
+impl CongestionPath for AnalyzePath {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        BankLoads::analyze(width, addresses).congestion()
+    }
+}
+
+/// The free-function fast path: [`rap_core::congestion::congestion`].
+#[derive(Debug, Default)]
+pub struct FreeFnPath;
+
+impl CongestionPath for FreeFnPath {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        rap_core::congestion::congestion(width, addresses)
+    }
+}
+
+/// The zero-allocation scratch path. The scratch is **persistent across
+/// cases**, so stale-buffer bugs (state leaking from a wide case into a
+/// narrow one) are in scope.
+#[derive(Debug, Default)]
+pub struct ScratchPath {
+    scratch: CongestionScratch,
+}
+
+impl CongestionPath for ScratchPath {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        self.scratch.congestion(width, addresses)
+    }
+}
+
+/// The DMM-side merge: [`MergedAccess::merge`] over per-lane read ops.
+#[derive(Debug, Default)]
+pub struct MergedAccessPath;
+
+impl CongestionPath for MergedAccessPath {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        let ops: Vec<Option<MemOp<u64>>> =
+            addresses.iter().map(|&a| Some(MemOp::Read(a))).collect();
+        MergedAccess::merge(width, &ops).congestion()
+    }
+}
+
+/// Differential oracle pairing a [`CongestionPath`] with the naive
+/// reference on [`AccessCase`] inputs, with full shrinking support.
+#[derive(Debug)]
+pub struct KernelOracle<P> {
+    name: &'static str,
+    path: P,
+}
+
+impl<P: CongestionPath> KernelOracle<P> {
+    /// Pair `path` with the naive reference under a stable oracle name.
+    #[must_use]
+    pub fn new(name: &'static str, path: P) -> Self {
+        Self { name, path }
+    }
+}
+
+impl<P: CongestionPath> Oracle for KernelOracle<P> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let case = AccessCase::from_seed(seed);
+        let expected = naive_congestion(case.width, &case.addresses);
+        let actual = self.path.congestion(case.width, &case.addresses);
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(Divergence::new(
+                self.name,
+                seed,
+                case.describe(),
+                expected.to_string(),
+                actual.to_string(),
+            ))
+        }
+    }
+
+    fn shrink(&mut self, mut divergence: Divergence) -> Divergence {
+        let case = AccessCase::from_seed(divergence.seed);
+        let path = &mut self.path;
+        let (w, addrs) = shrink_case(case.width, &case.addresses, &mut |w, a| {
+            naive_congestion(w, a) != path.congestion(w, a)
+        });
+        let expected = naive_congestion(w, &addrs);
+        let actual = self.path.congestion(w, &addrs);
+        divergence.minimal = Some(MinimalCase {
+            width: w,
+            addresses: addrs,
+            expected: expected.to_string(),
+            actual: actual.to_string(),
+        });
+        divergence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::case_seed;
+
+    #[test]
+    fn all_paths_agree_with_naive_on_a_sample() {
+        let mut oracles: Vec<Box<dyn Oracle>> = vec![
+            Box::new(KernelOracle::new("analyze", AnalyzePath)),
+            Box::new(KernelOracle::new("freefn", FreeFnPath)),
+            Box::new(KernelOracle::new("scratch", ScratchPath::default())),
+            Box::new(KernelOracle::new("merged", MergedAccessPath)),
+        ];
+        for oracle in &mut oracles {
+            for i in 0..200 {
+                let seed = case_seed(99, oracle.name(), i);
+                assert!(oracle.check(seed).is_ok(), "seed {seed:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Differential-conformance harness for the RAP shared-memory stack.
+//!
+//! Every optimized path in the workspace — the three congestion kernels,
+//! the DMM/UMM timing machines, the address-mapping schemes, the
+//! transpose algorithms, and the permutation scheduler — is paired with
+//! an **independent naive reference** (hash-map counting, plain index
+//! arithmetic, closed-form algebra) and cross-checked on deterministic
+//! adversarial cases derived from a single `u64` seed.
+//!
+//! The moving parts:
+//!
+//! * [`pattern`] — the seed-keyed adversarial generator
+//!   ([`AccessCase::from_seed`] and the [`WIDTH_LADDER`]);
+//! * [`reference`] — the naive references;
+//! * [`oracle`] — the [`Oracle`] trait and the [`Divergence`] record;
+//! * [`shrink`] — greedy minimization of failing cases;
+//! * concrete oracles in [`kernels`], [`machine`], [`mapping_oracle`],
+//!   [`transpose_oracle`], and [`schedule_oracle`];
+//! * [`mutation`] — deliberately broken kernels proving the harness has
+//!   teeth;
+//! * [`harness`] — the driver producing a serializable
+//!   [`ConformanceReport`].
+//!
+//! Reproduce any reported failure in one line:
+//!
+//! ```
+//! use rap_conformance::AccessCase;
+//! let case = AccessCase::from_seed(0x0123_4567_89ab_cdef);
+//! println!("{}", case.describe());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod kernels;
+pub mod machine;
+pub mod mapping_oracle;
+pub mod mutation;
+pub mod oracle;
+pub mod pattern;
+pub mod reference;
+pub mod schedule_oracle;
+pub mod shrink;
+pub mod transpose_oracle;
+
+pub use harness::{ConformanceReport, Harness, OracleRun};
+pub use kernels::{
+    AnalyzePath, CongestionPath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath,
+};
+pub use machine::{DmmTimingOracle, UmmRowsOracle};
+pub use mapping_oracle::MappingAlgebraOracle;
+pub use mutation::{NoDedupMutant, WrongModulusMutant};
+pub use oracle::{Divergence, MinimalCase, Oracle};
+pub use pattern::{case_seed, splitmix64, AccessCase, PatternKind, WIDTH_LADDER};
+pub use reference::{
+    naive_bank_loads, naive_congestion, naive_distinct_rows, naive_transpose, naive_unique_requests,
+};
+pub use schedule_oracle::ScheduleOracle;
+pub use shrink::shrink_case;
+pub use transpose_oracle::TransposeOracle;

@@ -1,0 +1,211 @@
+//! Oracle for the address-mapping schemes: every [`MatrixMapping`]
+//! implementation against its algebraic definition, plus the structural
+//! invariants the paper's proofs rest on.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::reference::naive_congestion;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::mapping::{MatrixMapping, RowShift, Scheme};
+use rap_core::modern::{Padded, XorSwizzle};
+
+use crate::pattern::splitmix64;
+
+/// Widths for the full-grid algebra sweep (each case is `O(w²)` work).
+const ALGEBRA_WIDTHS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 127, 128];
+
+/// Power-of-two widths for the XOR swizzle (its validity precondition).
+const POW2_WIDTHS: &[usize] = &[2, 4, 8, 16, 32, 64, 128];
+
+/// One constructed mapping plus the row-shift table when it has one.
+enum Built {
+    Row(RowShift),
+    Xor(XorSwizzle),
+    Pad(Padded),
+}
+
+impl Built {
+    fn mapping(&self) -> &dyn MatrixMapping {
+        match self {
+            Built::Row(m) => m,
+            Built::Xor(m) => m,
+            Built::Pad(m) => m,
+        }
+    }
+}
+
+/// Checks, per seed, one `(scheme, width)` instance over its **entire**
+/// `w × w` grid:
+///
+/// * every address matches the scheme's algebraic definition, computed
+///   here from first principles (shift table, XOR, padding arithmetic);
+/// * the mapping is injective into `0..storage_words()`;
+/// * RAP shift tables are permutations (pairwise-distinct shifts);
+/// * `logical_column` inverts the rotation (row-shift schemes);
+/// * contiguous (row) access is conflict-free for every scheme, and
+///   stride (column) access is conflict-free for RAP / XOR / Padded —
+///   paper Theorem 2 and its deterministic analogues.
+#[derive(Debug, Default)]
+pub struct MappingAlgebraOracle;
+
+impl MappingAlgebraOracle {
+    /// Run all grid checks; returns `Some((what, expected, actual))` on
+    /// the first violated invariant.
+    #[allow(clippy::too_many_lines)] // one linear checklist, clearer unsplit
+    fn violation(built: &Built) -> Option<(String, String, String)> {
+        let m = built.mapping();
+        let w = m.width() as u32;
+        let scheme = m.scheme();
+
+        // 1. Algebraic definition, recomputed independently.
+        for i in 0..w {
+            for j in 0..w {
+                let expected = match built {
+                    Built::Row(rs) => i * w + (j + rs.shifts()[i as usize]) % w,
+                    Built::Xor(_) => i * w + (j ^ (i % w)),
+                    Built::Pad(_) => i * (w + 1) + j,
+                };
+                let actual = m.address(i, j);
+                if expected != actual {
+                    return Some((
+                        format!("address({i},{j})"),
+                        expected.to_string(),
+                        actual.to_string(),
+                    ));
+                }
+            }
+        }
+
+        // 2. Injectivity into the declared storage.
+        let storage = m.storage_words();
+        let mut seen = vec![false; storage];
+        for i in 0..w {
+            for j in 0..w {
+                let a = m.address(i, j) as usize;
+                if a >= storage {
+                    return Some((
+                        format!("address({i},{j}) bound"),
+                        format!("< {storage}"),
+                        a.to_string(),
+                    ));
+                }
+                if seen[a] {
+                    return Some((
+                        format!("address({i},{j}) injectivity"),
+                        "fresh address".to_string(),
+                        format!("duplicate {a}"),
+                    ));
+                }
+                seen[a] = true;
+            }
+        }
+
+        // 3. RAP shifts form a permutation.
+        if let Built::Row(rs) = built {
+            if scheme == Scheme::Rap {
+                let mut hit = vec![false; w as usize];
+                for &s in rs.shifts() {
+                    if hit[s as usize] {
+                        return Some((
+                            "RAP shift table".to_string(),
+                            "pairwise-distinct shifts".to_string(),
+                            format!("shift {s} repeats"),
+                        ));
+                    }
+                    hit[s as usize] = true;
+                }
+            }
+            // 4. logical_column inverts the rotation.
+            for i in 0..w {
+                for j in 0..w {
+                    let back = rs.logical_column(i, m.address(i, j) % w);
+                    if back != j {
+                        return Some((
+                            format!("logical_column({i}, addr%w)"),
+                            j.to_string(),
+                            back.to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // 5. Conflict-freeness of the paper's structured accesses.
+        let width = w as usize;
+        for i in 0..w {
+            let row: Vec<u64> = (0..w).map(|j| u64::from(m.address(i, j))).collect();
+            let c = naive_congestion(width, &row);
+            if c > 1 {
+                return Some((
+                    format!("contiguous row {i}"),
+                    "congestion 1".to_string(),
+                    format!("congestion {c}"),
+                ));
+            }
+        }
+        if matches!(scheme, Scheme::Rap | Scheme::Xor | Scheme::Padded) {
+            for j in 0..w {
+                let col: Vec<u64> = (0..w).map(|i| u64::from(m.address(i, j))).collect();
+                let c = naive_congestion(width, &col);
+                if c > 1 {
+                    return Some((
+                        format!("stride column {j}"),
+                        "congestion 1".to_string(),
+                        format!("congestion {c}"),
+                    ));
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Oracle for MappingAlgebraOracle {
+    fn name(&self) -> &'static str {
+        "mapping:algebra"
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ 0x0a1b_2c3d_4e5f_6071));
+        let scheme = Scheme::extended()[rng.gen_range(0..Scheme::extended().len())];
+        let (built, width) = match scheme {
+            Scheme::Xor => {
+                let w = POW2_WIDTHS[rng.gen_range(0..POW2_WIDTHS.len())];
+                (Built::Xor(XorSwizzle::new(w).expect("pow2 width")), w)
+            }
+            Scheme::Padded => {
+                let w = ALGEBRA_WIDTHS[rng.gen_range(0..ALGEBRA_WIDTHS.len())];
+                (Built::Pad(Padded::new(w).expect("positive width")), w)
+            }
+            _ => {
+                let w = ALGEBRA_WIDTHS[rng.gen_range(0..ALGEBRA_WIDTHS.len())];
+                (Built::Row(RowShift::of_scheme(scheme, &mut rng, w)), w)
+            }
+        };
+        match Self::violation(&built) {
+            None => Ok(()),
+            Some((what, expected, actual)) => Err(Divergence::new(
+                self.name(),
+                seed,
+                format!("scheme={scheme} width={width} invariant={what}"),
+                expected,
+                actual,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::case_seed;
+
+    #[test]
+    fn mapping_algebra_passes_a_sample() {
+        let mut oracle = MappingAlgebraOracle;
+        for i in 0..100 {
+            let s = case_seed(3, oracle.name(), i);
+            assert!(oracle.check(s).is_ok(), "seed {s:#x}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Deliberately broken congestion kernels, used to prove the harness has
+//! teeth: each mutant reproduces a realistic implementation bug, and the
+//! mutation tests assert the harness both **catches** it and **shrinks**
+//! the failure to a minimal repro (see `EXPERIMENTS.md`, experiment CONF).
+
+use crate::kernels::CongestionPath;
+use std::collections::HashMap;
+
+/// Mutant that forgets CRCW merging: duplicates are counted once per
+/// lane instead of once per distinct address. The minimal witness is two
+/// equal addresses on a width-1 machine.
+#[derive(Debug, Default)]
+pub struct NoDedupMutant;
+
+impl CongestionPath for NoDedupMutant {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        assert!(width > 0, "machine width must be positive");
+        let mut loads: HashMap<u64, u32> = HashMap::new();
+        for &a in addresses {
+            *loads.entry(a % width as u64).or_insert(0) += 1;
+        }
+        loads.into_values().max().unwrap_or(0)
+    }
+}
+
+/// Mutant with an off-by-one bank modulus (`a mod (w+1)` instead of
+/// `a mod w`) — the classic width/stride confusion. The minimal witness is
+/// a pair of distinct addresses congruent mod `w` but not mod `w+1`.
+#[derive(Debug, Default)]
+pub struct WrongModulusMutant;
+
+impl CongestionPath for WrongModulusMutant {
+    fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
+        assert!(width > 0, "machine width must be positive");
+        let unique: std::collections::HashSet<u64> = addresses.iter().copied().collect();
+        let mut loads: HashMap<u64, u32> = HashMap::new();
+        for a in unique {
+            *loads.entry(a % (width as u64 + 1)).or_insert(0) += 1;
+        }
+        loads.into_values().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::naive_congestion;
+
+    #[test]
+    fn mutants_diverge_from_the_reference() {
+        // NoDedup overcounts any duplicate.
+        let mut m1 = NoDedupMutant;
+        assert_ne!(m1.congestion(1, &[0, 0]), naive_congestion(1, &[0, 0]));
+        // WrongModulus splits a same-bank pair across two phantom banks.
+        let mut m2 = WrongModulusMutant;
+        assert_ne!(m2.congestion(1, &[0, 1]), naive_congestion(1, &[0, 1]));
+    }
+
+    #[test]
+    fn mutants_agree_on_cases_that_mask_the_bug() {
+        // All-distinct single addresses look fine to both mutants at
+        // width 1 with one lane — the bugs need specific witnesses.
+        let mut m1 = NoDedupMutant;
+        let mut m2 = WrongModulusMutant;
+        assert_eq!(m1.congestion(4, &[0]), naive_congestion(4, &[0]));
+        assert_eq!(m2.congestion(4, &[]), naive_congestion(4, &[]));
+    }
+}

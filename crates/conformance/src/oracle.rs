@@ -1,0 +1,102 @@
+//! The oracle abstraction: one reference implementation paired with one
+//! optimized path, checked on seed-derived adversarial cases.
+
+use serde::{Deserialize, Serialize};
+
+/// A failing case minimized by the shrinking loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimalCase {
+    /// Smallest machine width that still fails.
+    pub width: usize,
+    /// Smallest address list that still fails.
+    pub addresses: Vec<u64>,
+    /// Reference result on the minimal case.
+    pub expected: String,
+    /// Optimized-path result on the minimal case.
+    pub actual: String,
+}
+
+/// One disagreement between a reference and an optimized path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Name of the oracle pair that diverged.
+    pub oracle: String,
+    /// The case seed — `AccessCase::from_seed(seed)` (or the oracle's
+    /// decoder) reproduces the failure in one line.
+    pub seed: u64,
+    /// Human description of the decoded case.
+    pub case: String,
+    /// What the reference computed.
+    pub expected: String,
+    /// What the optimized path computed.
+    pub actual: String,
+    /// Minimized repro, if the oracle's shrinker found one.
+    pub minimal: Option<MinimalCase>,
+}
+
+impl Divergence {
+    /// Build an un-shrunk divergence record.
+    #[must_use]
+    pub fn new(
+        oracle: &str,
+        seed: u64,
+        case: impl Into<String>,
+        expected: impl Into<String>,
+        actual: impl Into<String>,
+    ) -> Self {
+        Self {
+            oracle: oracle.to_string(),
+            seed,
+            case: case.into(),
+            expected: expected.into(),
+            actual: actual.into(),
+            minimal: None,
+        }
+    }
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] seed {:#018x}: expected {}, got {} ({})",
+            self.oracle, self.seed, self.expected, self.actual, self.case
+        )?;
+        if let Some(m) = &self.minimal {
+            write!(
+                f,
+                "; minimal repro: width={} addrs={:?} (expected {}, got {})",
+                m.width, m.addresses, m.expected, m.actual
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A differential oracle: derives one case from a seed, runs the reference
+/// and the optimized path on it, and reports any disagreement.
+///
+/// Implementations must be deterministic in `seed` — `check` on the same
+/// seed must return the same verdict forever (that is what makes every
+/// failure a one-line repro).
+pub trait Oracle {
+    /// Stable name; also keys the per-oracle seed stream, so renaming an
+    /// oracle re-rolls its cases.
+    fn name(&self) -> &'static str;
+
+    /// Run the differential case derived from `seed`.
+    ///
+    /// # Errors
+    /// Returns the [`Divergence`] when reference and optimized path
+    /// disagree.
+    // A divergence is the cold path (a bug was found); the record is
+    // deliberately self-contained, so its size off the happy path is fine.
+    #[allow(clippy::result_large_err)]
+    fn check(&mut self, seed: u64) -> Result<(), Divergence>;
+
+    /// Minimize a failing case. The default keeps the divergence as-is;
+    /// oracles over address lists plug in the ddmin-style shrinker.
+    fn shrink(&mut self, divergence: Divergence) -> Divergence {
+        divergence
+    }
+}

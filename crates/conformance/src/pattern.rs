@@ -1,0 +1,320 @@
+//! The deterministic adversarial case generator.
+//!
+//! Every differential case is derived from a single `u64` seed: the seed
+//! selects a machine width from [`WIDTH_LADDER`], a warp size, a
+//! structured access pattern ([`PatternKind`]), and the pattern's free
+//! parameters, all through one `SmallRng` stream. A failing case therefore
+//! reproduces with one line — `AccessCase::from_seed(0x…)` — on any
+//! machine, forever.
+//!
+//! The pattern families deliberately stress distinct failure modes:
+//! contiguous and stride-`s` (for every `s | w`) exercise the paper's
+//! conflict-free classes, broadcast and duplicate-heavy warps exercise
+//! CRCW merging (and the open-addressing dedup of the fast congestion
+//! path), permutations exercise all-distinct inputs, and the two random
+//! families cover in-range and full-`u64` addresses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::Permutation;
+
+/// Logical matrix coordinate `(row, column)` for the matrix-level helpers.
+pub type Coord = (u32, u32);
+
+/// The widths every oracle sweeps: all of `1..=32` (the paper's warp
+/// sizes and everything below), plus the fast-path boundary widths
+/// 33/64/127/128/129 and the wide fallback 256.
+pub const WIDTH_LADDER: &[usize] = &[
+    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
+    27, 28, 29, 30, 31, 32, 33, 64, 127, 128, 129, 256,
+];
+
+/// SplitMix64 — the seed diffuser behind every decode (public so repro
+/// scripts can reproduce derived seeds).
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed of case `index` of `oracle` under `base`. Keyed by the
+/// oracle *name* (FNV-1a), so adding or reordering oracles never shifts
+/// another oracle's case stream.
+#[must_use]
+pub fn case_seed(base: u64, oracle: &str, index: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in oracle.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    splitmix64(h ^ base.rotate_left(32) ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The structured access-pattern families of the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// `base + t`: one row of a matrix (always conflict-free).
+    Contiguous,
+    /// `base + t·s` for a divisor `s` of the width.
+    Stride(u64),
+    /// `((t + d) mod w)·w + (t mod w)`: a (shifted) matrix diagonal.
+    Diagonal,
+    /// Every lane requests the same address (pure CRCW merge).
+    Broadcast,
+    /// Lanes draw from a tiny pool of distinct addresses — stresses
+    /// duplicate merging and open-addressing probe chains.
+    DuplicateHeavy,
+    /// A random permutation of `lanes` values scaled by a stride — all
+    /// addresses pairwise distinct.
+    Permutation,
+    /// Uniform addresses inside `0..=4w²`.
+    Random,
+    /// Uniform addresses over the full `u64` range.
+    RandomHuge,
+}
+
+impl PatternKind {
+    /// Display name of the family.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PatternKind::Contiguous => "contiguous",
+            PatternKind::Stride(_) => "stride",
+            PatternKind::Diagonal => "diagonal",
+            PatternKind::Broadcast => "broadcast",
+            PatternKind::DuplicateHeavy => "duplicate-heavy",
+            PatternKind::Permutation => "permutation",
+            PatternKind::Random => "random",
+            PatternKind::RandomHuge => "random-huge",
+        }
+    }
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternKind::Stride(s) => write!(f, "stride-{s}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// One decoded warp-access case: a machine width and the flat addresses
+/// requested by one warp (possibly empty, possibly over- or under-full).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessCase {
+    /// The seed this case decodes from (the one-line repro).
+    pub seed: u64,
+    /// Machine width (number of banks).
+    pub width: usize,
+    /// The pattern family the addresses were drawn from.
+    pub pattern: PatternKind,
+    /// The per-lane flat addresses.
+    pub addresses: Vec<u64>,
+}
+
+/// All divisors of `w ≥ 1`, ascending.
+#[must_use]
+pub fn divisors(w: u64) -> Vec<u64> {
+    (1..=w).filter(|&s| w.is_multiple_of(s)).collect()
+}
+
+impl AccessCase {
+    /// Decode the case determined by `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
+        let width = WIDTH_LADDER[rng.gen_range(0..WIDTH_LADDER.len())];
+        // Mostly full warps, sometimes short, empty, or oversized ones —
+        // the fast-path dispatch keys on both width and lane count.
+        let lanes = match rng.gen_range(0..6u32) {
+            0..=2 => width,
+            3 => rng.gen_range(0..=width),
+            4 => (width * 2).min(256),
+            _ => rng.gen_range(0..=width.min(4)),
+        };
+        let w = width as u64;
+        let area = w * w;
+        let (pattern, addresses) = match rng.gen_range(0..8u32) {
+            0 => {
+                let base = rng.gen_range(0..=area);
+                (
+                    PatternKind::Contiguous,
+                    (0..lanes as u64).map(|t| base + t).collect(),
+                )
+            }
+            1 => {
+                let ds = divisors(w);
+                let s = ds[rng.gen_range(0..ds.len())];
+                let base = rng.gen_range(0..=area);
+                (
+                    PatternKind::Stride(s),
+                    (0..lanes as u64).map(|t| base + t * s).collect(),
+                )
+            }
+            2 => {
+                let d = rng.gen_range(0..w);
+                (
+                    PatternKind::Diagonal,
+                    (0..lanes as u64)
+                        .map(|t| ((t + d) % w) * w + (t % w))
+                        .collect(),
+                )
+            }
+            3 => {
+                let x = rng.gen_range(0..=2 * area);
+                (PatternKind::Broadcast, vec![x; lanes])
+            }
+            4 => {
+                let pool_len = rng.gen_range(1..=(lanes / 3).max(1));
+                let pool: Vec<u64> = (0..pool_len).map(|_| rng.gen_range(0..=2 * area)).collect();
+                (
+                    PatternKind::DuplicateHeavy,
+                    (0..lanes)
+                        .map(|_| pool[rng.gen_range(0..pool_len)])
+                        .collect(),
+                )
+            }
+            5 => {
+                if lanes == 0 {
+                    (PatternKind::Permutation, Vec::new())
+                } else {
+                    let p = Permutation::random(&mut rng, lanes);
+                    let stride = rng.gen_range(1..=w);
+                    let base = rng.gen_range(0..=area);
+                    (
+                        PatternKind::Permutation,
+                        (0..lanes as u32)
+                            .map(|t| base + u64::from(p.apply(t)) * stride)
+                            .collect(),
+                    )
+                }
+            }
+            6 => (
+                PatternKind::Random,
+                (0..lanes).map(|_| rng.gen_range(0..=4 * area)).collect(),
+            ),
+            _ => (
+                PatternKind::RandomHuge,
+                (0..lanes).map(|_| rng.gen()).collect(),
+            ),
+        };
+        Self {
+            seed,
+            width,
+            pattern,
+            addresses,
+        }
+    }
+
+    /// One-line human description, suitable for a failure report.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let shown: Vec<u64> = self.addresses.iter().copied().take(16).collect();
+        let ellipsis = if self.addresses.len() > 16 {
+            ", …"
+        } else {
+            ""
+        };
+        format!(
+            "seed={:#018x} width={} lanes={} pattern={} addrs={:?}{}",
+            self.seed,
+            self.width,
+            self.addresses.len(),
+            self.pattern,
+            shown,
+            ellipsis
+        )
+    }
+}
+
+/// Contiguous (row) warps of a `w × w` matrix at **any** width — one warp
+/// per row, thread `j` of warp `r` reads `A[r][j]`.
+#[must_use]
+pub fn contiguous_warps(w: usize) -> Vec<Vec<Coord>> {
+    let wu = w as u32;
+    (0..wu).map(|r| (0..wu).map(|j| (r, j)).collect()).collect()
+}
+
+/// Stride (column) warps of a `w × w` matrix at **any** width — one warp
+/// per column, thread `i` of warp `c` reads `A[i][c]`.
+#[must_use]
+pub fn stride_warps(w: usize) -> Vec<Vec<Coord>> {
+    let wu = w as u32;
+    (0..wu).map(|c| (0..wu).map(|i| (i, c)).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_is_deterministic() {
+        for s in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(AccessCase::from_seed(s), AccessCase::from_seed(s));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_usually_differ() {
+        let a = AccessCase::from_seed(1);
+        let b = AccessCase::from_seed(2);
+        assert!(a.width != b.width || a.addresses != b.addresses || a.pattern != b.pattern);
+    }
+
+    #[test]
+    fn widths_come_from_the_ladder() {
+        for s in 0..500u64 {
+            let c = AccessCase::from_seed(s);
+            assert!(WIDTH_LADDER.contains(&c.width), "{}", c.describe());
+            assert!(c.addresses.len() <= 512);
+        }
+    }
+
+    #[test]
+    fn all_families_are_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..2000u64 {
+            seen.insert(AccessCase::from_seed(s).pattern.name());
+        }
+        assert_eq!(seen.len(), 8, "families seen: {seen:?}");
+    }
+
+    #[test]
+    fn stride_parameter_divides_width() {
+        for s in 0..2000u64 {
+            let c = AccessCase::from_seed(s);
+            if let PatternKind::Stride(step) = c.pattern {
+                assert_eq!(c.width as u64 % step, 0, "{}", c.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn divisor_lists() {
+        assert_eq!(divisors(1), vec![1]);
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(127), vec![1, 127]); // prime boundary width
+    }
+
+    #[test]
+    fn case_seed_is_oracle_keyed() {
+        assert_ne!(case_seed(1, "a", 0), case_seed(1, "b", 0));
+        assert_ne!(case_seed(1, "a", 0), case_seed(1, "a", 1));
+        assert_ne!(case_seed(1, "a", 0), case_seed(2, "a", 0));
+        assert_eq!(case_seed(7, "x", 3), case_seed(7, "x", 3));
+    }
+
+    #[test]
+    fn matrix_warps_cover_all_widths() {
+        for w in [1usize, 3, 5, 31, 33] {
+            let c = contiguous_warps(w);
+            let s = stride_warps(w);
+            assert_eq!(c.len(), w);
+            assert_eq!(s.len(), w);
+            assert!(c.iter().chain(&s).all(|warp| warp.len() == w));
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Independent naive reference implementations.
+//!
+//! Every oracle compares an optimized path against one of these. They are
+//! written with *different algorithms and data structures* than any
+//! production path (hash maps instead of sorting or open addressing), so
+//! a shared bug cannot hide on both sides of a comparison.
+
+use std::collections::{HashMap, HashSet};
+
+/// Congestion of one warp access: the maximum, over banks, of the number
+/// of *distinct* addresses (CRCW merge) mapping to that bank.
+///
+/// # Panics
+/// Panics if `width == 0`.
+#[must_use]
+pub fn naive_congestion(width: usize, addresses: &[u64]) -> u32 {
+    naive_bank_loads(width, addresses)
+        .into_values()
+        .max()
+        .unwrap_or(0)
+}
+
+/// Per-bank distinct-address counts (only banks with load ≥ 1 appear).
+///
+/// # Panics
+/// Panics if `width == 0`.
+#[must_use]
+pub fn naive_bank_loads(width: usize, addresses: &[u64]) -> HashMap<u32, u32> {
+    assert!(width > 0, "machine width must be positive");
+    let unique: HashSet<u64> = addresses.iter().copied().collect();
+    let mut loads: HashMap<u32, u32> = HashMap::new();
+    for a in unique {
+        *loads.entry((a % width as u64) as u32).or_insert(0) += 1;
+    }
+    loads
+}
+
+/// Number of distinct addresses after CRCW merging.
+#[must_use]
+pub fn naive_unique_requests(addresses: &[u64]) -> usize {
+    addresses.iter().copied().collect::<HashSet<u64>>().len()
+}
+
+/// Number of distinct memory rows (`address / width`) touched — the UMM
+/// stage count of one merged warp access.
+///
+/// # Panics
+/// Panics if `width == 0`.
+#[must_use]
+pub fn naive_distinct_rows(width: usize, addresses: &[u64]) -> u32 {
+    assert!(width > 0, "machine width must be positive");
+    let rows: HashSet<u64> = addresses.iter().map(|&a| a / width as u64).collect();
+    rows.len() as u32
+}
+
+/// Out-of-place transpose of a row-major `w × w` matrix — the reference
+/// every transpose algorithm must match.
+///
+/// # Panics
+/// Panics if `data.len() != w²`.
+#[must_use]
+pub fn naive_transpose(w: usize, data: &[u64]) -> Vec<u64> {
+    assert_eq!(data.len(), w * w, "matrix data must have w² elements");
+    let mut out = vec![0u64; w * w];
+    for i in 0..w {
+        for j in 0..w {
+            out[j * w + i] = data[i * w + j];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congestion_paper_figure2() {
+        assert_eq!(naive_congestion(4, &[0, 5, 10, 15]), 1);
+        assert_eq!(naive_congestion(4, &[0, 4, 8, 12]), 4);
+        assert_eq!(naive_congestion(4, &[7, 7, 7, 7]), 1);
+        assert_eq!(naive_congestion(4, &[]), 0);
+    }
+
+    #[test]
+    fn rows_and_uniques() {
+        assert_eq!(naive_distinct_rows(4, &[0, 1, 2, 3]), 1);
+        assert_eq!(naive_distinct_rows(4, &[0, 5, 10, 15]), 4);
+        assert_eq!(naive_unique_requests(&[9, 9, 9, 2]), 2);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let data: Vec<u64> = (0..25).collect();
+        assert_eq!(naive_transpose(5, &naive_transpose(5, &data)), data);
+        assert_eq!(naive_transpose(2, &[1, 2, 3, 4]), vec![1, 3, 2, 4]);
+    }
+}

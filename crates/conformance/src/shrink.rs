@@ -1,0 +1,126 @@
+//! Greedy shrinking of failing `(width, addresses)` cases.
+//!
+//! Given a failing case and a predicate that re-runs the differential
+//! check, the shrinker minimizes in three interleaved directions until a
+//! fixpoint: drop lanes, descend the width ladder, and reduce address
+//! values toward zero. Every accepted step strictly decreases the measure
+//! `(lane count, width, Σ addresses)`, so the loop terminates; a pass cap
+//! guards against pathological predicates anyway.
+
+use crate::pattern::WIDTH_LADDER;
+
+/// Maximum full passes before giving up (each pass must shrink something
+/// to continue, so this is a safety net, not a tuning knob).
+const MAX_PASSES: usize = 64;
+
+/// Minimize a failing case. `fails(width, addresses)` must return `true`
+/// for the input case; the returned case also satisfies it and is
+/// pointwise no larger.
+pub fn shrink_case(
+    width: usize,
+    addresses: &[u64],
+    fails: &mut dyn FnMut(usize, &[u64]) -> bool,
+) -> (usize, Vec<u64>) {
+    let mut w = width;
+    let mut addrs = addresses.to_vec();
+    for _ in 0..MAX_PASSES {
+        let mut changed = false;
+
+        // 1. Drop lanes, one at a time (back to front so indices hold).
+        let mut i = addrs.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = addrs.clone();
+            candidate.remove(i);
+            if fails(w, &candidate) {
+                addrs = candidate;
+                changed = true;
+            }
+        }
+
+        // 2. Descend the width ladder, greedily to the smallest width
+        //    that still fails.
+        for &cand_w in WIDTH_LADDER.iter().filter(|&&c| c < w) {
+            if fails(cand_w, &addrs) {
+                w = cand_w;
+                changed = true;
+                break;
+            }
+        }
+
+        // 3. Reduce address values (zero, bank residue, halving, minus 1).
+        for i in 0..addrs.len() {
+            let a = addrs[i];
+            for cand_v in [0, a % w as u64, a / 2, a.saturating_sub(1)] {
+                if cand_v < a {
+                    let mut candidate = addrs.clone();
+                    candidate[i] = cand_v;
+                    if fails(w, &candidate) {
+                        addrs = candidate;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 4. Global value reduction: map every address at once (to its
+        //    bank residue, then to zero). Catches witnesses like a
+        //    duplicate pair, where changing one element at a time breaks
+        //    the failure but changing all together preserves it.
+        let sum: u64 = addrs.iter().sum();
+        for global in [
+            addrs.iter().map(|&a| a % w as u64).collect::<Vec<u64>>(),
+            vec![0; addrs.len()],
+        ] {
+            if global.iter().sum::<u64>() < sum && fails(w, &global) {
+                addrs = global;
+                changed = true;
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    (w, addrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_duplicate_witness_to_two_lanes() {
+        // Predicate: fails whenever the list contains a duplicate —
+        // the signature of a CRCW-dedup bug.
+        let addrs: Vec<u64> = vec![90, 17, 17, 3, 90, 55, 17];
+        let (w, min) = shrink_case(128, &addrs, &mut |_, a| {
+            let set: std::collections::HashSet<u64> = a.iter().copied().collect();
+            set.len() < a.len()
+        });
+        assert_eq!(w, 1, "width should reach the ladder floor");
+        assert_eq!(min, vec![0, 0], "two equal zeros are the minimal duplicate");
+    }
+
+    #[test]
+    fn shrinks_same_bank_pair() {
+        // Fails when two distinct addresses share bank 0.
+        let addrs: Vec<u64> = vec![7, 64, 128, 3, 192];
+        let (w, min) = shrink_case(64, &addrs, &mut |w, a| {
+            let distinct: std::collections::HashSet<u64> = a.iter().copied().collect();
+            distinct.len() >= 2 && distinct.iter().filter(|&&x| x % w as u64 == 0).count() >= 2
+        });
+        assert!(min.len() == 2, "minimal witness is a pair, got {min:?}");
+        assert!(w <= 64);
+    }
+
+    #[test]
+    fn input_must_fail_is_preserved() {
+        // A predicate failing on everything shrinks to the empty case at
+        // width 1 — the global minimum of the measure.
+        let (w, min) = shrink_case(256, &[5, 9], &mut |_, _| true);
+        assert_eq!((w, min), (1, vec![]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Oracle for the transpose algorithms: every `TransposeKind` under every
+//! mapping scheme against the naive out-of-place transpose, plus the
+//! stage-count and closed-form timing cross-checks.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::reference::{naive_congestion, naive_transpose};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_core::mapping::{MatrixMapping, RowShift, Scheme};
+use rap_core::modern::{Padded, XorSwizzle};
+use rap_dmm::{BankedMemory, Dmm, Machine, Program};
+use rap_transpose::{
+    load_matrix, raw_crsw_time, raw_drdw_time, store_matrix, transpose_program, TransposeKind,
+};
+
+use crate::pattern::splitmix64;
+
+/// Widths for the end-to-end sweep (`w²` threads per case).
+const WIDTHS: &[usize] = &[1, 2, 3, 4, 5, 6, 7, 8, 12, 15, 16, 17, 24, 31, 32];
+
+/// End-to-end differential check of one transpose execution per seed:
+///
+/// * store → execute → load must equal the naive out-of-place transpose
+///   (computed with plain index arithmetic, no mapping involved);
+/// * the machine's `total_stages` must equal the sum of the naive per-warp
+///   congestions of the program's own address trace;
+/// * under RAW with `l ≤ w`, `cycles` must match the Lemma-1 closed forms
+///   (`w² + w + l − 1` for CRSW/SRCW, `2w + l − 1` for DRDW).
+#[derive(Debug, Default)]
+pub struct TransposeOracle;
+
+impl TransposeOracle {
+    /// Independent stage-count prediction from the program's address trace.
+    fn predicted_stages<T: Copy>(width: usize, program: &Program<T>) -> u64 {
+        let mut total = 0u64;
+        for phase in program.phases() {
+            for warp_ops in phase.ops.chunks(width) {
+                let addrs: Vec<u64> = warp_ops
+                    .iter()
+                    .flatten()
+                    .map(rap_dmm::MemOp::address)
+                    .collect();
+                total += u64::from(naive_congestion(width, &addrs));
+            }
+        }
+        total
+    }
+}
+
+impl Oracle for TransposeOracle {
+    fn name(&self) -> &'static str {
+        "transpose:vs-naive"
+    }
+
+    #[allow(clippy::too_many_lines)] // one linear checklist, clearer unsplit
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ 0x7a05_e00f_1234_8899));
+        let width = WIDTHS[rng.gen_range(0..WIDTHS.len())];
+        let kind = TransposeKind::all()[rng.gen_range(0..3)];
+        let scheme = Scheme::extended()[rng.gen_range(0..Scheme::extended().len())];
+        // XOR requires a power-of-two width ≥ 2; fall back to RAP.
+        let scheme = if scheme == Scheme::Xor && (width < 2 || !width.is_power_of_two()) {
+            Scheme::Rap
+        } else {
+            scheme
+        };
+        let mapping: Box<dyn MatrixMapping> = match scheme {
+            Scheme::Xor => Box::new(XorSwizzle::new(width).expect("pow2 width")),
+            Scheme::Padded => Box::new(Padded::new(width).expect("positive width")),
+            _ => Box::new(RowShift::of_scheme(scheme, &mut rng, width)),
+        };
+        let latency = rng.gen_range(1..=(width as u64).min(8));
+        let describe = |what: &str| {
+            format!("kind={kind} scheme={scheme} width={width} l={latency} check={what}")
+        };
+
+        // End-to-end data movement, checked against the naive transpose.
+        let data: Vec<u64> = (0..width * width)
+            .map(|_| rng.gen_range(0..1_000_000u64))
+            .collect();
+        let storage = mapping.storage_words();
+        let mut memory: BankedMemory<u64> = BankedMemory::new(width, 2 * storage);
+        store_matrix(&mut memory, mapping.as_ref(), 0, &data);
+        let program = transpose_program::<u64>(kind, mapping.as_ref(), 0, storage as u64);
+        let machine: Dmm = Machine::new(width, latency);
+        let report = machine.execute(&program, &mut memory);
+        let out = load_matrix(&memory, mapping.as_ref(), storage as u64);
+        let expected = naive_transpose(width, &data);
+        if out != expected {
+            let wrong = out
+                .iter()
+                .zip(&expected)
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                describe("data"),
+                format!("b[{wrong}] = {}", expected[wrong]),
+                format!("b[{wrong}] = {}", out[wrong]),
+            ));
+        }
+
+        // Stage accounting against the naive per-warp congestion sum.
+        let predicted = Self::predicted_stages(width, &program);
+        if report.total_stages != predicted {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                describe("stages"),
+                format!("{predicted} stages"),
+                format!("{} stages", report.total_stages),
+            ));
+        }
+
+        // Closed-form times under RAW (Lemma 1 exact forms, valid l ≤ w).
+        if scheme == Scheme::Raw && latency <= width as u64 {
+            let closed = match kind {
+                TransposeKind::Crsw | TransposeKind::Srcw => raw_crsw_time(width as u64, latency),
+                TransposeKind::Drdw => raw_drdw_time(width as u64, latency),
+            };
+            if report.cycles != closed {
+                return Err(Divergence::new(
+                    self.name(),
+                    seed,
+                    describe("closed-form"),
+                    format!("{closed} cycles"),
+                    format!("{} cycles", report.cycles),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::case_seed;
+
+    #[test]
+    fn transpose_oracle_passes_a_sample() {
+        let mut oracle = TransposeOracle;
+        for i in 0..80 {
+            let s = case_seed(5, oracle.name(), i);
+            assert!(oracle.check(s).is_ok(), "seed {s:#x}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Boundary-width regression tests for the congestion kernels.
+//!
+//! The fast-path dispatch has two handoffs — `width ≤ 64 && len ≤ 64`
+//! (128-slot stack table), `width ≤ 128 && len ≤ 128` (256-slot table),
+//! then the allocating general path — so widths and lane counts 63/64/65
+//! and 127/128/129 are exactly where a dispatch or table-sizing bug would
+//! live. These tests pin the handoff against the allocating
+//! `BankLoads::analyze` reference, with duplicate-heavy warps that stress
+//! the open-addressing CRCW dedup at maximum table occupancy.
+
+use rap_core::congestion::{congestion, CongestionScratch};
+use rap_core::BankLoads;
+
+/// Deterministic pseudo-random address stream (splitmix-style) so the
+/// cases reproduce without a RNG dependency.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A warp of `len` addresses drawn from a pool of `pool` distinct values
+/// (small pools force heavy CRCW merging).
+fn duplicate_heavy(seed: u64, len: usize, pool: u64) -> Vec<u64> {
+    (0..len as u64)
+        .map(|i| mix(seed ^ i) % pool.max(1))
+        .collect()
+}
+
+const BOUNDARY_WIDTHS: [usize; 8] = [63, 64, 65, 126, 127, 128, 129, 130];
+const BOUNDARY_LENS: [usize; 9] = [0, 1, 63, 64, 65, 127, 128, 129, 256];
+
+/// Every (width, len) combination straddling both handoffs must agree
+/// with the allocating reference on all three public entry points.
+#[test]
+fn boundary_handoff_matches_reference() {
+    let mut scratch = CongestionScratch::new();
+    for &width in &BOUNDARY_WIDTHS {
+        for &len in &BOUNDARY_LENS {
+            for pool in [1u64, 2, 7, width as u64, 4 * width as u64, u64::MAX] {
+                let addrs = duplicate_heavy(width as u64 * 1000 + len as u64, len, pool);
+                let reference = BankLoads::analyze(width, &addrs).congestion();
+                assert_eq!(
+                    congestion(width, &addrs),
+                    reference,
+                    "free fn at width={width} len={len} pool={pool}"
+                );
+                assert_eq!(
+                    scratch.congestion(width, &addrs),
+                    reference,
+                    "scratch at width={width} len={len} pool={pool}"
+                );
+            }
+        }
+    }
+}
+
+/// The 256-slot table at len = 128 is exactly half full — the tightest
+/// occupancy the ≤128 fast path ever sees. All-distinct addresses force
+/// the longest probe chains; all-equal addresses force the most merges.
+#[test]
+fn table_half_full_extremes() {
+    let mut scratch = CongestionScratch::new();
+    for width in [127usize, 128] {
+        // 128 pairwise-distinct addresses in one bank: congestion 128.
+        let one_bank: Vec<u64> = (0..128u64).map(|i| i * width as u64).collect();
+        assert_eq!(scratch.congestion(width, &one_bank), 128);
+        assert_eq!(congestion(width, &one_bank), 128);
+
+        // 128 copies of one address: a single merged request.
+        let broadcast = vec![42u64; 128];
+        assert_eq!(scratch.congestion(width, &broadcast), 1);
+
+        // 64 distinct values each appearing twice: per-bank loads must
+        // count each value once.
+        let pairs: Vec<u64> = (0..64u64)
+            .flat_map(|i| [i * width as u64, i * width as u64])
+            .collect();
+        assert_eq!(scratch.congestion(width, &pairs), 64);
+    }
+}
+
+/// One lane past each handoff (len 65 at width ≤ 64, len 129 at width
+/// ≤ 128) must route to the next path and still match the reference.
+#[test]
+fn one_past_the_table_boundary() {
+    let mut scratch = CongestionScratch::new();
+    for (width, len) in [(64usize, 65usize), (33, 65), (128, 129), (65, 129)] {
+        let addrs = duplicate_heavy(9000 + width as u64, len, 3 * width as u64);
+        let reference = BankLoads::analyze(width, &addrs).congestion();
+        assert_eq!(
+            scratch.congestion(width, &addrs),
+            reference,
+            "width={width} len={len}"
+        );
+        assert_eq!(congestion(width, &addrs), reference);
+    }
+}
+
+/// Interleaving widths across calls must not leak state between the
+/// stack paths and the reused heap buffers of the general path.
+#[test]
+fn scratch_reuse_across_width_changes() {
+    let mut scratch = CongestionScratch::new();
+    let widths = [129usize, 4, 256, 64, 130, 1, 127, 128, 65];
+    for round in 0..8u64 {
+        for &width in &widths {
+            for len in [width / 2, width, 2 * width] {
+                let addrs = duplicate_heavy(round * 31 + width as u64, len, 2 * width as u64 + 1);
+                assert_eq!(
+                    scratch.congestion(width, &addrs),
+                    BankLoads::analyze(width, &addrs).congestion(),
+                    "round={round} width={width} len={len}"
+                );
+            }
+        }
+    }
+}

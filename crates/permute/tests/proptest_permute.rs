@@ -92,6 +92,58 @@ proptest! {
         prop_assert!(seen.iter().all(|&a| a < n));
     }
 
+    /// Each schedule is itself a valid permutation of the sources: the
+    /// concatenated rounds visit every address exactly once, and replaying
+    /// the rounds move-by-move realizes `dst[π(t)] = src[t]`.
+    #[test]
+    fn schedule_rounds_realize_the_permutation(
+        seed in any::<u64>(), w in 1usize..13, k in 1usize..9
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = w * k;
+        let pi = Permutation::random(&mut rng, n);
+        let s = Schedule::conflict_free(w, &pi).unwrap();
+
+        let flat: Vec<u32> = (0..s.num_rounds()).flat_map(|r| s.round(r).to_vec()).collect();
+        prop_assert!(Permutation::from_table(flat).is_ok(), "rounds must be a permutation");
+
+        let src: Vec<u64> = (0..n as u64).map(|x| x.wrapping_mul(0x1234_5677) ^ seed).collect();
+        let mut dst = vec![u64::MAX; n];
+        for r in 0..s.num_rounds() {
+            for &t in s.round(r) {
+                dst[pi.apply(t) as usize] = src[t as usize];
+            }
+        }
+        for t in 0..n {
+            prop_assert_eq!(dst[pi.apply(t as u32) as usize], src[t]);
+        }
+    }
+
+    /// Conjugating an arbitrary permutation by the RAP layout
+    /// (`π′ = σ ∘ π ∘ σ⁻¹` with `σ` the physical address map) keeps rows
+    /// intact, so the conjugate is still schedulable and its schedule is
+    /// still conflict-free — at ANY width, power of two or not.
+    #[test]
+    fn rap_conjugated_permutation_stays_schedulable(
+        seed in any::<u64>(), w in 1usize..14, k in 1usize..8
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = w * k;
+        let pi = Permutation::random(&mut rng, n);
+        let m = RapArrayMapping::random(&mut rng, w);
+        // Physical-space view of π: word at physical σ(t) must move to
+        // physical σ(π(t)).
+        let mut table = vec![0u32; n];
+        for t in 0..n as u64 {
+            table[usize::try_from(m.map(t)).unwrap()] =
+                u32::try_from(m.map(u64::from(pi.apply(t as u32)))).unwrap();
+        }
+        let conjugate = Permutation::from_table(table).unwrap();
+        let s = Schedule::conflict_free(w, &conjugate).unwrap();
+        prop_assert_eq!(s.num_rounds(), k);
+        prop_assert!(s.is_conflict_free(&conjugate));
+    }
+
     /// The conflict-free strategy is never slower than direct execution.
     #[test]
     fn coloring_is_never_worse(seed in any::<u64>(), w in 2usize..10, k in 1usize..6) {

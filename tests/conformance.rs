@@ -1,0 +1,112 @@
+//! The conformance gate: the bounded differential suite must be clean,
+//! deterministic, and demonstrably able to catch (and shrink) real bugs.
+//!
+//! Run with `cargo test -q conformance`. Reproduce any reported failure
+//! with `rap_conformance::AccessCase::from_seed(<seed>)`.
+
+use rap_conformance::{
+    AccessCase, Harness, KernelOracle, NoDedupMutant, Oracle, WrongModulusMutant,
+};
+
+/// The ICPP publication year — the suite's fixed base seed.
+const BASE_SEED: u64 = 2014;
+
+/// The bounded suite: ≥ 10 000 differential cases across ≥ 6 oracle
+/// pairs, zero divergences, zero shrink panics.
+#[test]
+fn conformance_bounded_suite_is_clean() {
+    let report = Harness::bounded().run(BASE_SEED);
+    assert!(
+        report.cases_run >= 10_000,
+        "suite must run at least 10k cases, ran {}",
+        report.cases_run
+    );
+    assert!(
+        report.oracle_pairs >= 6,
+        "suite must span at least 6 oracle pairs, has {}",
+        report.oracle_pairs
+    );
+    assert!(
+        report.is_clean(),
+        "conformance failures:\n{}\n{}",
+        report.summary(),
+        report
+            .divergences
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Two runs from the same base seed must serialize identically — the
+/// report carries no timestamps, and every case derives from the seed.
+#[test]
+fn conformance_is_deterministic() {
+    let a = Harness::bounded().run(BASE_SEED);
+    let b = Harness::bounded().run(BASE_SEED);
+    let ja = serde_json::to_string(&a).expect("report serializes");
+    let jb = serde_json::to_string(&b).expect("report serializes");
+    assert_eq!(ja, jb, "same base seed must yield an identical report");
+}
+
+/// A factory producing a fresh copy of a (deliberately broken) oracle.
+type MutantFactory = Box<dyn Fn() -> Box<dyn Oracle>>;
+
+/// Mutation check (EXPERIMENTS.md, experiment CONF): deliberately broken
+/// kernels must be caught within the bounded budget and shrunk to a
+/// minimal repro whose seed reproduces the failure on a fresh oracle.
+#[test]
+fn conformance_catches_mutant_kernels() {
+    let mutants: [(&'static str, MutantFactory); 2] = [
+        (
+            "mutant:no-dedup",
+            Box::new(|| Box::new(KernelOracle::new("mutant:no-dedup", NoDedupMutant))),
+        ),
+        (
+            "mutant:wrong-modulus",
+            Box::new(|| {
+                Box::new(KernelOracle::new(
+                    "mutant:wrong-modulus",
+                    WrongModulusMutant,
+                ))
+            }),
+        ),
+    ];
+    for (name, make) in &mutants {
+        let mut harness = Harness::new();
+        harness.push(make(), 1000);
+        let report = harness.run(BASE_SEED);
+        assert!(!report.is_clean(), "{name} must be caught");
+        assert_eq!(report.shrink_panics, 0, "{name} shrinking must not panic");
+        assert!(report.oracles[0].divergences > 0, "{name} divergence count");
+
+        let divergence = &report.divergences[0];
+        let minimal = divergence
+            .minimal
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name} must be shrunk"));
+        assert!(
+            minimal.addresses.len() <= 2,
+            "{name} minimal repro should be at most a pair, got {:?}",
+            minimal.addresses
+        );
+        assert!(
+            minimal.width <= 2,
+            "{name} minimal width should reach the ladder floor, got {}",
+            minimal.width
+        );
+        assert_ne!(minimal.expected, minimal.actual, "{name} still diverges");
+
+        // The recorded seed is a standalone repro: decoding it and
+        // re-checking on a fresh oracle reproduces the divergence.
+        let case = AccessCase::from_seed(divergence.seed);
+        assert_eq!(case.seed, divergence.seed);
+        let mut fresh = make();
+        assert!(
+            fresh.check(divergence.seed).is_err(),
+            "{name} seed {:#x} must reproduce",
+            divergence.seed
+        );
+    }
+}
