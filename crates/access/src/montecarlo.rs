@@ -11,7 +11,7 @@
 //! Trials are independent by construction — trial `t` draws its entire
 //! random stream from `domain.child(..).rng(t)` — so the estimators run
 //! trials in parallel. To keep the estimate **invariant to the worker
-//! count**, trials are grouped into fixed blocks of [`TRIALS_PER_BLOCK`]:
+//! count**, trials are grouped into fixed blocks of `TRIALS_PER_BLOCK`:
 //! each block is evaluated serially into its own [`OnlineStats`] (with one
 //! reused [`AccessScratch`], so the hot loop allocates nothing), the blocks
 //! are mapped in parallel, and the per-block accumulators are merged in

@@ -1,0 +1,169 @@
+//! Closed-form congestion lemmas for the classic stride families.
+//!
+//! The prover in [`crate::engine`] computes bounds for arbitrary cell
+//! sets; the functions here are the pencil-and-paper answers for the
+//! stride families the paper discusses, used to cross-check the prover
+//! and to phrase lint messages.
+//!
+//! The honest version of the paper's stride story, as certified by
+//! [`crate::theorems::certify_theorem2`]:
+//!
+//! * under RAW, a flat stride-`s` warp has congestion `⌈L / p⌉` with
+//!   `p = w / gcd(s, w)` — the textbook gcd law;
+//! * under RAP, a full-warp flat dividing stride `s | w` has adversarial
+//!   maximum **exactly** `min(s, w/s)`, so it is conflict-free for
+//!   *every* σ iff `s ∈ {1, w}`. The endpoints are the paper's two
+//!   certified families — contiguous (`s = 1`) and column (`s = w`,
+//!   Theorem 2) — while intermediate dividing strides can still collide
+//!   under an adversarial σ (w = 4, s = 2, σ₀ = 0, σ₁ = 2 sends cells
+//!   (0,0),(0,2),(1,0),(1,2) to banks 0,2,2,0).
+
+/// Greatest common divisor (Euclid); `gcd(0, 0) = 0`.
+#[must_use]
+pub const fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// RAW congestion of a flat stride-`s` warp of `lanes` lanes: the banks
+/// visited cycle with period `p = w / gcd(s, w)`, so the hottest bank
+/// receives `⌈lanes / p⌉` requests (`1` for `s = 0`: a broadcast merges).
+///
+/// # Panics
+/// If `width == 0`.
+#[must_use]
+pub fn raw_flat_stride_congestion(width: usize, stride: u64, lanes: usize) -> u32 {
+    assert!(width > 0, "machine width must be positive");
+    if lanes == 0 {
+        return 0;
+    }
+    if stride == 0 {
+        return 1;
+    }
+    let w = width as u64;
+    let period = w / gcd(stride, w);
+    (lanes as u64).div_ceil(period) as u32
+}
+
+/// Adversarial RAP maximum for a full-warp (`w` lanes, offset 0) flat
+/// dividing stride `s | w`: exactly `min(s, w/s)`.
+///
+/// The warp touches rows `0..s`, each at the `w/s` columns that are
+/// multiples of `s`; each row's compatible shift-value set is closed
+/// under that structure, and the maximum row/value matching has size
+/// `min(s, w/s)` (limited by rows when `s ≤ w/s`, by distinct columns
+/// per row otherwise).
+///
+/// # Panics
+/// If `width == 0`, `stride == 0`, or `stride` does not divide `width`.
+#[must_use]
+pub fn rap_dividing_stride_max(width: usize, stride: u64) -> u32 {
+    assert!(width > 0, "machine width must be positive");
+    let w = width as u64;
+    assert!(
+        stride > 0 && w.is_multiple_of(stride),
+        "stride must be a positive divisor of the width"
+    );
+    stride.min(w / stride) as u32
+}
+
+/// Whether a full-warp flat dividing stride is conflict-free for
+/// **every** RAP permutation: exactly the endpoints `s = 1` (contiguous)
+/// and `s = w` (column, Theorem 2).
+///
+/// # Panics
+/// If `width == 0`, `stride == 0`, or `stride` does not divide `width`.
+#[must_use]
+pub fn rap_stride_conflict_free_for_all(width: usize, stride: u64) -> bool {
+    rap_dividing_stride_max(width, stride) <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Prover;
+    use crate::ir::AffineWarp;
+    use rap_core::Scheme;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 8), 4);
+        assert_eq!(gcd(7, 32), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(0, 0), 0);
+    }
+
+    #[test]
+    fn raw_law_matches_prover_on_dividing_strides() {
+        for w in [1usize, 2, 4, 6, 8, 12, 16, 32] {
+            let p = Prover::new(w).unwrap();
+            for s in 1..=w as u64 {
+                if !(w as u64).is_multiple_of(s) {
+                    continue;
+                }
+                let a = p
+                    .analyze(&AffineWarp::flat_stride(s, 0, w), Scheme::Raw)
+                    .unwrap();
+                assert_eq!(a.hi, raw_flat_stride_congestion(w, s, w), "w={w} s={s}");
+                assert!(a.exact());
+            }
+        }
+    }
+
+    #[test]
+    fn raw_law_handles_degenerate_inputs() {
+        assert_eq!(raw_flat_stride_congestion(8, 3, 0), 0);
+        assert_eq!(raw_flat_stride_congestion(8, 0, 32), 1);
+        assert_eq!(raw_flat_stride_congestion(8, 8, 8), 8, "stride w: one bank");
+        assert_eq!(raw_flat_stride_congestion(8, 1, 8), 1, "contiguous");
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn raw_law_rejects_zero_width() {
+        let _ = raw_flat_stride_congestion(0, 1, 1);
+    }
+
+    #[test]
+    fn rap_dividing_stride_law_matches_prover() {
+        for w in [1usize, 2, 4, 6, 8, 12, 16, 24, 32] {
+            let p = Prover::new(w).unwrap();
+            for s in 1..=w as u64 {
+                if !(w as u64).is_multiple_of(s) {
+                    continue;
+                }
+                let a = p
+                    .analyze(&AffineWarp::flat_stride(s, 0, w), Scheme::Rap)
+                    .unwrap();
+                assert_eq!(a.hi, rap_dividing_stride_max(w, s), "w={w} s={s}: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_endpoint_strides_are_cf_for_all_sigma() {
+        for w in [4usize, 8, 12, 16, 32] {
+            for s in 1..=w as u64 {
+                if !(w as u64).is_multiple_of(s) {
+                    continue;
+                }
+                assert_eq!(
+                    rap_stride_conflict_free_for_all(w, s),
+                    s == 1 || s == w as u64,
+                    "w={w} s={s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive divisor")]
+    fn rap_law_rejects_non_dividing_stride() {
+        let _ = rap_dividing_stride_max(8, 3);
+    }
+}

@@ -1,0 +1,655 @@
+//! Access-plan lint: walk the declared access plans of the transpose
+//! algorithms and the application kernels, prove their congestion
+//! properties statically, and emit structured diagnostics.
+//!
+//! Each [`Diagnostic`] carries a stable rule ID, a severity, the scheme
+//! it quantifies over, the offending (or certified) affine form, the
+//! proven `[lo, hi]` interval, and — when a conflict is provable — a
+//! minimal witness warp from the prover. Reports render in the style of
+//! `rap-core::diagnostics` and serialize to machine-readable JSON.
+//!
+//! Rule catalogue:
+//!
+//! | rule       | severity | meaning                                            |
+//! |------------|----------|----------------------------------------------------|
+//! | `RAP-E001` | error    | a lane's request leaves the `w × w` matrix          |
+//! | `RAP-E002` | error    | declared affine form ≠ implemented access           |
+//! | `RAP-W001` | warning  | conflicts under **every** instantiation (`lo > 1`) |
+//! | `RAP-W002` | warning  | may conflict under an adversarial instantiation    |
+//! | `RAP-I001` | info     | proven conflict-free for every instantiation       |
+//! | `RAP-N001` | note     | data-dependent access — static bounds only         |
+
+use crate::engine::{Analysis, Prover, Witness};
+use crate::ir::{AffineForm, AffineWarp, AnalyzeError, Axis};
+use rap_apps::IndexDistribution;
+use rap_core::{theory, Scheme};
+use rap_transpose::TransposeKind;
+use serde::{Deserialize, Serialize};
+
+/// Lane request leaves the logical matrix.
+pub const RULE_OUT_OF_DOMAIN: &str = "RAP-E001";
+/// Declared affine form disagrees with the implemented access.
+pub const RULE_FORM_MISMATCH: &str = "RAP-E002";
+/// Conflicts under every instantiation.
+pub const RULE_ALWAYS_CONFLICTS: &str = "RAP-W001";
+/// May conflict under an adversarial instantiation.
+pub const RULE_MAY_CONFLICT: &str = "RAP-W002";
+/// Proven conflict-free for every instantiation.
+pub const RULE_CONFLICT_FREE: &str = "RAP-I001";
+/// Data-dependent access — only distribution-level bounds apply.
+pub const RULE_DATA_DEPENDENT: &str = "RAP-N001";
+
+/// Diagnostic severity, ordered from worst to mildest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// The plan is wrong (domain violation or form mismatch).
+    Error,
+    /// The plan provably conflicts (always, or for an adversarial table).
+    Warning,
+    /// The plan is certified conflict-free.
+    Info,
+    /// Static analysis cannot decide (data-dependent indices).
+    Note,
+}
+
+impl Severity {
+    fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One structured lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule ID (`RAP-E001` …).
+    pub rule: String,
+    /// Severity class.
+    pub severity: Severity,
+    /// The access plan the finding belongs to (e.g. `"transpose:crsw"`).
+    pub plan: String,
+    /// The phase inside the plan (e.g. `"read"`, `"B[:,t] column"`).
+    pub phase: String,
+    /// Scheme the verdict quantifies over.
+    pub scheme: Scheme,
+    /// The affine form that was analyzed (rendered).
+    pub form: String,
+    /// Proven congestion lower bound (0 when not applicable).
+    pub lo: u32,
+    /// Proven congestion upper bound (0 when not applicable).
+    pub hi: u32,
+    /// Human-readable finding.
+    pub message: String,
+    /// Minimal witness warp attaining `hi`, when a conflict is provable.
+    pub witness: Option<Witness>,
+}
+
+/// All findings for one width under one scheme.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// Machine width the lint ran at.
+    pub width: usize,
+    /// Scheme the lint quantified over.
+    pub scheme: Scheme,
+    /// All findings, in plan walk order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Findings at [`Severity::Error`].
+    #[must_use]
+    pub fn errors(&self) -> Vec<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// The worst severity present, if any finding exists.
+    #[must_use]
+    pub fn worst_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).min()
+    }
+
+    /// Pretty-printed JSON of the report.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Render in the `rap-core::diagnostics` style: a header line, then
+    /// one block per finding with rule, severity, interval, and witness
+    /// preview.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} lint, w = {}: {} finding(s)",
+            self.scheme,
+            self.width,
+            self.diagnostics.len()
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{} {} | {} / {} | {}",
+                d.rule,
+                d.severity.label(),
+                d.plan,
+                d.phase,
+                d.message
+            );
+            let _ = writeln!(
+                out,
+                "        form: {}  congestion in [{}, {}]",
+                d.form, d.lo, d.hi
+            );
+            if let Some(w) = &d.witness {
+                let _ = writeln!(
+                    out,
+                    "        witness: bank {} via lanes {} (shifts {})",
+                    w.bank,
+                    preview(&w.lanes),
+                    preview(&w.shifts)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// First-8 preview of a witness vector, `[…]`-elided beyond that.
+fn preview(v: &[u32]) -> String {
+    const SHOWN: usize = 8;
+    let head: Vec<String> = v.iter().take(SHOWN).map(ToString::to_string).collect();
+    if v.len() > SHOWN {
+        format!("[{}, … {} more]", head.join(", "), v.len() - SHOWN)
+    } else {
+        format!("[{}]", head.join(", "))
+    }
+}
+
+/// Compare a declared affine form against the cells the implementation
+/// actually touches; a disagreement is an `RAP-E002` error whose witness
+/// names the first mismatching lane (the minimal witness warp).
+#[must_use]
+pub fn diagnose_form_mismatch(
+    plan: &str,
+    phase: &str,
+    declared: &AffineWarp,
+    actual_cells: &[(u32, u32)],
+    width: usize,
+) -> Option<Diagnostic> {
+    let declared_cells = match declared.cells(width) {
+        Ok(c) => c,
+        Err(e) => {
+            return Some(Diagnostic {
+                rule: RULE_OUT_OF_DOMAIN.into(),
+                severity: Severity::Error,
+                plan: plan.into(),
+                phase: phase.into(),
+                scheme: Scheme::Raw,
+                form: declared.to_string(),
+                lo: 0,
+                hi: 0,
+                message: format!("declared form is not evaluable: {e}"),
+                witness: None,
+            });
+        }
+    };
+    let lane = (0..declared_cells.len().max(actual_cells.len()))
+        .find(|&t| declared_cells.get(t) != actual_cells.get(t))?;
+    let msg = match (declared_cells.get(lane), actual_cells.get(lane)) {
+        (Some(d), Some(a)) => format!(
+            "lane {lane}: declared form touches ({}, {}) but the implementation touches ({}, {})",
+            d.0, d.1, a.0, a.1
+        ),
+        (Some(_), None) => format!(
+            "declared form has {} lane(s) but the implementation issues only {}",
+            declared_cells.len(),
+            actual_cells.len()
+        ),
+        (None, Some(_)) => format!(
+            "implementation issues {} lane(s) but the declared form covers only {}",
+            actual_cells.len(),
+            declared_cells.len()
+        ),
+        (None, None) => unreachable!("lane below max of both lengths"),
+    };
+    Some(Diagnostic {
+        rule: RULE_FORM_MISMATCH.into(),
+        severity: Severity::Error,
+        plan: plan.into(),
+        phase: phase.into(),
+        scheme: Scheme::Raw,
+        form: declared.to_string(),
+        lo: 0,
+        hi: 0,
+        message: msg,
+        witness: Some(Witness {
+            shifts: Vec::new(),
+            bank: 0,
+            lanes: vec![lane as u32],
+        }),
+    })
+}
+
+/// Turn a prover verdict into the rule-classified diagnostic.
+fn classify(plan: &str, phase: &str, warp: &AffineWarp, a: &Analysis) -> Diagnostic {
+    let (rule, severity, message) = if a.always_conflicts() {
+        (
+            RULE_ALWAYS_CONFLICTS,
+            Severity::Warning,
+            format!(
+                "conflicts under every instantiation: congestion ≥ {} — {}",
+                a.lo, a.reason
+            ),
+        )
+    } else if a.hi > 1 {
+        (
+            RULE_MAY_CONFLICT,
+            Severity::Warning,
+            format!(
+                "an adversarial instantiation reaches congestion {} — {}",
+                a.hi, a.reason
+            ),
+        )
+    } else {
+        (
+            RULE_CONFLICT_FREE,
+            Severity::Info,
+            format!(
+                "proven conflict-free for every instantiation — {}",
+                a.reason
+            ),
+        )
+    };
+    Diagnostic {
+        rule: rule.into(),
+        severity,
+        plan: plan.into(),
+        phase: phase.into(),
+        scheme: a.scheme,
+        form: warp.to_string(),
+        lo: a.lo,
+        hi: a.hi,
+        message,
+        witness: if a.hi > 1 { a.witness.clone() } else { None },
+    }
+}
+
+/// The declared (form) and implemented (cells) access of one transpose
+/// phase for warp `warp_idx`.
+fn transpose_phase(
+    kind: TransposeKind,
+    read: bool,
+    warp_idx: u64,
+    width: usize,
+) -> (AffineWarp, Vec<(u32, u32)>) {
+    let w = width as u32;
+    let declared = match (kind, read) {
+        (TransposeKind::Crsw, true) | (TransposeKind::Srcw, false) => {
+            AffineWarp::contiguous(warp_idx, width)
+        }
+        (TransposeKind::Crsw, false) | (TransposeKind::Srcw, true) => {
+            AffineWarp::column(warp_idx, width)
+        }
+        (TransposeKind::Drdw, true) => AffineWarp::diagonal(warp_idx, width),
+        (TransposeKind::Drdw, false) => AffineWarp::new(
+            AffineForm::Coord {
+                i: Axis::lane(),
+                j: Axis::new(1, warp_idx),
+            },
+            width,
+        ),
+    };
+    let actual: Vec<(u32, u32)> = (0..w)
+        .map(|t| {
+            if read {
+                kind.read_coord(warp_idx as u32, t, w)
+            } else {
+                kind.write_coord(warp_idx as u32, t, w)
+            }
+        })
+        .collect();
+    (declared, actual)
+}
+
+/// Lint the three transpose algorithms: verify each phase's declared
+/// affine form against `read_coord`/`write_coord`, then prove the worst
+/// warp's congestion per `(algorithm, phase)`.
+///
+/// # Errors
+/// Prover construction/analysis errors ([`AnalyzeError`]).
+pub fn lint_transpose(width: usize, scheme: Scheme) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    let prover = Prover::new(width)?;
+    let mut out = Vec::new();
+    for kind in TransposeKind::all() {
+        let plan = format!("transpose:{}", kind.name().to_lowercase());
+        for (read, phase) in [(true, "read"), (false, "write")] {
+            let mut worst: Option<(AffineWarp, Analysis)> = None;
+            for warp_idx in 0..width as u64 {
+                let (declared, actual) = transpose_phase(kind, read, warp_idx, width);
+                if let Some(d) = diagnose_form_mismatch(&plan, phase, &declared, &actual, width) {
+                    out.push(d);
+                    continue;
+                }
+                let a = prover.analyze(&declared, scheme)?;
+                if worst.as_ref().is_none_or(|(_, b)| a.hi > b.hi) {
+                    worst = Some((declared, a));
+                }
+            }
+            if let Some((warp, a)) = worst {
+                out.push(classify(&plan, phase, &warp, &a));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lint the `A·Bᵀ` matmul plan: per-`t` broadcast reads of `A`, column
+/// sweeps of `B`, and the contiguous `C` write-back. Structurally
+/// identical warps are analyzed once (all broadcasts share a verdict;
+/// the `B` sweep is analyzed per column).
+///
+/// # Errors
+/// Prover construction/analysis errors ([`AnalyzeError`]).
+pub fn lint_matmul(width: usize, scheme: Scheme) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    let prover = Prover::new(width)?;
+    let plan = "matmul:a-bt";
+    let mut out = Vec::new();
+    // A reads: warp i, step t all read A[i][t] — one broadcast verdict
+    // covers all (i, t) pairs (identical structure).
+    let a_warp = AffineWarp::broadcast(0, 0, width);
+    out.push(classify(
+        plan,
+        "A[:,t] broadcast",
+        &a_warp,
+        &prover.analyze(&a_warp, scheme)?,
+    ));
+    // B reads: at step t every warp sweeps column t — keep the worst t.
+    let mut worst: Option<(AffineWarp, Analysis)> = None;
+    for t in 0..width as u64 {
+        let warp = AffineWarp::column(t, width);
+        let a = prover.analyze(&warp, scheme)?;
+        if worst.as_ref().is_none_or(|(_, b)| a.hi > b.hi) {
+            worst = Some((warp, a));
+        }
+    }
+    if let Some((warp, a)) = worst {
+        out.push(classify(plan, "B[:,t] column", &warp, &a));
+    }
+    // C write-back: warp i writes row i contiguously.
+    let mut worst: Option<(AffineWarp, Analysis)> = None;
+    for i in 0..width as u64 {
+        let warp = AffineWarp::contiguous(i, width);
+        let a = prover.analyze(&warp, scheme)?;
+        if worst.as_ref().is_none_or(|(_, b)| a.hi > b.hi) {
+            worst = Some((warp, a));
+        }
+    }
+    if let Some((warp, a)) = worst {
+        out.push(classify(plan, "C write", &warp, &a));
+    }
+    Ok(out)
+}
+
+/// Lint the gather kernel across its index distributions. The structured
+/// distributions get proven verdicts; the random ones are flagged
+/// `RAP-N001` with the paper's distributional bound cited where it
+/// applies.
+///
+/// # Errors
+/// Prover construction/analysis errors ([`AnalyzeError`]).
+pub fn lint_gather(width: usize, scheme: Scheme) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    let prover = Prover::new(width)?;
+    let plan = "gather";
+    let mut out = Vec::new();
+    for dist in [
+        IndexDistribution::ColumnGather,
+        IndexDistribution::Hotspot,
+        IndexDistribution::Uniform,
+        IndexDistribution::Skewed,
+    ] {
+        let phase = format!("{dist:?}");
+        match dist {
+            IndexDistribution::ColumnGather => {
+                // Column index is irrelevant to the verdict (the compat
+                // sets shift uniformly), so column 0 represents them all.
+                let warp = AffineWarp::column(0, width);
+                out.push(classify(
+                    plan,
+                    &phase,
+                    &warp,
+                    &prover.analyze(&warp, scheme)?,
+                ));
+            }
+            IndexDistribution::Hotspot => {
+                let warp = AffineWarp::broadcast(0, 0, width);
+                out.push(classify(
+                    plan,
+                    &phase,
+                    &warp,
+                    &prover.analyze(&warp, scheme)?,
+                ));
+            }
+            IndexDistribution::Uniform | IndexDistribution::Skewed => {
+                let bound = if scheme == Scheme::Rap && width >= 3 {
+                    format!(
+                        "; for uniform indices the paper bounds E[congestion] ≤ {:.2} (Theorem 2 machinery)",
+                        theory::theorem2_expected_bound(width)
+                    )
+                } else {
+                    String::new()
+                };
+                out.push(Diagnostic {
+                    rule: RULE_DATA_DEPENDENT.into(),
+                    severity: Severity::Note,
+                    plan: plan.into(),
+                    phase,
+                    scheme,
+                    form: "data-dependent indices (no affine form)".into(),
+                    lo: 1,
+                    hi: width as u32,
+                    message: format!(
+                        "indices are data-dependent; static analysis can only bound congestion in \
+                         [1, w]{bound}"
+                    ),
+                    witness: None,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Lint the big-transpose shared stage: each tile runs the CRSW
+/// transpose, so its read/write phases reduce to the `transpose:crsw`
+/// forms analyzed under the plan name `big-transpose:tile`.
+///
+/// # Errors
+/// Prover construction/analysis errors ([`AnalyzeError`]).
+pub fn lint_big_transpose(width: usize, scheme: Scheme) -> Result<Vec<Diagnostic>, AnalyzeError> {
+    let prover = Prover::new(width)?;
+    let plan = "big-transpose:tile";
+    let mut out = Vec::new();
+    for (read, phase) in [(true, "read"), (false, "write")] {
+        let mut worst: Option<(AffineWarp, Analysis)> = None;
+        for warp_idx in 0..width as u64 {
+            let (declared, actual) = transpose_phase(TransposeKind::Crsw, read, warp_idx, width);
+            if let Some(d) = diagnose_form_mismatch(plan, phase, &declared, &actual, width) {
+                out.push(d);
+                continue;
+            }
+            let a = prover.analyze(&declared, scheme)?;
+            if worst.as_ref().is_none_or(|(_, b)| a.hi > b.hi) {
+                worst = Some((declared, a));
+            }
+        }
+        if let Some((warp, a)) = worst {
+            out.push(classify(plan, phase, &warp, &a));
+        }
+    }
+    Ok(out)
+}
+
+/// Run every plan walk and assemble the full report for one width and
+/// scheme.
+///
+/// # Errors
+/// [`AnalyzeError::ZeroWidth`] for `width == 0`, or
+/// [`AnalyzeError::XorNeedsPow2`] when linting XOR at a non-power-of-two
+/// width.
+pub fn lint_plans(width: usize, scheme: Scheme) -> Result<LintReport, AnalyzeError> {
+    let mut diagnostics = lint_transpose(width, scheme)?;
+    diagnostics.extend(lint_matmul(width, scheme)?);
+    diagnostics.extend(lint_gather(width, scheme)?);
+    diagnostics.extend(lint_big_transpose(width, scheme)?);
+    Ok(LintReport {
+        width,
+        scheme,
+        diagnostics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_plans_match_their_implementations() {
+        // No form-mismatch or out-of-domain findings anywhere: the
+        // declared affine forms ARE the implemented accesses.
+        for w in [1usize, 2, 4, 8, 13, 32] {
+            for scheme in Scheme::all() {
+                let report = lint_plans(w, scheme).unwrap();
+                assert!(
+                    report.errors().is_empty(),
+                    "w={w} {scheme}:\n{}",
+                    report.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_column_phases_always_conflict() {
+        let report = lint_plans(8, Scheme::Raw).unwrap();
+        let crsw_write = report
+            .diagnostics
+            .iter()
+            .find(|d| d.plan == "transpose:crsw" && d.phase == "write")
+            .unwrap();
+        assert_eq!(crsw_write.rule, RULE_ALWAYS_CONFLICTS);
+        assert_eq!(crsw_write.severity, Severity::Warning);
+        assert_eq!((crsw_write.lo, crsw_write.hi), (8, 8));
+        assert!(crsw_write.witness.is_some(), "witness warp attached");
+    }
+
+    #[test]
+    fn rap_column_phases_are_certified_free() {
+        let report = lint_plans(8, Scheme::Rap).unwrap();
+        for (plan, phase) in [
+            ("transpose:crsw", "write"),
+            ("transpose:srcw", "read"),
+            ("matmul:a-bt", "B[:,t] column"),
+        ] {
+            let d = report
+                .diagnostics
+                .iter()
+                .find(|d| d.plan == plan && d.phase == phase)
+                .unwrap();
+            assert_eq!(d.rule, RULE_CONFLICT_FREE, "{plan}/{phase}: {}", d.message);
+        }
+        // Diagonal phases stay warnings under RAP (adversarial σ aligns
+        // the diagonal).
+        let drdw = report
+            .diagnostics
+            .iter()
+            .find(|d| d.plan == "transpose:drdw" && d.phase == "read")
+            .unwrap();
+        assert_eq!(drdw.rule, RULE_MAY_CONFLICT);
+    }
+
+    #[test]
+    fn gather_random_distributions_are_notes() {
+        let report = lint_plans(8, Scheme::Rap).unwrap();
+        let uniform = report
+            .diagnostics
+            .iter()
+            .find(|d| d.plan == "gather" && d.phase == "Uniform")
+            .unwrap();
+        assert_eq!(uniform.rule, RULE_DATA_DEPENDENT);
+        assert_eq!(uniform.severity, Severity::Note);
+        assert!(uniform.message.contains("E[congestion]"));
+    }
+
+    #[test]
+    fn deliberately_wrong_form_is_flagged_with_witness_lane() {
+        // Declare "contiguous" for an access that actually sweeps a
+        // column: lanes 1.. mismatch, lane 1 is the minimal witness.
+        let declared = AffineWarp::contiguous(0, 4);
+        let actual = AffineWarp::column(0, 4).cells(4).unwrap();
+        let d = diagnose_form_mismatch("test:bad", "read", &declared, &actual, 4).unwrap();
+        assert_eq!(d.rule, RULE_FORM_MISMATCH);
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.witness.unwrap().lanes, vec![1]);
+        assert!(d.message.contains("lane 1"));
+    }
+
+    #[test]
+    fn length_mismatch_is_flagged() {
+        let declared = AffineWarp::contiguous(0, 4);
+        let actual = AffineWarp::contiguous(0, 4).cells(4).unwrap()[..3].to_vec();
+        let d = diagnose_form_mismatch("test:short", "read", &declared, &actual, 4).unwrap();
+        assert_eq!(d.rule, RULE_FORM_MISMATCH);
+        assert!(d.message.contains("only 3"));
+    }
+
+    #[test]
+    fn matching_form_yields_no_diagnostic() {
+        let declared = AffineWarp::column(2, 8);
+        let actual = declared.cells(8).unwrap();
+        assert!(diagnose_form_mismatch("test:ok", "read", &declared, &actual, 8).is_none());
+    }
+
+    #[test]
+    fn report_renders_and_serializes() {
+        let report = lint_plans(4, Scheme::Rap).unwrap();
+        let text = report.render();
+        assert!(text.contains("RAP lint, w = 4"));
+        assert!(text.contains("RAP-I001 info"));
+        let json = report.to_json();
+        let back: LintReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn xor_lint_requires_pow2() {
+        assert_eq!(
+            lint_plans(12, Scheme::Xor).unwrap_err(),
+            AnalyzeError::XorNeedsPow2 { width: 12 }
+        );
+        assert!(lint_plans(16, Scheme::Xor).is_ok());
+    }
+
+    #[test]
+    fn worst_severity_orders_errors_first() {
+        let report = lint_plans(8, Scheme::Raw).unwrap();
+        assert_eq!(report.worst_severity(), Some(Severity::Warning));
+        assert!(Severity::Error < Severity::Warning);
+    }
+
+    #[test]
+    fn witness_preview_elides_long_vectors() {
+        let long: Vec<u32> = (0..20).collect();
+        assert!(preview(&long).contains("… 12 more"));
+        assert_eq!(preview(&[1, 2]), "[1, 2]");
+    }
+}

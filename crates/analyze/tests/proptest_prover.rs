@@ -1,0 +1,147 @@
+//! Satellite property test: the prover's verdicts contain the simulated
+//! congestion of randomly instantiated affine patterns, for every scheme
+//! and widths 1..=129 — including the non-power-of-two widths the
+//! Theorem 2 suite exercises (3, 5, 6, 7, 12, 33, 127, 129).
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_analyze::{AffineWarp, Prover};
+use rap_core::congestion::BankLoads;
+use rap_core::{build_mapping, MatrixMapping, Permutation, RowShift, Scheme};
+
+/// The widths the Theorem 2 suite cares about, plus a dense low range.
+fn width_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..=32,
+        prop_oneof![
+            Just(3usize),
+            Just(5usize),
+            Just(6usize),
+            Just(7usize),
+            Just(12usize),
+            Just(33usize),
+            Just(64usize),
+            Just(127usize),
+            Just(128usize),
+            Just(129usize),
+        ],
+    ]
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Raw),
+        Just(Scheme::Ras),
+        Just(Scheme::Rap),
+        Just(Scheme::Xor),
+        Just(Scheme::Padded),
+    ]
+}
+
+/// A random affine warp that stays inside the `w × w` domain.
+fn random_warp(rng: &mut SmallRng, w: usize) -> AffineWarp {
+    let wu = w as u64;
+    let lanes = match rng.gen_range(0..5u32) {
+        0 => rng.gen_range(0..=w.min(4)),
+        _ => w,
+    };
+    match rng.gen_range(0..6u32) {
+        0 => AffineWarp::contiguous(rng.gen_range(0..wu), lanes),
+        1 => AffineWarp::column(rng.gen_range(0..wu), lanes),
+        2 => AffineWarp::diagonal(rng.gen_range(0..wu), lanes),
+        3 => AffineWarp::broadcast(rng.gen_range(0..wu), rng.gen_range(0..wu), lanes),
+        4 => {
+            // A dividing stride over a full warp never leaves w².
+            let divisors: Vec<u64> = (1..=wu).filter(|s| wu.is_multiple_of(*s)).collect();
+            let s = divisors[rng.gen_range(0..divisors.len())];
+            AffineWarp::flat_stride(s, 0, lanes)
+        }
+        _ => {
+            // Arbitrary stride, lane count clamped to the domain.
+            let s = rng.gen_range(1..=wu);
+            let max_lanes = ((wu * wu - 1) / s + 1).min(lanes as u64);
+            AffineWarp::flat_stride(s, 0, max_lanes as usize)
+        }
+    }
+}
+
+proptest! {
+    /// Every sampled instantiation's congestion lies in the proven
+    /// interval, and exact verdicts pin it to a single value.
+    #[test]
+    fn prover_contains_simulated_congestion(seed in any::<u64>(), w in width_strategy(), scheme in scheme_strategy()) {
+        // XOR is only defined at power-of-two widths; fall back to RAP.
+        let scheme = if scheme == Scheme::Xor && (w < 2 || !w.is_power_of_two()) {
+            Scheme::Rap
+        } else {
+            scheme
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let warp = random_warp(&mut rng, w);
+        let prover = Prover::new(w).unwrap();
+        let analysis = prover.analyze(&warp, scheme).unwrap();
+        let cells = warp.cells(w).unwrap();
+        for _ in 0..3 {
+            let mapping = build_mapping(scheme, &mut rng, w);
+            let addrs: Vec<u64> = cells
+                .iter()
+                .map(|&(i, j)| u64::from(mapping.address(i, j)))
+                .collect();
+            let simulated = BankLoads::analyze(mapping.width(), &addrs).congestion();
+            prop_assert!(
+                analysis.contains(simulated),
+                "{scheme} w={w} warp={warp}: simulated {simulated} outside [{}, {}]",
+                analysis.lo,
+                analysis.hi
+            );
+            if analysis.exact() {
+                prop_assert_eq!(simulated, analysis.lo);
+            }
+        }
+    }
+
+    /// The shipped witness instantiation attains `hi`, and its lane list
+    /// is a minimal sub-warp reproducing it.
+    #[test]
+    fn witness_attains_hi(seed in any::<u64>(), w in width_strategy(), scheme_idx in 0usize..3) {
+        let scheme = Scheme::all()[scheme_idx];
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let warp = random_warp(&mut rng, w);
+        let prover = Prover::new(w).unwrap();
+        let analysis = prover.analyze(&warp, scheme).unwrap();
+        let cells = warp.cells(w).unwrap();
+        prop_assume!(analysis.witness.is_some());
+        let wit = analysis.witness.clone().unwrap();
+        let mapping = match scheme {
+            Scheme::Raw => RowShift::raw(w),
+            Scheme::Ras => RowShift::ras_from(w, wit.shifts.clone()).unwrap(),
+            Scheme::Rap => {
+                let sigma = Permutation::from_table(wit.shifts.clone()).unwrap();
+                RowShift::rap_from(sigma)
+            }
+            _ => unreachable!(),
+        };
+        let full: Vec<u64> = cells
+            .iter()
+            .map(|&(i, j)| u64::from(mapping.address(i, j)))
+            .collect();
+        prop_assert_eq!(
+            BankLoads::analyze(w, &full).congestion(),
+            analysis.hi,
+            "full warp under witness table must attain hi"
+        );
+        // The witness lanes alone reproduce hi on the named bank.
+        let sub: Vec<u64> = wit
+            .lanes
+            .iter()
+            .map(|&l| {
+                let (i, j) = cells[l as usize];
+                u64::from(mapping.address(i, j))
+            })
+            .collect();
+        let loads = BankLoads::analyze(w, &sub);
+        prop_assert_eq!(loads.load(wit.bank), analysis.hi);
+        prop_assert_eq!(wit.lanes.len() as u32, analysis.hi);
+    }
+}

@@ -1,0 +1,170 @@
+//! Brute-force soundness check of the symbolic prover.
+//!
+//! For small widths we can enumerate **every** instantiation — all `w!`
+//! RAP permutations and all `w^w` RAS shift tables — and compare the
+//! true congestion range of a cell set against the prover's `[lo, hi]`:
+//!
+//! * soundness: every instantiation's congestion lies in `[lo, hi]`;
+//! * attainment: some instantiation reaches `hi` exactly;
+//! * exactness: `lo == hi` ⟺ the true min equals the true max.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_analyze::{AffineWarp, Prover};
+use rap_core::congestion::congestion;
+use rap_core::{MatrixMapping, Permutation, RowShift, Scheme};
+
+/// All permutations of `0..n` (Heap's algorithm, n ≤ 5 here).
+fn permutations(n: usize) -> Vec<Vec<u32>> {
+    fn heap(k: usize, a: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+        if k <= 1 {
+            out.push(a.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, a, out);
+            if k.is_multiple_of(2) {
+                a.swap(i, k - 1);
+            } else {
+                a.swap(0, k - 1);
+            }
+        }
+    }
+    let mut a: Vec<u32> = (0..n as u32).collect();
+    let mut out = Vec::new();
+    heap(n, &mut a, &mut out);
+    out
+}
+
+/// All `w^w` shift tables over `0..w` (w ≤ 4 here).
+fn shift_tables(w: usize) -> Vec<Vec<u32>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..w {
+        out = out
+            .into_iter()
+            .flat_map(|t| {
+                (0..w as u32).map(move |s| {
+                    let mut t2 = t.clone();
+                    t2.push(s);
+                    t2
+                })
+            })
+            .collect();
+    }
+    out
+}
+
+fn simulated(width: usize, shifts: Vec<u32>, cells: &[(u32, u32)]) -> u32 {
+    let m = RowShift::ras_from(width, shifts).unwrap();
+    let addrs: Vec<u64> = cells
+        .iter()
+        .map(|&(i, j)| u64::from(m.address(i, j)))
+        .collect();
+    congestion(width, &addrs)
+}
+
+/// The cell sets to stress: the structured families plus random sets.
+fn cell_sets(w: usize) -> Vec<Vec<(u32, u32)>> {
+    let mut sets = vec![
+        AffineWarp::contiguous(0, w).cells(w).unwrap(),
+        AffineWarp::column(0, w).cells(w).unwrap(),
+        AffineWarp::column(w as u64 / 2, w).cells(w).unwrap(),
+        AffineWarp::diagonal(1, w).cells(w).unwrap(),
+        AffineWarp::broadcast(0, 0, w).cells(w).unwrap(),
+        Vec::new(),
+    ];
+    for s in 1..=w as u64 {
+        if (w as u64).is_multiple_of(s) {
+            sets.push(AffineWarp::flat_stride(s, 0, w).cells(w).unwrap());
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(0x5eed_cafe);
+    for _ in 0..6 {
+        let lanes = rng.gen_range(1..=w);
+        let set: Vec<(u32, u32)> = (0..lanes)
+            .map(|_| (rng.gen_range(0..w as u32), rng.gen_range(0..w as u32)))
+            .collect();
+        sets.push(set);
+    }
+    sets
+}
+
+#[test]
+fn rap_bounds_are_tight_under_full_enumeration() {
+    for w in 1..=5usize {
+        let prover = Prover::new(w).unwrap();
+        let sigmas = permutations(w);
+        for cells in cell_sets(w) {
+            let a = prover.analyze_cells(&cells, Scheme::Rap).unwrap();
+            if cells.is_empty() {
+                assert_eq!((a.lo, a.hi), (0, 0));
+                continue;
+            }
+            let mut true_min = u32::MAX;
+            let mut true_max = 0;
+            for table in &sigmas {
+                let c = simulated(w, table.clone(), &cells);
+                true_min = true_min.min(c);
+                true_max = true_max.max(c);
+            }
+            assert_eq!(
+                a.hi, true_max,
+                "w={w} cells={cells:?}: hi must be the true sup"
+            );
+            assert!(a.lo <= true_min, "w={w} cells={cells:?}: lo must be sound");
+            assert_eq!(
+                a.exact(),
+                true_min == true_max && a.lo == true_min,
+                "w={w} cells={cells:?}: exactness must match enumeration"
+            );
+            // The shipped witness must itself attain hi.
+            let wit = a.witness.unwrap();
+            Permutation::from_table(wit.shifts.clone()).expect("RAP witness is a permutation");
+            assert_eq!(simulated(w, wit.shifts, &cells), a.hi);
+        }
+    }
+}
+
+#[test]
+fn ras_bounds_are_tight_under_full_enumeration() {
+    for w in 1..=4usize {
+        let prover = Prover::new(w).unwrap();
+        let tables = shift_tables(w);
+        for cells in cell_sets(w) {
+            if cells.is_empty() {
+                continue;
+            }
+            let a = prover.analyze_cells(&cells, Scheme::Ras).unwrap();
+            let mut true_min = u32::MAX;
+            let mut true_max = 0;
+            for table in &tables {
+                let c = simulated(w, table.clone(), &cells);
+                true_min = true_min.min(c);
+                true_max = true_max.max(c);
+            }
+            assert_eq!(a.hi, true_max, "w={w} cells={cells:?}");
+            assert!(a.lo <= true_min, "w={w} cells={cells:?}");
+            let wit = a.witness.unwrap();
+            assert_eq!(simulated(w, wit.shifts, &cells), a.hi);
+        }
+    }
+}
+
+#[test]
+fn raw_verdict_matches_the_single_instantiation() {
+    for w in 1..=5usize {
+        let prover = Prover::new(w).unwrap();
+        for cells in cell_sets(w) {
+            if cells.is_empty() {
+                continue;
+            }
+            let a = prover.analyze_cells(&cells, Scheme::Raw).unwrap();
+            assert!(a.exact());
+            assert_eq!(
+                a.hi,
+                simulated(w, vec![0; w], &cells),
+                "w={w} cells={cells:?}"
+            );
+        }
+    }
+}

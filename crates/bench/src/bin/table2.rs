@@ -35,7 +35,7 @@ fn main() {
     for scheme in Scheme::all() {
         println!("{scheme} implementation (paper value in parentheses):");
         let mut header = vec!["w".to_string()];
-        header.extend(cfg.widths.iter().map(|w| w.to_string()));
+        header.extend(cfg.widths.iter().map(ToString::to_string));
         let mut t = TextTable::new(header);
         for pattern in rap_access::MatrixPattern::table2() {
             let mut line = vec![pattern.name().to_string()];

@@ -35,8 +35,7 @@ pub fn read_record(path: &Path) -> std::io::Result<ExperimentRecord> {
 #[must_use]
 pub fn default_root() -> PathBuf {
     std::env::var_os("CARGO_MANIFEST_DIR")
-        .map(|d| PathBuf::from(d).join("../.."))
-        .unwrap_or_else(|| PathBuf::from("."))
+        .map_or_else(|| PathBuf::from("."), |d| PathBuf::from(d).join("../.."))
 }
 
 #[cfg(test)]

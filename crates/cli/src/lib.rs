@@ -9,6 +9,7 @@
 //! rap transpose --kind crsw --scheme rap [--width 32] [--latency 8]
 //! rap trace     --kind drdw --scheme raw [--width 8] [--latency 3]
 //! rap permute   --family transpose [--width 16] [--latency 8]
+//! rap analyze   --width 32 [--scheme rap|all] [--plans] [--json]
 //! ```
 //!
 //! All logic lives in [`run`], which returns the rendered output so the
@@ -21,6 +22,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rap_access::montecarlo::matrix_congestion;
 use rap_access::MatrixPattern;
+use rap_analyze::{certify_theorem1, certify_theorem2, lint_plans, LintReport, TheoremReport};
 use rap_core::diagnostics::{render_bank_loads, render_layout};
 use rap_core::modern::build_mapping;
 use rap_core::{BankLoads, MatrixMapping, Scheme};
@@ -45,6 +47,9 @@ USAGE:
                  [--latency 3] [--seed <n>] [--gantt <cols>]
   rap permute    --family <identity|transpose|random|bitrev> [--width 16]
                  [--latency 8] [--seed <n>]
+  rap analyze    --width <w> [--scheme <raw|ras|rap|xor|padded|all>]
+                 [--plans] [--json]   (static prover: certify Theorems 1
+                 and 2, optionally lint the declared access plans)
   rap help
 ";
 
@@ -57,15 +62,32 @@ struct Opts {
 impl Opts {
     fn parse(args: &[String]) -> Self {
         let mut map = HashMap::new();
-        let mut it = args.iter();
-        while let Some(a) = it.next() {
-            if let Some(k) = a.strip_prefix("--") {
-                if let Some(v) = it.next() {
-                    map.insert(k.to_string(), v.clone());
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(k) = args[i].strip_prefix("--") {
+                // `--key value` consumes the value; a trailing `--key` or
+                // `--key --next` is a boolean flag.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => {
+                        map.insert(k.to_string(), v.clone());
+                        i += 2;
+                    }
+                    _ => {
+                        map.insert(k.to_string(), "true".to_string());
+                        i += 1;
+                    }
                 }
+            } else {
+                i += 1;
             }
         }
         Self { map }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.map
+            .get(key)
+            .is_some_and(|v| v != "false" && v != "0" && v != "no")
     }
 
     fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
@@ -146,6 +168,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "transpose" => cmd_transpose(&opts),
         "trace" => cmd_trace(&opts),
         "permute" => cmd_permute(&opts),
+        "analyze" => cmd_analyze(&opts),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -316,6 +339,58 @@ fn cmd_permute(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Serializable payload of `rap analyze --json`.
+#[derive(serde::Serialize)]
+struct AnalyzeOutput {
+    width: usize,
+    theorems: Vec<TheoremReport>,
+    lint: Vec<LintReport>,
+    proven: bool,
+}
+
+fn cmd_analyze(opts: &Opts) -> Result<String, String> {
+    let width = opts.usize("width", 32)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    let scheme_arg = opts.map.get("scheme").map_or("rap", String::as_str);
+    let lint_schemes: Vec<Scheme> = if scheme_arg.eq_ignore_ascii_case("all") {
+        Scheme::all().to_vec()
+    } else {
+        vec![parse_scheme(scheme_arg)?]
+    };
+    let theorems = vec![
+        certify_theorem1(width).map_err(|e| e.to_string())?,
+        certify_theorem2(width).map_err(|e| e.to_string())?,
+    ];
+    let mut lint = Vec::new();
+    if opts.flag("plans") {
+        for &scheme in &lint_schemes {
+            lint.push(lint_plans(width, scheme).map_err(|e| e.to_string())?);
+        }
+    }
+    let proven = theorems.iter().all(|t| t.proven);
+    if opts.flag("json") {
+        let out = AnalyzeOutput {
+            width,
+            theorems,
+            lint,
+            proven,
+        };
+        return serde_json::to_string_pretty(&out).map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    for t in &theorems {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    for report in &lint {
+        out.push_str(&report.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,6 +549,53 @@ mod tests {
         assert!(call(&["permute", "--family", "zzz"])
             .unwrap_err()
             .contains("unknown family"));
+    }
+
+    #[test]
+    fn analyze_certifies_theorems() {
+        let out = call(&["analyze", "--width", "8"]).unwrap();
+        assert!(out.contains("theorem1 @ w = 8: PROVEN"));
+        assert!(out.contains("theorem2 @ w = 8: PROVEN"));
+        assert!(out.contains("EVERY permutation"));
+        assert!(!out.contains("lint"), "no lint without --plans");
+    }
+
+    #[test]
+    fn analyze_lints_plans_on_request() {
+        let out = call(&["analyze", "--width", "8", "--plans"]).unwrap();
+        assert!(out.contains("RAP lint, w = 8"));
+        assert!(out.contains("RAP-I001"));
+        let all = call(&["analyze", "--width", "8", "--plans", "--scheme", "all"]).unwrap();
+        assert!(all.contains("RAW lint, w = 8"));
+        assert!(all.contains("RAP-W001"), "RAW column phases warn");
+    }
+
+    #[test]
+    fn analyze_emits_json() {
+        let out = call(&["analyze", "--width", "8", "--plans", "--json"]).unwrap();
+        assert!(out.trim_start().starts_with('{'));
+        assert!(out.contains("\"proven\": true"));
+        assert!(out.contains("\"theorem\": \"theorem2\""));
+        assert!(out.contains("\"diagnostics\""));
+    }
+
+    #[test]
+    fn analyze_validates_options() {
+        assert!(call(&["analyze", "--width", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(call(&["analyze", "--width", "8", "--scheme", "zzz"])
+            .unwrap_err()
+            .contains("unknown scheme"));
+        // XOR lint at non-pow2 widths is a user-facing error, not a panic.
+        let err = call(&["analyze", "--width", "12", "--plans", "--scheme", "xor"]).unwrap_err();
+        assert!(err.contains("power-of-two"));
+    }
+
+    #[test]
+    fn flags_parse_in_any_position() {
+        let out = call(&["analyze", "--plans", "--width", "4"]).unwrap();
+        assert!(out.contains("RAP lint, w = 4"));
     }
 
     #[test]

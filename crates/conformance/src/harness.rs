@@ -10,6 +10,7 @@ use crate::machine::{DmmTimingOracle, UmmRowsOracle};
 use crate::mapping_oracle::MappingAlgebraOracle;
 use crate::oracle::{Divergence, Oracle};
 use crate::pattern::case_seed;
+use crate::prover_oracle::ProverOracle;
 use crate::schedule_oracle::ScheduleOracle;
 use crate::transpose_oracle::TransposeOracle;
 use serde::{Deserialize, Serialize};
@@ -99,7 +100,7 @@ impl Harness {
         self
     }
 
-    /// The standard bounded suite wired into `cargo test`: all nine
+    /// The standard bounded suite wired into `cargo test`: all ten
     /// oracle pairs, budgeted to just over 10 000 cases in well under a
     /// minute.
     #[must_use]
@@ -143,6 +144,7 @@ impl Harness {
         h.push(Box::new(MappingAlgebraOracle), 700 * m);
         h.push(Box::new(TransposeOracle), 400 * m);
         h.push(Box::new(ScheduleOracle), 300 * m);
+        h.push(Box::new(ProverOracle), 500 * m);
         h
     }
 

@@ -11,11 +11,12 @@
 //!
 //! * [`pattern`] — the seed-keyed adversarial generator
 //!   ([`AccessCase::from_seed`] and the [`WIDTH_LADDER`]);
-//! * [`reference`] — the naive references;
+//! * [`mod@reference`] — the naive references;
 //! * [`oracle`] — the [`Oracle`] trait and the [`Divergence`] record;
 //! * [`shrink`] — greedy minimization of failing cases;
 //! * concrete oracles in [`kernels`], [`machine`], [`mapping_oracle`],
-//!   [`transpose_oracle`], and [`schedule_oracle`];
+//!   [`transpose_oracle`], [`schedule_oracle`], and [`prover_oracle`]
+//!   (the static prover of `rap-analyze` vs the simulated bank loads);
 //! * [`mutation`] — deliberately broken kernels proving the harness has
 //!   teeth;
 //! * [`harness`] — the driver producing a serializable
@@ -39,6 +40,7 @@ pub mod mapping_oracle;
 pub mod mutation;
 pub mod oracle;
 pub mod pattern;
+pub mod prover_oracle;
 pub mod reference;
 pub mod schedule_oracle;
 pub mod shrink;
@@ -53,6 +55,7 @@ pub use mapping_oracle::MappingAlgebraOracle;
 pub use mutation::{NoDedupMutant, WrongModulusMutant};
 pub use oracle::{Divergence, MinimalCase, Oracle};
 pub use pattern::{case_seed, splitmix64, AccessCase, PatternKind, WIDTH_LADDER};
+pub use prover_oracle::ProverOracle;
 pub use reference::{
     naive_bank_loads, naive_congestion, naive_distinct_rows, naive_transpose, naive_unique_requests,
 };

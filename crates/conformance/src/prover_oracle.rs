@@ -1,0 +1,193 @@
+//! Static-prover vs simulator oracle: the symbolic congestion interval
+//! from `rap-analyze` must contain every simulated congestion, and the
+//! shipped witness instantiation must attain the proven maximum.
+//!
+//! This is the strongest cross-check in the harness: the prover derives
+//! `[lo, hi]` by residue-class reasoning with the shift table left
+//! symbolic, while `BankLoads::analyze` counts banks for concrete
+//! instantiations — two entirely independent computations that must
+//! agree for every seed, scheme, width, and affine family.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::pattern::{splitmix64, WIDTH_LADDER};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_analyze::{AffineWarp, Prover};
+use rap_core::congestion::BankLoads;
+use rap_core::{build_mapping, MatrixMapping, Permutation, RowShift, Scheme};
+
+/// Differential oracle pitting the symbolic prover against the
+/// simulated bank-load analysis.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ProverOracle;
+
+/// The affine warp and scheme decoded from one seed.
+fn decode(seed: u64) -> (usize, Scheme, AffineWarp) {
+    let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
+    let width = WIDTH_LADDER[rng.gen_range(0..WIDTH_LADDER.len())];
+    let schemes = Scheme::extended();
+    let mut scheme = schemes[rng.gen_range(0..schemes.len())];
+    if scheme == Scheme::Xor && (width < 2 || !width.is_power_of_two()) {
+        scheme = Scheme::Rap;
+    }
+    let w = width as u64;
+    let lanes = match rng.gen_range(0..5u32) {
+        0 => rng.gen_range(0..=width.min(4)),
+        _ => width,
+    };
+    let warp = match rng.gen_range(0..6u32) {
+        0 => AffineWarp::contiguous(rng.gen_range(0..w), lanes),
+        1 => AffineWarp::column(rng.gen_range(0..w), lanes),
+        2 => AffineWarp::diagonal(rng.gen_range(0..w), lanes),
+        3 => AffineWarp::broadcast(rng.gen_range(0..w), rng.gen_range(0..w), lanes),
+        4 => {
+            let divisors: Vec<u64> = (1..=w).filter(|s| w.is_multiple_of(*s)).collect();
+            AffineWarp::flat_stride(divisors[rng.gen_range(0..divisors.len())], 0, lanes)
+        }
+        _ => {
+            let stride = rng.gen_range(1..=w);
+            let max_lanes = ((w * w - 1) / stride + 1).min(lanes as u64);
+            AffineWarp::flat_stride(stride, 0, max_lanes as usize)
+        }
+    };
+    (width, scheme, warp)
+}
+
+impl Oracle for ProverOracle {
+    fn name(&self) -> &'static str {
+        "prover:static-vs-simulated"
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let (width, scheme, warp) = decode(seed);
+        let case = format!("{scheme} w={width} {warp}");
+        let prover = Prover::new(width).expect("ladder widths are positive");
+        let analysis = prover
+            .analyze(&warp, scheme)
+            .expect("decoded warps stay in-domain");
+        let cells = warp.cells(width).expect("decoded warps stay in-domain");
+
+        // (a) Random instantiations must land inside the proven interval.
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ 0xa5a5_a5a5_a5a5_a5a5));
+        for round in 0..3 {
+            let mapping = build_mapping(scheme, &mut rng, width);
+            let addrs: Vec<u64> = cells
+                .iter()
+                .map(|&(i, j)| u64::from(mapping.address(i, j)))
+                .collect();
+            let simulated = BankLoads::analyze(width, &addrs).congestion();
+            if !analysis.contains(simulated) {
+                return Err(Divergence::new(
+                    self.name(),
+                    seed,
+                    format!("{case} (instantiation {round})"),
+                    format!("congestion in [{}, {}]", analysis.lo, analysis.hi),
+                    format!("simulated congestion {simulated}"),
+                ));
+            }
+            if analysis.exact() && simulated != analysis.lo {
+                return Err(Divergence::new(
+                    self.name(),
+                    seed,
+                    format!("{case} (instantiation {round})"),
+                    format!("exact congestion {}", analysis.lo),
+                    format!("simulated congestion {simulated}"),
+                ));
+            }
+        }
+
+        // (b) The witness instantiation must attain hi — both on the full
+        // warp and restricted to the minimal witness lanes.
+        let Some(wit) = analysis.witness.clone() else {
+            return Ok(());
+        };
+        let mapping: Box<dyn MatrixMapping> = match scheme {
+            Scheme::Raw => Box::new(RowShift::raw(width)),
+            Scheme::Ras => Box::new(
+                RowShift::ras_from(width, wit.shifts.clone())
+                    .expect("witness shift table has width entries"),
+            ),
+            Scheme::Rap => {
+                let sigma = Permutation::from_table(wit.shifts.clone())
+                    .expect("witness shift table is a permutation");
+                Box::new(RowShift::rap_from(sigma))
+            }
+            // Deterministic swizzles carry no table; any instantiation is
+            // THE instantiation.
+            Scheme::Xor | Scheme::Padded => {
+                let mut any = SmallRng::seed_from_u64(0);
+                build_mapping(scheme, &mut any, width)
+            }
+        };
+        let full: Vec<u64> = cells
+            .iter()
+            .map(|&(i, j)| u64::from(mapping.address(i, j)))
+            .collect();
+        let attained = BankLoads::analyze(width, &full).congestion();
+        if attained != analysis.hi {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                format!("{case} (witness table)"),
+                format!("witness attains hi = {}", analysis.hi),
+                format!("witness congestion {attained}"),
+            ));
+        }
+        let sub: Vec<u64> = wit
+            .lanes
+            .iter()
+            .map(|&l| {
+                let (i, j) = cells[l as usize];
+                u64::from(mapping.address(i, j))
+            })
+            .collect();
+        let sub_load = BankLoads::analyze(width, &sub).load(wit.bank);
+        if sub_load != analysis.hi || wit.lanes.len() as u32 != analysis.hi {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                format!("{case} (witness lanes)"),
+                format!(
+                    "minimal witness warp of {} lane(s) loading bank {} with {}",
+                    analysis.hi, wit.bank, analysis.hi
+                ),
+                format!("{} lane(s), bank load {sub_load}", wit.lanes.len()),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_of_seeds_run_clean() {
+        let mut oracle = ProverOracle;
+        for seed in 0..4000u64 {
+            oracle.check(seed).expect("prover agrees with simulator");
+        }
+    }
+
+    #[test]
+    fn decode_is_deterministic_and_in_domain() {
+        for seed in 0..500u64 {
+            let (w1, s1, warp1) = decode(seed);
+            let (w2, s2, warp2) = decode(seed);
+            assert_eq!((w1, s1, warp1), (w2, s2, warp2));
+            assert!(warp1.cells(w1).is_ok(), "seed {seed} decodes in-domain");
+        }
+    }
+
+    #[test]
+    fn decode_covers_all_symbolic_schemes() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            seen.insert(decode(seed).1);
+        }
+        assert!(seen.contains(&Scheme::Raw));
+        assert!(seen.contains(&Scheme::Ras));
+        assert!(seen.contains(&Scheme::Rap));
+    }
+}

@@ -17,11 +17,12 @@ use serde::{Deserialize, Serialize};
 /// Bank of a flat address on a machine with `width` banks.
 ///
 /// # Panics
-/// Panics if `width == 0` (integer division by zero — in release builds
-/// too, not just debug).
+/// Panics if `width == 0` — explicitly, with the same message as every
+/// other congestion entry point (not as an incidental division-by-zero).
 #[inline]
 #[must_use]
 pub fn bank_of(width: usize, address: u64) -> u32 {
+    assert!(width > 0, "machine width must be positive");
     (address % width as u64) as u32
 }
 
@@ -239,10 +240,16 @@ impl CongestionScratch {
 
 /// Congestion of one warp access (stack/scratch-free convenience; takes
 /// the same fast paths as [`CongestionScratch::congestion`]).
+///
+/// # Panics
+/// Panics if `width == 0`. The check is hoisted above the path dispatch
+/// so every input size hits the same explicit contract — previously the
+/// 65..=128-address fast path would fall into an incidental
+/// division-by-zero instead.
 #[must_use]
 pub fn congestion(width: usize, addresses: &[u64]) -> u32 {
+    assert!(width > 0, "machine width must be positive");
     if width <= 64 && addresses.len() <= 64 {
-        assert!(width > 0, "machine width must be positive");
         congestion_fixed64(width, addresses)
     } else if width <= 128 && addresses.len() <= 128 {
         congestion_fixed128(width, addresses)
@@ -252,6 +259,9 @@ pub fn congestion(width: usize, addresses: &[u64]) -> u32 {
 }
 
 /// Whether a warp access is conflict-free.
+///
+/// # Panics
+/// Panics if `width == 0` (see [`congestion`]).
 #[must_use]
 pub fn is_conflict_free(width: usize, addresses: &[u64]) -> bool {
     congestion(width, addresses) <= 1
@@ -409,5 +419,46 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn scratch_zero_width_rejected() {
         let _ = CongestionScratch::new().congestion(0, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn bank_of_zero_width_rejected() {
+        let _ = bank_of(0, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn free_fn_zero_width_rejected_on_small_path() {
+        let _ = congestion(0, &[1]);
+    }
+
+    /// 65..=128 addresses used to dodge the explicit assert and die in
+    /// the u128 fast path's modulo instead; the hoisted check owns every
+    /// path now.
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn free_fn_zero_width_rejected_on_fixed128_path() {
+        let addrs: Vec<u64> = (0..100).collect();
+        let _ = congestion(0, &addrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn free_fn_zero_width_rejected_on_general_path() {
+        let addrs: Vec<u64> = (0..200).collect();
+        let _ = congestion(0, &addrs);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn free_fn_zero_width_rejected_even_when_empty() {
+        let _ = congestion(0, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn is_conflict_free_zero_width_rejected() {
+        let _ = is_conflict_free(0, &[3]);
     }
 }

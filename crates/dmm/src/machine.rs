@@ -234,16 +234,13 @@ impl<M: StageModel> Machine<M> {
             let ready_warp = (0..n_warps)
                 .map(|k| (rr + k) % n_warps)
                 .find(|&wi| pc[wi] < n_phases && ready_at[wi] <= port_time);
-            let warp = match ready_warp {
-                Some(wi) => wi,
-                None => {
-                    port_time = (0..n_warps)
-                        .filter(|&wi| pc[wi] < n_phases)
-                        .map(|wi| ready_at[wi])
-                        .min()
-                        .expect("some warp must remain");
-                    continue;
-                }
+            let Some(warp) = ready_warp else {
+                port_time = (0..n_warps)
+                    .filter(|&wi| pc[wi] < n_phases)
+                    .map(|wi| ready_at[wi])
+                    .min()
+                    .expect("some warp must remain");
+                continue;
             };
             rr = (warp + 1) % n_warps;
 
@@ -254,7 +251,7 @@ impl<M: StageModel> Machine<M> {
             debug_assert!(!merged.is_empty(), "empty phases were skipped above");
 
             // Apply functional effects at dispatch.
-            self.apply_effects(ops, warp * w, memory, &mut history, &reducer);
+            Self::apply_effects(ops, warp * w, memory, &mut history, &reducer);
 
             // Timing: the access occupies `stages` injection slots.
             let stages = u64::from(M::stages(w, &merged));
@@ -284,7 +281,6 @@ impl<M: StageModel> Machine<M> {
 
     /// Apply one warp phase's reads/writes to memory and registers.
     fn apply_effects<T: Copy>(
-        &self,
         ops: &[Option<MemOp<T>>],
         thread_base: usize,
         memory: &mut BankedMemory<T>,

@@ -166,7 +166,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "index out of bounds")]
     fn out_of_bounds_read_panics() {
         let m: BankedMemory<u8> = BankedMemory::new(2, 4);
         let _ = m.read(4);

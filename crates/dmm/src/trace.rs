@@ -161,16 +161,13 @@ pub fn trace<M: StageModel, T: Copy>(machine: &Machine<M>, program: &Program<T>)
         let candidate = (0..n_warps)
             .map(|k| (rr + k) % n_warps)
             .find(|&wi| pc[wi] < n_phases && ready_at[wi] <= port_time);
-        let warp = match candidate {
-            Some(wi) => wi,
-            None => {
-                port_time = (0..n_warps)
-                    .filter(|&wi| pc[wi] < n_phases)
-                    .map(|wi| ready_at[wi])
-                    .min()
-                    .expect("unfinished warp exists");
-                continue;
-            }
+        let Some(warp) = candidate else {
+            port_time = (0..n_warps)
+                .filter(|&wi| pc[wi] < n_phases)
+                .map(|wi| ready_at[wi])
+                .min()
+                .expect("unfinished warp exists");
+            continue;
         };
         rr = (warp + 1) % n_warps;
 

@@ -85,16 +85,13 @@ pub fn simulate(kernel: &GpuKernel, config: &SmConfig) -> GpuReport {
         let candidate = (0..n_warps)
             .map(|k| (rr + k) % n_warps)
             .find(|&wi| pc[wi] < kernel.warp(wi).len() && ready_at[wi] <= port_time);
-        let wi = match candidate {
-            Some(wi) => wi,
-            None => {
-                port_time = (0..n_warps)
-                    .filter(|&wi| pc[wi] < kernel.warp(wi).len())
-                    .map(|wi| ready_at[wi])
-                    .min()
-                    .expect("an unfinished warp must exist");
-                continue;
-            }
+        let Some(wi) = candidate else {
+            port_time = (0..n_warps)
+                .filter(|&wi| pc[wi] < kernel.warp(wi).len())
+                .map(|wi| ready_at[wi])
+                .min()
+                .expect("an unfinished warp must exist");
+            continue;
         };
         rr = (wi + 1) % n_warps;
 

@@ -135,9 +135,7 @@ impl MaxLoad {
         dp[0] = 0.0;
         let mut new_dp = vec![f64::NEG_INFINITY; balls + 1];
         for _bin in 0..bins {
-            for slot in new_dp.iter_mut() {
-                *slot = f64::NEG_INFINITY;
-            }
+            new_dp.fill(f64::NEG_INFINITY);
             for j in 0..=balls {
                 // new_dp[j] = logsum_{t=0..min(k,j)} dp[j-t] - ln(t!)
                 let mut acc = f64::NEG_INFINITY;

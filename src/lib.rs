@@ -16,11 +16,14 @@
 //! * [`permute`] — offline permutation: direct vs
 //!   graph-coloring-scheduled vs RAP;
 //! * [`apps`] — application kernels (tiled `A·Bᵀ`, gather);
+//! * [`analyze`] — static affine-access analyzer: symbolic prover,
+//!   theorem certification, and access-plan lint;
 //! * [`stats`] — RNG and statistics substrate.
 
 #![forbid(unsafe_code)]
 
 pub use rap_access as access;
+pub use rap_analyze as analyze;
 pub use rap_apps as apps;
 pub use rap_core as core;
 pub use rap_dmm as dmm;

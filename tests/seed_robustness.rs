@@ -26,8 +26,8 @@ fn table2_stochastic_cells_are_seed_stable() {
             );
             means.push(stats.mean());
         }
-        let spread = means.iter().cloned().fold(f64::MIN, f64::max)
-            - means.iter().cloned().fold(f64::MAX, f64::min);
+        let spread = means.iter().copied().fold(f64::MIN, f64::max)
+            - means.iter().copied().fold(f64::MAX, f64::min);
         assert!(
             spread < 0.12,
             "{pattern}/{scheme}: cross-seed spread {spread:.3} too large ({means:?})"
@@ -72,7 +72,7 @@ fn table3_shape_is_seed_stable() {
         assert!((8.0..13.0).contains(&speedup), "seed {seed}: {speedup:.2}");
         speedups.push(speedup);
     }
-    let spread = speedups.iter().cloned().fold(f64::MIN, f64::max)
-        - speedups.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = speedups.iter().copied().fold(f64::MIN, f64::max)
+        - speedups.iter().copied().fold(f64::MAX, f64::min);
     assert!(spread < 1.0, "speedup spread {spread:.2} ({speedups:?})");
 }

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the two derives against the vendored `serde` subset (a JSON-shaped
-//! [`Value`] data model) with a hand-written token parser — no `syn` or
+//! `Value` data model) with a hand-written token parser — no `syn` or
 //! `quote`. It supports the shapes this workspace actually uses:
 //!
 //! * structs with named fields (optionally generic),
