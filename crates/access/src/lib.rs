@@ -10,7 +10,10 @@
 //!   Table IV, including the index-permutation grouping attack against
 //!   R1P;
 //! * [`montecarlo`] — reproducible expected-congestion estimators, the
-//!   engine behind the Table II and Table IV reproductions.
+//!   engine behind the Table II and Table IV reproductions;
+//! * [`resilient`] — the same estimators run through `rap-resilience`'s
+//!   checkpoint/retry/budget executor, for crash-safe sweeps that resume
+//!   to bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +21,7 @@
 pub mod array4d;
 pub mod matrix;
 pub mod montecarlo;
+pub mod resilient;
 pub mod scratch;
 
 pub use array4d::{Coord4, Pattern4d};

@@ -40,7 +40,80 @@ use rayon::prelude::*;
 /// result — is identical for every thread count. 32 trials amortise the
 /// per-block scratch allocation well below measurement noise while still
 /// exposing enough blocks to saturate a pool on Table-sized sweeps.
-const TRIALS_PER_BLOCK: u64 = 32;
+///
+/// Public because the checkpoint layer fingerprints it: a ledger written
+/// under one block size must never resume a run under another.
+pub const TRIALS_PER_BLOCK: u64 = 32;
+
+/// Number of blocks a `trials`-sized run decomposes into.
+#[must_use]
+pub fn blocks_for(trials: u64) -> u64 {
+    trials.div_ceil(TRIALS_PER_BLOCK)
+}
+
+/// The trial range of block `block` in a `trials`-sized run.
+#[must_use]
+pub fn block_range(block: u64, trials: u64) -> std::ops::Range<u64> {
+    let start = block * TRIALS_PER_BLOCK;
+    start..trials.min(start + TRIALS_PER_BLOCK)
+}
+
+/// Evaluate one block of matrix-congestion trials serially into a fresh
+/// accumulator. `child` must be the `domain.child("matrix")` stream; both
+/// the plain and the resilient engines call exactly this body, which is
+/// why a resumed run can be bit-identical to an uninterrupted one.
+pub(crate) fn matrix_block(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    child: &SeedDomain,
+    block: std::ops::Range<u64>,
+) -> OnlineStats {
+    let mut scratch = AccessScratch::new();
+    let mut warp_buf: Vec<Coord> = Vec::new();
+    let mut stats = OnlineStats::new();
+    for trial in block {
+        let mut rng = child.rng(trial);
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        for warp in 0..w as u32 {
+            matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
+            stats.push_u32(matrix::warp_congestion_with(
+                &mapping,
+                &warp_buf,
+                &mut scratch,
+            ));
+        }
+    }
+    stats
+}
+
+/// Evaluate one block of 4-D array congestion trials serially (see
+/// [`matrix_block`]; `child` is the `domain.child("array4d")` stream).
+pub(crate) fn array4d_block(
+    scheme: Scheme4d,
+    pattern: Pattern4d,
+    w: usize,
+    warps_per_trial: u32,
+    child: &SeedDomain,
+    block: std::ops::Range<u64>,
+) -> OnlineStats {
+    let mut scratch = AccessScratch::new();
+    let mut warp_buf: Vec<Coord4> = Vec::new();
+    let mut stats = OnlineStats::new();
+    for trial in block {
+        let mut rng = child.rng(trial);
+        let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
+        for _ in 0..warps_per_trial {
+            array4d::generate_warp_into(pattern, scheme, w, &mut rng, &mut warp_buf);
+            stats.push_u32(array4d::warp_congestion_with(
+                &mapping,
+                &warp_buf,
+                &mut scratch,
+            ));
+        }
+    }
+    stats
+}
 
 /// Run `run_block` over fixed-size trial blocks in parallel and merge the
 /// per-block statistics in block-index order.
@@ -88,22 +161,7 @@ pub fn matrix_congestion(
     assert!(trials > 0, "need at least one trial");
     let child = domain.child("matrix");
     parallel_trials(trials, |block| {
-        let mut scratch = AccessScratch::new();
-        let mut warp_buf: Vec<Coord> = Vec::new();
-        let mut stats = OnlineStats::new();
-        for trial in block {
-            let mut rng = child.rng(trial);
-            let mapping = RowShift::of_scheme(scheme, &mut rng, w);
-            for warp in 0..w as u32 {
-                matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
-                stats.push_u32(matrix::warp_congestion_with(
-                    &mapping,
-                    &warp_buf,
-                    &mut scratch,
-                ));
-            }
-        }
-        stats
+        matrix_block(scheme, pattern, w, &child, block)
     })
 }
 
@@ -133,22 +191,7 @@ pub fn array4d_congestion(
     );
     let child = domain.child("array4d");
     parallel_trials(trials, |block| {
-        let mut scratch = AccessScratch::new();
-        let mut warp_buf: Vec<Coord4> = Vec::new();
-        let mut stats = OnlineStats::new();
-        for trial in block {
-            let mut rng = child.rng(trial);
-            let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
-            for _ in 0..warps_per_trial {
-                array4d::generate_warp_into(pattern, scheme, w, &mut rng, &mut warp_buf);
-                stats.push_u32(array4d::warp_congestion_with(
-                    &mapping,
-                    &warp_buf,
-                    &mut scratch,
-                ));
-            }
-        }
-        stats
+        array4d_block(scheme, pattern, w, warps_per_trial, &child, block)
     })
 }
 

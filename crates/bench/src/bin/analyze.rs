@@ -37,7 +37,15 @@ struct AnalyzeArtifact {
 }
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("analyze: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     println!("ANALYZE — static prover sweep (no simulation)");
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let start = Instant::now();
 
     let mut theorems = Vec::new();
@@ -54,10 +62,7 @@ fn main() {
                     );
                     theorems.push(report);
                 }
-                Err(e) => {
-                    eprintln!("certification failed at w = {w}: {e}");
-                    std::process::exit(1);
-                }
+                Err(e) => return Err(format!("certification failed at w = {w}: {e}")),
             }
         }
     }
@@ -78,10 +83,7 @@ fn main() {
                     );
                     lint.push(report);
                 }
-                Err(e) => {
-                    eprintln!("lint failed at w = {w} under {scheme}: {e}");
-                    std::process::exit(1);
-                }
+                Err(e) => return Err(format!("lint failed at w = {w} under {scheme}: {e}")),
             }
         }
     }
@@ -116,21 +118,13 @@ fn main() {
         wall_seconds,
         proven,
     };
-    let dir = output::default_root().join("results");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create results dir: {e}");
-    }
-    let path = dir.join("analyze.json");
-    match serde_json::to_string_pretty(&artifact) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("could not write results: {e}"),
-        },
-        Err(e) => eprintln!("could not serialize artifact: {e}"),
-    }
+    let path = output::results_dir().join("analyze.json");
+    rap_resilience::write_json_atomic(&path, &artifact)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
 
     if !proven {
-        eprintln!("static analysis FAILED");
-        std::process::exit(1);
+        return Err("static analysis FAILED".into());
     }
+    Ok(())
 }

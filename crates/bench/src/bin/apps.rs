@@ -11,7 +11,15 @@ use rap_bench::{output, CliArgs};
 use rap_core::Scheme;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("apps: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("width", 32);
     let latency = args.get_u64("latency", 8);
     let instances = args.get_u64("instances", 15);
@@ -89,8 +97,8 @@ fn main() {
     );
 
     let record = apps::to_record(w, latency, seed, &matmul, &gather);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

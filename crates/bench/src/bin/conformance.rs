@@ -23,7 +23,15 @@ struct ConformanceArtifact {
 }
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("conformance: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let multiplier = args.get_u64("multiplier", 4);
     let seed = args.get_u64("seed", 2014);
 
@@ -51,21 +59,13 @@ fn main() {
         wall_seconds,
         report,
     };
-    let dir = output::default_root().join("results");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create results dir: {e}");
-    }
-    let path = dir.join("conformance.json");
-    match serde_json::to_string_pretty(&artifact) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("could not write results: {e}"),
-        },
-        Err(e) => eprintln!("could not serialize report: {e}"),
-    }
+    let path = output::results_dir().join("conformance.json");
+    rap_resilience::write_json_atomic(&path, &artifact)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
 
     if !clean {
-        eprintln!("conformance sweep FAILED");
-        std::process::exit(1);
+        return Err("conformance sweep FAILED".into());
     }
+    Ok(())
 }

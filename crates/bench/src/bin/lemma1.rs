@@ -8,7 +8,15 @@ use rap_bench::output;
 use rap_bench::table::TextTable;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("lemma1: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     println!("A2 — Lemma 1: DMM cycles of CRSW/SRCW/DRDW under RAW\n");
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let rows = lemma1::run(&[4, 8, 16, 32, 64], &[1, 2, 4, 8, 16, 32, 64]);
 
     let mut t = TextTable::new([
@@ -41,8 +49,8 @@ fn main() {
     );
 
     let record = lemma1::to_record(&rows);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -8,7 +8,15 @@ use rap_bench::table::{fmt2, TextTable};
 use rap_bench::{output, CliArgs};
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("malicious_bound: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let trials = args.get_u64("trials", 400);
     let seed = args.get_u64("seed", 2014);
     let widths = [16usize, 32, 64, 128, 256];
@@ -45,8 +53,8 @@ fn main() {
     );
 
     let record = malicious::to_record(trials, seed, &rows);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

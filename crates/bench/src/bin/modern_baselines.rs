@@ -11,7 +11,15 @@ use rap_bench::{output, CliArgs};
 use rap_core::Scheme;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("modern_baselines: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("width", 32);
     let trials = args.get_u64("trials", 500);
     let seed = args.get_u64("seed", 2014);
@@ -55,8 +63,8 @@ fn main() {
     );
 
     let record = modern::to_record(w, trials, seed, &cells);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -6,8 +6,14 @@
 //! criterion benches this runs in seconds and produces machine-readable
 //! output, so it can gate regressions in CI or quick local checks.
 //!
+//! Timings are not checkpointed: wall-clock samples are inherently
+//! non-reproducible, so a resumed run could never be byte-identical to an
+//! uninterrupted one. Instead `--budget-ms` bounds the run — thread
+//! counts that would start after the deadline are skipped and the report
+//! is marked `degraded` with a note per skipped count.
+//!
 //! Usage: `cargo run -p rap-bench --bin perf_smoke --release
-//! [--trials 2000] [--w 32] [--seed 2014]`
+//! [--trials 2000] [--w 32] [--seed 2014] [--budget-ms N]`
 
 use rap_access::montecarlo::matrix_congestion;
 use rap_access::MatrixPattern;
@@ -15,7 +21,7 @@ use rap_bench::{output, CliArgs};
 use rap_core::Scheme;
 use rap_stats::SeedDomain;
 use serde::Serialize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One timed sweep at a fixed thread count.
 #[derive(Debug, Serialize)]
@@ -53,6 +59,10 @@ struct PerfSmokeReport {
     /// computed the identical estimate (the engine's determinism
     /// contract).
     mean_checksum: f64,
+    /// True when the wall budget cut the thread-count sweep short.
+    degraded: bool,
+    /// Human-readable notes about skipped thread counts.
+    notes: Vec<String>,
 }
 
 /// Run the fixed sweep once and return (wall seconds, sum of cell means).
@@ -71,7 +81,15 @@ fn run_sweep(w: usize, trials: u64, seed: u64) -> (f64, f64) {
 }
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("perf_smoke: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("w", 32);
     let trials = args.get_u64("trials", 2000);
     let seed = args.get_u64("seed", 2014);
@@ -79,6 +97,8 @@ fn main() {
         eprintln!("error: --w and --trials must be at least 1 (got w={w}, trials={trials})");
         std::process::exit(2);
     }
+    let budget_ms = args.get_u64("budget-ms", 0);
+    let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
 
     let cells = MatrixPattern::table2().len() * Scheme::all().len();
     let total_trials = trials * cells as u64;
@@ -101,13 +121,20 @@ fn main() {
     thread_counts.dedup();
 
     let mut samples = Vec::new();
+    let mut notes = Vec::new();
     let mut baseline = None;
     let mut checksum = None;
     for &threads in &thread_counts {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            notes.push(format!(
+                "skipped threads={threads}: wall budget of {budget_ms} ms exhausted"
+            ));
+            continue;
+        }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
-            .expect("thread pool");
+            .map_err(|e| format!("building {threads}-thread pool: {e}"))?;
         let (wall, sum) = pool.install(|| run_sweep(w, trials, seed));
         match checksum {
             None => checksum = Some(sum),
@@ -128,6 +155,9 @@ fn main() {
         );
         samples.push(sample);
     }
+    for note in &notes {
+        eprintln!("perf_smoke: {note}");
+    }
 
     let report = PerfSmokeReport {
         id: "perf_smoke".into(),
@@ -139,19 +169,13 @@ fn main() {
         hardware_threads: hardware,
         samples,
         mean_checksum: checksum.unwrap_or(0.0),
+        degraded: !notes.is_empty(),
+        notes,
     };
 
-    let dir = output::default_root().join("results");
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("could not create {}: {e}", dir.display());
-        return;
-    }
-    let path = dir.join("perf_smoke.json");
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => match std::fs::write(&path, json) {
-            Ok(()) => println!("wrote {}", path.display()),
-            Err(e) => eprintln!("could not write {}: {e}", path.display()),
-        },
-        Err(e) => eprintln!("could not serialize report: {e}"),
-    }
+    let path = output::results_dir().join("perf_smoke.json");
+    rap_resilience::write_json_atomic(&path, &report)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -9,7 +9,15 @@ use rap_bench::{output, CliArgs};
 use rap_permute::Strategy;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("permutation: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("width", 32);
     let latency = args.get_u64("latency", 8);
     let instances = args.get_u64("instances", 15);
@@ -54,8 +62,8 @@ fn main() {
     );
 
     let record = permutation::to_record(w, latency, seed, &cells);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -9,7 +9,15 @@ use rap_bench::table::{fmt2, TextTable};
 use rap_bench::{output, CliArgs};
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("table1: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("width", 32);
     let trials = args.get_u64("trials", 200);
     let seed = args.get_u64("seed", 2014);
@@ -33,8 +41,8 @@ fn main() {
     println!("{}", t.render());
 
     let record = table1::to_record(w, trials, seed, &cells);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

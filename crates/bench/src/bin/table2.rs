@@ -1,15 +1,29 @@
 //! Reproduce Table II: expected congestion of matrix access patterns.
 //!
 //! Usage: `cargo run -p rap-bench --bin table2 --release [--trials 2000]
-//! [--seed 2014]`
+//! [--seed 2014] [--checkpoint <path>|off] [--budget-ms N] [--block-cap N]
+//! [--retries N]`
+//!
+//! The sweep checkpoints completed Monte-Carlo blocks to a ledger
+//! (default `results/checkpoints/t2.ledger`), so a killed run resumes
+//! where it stopped and still produces byte-identical final JSON.
 
+use rap_access::resilient::ResilientConfig;
 use rap_bench::experiments::table2::{self, Table2Config};
 use rap_bench::table::{fmt2, TextTable};
-use rap_bench::{output, CliArgs};
+use rap_bench::{output, CliArgs, ResilienceArgs};
 use rap_core::Scheme;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("table2: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let mut cfg = Table2Config {
         base_trials: args.get_u64("trials", 2000),
         seed: args.get_u64("seed", 2014),
@@ -30,7 +44,22 @@ fn main() {
         cfg.base_trials, cfg.seed
     );
 
-    let cells = table2::run(&cfg);
+    let rargs = ResilienceArgs::from_cli(&args, "t2.ledger");
+    let ledger = rargs
+        .open_ledger(cfg.fingerprint())
+        .map_err(|e| format!("opening checkpoint ledger: {e}"))?;
+    if ledger.resumed_entries() > 0 {
+        println!(
+            "resuming: {} completed block(s) recovered from the checkpoint ledger\n",
+            ledger.resumed_entries()
+        );
+    }
+    let rcfg = ResilientConfig {
+        ledger: &ledger,
+        budget: rargs.budget,
+        retry: rargs.retry,
+    };
+    let (cells, report) = table2::run_resilient(&cfg, &rcfg);
 
     for scheme in Scheme::all() {
         println!("{scheme} implementation (paper value in parentheses):");
@@ -52,15 +81,29 @@ fn main() {
         println!("{}", t.render());
     }
 
-    let record = table2::to_record(&cfg, &cells);
+    let mut record = table2::to_record(&cfg, &cells);
+    rap_bench::annotate_record(&mut record, &report);
     if let Some(worst) = record.worst_relative_error() {
         println!(
             "worst relative deviation from the paper: {:.2}%",
             worst * 100.0
         );
     }
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+
+    if report.degraded() {
+        eprintln!(
+            "table2: run degraded ({} failed, {} budget-skipped blocks); \
+             keeping the checkpoint ledger so a rerun can finish the sweep",
+            report.failed,
+            report.skipped_wall + report.skipped_cap
+        );
+    } else {
+        ledger
+            .remove_file()
+            .map_err(|e| format!("removing completed checkpoint ledger: {e}"))?;
     }
+    Ok(())
 }

@@ -8,7 +8,15 @@ use rap_bench::table::TextTable;
 use rap_bench::{output, CliArgs};
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("umm_contrast: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
     let w = args.get_usize("width", 32);
     let latency = args.get_u64("latency", 8);
 
@@ -31,8 +39,8 @@ fn main() {
     );
 
     let record = umm::to_record(w, latency, &rows);
-    match output::write_record(&output::default_root(), &record) {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    let path = output::write_record_to(&output::results_dir(), &record)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod apps;
+pub mod chaos;
 pub mod lemma1;
 pub mod malicious;
 pub mod modern;

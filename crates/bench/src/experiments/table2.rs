@@ -3,9 +3,11 @@
 //! {contiguous, stride, diagonal, random} × schemes {RAW, RAS, RAP}.
 
 use crate::paper::table2_reference;
-use rap_access::montecarlo::matrix_congestion;
+use rap_access::montecarlo::{matrix_congestion, TRIALS_PER_BLOCK};
+use rap_access::resilient::{matrix_congestion_resilient, ResilientConfig};
 use rap_access::MatrixPattern;
 use rap_core::Scheme;
+use rap_resilience::BlockReport;
 use rap_stats::{CellSummary, ExperimentRecord, OnlineStats, SeedDomain};
 
 /// Configuration of the Table II sweep.
@@ -35,6 +37,21 @@ impl Table2Config {
     #[must_use]
     pub fn trials_for(&self, w: usize) -> u64 {
         ((self.base_trials * 32) / w as u64).max(100)
+    }
+
+    /// The checkpoint fingerprint of this sweep: every parameter that
+    /// shapes the block structure or the sample streams, plus the engine
+    /// block size. A ledger written under different parameters must never
+    /// be resumed into this run.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        rap_resilience::fingerprint([
+            "t2".to_string(),
+            format!("widths={:?}", self.widths),
+            format!("base_trials={}", self.base_trials),
+            format!("seed={}", self.seed),
+            format!("block={TRIALS_PER_BLOCK}"),
+        ])
     }
 }
 
@@ -85,6 +102,51 @@ pub fn run(cfg: &Table2Config) -> Vec<Table2Cell> {
             }
         })
         .collect()
+}
+
+/// [`run`] through the resilient executor: identical cell order, cell
+/// domains, and sample streams, plus checkpointing to `rcfg.ledger`,
+/// panic retry, and budget degradation. A clean run (no faults, no
+/// budget hits) returns cells bit-identical to [`run`]'s; a resumed run
+/// re-executes only blocks missing from the ledger and still merges to
+/// the identical bits.
+#[must_use]
+pub fn run_resilient(
+    cfg: &Table2Config,
+    rcfg: &ResilientConfig<'_>,
+) -> (Vec<Table2Cell>, BlockReport) {
+    let domain = SeedDomain::new(cfg.seed).child("table2");
+    let mut report = BlockReport::default();
+    let mut cells = Vec::new();
+    for pattern in MatrixPattern::table2() {
+        for scheme in Scheme::all() {
+            for &w in &cfg.widths {
+                let cell_domain = domain
+                    .child(pattern.name())
+                    .child(scheme.name())
+                    .child_idx(w as u64);
+                let key = format!("{}/{}/w={w}", pattern.name(), scheme.name());
+                let run = matrix_congestion_resilient(
+                    scheme,
+                    pattern,
+                    w,
+                    cfg.trials_for(w),
+                    &cell_domain,
+                    &key,
+                    rcfg,
+                );
+                report.absorb(&run.report);
+                cells.push(Table2Cell {
+                    pattern,
+                    scheme,
+                    w,
+                    stats: run.stats,
+                    paper: table2_reference(scheme, pattern.name(), w),
+                });
+            }
+        }
+    }
+    (cells, report)
 }
 
 /// Convert the measured cells into a serializable record.
@@ -193,6 +255,96 @@ mod tests {
         let b = run(&cfg);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.stats, y.stats);
+        }
+    }
+
+    #[test]
+    fn resilient_sweep_is_bit_identical_to_plain() {
+        let cfg = small_cfg();
+        let plain = run(&cfg);
+        let ledger = rap_resilience::Ledger::in_memory();
+        let (cells, report) = run_resilient(&cfg, &ResilientConfig::new(&ledger));
+        assert!(!report.degraded());
+        assert_eq!(report.total_blocks, report.completed);
+        assert_eq!(cells.len(), plain.len());
+        for (a, b) in cells.iter().zip(&plain) {
+            assert_eq!((a.pattern, a.scheme, a.w), (b.pattern, b.scheme, b.w));
+            assert_eq!(
+                a.stats.to_raw(),
+                b.stats.to_raw(),
+                "{} {} w={}",
+                a.pattern,
+                a.scheme,
+                a.w
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_sweep_matches_clean_sweep_bit_for_bit() {
+        use rap_resilience::{Ledger, SyncPolicy};
+        let cfg = small_cfg();
+        let fp = cfg.fingerprint();
+        let dir = std::env::temp_dir().join(format!("rap-t2-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("t2.ledger");
+
+        // "Killed" first run: budget allows only one block per cell, so
+        // the ledger holds a strict prefix of the work.
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            let rcfg = ResilientConfig {
+                ledger: &ledger,
+                budget: rap_resilience::RunBudget::unlimited().with_block_cap(1),
+                retry: rap_resilience::RetryPolicy::default(),
+            };
+            let (_, report) = run_resilient(&cfg, &rcfg);
+            assert!(report.degraded(), "the cap must leave work undone");
+            assert!(report.completed > 0, "some blocks must have checkpointed");
+        }
+
+        // Resume and compare against an uninterrupted run.
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert!(ledger.resumed_entries() > 0);
+        let (resumed, report) = run_resilient(&cfg, &ResilientConfig::new(&ledger));
+        assert!(!report.degraded());
+        assert!(
+            report.from_checkpoint > 0,
+            "the resume must reuse the ledger"
+        );
+        for (a, b) in resumed.iter().zip(&run(&cfg)) {
+            assert_eq!(
+                a.stats.to_raw(),
+                b.stats.to_raw(),
+                "{} {} w={}",
+                a.pattern,
+                a.scheme,
+                a.w
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_parameter() {
+        let base = small_cfg();
+        let fp = base.fingerprint();
+        assert_eq!(fp, small_cfg().fingerprint());
+        for cfg in [
+            Table2Config {
+                seed: 8,
+                ..small_cfg()
+            },
+            Table2Config {
+                base_trials: 61,
+                ..small_cfg()
+            },
+            Table2Config {
+                widths: vec![16],
+                ..small_cfg()
+            },
+        ] {
+            assert_ne!(cfg.fingerprint(), fp);
         }
     }
 }

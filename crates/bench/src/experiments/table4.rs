@@ -7,10 +7,12 @@
 //! and check each cell's *class*: exact 1, exact `w`, near the
 //! balls-into-bins expectation, or near the grouped expectation.
 
-use rap_access::montecarlo::array4d_congestion;
+use rap_access::montecarlo::{array4d_congestion, TRIALS_PER_BLOCK};
+use rap_access::resilient::{array4d_congestion_resilient, ResilientConfig};
 use rap_access::Pattern4d;
 use rap_core::multidim::Scheme4d;
 use rap_core::theory::{table4, CongestionClass};
+use rap_resilience::BlockReport;
 use rap_stats::{CellSummary, ExperimentRecord, MaxLoad, OnlineStats, SeedDomain};
 
 /// Configuration of the Table IV sweep.
@@ -34,6 +36,22 @@ impl Default for Table4Config {
             warps_per_trial: 8,
             seed: 2014,
         }
+    }
+}
+
+impl Table4Config {
+    /// The checkpoint fingerprint of this sweep (see
+    /// [`super::table2::Table2Config::fingerprint`]).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        rap_resilience::fingerprint([
+            "t4".to_string(),
+            format!("w={}", self.width),
+            format!("trials={}", self.trials),
+            format!("warps={}", self.warps_per_trial),
+            format!("seed={}", self.seed),
+            format!("block={TRIALS_PER_BLOCK}"),
+        ])
     }
 }
 
@@ -113,6 +131,43 @@ pub fn run(cfg: &Table4Config) -> Vec<Table4Cell> {
             }
         })
         .collect()
+}
+
+/// [`run`] through the resilient executor (see
+/// [`super::table2::run_resilient`]): identical streams and merge order,
+/// plus checkpointing, retry, and budgets.
+#[must_use]
+pub fn run_resilient(
+    cfg: &Table4Config,
+    rcfg: &ResilientConfig<'_>,
+) -> (Vec<Table4Cell>, BlockReport) {
+    let domain = SeedDomain::new(cfg.seed).child("table4");
+    let mut report = BlockReport::default();
+    let mut cells = Vec::new();
+    for pattern in Pattern4d::table4() {
+        for scheme in Scheme4d::all() {
+            let cell_domain = domain.child(pattern.name()).child(scheme.name());
+            let key = format!("{}/{}", pattern.name(), scheme.name());
+            let run = array4d_congestion_resilient(
+                scheme,
+                pattern,
+                cfg.width,
+                cfg.trials,
+                cfg.warps_per_trial,
+                &cell_domain,
+                &key,
+                rcfg,
+            );
+            report.absorb(&run.report);
+            cells.push(Table4Cell {
+                pattern,
+                scheme,
+                stats: run.stats,
+                class: class_of(pattern, scheme),
+            });
+        }
+    }
+    (cells, report)
 }
 
 /// Convert the cells into a serializable record; the `paper` field holds
@@ -240,6 +295,83 @@ mod tests {
         assert!((ml - 3.53).abs() < 0.05);
         let grouped = class_reference(CongestionClass::GroupedMaxLoad, 32);
         assert!(grouped > 6.0 && grouped < 32.0);
+    }
+
+    #[test]
+    fn resilient_sweep_is_bit_identical_to_plain() {
+        let cfg = quick_cfg();
+        let plain = run(&cfg);
+        let ledger = rap_resilience::Ledger::in_memory();
+        let (cells, report) = run_resilient(&cfg, &ResilientConfig::new(&ledger));
+        assert!(!report.degraded());
+        for (a, b) in cells.iter().zip(&plain) {
+            assert_eq!((a.pattern, a.scheme), (b.pattern, b.scheme));
+            assert_eq!(
+                a.stats.to_raw(),
+                b.stats.to_raw(),
+                "{} {}",
+                a.pattern,
+                a.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn resumed_sweep_matches_clean_sweep_bit_for_bit() {
+        use rap_resilience::{Ledger, SyncPolicy};
+        let cfg = quick_cfg();
+        let fp = cfg.fingerprint();
+        let dir = std::env::temp_dir().join(format!("rap-t4-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("t4.ledger");
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            let rcfg = ResilientConfig {
+                ledger: &ledger,
+                budget: rap_resilience::RunBudget::unlimited().with_block_cap(1),
+                retry: rap_resilience::RetryPolicy::default(),
+            };
+            let (_, report) = run_resilient(&cfg, &rcfg);
+            assert!(report.degraded());
+        }
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert!(ledger.resumed_entries() > 0);
+        let (resumed, report) = run_resilient(&cfg, &ResilientConfig::new(&ledger));
+        assert!(!report.degraded());
+        assert!(report.from_checkpoint > 0);
+        for (a, b) in resumed.iter().zip(&run(&cfg)) {
+            assert_eq!(
+                a.stats.to_raw(),
+                b.stats.to_raw(),
+                "{} {}",
+                a.pattern,
+                a.scheme
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_parameters() {
+        let fp = quick_cfg().fingerprint();
+        assert_eq!(fp, quick_cfg().fingerprint());
+        assert_ne!(
+            Table4Config {
+                seed: 6,
+                ..quick_cfg()
+            }
+            .fingerprint(),
+            fp
+        );
+        assert_ne!(
+            Table4Config {
+                trials: 41,
+                ..quick_cfg()
+            }
+            .fingerprint(),
+            fp
+        );
+        assert_ne!(Table4Config::default().fingerprint(), fp);
     }
 
     #[test]

@@ -53,6 +53,12 @@ impl CliArgs {
         Self { opts }
     }
 
+    /// Look up a raw string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.opts.get(key).map(String::as_str)
+    }
+
     /// Look up a numeric option with a default.
     #[must_use]
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
@@ -72,6 +78,102 @@ impl CliArgs {
     }
 }
 
+/// The resilience options shared by the resumable bench binaries
+/// (`table2`, `table4`, `perf_smoke`): where to checkpoint, how long to
+/// run, how hard to retry.
+///
+/// Flags:
+/// * `--checkpoint <path|off>` — ledger location; `off` disables disk
+///   checkpointing; default is `<results>/checkpoints/<name>` (which
+///   honours `RAP_RESULTS_DIR`);
+/// * `--budget-ms <n>` — wall-clock deadline (0 or absent = unlimited);
+/// * `--block-cap <n>` — max 32-trial blocks per cell (0 = unlimited);
+/// * `--retries <n>` — retry attempts per panicking/failing block.
+#[derive(Debug)]
+pub struct ResilienceArgs {
+    /// Ledger path; `None` means checkpointing is off (in-memory).
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Wall/block budget.
+    pub budget: rap_resilience::RunBudget,
+    /// Per-block retry policy.
+    pub retry: rap_resilience::RetryPolicy,
+}
+
+impl ResilienceArgs {
+    /// Parse from CLI options, defaulting the ledger to
+    /// `<results>/checkpoints/<default_ledger_name>`.
+    #[must_use]
+    pub fn from_cli(args: &CliArgs, default_ledger_name: &str) -> Self {
+        let checkpoint = match args.get("checkpoint") {
+            Some("off") => None,
+            Some(path) => Some(std::path::PathBuf::from(path)),
+            None => Some(output::checkpoints_dir().join(default_ledger_name)),
+        };
+        let mut budget = rap_resilience::RunBudget::unlimited();
+        let ms = args.get_u64("budget-ms", 0);
+        if ms > 0 {
+            budget = budget.with_wall_limit(std::time::Duration::from_millis(ms));
+        }
+        let cap = args.get_u64("block-cap", 0);
+        if cap > 0 {
+            budget = budget.with_block_cap(cap);
+        }
+        let retry = rap_resilience::RetryPolicy {
+            max_retries: u32::try_from(args.get_u64("retries", 2)).unwrap_or(u32::MAX),
+            ..rap_resilience::RetryPolicy::default()
+        };
+        Self {
+            checkpoint,
+            budget,
+            retry,
+        }
+    }
+
+    /// Open the configured ledger for a run with this `fingerprint`
+    /// (fsync-per-entry — bench checkpoints must survive `kill -9`), or
+    /// an in-memory ledger when checkpointing is off.
+    ///
+    /// # Errors
+    /// Propagates ledger I/O errors.
+    pub fn open_ledger(&self, fingerprint: u64) -> std::io::Result<rap_resilience::Ledger> {
+        match &self.checkpoint {
+            None => Ok(rap_resilience::Ledger::in_memory()),
+            Some(path) => rap_resilience::Ledger::open(
+                path,
+                fingerprint,
+                rap_resilience::SyncPolicy::EveryEntry,
+            ),
+        }
+    }
+}
+
+/// Install the failpoint plan named by `RAP_FAILPOINTS`, if set.
+///
+/// Every bench binary calls this first thing, so chaos drills work on
+/// the real binaries without recompiling: the returned guard must stay
+/// alive for the whole run. Unset (or empty) is a no-op.
+///
+/// # Errors
+/// A malformed spec is a loud, contextual error — a typo'd chaos drill
+/// must not silently run clean.
+pub fn failpoints_from_env() -> Result<Option<rap_resilience::FailpointGuard>, String> {
+    rap_resilience::install_from_env().map_err(|e| format!("RAP_FAILPOINTS: {e}"))
+}
+
+/// Fold a sweep's [`rap_resilience::BlockReport`] into its record: set
+/// the degraded flag when blocks were lost or skipped and carry the
+/// notes. Clean reports add nothing, so clean records stay
+/// byte-comparable across runs (including resumed ones).
+pub fn annotate_record(
+    record: &mut rap_stats::ExperimentRecord,
+    report: &rap_resilience::BlockReport,
+) {
+    if report.degraded() {
+        record.degraded = true;
+    }
+    record.notes.extend(report.notes.iter().cloned());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +191,72 @@ mod tests {
     fn cli_args_ignore_malformed() {
         let a = CliArgs::parse_args(["--trials", "abc", "stray"].map(String::from));
         assert_eq!(a.get_u64("trials", 3), 3);
+    }
+
+    #[test]
+    fn resilience_args_parse_the_full_surface() {
+        let a = CliArgs::parse_args(
+            [
+                "--checkpoint",
+                "/tmp/x.ledger",
+                "--budget-ms",
+                "250",
+                "--block-cap",
+                "4",
+                "--retries",
+                "7",
+            ]
+            .map(String::from),
+        );
+        let r = ResilienceArgs::from_cli(&a, "t2.ledger");
+        assert_eq!(
+            r.checkpoint.as_deref(),
+            Some(std::path::Path::new("/tmp/x.ledger"))
+        );
+        assert_eq!(
+            r.budget.wall_limit,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(r.budget.block_cap, Some(4));
+        assert_eq!(r.retry.max_retries, 7);
+
+        let off = ResilienceArgs::from_cli(
+            &CliArgs::parse_args(["--checkpoint", "off"].map(String::from)),
+            "t2.ledger",
+        );
+        assert_eq!(off.checkpoint, None);
+        assert_eq!(off.budget.wall_limit, None);
+        assert_eq!(off.budget.block_cap, None);
+
+        let default = ResilienceArgs::from_cli(&CliArgs::default(), "t2.ledger");
+        let path = default.checkpoint.expect("checkpointing on by default");
+        assert!(
+            path.ends_with("checkpoints/t2.ledger"),
+            "{}",
+            path.display()
+        );
+    }
+
+    #[test]
+    fn annotate_record_carries_degradation_and_notes() {
+        let mut record = rap_stats::ExperimentRecord::new("TX", "d", "p");
+        let clean = rap_resilience::BlockReport::default();
+        annotate_record(&mut record, &clean);
+        assert!(!record.degraded);
+        assert!(
+            record.notes.is_empty(),
+            "clean reports must not perturb records"
+        );
+
+        let report = rap_resilience::BlockReport {
+            total_blocks: 4,
+            completed: 3,
+            failed: 1,
+            notes: vec!["block c#2 failed".into()],
+            ..rap_resilience::BlockReport::default()
+        };
+        annotate_record(&mut record, &report);
+        assert!(record.degraded);
+        assert_eq!(record.notes, vec!["block c#2 failed".to_string()]);
     }
 }

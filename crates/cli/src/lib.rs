@@ -10,6 +10,7 @@
 //! rap trace     --kind drdw --scheme raw [--width 8] [--latency 3]
 //! rap permute   --family transpose [--width 16] [--latency 8]
 //! rap analyze   --width 32 [--scheme rap|all] [--plans] [--json]
+//! rap chaos     [--width 32] [--trials 256] [--fault panic|enospc|delay]
 //! ```
 //!
 //! All logic lives in [`run`], which returns the rendered output so the
@@ -50,6 +51,10 @@ USAGE:
   rap analyze    --width <w> [--scheme <raw|ras|rap|xor|padded|all>]
                  [--plans] [--json]   (static prover: certify Theorems 1
                  and 2, optionally lint the declared access plans)
+  rap chaos      [--width 32] [--trials 256] [--seed <n>] [--rate 3]
+                 [--fault <panic|enospc|delay>]   (inject faults into the
+                 Monte-Carlo engine and verify the recovered estimate is
+                 bit-identical to the fault-free run)
   rap help
 ";
 
@@ -169,6 +174,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "trace" => cmd_trace(&opts),
         "permute" => cmd_permute(&opts),
         "analyze" => cmd_analyze(&opts),
+        "chaos" => cmd_chaos(&opts),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -335,6 +341,90 @@ fn cmd_permute(opts: &Opts) -> Result<String, String> {
             run.report.max_congestion(),
             run.verified,
         ));
+    }
+    Ok(out)
+}
+
+fn cmd_chaos(opts: &Opts) -> Result<String, String> {
+    use rap_access::resilient::{matrix_congestion_resilient, ResilientConfig};
+    use rap_resilience::{failpoint, FailPlan, Fault, HitSchedule, Ledger, RetryPolicy, RunBudget};
+
+    let width = opts.usize("width", 32)?;
+    if width == 0 {
+        return Err("--width must be positive".into());
+    }
+    let trials = opts.u64("trials", 256)?.max(1);
+    let seed = opts.u64("seed", 2014)?;
+    let rate = opts.u64("rate", 3)?.max(2);
+    let fault = match opts.map.get("fault").map_or("panic", String::as_str) {
+        "panic" => Fault::Panic,
+        "enospc" => Fault::Enospc,
+        "delay" => Fault::Delay,
+        other => {
+            return Err(format!(
+                "unknown fault '{other}' (expected panic|enospc|delay)"
+            ))
+        }
+    };
+
+    let domain = SeedDomain::new(seed);
+    let plain = matrix_congestion(Scheme::Rap, MatrixPattern::Stride, width, trials, &domain);
+
+    let ledger = Ledger::in_memory();
+    let cfg = ResilientConfig {
+        ledger: &ledger,
+        budget: RunBudget::unlimited(),
+        retry: RetryPolicy {
+            max_retries: 8,
+            ..RetryPolicy::default()
+        },
+    };
+    let guard = rap_resilience::install(FailPlan::new(seed).rule(
+        "mc.block",
+        fault,
+        HitSchedule::Rate { num: 1, den: rate },
+    ));
+    // The injected panics are the demo, not noise the user should wade
+    // through: silence the default hook while the faulty run executes.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let run = matrix_congestion_resilient(
+        Scheme::Rap,
+        MatrixPattern::Stride,
+        width,
+        trials,
+        &domain,
+        "cli/chaos",
+        &cfg,
+    );
+    std::panic::set_hook(prev_hook);
+    let events = failpoint::drain_log();
+    drop(guard);
+
+    let identical = run.stats.to_raw() == plain.to_raw();
+    let mut out = format!(
+        "chaos: stride access under RAP, w={width}, {trials} trials, \
+         fault={fault:?} on 1/{rate} of blocks (seed {seed})\n\
+         injected {} fault(s) into {} block(s); {} retr{} spent\n",
+        events.len(),
+        run.report.total_blocks,
+        run.report.retries,
+        if run.report.retries == 1 { "y" } else { "ies" },
+    );
+    if run.report.degraded() {
+        out.push_str(&format!(
+            "DEGRADED: {} block(s) failed past the retry budget — {:?}\n",
+            run.report.failed, run.report.notes
+        ));
+    }
+    out.push_str(&format!(
+        "fault-free estimate:  {:.6}\nrecovered estimate:   {:.6}\nbit-identical: {}\n",
+        plain.mean(),
+        run.stats.mean(),
+        if identical { "yes" } else { "NO" },
+    ));
+    if !identical {
+        return Err(out);
     }
     Ok(out)
 }
@@ -596,6 +686,39 @@ mod tests {
     fn flags_parse_in_any_position() {
         let out = call(&["analyze", "--plans", "--width", "4"]).unwrap();
         assert!(out.contains("RAP lint, w = 4"));
+    }
+
+    /// The failpoint registry is process-global; chaos tests must not
+    /// interleave with each other.
+    static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn chaos_recovers_bit_identically_from_panics() {
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let out = call(&["chaos", "--width", "16", "--trials", "128"]).unwrap();
+        assert!(out.contains("bit-identical: yes"), "{out}");
+        assert!(!out.contains("DEGRADED"), "{out}");
+    }
+
+    #[test]
+    fn chaos_supports_io_and_delay_faults() {
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for fault in ["enospc", "delay"] {
+            let out =
+                call(&["chaos", "--width", "16", "--trials", "64", "--fault", fault]).unwrap();
+            assert!(out.contains("bit-identical: yes"), "{fault}: {out}");
+        }
+    }
+
+    #[test]
+    fn chaos_rejects_unknown_faults() {
+        assert!(call(&["chaos", "--fault", "zzz"])
+            .unwrap_err()
+            .contains("unknown fault"));
     }
 
     #[test]

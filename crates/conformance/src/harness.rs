@@ -192,6 +192,148 @@ impl Harness {
     }
 }
 
+/// Limits for [`Harness::run_isolated`]'s per-case recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct IsolationPolicy {
+    /// Additional attempts after a case's check panics.
+    pub max_retries: u32,
+}
+
+impl Default for IsolationPolicy {
+    fn default() -> Self {
+        Self { max_retries: 3 }
+    }
+}
+
+/// A [`ConformanceReport`] plus the chaos bookkeeping of an isolated run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IsolatedRun {
+    /// The ordinary report — identical to [`Harness::run`]'s when every
+    /// case eventually completed.
+    pub report: ConformanceReport,
+    /// Case attempts that panicked and were caught.
+    pub caught_panics: u64,
+    /// Distinct cases that needed at least one retry.
+    pub retried_cases: u64,
+    /// Cases abandoned after exhausting retries (excluded from the
+    /// report's divergence tallies — they are *lost*, not clean).
+    pub lost_cases: u64,
+}
+
+impl IsolatedRun {
+    /// True only when the report is clean **and** no case was lost: a
+    /// case that never ran proves nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.report.is_clean() && self.lost_cases == 0
+    }
+}
+
+impl Harness {
+    /// [`Harness::run`] with per-case panic isolation, for chaos testing.
+    ///
+    /// `hook` is invoked *inside* the isolation boundary before each case
+    /// attempt, with the oracle name and case index. Fault injectors
+    /// (e.g. `rap-resilience` failpoints) live in that hook — the
+    /// harness itself stays dependency-free. A panic out of the hook or
+    /// the check costs one attempt; the case retries up to
+    /// `policy.max_retries` times before being counted lost.
+    ///
+    /// With a hook that never panics, the returned report is **equal** to
+    /// the one [`Harness::run`] produces from the same `base_seed` — the
+    /// chaos suite asserts exactly that equality under injected faults.
+    pub fn run_isolated<H>(
+        &mut self,
+        base_seed: u64,
+        mut hook: H,
+        policy: &IsolationPolicy,
+    ) -> IsolatedRun
+    where
+        H: FnMut(&str, u64),
+    {
+        let mut oracles = Vec::with_capacity(self.entries.len());
+        let mut recorded: Vec<Divergence> = Vec::new();
+        let mut cases_run = 0u64;
+        let mut shrink_panics = 0u64;
+        let mut caught_panics = 0u64;
+        let mut retried_cases = 0u64;
+        let mut lost_cases = 0u64;
+
+        for (oracle, budget) in &mut self.entries {
+            let name = oracle.name().to_string();
+            let mut divergences = 0u64;
+            for index in 0..*budget {
+                let seed = case_seed(base_seed, &name, index);
+                let mut attempts = 0u32;
+                let outcome = loop {
+                    // `.err()` keeps the closure's Ok variant zero-sized;
+                    // a `Divergence` is too large to ship through `Result`.
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        hook(&name, index);
+                        oracle.check(seed).err()
+                    }));
+                    match attempt {
+                        Ok(result) => break Some(result),
+                        Err(_) => {
+                            caught_panics += 1;
+                            if attempts == 0 {
+                                retried_cases += 1;
+                            }
+                            attempts += 1;
+                            if attempts > policy.max_retries {
+                                break None;
+                            }
+                        }
+                    }
+                };
+                match outcome {
+                    None => {
+                        lost_cases += 1;
+                        // An abandoned case was counted as a retried one;
+                        // keep the tallies disjoint.
+                        retried_cases -= 1;
+                    }
+                    Some(None) => {}
+                    Some(Some(divergence)) => {
+                        divergences += 1;
+                        if divergences <= MAX_RECORDED_PER_ORACLE {
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                oracle.shrink(divergence.clone())
+                            })) {
+                                Ok(shrunk) => recorded.push(shrunk),
+                                Err(_) => {
+                                    shrink_panics += 1;
+                                    recorded.push(divergence);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            cases_run += *budget;
+            oracles.push(OracleRun {
+                name,
+                cases: *budget,
+                divergences,
+            });
+        }
+
+        IsolatedRun {
+            report: ConformanceReport {
+                base_seed,
+                cases_run,
+                oracle_pairs: self.entries.len(),
+                oracles,
+                divergences: recorded,
+                shrink_panics,
+            },
+            caught_panics,
+            retried_cases,
+            lost_cases,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +355,83 @@ mod tests {
         assert!(report.is_clean(), "{}", report.summary());
         assert_eq!(report.cases_run, 60);
         assert_eq!(report.oracle_pairs, 2);
+    }
+
+    #[test]
+    fn isolated_run_without_faults_equals_the_plain_run() {
+        let build = || {
+            let mut h = Harness::new();
+            h.push(
+                Box::new(KernelOracle::new(
+                    "congestion:analyze-vs-naive",
+                    AnalyzePath,
+                )),
+                40,
+            );
+            h.push(Box::new(ScheduleOracle), 10);
+            h
+        };
+        let plain = build().run(2014);
+        let isolated = build().run_isolated(2014, |_, _| {}, &IsolationPolicy::default());
+        assert_eq!(isolated.report, plain);
+        assert_eq!(isolated.caught_panics, 0);
+        assert_eq!(isolated.retried_cases, 0);
+        assert_eq!(isolated.lost_cases, 0);
+        assert!(isolated.is_clean());
+    }
+
+    #[test]
+    fn panicking_hook_is_retried_to_the_same_report() {
+        let build = || {
+            let mut h = Harness::new();
+            h.push(
+                Box::new(KernelOracle::new(
+                    "congestion:analyze-vs-naive",
+                    AnalyzePath,
+                )),
+                40,
+            );
+            h
+        };
+        let plain = build().run(9);
+        // Panic on the first attempt of every 7th case; retries recover.
+        let mut last_panicked = u64::MAX;
+        let hook = move |_: &str, index: u64| {
+            if index.is_multiple_of(7) && last_panicked != index {
+                last_panicked = index;
+                panic!("injected hook panic");
+            }
+        };
+        let isolated = build().run_isolated(9, hook, &IsolationPolicy::default());
+        assert_eq!(isolated.report, plain, "chaos must not change verdicts");
+        assert_eq!(isolated.caught_panics, 6, "cases 0,7,14,21,28,35");
+        assert_eq!(isolated.retried_cases, 6);
+        assert_eq!(isolated.lost_cases, 0);
+        assert!(isolated.is_clean());
+    }
+
+    #[test]
+    fn unrecoverable_cases_are_lost_not_silently_clean() {
+        let mut h = Harness::new();
+        h.push(
+            Box::new(KernelOracle::new(
+                "congestion:analyze-vs-naive",
+                AnalyzePath,
+            )),
+            10,
+        );
+        let hook = |_: &str, index: u64| {
+            assert!(index != 3, "always fails");
+        };
+        let isolated = h.run_isolated(3, hook, &IsolationPolicy { max_retries: 2 });
+        assert_eq!(isolated.lost_cases, 1);
+        assert_eq!(isolated.caught_panics, 3, "initial try + 2 retries");
+        assert_eq!(isolated.retried_cases, 0, "the only retried case was lost");
+        assert!(!isolated.is_clean(), "a lost case proves nothing");
+        assert!(
+            isolated.report.is_clean(),
+            "the 9 surviving cases were clean"
+        );
     }
 
     #[test]

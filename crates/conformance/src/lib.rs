@@ -46,7 +46,7 @@ pub mod schedule_oracle;
 pub mod shrink;
 pub mod transpose_oracle;
 
-pub use harness::{ConformanceReport, Harness, OracleRun};
+pub use harness::{ConformanceReport, Harness, IsolatedRun, IsolationPolicy, OracleRun};
 pub use kernels::{
     AnalyzePath, CongestionPath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath,
 };

@@ -1,0 +1,528 @@
+//! Checkpoint ledgers: append-only logs of completed Monte-Carlo blocks.
+//!
+//! The engine in `rap-access` executes trials in fixed 32-trial blocks and
+//! merges the per-block accumulators in block-index order — so the full
+//! estimate is a pure function of *which blocks completed with what
+//! statistics*. A [`Ledger`] persists exactly that: one JSON line per
+//! completed `(cell, block)` pair carrying the accumulator as IEEE-754
+//! **bit patterns** ([`rap_stats::RawOnlineStats`]), so a resumed run
+//! merges to the byte-identical result an uninterrupted run produces.
+//!
+//! Crash-safety model:
+//!
+//! * the file is append-only; a crash can lose at most the suffix being
+//!   written. On open, a torn trailing line is detected, reported
+//!   ([`Ledger::truncated_tail`]), and truncated away before appending
+//!   resumes — a half-written entry is re-executed, never half-trusted;
+//! * the header pins a caller-supplied [`fingerprint`] of every parameter
+//!   that affects the block structure (experiment id, widths, trials,
+//!   seed, block size). A ledger whose fingerprint disagrees is discarded
+//!   wholesale rather than silently poisoning the resume;
+//! * appends take `&self` (an internal mutex serializes writers) so the
+//!   parallel executor can record blocks as they finish, and each entry is
+//!   flushed (and optionally fsync'd) before `record` returns.
+
+use crate::failpoint::{self, Fault};
+use rap_stats::{OnlineStats, RawOnlineStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Current on-disk format version.
+const LEDGER_VERSION: u32 = 1;
+/// Magic string identifying ledger files.
+const LEDGER_MAGIC: &str = "rap-ledger";
+
+/// Hash a sequence of textual parameter parts into a run fingerprint.
+///
+/// Uses the same FNV-1a + SplitMix64 construction as the seed domains, so
+/// fingerprints are stable across processes and platforms. Include every
+/// parameter that affects the block structure or the sample streams.
+#[must_use]
+pub fn fingerprint<I, S>(parts: I) -> u64
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut state = rap_stats::rng::hash_label(LEDGER_MAGIC);
+    for part in parts {
+        state = rap_stats::rng::splitmix64(state ^ rap_stats::rng::hash_label(part.as_ref()));
+    }
+    state
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Header {
+    magic: String,
+    version: u32,
+    fingerprint: u64,
+}
+
+/// One completed block: cell key, block index, and the accumulator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Cell key (e.g. `"Stride/RAS/w=32"`).
+    pub cell: String,
+    /// Block index within the cell's trial range.
+    pub block: u64,
+    /// The block's accumulator, bit-exact.
+    pub stats: RawOnlineStats,
+}
+
+/// How durable each append is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// `fsync` after every entry — a crash loses nothing acknowledged.
+    /// This is what the bench binaries use.
+    EveryEntry,
+    /// Flush to the OS after every entry but skip the `fsync`; a power
+    /// loss may drop recent entries (they simply re-run). Right for
+    /// tests and high-block-rate sweeps.
+    #[default]
+    Flush,
+}
+
+enum Backing {
+    File {
+        writer: BufWriter<File>,
+        sync: SyncPolicy,
+    },
+    Memory,
+}
+
+/// An open checkpoint ledger (see the module docs).
+pub struct Ledger {
+    path: Option<PathBuf>,
+    completed: HashMap<(String, u64), RawOnlineStats>,
+    backing: Mutex<Backing>,
+    resumed_entries: usize,
+    discarded_stale: bool,
+    truncated_tail: bool,
+}
+
+impl std::fmt::Debug for Ledger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ledger")
+            .field("path", &self.path)
+            .field("completed", &self.completed.len())
+            .field("resumed_entries", &self.resumed_entries)
+            .field("discarded_stale", &self.discarded_stale)
+            .field("truncated_tail", &self.truncated_tail)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Ledger {
+    /// Open (or create) the ledger at `path` for the run identified by
+    /// `fingerprint`.
+    ///
+    /// Existing entries with a matching fingerprint are loaded for
+    /// resume; a mismatched or corrupt header discards the file. A torn
+    /// trailing line is truncated away (see [`Self::truncated_tail`]).
+    ///
+    /// # Errors
+    /// Propagates I/O errors opening, reading, or preparing the file.
+    pub fn open(path: &Path, fingerprint: u64, sync: SyncPolicy) -> io::Result<Self> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ctx(&e, "creating ledger directory", parent))?;
+        }
+
+        let mut completed = HashMap::new();
+        let mut resumed_entries = 0;
+        let mut discarded_stale = false;
+        let mut truncated_tail = false;
+        // Byte offset up to which the existing file is valid for this run.
+        let mut keep_bytes: u64 = 0;
+        let mut needs_header = true;
+
+        if path.exists() {
+            let mut text = String::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(|e| ctx(&e, "reading ledger", path))?;
+            let mut offset: u64 = 0;
+            let mut first = true;
+            for line in text.split_inclusive('\n') {
+                let complete = line.ends_with('\n');
+                let body = line.trim_end_matches('\n');
+                if first {
+                    match serde_json::from_str::<Header>(body) {
+                        Ok(h)
+                            if complete
+                                && h.magic == LEDGER_MAGIC
+                                && h.version == LEDGER_VERSION
+                                && h.fingerprint == fingerprint =>
+                        {
+                            needs_header = false;
+                            offset += line.len() as u64;
+                            keep_bytes = offset;
+                        }
+                        _ => {
+                            // Stale run (different parameters), foreign
+                            // file, or torn header: start fresh.
+                            discarded_stale = true;
+                            break;
+                        }
+                    }
+                    first = false;
+                    continue;
+                }
+                match serde_json::from_str::<LedgerEntry>(body) {
+                    Ok(entry) if complete => {
+                        completed.insert((entry.cell, entry.block), entry.stats);
+                        resumed_entries += 1;
+                        offset += line.len() as u64;
+                        keep_bytes = offset;
+                    }
+                    _ => {
+                        // Torn or corrupt line: everything from here on is
+                        // untrusted. Truncate and re-execute those blocks.
+                        truncated_tail = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| ctx(&e, "opening ledger", path))?;
+        file.set_len(keep_bytes)
+            .map_err(|e| ctx(&e, "truncating ledger", path))?;
+        let mut writer = BufWriter::new(file);
+        writer
+            .seek(SeekFrom::Start(keep_bytes))
+            .map_err(|e| ctx(&e, "seeking ledger", path))?;
+
+        let ledger = Self {
+            path: Some(path.to_path_buf()),
+            completed,
+            backing: Mutex::new(Backing::File { writer, sync }),
+            resumed_entries,
+            discarded_stale,
+            truncated_tail,
+        };
+        if needs_header {
+            let header = serde_json::to_string(&Header {
+                magic: LEDGER_MAGIC.to_string(),
+                version: LEDGER_VERSION,
+                fingerprint,
+            })
+            .map_err(|e| json_err(&e))?;
+            ledger
+                .append_line(&header)
+                .map_err(|e| ctx(&e, "writing ledger header", path))?;
+        }
+        Ok(ledger)
+    }
+
+    /// A purely in-memory ledger (tests, `rap chaos` demos): records are
+    /// kept but nothing touches the filesystem.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            completed: HashMap::new(),
+            backing: Mutex::new(Backing::Memory),
+            resumed_entries: 0,
+            discarded_stale: false,
+            truncated_tail: false,
+        }
+    }
+
+    /// The stats recorded for `(cell, block)` by a previous run, if any.
+    #[must_use]
+    pub fn completed(&self, cell: &str, block: u64) -> Option<OnlineStats> {
+        self.completed
+            .get(&(cell.to_string(), block))
+            .map(OnlineStats::from_raw)
+    }
+
+    /// Number of entries loaded from a previous run at open time.
+    #[must_use]
+    pub fn resumed_entries(&self) -> usize {
+        self.resumed_entries
+    }
+
+    /// True when an existing file was discarded because its fingerprint
+    /// (or header) did not match this run.
+    #[must_use]
+    pub fn discarded_stale(&self) -> bool {
+        self.discarded_stale
+    }
+
+    /// True when a torn trailing line was found and truncated at open.
+    #[must_use]
+    pub fn truncated_tail(&self) -> bool {
+        self.truncated_tail
+    }
+
+    /// Durably record a completed block. Safe to call from parallel
+    /// workers; entries are self-describing so arrival order is free.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (including injected ones — failpoint site
+    /// `ledger.append`). A failed append loses only durability for that
+    /// block, not the in-memory result; callers degrade gracefully.
+    pub fn record(&self, cell: &str, block: u64, stats: &OnlineStats) -> io::Result<()> {
+        let line = serde_json::to_string(&LedgerEntry {
+            cell: cell.to_string(),
+            block,
+            stats: stats.to_raw(),
+        })
+        .map_err(|e| json_err(&e))?;
+        self.append_line(&line)
+    }
+
+    fn append_line(&self, line: &str) -> io::Result<()> {
+        let mut backing = self
+            .backing
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match &mut *backing {
+            Backing::Memory => Ok(()),
+            Backing::File { writer, sync } => {
+                if let Some(Fault::PartialWrite) = failpoint::fire("ledger.append")? {
+                    // Persist a torn prefix — exactly what a crash
+                    // mid-append leaves — then fail. The open-time
+                    // truncation logic must recover from this.
+                    let cut = line.len() / 2;
+                    writer.write_all(&line.as_bytes()[..cut])?;
+                    writer.flush()?;
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        format!("failpoint 'ledger.append': torn after {cut} bytes"),
+                    ));
+                }
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if matches!(sync, SyncPolicy::EveryEntry) {
+                    writer.get_ref().sync_all()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Delete the backing file — call after the final result has been
+    /// durably written, making the checkpoint obsolete.
+    ///
+    /// # Errors
+    /// Propagates the removal error (missing file is fine).
+    pub fn remove_file(self) -> io::Result<()> {
+        if let Some(path) = &self.path {
+            drop(self.backing); // close the handle first
+            match std::fs::remove_file(path) {
+                Ok(()) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+                Err(e) => Err(ctx(&e, "removing ledger", path)),
+            }
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn ctx(err: &io::Error, what: &str, path: &Path) -> io::Error {
+    io::Error::new(err.kind(), format!("{what} {}: {err}", path.display()))
+}
+
+fn json_err(err: &serde_json::Error) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("encoding ledger line: {err}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::{install, FailPlan, HitSchedule};
+    use crate::test_support::{locked, scratch_dir};
+
+    fn stats_of(xs: &[f64]) -> OnlineStats {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn fingerprint_depends_on_every_part_and_order() {
+        let a = fingerprint(["t2", "w=16,32", "trials=2000", "seed=2014"]);
+        assert_eq!(
+            a,
+            fingerprint(["t2", "w=16,32", "trials=2000", "seed=2014"])
+        );
+        assert_ne!(
+            a,
+            fingerprint(["t2", "w=16,32", "trials=2000", "seed=2015"])
+        );
+        assert_ne!(
+            a,
+            fingerprint(["t2", "w=16,32", "seed=2014", "trials=2000"])
+        );
+        assert_ne!(
+            a,
+            fingerprint(["t4", "w=16,32", "trials=2000", "seed=2014"])
+        );
+    }
+
+    #[test]
+    fn round_trip_resumes_bit_exact() {
+        let _l = locked();
+        let path = scratch_dir("ledger-rt").join("run.ledger");
+        let fp = fingerprint(["rt"]);
+        let a = stats_of(&[1.0, 2.5, 0.1]);
+        let b = stats_of(&[7.0]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            ledger.record("cellA", 0, &a).unwrap();
+            ledger.record("cellA", 3, &b).unwrap();
+            ledger.record("cellB", 1, &a).unwrap();
+        }
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert_eq!(ledger.resumed_entries(), 3);
+        assert!(!ledger.discarded_stale());
+        assert!(!ledger.truncated_tail());
+        assert_eq!(ledger.completed("cellA", 0), Some(a));
+        assert_eq!(ledger.completed("cellA", 3), Some(b));
+        assert_eq!(ledger.completed("cellB", 1), Some(a));
+        assert_eq!(ledger.completed("cellA", 1), None);
+        assert_eq!(ledger.completed("cellC", 0), None);
+    }
+
+    #[test]
+    fn mismatched_fingerprint_discards_wholesale() {
+        let _l = locked();
+        let path = scratch_dir("ledger-stale").join("run.ledger");
+        {
+            let ledger = Ledger::open(&path, fingerprint(["old"]), SyncPolicy::Flush).unwrap();
+            ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+        }
+        let ledger = Ledger::open(&path, fingerprint(["new"]), SyncPolicy::Flush).unwrap();
+        assert!(ledger.discarded_stale());
+        assert_eq!(ledger.resumed_entries(), 0);
+        assert_eq!(ledger.completed("c", 0), None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_kept() {
+        let _l = locked();
+        let path = scratch_dir("ledger-torn").join("run.ledger");
+        let fp = fingerprint(["torn"]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+            ledger.record("c", 1, &stats_of(&[2.0])).unwrap();
+        }
+        // Simulate a crash mid-append: chop the file mid-way through the
+        // last line.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert!(ledger.truncated_tail());
+        assert_eq!(
+            ledger.resumed_entries(),
+            1,
+            "only the intact entry survives"
+        );
+        assert_eq!(ledger.completed("c", 0), Some(stats_of(&[1.0])));
+        assert_eq!(ledger.completed("c", 1), None, "torn entry re-runs");
+        // Appending after truncation produces a cleanly parseable file.
+        ledger.record("c", 1, &stats_of(&[2.0])).unwrap();
+        drop(ledger);
+        let reopened = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert!(!reopened.truncated_tail());
+        assert_eq!(reopened.resumed_entries(), 2);
+    }
+
+    #[test]
+    fn torn_append_fault_is_recoverable() {
+        let _l = locked();
+        let path = scratch_dir("ledger-fault").join("run.ledger");
+        let fp = fingerprint(["fault"]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::EveryEntry).unwrap();
+            ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+            let _g = install(FailPlan::new(0).rule(
+                "ledger.append",
+                Fault::PartialWrite,
+                HitSchedule::At(vec![0]),
+            ));
+            let err = ledger.record("c", 1, &stats_of(&[2.0])).unwrap_err();
+            assert!(err.to_string().contains("torn"), "{err}");
+        }
+        // The torn half-line is discarded on reopen; block 1 simply
+        // re-executes. Zero silent data loss.
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert!(ledger.truncated_tail());
+        assert_eq!(ledger.completed("c", 0), Some(stats_of(&[1.0])));
+        assert_eq!(ledger.completed("c", 1), None);
+    }
+
+    #[test]
+    fn enospc_append_surfaces_and_ledger_stays_usable() {
+        let _l = locked();
+        let path = scratch_dir("ledger-enospc").join("run.ledger");
+        let fp = fingerprint(["enospc"]);
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        let _g = install(FailPlan::new(0).rule(
+            "ledger.append",
+            Fault::Enospc,
+            HitSchedule::At(vec![0]),
+        ));
+        let err = ledger.record("c", 0, &stats_of(&[1.0])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Space freed: the next append lands.
+        ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+        drop(ledger);
+        let reopened = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        assert_eq!(reopened.resumed_entries(), 1);
+    }
+
+    #[test]
+    fn remove_file_cleans_up() {
+        let _l = locked();
+        let path = scratch_dir("ledger-rm").join("run.ledger");
+        let fp = fingerprint(["rm"]);
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+        assert!(path.exists());
+        ledger.remove_file().unwrap();
+        assert!(!path.exists());
+        // In-memory ledgers remove trivially.
+        Ledger::in_memory().remove_file().unwrap();
+    }
+
+    #[test]
+    fn in_memory_records_nothing_but_accepts_everything() {
+        let ledger = Ledger::in_memory();
+        ledger.record("c", 0, &stats_of(&[1.0])).unwrap();
+        assert_eq!(
+            ledger.completed("c", 0),
+            None,
+            "memory ledger is write-only"
+        );
+    }
+
+    #[test]
+    fn empty_accumulator_round_trips() {
+        let _l = locked();
+        let path = scratch_dir("ledger-empty").join("run.ledger");
+        let fp = fingerprint(["empty"]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            ledger.record("c", 0, &OnlineStats::new()).unwrap();
+        }
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        // The ±inf min/max sentinels survive the bit-pattern encoding.
+        assert_eq!(ledger.completed("c", 0), Some(OnlineStats::new()));
+    }
+}

@@ -1,0 +1,217 @@
+//! Atomic, durable file writes.
+//!
+//! `std::fs::write` straight onto a result path has two crash failure
+//! modes: a torn file (the write was cut short) and a lost file (the
+//! create truncated the old content before the new content landed). Both
+//! silently corrupt `results/*.json`. [`write_atomic`] closes them with
+//! the classic recipe:
+//!
+//! 1. write the full payload to a sibling temp file,
+//! 2. `fsync` the temp file,
+//! 3. `rename` it over the destination (atomic on POSIX),
+//! 4. `fsync` the parent directory so the rename itself is durable.
+//!
+//! At every point in time the destination holds either the complete old
+//! content or the complete new content — never a prefix. Each stage is
+//! instrumented with a failpoint site (`durable.create_dir`,
+//! `durable.open`, `durable.write`, `durable.sync`, `durable.rename`) so
+//! the chaos suite can prove that property rather than assume it.
+
+use crate::failpoint::{self, Fault};
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The sibling temp path for `path`: `.<name>.tmp-<pid>` in the same
+/// directory (same filesystem, so the rename stays atomic; pid-suffixed
+/// so concurrent writers of *different* runs cannot collide).
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map_or_else(|| "output".into(), |n| n.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.tmp-{}", std::process::id()))
+}
+
+/// Add `path` context to a bare I/O error.
+fn ctx(err: &io::Error, what: &str, path: &Path) -> io::Error {
+    io::Error::new(err.kind(), format!("{what} {}: {err}", path.display()))
+}
+
+/// Write `bytes` to `path` atomically and durably (see the module docs).
+///
+/// On error the destination is untouched (old content or absent) and the
+/// temp file is cleaned up best-effort.
+///
+/// # Errors
+/// Propagates I/O errors from any stage, with the path in the message.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        failpoint::fire("durable.create_dir")?;
+        fs::create_dir_all(parent).map_err(|e| ctx(&e, "creating directory", parent))?;
+    }
+    let tmp = temp_sibling(path);
+    let result = write_and_rename(&tmp, path, bytes);
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn write_and_rename(tmp: &Path, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    failpoint::fire("durable.open")?;
+    let mut file = File::create(tmp).map_err(|e| ctx(&e, "creating temp file", tmp))?;
+
+    match failpoint::fire("durable.write")? {
+        Some(Fault::PartialWrite) => {
+            // Simulate the torn write: persist a strict prefix, then fail
+            // exactly as a crash mid-write would look to a reader.
+            let cut = bytes.len() / 2;
+            file.write_all(&bytes[..cut])
+                .map_err(|e| ctx(&e, "writing", tmp))?;
+            let _ = file.sync_all();
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!(
+                    "failpoint 'durable.write': torn after {cut} bytes of {}",
+                    bytes.len()
+                ),
+            ));
+        }
+        _ => file.write_all(bytes).map_err(|e| ctx(&e, "writing", tmp))?,
+    }
+
+    failpoint::fire("durable.sync")?;
+    file.sync_all().map_err(|e| ctx(&e, "syncing", tmp))?;
+    drop(file);
+
+    failpoint::fire("durable.rename")?;
+    fs::rename(tmp, path).map_err(|e| ctx(&e, "renaming into place", path))?;
+
+    // Durability of the rename itself: fsync the parent directory. Best
+    // effort — some platforms refuse to open directories; the rename is
+    // already atomic, only its persistence across power loss is at stake.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// [`write_atomic`] for a serializable value rendered as pretty JSON.
+///
+/// # Errors
+/// Propagates serialization and I/O errors, with the path in the message.
+pub fn write_json_atomic<T: serde::Serialize>(path: &Path, value: &T) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("serializing for {}: {e}", path.display()),
+        )
+    })?;
+    write_atomic(path, json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::{install, FailPlan, HitSchedule};
+    use crate::test_support::{locked, scratch_dir};
+
+    #[test]
+    fn writes_land_and_replace() {
+        let _l = locked();
+        let dir = scratch_dir("durable-basic");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer content").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer content");
+        // No temp litter left behind.
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["out.json"], "stray files: {names:?}");
+    }
+
+    #[test]
+    fn creates_missing_parents() {
+        let _l = locked();
+        let dir = scratch_dir("durable-parents");
+        let path = dir.join("a/b/c/out.json");
+        write_atomic(&path, b"x").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+    }
+
+    #[test]
+    fn partial_write_fault_never_tears_the_destination() {
+        let _l = locked();
+        let dir = scratch_dir("durable-partial");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"intact original content").unwrap();
+
+        let _g = install(FailPlan::new(0).rule(
+            "durable.write",
+            Fault::PartialWrite,
+            HitSchedule::At(vec![0]),
+        ));
+        let err = write_atomic(&path, b"replacement that gets torn").unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+        // Old content is fully intact — the tear hit only the temp file,
+        // which was cleaned up.
+        assert_eq!(fs::read(&path).unwrap(), b"intact original content");
+        // The very next attempt (fault consumed) succeeds completely.
+        write_atomic(&path, b"replacement that gets torn").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"replacement that gets torn");
+    }
+
+    #[test]
+    fn enospc_at_every_stage_leaves_old_content() {
+        let _l = locked();
+        for site in [
+            "durable.create_dir",
+            "durable.open",
+            "durable.write",
+            "durable.sync",
+            "durable.rename",
+        ] {
+            let dir = scratch_dir(&format!("durable-enospc-{site}"));
+            let path = dir.join("out.json");
+            write_atomic(&path, b"old").unwrap();
+            let _g = install(FailPlan::new(0).rule(site, Fault::Enospc, HitSchedule::At(vec![0])));
+            let err = write_atomic(&path, b"new").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::StorageFull, "{site}");
+            assert_eq!(
+                fs::read(&path).unwrap(),
+                b"old",
+                "{site} corrupted the destination"
+            );
+            // Retry succeeds once space is back.
+            write_atomic(&path, b"new").unwrap();
+            assert_eq!(fs::read(&path).unwrap(), b"new", "{site}");
+        }
+    }
+
+    #[test]
+    fn json_helper_writes_parseable_output() {
+        let _l = locked();
+        let dir = scratch_dir("durable-json");
+        let path = dir.join("v.json");
+        write_json_atomic(&path, &vec![1u32, 2, 3]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1') && text.contains('3'));
+    }
+
+    #[test]
+    fn error_messages_carry_the_path() {
+        let _l = locked();
+        let dir = scratch_dir("durable-ctx");
+        // A destination under a path occupied by a *file* cannot get its
+        // directory created.
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, b"file").unwrap();
+        let err = write_atomic(&blocker.join("x/out.json"), b"y").unwrap_err();
+        assert!(err.to_string().contains("blocker"), "{err}");
+    }
+}

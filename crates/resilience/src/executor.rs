@@ -1,0 +1,572 @@
+//! Panic-isolating, budgeted, checkpoint-aware block executor.
+//!
+//! The Monte-Carlo engine's correctness story is *merge the per-block
+//! accumulators in block-index order*. This module keeps that invariant
+//! while making each block survivable:
+//!
+//! * every block body runs under `catch_unwind`, so an injected (or real)
+//!   panic costs one attempt, not the process;
+//! * failed attempts retry a bounded number of times with a small,
+//!   seed-derived backoff ([`RetryPolicy`]);
+//! * a [`RunBudget`] caps the work: a block cap drops the highest block
+//!   indices *deterministically up front*, a wall-clock deadline stops
+//!   launching new attempts once exceeded (inherently racy, so any
+//!   deadline skip marks the run degraded);
+//! * completed blocks are recorded to a [`Ledger`] as they finish, so a
+//!   `kill -9` mid-sweep loses at most in-flight blocks — a resumed run
+//!   replays the ledger and re-executes only the gap, merging to the
+//!   byte-identical final result.
+//!
+//! The executor fires the failpoint site `mc.block` once per attempt, so
+//! chaos plans can panic, delay, or ENOSPC-fail block execution without
+//! the engine crates carrying any instrumentation of their own.
+
+use crate::checkpoint::Ledger;
+use crate::failpoint;
+use rap_stats::rng::{hash_label, splitmix64};
+use rap_stats::OnlineStats;
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// Limits on how much work a run may do (see the module docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunBudget {
+    /// Stop launching block attempts after this much wall time.
+    pub wall_limit: Option<Duration>,
+    /// Execute at most this many blocks per cell (highest indices are
+    /// dropped, deterministically).
+    pub block_cap: Option<u64>,
+}
+
+impl RunBudget {
+    /// No limits: every block runs to completion.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Set the wall-clock deadline.
+    #[must_use]
+    pub fn with_wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = Some(limit);
+        self
+    }
+
+    /// Set the per-cell block cap.
+    #[must_use]
+    pub fn with_block_cap(mut self, cap: u64) -> Self {
+        self.block_cap = Some(cap);
+        self
+    }
+}
+
+/// Bounded retry with deterministic, seed-derived backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first failure.
+    pub max_retries: u32,
+    /// Base unit of the backoff; attempt `k` sleeps roughly
+    /// `base * 2^k` perturbed by a seeded jitter, capped at 50ms.
+    pub backoff_base: Duration,
+    /// Seed keying the jitter so sleep patterns are reproducible.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry attempt `attempt` (1-based) of `block`.
+    #[must_use]
+    pub fn backoff(&self, cell: &str, block: u64, attempt: u32) -> Duration {
+        let unit = self.backoff_base.saturating_mul(1 << attempt.min(6));
+        let jitter_num =
+            splitmix64(self.seed ^ hash_label(cell) ^ splitmix64(block) ^ u64::from(attempt)) % 100;
+        // unit * (0.5 + jitter/100 * 0.5): between 50% and 100% of the unit.
+        let nanos = u64::try_from(unit.as_nanos()).unwrap_or(u64::MAX) / 2;
+        Duration::from_nanos(nanos + nanos * jitter_num / 100).min(Duration::from_millis(50))
+    }
+}
+
+/// What the executor did for one cell, block by block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockReport {
+    /// Total blocks the trial count implies for the cell.
+    pub total_blocks: u64,
+    /// Blocks executed successfully this run.
+    pub completed: u64,
+    /// Blocks reused from the checkpoint ledger.
+    pub from_checkpoint: u64,
+    /// Blocks abandoned after exhausting retries.
+    pub failed: u64,
+    /// Blocks never attempted because the wall deadline passed.
+    pub skipped_wall: u64,
+    /// Blocks dropped up front by the block cap.
+    pub skipped_cap: u64,
+    /// Total retry attempts across all blocks.
+    pub retries: u64,
+    /// Ledger appends that failed (results kept in memory regardless).
+    pub append_failures: u64,
+    /// Human-readable notes for the result record.
+    pub notes: Vec<String>,
+}
+
+impl BlockReport {
+    /// True when the cell's estimate is built from fewer blocks than an
+    /// uninterrupted run would use.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.failed > 0 || self.skipped_wall > 0 || self.skipped_cap > 0
+    }
+
+    /// Fold another cell's report into this one (for sweep-level totals).
+    pub fn absorb(&mut self, other: &Self) {
+        self.total_blocks += other.total_blocks;
+        self.completed += other.completed;
+        self.from_checkpoint += other.from_checkpoint;
+        self.failed += other.failed;
+        self.skipped_wall += other.skipped_wall;
+        self.skipped_cap += other.skipped_cap;
+        self.retries += other.retries;
+        self.append_failures += other.append_failures;
+        self.notes.extend(other.notes.iter().cloned());
+    }
+}
+
+/// A cell's merged estimate plus the execution report.
+#[derive(Debug, Clone)]
+pub struct CellRun {
+    /// Per-block accumulators merged in block-index order — byte-identical
+    /// to the plain engine when nothing failed or was skipped.
+    pub stats: OnlineStats,
+    /// What happened along the way.
+    pub report: BlockReport,
+}
+
+enum Outcome {
+    Checkpointed(OnlineStats),
+    Done {
+        stats: OnlineStats,
+        retries: u32,
+        append_failure: Option<String>,
+    },
+    Failed {
+        error: String,
+        retries: u32,
+    },
+    SkippedWall,
+    SkippedCap,
+}
+
+/// Run `blocks` block bodies for `cell`, resiliently (see module docs).
+///
+/// `run_block` receives the block index and must be deterministic in it —
+/// the same contract [`rayon`]-parallel engines already satisfy. Blocks
+/// found in `ledger` are reused without re-execution; fresh completions
+/// are recorded back as they finish.
+pub fn run_cell<F>(
+    cell: &str,
+    blocks: u64,
+    ledger: &Ledger,
+    budget: RunBudget,
+    retry: &RetryPolicy,
+    run_block: F,
+) -> CellRun
+where
+    F: Fn(u64) -> OnlineStats + Sync,
+{
+    let start = Instant::now();
+    let deadline = budget.wall_limit.map(|w| start + w);
+    let cap = budget.block_cap.unwrap_or(u64::MAX);
+
+    let outcomes: Vec<Outcome> = (0..blocks)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|block| {
+            if block >= cap {
+                return Outcome::SkippedCap;
+            }
+            if let Some(stats) = ledger.completed(cell, block) {
+                return Outcome::Checkpointed(stats);
+            }
+            let mut retries = 0;
+            loop {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Outcome::SkippedWall;
+                }
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    failpoint::fire("mc.block").map(|_| run_block(block))
+                }));
+                match attempt {
+                    Ok(Ok(stats)) => {
+                        let append_failure = ledger
+                            .record(cell, block, &stats)
+                            .err()
+                            .map(|e| format!("checkpoint append failed for {cell}#{block}: {e}"));
+                        return Outcome::Done {
+                            stats,
+                            retries,
+                            append_failure,
+                        };
+                    }
+                    Ok(Err(io_err)) if retries < retry.max_retries => {
+                        retries += 1;
+                        std::thread::sleep(retry.backoff(cell, block, retries));
+                        let _ = io_err;
+                    }
+                    Ok(Err(io_err)) => {
+                        return Outcome::Failed {
+                            error: io_err.to_string(),
+                            retries,
+                        };
+                    }
+                    Err(payload) if retries < retry.max_retries => {
+                        retries += 1;
+                        std::thread::sleep(retry.backoff(cell, block, retries));
+                        let _ = payload;
+                    }
+                    Err(payload) => {
+                        return Outcome::Failed {
+                            error: panic_message(payload.as_ref()),
+                            retries,
+                        };
+                    }
+                }
+            }
+        })
+        .collect();
+
+    let mut stats = OnlineStats::new();
+    let mut report = BlockReport {
+        total_blocks: blocks,
+        ..BlockReport::default()
+    };
+    for (block, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Outcome::Checkpointed(s) => {
+                stats.merge(&s);
+                report.from_checkpoint += 1;
+            }
+            Outcome::Done {
+                stats: s,
+                retries,
+                append_failure,
+            } => {
+                stats.merge(&s);
+                report.completed += 1;
+                report.retries += u64::from(retries);
+                if let Some(note) = append_failure {
+                    report.append_failures += 1;
+                    report.notes.push(note);
+                }
+            }
+            Outcome::Failed { error, retries } => {
+                report.failed += 1;
+                report.retries += u64::from(retries);
+                report.notes.push(format!(
+                    "block {cell}#{block} failed after {retries} retries: {error}"
+                ));
+            }
+            Outcome::SkippedWall => report.skipped_wall += 1,
+            Outcome::SkippedCap => report.skipped_cap += 1,
+        }
+    }
+    if report.skipped_wall > 0 {
+        report.notes.push(format!(
+            "{}: {} block(s) skipped at wall deadline",
+            cell, report.skipped_wall
+        ));
+    }
+    if report.skipped_cap > 0 {
+        report.notes.push(format!(
+            "{}: {} block(s) dropped by block cap",
+            cell, report.skipped_cap
+        ));
+    }
+    CellRun { stats, report }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{fingerprint, Ledger, SyncPolicy};
+    use crate::failpoint::{install, FailPlan, Fault, HitSchedule};
+    use crate::test_support::{locked, scratch_dir};
+
+    /// A deterministic stand-in for a Monte-Carlo block body.
+    fn block_body(block: u64) -> OnlineStats {
+        (0..32)
+            .map(|t| {
+                let x = splitmix64(block * 32 + t);
+                #[allow(clippy::cast_precision_loss)]
+                let v = (x % 997) as f64;
+                v
+            })
+            .collect()
+    }
+
+    fn plain_merge(blocks: u64) -> OnlineStats {
+        let mut acc = OnlineStats::new();
+        for b in 0..blocks {
+            acc.merge(&block_body(b));
+        }
+        acc
+    }
+
+    #[test]
+    fn clean_run_matches_plain_merge_bit_for_bit() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let run = run_cell(
+            "c",
+            9,
+            &ledger,
+            RunBudget::unlimited(),
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(run.stats.to_raw(), plain_merge(9).to_raw());
+        assert!(!run.report.degraded());
+        assert_eq!(run.report.completed, 9);
+        assert_eq!(run.report.from_checkpoint, 0);
+        assert!(run.report.notes.is_empty());
+    }
+
+    #[test]
+    fn checkpointed_blocks_are_reused_and_result_is_identical() {
+        let _l = locked();
+        let path = scratch_dir("exec-ckpt").join("run.ledger");
+        let fp = fingerprint(["exec-ckpt"]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            for b in [0u64, 2, 5] {
+                ledger.record("c", b, &block_body(b)).unwrap();
+            }
+        }
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        let run = run_cell(
+            "c",
+            7,
+            &ledger,
+            RunBudget::unlimited(),
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(run.report.from_checkpoint, 3);
+        assert_eq!(run.report.completed, 4);
+        assert_eq!(run.stats.to_raw(), plain_merge(7).to_raw());
+        assert!(!run.report.degraded());
+    }
+
+    #[test]
+    fn injected_panics_are_retried_to_a_bit_identical_result() {
+        let _l = locked();
+        let _g = install(FailPlan::new(3).rule(
+            "mc.block",
+            Fault::Panic,
+            HitSchedule::Rate { num: 1, den: 3 },
+        ));
+        let ledger = Ledger::in_memory();
+        let policy = RetryPolicy {
+            max_retries: 12,
+            backoff_base: Duration::from_micros(10),
+            seed: 1,
+        };
+        let run = run_cell("c", 8, &ledger, RunBudget::unlimited(), &policy, block_body);
+        assert_eq!(
+            run.stats.to_raw(),
+            plain_merge(8).to_raw(),
+            "retries must not change the result"
+        );
+        assert!(
+            !run.report.degraded(),
+            "all blocks recovered: {:?}",
+            run.report
+        );
+        assert!(
+            run.report.retries > 0,
+            "the 1/3 panic rate should have fired at least once"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_instead_of_crashing() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("mc.block", Fault::Panic, HitSchedule::Always));
+        let ledger = Ledger::in_memory();
+        let policy = RetryPolicy {
+            max_retries: 1,
+            backoff_base: Duration::from_micros(10),
+            seed: 0,
+        };
+        let run = run_cell("c", 3, &ledger, RunBudget::unlimited(), &policy, block_body);
+        assert_eq!(run.report.failed, 3);
+        assert_eq!(run.report.retries, 3);
+        assert!(run.report.degraded());
+        assert_eq!(run.stats.count(), 0, "no block survived");
+        assert!(
+            run.report
+                .notes
+                .iter()
+                .all(|n| n.contains("injected panic")),
+            "{:?}",
+            run.report.notes
+        );
+    }
+
+    #[test]
+    fn injected_enospc_on_blocks_is_retryable_too() {
+        let _l = locked();
+        let _g =
+            install(FailPlan::new(0).rule("mc.block", Fault::Enospc, HitSchedule::At(vec![0])));
+        let ledger = Ledger::in_memory();
+        let run = run_cell(
+            "c",
+            4,
+            &ledger,
+            RunBudget::unlimited(),
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(run.stats.to_raw(), plain_merge(4).to_raw());
+        assert!(!run.report.degraded());
+    }
+
+    #[test]
+    fn block_cap_drops_the_tail_deterministically() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let budget = RunBudget::unlimited().with_block_cap(3);
+        let run = run_cell(
+            "c",
+            10,
+            &ledger,
+            budget,
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(run.report.skipped_cap, 7);
+        assert!(run.report.degraded());
+        assert_eq!(
+            run.stats.to_raw(),
+            plain_merge(3).to_raw(),
+            "cap keeps the low prefix"
+        );
+    }
+
+    #[test]
+    fn zero_wall_budget_skips_everything_gracefully() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let budget = RunBudget::unlimited().with_wall_limit(Duration::ZERO);
+        let run = run_cell("c", 5, &ledger, budget, &RetryPolicy::default(), block_body);
+        assert_eq!(run.report.skipped_wall, 5);
+        assert!(run.report.degraded());
+        assert_eq!(run.stats.count(), 0);
+        assert!(run.report.notes.iter().any(|n| n.contains("wall deadline")));
+    }
+
+    #[test]
+    fn checkpointed_blocks_survive_even_a_zero_wall_budget() {
+        let _l = locked();
+        let path = scratch_dir("exec-wall-ckpt").join("run.ledger");
+        let fp = fingerprint(["exec-wall-ckpt"]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            ledger.record("c", 0, &block_body(0)).unwrap();
+            ledger.record("c", 1, &block_body(1)).unwrap();
+        }
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        let budget = RunBudget::unlimited().with_wall_limit(Duration::ZERO);
+        let run = run_cell("c", 4, &ledger, budget, &RetryPolicy::default(), block_body);
+        assert_eq!(run.report.from_checkpoint, 2);
+        assert_eq!(run.report.skipped_wall, 2);
+        assert_eq!(run.stats.to_raw(), plain_merge(2).to_raw());
+    }
+
+    #[test]
+    fn ledger_append_failures_keep_the_result_and_leave_a_note() {
+        let _l = locked();
+        let path = scratch_dir("exec-append-fail").join("run.ledger");
+        let fp = fingerprint(["exec-append-fail"]);
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        let _g = install(FailPlan::new(0).rule(
+            "ledger.append",
+            Fault::Enospc,
+            HitSchedule::At(vec![0]),
+        ));
+        let run = run_cell(
+            "c",
+            3,
+            &ledger,
+            RunBudget::unlimited(),
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(
+            run.stats.to_raw(),
+            plain_merge(3).to_raw(),
+            "in-memory result unaffected"
+        );
+        assert_eq!(run.report.append_failures, 1);
+        assert!(
+            !run.report.degraded(),
+            "lost durability is a note, not a degraded result"
+        );
+        assert!(run
+            .report
+            .notes
+            .iter()
+            .any(|n| n.contains("checkpoint append failed")));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..10 {
+            let a = p.backoff("cell", 7, attempt);
+            assert_eq!(a, p.backoff("cell", 7, attempt));
+            assert!(a <= Duration::from_millis(50), "{a:?}");
+        }
+        assert_ne!(p.backoff("cell", 7, 1), p.backoff("cell", 8, 1));
+    }
+
+    #[test]
+    fn report_absorb_sums_counters() {
+        let mut a = BlockReport {
+            total_blocks: 4,
+            completed: 3,
+            failed: 1,
+            notes: vec!["x".into()],
+            ..BlockReport::default()
+        };
+        let b = BlockReport {
+            total_blocks: 2,
+            from_checkpoint: 2,
+            notes: vec!["y".into()],
+            ..BlockReport::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.total_blocks, 6);
+        assert_eq!(a.completed, 3);
+        assert_eq!(a.from_checkpoint, 2);
+        assert_eq!(a.notes, vec!["x".to_string(), "y".to_string()]);
+        assert!(a.degraded());
+    }
+}

@@ -1,0 +1,474 @@
+//! Deterministic, seed-keyed failpoint registry.
+//!
+//! A *failpoint* is a named site in the code (FNV-hashed strings, like the
+//! conformance harness's per-oracle seed streams) where a fault can be
+//! injected: a panic, a partial write, an out-of-space error, or a delay.
+//! Whether a given visit ("hit") of a site fires is decided by a
+//! **reproducible schedule** derived from `(plan seed, site name, hit
+//! index)` — two processes running the same plan see faults at exactly the
+//! same points, so every chaos failure is a one-line repro.
+//!
+//! Activation is explicit: nothing fires unless a [`FailPlan`] is
+//! installed, either programmatically ([`install`]) or from the
+//! `RAP_FAILPOINTS` environment variable ([`install_from_env`]). The
+//! disabled fast path is a single relaxed atomic load, so instrumented
+//! production code pays nothing.
+//!
+//! # Spec syntax
+//!
+//! `RAP_FAILPOINTS="seed=42;durable.write=partial@2;mc.block=panic:rate=1/8"`
+//!
+//! * `seed=<n>` — the plan seed (default 0);
+//! * `<site>=<kind>` — fire `kind` on **every** hit of `site`;
+//! * `...@h1,h2` — fire only on the listed hit indices (0-based);
+//! * `...:every=<k>` — fire on every `k`-th hit (hits 0, k, 2k, …);
+//! * `...:rate=<a>/<b>` — fire on a seeded pseudo-random `a/b` fraction of
+//!   hits (deterministic in `(seed, site, hit)`).
+//!
+//! Kinds: `panic`, `partial` (partial write), `enospc` (storage full),
+//! `delay` (bounded sleep).
+
+use rap_stats::rng::{hash_label, splitmix64};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// The kinds of fault a failpoint can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Fault {
+    /// Unwind the current thread (recovered by the executor's
+    /// `catch_unwind`, fatal anywhere else — which is the point).
+    Panic,
+    /// Ask the instrumented writer to write a strict prefix of the
+    /// payload and then fail, simulating a torn write at crash time.
+    PartialWrite,
+    /// Fail with an `ErrorKind::StorageFull` I/O error (ENOSPC).
+    Enospc,
+    /// Sleep a bounded, schedule-derived number of milliseconds (≤ 5ms),
+    /// perturbing thread interleavings without changing results.
+    Delay,
+}
+
+impl Fault {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "panic" => Some(Self::Panic),
+            "partial" => Some(Self::PartialWrite),
+            "enospc" => Some(Self::Enospc),
+            "delay" => Some(Self::Delay),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case name (inverse of the spec syntax).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::PartialWrite => "partial",
+            Self::Enospc => "enospc",
+            Self::Delay => "delay",
+        }
+    }
+}
+
+/// When a rule fires, relative to the site's hit counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HitSchedule {
+    /// Every hit.
+    Always,
+    /// Exactly the listed hit indices (0-based).
+    At(Vec<u64>),
+    /// Hits 0, k, 2k, … .
+    Every(u64),
+    /// A seeded pseudo-random `num/den` fraction of hits, deterministic
+    /// in `(plan seed, site, hit)`.
+    Rate {
+        /// Numerator of the firing fraction.
+        num: u64,
+        /// Denominator of the firing fraction.
+        den: u64,
+    },
+}
+
+impl HitSchedule {
+    fn fires(&self, plan_seed: u64, site_hash: u64, hit: u64) -> bool {
+        match self {
+            Self::Always => true,
+            Self::At(hits) => hits.contains(&hit),
+            Self::Every(k) => *k != 0 && hit.is_multiple_of(*k),
+            Self::Rate { num, den } => {
+                *den != 0 && splitmix64(plan_seed ^ site_hash ^ splitmix64(hit)) % den < *num
+            }
+        }
+    }
+}
+
+/// One injection rule: a site, a fault kind, and a hit schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The site name the rule applies to.
+    pub site: String,
+    /// The fault to inject.
+    pub fault: Fault,
+    /// Which hits fire.
+    pub schedule: HitSchedule,
+}
+
+/// A full injection plan: a seed plus a rule list. First matching rule
+/// per hit wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailPlan {
+    /// Seed keying the `Rate` schedules.
+    pub seed: u64,
+    /// Rules in priority order.
+    pub rules: Vec<Rule>,
+}
+
+impl FailPlan {
+    /// An empty plan (nothing fires).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Append a rule; returns `self` for chaining.
+    #[must_use]
+    pub fn rule(mut self, site: &str, fault: Fault, schedule: HitSchedule) -> Self {
+        self.rules.push(Rule {
+            site: site.to_string(),
+            fault,
+            schedule,
+        });
+        self
+    }
+
+    /// Parse the `RAP_FAILPOINTS` spec syntax (see the module docs).
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint clause '{clause}' is not site=kind"))?;
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("bad failpoint seed '{value}'"))?;
+                continue;
+            }
+            let mut fault_part = value;
+            let mut schedule = HitSchedule::Always;
+            if let Some((head, tail)) = value.split_once(':') {
+                fault_part = head;
+                if let Some(k) = tail.strip_prefix("every=") {
+                    let k: u64 = k.parse().map_err(|_| format!("bad every= in '{clause}'"))?;
+                    schedule = HitSchedule::Every(k);
+                } else if let Some(r) = tail.strip_prefix("rate=") {
+                    let (a, b) = r
+                        .split_once('/')
+                        .ok_or_else(|| format!("rate needs a/b in '{clause}'"))?;
+                    schedule = HitSchedule::Rate {
+                        num: a.parse().map_err(|_| format!("bad rate in '{clause}'"))?,
+                        den: b.parse().map_err(|_| format!("bad rate in '{clause}'"))?,
+                    };
+                } else {
+                    return Err(format!("unknown schedule '{tail}' in '{clause}'"));
+                }
+            }
+            if let Some((head, hits)) = fault_part.split_once('@') {
+                fault_part = head;
+                let hits: Vec<u64> = hits
+                    .split(',')
+                    .map(|h| h.parse().map_err(|_| format!("bad hit list in '{clause}'")))
+                    .collect::<Result<_, _>>()?;
+                schedule = HitSchedule::At(hits);
+            }
+            let fault = Fault::parse(fault_part)
+                .ok_or_else(|| format!("unknown fault kind '{fault_part}' in '{clause}'"))?;
+            plan.rules.push(Rule {
+                site: key.to_string(),
+                fault,
+                schedule,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// One fired fault, for the chaos report.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultEvent {
+    /// Site that fired.
+    pub site: String,
+    /// Hit index at which it fired.
+    pub hit: u64,
+    /// What was injected.
+    pub fault: Fault,
+}
+
+struct ActivePlan {
+    plan: FailPlan,
+    /// Per-site hit counters, keyed by the FNV hash of the site name.
+    counters: HashMap<u64, u64>,
+    log: Vec<FaultEvent>,
+}
+
+/// Fast "is anything installed" gate — a relaxed load on the hot path.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: Mutex<Option<ActivePlan>> = Mutex::new(None);
+
+fn lock_active() -> std::sync::MutexGuard<'static, Option<ActivePlan>> {
+    // A panicked holder cannot leave the registry logically corrupt (all
+    // updates are single-step inserts/pushes), so recover the guard.
+    ACTIVE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Guard returned by [`install`]; dropping it deactivates the registry
+/// and discards the plan, counters, and log.
+#[derive(Debug)]
+pub struct FailpointGuard(());
+
+impl Drop for FailpointGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        *lock_active() = None;
+    }
+}
+
+/// Install `plan` globally, replacing any previous plan. Returns a guard
+/// that uninstalls on drop.
+///
+/// Chaos suites installing plans from multiple threads must serialize
+/// themselves (the registry is process-global by design: the sites it
+/// feeds are buried in library code that cannot thread a handle through).
+pub fn install(plan: FailPlan) -> FailpointGuard {
+    *lock_active() = Some(ActivePlan {
+        plan,
+        counters: HashMap::new(),
+        log: Vec::new(),
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    FailpointGuard(())
+}
+
+/// Install from the `RAP_FAILPOINTS` environment variable, if set.
+///
+/// # Errors
+/// Propagates the parse error for a malformed spec (a typo'd chaos run
+/// must fail loudly, not silently run clean).
+pub fn install_from_env() -> Result<Option<FailpointGuard>, String> {
+    match std::env::var("RAP_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => Ok(Some(install(FailPlan::parse(&spec)?))),
+        _ => Ok(None),
+    }
+}
+
+/// Record-and-return the fault scheduled for this hit of `site`, if any.
+///
+/// Advances the site's hit counter exactly once per call, whether or not
+/// a fault fires.
+#[must_use]
+pub fn check(site: &str) -> Option<Fault> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = lock_active();
+    let active = guard.as_mut()?;
+    let site_hash = hash_label(site);
+    let hit = {
+        let counter = active.counters.entry(site_hash).or_insert(0);
+        let hit = *counter;
+        *counter += 1;
+        hit
+    };
+    let seed = active.plan.seed;
+    let fired = active
+        .plan
+        .rules
+        .iter()
+        .find(|r| r.site == site && r.schedule.fires(seed, site_hash, hit))
+        .map(|r| r.fault);
+    if let Some(fault) = fired {
+        active.log.push(FaultEvent {
+            site: site.to_string(),
+            hit,
+            fault,
+        });
+    }
+    fired
+}
+
+/// Like [`check`], but immediately *acts* on panic/ENOSPC/delay faults:
+/// panics, returns an `Err(StorageFull)`, or sleeps. A scheduled
+/// [`Fault::PartialWrite`] is returned to the caller, which must simulate
+/// the torn write itself (only the writer knows its payload).
+///
+/// # Errors
+/// Returns the injected I/O error for [`Fault::Enospc`].
+///
+/// # Panics
+/// Panics when the schedule fires [`Fault::Panic`] — by design.
+pub fn fire(site: &str) -> std::io::Result<Option<Fault>> {
+    match check(site) {
+        None => Ok(None),
+        Some(Fault::Panic) => panic!("failpoint '{site}': injected panic"),
+        Some(Fault::Enospc) => Err(std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            format!("failpoint '{site}': injected ENOSPC"),
+        )),
+        Some(Fault::Delay) => {
+            // Bounded (≤ 5ms) and derived from the site name, so delays are
+            // reproducible in aggregate without stalling suites.
+            let ms = hash_label(site) % 5;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(Some(Fault::Delay))
+        }
+        Some(Fault::PartialWrite) => Ok(Some(Fault::PartialWrite)),
+    }
+}
+
+/// Drain the log of fired faults (empties the registry's log).
+#[must_use]
+pub fn drain_log() -> Vec<FaultEvent> {
+    lock_active()
+        .as_mut()
+        .map(|a| std::mem::take(&mut a.log))
+        .unwrap_or_default()
+}
+
+/// True when a plan is installed.
+#[must_use]
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::test_support::locked;
+
+    #[test]
+    fn disabled_registry_is_silent() {
+        let _l = locked();
+        assert!(!active());
+        assert_eq!(check("any.site"), None);
+        assert!(fire("any.site").unwrap().is_none());
+    }
+
+    #[test]
+    fn hit_list_schedule_fires_exactly_there() {
+        let _l = locked();
+        let plan = FailPlan::new(1).rule("a.b", Fault::Enospc, HitSchedule::At(vec![1, 3]));
+        let _g = install(plan);
+        let fired: Vec<bool> = (0..5).map(|_| check("a.b").is_some()).collect();
+        assert_eq!(fired, [false, true, false, true, false]);
+        let log = drain_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].hit, 1);
+        assert_eq!(log[1].fault, Fault::Enospc);
+    }
+
+    #[test]
+    fn every_schedule_fires_periodically() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("p", Fault::Delay, HitSchedule::Every(3)));
+        let fired: Vec<bool> = (0..7).map(|_| check("p").is_some()).collect();
+        assert_eq!(fired, [true, false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn rate_schedule_is_deterministic_and_roughly_proportional() {
+        let _l = locked();
+        let schedule = HitSchedule::Rate { num: 1, den: 4 };
+        let count = |seed: u64| {
+            let _g = install(FailPlan::new(seed).rule("r", Fault::Panic, schedule.clone()));
+            (0..400).filter(|_| check("r").is_some()).count()
+        };
+        let a = count(7);
+        let b = count(7);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!((50..150).contains(&a), "~100 of 400 expected, got {a}");
+        assert_ne!(count(8), 0);
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("x", Fault::Panic, HitSchedule::At(vec![0])));
+        assert_eq!(check("y"), None, "unruled site never fires");
+        assert_eq!(check("x"), Some(Fault::Panic));
+        assert_eq!(check("x"), None, "hit 1 is off-schedule");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic")]
+    fn fire_panics_on_schedule() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("boom", Fault::Panic, HitSchedule::Always));
+        let _ = fire("boom");
+    }
+
+    #[test]
+    fn fire_enospc_is_a_storagefull_error() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("disk", Fault::Enospc, HitSchedule::Always));
+        let err = fire("disk").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn guard_drop_uninstalls() {
+        let _l = locked();
+        {
+            let _g = install(FailPlan::new(0).rule("t", Fault::Panic, HitSchedule::Always));
+            assert!(active());
+        }
+        assert!(!active());
+        assert_eq!(check("t"), None);
+    }
+
+    #[test]
+    fn spec_parses_every_form() {
+        let plan = FailPlan::parse(
+            "seed=42; durable.write=partial@2 ; ledger.append=enospc:every=7;mc.block=panic:rate=1/8;slow=delay",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].fault, Fault::PartialWrite);
+        assert_eq!(plan.rules[0].schedule, HitSchedule::At(vec![2]));
+        assert_eq!(plan.rules[1].schedule, HitSchedule::Every(7));
+        assert_eq!(plan.rules[2].schedule, HitSchedule::Rate { num: 1, den: 8 });
+        assert_eq!(plan.rules[3].schedule, HitSchedule::Always);
+    }
+
+    #[test]
+    fn spec_rejects_garbage() {
+        assert!(FailPlan::parse("nonsense").is_err());
+        assert!(FailPlan::parse("site=explode").is_err());
+        assert!(FailPlan::parse("site=panic:rate=x/y").is_err());
+        assert!(FailPlan::parse("seed=abc").is_err());
+        assert!(FailPlan::parse("site=panic:sometimes").is_err());
+    }
+
+    #[test]
+    fn parse_roundtrips_fault_names() {
+        for fault in [
+            Fault::Panic,
+            Fault::PartialWrite,
+            Fault::Enospc,
+            Fault::Delay,
+        ] {
+            assert_eq!(Fault::parse(fault.name()), Some(fault));
+        }
+    }
+}

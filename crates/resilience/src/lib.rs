@@ -1,0 +1,67 @@
+//! Fault-injection, crash-safe result I/O, and checkpoint/resume for the
+//! RAP bench and Monte-Carlo stack.
+//!
+//! The reproduction's headline guarantee is *determinism*: the same seed
+//! produces bit-identical tables on any machine, at any thread count.
+//! This crate extends that guarantee across failures:
+//!
+//! * [`failpoint`] — a deterministic, seed-keyed fault registry. Named
+//!   sites in library code can be made to panic, tear a write, report
+//!   ENOSPC, or stall on a schedule reproducible from `(seed, site, hit)`,
+//!   activated programmatically or via `RAP_FAILPOINTS`;
+//! * [`durable`] — atomic result writes (temp sibling + fsync + rename),
+//!   so `results/*.json` always holds a complete old or complete new
+//!   document, never a torn prefix;
+//! * [`checkpoint`] — an append-only JSON-lines [`Ledger`] of completed
+//!   32-trial block accumulators, stored as IEEE-754 bit patterns. A
+//!   killed sweep resumes from the ledger and merges to the byte-identical
+//!   final JSON, because the engine's result is a pure fold over blocks;
+//! * [`executor`] — [`run_cell`] wraps block execution in `catch_unwind`
+//!   with bounded seeded-backoff retries and a [`RunBudget`] (wall
+//!   deadline and block cap), degrading to partial results that are
+//!   explicitly marked rather than silently wrong.
+//!
+//! Nothing here knows about banks or address mappings; like `rap-stats`
+//! it sits below the engine crates and above nothing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod durable;
+pub mod executor;
+pub mod failpoint;
+
+pub use checkpoint::{fingerprint, Ledger, LedgerEntry, SyncPolicy};
+pub use durable::{write_atomic, write_json_atomic};
+pub use executor::{run_cell, BlockReport, CellRun, RetryPolicy, RunBudget};
+pub use failpoint::{
+    install, install_from_env, FailPlan, FailpointGuard, Fault, FaultEvent, HitSchedule,
+};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared scaffolding for tests that touch process-global state (the
+    //! failpoint registry) or the filesystem.
+
+    use std::path::PathBuf;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
+
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Serialize tests that install failpoint plans or share scratch
+    /// space; `cargo test`'s parallel runner must not interleave them.
+    pub fn locked() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A fresh, empty scratch directory under the target dir.
+    pub fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rap-resilience-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("creating scratch dir");
+        dir
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the resilience layer: checkpoint ledgers must
+//! round-trip block accumulators bit-exactly through disk, through torn
+//! tails, and through arbitrary kill points; the executor must merge to
+//! the exact accumulator the plain engine produces.
+
+use proptest::prelude::*;
+use rap_resilience::checkpoint::{fingerprint, Ledger, SyncPolicy};
+use rap_resilience::executor::{run_cell, RetryPolicy, RunBudget};
+use rap_stats::rng::splitmix64;
+use rap_stats::OnlineStats;
+use std::path::PathBuf;
+
+fn scratch(name: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rap-resilience-proptest")
+        .join(format!("{name}-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating scratch dir");
+    dir
+}
+
+/// Deterministic pseudo-random samples for a (cell, block) pair.
+fn block_stats(cell_idx: u64, block: u64, len: u64) -> OnlineStats {
+    (0..len)
+        .map(|i| {
+            let bits = splitmix64(cell_idx ^ splitmix64(block * 131 + i));
+            // A mix of magnitudes, signs, and subnormal-ish values.
+            #[allow(clippy::cast_precision_loss)]
+            let v = ((bits % 2_000_001) as f64 - 1_000_000.0) / ((bits >> 32 | 1) as f64);
+            v
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every accumulator written to a ledger comes back bit-identical
+    /// after a close-and-reopen, for arbitrary cell/block shapes.
+    #[test]
+    fn ledger_round_trips_bit_exactly(
+        case in 0u64..1_000_000,
+        cells in 1u64..4,
+        blocks_per_cell in 1u64..6,
+        samples in 0u64..40,
+    ) {
+        let path = scratch("rt", case).join("run.ledger");
+        let fp = fingerprint(["prop-rt", &case.to_string()]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            for c in 0..cells {
+                for b in 0..blocks_per_cell {
+                    ledger.record(&format!("cell{c}"), b, &block_stats(c, b, samples)).unwrap();
+                }
+            }
+        }
+        let reopened = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        prop_assert!(!reopened.discarded_stale());
+        prop_assert!(!reopened.truncated_tail());
+        prop_assert_eq!(reopened.resumed_entries(), (cells * blocks_per_cell) as usize);
+        for c in 0..cells {
+            for b in 0..blocks_per_cell {
+                let back = reopened.completed(&format!("cell{c}"), b).unwrap();
+                prop_assert_eq!(back.to_raw(), block_stats(c, b, samples).to_raw());
+            }
+        }
+    }
+
+    /// Chopping the ledger file at ANY byte offset (any kill point) never
+    /// yields a corrupt resume: every surviving entry is bit-exact and the
+    /// ledger stays appendable.
+    #[test]
+    fn ledger_survives_truncation_at_any_byte(
+        case in 0u64..1_000_000,
+        blocks in 1u64..8,
+        chop_frac in 0.0f64..1.0,
+    ) {
+        let path = scratch("chop", case).join("run.ledger");
+        let fp = fingerprint(["prop-chop", &case.to_string()]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            for b in 0..blocks {
+                ledger.record("c", b, &block_stats(9, b, 8)).unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let keep = ((bytes.len() as f64) * chop_frac) as usize;
+        std::fs::write(&path, &bytes[..keep]).unwrap();
+
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        // Whatever survived must be a prefix-consistent, bit-exact subset.
+        let survivors = ledger.resumed_entries() as u64;
+        prop_assert!(survivors <= blocks);
+        for b in 0..blocks {
+            if let Some(back) = ledger.completed("c", b) {
+                prop_assert_eq!(back.to_raw(), block_stats(9, b, 8).to_raw());
+            }
+        }
+        // And the gap re-records cleanly, restoring the full set.
+        for b in 0..blocks {
+            if ledger.completed("c", b).is_none() {
+                ledger.record("c", b, &block_stats(9, b, 8)).unwrap();
+            }
+        }
+        drop(ledger);
+        let full = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        prop_assert_eq!(full.resumed_entries() as u64, blocks);
+    }
+
+    /// Killing a run after an arbitrary number of completed blocks and
+    /// resuming from the ledger merges to the byte-identical accumulator
+    /// of an uninterrupted run.
+    #[test]
+    fn resume_after_any_kill_point_is_bit_identical(
+        case in 0u64..1_000_000,
+        blocks in 1u64..10,
+        kill_after in 0u64..10,
+    ) {
+        let kill_after = kill_after % (blocks + 1);
+        let body = |b: u64| block_stats(4, b, 32);
+
+        // Uninterrupted reference.
+        let reference = run_cell(
+            "c", blocks, &Ledger::in_memory(), RunBudget::unlimited(), &RetryPolicy::default(), body,
+        );
+        prop_assert!(!reference.report.degraded());
+
+        // First run "dies" after recording `kill_after` blocks.
+        let path = scratch("kill", case).join("run.ledger");
+        let fp = fingerprint(["prop-kill", &case.to_string()]);
+        {
+            let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+            for b in 0..kill_after {
+                ledger.record("c", b, &body(b)).unwrap();
+            }
+        }
+        // Resumed run completes the gap.
+        let ledger = Ledger::open(&path, fp, SyncPolicy::Flush).unwrap();
+        let resumed = run_cell("c", blocks, &ledger, RunBudget::unlimited(), &RetryPolicy::default(), body);
+        prop_assert_eq!(resumed.report.from_checkpoint as u64, kill_after);
+        prop_assert!(!resumed.report.degraded());
+        prop_assert_eq!(resumed.stats.to_raw(), reference.stats.to_raw());
+    }
+}

@@ -30,6 +30,6 @@ pub mod summary;
 
 pub use balls_bins::MaxLoad;
 pub use histogram::IntHistogram;
-pub use online::OnlineStats;
+pub use online::{OnlineStats, RawOnlineStats};
 pub use rng::SeedDomain;
 pub use summary::{CellSummary, ExperimentRecord};

@@ -141,6 +141,55 @@ impl OnlineStats {
     }
 }
 
+/// A bit-exact, serialization-safe image of an [`OnlineStats`].
+///
+/// JSON (and most textual formats) do not guarantee that an `f64` survives
+/// a print/parse round trip bit-for-bit, and the checkpoint/resume
+/// machinery (`rap-resilience`) needs *exact* equality: a resumed
+/// Monte-Carlo run must merge to the identical accumulator an
+/// uninterrupted run produces. `RawOnlineStats` therefore carries every
+/// float as its IEEE-754 bit pattern (`f64::to_bits`), which is a lossless
+/// integer and round-trips through any format that preserves `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawOnlineStats {
+    /// Sample count.
+    pub count: u64,
+    /// Bit pattern of the running mean.
+    pub mean_bits: u64,
+    /// Bit pattern of the centered sum of squares (`M2`).
+    pub m2_bits: u64,
+    /// Bit pattern of the minimum (the `+inf` sentinel when empty).
+    pub min_bits: u64,
+    /// Bit pattern of the maximum (the `-inf` sentinel when empty).
+    pub max_bits: u64,
+}
+
+impl OnlineStats {
+    /// Capture the accumulator as bit patterns for lossless persistence.
+    #[must_use]
+    pub fn to_raw(&self) -> RawOnlineStats {
+        RawOnlineStats {
+            count: self.n,
+            mean_bits: self.mean.to_bits(),
+            m2_bits: self.m2.to_bits(),
+            min_bits: self.min.to_bits(),
+            max_bits: self.max.to_bits(),
+        }
+    }
+
+    /// Rebuild the accumulator from [`Self::to_raw`] output, bit-for-bit.
+    #[must_use]
+    pub fn from_raw(raw: &RawOnlineStats) -> Self {
+        Self {
+            n: raw.count,
+            mean: f64::from_bits(raw.mean_bits),
+            m2: f64::from_bits(raw.m2_bits),
+            min: f64::from_bits(raw.min_bits),
+            max: f64::from_bits(raw.max_bits),
+        }
+    }
+}
+
 impl Extend<f64> for OnlineStats {
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for x in iter {
@@ -248,6 +297,20 @@ mod tests {
     fn ci95_empty_is_degenerate() {
         let s = OnlineStats::new();
         assert_eq!(s.ci95(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn raw_round_trip_is_bit_exact() {
+        let mut s = OnlineStats::new();
+        // Values chosen to leave non-representable decimals in mean/m2.
+        for x in [0.1, 0.2, 0.30000000000000004, 7.5, -3.25] {
+            s.push(x);
+        }
+        let back = OnlineStats::from_raw(&s.to_raw());
+        assert_eq!(back, s);
+        // The empty accumulator's infinity sentinels survive too.
+        let empty = OnlineStats::new();
+        assert_eq!(OnlineStats::from_raw(&empty.to_raw()), empty);
     }
 
     #[test]

@@ -85,6 +85,16 @@ pub struct ExperimentRecord {
     pub parameters: String,
     /// Measured cells.
     pub cells: Vec<CellSummary>,
+    /// True when any part of the experiment ran degraded: a fault budget,
+    /// wall-clock deadline, or unrecoverable block failure left some
+    /// trials unexecuted. Degraded records are still valid measurements of
+    /// the samples they did collect, but must never be compared
+    /// byte-for-byte against a clean run.
+    pub degraded: bool,
+    /// Structured notes about faults survived, retries spent, checkpoint
+    /// resumes, and budget exhaustion — empty for a clean run, so clean
+    /// records stay byte-comparable across runs.
+    pub notes: Vec<String>,
 }
 
 impl ExperimentRecord {
@@ -100,12 +110,20 @@ impl ExperimentRecord {
             description: description.into(),
             parameters: parameters.into(),
             cells: Vec::new(),
+            degraded: false,
+            notes: Vec::new(),
         }
     }
 
     /// Append a cell.
     pub fn push(&mut self, cell: CellSummary) {
         self.cells.push(cell);
+    }
+
+    /// Mark the record degraded with an explanatory note.
+    pub fn mark_degraded(&mut self, note: impl Into<String>) {
+        self.degraded = true;
+        self.notes.push(note.into());
     }
 
     /// Largest relative error across cells that have paper references.
@@ -156,6 +174,17 @@ mod tests {
         r.push(CellSummary::exact("a", "c", 1.2, Some(1.0)));
         let w = r.worst_relative_error().unwrap();
         assert!((w - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degraded_marking_accumulates_notes() {
+        let mut r = ExperimentRecord::new("T2", "congestion", "seed=1");
+        assert!(!r.degraded);
+        assert!(r.notes.is_empty());
+        r.mark_degraded("budget exhausted after 3 blocks");
+        r.mark_degraded("block 7 failed after 2 retries");
+        assert!(r.degraded);
+        assert_eq!(r.notes.len(), 2);
     }
 
     #[test]

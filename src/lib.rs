@@ -29,5 +29,6 @@ pub use rap_core as core;
 pub use rap_dmm as dmm;
 pub use rap_gpu_sim as gpu_sim;
 pub use rap_permute as permute;
+pub use rap_resilience as resilience;
 pub use rap_stats as stats;
 pub use rap_transpose as transpose;

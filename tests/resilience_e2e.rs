@@ -1,0 +1,193 @@
+//! End-to-end resilience guarantees across the workspace.
+//!
+//! The two acceptance properties of the resilience stack:
+//!
+//! 1. a run killed mid-sweep and resumed from its checkpoint ledger
+//!    merges to the **bit-identical** estimate of an uninterrupted run —
+//!    at every width of the conformance ladder, including the
+//!    non-power-of-two stragglers;
+//! 2. a `table2` sweep interrupted and resumed produces **byte-identical**
+//!    final JSON on disk.
+//!
+//! Tests that install failpoint plans or share the ledger scratch space
+//! serialize on a local mutex: the registry is process-global.
+
+use rap_bench::experiments::table2::{self, Table2Config};
+use rap_bench::output;
+use rap_conformance::WIDTH_LADDER;
+use rap_shmem::access::montecarlo::{blocks_for, matrix_congestion, TRIALS_PER_BLOCK};
+use rap_shmem::access::resilient::{matrix_congestion_resilient, ResilientConfig};
+use rap_shmem::access::MatrixPattern;
+use rap_shmem::core::Scheme;
+use rap_shmem::resilience::{Ledger, RetryPolicy, RunBudget, SyncPolicy};
+use rap_shmem::stats::SeedDomain;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static SCRATCH_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    SCRATCH_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("rap-resilience-e2e")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Kill-and-resume at every ladder width: run one block, "die", reopen
+/// the ledger, finish — the merged stats must be bit-identical to the
+/// uninterrupted run.
+#[test]
+fn resumed_runs_are_bit_identical_at_every_ladder_width() {
+    let _l = locked();
+    let dir = scratch_dir("ladder");
+    // Two blocks per cell: enough to leave a genuine gap after the kill.
+    let trials = 2 * TRIALS_PER_BLOCK;
+    assert_eq!(blocks_for(trials), 2);
+
+    for &w in WIDTH_LADDER {
+        let domain = SeedDomain::new(2014).child_idx(w as u64);
+        let plain = matrix_congestion(Scheme::Rap, MatrixPattern::Stride, w, trials, &domain);
+
+        let ledger_path = dir.join(format!("w{w}.ledger"));
+        let fp = rap_shmem::resilience::fingerprint(["ladder", &w.to_string()]);
+
+        // First run: the block cap kills the sweep after one block.
+        let ledger = Ledger::open(&ledger_path, fp, SyncPolicy::Flush).expect("open ledger");
+        let first = matrix_congestion_resilient(
+            Scheme::Rap,
+            MatrixPattern::Stride,
+            w,
+            trials,
+            &domain,
+            "cell",
+            &ResilientConfig {
+                ledger: &ledger,
+                budget: RunBudget::unlimited().with_block_cap(1),
+                retry: RetryPolicy::default(),
+            },
+        );
+        assert!(first.report.degraded(), "w={w}: capped run must degrade");
+        assert_eq!(first.report.completed, 1, "w={w}");
+        drop(ledger);
+
+        // Resume: block 0 comes from the ledger, block 1 runs fresh.
+        let ledger = Ledger::open(&ledger_path, fp, SyncPolicy::Flush).expect("reopen ledger");
+        assert_eq!(ledger.resumed_entries(), 1, "w={w}");
+        let resumed = matrix_congestion_resilient(
+            Scheme::Rap,
+            MatrixPattern::Stride,
+            w,
+            trials,
+            &domain,
+            "cell",
+            &ResilientConfig::new(&ledger),
+        );
+        assert!(!resumed.report.degraded(), "w={w}");
+        assert_eq!(resumed.report.from_checkpoint, 1, "w={w}");
+        assert_eq!(
+            resumed.stats.to_raw(),
+            plain.to_raw(),
+            "w={w}: resumed merge diverged from the uninterrupted run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The acceptance criterion verbatim: a `table2` sweep killed mid-run
+/// and resumed writes byte-identical `t2.json`.
+#[test]
+fn interrupted_table2_resumes_to_byte_identical_json() {
+    let _l = locked();
+    let dir = scratch_dir("t2-json");
+    let cfg = Table2Config {
+        widths: vec![16, 33],
+        base_trials: 96,
+        seed: 2014,
+    };
+
+    // The uninterrupted reference file.
+    let clean = table2::to_record(&cfg, &table2::run(&cfg));
+    let clean_path = output::write_record_to(&dir.join("clean"), &clean).expect("write clean");
+
+    // Interrupted: cap cuts every cell short, the ledger keeps the prefix.
+    let ledger_path = dir.join("t2.ledger");
+    let ledger =
+        Ledger::open(&ledger_path, cfg.fingerprint(), SyncPolicy::Flush).expect("open ledger");
+    let (_, first) = table2::run_resilient(
+        &cfg,
+        &ResilientConfig {
+            ledger: &ledger,
+            budget: RunBudget::unlimited().with_block_cap(1),
+            retry: RetryPolicy::default(),
+        },
+    );
+    assert!(first.degraded());
+    assert!(
+        first.completed > 0,
+        "the kill must land mid-sweep, not before it"
+    );
+    drop(ledger);
+
+    // Resume and write the final record exactly as the bin does.
+    let ledger =
+        Ledger::open(&ledger_path, cfg.fingerprint(), SyncPolicy::Flush).expect("reopen ledger");
+    assert!(ledger.resumed_entries() > 0);
+    let (cells, report) = table2::run_resilient(&cfg, &ResilientConfig::new(&ledger));
+    assert!(!report.degraded());
+    assert!(report.from_checkpoint > 0);
+    let mut record = table2::to_record(&cfg, &cells);
+    rap_bench::annotate_record(&mut record, &report);
+    let resumed_path =
+        output::write_record_to(&dir.join("resumed"), &record).expect("write resumed");
+
+    let clean_bytes = std::fs::read(&clean_path).expect("read clean");
+    let resumed_bytes = std::fs::read(&resumed_path).expect("read resumed");
+    assert_eq!(
+        clean_bytes, resumed_bytes,
+        "resumed t2 JSON must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A ledger written under different sweep parameters must be discarded,
+/// not merged: resuming with a changed seed re-runs everything.
+#[test]
+fn stale_ledgers_are_discarded_on_parameter_change() {
+    let _l = locked();
+    let dir = scratch_dir("stale");
+    let ledger_path = dir.join("t.ledger");
+    let cfg_a = Table2Config {
+        widths: vec![16],
+        base_trials: 64,
+        seed: 1,
+    };
+    let cfg_b = Table2Config {
+        seed: 2,
+        ..cfg_a.clone()
+    };
+    assert_ne!(cfg_a.fingerprint(), cfg_b.fingerprint());
+
+    let ledger = Ledger::open(&ledger_path, cfg_a.fingerprint(), SyncPolicy::Flush).expect("open");
+    let (_, report) = table2::run_resilient(&cfg_a, &ResilientConfig::new(&ledger));
+    assert!(!report.degraded());
+    drop(ledger);
+
+    let ledger =
+        Ledger::open(&ledger_path, cfg_b.fingerprint(), SyncPolicy::Flush).expect("reopen");
+    assert_eq!(ledger.resumed_entries(), 0, "stale blocks must not resume");
+    assert!(ledger.discarded_stale());
+    let plain_b = table2::to_record(&cfg_b, &table2::run(&cfg_b));
+    let (cells_b, report_b) = table2::run_resilient(&cfg_b, &ResilientConfig::new(&ledger));
+    assert_eq!(report_b.from_checkpoint, 0);
+    assert_eq!(
+        serde_json::to_string(&table2::to_record(&cfg_b, &cells_b)).unwrap(),
+        serde_json::to_string(&plain_b).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
