@@ -13,17 +13,23 @@
 //!   engine behind the Table II and Table IV reproductions;
 //! * [`resilient`] — the same estimators run through `rap-resilience`'s
 //!   checkpoint/retry/budget executor, for crash-safe sweeps that resume
-//!   to bit-identical results.
+//!   to bit-identical results;
+//! * [`cancel`] — cooperative cancellation ([`CancelToken`]) polled
+//!   inside the Monte-Carlo block loops, so an online caller
+//!   (`rap-serve`) can enforce per-request deadlines and get explicitly
+//!   marked partial estimates instead of runaway work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array4d;
+pub mod cancel;
 pub mod matrix;
 pub mod montecarlo;
 pub mod resilient;
 pub mod scratch;
 
 pub use array4d::{Coord4, Pattern4d};
+pub use cancel::{CancelToken, PartialStats};
 pub use matrix::{Coord, MatrixPattern};
 pub use scratch::AccessScratch;

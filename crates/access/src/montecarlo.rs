@@ -28,6 +28,7 @@
 //! always yields the same estimate, regardless of call order elsewhere.
 
 use crate::array4d::{self, Coord4, Pattern4d};
+use crate::cancel::{CancelToken, PartialStats};
 use crate::matrix::{self, Coord, MatrixPattern};
 use crate::scratch::AccessScratch;
 use rap_core::multidim::{Mapping4d, Scheme4d};
@@ -193,6 +194,88 @@ pub fn array4d_congestion(
     parallel_trials(trials, |block| {
         array4d_block(scheme, pattern, w, warps_per_trial, &child, block)
     })
+}
+
+/// Like [`matrix_block`], but polling `token` before every trial; returns
+/// `None` when cancelled mid-block (the partial accumulator is discarded
+/// so the surviving blocks stay bit-comparable to the plain engine).
+fn matrix_block_cancellable(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    child: &SeedDomain,
+    block: std::ops::Range<u64>,
+    token: &CancelToken,
+) -> Option<OnlineStats> {
+    let mut scratch = AccessScratch::new();
+    let mut warp_buf: Vec<Coord> = Vec::new();
+    let mut stats = OnlineStats::new();
+    for trial in block {
+        if token.is_cancelled() {
+            return None;
+        }
+        let mut rng = child.rng(trial);
+        let mapping = RowShift::of_scheme(scheme, &mut rng, w);
+        for warp in 0..w as u32 {
+            matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
+            stats.push_u32(matrix::warp_congestion_with(
+                &mapping,
+                &warp_buf,
+                &mut scratch,
+            ));
+        }
+    }
+    Some(stats)
+}
+
+/// Cancellable [`matrix_congestion`]: the same sample streams and block
+/// structure, polling `token` between trials inside every block loop.
+///
+/// A run whose token never fires returns `cancelled == false` and stats
+/// **bit-identical** to the plain estimator. A cancelled run merges the
+/// blocks that completed (in block-index order) into an explicitly
+/// marked [`PartialStats`] — the deadline path of `rap-serve` turns
+/// these into structured timeout responses instead of stalled sockets.
+///
+/// # Panics
+/// Panics if `w == 0` or `trials == 0`.
+#[must_use]
+pub fn matrix_congestion_cancellable(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    trials: u64,
+    domain: &SeedDomain,
+    token: &CancelToken,
+) -> PartialStats {
+    assert!(trials > 0, "need at least one trial");
+    let child = domain.child("matrix");
+    let blocks: Vec<std::ops::Range<u64>> = (0..trials)
+        .step_by(TRIALS_PER_BLOCK as usize)
+        .map(|start| start..trials.min(start + TRIALS_PER_BLOCK))
+        .collect();
+    let total_blocks = blocks.len() as u64;
+    let per_block: Vec<Option<OnlineStats>> = blocks
+        .into_par_iter()
+        .map(|block| {
+            if token.is_cancelled() {
+                return None;
+            }
+            matrix_block_cancellable(scheme, pattern, w, &child, block, token)
+        })
+        .collect();
+    let mut stats = OnlineStats::new();
+    let mut completed_blocks = 0;
+    for block in per_block.iter().flatten() {
+        stats.merge(block);
+        completed_blocks += 1;
+    }
+    PartialStats {
+        stats,
+        completed_blocks,
+        total_blocks,
+        cancelled: completed_blocks < total_blocks,
+    }
 }
 
 /// Estimate the expected congestion of the *worst known blind adversary*
@@ -437,6 +520,52 @@ mod tests {
         assert_eq!(par.min(), ser.min());
         assert_eq!(par.max(), ser.max());
         assert!((par.mean() - ser.mean()).abs() <= 1e-12 * ser.mean().abs());
+    }
+
+    #[test]
+    fn uncancelled_cancellable_run_is_bit_identical_to_plain() {
+        let d = domain();
+        let token = CancelToken::never();
+        for (scheme, pattern, w, trials) in [
+            (Scheme::Ras, MatrixPattern::Random, 16, 100u64),
+            (Scheme::Rap, MatrixPattern::Diagonal, 8, 33),
+        ] {
+            let plain = matrix_congestion(scheme, pattern, w, trials, &d);
+            let run = matrix_congestion_cancellable(scheme, pattern, w, trials, &d, &token);
+            assert!(!run.cancelled, "{scheme} {pattern}");
+            assert!(!run.degraded());
+            assert_eq!(run.completed_blocks, run.total_blocks);
+            assert_eq!(run.stats.to_raw(), plain.to_raw(), "{scheme} {pattern}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_block() {
+        let d = domain();
+        let token = CancelToken::never();
+        token.cancel();
+        let start = std::time::Instant::now();
+        let run =
+            matrix_congestion_cancellable(Scheme::Ras, MatrixPattern::Random, 32, 3200, &d, &token);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "cancellation must be prompt"
+        );
+        assert!(run.cancelled);
+        assert!(run.degraded());
+        assert_eq!(run.completed_blocks, 0);
+        assert_eq!(run.stats.count(), 0);
+        assert_eq!(run.total_blocks, blocks_for(3200));
+    }
+
+    #[test]
+    fn expired_deadline_token_yields_a_marked_partial() {
+        let d = domain();
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let run =
+            matrix_congestion_cancellable(Scheme::Rap, MatrixPattern::Stride, 16, 640, &d, &token);
+        assert!(run.cancelled, "an already-expired deadline must cancel");
+        assert!(run.completed_blocks < run.total_blocks);
     }
 
     /// A single block (trials ≤ TRIALS_PER_BLOCK) merges into an empty

@@ -25,17 +25,23 @@
 //!   Theorem 1 and Theorem 2 claims;
 //! * [`lint`] — a lint pass walking the declared access plans of the
 //!   transpose algorithms and application kernels, emitting structured
-//!   diagnostics with stable rule IDs and minimal witness warps.
+//!   diagnostics with stable rule IDs and minimal witness warps;
+//! * [`degraded`] — the graceful-degradation API: map a Monte-Carlo
+//!   pattern family to its certified `[lo, hi]` envelope so an online
+//!   service can answer `pattern` queries soundly when the simulation
+//!   path is shed or circuit-broken.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degraded;
 pub mod engine;
 pub mod ir;
 pub mod lemmas;
 pub mod lint;
 pub mod theorems;
 
+pub use degraded::{fallback_bounds, FallbackPattern};
 pub use engine::{Analysis, Prover, Witness};
 pub use ir::{AffineForm, AffineWarp, AnalyzeError, Axis};
 pub use lemmas::{

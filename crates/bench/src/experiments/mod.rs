@@ -7,6 +7,7 @@ pub mod lemma1;
 pub mod malicious;
 pub mod modern;
 pub mod permutation;
+pub mod serve_chaos;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,633 @@
+//! Experiment SERVE_CHAOS: a multi-threaded client soak against the
+//! `rap-serve` query service while faults are injected into its handler
+//! path, proving the service's headline guarantees:
+//!
+//! 1. **Zero lost requests** — every request line sent receives exactly
+//!    one response line (success, `degraded:true` fallback, or a
+//!    structured shed/timeout/panic error), even with panic failpoints
+//!    firing on a schedule inside the handlers.
+//! 2. **No crash** — the process, acceptor, and every worker survive the
+//!    whole soak; a final `health` query answers green.
+//! 3. **Breaker lifecycle** — under a sustained fault burst the circuit
+//!    breaker trips open, `pattern` queries degrade to the analyzer's
+//!    certified bounds, and after the fault clears the breaker recovers
+//!    through half-open to closed.
+//! 4. **Client death is survivable** — a client killed mid-stream (its
+//!    socket vanishes with responses in flight) costs write errors, not
+//!    server state: the conservation ledger still balances.
+//! 5. **Graceful drain** — shutdown under load stops admission, finishes
+//!    or explicitly answers everything queued, and reports clean exit.
+//!
+//! The checks run against in-process servers (same code path as `rap
+//! serve`); CI's `serve-soak` job additionally drives the real binary
+//! over real sockets with a real `kill -9`.
+
+use rap_resilience::{install, FailPlan, Fault, HitSchedule};
+use rap_serve::{Client, Response, Server, ServerConfig, ServerHandle};
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one soak check.
+#[derive(Debug, Serialize)]
+pub struct SoakCheck {
+    /// Stable check name.
+    pub name: String,
+    /// Whether the guarantee held.
+    pub passed: bool,
+    /// What was verified (pass) or what broke (fail).
+    pub detail: String,
+}
+
+/// Aggregate client-side tallies of the main soak.
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct SoakTally {
+    /// Request lines sent.
+    pub sent: u64,
+    /// Response lines received.
+    pub received: u64,
+    /// `ok:true` full-fidelity responses.
+    pub ok: u64,
+    /// `ok:true, degraded:true` responses.
+    pub degraded: u64,
+    /// Structured error responses, by kind.
+    pub shed: u64,
+    /// `timeout` errors.
+    pub timeouts: u64,
+    /// `panic`/`handler_failed` errors.
+    pub failures: u64,
+    /// `bad_request` errors (the soak sends some malformed lines).
+    pub bad_requests: u64,
+    /// Other structured errors (draining, unavailable).
+    pub other_errors: u64,
+}
+
+impl SoakTally {
+    fn absorb(&mut self, response: &Response) {
+        self.received += 1;
+        if response.ok {
+            if response.degraded {
+                self.degraded += 1;
+            } else {
+                self.ok += 1;
+            }
+            return;
+        }
+        match response.error_kind() {
+            Some("shed") => self.shed += 1,
+            Some("timeout") => self.timeouts += 1,
+            Some("panic" | "handler_failed") => self.failures += 1,
+            Some("bad_request") => self.bad_requests += 1,
+            _ => self.other_errors += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &SoakTally) {
+        self.sent += other.sent;
+        self.received += other.received;
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.timeouts += other.timeouts;
+        self.failures += other.failures;
+        self.bad_requests += other.bad_requests;
+        self.other_errors += other.other_errors;
+    }
+}
+
+/// The full soak result, written to `results/serve_chaos.json`.
+#[derive(Debug, Serialize)]
+pub struct SoakReport {
+    /// Root seed keying the fault schedules.
+    pub seed: u64,
+    /// Requests driven by the main soak.
+    pub requests: u64,
+    /// Concurrent client connections in the main soak.
+    pub clients: u64,
+    /// Client-side tallies of the main soak.
+    pub tally: SoakTally,
+    /// Injected handler faults observed by the failpoint log.
+    pub injected_faults: u64,
+    /// Times the breaker tripped across all checks.
+    pub breaker_trips: u64,
+    /// One entry per check.
+    pub checks: Vec<SoakCheck>,
+    /// True iff every check passed.
+    pub passed: bool,
+}
+
+fn spawn_server(config: ServerConfig) -> Result<ServerHandle, String> {
+    Server::bind(config)
+        .map_err(|e| format!("bind: {e}"))?
+        .spawn()
+        .map_err(|e| format!("spawn: {e}"))
+}
+
+fn shutdown(handle: ServerHandle) -> rap_serve::DrainReport {
+    handle.begin_shutdown();
+    handle.join()
+}
+
+/// The request mix one soak client cycles through: cheap and expensive,
+/// valid and malformed, degradable and not.
+fn request_line(global_index: u64) -> String {
+    match global_index % 8 {
+        0 => format!(
+            r#"{{"cmd":"pattern","id":{global_index},"pattern":"stride","scheme":"rap","width":16,"trials":32}}"#
+        ),
+        1 => format!(
+            r#"{{"cmd":"congestion","id":{global_index},"width":32,"addresses":[0,32,64,96,1,33]}}"#
+        ),
+        2 => format!(r#"{{"cmd":"analyze","id":{global_index},"width":8}}"#),
+        3 => format!(
+            r#"{{"cmd":"layout","id":{global_index},"scheme":"ras","width":8,"seed":{global_index}}}"#
+        ),
+        4 => format!(
+            r#"{{"cmd":"pattern","id":{global_index},"pattern":"diagonal","scheme":"raw","width":16,"trials":16}}"#
+        ),
+        5 => format!(
+            r#"{{"cmd":"transpose","id":{global_index},"kind":"crsw","scheme":"rap","width":16,"latency":2}}"#
+        ),
+        // Deliberately malformed: exercises the bad-request path under
+        // the same fault schedule.
+        6 => format!(r#"{{"cmd":"layout","id":{global_index},"scheme":"rap","width":0}}"#),
+        // Tight deadline: exercises timeout/partial-result paths.
+        _ => format!(
+            r#"{{"cmd":"pattern","id":{global_index},"pattern":"random","scheme":"ras","width":64,"trials":4000,"timeout_ms":20}}"#
+        ),
+    }
+}
+
+/// Check 1+2: the main soak. `requests` requests over `clients`
+/// connections with panic failpoints at Rate(1/16), then a health probe.
+fn soak_check(
+    addr: std::net::SocketAddr,
+    requests: u64,
+    clients: u64,
+    seed: u64,
+) -> Result<(SoakTally, u64), String> {
+    let guard = install(FailPlan::new(seed).rule(
+        "serve.handler",
+        Fault::Panic,
+        HitSchedule::Rate { num: 1, den: 16 },
+    ));
+    let counter = Arc::new(AtomicU64::new(0));
+    let per_client = requests / clients;
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let counter = Arc::clone(&counter);
+            std::thread::spawn(move || -> Result<SoakTally, String> {
+                let mut tally = SoakTally::default();
+                let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                for _ in 0..per_client {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    let line = request_line(i);
+                    tally.sent += 1;
+                    let response = client
+                        .roundtrip(&line)
+                        .map_err(|e| format!("request {i} got no response: {e}"))?;
+                    tally.absorb(&response);
+                }
+                Ok(tally)
+            })
+        })
+        .collect();
+    let mut total = SoakTally::default();
+    for t in threads {
+        let tally = t
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        total.merge(&tally);
+    }
+    let injected = rap_resilience::failpoint::drain_log().len() as u64;
+    drop(guard);
+    if total.received != total.sent {
+        return Err(format!(
+            "lost requests: sent {} received {}",
+            total.sent, total.received
+        ));
+    }
+    if injected == 0 {
+        return Err("failpoint never fired; the soak proved nothing".to_string());
+    }
+    // The server must still be alive and green after the storm.
+    let mut probe = Client::connect(addr).map_err(|e| format!("post-soak connect: {e}"))?;
+    let health = probe
+        .roundtrip(r#"{"cmd":"health"}"#)
+        .map_err(|e| format!("post-soak health: {e}"))?;
+    if !health.ok {
+        return Err(format!("post-soak health not ok: {health:?}"));
+    }
+    Ok((total, injected))
+}
+
+/// Check 4: a client that vanishes mid-stream (the in-process stand-in
+/// for `kill -9`; CI does it to a real process).
+fn client_kill_check(addr: std::net::SocketAddr) -> Result<String, String> {
+    {
+        let mut doomed = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        for i in 0..16 {
+            doomed
+                .send(&format!(
+                    r#"{{"cmd":"pattern","id":{i},"pattern":"random","scheme":"ras","width":32,"trials":500}}"#
+                ))
+                .map_err(|e| format!("send: {e}"))?;
+        }
+        // Read a couple of responses so some writes succeed, then drop
+        // the socket with the rest still in flight.
+        let _ = doomed.recv();
+        let _ = doomed.recv();
+    } // <- connection closed here, responses still queued server-side
+      // Conservation is a quiescence invariant: poll stats until the dead
+      // client's in-flight jobs have all been answered into the void.
+    let mut probe = Client::connect(addr).map_err(|e| format!("post-kill connect: {e}"))?;
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        let stats = probe
+            .roundtrip(r#"{"cmd":"stats"}"#)
+            .map_err(|e| format!("post-kill stats: {e}"))?;
+        let line = serde_json::to_string(&stats.data.ok_or("stats had no data")?)
+            .map_err(|e| e.to_string())?;
+        if line.contains("\"conserves_responses\":true") {
+            return Ok("dead client cost write errors only; response ledger balances".to_string());
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(format!("conservation broken after client kill: {line}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Check 3: sustained faults trip the breaker; `pattern` degrades to
+/// analyzer bounds; recovery closes it again.
+fn breaker_check(seed: u64) -> Result<(String, u64), String> {
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        retry: rap_resilience::RetryPolicy {
+            max_retries: 0,
+            ..rap_resilience::RetryPolicy::default()
+        },
+        breaker: rap_resilience::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            success_to_close: 1,
+        },
+        ..ServerConfig::default()
+    })?;
+    let mut client = Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    let guard =
+        install(FailPlan::new(seed).rule("serve.handler", Fault::Panic, HitSchedule::Always));
+    for i in 0..3 {
+        let r = client
+            .roundtrip(&format!(r#"{{"cmd":"analyze","id":{i},"width":8}}"#))
+            .map_err(|e| format!("burst {i}: {e}"))?;
+        if r.ok {
+            return Err(format!("request {i} succeeded under Always-panic: {r:?}"));
+        }
+    }
+    if handle.breaker_state() != "open" {
+        return Err(format!(
+            "breaker should be open after the burst, is {}",
+            handle.breaker_state()
+        ));
+    }
+    // Open breaker: pattern must degrade to certified bounds, marked so.
+    let degraded = client
+        .roundtrip(r#"{"cmd":"pattern","id":50,"pattern":"stride","scheme":"rap","width":16}"#)
+        .map_err(|e| format!("degraded query: {e}"))?;
+    if !(degraded.ok && degraded.degraded && degraded.breaker == "open") {
+        return Err(format!("expected degraded analyzer answer: {degraded:?}"));
+    }
+    let payload =
+        serde_json::to_string(&degraded.data.ok_or("no data")?).map_err(|e| e.to_string())?;
+    if !payload.contains("static-analyzer") || !payload.contains("\"hi\":1") {
+        return Err(format!(
+            "degraded payload is not the certified bound: {payload}"
+        ));
+    }
+    drop(guard); // fault clears
+    std::thread::sleep(Duration::from_millis(150)); // past cooldown
+    let recovered = client
+        .roundtrip(r#"{"cmd":"analyze","id":60,"width":8}"#)
+        .map_err(|e| format!("recovery query: {e}"))?;
+    if !recovered.ok {
+        return Err(format!("half-open probe failed: {recovered:?}"));
+    }
+    if handle.breaker_state() != "closed" {
+        return Err(format!(
+            "breaker should have closed, is {}",
+            handle.breaker_state()
+        ));
+    }
+    let trips = handle.breaker_trips();
+    let report = shutdown(handle);
+    if !report.metrics.conserves_responses() {
+        return Err("conservation broken across breaker lifecycle".to_string());
+    }
+    Ok((
+        format!(
+            "tripped open, served certified [1,1] stride bound degraded, \
+             recovered closed ({trips} trip(s))"
+        ),
+        trips,
+    ))
+}
+
+/// Check 6: ENOSPC and delay faults — retried or surfaced, never lost.
+fn io_fault_check(seed: u64) -> Result<String, String> {
+    let handle = spawn_server(ServerConfig::default())?;
+    let mut client = Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    let guard = install(
+        FailPlan::new(seed)
+            .rule(
+                "serve.handler",
+                Fault::Enospc,
+                HitSchedule::Rate { num: 1, den: 4 },
+            )
+            .rule(
+                "serve.handler",
+                Fault::Delay,
+                HitSchedule::Rate { num: 1, den: 3 },
+            ),
+    );
+    let mut answered = 0u64;
+    for i in 0..40 {
+        let r = client
+            .roundtrip(&format!(
+                r#"{{"cmd":"congestion","id":{i},"width":8,"addresses":[0,8,1]}}"#
+            ))
+            .map_err(|e| format!("io-fault request {i}: {e}"))?;
+        // Success (possibly after retries) or a structured failure; both
+        // are answered.
+        if !(r.ok || r.error_kind() == Some("handler_failed")) {
+            return Err(format!("unexpected response under I/O faults: {r:?}"));
+        }
+        answered += 1;
+    }
+    drop(guard);
+    let report = shutdown(handle);
+    if !report.metrics.conserves_responses() {
+        return Err("conservation broken under I/O faults".to_string());
+    }
+    Ok(format!(
+        "{answered}/40 answered under ENOSPC(1/4)+delay(1/3); retries {}",
+        report.metrics.handler_retries
+    ))
+}
+
+/// Check 5: graceful drain under load — stop admitting, answer the
+/// backlog (executed or explicitly aborted), exit clean.
+fn drain_check() -> Result<String, String> {
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        drain_budget_ms: 200,
+        ..ServerConfig::default()
+    })?;
+    let mut client = Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    const PIPELINED: u64 = 12;
+    for i in 0..PIPELINED {
+        client
+            .send(&format!(
+                r#"{{"cmd":"pattern","id":{i},"pattern":"random","scheme":"ras","width":64,"trials":3000}}"#
+            ))
+            .map_err(|e| format!("send: {e}"))?;
+    }
+    client
+        .send(r#"{"cmd":"shutdown","id":999}"#)
+        .map_err(|e| format!("send shutdown: {e}"))?;
+    let report = handle.join();
+    if !report.metrics.conserves_responses() {
+        return Err(format!("drain lost requests: {report:?}"));
+    }
+    // Client side: exactly one response per request, shutdown included.
+    let mut got = 0u64;
+    for _ in 0..=PIPELINED {
+        match client.recv() {
+            Ok(Some(_)) => got += 1,
+            Ok(None) => break,
+            Err(e) => return Err(format!("after {got} responses: {e}")),
+        }
+    }
+    if got != PIPELINED + 1 {
+        return Err(format!("expected {} responses, got {got}", PIPELINED + 1));
+    }
+    Ok(format!(
+        "drain answered all {} requests ({} aborted with structured errors), clean={}",
+        PIPELINED + 1,
+        report.aborted_jobs,
+        report.clean
+    ))
+}
+
+/// Check 7: admission control — a burst into a tiny queue sheds with
+/// structured 429s and zero losses.
+fn shed_check() -> Result<String, String> {
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServerConfig::default()
+    })?;
+    let mut client = Client::connect(handle.addr()).map_err(|e| format!("connect: {e}"))?;
+    const BURST: u64 = 30;
+    for i in 0..BURST {
+        client
+            .send(&format!(
+                r#"{{"cmd":"pattern","id":{i},"pattern":"random","scheme":"ras","width":64,"trials":2000}}"#
+            ))
+            .map_err(|e| format!("send: {e}"))?;
+    }
+    let mut sheds = 0u64;
+    let mut answered = 0u64;
+    for _ in 0..BURST {
+        let r = client
+            .recv()
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("connection closed mid-burst")?;
+        if r.error_kind() == Some("shed") {
+            sheds += 1;
+        } else {
+            answered += 1;
+        }
+    }
+    let report = shutdown(handle);
+    if !report.metrics.conserves_responses() {
+        return Err("conservation broken under shedding".to_string());
+    }
+    if sheds == 0 {
+        return Err("a 2-slot queue never shed under a 30-deep burst".to_string());
+    }
+    Ok(format!(
+        "{answered} executed + {sheds} structured sheds = {BURST}, zero lost"
+    ))
+}
+
+/// Run the whole soak suite. `requests`/`clients` size the main soak.
+#[must_use]
+pub fn run(seed: u64, requests: u64, clients: u64) -> SoakReport {
+    let clients = clients.clamp(1, 64);
+    let requests = requests.max(clients);
+    let mut checks = Vec::new();
+    let mut tally = SoakTally::default();
+    let mut injected = 0u64;
+    let mut trips = 0u64;
+
+    // Main soak server: shared by checks 1, 2, and the kill check so the
+    // kill's write errors land in a ledger that is still being audited.
+    match spawn_server(ServerConfig {
+        workers: 4,
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    }) {
+        Err(e) => checks.push(SoakCheck {
+            name: "soak-server-start".to_string(),
+            passed: false,
+            detail: e,
+        }),
+        Ok(handle) => {
+            let addr = handle.addr();
+            match soak_check(addr, requests, clients, seed) {
+                Ok((t, n)) => {
+                    injected = n;
+                    let detail = format!(
+                        "{} sent = {} answered ({} ok, {} degraded, {} shed, {} timeout, \
+                         {} failure, {} bad-request) with {} injected panic(s); health green",
+                        t.sent,
+                        t.received,
+                        t.ok,
+                        t.degraded,
+                        t.shed,
+                        t.timeouts,
+                        t.failures,
+                        t.bad_requests,
+                        n,
+                    );
+                    tally = t;
+                    checks.push(SoakCheck {
+                        name: "soak-zero-lost-requests".to_string(),
+                        passed: true,
+                        detail,
+                    });
+                }
+                Err(e) => checks.push(SoakCheck {
+                    name: "soak-zero-lost-requests".to_string(),
+                    passed: false,
+                    detail: e,
+                }),
+            }
+            let kill = client_kill_check(addr);
+            let drain = shutdown(handle);
+            checks.push(match kill {
+                Ok(detail) => SoakCheck {
+                    name: "client-kill-mid-stream".to_string(),
+                    passed: true,
+                    detail,
+                },
+                Err(e) => SoakCheck {
+                    name: "client-kill-mid-stream".to_string(),
+                    passed: false,
+                    detail: e,
+                },
+            });
+            checks.push(SoakCheck {
+                name: "soak-server-conservation".to_string(),
+                passed: drain.metrics.conserves_responses(),
+                detail: format!(
+                    "received {} = ok {} + degraded {} + errors {} (write_errors {} from the \
+                     killed client)",
+                    drain.metrics.received,
+                    drain.metrics.completed_ok,
+                    drain.metrics.degraded_served,
+                    drain.metrics.errors_total(),
+                    drain.metrics.write_errors,
+                ),
+            });
+        }
+    }
+
+    let named = |name: &str, result: Result<String, String>| match result {
+        Ok(detail) => SoakCheck {
+            name: name.to_string(),
+            passed: true,
+            detail,
+        },
+        Err(detail) => SoakCheck {
+            name: name.to_string(),
+            passed: false,
+            detail,
+        },
+    };
+    match breaker_check(seed) {
+        Ok((detail, t)) => {
+            trips = t;
+            checks.push(SoakCheck {
+                name: "breaker-trips-and-recovers".to_string(),
+                passed: true,
+                detail,
+            });
+        }
+        Err(e) => checks.push(SoakCheck {
+            name: "breaker-trips-and-recovers".to_string(),
+            passed: false,
+            detail: e,
+        }),
+    }
+    checks.push(named("enospc-and-delay-faults", io_fault_check(seed)));
+    checks.push(named("graceful-drain-under-load", drain_check()));
+    checks.push(named("shed-burst-structured-429s", shed_check()));
+
+    let passed = checks.iter().all(|c| c.passed);
+    SoakReport {
+        seed,
+        requests,
+        clients,
+        tally,
+        injected_faults: injected,
+        breaker_trips: trips,
+        checks,
+        passed,
+    }
+}
+
+/// `run` wrapped in `catch_unwind` per the suite convention: a broken
+/// invariant must report a failed check, not kill the harness.
+#[must_use]
+pub fn run_caught(seed: u64, requests: u64, clients: u64) -> SoakReport {
+    catch_unwind(AssertUnwindSafe(|| run(seed, requests, clients))).unwrap_or_else(|_| SoakReport {
+        seed,
+        requests,
+        clients,
+        tally: SoakTally::default(),
+        injected_faults: 0,
+        breaker_trips: 0,
+        checks: vec![SoakCheck {
+            name: "suite-panicked".to_string(),
+            passed: false,
+            detail: "the soak harness itself panicked".to_string(),
+        }],
+        passed: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature soak (fast enough for unit CI) must pass end to end.
+    #[test]
+    fn mini_soak_passes() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let report = run_caught(7, 64, 4);
+        std::panic::set_hook(prev);
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+        assert!(report.passed);
+        assert!(report.injected_faults > 0);
+        assert!(report.breaker_trips >= 1);
+        assert_eq!(report.tally.sent, report.tally.received);
+    }
+}

@@ -11,6 +11,8 @@
 //! rap permute   --family transpose [--width 16] [--latency 8]
 //! rap analyze   --width 32 [--scheme rap|all] [--plans] [--json]
 //! rap chaos     [--width 32] [--trials 256] [--fault panic|enospc|delay]
+//! rap serve     [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
+//! rap query     --addr <host:port> --json '<request>'
 //! ```
 //!
 //! All logic lives in [`run`], which returns the rendered output so the
@@ -55,7 +57,16 @@ USAGE:
                  [--fault <panic|enospc|delay>]   (inject faults into the
                  Monte-Carlo engine and verify the recovered estimate is
                  bit-identical to the fault-free run)
+  rap serve      [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
+                 [--connections 64] [--timeout-ms 2000] [--drain-ms 2000]
+                 (hardened query service; line-delimited JSON over TCP;
+                 send {\"cmd\":\"shutdown\"} for a graceful drain)
+  rap query      --addr <host:port> --json '<request>' [--timeout-ms 10000]
+                 (send one request line, print the one response line)
   rap help
+
+Widths are capped at 4096 everywhere (one request must not exhaust the
+process); transpose simulates full DMM cycles and is capped at 512.
 ";
 
 /// Parsed `--key value` options.
@@ -121,6 +132,20 @@ impl Opts {
     }
 }
 
+/// Widest matrix any CLI command accepts — mirrors the serve-side cap:
+/// a width names `w²` cells and `w`-lane warps, so an unbounded value is
+/// a one-request memory/CPU exhaustion vector, not a bigger experiment.
+pub const MAX_CLI_WIDTH: usize = rap_serve::MAX_WIDTH;
+
+/// Parse and validate `--width`: a number in `1..=MAX_CLI_WIDTH`.
+fn checked_width(opts: &Opts, default: usize) -> Result<usize, String> {
+    let width = opts.usize("width", default)?;
+    if width == 0 || width > MAX_CLI_WIDTH {
+        return Err(format!("--width must be 1..={MAX_CLI_WIDTH}, got {width}"));
+    }
+    Ok(width)
+}
+
 fn parse_scheme(s: &str) -> Result<Scheme, String> {
     match s.to_ascii_lowercase().as_str() {
         "raw" => Ok(Scheme::Raw),
@@ -175,6 +200,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "permute" => cmd_permute(&opts),
         "analyze" => cmd_analyze(&opts),
         "chaos" => cmd_chaos(&opts),
+        "serve" => cmd_serve(&opts),
+        "query" => cmd_query(&opts),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -184,10 +211,7 @@ fn mapping_for(
     default_width: usize,
 ) -> Result<(Box<dyn MatrixMapping>, usize), String> {
     let scheme = parse_scheme(opts.required("scheme")?)?;
-    let width = opts.usize("width", default_width)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, default_width)?;
     if scheme == Scheme::Xor && !width.is_power_of_two() {
         return Err("--scheme xor needs a power-of-two --width".into());
     }
@@ -202,10 +226,7 @@ fn cmd_layout(opts: &Opts) -> Result<String, String> {
 }
 
 fn cmd_congestion(opts: &Opts) -> Result<String, String> {
-    let width = opts.usize("width", 32)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, 32)?;
     let raw = opts.required("addresses")?;
     let addresses: Vec<u64> = raw
         .split(',')
@@ -222,10 +243,7 @@ fn cmd_congestion(opts: &Opts) -> Result<String, String> {
 fn cmd_pattern(opts: &Opts) -> Result<String, String> {
     let pattern = parse_pattern(opts.required("pattern")?)?;
     let scheme = parse_scheme(opts.required("scheme")?)?;
-    let width = opts.usize("width", 32)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, 32)?;
     let trials = opts.u64("trials", 1000)?.max(1);
     let seed = opts.u64("seed", 2014)?;
     let stats = match scheme {
@@ -298,10 +316,7 @@ fn cmd_trace(opts: &Opts) -> Result<String, String> {
 }
 
 fn cmd_permute(opts: &Opts) -> Result<String, String> {
-    let width = opts.usize("width", 16)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, 16)?;
     let latency = opts.u64("latency", 8)?.max(1);
     let seed = opts.u64("seed", 2014)?;
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -349,10 +364,7 @@ fn cmd_chaos(opts: &Opts) -> Result<String, String> {
     use rap_access::resilient::{matrix_congestion_resilient, ResilientConfig};
     use rap_resilience::{failpoint, FailPlan, Fault, HitSchedule, Ledger, RetryPolicy, RunBudget};
 
-    let width = opts.usize("width", 32)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, 32)?;
     let trials = opts.u64("trials", 256)?.max(1);
     let seed = opts.u64("seed", 2014)?;
     let rate = opts.u64("rate", 3)?.max(2);
@@ -429,6 +441,68 @@ fn cmd_chaos(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_serve(opts: &Opts) -> Result<String, String> {
+    use rap_serve::{Server, ServerConfig};
+    let addr = opts
+        .map
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7414".to_string());
+    let config = ServerConfig {
+        addr: addr.clone(),
+        workers: opts.usize("workers", 4)?.clamp(1, 64),
+        queue_capacity: opts.usize("queue", 64)?.clamp(1, 100_000),
+        max_connections: opts.usize("connections", 64)?.clamp(1, 10_000),
+        default_timeout_ms: opts.u64("timeout-ms", 2_000)?.max(1),
+        drain_budget_ms: opts.u64("drain-ms", 2_000)?,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(config).map_err(|e| format!("bind {addr}: {e}"))?;
+    let bound = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let handle = server.spawn().map_err(|e| format!("spawn: {e}"))?;
+    // Announce readiness on stdout *before* blocking so scripts can wait
+    // for this line instead of polling the port.
+    println!("rap-serve listening on {bound}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = handle.join();
+    let m = &report.metrics;
+    Ok(format!(
+        "drained {} (aborted {} queued job(s))\n\
+         received {}, ok {}, degraded {}, errors {} (shed {}, timeouts {}, \
+         panics {}), responses conserved: {}\n",
+        if report.clean {
+            "clean"
+        } else {
+            "with leftovers"
+        },
+        report.aborted_jobs,
+        m.received,
+        m.completed_ok,
+        m.degraded_served,
+        m.errors_total(),
+        m.shed,
+        m.timeouts_queue + m.timeouts_handler,
+        m.handler_panics,
+        m.conserves_responses(),
+    ))
+}
+
+fn cmd_query(opts: &Opts) -> Result<String, String> {
+    let addr = opts.required("addr")?;
+    let line = opts.required("json")?;
+    let timeout = opts.u64("timeout-ms", 10_000)?.max(1);
+    let mut client =
+        rap_serve::Client::connect_with_timeout(addr, std::time::Duration::from_millis(timeout))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+    let response = client
+        .roundtrip(line)
+        .map_err(|e| format!("query {addr}: {e}"))?;
+    Ok(response.to_line())
+}
+
 /// Serializable payload of `rap analyze --json`.
 #[derive(serde::Serialize)]
 struct AnalyzeOutput {
@@ -439,10 +513,7 @@ struct AnalyzeOutput {
 }
 
 fn cmd_analyze(opts: &Opts) -> Result<String, String> {
-    let width = opts.usize("width", 32)?;
-    if width == 0 {
-        return Err("--width must be positive".into());
-    }
+    let width = checked_width(opts, 32)?;
     let scheme_arg = opts.map.get("scheme").map_or("rap", String::as_str);
     let lint_schemes: Vec<Scheme> = if scheme_arg.eq_ignore_ascii_case("all") {
         Scheme::all().to_vec()
@@ -673,7 +744,7 @@ mod tests {
     fn analyze_validates_options() {
         assert!(call(&["analyze", "--width", "0"])
             .unwrap_err()
-            .contains("positive"));
+            .contains("1..=4096"));
         assert!(call(&["analyze", "--width", "8", "--scheme", "zzz"])
             .unwrap_err()
             .contains("unknown scheme"));
@@ -728,6 +799,83 @@ mod tests {
             .contains("expected a number"));
         assert!(call(&["layout", "--scheme", "raw", "--width", "0"])
             .unwrap_err()
-            .contains("positive"));
+            .contains("1..=4096"));
+    }
+
+    #[test]
+    fn width_is_capped_everywhere() {
+        // --width 0, > 4096, and u64-overflowing values are contextual
+        // errors on every width-taking command, never panics or OOM.
+        for args in [
+            vec!["layout", "--scheme", "raw"],
+            vec!["congestion", "--addresses", "0,1"],
+            vec!["pattern", "--pattern", "stride", "--scheme", "raw"],
+            vec!["transpose", "--kind", "crsw", "--scheme", "raw"],
+            vec!["trace", "--kind", "crsw", "--scheme", "raw"],
+            vec!["permute", "--family", "identity"],
+            vec!["analyze"],
+            vec!["chaos"],
+        ] {
+            for bad in ["0", "4097", "99999999999"] {
+                let mut argv = args.clone();
+                argv.extend(["--width", bad]);
+                let err = call(&argv).unwrap_err();
+                assert!(err.contains("1..=4096"), "{args:?} --width {bad}: {err}");
+            }
+            let mut argv = args.clone();
+            argv.extend(["--width", "99999999999999999999999999"]);
+            let err = call(&argv).unwrap_err();
+            assert!(err.contains("expected a number"), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn addresses_validation_is_contextual() {
+        for bad in ["0,x", "18446744073709551616", "1,,2", ""] {
+            let err = call(&["congestion", "--width", "4", "--addresses", bad]).unwrap_err();
+            assert!(err.contains("bad address"), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn serve_validates_its_options() {
+        assert!(call(&["serve", "--addr", "not-an-address"])
+            .unwrap_err()
+            .contains("bind"));
+        assert!(call(&["serve", "--workers", "abc"])
+            .unwrap_err()
+            .contains("expected a number"));
+    }
+
+    #[test]
+    fn query_requires_addr_and_fails_fast_when_unreachable() {
+        assert!(call(&["query", "--json", "{}"])
+            .unwrap_err()
+            .contains("--addr"));
+        assert!(call(&["query", "--addr", "127.0.0.1:9", "--json", "{}"])
+            .unwrap_err()
+            .contains("connect"));
+    }
+
+    #[test]
+    fn query_roundtrips_against_a_live_server() {
+        let server = rap_serve::Server::bind(rap_serve::ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.spawn().unwrap();
+        let out = call(&[
+            "query",
+            "--addr",
+            &addr,
+            "--json",
+            r#"{"cmd":"pattern","id":1,"pattern":"stride","scheme":"rap","width":16,"trials":16}"#,
+        ])
+        .unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"id\":1"), "{out}");
+        let health = call(&["query", "--addr", &addr, "--json", r#"{"cmd":"health"}"#]).unwrap();
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        handle.begin_shutdown();
+        let report = handle.join();
+        assert!(report.metrics.conserves_responses());
     }
 }

@@ -1,12 +1,23 @@
 //! The `rap` binary: see [`rap_cli::USAGE`].
 
 fn main() {
+    // Fail fast on a malformed RAP_FAILPOINTS spec: a typo'd chaos plan
+    // silently running with no failpoints would report a vacuously green
+    // experiment. The guard (when a plan is present) lives for the whole
+    // process so `rap serve` handlers see the injected faults.
+    let _failpoints = match rap_resilience::failpoint::install_from_env() {
+        Ok(guard) => guard,
+        Err(message) => {
+            eprintln!("rap: {message}");
+            std::process::exit(1);
+        }
+    };
     let args: Vec<String> = std::env::args().skip(1).collect();
     match rap_cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(message) => {
             eprintln!("{message}");
-            std::process::exit(2);
+            std::process::exit(1);
         }
     }
 }

@@ -13,7 +13,8 @@ use crate::mapping::MatrixMapping;
 /// Render the physical arrangement of a `w × w` matrix under `mapping`:
 /// one line per physical row, each column being a bank, showing the
 /// *logical* element index (`i·w + j`) stored there — the paper's
-/// Figure 6 as text.
+/// Figure 6 as text. Padded layouts occupy more than `w²` words; slots
+/// holding no logical element (the padding) render as `·`.
 ///
 /// # Panics
 /// Panics if the mapping is not injective over the matrix (would
@@ -21,8 +22,10 @@ use crate::mapping::MatrixMapping;
 #[must_use]
 pub fn render_layout(mapping: &dyn MatrixMapping) -> String {
     let w = mapping.width() as u32;
-    let cells = (w * w) as usize;
-    let mut physical: Vec<Option<u32>> = vec![None; cells];
+    // Ceil to whole rendered rows: padded layouts may not fill the last.
+    let storage = mapping.storage_words();
+    let rows = storage.div_ceil(w as usize) as u32;
+    let mut physical: Vec<Option<u32>> = vec![None; (rows * w) as usize];
     for i in 0..w {
         for j in 0..w {
             let a = mapping.address(i, j) as usize;
@@ -33,6 +36,7 @@ pub fn render_layout(mapping: &dyn MatrixMapping) -> String {
             physical[a] = Some(i * w + j);
         }
     }
+    let cells = (w * w) as usize;
     let width = ((cells.max(2) - 1) as f64).log10() as usize + 1;
     let mut out = String::new();
     out.push_str(&format!("{} layout, w = {w}:\n", mapping.scheme()));
@@ -41,11 +45,13 @@ pub fn render_layout(mapping: &dyn MatrixMapping) -> String {
         out.push_str(&format!(" B{b:<width$}"));
     }
     out.push('\n');
-    for row in 0..w {
+    for row in 0..rows {
         out.push_str(&format!("row {row:>2}"));
         for col in 0..w {
-            let v = physical[(row * w + col) as usize].expect("bijective");
-            out.push_str(&format!(" {v:>width$} "));
+            match physical[(row * w + col) as usize] {
+                Some(v) => out.push_str(&format!(" {v:>width$} ")),
+                None => out.push_str(&format!(" {:>width$} ", "·")),
+            }
         }
         out.push('\n');
     }
@@ -107,6 +113,23 @@ mod tests {
         assert!(s.contains("congestion 3"));
         assert!(s.contains("bank   0 | ###"));
         assert!(s.contains("bank   2 |"));
+    }
+
+    #[test]
+    fn padded_layout_renders_padding_slots() {
+        use crate::modern::build_mapping;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let mapping = build_mapping(crate::Scheme::Padded, &mut rng, 4);
+        let s = render_layout(mapping.as_ref());
+        assert!(s.contains("·"), "padding slots render as dots:\n{s}");
+        // Every logical element still appears exactly once.
+        for v in 0..16 {
+            assert!(
+                s.split_whitespace().any(|t| t == v.to_string()),
+                "missing element {v}:\n{s}"
+            );
+        }
     }
 
     #[test]

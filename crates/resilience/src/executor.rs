@@ -483,6 +483,90 @@ mod tests {
     }
 
     #[test]
+    fn zero_block_cap_skips_everything_promptly() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let budget = RunBudget::unlimited().with_block_cap(0);
+        let start = Instant::now();
+        let run = run_cell("c", 64, &ledger, budget, &RetryPolicy::default(), |_| {
+            panic!("a zero cap must never launch a block")
+        });
+        assert!(start.elapsed() < Duration::from_secs(2), "must not hang");
+        assert_eq!(run.report.skipped_cap, 64);
+        assert_eq!(run.report.completed, 0);
+        assert!(run.report.degraded(), "an empty estimate is degraded");
+        assert_eq!(run.stats.count(), 0);
+    }
+
+    #[test]
+    fn zero_retries_fail_each_block_exactly_once() {
+        let _l = locked();
+        let _g = install(FailPlan::new(0).rule("mc.block", Fault::Panic, HitSchedule::Always));
+        let ledger = Ledger::in_memory();
+        let policy = RetryPolicy {
+            max_retries: 0,
+            backoff_base: Duration::from_micros(10),
+            seed: 0,
+        };
+        let start = Instant::now();
+        let run = run_cell("c", 5, &ledger, RunBudget::unlimited(), &policy, block_body);
+        assert!(start.elapsed() < Duration::from_secs(2), "must not hang");
+        assert_eq!(run.report.failed, 5, "one attempt per block, no retries");
+        assert_eq!(run.report.retries, 0);
+        assert!(run.report.degraded());
+    }
+
+    #[test]
+    fn zero_retries_on_a_clean_path_still_complete() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        let run = run_cell("c", 4, &ledger, RunBudget::unlimited(), &policy, block_body);
+        assert_eq!(run.stats.to_raw(), plain_merge(4).to_raw());
+        assert!(!run.report.degraded());
+    }
+
+    #[test]
+    fn all_zero_budget_knobs_compose_without_hanging() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let budget = RunBudget::unlimited()
+            .with_wall_limit(Duration::ZERO)
+            .with_block_cap(0);
+        let policy = RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        };
+        let start = Instant::now();
+        let run = run_cell("c", 16, &ledger, budget, &policy, block_body);
+        assert!(start.elapsed() < Duration::from_secs(2), "must not hang");
+        // The cap wins before the deadline is even consulted.
+        assert_eq!(run.report.skipped_cap, 16);
+        assert!(run.report.degraded());
+        assert_eq!(run.stats.count(), 0);
+    }
+
+    #[test]
+    fn zero_blocks_is_an_empty_clean_run() {
+        let _l = locked();
+        let ledger = Ledger::in_memory();
+        let run = run_cell(
+            "c",
+            0,
+            &ledger,
+            RunBudget::unlimited(),
+            &RetryPolicy::default(),
+            block_body,
+        );
+        assert_eq!(run.report.total_blocks, 0);
+        assert!(!run.report.degraded(), "nothing asked, nothing lost");
+        assert_eq!(run.stats.count(), 0);
+    }
+
+    #[test]
     fn checkpointed_blocks_survive_even_a_zero_wall_budget() {
         let _l = locked();
         let path = scratch_dir("exec-wall-ckpt").join("run.ledger");

@@ -262,12 +262,17 @@ pub fn install(plan: FailPlan) -> FailpointGuard {
 /// Install from the `RAP_FAILPOINTS` environment variable, if set.
 ///
 /// # Errors
-/// Propagates the parse error for a malformed spec (a typo'd chaos run
-/// must fail loudly, not silently run clean).
+/// Propagates the parse error for a malformed spec, naming the offending
+/// clause, and rejects a non-Unicode variable value outright — a typo'd
+/// chaos run must fail loudly at startup, not silently run clean.
 pub fn install_from_env() -> Result<Option<FailpointGuard>, String> {
     match std::env::var("RAP_FAILPOINTS") {
         Ok(spec) if !spec.trim().is_empty() => Ok(Some(install(FailPlan::parse(&spec)?))),
-        _ => Ok(None),
+        Ok(_) | Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(format!(
+            "RAP_FAILPOINTS is set but not valid Unicode ({})",
+            raw.to_string_lossy()
+        )),
     }
 }
 
@@ -458,6 +463,44 @@ mod tests {
         assert!(FailPlan::parse("site=panic:rate=x/y").is_err());
         assert!(FailPlan::parse("seed=abc").is_err());
         assert!(FailPlan::parse("site=panic:sometimes").is_err());
+    }
+
+    #[test]
+    fn env_install_fails_fast_on_malformed_specs() {
+        let _l = locked();
+        // Malformed clause: the error must name it, and nothing may be
+        // left installed (a bad chaos drill must not half-activate).
+        std::env::set_var("RAP_FAILPOINTS", "seed=1;mc.block=explode");
+        let err = install_from_env().unwrap_err();
+        assert!(err.contains("explode"), "error must name the clause: {err}");
+        assert!(!active(), "a failed install must leave nothing active");
+
+        // Bad schedule syntax is caught too, with the clause quoted.
+        std::env::set_var("RAP_FAILPOINTS", "mc.block=panic:rate=1of8");
+        let err = install_from_env().unwrap_err();
+        assert!(err.contains("mc.block=panic:rate=1of8"), "{err}");
+
+        std::env::remove_var("RAP_FAILPOINTS");
+    }
+
+    #[test]
+    fn env_install_handles_unset_empty_and_valid() {
+        let _l = locked();
+        std::env::remove_var("RAP_FAILPOINTS");
+        assert!(install_from_env().unwrap().is_none(), "unset is a no-op");
+
+        std::env::set_var("RAP_FAILPOINTS", "   ");
+        assert!(install_from_env().unwrap().is_none(), "blank is a no-op");
+
+        std::env::set_var("RAP_FAILPOINTS", "seed=9;x=panic@0");
+        {
+            let guard = install_from_env().unwrap().expect("valid spec installs");
+            assert!(active());
+            assert_eq!(check("x"), Some(Fault::Panic));
+            drop(guard);
+        }
+        assert!(!active());
+        std::env::remove_var("RAP_FAILPOINTS");
     }
 
     #[test]

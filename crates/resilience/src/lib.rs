@@ -19,7 +19,12 @@
 //! * [`executor`] — [`run_cell`] wraps block execution in `catch_unwind`
 //!   with bounded seeded-backoff retries and a [`RunBudget`] (wall
 //!   deadline and block cap), degrading to partial results that are
-//!   explicitly marked rather than silently wrong.
+//!   explicitly marked rather than silently wrong;
+//! * [`breaker`] — a [`CircuitBreaker`] that cuts a failure-storming
+//!   path off after consecutive panics/timeouts and probes it back to
+//!   health after a cooldown; `rap-serve` gates its expensive
+//!   Monte-Carlo handler behind one and serves analyzer bounds while it
+//!   is open.
 //!
 //! Nothing here knows about banks or address mappings; like `rap-stats`
 //! it sits below the engine crates and above nothing.
@@ -27,11 +32,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod checkpoint;
 pub mod durable;
 pub mod executor;
 pub mod failpoint;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{fingerprint, Ledger, LedgerEntry, SyncPolicy};
 pub use durable::{write_atomic, write_json_atomic};
 pub use executor::{run_cell, BlockReport, CellRun, RetryPolicy, RunBudget};

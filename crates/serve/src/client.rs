@@ -1,0 +1,101 @@
+//! A small blocking client for the line-delimited-JSON protocol.
+//!
+//! Used by `rap query`, the end-to-end tests, and the chaos soak. One
+//! [`Client`] wraps one TCP connection; requests may be pipelined
+//! (several [`Client::send`] calls before reading) and responses are
+//! read one line at a time with a bounded read timeout so a wedged
+//! server cannot hang the caller forever.
+
+use crate::protocol::Response;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect with the default 10-second read timeout.
+    ///
+    /// # Errors
+    /// Propagates connect/socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with_timeout(addr, Duration::from_secs(10))
+    }
+
+    /// Connect with an explicit read timeout (`recv` returns an error of
+    /// kind `WouldBlock`/`TimedOut` when it elapses).
+    ///
+    /// # Errors
+    /// Propagates connect/socket errors.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        read_timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(read_timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request line (the newline is appended here).
+    ///
+    /// # Errors
+    /// Propagates write errors (server gone).
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Read the next raw response line; `None` on clean EOF.
+    ///
+    /// # Errors
+    /// Read timeout surfaces as `WouldBlock`/`TimedOut`.
+    pub fn recv_line(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Ok(Some(line))
+    }
+
+    /// Read and parse the next response; `None` on clean EOF.
+    ///
+    /// # Errors
+    /// Timeouts as in [`Self::recv_line`]; unparseable lines surface as
+    /// `InvalidData`.
+    pub fn recv(&mut self) -> std::io::Result<Option<Response>> {
+        match self.recv_line()? {
+            None => Ok(None),
+            Some(line) => Response::parse(&line)
+                .map(Some)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Send one request and block for the next response line.
+    ///
+    /// Only safe when no other responses are in flight on this
+    /// connection (no pipelining) — the next line is assumed to answer
+    /// this request.
+    ///
+    /// # Errors
+    /// I/O errors, timeouts, or `UnexpectedEof` if the server closed.
+    pub fn roundtrip(&mut self, line: &str) -> std::io::Result<Response> {
+        self.send(line)?;
+        self.recv()?.ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+}

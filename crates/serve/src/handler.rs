@@ -1,0 +1,577 @@
+//! Command execution: dispatch parsed requests into the workspace crates.
+//!
+//! Handlers run inside a worker's `catch_unwind` boundary and start by
+//! firing the `serve.handler` failpoint, so the chaos suite can inject
+//! panics, I/O errors, and delays at exactly the spot where real handler
+//! bugs would surface. Outcomes are a closed enum the worker maps onto
+//! wire responses and metrics — a handler never writes to the socket
+//! itself.
+//!
+//! The expensive path (`pattern` Monte-Carlo) takes a [`CancelToken`]
+//! carrying the request deadline and polls it between trials; on expiry
+//! it returns whatever blocks completed as an honest, `degraded:true`
+//! partial estimate instead of either blocking past the deadline or
+//! discarding finished work.
+
+use crate::protocol::{object, Command};
+use rap_access::montecarlo::matrix_congestion_cancellable;
+use rap_access::{CancelToken, MatrixPattern};
+use rap_analyze::{certify_theorem1, certify_theorem2, fallback_bounds, FallbackPattern};
+use rap_core::modern::build_mapping;
+use rap_core::{diagnostics::render_layout, BankLoads, Scheme};
+use rap_resilience::failpoint;
+use rap_stats::{OnlineStats, SeedDomain};
+use rap_transpose::{run_transpose, TransposeKind};
+use serde::{Serialize, Value};
+
+/// Transpose simulates every DMM cycle over a `w × w` matrix; cap the
+/// width so one request cannot monopolise a worker for minutes.
+pub const MAX_TRANSPOSE_WIDTH: usize = 512;
+
+/// What running a command produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Full-fidelity result.
+    Ok(Value),
+    /// A result from a fallback path (partial Monte-Carlo estimate);
+    /// carries the payload and a human-readable reason.
+    Degraded(Value, String),
+    /// The request was semantically invalid (→ `bad_request`/400).
+    BadRequest(String),
+    /// The deadline expired with no usable partial result (→ 504).
+    TimedOut(String),
+    /// Infrastructure failure, worth a retry (→ 500 after retries).
+    Failed(String),
+}
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "raw" => Ok(Scheme::Raw),
+        "ras" => Ok(Scheme::Ras),
+        "rap" => Ok(Scheme::Rap),
+        "xor" => Ok(Scheme::Xor),
+        "padded" => Ok(Scheme::Padded),
+        other => Err(format!(
+            "unknown scheme '{other}' (expected raw|ras|rap|xor|padded)"
+        )),
+    }
+}
+
+fn parse_pattern(s: &str) -> Result<MatrixPattern, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "contiguous" => Ok(MatrixPattern::Contiguous),
+        "stride" => Ok(MatrixPattern::Stride),
+        "diagonal" => Ok(MatrixPattern::Diagonal),
+        "random" => Ok(MatrixPattern::Random),
+        other => Err(format!(
+            "unknown pattern '{other}' (expected contiguous|stride|diagonal|random)"
+        )),
+    }
+}
+
+fn parse_kind(s: &str) -> Result<TransposeKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "crsw" => Ok(TransposeKind::Crsw),
+        "srcw" => Ok(TransposeKind::Srcw),
+        "drdw" => Ok(TransposeKind::Drdw),
+        other => Err(format!("unknown kind '{other}' (expected crsw|srcw|drdw)")),
+    }
+}
+
+fn check_xor_width(scheme: Scheme, width: usize) -> Result<(), String> {
+    if scheme == Scheme::Xor && !width.is_power_of_two() {
+        return Err(format!(
+            "scheme 'xor' needs a power-of-two width, got {width}"
+        ));
+    }
+    Ok(())
+}
+
+fn stats_value(stats: &OnlineStats) -> Value {
+    object(vec![
+        ("mean", Value::F64(stats.mean())),
+        ("std_error", Value::F64(stats.std_error())),
+        ("min", stats.min().map_or(Value::Null, Value::F64)),
+        ("max", stats.max().map_or(Value::Null, Value::F64)),
+        ("count", Value::U64(stats.count())),
+    ])
+}
+
+/// Execute one command. Must be called inside a `catch_unwind` boundary:
+/// the `serve.handler` failpoint (and any real handler bug) may panic.
+#[must_use]
+pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
+    // The chaos injection point: panics unwind to the worker's isolation
+    // boundary, ENOSPC becomes a retryable failure, delays just happen.
+    if let Err(e) = failpoint::fire("serve.handler") {
+        return Outcome::Failed(format!("handler I/O fault: {e}"));
+    }
+    match cmd {
+        Command::Layout {
+            scheme,
+            width,
+            seed,
+        } => layout(scheme, *width, *seed),
+        Command::Congestion { width, addresses } => congestion(*width, addresses),
+        Command::Pattern {
+            pattern,
+            scheme,
+            width,
+            trials,
+            seed,
+        } => pattern_mc(pattern, scheme, *width, *trials, *seed, token),
+        Command::Analyze { width } => analyze(*width),
+        Command::Transpose {
+            kind,
+            scheme,
+            width,
+            latency,
+            seed,
+        } => transpose(kind, scheme, *width, *latency, *seed),
+        // Inline commands never reach the worker pool.
+        Command::Health | Command::Stats | Command::Shutdown => {
+            Outcome::Failed(format!("command '{}' is served inline", cmd.name()))
+        }
+    }
+}
+
+fn layout(scheme_str: &str, width: usize, seed: u64) -> Outcome {
+    let scheme = match parse_scheme(scheme_str) {
+        Ok(s) => s,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    if let Err(e) = check_xor_width(scheme, width) {
+        return Outcome::BadRequest(e);
+    }
+    let mut rng = SeedDomain::new(seed).rng(0);
+    let mapping = build_mapping(scheme, &mut rng, width);
+    Outcome::Ok(object(vec![
+        ("scheme", Value::String(scheme.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("seed", Value::U64(seed)),
+        ("rendered", Value::String(render_layout(mapping.as_ref()))),
+    ]))
+}
+
+fn congestion(width: usize, addresses: &[u64]) -> Outcome {
+    let loads = BankLoads::analyze(width, addresses);
+    Outcome::Ok(object(vec![
+        ("width", Value::U64(width as u64)),
+        ("congestion", Value::U64(u64::from(loads.congestion()))),
+        ("busy_banks", Value::U64(loads.busy_banks() as u64)),
+        (
+            "unique_requests",
+            Value::U64(loads.unique_requests() as u64),
+        ),
+        ("conflict_free", Value::Bool(loads.is_conflict_free())),
+        (
+            "loads",
+            Value::Array(
+                loads
+                    .loads()
+                    .iter()
+                    .map(|&l| Value::U64(u64::from(l)))
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+fn pattern_mc(
+    pattern_str: &str,
+    scheme_str: &str,
+    width: usize,
+    trials: u64,
+    seed: u64,
+    token: &CancelToken,
+) -> Outcome {
+    let pattern = match parse_pattern(pattern_str) {
+        Ok(p) => p,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    let scheme = match parse_scheme(scheme_str) {
+        Ok(s) => s,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    if let Err(e) = check_xor_width(scheme, width) {
+        return Outcome::BadRequest(e);
+    }
+    let domain = SeedDomain::new(seed);
+    let partial = match scheme {
+        Scheme::Raw | Scheme::Ras | Scheme::Rap => {
+            matrix_congestion_cancellable(scheme, pattern, width, trials, &domain, token)
+        }
+        // Deterministic layouts have no shift table to sample; evaluate
+        // directly, still honouring the cancellation token per trial.
+        Scheme::Xor | Scheme::Padded => {
+            let n_trials = if pattern == MatrixPattern::Random {
+                trials
+            } else {
+                1
+            };
+            let mut stats = OnlineStats::new();
+            let mut done = 0u64;
+            for t in 0..n_trials {
+                if token.is_cancelled() {
+                    break;
+                }
+                let mut rng = domain.rng(t);
+                let mapping = build_mapping(scheme, &mut rng, width);
+                for warp in rap_access::matrix::generate(pattern, width, &mut rng) {
+                    stats.push_u32(rap_access::matrix::warp_congestion(mapping.as_ref(), &warp));
+                }
+                done += 1;
+            }
+            rap_access::PartialStats {
+                stats,
+                completed_blocks: done,
+                total_blocks: n_trials,
+                cancelled: done < n_trials,
+            }
+        }
+    };
+    let data = object(vec![
+        ("pattern", Value::String(pattern_str.to_ascii_lowercase())),
+        ("scheme", Value::String(scheme.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("trials_requested", Value::U64(trials)),
+        ("stats", stats_value(&partial.stats)),
+        ("completed_blocks", Value::U64(partial.completed_blocks)),
+        ("total_blocks", Value::U64(partial.total_blocks)),
+        ("cancelled", Value::Bool(partial.cancelled)),
+        ("source", Value::String("monte-carlo".into())),
+    ]);
+    if !partial.cancelled {
+        return Outcome::Ok(data);
+    }
+    if partial.completed_blocks == 0 {
+        return Outcome::TimedOut("deadline expired before any Monte-Carlo block completed".into());
+    }
+    Outcome::Degraded(
+        data,
+        format!(
+            "deadline expired after {}/{} blocks; partial estimate",
+            partial.completed_blocks, partial.total_blocks
+        ),
+    )
+}
+
+fn analyze(width: usize) -> Outcome {
+    let t1 = match certify_theorem1(width) {
+        Ok(t) => t,
+        Err(e) => return Outcome::BadRequest(e.to_string()),
+    };
+    let t2 = match certify_theorem2(width) {
+        Ok(t) => t,
+        Err(e) => return Outcome::BadRequest(e.to_string()),
+    };
+    let proven = t1.proven && t2.proven;
+    Outcome::Ok(object(vec![
+        ("width", Value::U64(width as u64)),
+        ("theorems", Value::Array(vec![t1.to_value(), t2.to_value()])),
+        ("proven", Value::Bool(proven)),
+    ]))
+}
+
+fn transpose(kind_str: &str, scheme_str: &str, width: usize, latency: u64, seed: u64) -> Outcome {
+    let kind = match parse_kind(kind_str) {
+        Ok(k) => k,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    let scheme = match parse_scheme(scheme_str) {
+        Ok(s) => s,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    if let Err(e) = check_xor_width(scheme, width) {
+        return Outcome::BadRequest(e);
+    }
+    if width > MAX_TRANSPOSE_WIDTH {
+        return Outcome::BadRequest(format!(
+            "transpose simulates every DMM cycle; width is capped at \
+             {MAX_TRANSPOSE_WIDTH}, got {width}"
+        ));
+    }
+    let mut rng = SeedDomain::new(seed).rng(0);
+    let mapping = build_mapping(scheme, &mut rng, width);
+    let data: Vec<f64> = (0..width * width).map(|x| x as f64).collect();
+    let run = run_transpose(kind, mapping.as_ref(), latency.max(1), &data);
+    Outcome::Ok(object(vec![
+        ("kind", Value::String(kind.to_string())),
+        ("scheme", Value::String(run.scheme.clone())),
+        ("width", Value::U64(width as u64)),
+        ("latency", Value::U64(latency.max(1))),
+        ("cycles", Value::U64(run.report.cycles)),
+        ("read_congestion", Value::F64(run.read_congestion())),
+        ("write_congestion", Value::F64(run.write_congestion())),
+        ("verified", Value::Bool(run.verified)),
+    ]))
+}
+
+/// The analyzer-backed degraded path for `pattern` requests: a certified
+/// `[lo, hi]` congestion envelope in place of the Monte-Carlo estimate.
+///
+/// Runs **outside** the failpoint-instrumented handler path on purpose —
+/// the fallback must stay available precisely when handlers are failing.
+///
+/// # Errors
+/// A `bad_request`-worthy message for unknown pattern/scheme names or a
+/// width the prover rejects.
+pub fn degraded_pattern(
+    pattern_str: &str,
+    scheme_str: &str,
+    width: usize,
+) -> Result<Value, String> {
+    let pattern = FallbackPattern::parse(pattern_str)?;
+    let scheme = parse_scheme(scheme_str)?;
+    check_xor_width(scheme, width)?;
+    let analysis = fallback_bounds(scheme, pattern, width).map_err(|e| e.to_string())?;
+    Ok(object(vec![
+        ("pattern", Value::String(pattern.name().into())),
+        ("scheme", Value::String(scheme.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("lo", Value::U64(u64::from(analysis.lo))),
+        ("hi", Value::U64(u64::from(analysis.hi))),
+        ("reason", Value::String(analysis.reason.clone())),
+        ("source", Value::String("static-analyzer".into())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn never() -> CancelToken {
+        CancelToken::never()
+    }
+
+    fn get<'v>(data: &'v Value, key: &str) -> &'v Value {
+        match data.as_object().unwrap().iter().find(|(k, _)| k == key) {
+            Some((_, v)) => v,
+            None => panic!("missing key {key}"),
+        }
+    }
+
+    #[test]
+    fn layout_renders_for_every_scheme() {
+        for scheme in ["raw", "ras", "rap", "xor", "padded"] {
+            let out = execute(
+                &Command::Layout {
+                    scheme: scheme.into(),
+                    width: 8,
+                    seed: 1,
+                },
+                &never(),
+            );
+            match out {
+                Outcome::Ok(data) => {
+                    let Value::String(s) = get(&data, "rendered") else {
+                        panic!("rendered must be a string")
+                    };
+                    assert!(s.contains("layout"), "{scheme}: {s}");
+                }
+                other => panic!("{scheme}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn semantic_errors_are_bad_requests() {
+        let bad_scheme = execute(
+            &Command::Layout {
+                scheme: "zzz".into(),
+                width: 8,
+                seed: 1,
+            },
+            &never(),
+        );
+        assert!(matches!(bad_scheme, Outcome::BadRequest(ref e) if e.contains("zzz")));
+        let xor_np2 = execute(
+            &Command::Layout {
+                scheme: "xor".into(),
+                width: 12,
+                seed: 1,
+            },
+            &never(),
+        );
+        assert!(matches!(xor_np2, Outcome::BadRequest(ref e) if e.contains("power-of-two")));
+        let big_transpose = execute(
+            &Command::Transpose {
+                kind: "crsw".into(),
+                scheme: "rap".into(),
+                width: MAX_TRANSPOSE_WIDTH + 1,
+                latency: 8,
+                seed: 1,
+            },
+            &never(),
+        );
+        assert!(matches!(big_transpose, Outcome::BadRequest(ref e) if e.contains("capped")));
+    }
+
+    #[test]
+    fn congestion_counts_banks() {
+        let out = execute(
+            &Command::Congestion {
+                width: 4,
+                addresses: vec![0, 4, 8, 1],
+            },
+            &never(),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                assert_eq!(get(&data, "congestion"), &Value::U64(3));
+                assert_eq!(get(&data, "conflict_free"), &Value::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_matches_the_plain_engine_when_uncancelled() {
+        let out = execute(
+            &Command::Pattern {
+                pattern: "stride".into(),
+                scheme: "rap".into(),
+                width: 16,
+                trials: 64,
+                seed: 7,
+            },
+            &never(),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                let stats = get(&data, "stats");
+                assert_eq!(get(stats, "mean"), &Value::F64(1.0), "Theorem 2");
+                assert_eq!(get(&data, "cancelled"), &Value::Bool(false));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_expired_deadline_times_out_or_degrades() {
+        let token = CancelToken::with_deadline(Instant::now());
+        let out = execute(
+            &Command::Pattern {
+                pattern: "random".into(),
+                scheme: "ras".into(),
+                width: 32,
+                trials: 10_000,
+                seed: 7,
+            },
+            &token,
+        );
+        match out {
+            Outcome::TimedOut(_) => {}
+            Outcome::Degraded(data, _) => {
+                assert_eq!(get(&data, "cancelled"), &Value::Bool(true));
+            }
+            other => panic!("expected timeout/degraded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_schemes_answer_pattern_queries() {
+        let out = execute(
+            &Command::Pattern {
+                pattern: "stride".into(),
+                scheme: "padded".into(),
+                width: 8,
+                trials: 4,
+                seed: 7,
+            },
+            &never(),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                assert_eq!(get(get(&data, "stats"), "mean"), &Value::F64(1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_certifies_both_theorems() {
+        let out = execute(&Command::Analyze { width: 8 }, &never());
+        match out {
+            Outcome::Ok(data) => assert_eq!(get(&data, "proven"), &Value::Bool(true)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn transpose_reports_cycles_and_verifies() {
+        let out = execute(
+            &Command::Transpose {
+                kind: "crsw".into(),
+                scheme: "rap".into(),
+                width: 8,
+                latency: 2,
+                seed: 1,
+            },
+            &never(),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                assert_eq!(get(&data, "verified"), &Value::Bool(true));
+                assert_eq!(get(&data, "write_congestion"), &Value::F64(1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_pattern_returns_certified_bounds() {
+        let data = degraded_pattern("stride", "rap", 16).unwrap();
+        assert_eq!(get(&data, "lo"), &Value::U64(1));
+        assert_eq!(get(&data, "hi"), &Value::U64(1), "Theorem 2 bound");
+        let raw = degraded_pattern("stride", "raw", 16).unwrap();
+        assert_eq!(get(&raw, "hi"), &Value::U64(16));
+        assert!(degraded_pattern("zigzag", "rap", 16).is_err());
+        assert!(degraded_pattern("stride", "xor", 12)
+            .unwrap_err()
+            .contains("power-of-two"));
+    }
+
+    /// The failpoint registry is process-global; serialize chaos tests.
+    static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn handler_failpoint_injects_all_fault_kinds() {
+        use rap_resilience::{FailPlan, Fault, HitSchedule};
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cmd = Command::Analyze { width: 8 };
+
+        let guard = rap_resilience::install(FailPlan::new(1).rule(
+            "serve.handler",
+            Fault::Enospc,
+            HitSchedule::Always,
+        ));
+        let out = execute(&cmd, &never());
+        assert!(matches!(out, Outcome::Failed(ref e) if e.contains("ENOSPC")));
+        drop(guard);
+
+        let guard = rap_resilience::install(FailPlan::new(1).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let caught = std::panic::catch_unwind(|| execute(&cmd, &CancelToken::never()));
+        std::panic::set_hook(prev);
+        assert!(caught.is_err(), "panic failpoint must unwind");
+        drop(guard);
+
+        // Fallback bounds stay available while the handler site is hot.
+        let guard = rap_resilience::install(FailPlan::new(1).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        assert!(degraded_pattern("stride", "rap", 16).is_ok());
+        drop(guard);
+    }
+}

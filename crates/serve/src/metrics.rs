@@ -1,0 +1,193 @@
+//! Lock-free service counters and their serializable snapshot.
+//!
+//! Every observable event in the request lifecycle increments exactly
+//! one (or a well-defined pair) of these counters, which is what lets
+//! the chaos suite state its central invariant numerically:
+//!
+//! ```text
+//! received == completed_ok + degraded_served + errors_total
+//! ```
+//!
+//! i.e. every request that arrived got exactly one response — success,
+//! degraded fallback, or structured error — and nothing leaked.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic event counters, shared across all server threads.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Parseable request lines received (health/stats/shutdown included).
+    pub received: AtomicU64,
+    /// Lines that failed to parse (answered with `bad_request`).
+    pub bad_requests: AtomicU64,
+    /// Jobs admitted into the worker queue.
+    pub accepted: AtomicU64,
+    /// Jobs refused at admission (queue full → `shed`/429).
+    pub shed: AtomicU64,
+    /// Jobs refused because the server was draining (`draining`/503).
+    pub drained_rejects: AtomicU64,
+    /// Jobs completed successfully with full-fidelity results.
+    pub completed_ok: AtomicU64,
+    /// Jobs answered via a degraded path (analyzer bounds, partial MC).
+    pub degraded_served: AtomicU64,
+    /// Handler panics caught by a worker's isolation boundary.
+    pub handler_panics: AtomicU64,
+    /// Handler retries performed after a caught panic/failure.
+    pub handler_retries: AtomicU64,
+    /// Jobs that exhausted retries and were answered with an error.
+    pub handler_failures: AtomicU64,
+    /// Jobs whose deadline expired while still queued (`timeout`/504).
+    pub timeouts_queue: AtomicU64,
+    /// Jobs whose deadline expired inside the handler (`timeout`/504).
+    pub timeouts_handler: AtomicU64,
+    /// Breaker rejections answered with `unavailable`/503 (no fallback).
+    pub breaker_rejects: AtomicU64,
+    /// Response lines that failed to write (client gone mid-reply).
+    pub write_errors: AtomicU64,
+    /// Connections accepted over the server's lifetime.
+    pub connections: AtomicU64,
+    /// Connections refused at the connection cap.
+    pub connections_refused: AtomicU64,
+}
+
+/// A point-in-time copy of [`Metrics`], plus derived gauges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::received`].
+    pub received: u64,
+    /// See [`Metrics::bad_requests`].
+    pub bad_requests: u64,
+    /// See [`Metrics::accepted`].
+    pub accepted: u64,
+    /// See [`Metrics::shed`].
+    pub shed: u64,
+    /// See [`Metrics::drained_rejects`].
+    pub drained_rejects: u64,
+    /// See [`Metrics::completed_ok`].
+    pub completed_ok: u64,
+    /// See [`Metrics::degraded_served`].
+    pub degraded_served: u64,
+    /// See [`Metrics::handler_panics`].
+    pub handler_panics: u64,
+    /// See [`Metrics::handler_retries`].
+    pub handler_retries: u64,
+    /// See [`Metrics::handler_failures`].
+    pub handler_failures: u64,
+    /// See [`Metrics::timeouts_queue`].
+    pub timeouts_queue: u64,
+    /// See [`Metrics::timeouts_handler`].
+    pub timeouts_handler: u64,
+    /// See [`Metrics::breaker_rejects`].
+    pub breaker_rejects: u64,
+    /// See [`Metrics::write_errors`].
+    pub write_errors: u64,
+    /// See [`Metrics::connections`].
+    pub connections: u64,
+    /// See [`Metrics::connections_refused`].
+    pub connections_refused: u64,
+}
+
+impl Metrics {
+    /// Increment a counter by one (relaxed; counters are independent).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            received: g(&self.received),
+            bad_requests: g(&self.bad_requests),
+            accepted: g(&self.accepted),
+            shed: g(&self.shed),
+            drained_rejects: g(&self.drained_rejects),
+            completed_ok: g(&self.completed_ok),
+            degraded_served: g(&self.degraded_served),
+            handler_panics: g(&self.handler_panics),
+            handler_retries: g(&self.handler_retries),
+            handler_failures: g(&self.handler_failures),
+            timeouts_queue: g(&self.timeouts_queue),
+            timeouts_handler: g(&self.timeouts_handler),
+            breaker_rejects: g(&self.breaker_rejects),
+            write_errors: g(&self.write_errors),
+            connections: g(&self.connections),
+            connections_refused: g(&self.connections_refused),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total structured-error responses across all failure categories.
+    #[must_use]
+    pub fn errors_total(&self) -> u64 {
+        self.bad_requests
+            + self.shed
+            + self.drained_rejects
+            + self.handler_failures
+            + self.timeouts_queue
+            + self.timeouts_handler
+            + self.breaker_rejects
+    }
+
+    /// The conservation invariant: every received request was answered
+    /// exactly once (success, degraded, or structured error). Inline
+    /// commands (health/stats/shutdown) count under `completed_ok`.
+    #[must_use]
+    pub fn conserves_responses(&self) -> bool {
+        self.received == self.completed_ok + self.degraded_served + self.errors_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = Metrics::default();
+        Metrics::bump(&m.received);
+        Metrics::bump(&m.received);
+        Metrics::bump(&m.shed);
+        let s = m.snapshot();
+        assert_eq!((s.received, s.shed, s.accepted), (2, 1, 0));
+    }
+
+    #[test]
+    fn conservation_holds_when_books_balance() {
+        let m = Metrics::default();
+        for _ in 0..10 {
+            Metrics::bump(&m.received);
+        }
+        for _ in 0..6 {
+            Metrics::bump(&m.completed_ok);
+        }
+        for _ in 0..2 {
+            Metrics::bump(&m.degraded_served);
+        }
+        Metrics::bump(&m.shed);
+        Metrics::bump(&m.timeouts_handler);
+        let s = m.snapshot();
+        assert_eq!(s.errors_total(), 2);
+        assert!(s.conserves_responses());
+    }
+
+    #[test]
+    fn conservation_detects_a_lost_request() {
+        let m = Metrics::default();
+        Metrics::bump(&m.received);
+        assert!(!m.snapshot().conserves_responses(), "unanswered request");
+        Metrics::bump(&m.completed_ok);
+        assert!(m.snapshot().conserves_responses());
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let s = Metrics::default().snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"handler_panics\":0"), "{json}");
+        assert!(json.contains("\"connections\":0"), "{json}");
+    }
+}

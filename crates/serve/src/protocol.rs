@@ -1,0 +1,504 @@
+//! The wire protocol: one JSON object per line, in both directions.
+//!
+//! Requests are parsed by hand from the `serde` [`Value`] model rather
+//! than derived, so every malformed field produces a contextual message
+//! (`"pattern: --width must be 1..=4096, got 0"`) instead of a generic
+//! shape error, and optional fields can simply be omitted by clients.
+//!
+//! Every request receives **exactly one** response line. A response is
+//! either `ok:true` with a `data` object (possibly `degraded:true` when
+//! served from the static analyzer instead of the Monte-Carlo engine),
+//! or `ok:false` with a structured `error` carrying a stable `kind` and
+//! an HTTP-flavoured `code` — load shedding is `shed`/429, a missed
+//! deadline is `timeout`/504, a panicked handler that exhausted its
+//! retries is `panic`/500. Nothing is ever silently dropped.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// The widest matrix any query may name. Bounds both memory (a layout
+/// render is `w²` cells) and CPU (a Monte-Carlo trial is `w` warps of
+/// `w` lanes), so one hostile request cannot take the worker heap down.
+pub const MAX_WIDTH: usize = 4096;
+
+/// What a client asked for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Render a scheme's bank layout.
+    Layout {
+        /// Scheme name (raw|ras|rap|xor|padded).
+        scheme: String,
+        /// Matrix width.
+        width: usize,
+        /// Mapping seed.
+        seed: u64,
+    },
+    /// Analyze one concrete warp of addresses.
+    Congestion {
+        /// Bank-count width.
+        width: usize,
+        /// The warp's flat addresses.
+        addresses: Vec<u64>,
+    },
+    /// Monte-Carlo expected congestion of a pattern family — the
+    /// expensive path; sheds to analyzer bounds when the breaker is open.
+    Pattern {
+        /// Pattern family name.
+        pattern: String,
+        /// Scheme name.
+        scheme: String,
+        /// Matrix width.
+        width: usize,
+        /// Trial count.
+        trials: u64,
+        /// Seed domain root.
+        seed: u64,
+    },
+    /// Static prover: certify Theorems 1 and 2 at a width.
+    Analyze {
+        /// Matrix width.
+        width: usize,
+    },
+    /// DMM transpose timing run.
+    Transpose {
+        /// Algorithm kind (crsw|srcw|drdw).
+        kind: String,
+        /// Scheme name.
+        scheme: String,
+        /// Matrix width.
+        width: usize,
+        /// DMM latency parameter.
+        latency: u64,
+        /// Mapping seed.
+        seed: u64,
+    },
+    /// Liveness + queue/breaker snapshot (served inline, never queued).
+    Health,
+    /// Full counter snapshot (served inline, never queued).
+    Stats,
+    /// Begin graceful drain: stop accepting, finish in-flight, exit 0.
+    Shutdown,
+}
+
+impl Command {
+    /// Stable lower-case name (used for failpoint sites and metrics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Layout { .. } => "layout",
+            Command::Congestion { .. } => "congestion",
+            Command::Pattern { .. } => "pattern",
+            Command::Analyze { .. } => "analyze",
+            Command::Transpose { .. } => "transpose",
+            Command::Health => "health",
+            Command::Stats => "stats",
+            Command::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed back verbatim.
+    pub id: Option<u64>,
+    /// The command to run.
+    pub cmd: Command,
+    /// Per-request deadline override in milliseconds (clamped by the
+    /// server's configured maximum).
+    pub timeout_ms: Option<u64>,
+}
+
+fn lookup<'v>(pairs: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn opt_u64(pairs: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match lookup(pairs, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => u64::from_value(v)
+            .map(Some)
+            .map_err(|_| format!("field '{key}' must be a non-negative integer")),
+    }
+}
+
+fn opt_string(pairs: &[(String, Value)], key: &str) -> Result<Option<String>, String> {
+    match lookup(pairs, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::String(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("field '{key}' must be a string")),
+    }
+}
+
+fn required_string(pairs: &[(String, Value)], key: &str) -> Result<String, String> {
+    opt_string(pairs, key)?.ok_or_else(|| format!("missing required field '{key}'"))
+}
+
+fn width_field(pairs: &[(String, Value)], default: usize) -> Result<usize, String> {
+    let w = opt_u64(pairs, "width")?.map_or(default, |v| v as usize);
+    if w == 0 || w > MAX_WIDTH {
+        return Err(format!("field 'width' must be 1..={MAX_WIDTH}, got {w}"));
+    }
+    Ok(w)
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    /// A contextual message naming the offending field or value; the
+    /// server turns it into a `bad_request`/400 response.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let value: Value =
+            serde_json::from_str(line.trim()).map_err(|e| format!("invalid JSON: {e}"))?;
+        let pairs = value
+            .as_object()
+            .ok_or_else(|| "request must be a JSON object".to_string())?;
+        let id = opt_u64(pairs, "id")?;
+        let timeout_ms = opt_u64(pairs, "timeout_ms")?;
+        let cmd_name = required_string(pairs, "cmd")?;
+        let cmd = match cmd_name.as_str() {
+            "layout" => Command::Layout {
+                scheme: required_string(pairs, "scheme")?,
+                width: width_field(pairs, 8)?,
+                seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
+            },
+            "congestion" => {
+                let addresses = match lookup(pairs, "addresses") {
+                    Some(v) => Vec::<u64>::from_value(v).map_err(|_| {
+                        "field 'addresses' must be an array of non-negative integers".to_string()
+                    })?,
+                    None => return Err("missing required field 'addresses'".to_string()),
+                };
+                if addresses.is_empty() {
+                    return Err("field 'addresses' must not be empty".to_string());
+                }
+                if addresses.len() > MAX_WIDTH {
+                    return Err(format!(
+                        "field 'addresses' lists {} addresses (max {MAX_WIDTH})",
+                        addresses.len()
+                    ));
+                }
+                Command::Congestion {
+                    width: width_field(pairs, 32)?,
+                    addresses,
+                }
+            }
+            "pattern" => Command::Pattern {
+                pattern: required_string(pairs, "pattern")?,
+                scheme: required_string(pairs, "scheme")?,
+                width: width_field(pairs, 32)?,
+                trials: opt_u64(pairs, "trials")?
+                    .unwrap_or(1000)
+                    .clamp(1, 1_000_000),
+                seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
+            },
+            "analyze" => Command::Analyze {
+                width: width_field(pairs, 32)?,
+            },
+            "transpose" => Command::Transpose {
+                kind: required_string(pairs, "kind")?,
+                scheme: required_string(pairs, "scheme")?,
+                width: width_field(pairs, 32)?,
+                latency: opt_u64(pairs, "latency")?.unwrap_or(8).max(1),
+                seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
+            },
+            "health" => Command::Health,
+            "stats" => Command::Stats,
+            "shutdown" => Command::Shutdown,
+            other => {
+                return Err(format!(
+                    "unknown cmd '{other}' (expected layout|congestion|pattern|analyze|\
+                     transpose|health|stats|shutdown)"
+                ))
+            }
+        };
+        Ok(Request {
+            id,
+            cmd,
+            timeout_ms,
+        })
+    }
+}
+
+/// Stable error kinds a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line itself was malformed (400).
+    BadRequest,
+    /// Admission control rejected the request: queue full (429).
+    Shed,
+    /// The deadline passed before or during execution (504).
+    Timeout,
+    /// The handler panicked past its retry budget (500).
+    Panic,
+    /// The handler hit an infrastructure error past its retries (500).
+    HandlerFailed,
+    /// The server is draining and will not start new work (503).
+    Draining,
+    /// The breaker is open and this command has no degraded path (503).
+    Unavailable,
+}
+
+impl ErrorKind {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::BadRequest => "bad_request",
+            Self::Shed => "shed",
+            Self::Timeout => "timeout",
+            Self::Panic => "panic",
+            Self::HandlerFailed => "handler_failed",
+            Self::Draining => "draining",
+            Self::Unavailable => "unavailable",
+        }
+    }
+
+    /// HTTP-flavoured status code.
+    #[must_use]
+    pub fn code(self) -> u16 {
+        match self {
+            Self::BadRequest => 400,
+            Self::Shed => 429,
+            Self::Timeout => 504,
+            Self::Panic | Self::HandlerFailed => 500,
+            Self::Draining | Self::Unavailable => 503,
+        }
+    }
+}
+
+/// The structured error payload of a failed response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Stable machine-readable kind (see [`ErrorKind::name`]).
+    pub kind: String,
+    /// HTTP-flavoured status code.
+    pub code: u16,
+    /// Human-readable context.
+    pub message: String,
+}
+
+/// One response line. Exactly one of `data`/`error` is non-null.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request's correlation id.
+    pub id: Option<u64>,
+    /// Whether the request produced a result.
+    pub ok: bool,
+    /// True when `data` came from a fallback path (static analyzer
+    /// bounds, partial estimate) rather than the full computation.
+    pub degraded: bool,
+    /// Circuit-breaker state at response time (`closed|open|half-open`).
+    pub breaker: String,
+    /// The result payload (null on errors).
+    pub data: Option<Value>,
+    /// The structured error (null on success).
+    pub error: Option<WireError>,
+}
+
+impl Response {
+    /// A successful response.
+    #[must_use]
+    pub fn ok(id: Option<u64>, breaker: &str, data: Value) -> Self {
+        Self {
+            id,
+            ok: true,
+            degraded: false,
+            breaker: breaker.to_string(),
+            data: Some(data),
+            error: None,
+        }
+    }
+
+    /// A successful but explicitly degraded response.
+    #[must_use]
+    pub fn degraded(id: Option<u64>, breaker: &str, data: Value) -> Self {
+        Self {
+            degraded: true,
+            ..Self::ok(id, breaker, data)
+        }
+    }
+
+    /// A structured failure response.
+    #[must_use]
+    pub fn error(
+        id: Option<u64>,
+        breaker: &str,
+        kind: ErrorKind,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            id,
+            ok: false,
+            degraded: false,
+            breaker: breaker.to_string(),
+            data: None,
+            error: Some(WireError {
+                kind: kind.name().to_string(),
+                code: kind.code(),
+                message: message.into(),
+            }),
+        }
+    }
+
+    /// Serialize to one newline-terminated wire line.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = serde_json::to_string(self).unwrap_or_else(|_| {
+            // The response model contains no non-serializable states; keep
+            // a hand-written last resort anyway so a response line always
+            // goes out.
+            r#"{"id":null,"ok":false,"degraded":false,"breaker":"unknown","data":null,"error":{"kind":"handler_failed","code":500,"message":"response serialization failed"}}"#.to_string()
+        });
+        line.push('\n');
+        line
+    }
+
+    /// Parse a response line (clients and tests).
+    ///
+    /// # Errors
+    /// A message describing the malformed line.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        serde_json::from_str(line.trim()).map_err(|e| format!("invalid response JSON: {e}"))
+    }
+
+    /// The error kind name, if this is a failure response.
+    #[must_use]
+    pub fn error_kind(&self) -> Option<&str> {
+        self.error.as_ref().map(|e| e.kind.as_str())
+    }
+}
+
+/// Build a JSON object value from key/value pairs (helper for handlers).
+#[must_use]
+pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_pattern_request() {
+        let r = Request::parse(
+            r#"{"cmd":"pattern","id":7,"pattern":"stride","scheme":"rap","width":16,"trials":50,"seed":3,"timeout_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(7));
+        assert_eq!(r.timeout_ms, Some(250));
+        match r.cmd {
+            Command::Pattern {
+                pattern,
+                scheme,
+                width,
+                trials,
+                seed,
+            } => {
+                assert_eq!((pattern.as_str(), scheme.as_str()), ("stride", "rap"));
+                assert_eq!((width, trials, seed), (16, 50, 3));
+            }
+            other => panic!("wrong cmd: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let r = Request::parse(r#"{"cmd":"analyze"}"#).unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.cmd, Command::Analyze { width: 32 });
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_context() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"id":1}"#, "missing required field 'cmd'"),
+            (r#"{"cmd":"fly"}"#, "unknown cmd 'fly'"),
+            (r#"{"cmd":"layout"}"#, "missing required field 'scheme'"),
+            (r#"{"cmd":"layout","scheme":"rap","width":0}"#, "1..=4096"),
+            (
+                r#"{"cmd":"layout","scheme":"rap","width":5000}"#,
+                "1..=4096",
+            ),
+            (
+                r#"{"cmd":"layout","scheme":"rap","width":"wide"}"#,
+                "field 'width'",
+            ),
+            (
+                r#"{"cmd":"congestion","width":4}"#,
+                "missing required field 'addresses'",
+            ),
+            (
+                r#"{"cmd":"congestion","width":4,"addresses":[]}"#,
+                "must not be empty",
+            ),
+            (
+                r#"{"cmd":"congestion","width":4,"addresses":["x"]}"#,
+                "array of non-negative integers",
+            ),
+            (
+                r#"{"cmd":"pattern","pattern":"stride","scheme":1}"#,
+                "field 'scheme' must be a string",
+            ),
+            (r#"{"cmd":"analyze","id":-3}"#, "non-negative integer"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn oversized_address_lists_are_rejected() {
+        let addrs: Vec<String> = (0..=MAX_WIDTH as u64).map(|a| a.to_string()).collect();
+        let line = format!(
+            r#"{{"cmd":"congestion","width":32,"addresses":[{}]}}"#,
+            addrs.join(",")
+        );
+        let err = Request::parse(&line).unwrap_err();
+        assert!(err.contains("max 4096"), "{err}");
+    }
+
+    #[test]
+    fn response_roundtrips_and_terminates_lines() {
+        let ok = Response::ok(Some(3), "closed", object(vec![("mean", Value::F64(1.5))]));
+        let line = ok.to_line();
+        assert!(line.ends_with('\n'));
+        assert!(
+            !line.trim_end_matches('\n').contains('\n'),
+            "one response per line: no interior newlines"
+        );
+        let back = Response::parse(&line).unwrap();
+        assert_eq!(back, ok);
+
+        let err = Response::error(None, "open", ErrorKind::Shed, "queue full");
+        let back = Response::parse(&err.to_line()).unwrap();
+        assert_eq!(back.error_kind(), Some("shed"));
+        assert_eq!(back.error.as_ref().unwrap().code, 429);
+        assert_eq!(back.breaker, "open");
+        assert!(!back.ok);
+    }
+
+    #[test]
+    fn error_kinds_have_stable_codes() {
+        assert_eq!(ErrorKind::Shed.code(), 429);
+        assert_eq!(ErrorKind::Timeout.code(), 504);
+        assert_eq!(ErrorKind::BadRequest.code(), 400);
+        assert_eq!(ErrorKind::Panic.code(), 500);
+        assert_eq!(ErrorKind::Draining.code(), 503);
+        assert_eq!(ErrorKind::Shed.name(), "shed");
+    }
+
+    #[test]
+    fn trials_are_clamped() {
+        let r = Request::parse(
+            r#"{"cmd":"pattern","pattern":"stride","scheme":"rap","trials":99000000}"#,
+        )
+        .unwrap();
+        match r.cmd {
+            Command::Pattern { trials, .. } => assert_eq!(trials, 1_000_000),
+            other => panic!("wrong cmd: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,1003 @@
+//! The server runtime: acceptor, connection readers, worker pool, drain.
+//!
+//! Thread topology (all std, no async runtime):
+//!
+//! ```text
+//! acceptor ──(conn cap)──▶ connection threads ──try_push──▶ BoundedQueue
+//!                           │  parse, inline health/stats/     │
+//!                           │  shutdown, shed/drain rejects    ▼
+//!                           │                            worker pool (N)
+//!                           ◀─────────── responses ──────  breaker +
+//!                              (shared, mutex'd writer)    catch_unwind
+//! ```
+//!
+//! Every parsed request is answered exactly once, on the connection it
+//! arrived on, no matter what happens in between: queue full → `shed`,
+//! deadline expired → `timeout`, handler panicked past its retries →
+//! `panic`, breaker open → degraded analyzer bounds (for `pattern`) or
+//! `unavailable`, server draining → `draining`. The metrics module's
+//! conservation invariant checks this numerically.
+
+use crate::handler::{self, Outcome};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::protocol::{object, Command, ErrorKind, Request, Response};
+use crate::queue::{BoundedQueue, PushError};
+use rap_access::CancelToken;
+use rap_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing queued commands.
+    pub workers: usize,
+    /// Queue slots; a full queue sheds with `429`.
+    pub queue_capacity: usize,
+    /// Concurrent connections; excess gets a one-line refusal.
+    pub max_connections: usize,
+    /// Deadline applied when a request names none, in ms.
+    pub default_timeout_ms: u64,
+    /// Upper clamp for client-supplied `timeout_ms`.
+    pub max_timeout_ms: u64,
+    /// How long a drain may spend finishing queued work, in ms.
+    pub drain_budget_ms: u64,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Retry/backoff policy for panicked or failed handlers.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            max_connections: 64,
+            default_timeout_ms: 2_000,
+            max_timeout_ms: 30_000,
+            drain_budget_ms: 2_000,
+            breaker: BreakerConfig::default(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// A unit of queued work: the request plus where/when to answer it.
+struct Job {
+    request: Request,
+    deadline: Instant,
+    out: SharedWriter,
+    seq: u64,
+}
+
+/// One writer per connection, shared by its reader thread and every
+/// worker holding one of its jobs. Locking per line keeps responses to
+/// pipelined requests from interleaving bytes.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+struct Shared {
+    config: ServerConfig,
+    queue: BoundedQueue<Job>,
+    metrics: Metrics,
+    breaker: CircuitBreaker,
+    /// Set once: stop accepting connections and begin drain.
+    stopping: AtomicBool,
+    connections: AtomicUsize,
+    job_seq: AtomicU64,
+}
+
+impl Shared {
+    fn breaker_state(&self) -> &'static str {
+        self.breaker.state().name()
+    }
+
+    fn write_response(&self, out: &SharedWriter, response: &Response) {
+        let line = response.to_line();
+        let mut guard = out
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let result = guard
+            .write_all(line.as_bytes())
+            .and_then(|()| guard.flush());
+        drop(guard);
+        if result.is_err() {
+            // The client vanished (e.g. `kill -9` mid-soak). The request
+            // is still accounted for by whichever outcome counter the
+            // caller bumped — nothing leaks, the bytes just had nowhere
+            // to go.
+            Metrics::bump(&self.metrics.write_errors);
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+    }
+
+    fn is_stopping(&self) -> bool {
+        self.stopping.load(Ordering::SeqCst)
+    }
+}
+
+/// What a completed drain looked like.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DrainReport {
+    /// Jobs still queued when the budget expired, each answered with a
+    /// structured `draining` error (never silently dropped).
+    pub aborted_jobs: u64,
+    /// Whether the queue emptied inside the drain budget.
+    pub clean: bool,
+    /// Final counter snapshot.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// Handle to a running server's threads.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    addr: std::net::SocketAddr,
+}
+
+impl Server {
+    /// Bind the listener (no threads started yet).
+    ///
+    /// # Errors
+    /// Propagates socket errors (address in use, permission).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::default(),
+            breaker: CircuitBreaker::new(config.breaker),
+            stopping: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            job_seq: AtomicU64::new(0),
+            config,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` socket errors.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Start the acceptor and worker threads.
+    ///
+    /// # Errors
+    /// Propagates `local_addr` socket errors.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let workers = (0..self.shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("rap-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&self.shared);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("rap-serve-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared))
+                .expect("spawn acceptor thread")
+        };
+        Ok(ServerHandle {
+            shared: self.shared,
+            acceptor: Some(acceptor),
+            workers,
+            addr,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Current counters (test/observability hook).
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current breaker state name.
+    #[must_use]
+    pub fn breaker_state(&self) -> &'static str {
+        self.shared.breaker_state()
+    }
+
+    /// Times the breaker has tripped open.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.shared.breaker.trips()
+    }
+
+    /// Ask the server to stop accepting and begin draining
+    /// (equivalent to a client `shutdown` command).
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether a shutdown (client command or [`Self::begin_shutdown`])
+    /// has been requested.
+    #[must_use]
+    pub fn is_stopping(&self) -> bool {
+        self.shared.is_stopping()
+    }
+
+    /// Block until shutdown is requested, then drain: finish queued
+    /// work within the drain budget, answer whatever remains with a
+    /// structured `draining` error, and join all server threads.
+    #[must_use]
+    pub fn join(mut self) -> DrainReport {
+        while !self.shared.is_stopping() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Drain phase: workers keep consuming; we stop admitting (the
+        // queue closes) and give the backlog a bounded grace period.
+        self.shared.queue.close();
+        let budget = Duration::from_millis(self.shared.config.drain_budget_ms);
+        let deadline = Instant::now() + budget;
+        while !self.shared.queue.is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Whatever the workers did not reach inside the budget still
+        // gets its one response.
+        let leftovers = self.shared.queue.drain_remaining();
+        let clean = leftovers.is_empty();
+        let mut aborted = 0u64;
+        for job in leftovers {
+            Metrics::bump(&self.shared.metrics.drained_rejects);
+            aborted += 1;
+            self.shared.write_response(
+                &job.out,
+                &Response::error(
+                    job.request.id,
+                    self.shared.breaker_state(),
+                    ErrorKind::Draining,
+                    "server drained before this request was scheduled",
+                ),
+            );
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        DrainReport {
+            aborted_jobs: aborted,
+            clean,
+            metrics: self.shared.metrics.snapshot(),
+        }
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_stopping() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.connections.load(Ordering::SeqCst) >= shared.config.max_connections {
+                    Metrics::bump(&shared.metrics.connections_refused);
+                    refuse_connection(shared, stream);
+                    continue;
+                }
+                Metrics::bump(&shared.metrics.connections);
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(shared);
+                // Connection threads are deliberately not joined: they sit
+                // in blocking reads owned by clients. They exit on client
+                // EOF and only account for already-counted work.
+                let _ = std::thread::Builder::new()
+                    .name("rap-serve-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(&shared, stream);
+                        shared.connections.fetch_sub(1, Ordering::SeqCst);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn refuse_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let out: SharedWriter = Arc::new(Mutex::new(stream));
+    shared.write_response(
+        &out,
+        &Response::error(
+            None,
+            shared.breaker_state(),
+            ErrorKind::Shed,
+            format!(
+                "connection limit ({}) reached; retry later",
+                shared.config.max_connections
+            ),
+        ),
+    );
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out: SharedWriter = Arc::new(Mutex::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        Metrics::bump(&shared.metrics.received);
+        match Request::parse(&line) {
+            Err(message) => {
+                Metrics::bump(&shared.metrics.bad_requests);
+                shared.write_response(
+                    &out,
+                    &Response::error(None, shared.breaker_state(), ErrorKind::BadRequest, message),
+                );
+            }
+            Ok(request) => dispatch(shared, request, &out),
+        }
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, request: Request, out: &SharedWriter) {
+    match &request.cmd {
+        // Observability and lifecycle commands bypass the queue: they
+        // must answer even (especially) when the queue is saturated.
+        Command::Health => {
+            Metrics::bump(&shared.metrics.completed_ok);
+            let data = health_data(shared);
+            shared.write_response(out, &Response::ok(request.id, shared.breaker_state(), data));
+        }
+        Command::Stats => {
+            Metrics::bump(&shared.metrics.completed_ok);
+            let data = stats_data(shared);
+            shared.write_response(out, &Response::ok(request.id, shared.breaker_state(), data));
+        }
+        Command::Shutdown => {
+            Metrics::bump(&shared.metrics.completed_ok);
+            shared.write_response(
+                out,
+                &Response::ok(
+                    request.id,
+                    shared.breaker_state(),
+                    object(vec![("draining", Value::Bool(true))]),
+                ),
+            );
+            shared.begin_shutdown();
+        }
+        _ if shared.is_stopping() => {
+            Metrics::bump(&shared.metrics.drained_rejects);
+            shared.write_response(
+                out,
+                &Response::error(
+                    request.id,
+                    shared.breaker_state(),
+                    ErrorKind::Draining,
+                    "server is draining; not accepting new work",
+                ),
+            );
+        }
+        _ => {
+            let timeout_ms = request
+                .timeout_ms
+                .unwrap_or(shared.config.default_timeout_ms)
+                .clamp(1, shared.config.max_timeout_ms);
+            let job = Job {
+                seq: shared.job_seq.fetch_add(1, Ordering::Relaxed),
+                deadline: Instant::now() + Duration::from_millis(timeout_ms),
+                request,
+                out: Arc::clone(out),
+            };
+            let id = job.request.id;
+            match shared.queue.try_push(job) {
+                Ok(()) => Metrics::bump(&shared.metrics.accepted),
+                Err(PushError::Full) => {
+                    Metrics::bump(&shared.metrics.shed);
+                    shared.write_response(
+                        out,
+                        &Response::error(
+                            id,
+                            shared.breaker_state(),
+                            ErrorKind::Shed,
+                            format!(
+                                "queue full ({} pending); request shed, retry with backoff",
+                                shared.config.queue_capacity
+                            ),
+                        ),
+                    );
+                }
+                Err(PushError::Closed) => {
+                    Metrics::bump(&shared.metrics.drained_rejects);
+                    shared.write_response(
+                        out,
+                        &Response::error(
+                            id,
+                            shared.breaker_state(),
+                            ErrorKind::Draining,
+                            "server is draining; not accepting new work",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn health_data(shared: &Arc<Shared>) -> Value {
+    let status = if shared.is_stopping() {
+        "draining"
+    } else {
+        "ok"
+    };
+    object(vec![
+        ("status", Value::String(status.to_string())),
+        ("queue_depth", Value::U64(shared.queue.len() as u64)),
+        (
+            "queue_capacity",
+            Value::U64(shared.config.queue_capacity as u64),
+        ),
+        ("breaker", Value::String(shared.breaker_state().to_string())),
+        ("breaker_trips", Value::U64(shared.breaker.trips())),
+        ("workers", Value::U64(shared.config.workers as u64)),
+        (
+            "connections",
+            Value::U64(shared.connections.load(Ordering::SeqCst) as u64),
+        ),
+    ])
+}
+
+fn stats_data(shared: &Arc<Shared>) -> Value {
+    let snapshot = shared.metrics.snapshot();
+    object(vec![
+        ("metrics", snapshot.to_value()),
+        ("errors_total", Value::U64(snapshot.errors_total())),
+        (
+            "conserves_responses",
+            Value::Bool(snapshot.conserves_responses()),
+        ),
+        ("queue_depth", Value::U64(shared.queue.len() as u64)),
+        ("breaker", Value::String(shared.breaker_state().to_string())),
+        ("breaker_trips", Value::U64(shared.breaker.trips())),
+    ])
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        process_job(shared, &job);
+    }
+}
+
+fn process_job(shared: &Arc<Shared>, job: &Job) {
+    let id = job.request.id;
+    // Expired while queued: a timeout, but not the handler's fault — the
+    // breaker only judges execution, not queueing.
+    if Instant::now() >= job.deadline {
+        Metrics::bump(&shared.metrics.timeouts_queue);
+        shared.write_response(
+            &job.out,
+            &Response::error(
+                id,
+                shared.breaker_state(),
+                ErrorKind::Timeout,
+                "deadline expired while queued",
+            ),
+        );
+        return;
+    }
+    // Admission through the breaker: when open, `pattern` degrades to
+    // the analyzer's certified bounds; everything else is refused.
+    if matches!(shared.breaker.admit(), rap_resilience::Admission::Reject) {
+        serve_breaker_reject(shared, job);
+        return;
+    }
+    run_with_isolation(shared, job);
+}
+
+fn serve_breaker_reject(shared: &Arc<Shared>, job: &Job) {
+    let id = job.request.id;
+    if let Command::Pattern {
+        pattern,
+        scheme,
+        width,
+        ..
+    } = &job.request.cmd
+    {
+        match handler::degraded_pattern(pattern, scheme, *width) {
+            Ok(data) => {
+                Metrics::bump(&shared.metrics.degraded_served);
+                shared.write_response(
+                    &job.out,
+                    &Response::degraded(id, shared.breaker_state(), data),
+                );
+                return;
+            }
+            Err(message) => {
+                Metrics::bump(&shared.metrics.bad_requests);
+                shared.write_response(
+                    &job.out,
+                    &Response::error(id, shared.breaker_state(), ErrorKind::BadRequest, message),
+                );
+                return;
+            }
+        }
+    }
+    Metrics::bump(&shared.metrics.breaker_rejects);
+    shared.write_response(
+        &job.out,
+        &Response::error(
+            id,
+            shared.breaker_state(),
+            ErrorKind::Unavailable,
+            format!(
+                "circuit breaker is {}; '{}' has no degraded path",
+                shared.breaker_state(),
+                job.request.cmd.name()
+            ),
+        ),
+    );
+}
+
+fn run_with_isolation(shared: &Arc<Shared>, job: &Job) {
+    let id = job.request.id;
+    let token = CancelToken::with_deadline(job.deadline);
+    let mut attempt: u32 = 0;
+    loop {
+        if Instant::now() >= job.deadline {
+            Metrics::bump(&shared.metrics.timeouts_handler);
+            shared.breaker.record_failure();
+            shared.write_response(
+                &job.out,
+                &Response::error(
+                    id,
+                    shared.breaker_state(),
+                    ErrorKind::Timeout,
+                    format!("deadline expired during execution (attempt {attempt})"),
+                ),
+            );
+            return;
+        }
+        let cmd = job.request.cmd.clone();
+        let exec_token = token.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            handler::execute(&cmd, &exec_token)
+        }));
+        match result {
+            Ok(Outcome::Ok(data)) => {
+                shared.breaker.record_success();
+                Metrics::bump(&shared.metrics.completed_ok);
+                shared.write_response(&job.out, &Response::ok(id, shared.breaker_state(), data));
+                return;
+            }
+            Ok(Outcome::Degraded(data, _reason)) => {
+                // The handler coped (partial Monte-Carlo under deadline);
+                // the service is healthy even if the answer is partial.
+                shared.breaker.record_success();
+                Metrics::bump(&shared.metrics.degraded_served);
+                shared.write_response(
+                    &job.out,
+                    &Response::degraded(id, shared.breaker_state(), data),
+                );
+                return;
+            }
+            Ok(Outcome::BadRequest(message)) => {
+                Metrics::bump(&shared.metrics.bad_requests);
+                shared.write_response(
+                    &job.out,
+                    &Response::error(id, shared.breaker_state(), ErrorKind::BadRequest, message),
+                );
+                return;
+            }
+            Ok(Outcome::TimedOut(message)) => {
+                Metrics::bump(&shared.metrics.timeouts_handler);
+                shared.breaker.record_failure();
+                shared.write_response(
+                    &job.out,
+                    &Response::error(id, shared.breaker_state(), ErrorKind::Timeout, message),
+                );
+                return;
+            }
+            Ok(Outcome::Failed(message)) => {
+                shared.breaker.record_failure();
+                if !retry_or_give_up(shared, job, &mut attempt) {
+                    Metrics::bump(&shared.metrics.handler_failures);
+                    shared.write_response(
+                        &job.out,
+                        &Response::error(
+                            id,
+                            shared.breaker_state(),
+                            ErrorKind::HandlerFailed,
+                            format!("{message} (after {attempt} attempt(s))"),
+                        ),
+                    );
+                    return;
+                }
+            }
+            Err(panic_payload) => {
+                Metrics::bump(&shared.metrics.handler_panics);
+                shared.breaker.record_failure();
+                let what = panic_message(panic_payload.as_ref());
+                if !retry_or_give_up(shared, job, &mut attempt) {
+                    Metrics::bump(&shared.metrics.handler_failures);
+                    shared.write_response(
+                        &job.out,
+                        &Response::error(
+                            id,
+                            shared.breaker_state(),
+                            ErrorKind::Panic,
+                            format!("handler panicked: {what} (after {attempt} attempt(s))"),
+                        ),
+                    );
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Decide whether another attempt is worth making; sleeps the backoff
+/// when it is. Returns `false` when the retry budget or the deadline is
+/// exhausted.
+fn retry_or_give_up(shared: &Arc<Shared>, job: &Job, attempt: &mut u32) -> bool {
+    if *attempt >= shared.config.retry.max_retries {
+        return false;
+    }
+    *attempt += 1;
+    let backoff = shared
+        .config
+        .retry
+        .backoff("serve.handler", job.seq, *attempt);
+    if Instant::now() + backoff >= job.deadline {
+        return false;
+    }
+    Metrics::bump(&shared.metrics.handler_retries);
+    std::thread::sleep(backoff);
+    true
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use rap_resilience::{FailPlan, Fault, HitSchedule};
+
+    /// The failpoint registry is process-global; serialize chaos tests.
+    static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    fn small_server(config: ServerConfig) -> (ServerHandle, Client) {
+        let server = Server::bind(config).expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let client = Client::connect(handle.addr()).expect("connect");
+        (handle, client)
+    }
+
+    fn shutdown(handle: ServerHandle) -> DrainReport {
+        handle.begin_shutdown();
+        handle.join()
+    }
+
+    #[test]
+    fn end_to_end_request_response() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        let resp = client
+            .roundtrip(r#"{"cmd":"congestion","id":1,"width":4,"addresses":[0,4,8,1]}"#)
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        assert_eq!(resp.id, Some(1));
+        let resp = client
+            .roundtrip(r#"{"cmd":"pattern","id":2,"pattern":"stride","scheme":"rap","width":16,"trials":32}"#)
+            .unwrap();
+        assert!(resp.ok && !resp.degraded, "{resp:?}");
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+    }
+
+    #[test]
+    fn malformed_lines_get_contextual_400s() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        let resp = client.roundtrip("this is not json").unwrap();
+        assert_eq!(resp.error_kind(), Some("bad_request"));
+        let resp = client
+            .roundtrip(r#"{"cmd":"layout","scheme":"rap","width":0}"#)
+            .unwrap();
+        assert_eq!(resp.error_kind(), Some("bad_request"));
+        assert!(resp.error.as_ref().unwrap().message.contains("1..=4096"));
+        let resp = client.roundtrip(r#"{"cmd":"warp"}"#).unwrap();
+        assert!(resp.error.as_ref().unwrap().message.contains("unknown cmd"));
+        let report = shutdown(handle);
+        assert_eq!(report.metrics.bad_requests, 3);
+        assert!(report.metrics.conserves_responses());
+    }
+
+    #[test]
+    fn health_and_stats_answer_inline() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        let health = client.roundtrip(r#"{"cmd":"health","id":9}"#).unwrap();
+        assert!(health.ok);
+        let line = serde_json::to_string(&health.data.unwrap()).unwrap();
+        assert!(line.contains("\"status\":\"ok\""), "{line}");
+        assert!(line.contains("\"breaker\":\"closed\""), "{line}");
+        let stats = client.roundtrip(r#"{"cmd":"stats"}"#).unwrap();
+        let line = serde_json::to_string(&stats.data.unwrap()).unwrap();
+        assert!(line.contains("\"conserves_responses\":true"), "{line}");
+        shutdown(handle);
+    }
+
+    #[test]
+    fn shed_responses_when_queue_is_full() {
+        // One worker, one queue slot: pipeline a burst without reading
+        // and verify the overflow gets structured sheds, not silence.
+        let (handle, mut client) = small_server(ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        });
+        const BURST: usize = 20;
+        for i in 0..BURST {
+            client
+                .send(&format!(
+                    r#"{{"cmd":"pattern","id":{i},"pattern":"random","scheme":"ras","width":64,"trials":2000}}"#
+                ))
+                .unwrap();
+        }
+        let mut sheds = 0;
+        let mut answered = 0;
+        for _ in 0..BURST {
+            let resp = client.recv().unwrap().expect("a response per request");
+            if resp.error_kind() == Some("shed") {
+                assert_eq!(resp.error.as_ref().unwrap().code, 429);
+                sheds += 1;
+            } else {
+                answered += 1;
+            }
+        }
+        assert_eq!(sheds + answered, BURST, "every request answered");
+        assert!(sheds > 0, "a 1-slot queue must shed under a 20-deep burst");
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+    }
+
+    #[test]
+    fn deadlines_produce_timeouts_or_partial_results() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        let resp = client
+            .roundtrip(
+                r#"{"cmd":"pattern","id":5,"pattern":"random","scheme":"rap","width":128,"trials":1000000,"timeout_ms":40}"#,
+            )
+            .unwrap();
+        // Either the deadline fired mid-run (degraded partial estimate)
+        // or before anything completed (structured timeout).
+        if resp.ok {
+            assert!(resp.degraded, "{resp:?}");
+        } else {
+            assert_eq!(resp.error_kind(), Some("timeout"), "{resp:?}");
+            assert_eq!(resp.error.as_ref().unwrap().code, 504);
+        }
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses());
+    }
+
+    #[test]
+    fn panics_are_isolated_retried_and_surfaced() {
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Panic on every hit, retries exhausted → structured 500; the
+        // worker itself survives to serve the next request.
+        let guard = rap_resilience::install(FailPlan::new(3).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        let (handle, mut client) = small_server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let resp = quiet_panics(|| {
+            client
+                .roundtrip(r#"{"cmd":"analyze","id":1,"width":8}"#)
+                .unwrap()
+        });
+        assert_eq!(resp.error_kind(), Some("panic"), "{resp:?}");
+        drop(guard);
+        // Same worker thread, next request: healthy again.
+        let resp = client
+            .roundtrip(r#"{"cmd":"analyze","id":2,"width":8}"#)
+            .unwrap();
+        assert!(resp.ok, "worker must survive the panic: {resp:?}");
+        let report = shutdown(handle);
+        assert!(report.metrics.handler_panics >= 1);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+    }
+
+    #[test]
+    fn breaker_opens_and_pattern_degrades_to_analyzer_bounds() {
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guard = rap_resilience::install(FailPlan::new(3).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        let (handle, mut client) = small_server(ServerConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_mins(1),
+                success_to_close: 1,
+            },
+            ..ServerConfig::default()
+        });
+        // Trip the breaker with panicking requests.
+        quiet_panics(|| {
+            for i in 0..3 {
+                let resp = client
+                    .roundtrip(&format!(r#"{{"cmd":"analyze","id":{i},"width":8}}"#))
+                    .unwrap();
+                assert_eq!(resp.error_kind(), Some("panic"));
+            }
+        });
+        assert_eq!(handle.breaker_state(), "open");
+        assert_eq!(handle.breaker_trips(), 1);
+        // Open breaker: pattern queries degrade to certified bounds...
+        let resp = client
+            .roundtrip(r#"{"cmd":"pattern","id":10,"pattern":"stride","scheme":"rap","width":16}"#)
+            .unwrap();
+        assert!(resp.ok && resp.degraded, "{resp:?}");
+        assert_eq!(resp.breaker, "open");
+        let data = serde_json::to_string(&resp.data.unwrap()).unwrap();
+        assert!(data.contains("\"source\":\"static-analyzer\""), "{data}");
+        assert!(data.contains("\"hi\":1"), "Theorem 2 bound: {data}");
+        // ...while commands without a fallback get a structured 503.
+        let resp = client
+            .roundtrip(r#"{"cmd":"analyze","id":11,"width":8}"#)
+            .unwrap();
+        assert_eq!(resp.error_kind(), Some("unavailable"), "{resp:?}");
+        assert_eq!(resp.error.as_ref().unwrap().code, 503);
+        drop(guard);
+        let report = shutdown(handle);
+        assert!(report.metrics.degraded_served >= 1);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open() {
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guard = rap_resilience::install(FailPlan::new(3).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        let (handle, mut client) = small_server(ServerConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_retries: 0,
+                ..RetryPolicy::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(50),
+                success_to_close: 1,
+            },
+            ..ServerConfig::default()
+        });
+        quiet_panics(|| {
+            for i in 0..2 {
+                client
+                    .roundtrip(&format!(r#"{{"cmd":"analyze","id":{i},"width":8}}"#))
+                    .unwrap();
+            }
+        });
+        assert_eq!(handle.breaker_state(), "open");
+        drop(guard); // faults stop — the service is healthy again
+        std::thread::sleep(Duration::from_millis(80)); // past cooldown
+        let resp = client
+            .roundtrip(r#"{"cmd":"analyze","id":20,"width":8}"#)
+            .unwrap();
+        assert!(resp.ok, "half-open probe should succeed: {resp:?}");
+        assert_eq!(handle.breaker_state(), "closed", "breaker recovered");
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses());
+    }
+
+    #[test]
+    fn graceful_drain_answers_leftovers() {
+        let (handle, mut client) = small_server(ServerConfig {
+            workers: 1,
+            queue_capacity: 32,
+            drain_budget_ms: 1, // force leftovers
+            ..ServerConfig::default()
+        });
+        // Stuff the queue with slow jobs, then shut down immediately.
+        // Responses interleave (worker results, the shutdown ack, drain
+        // rejects), so count them rather than pairing send/recv.
+        for i in 0..8 {
+            client
+                .send(&format!(
+                    r#"{{"cmd":"pattern","id":{i},"pattern":"random","scheme":"ras","width":64,"trials":5000}}"#
+                ))
+                .unwrap();
+        }
+        client.send(r#"{"cmd":"shutdown","id":99}"#).unwrap();
+        let report = handle.join();
+        // Every one of the 9 requests got exactly one response.
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+        let mut got = 0;
+        let mut saw_shutdown_ack = false;
+        for _ in 0..9 {
+            let resp = client.recv().unwrap().expect("one response per request");
+            if resp.id == Some(99) {
+                saw_shutdown_ack = true;
+                assert!(resp.ok);
+            }
+            got += 1;
+        }
+        assert_eq!(got, 9, "all requests answered across the drain");
+        assert!(saw_shutdown_ack);
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_refused_structurally() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        client.roundtrip(r#"{"cmd":"shutdown"}"#).unwrap();
+        let resp = client
+            .roundtrip(r#"{"cmd":"analyze","id":1,"width":8}"#)
+            .unwrap();
+        assert_eq!(resp.error_kind(), Some("draining"), "{resp:?}");
+        let report = handle.join();
+        assert!(report.metrics.conserves_responses());
+    }
+}

@@ -18,6 +18,8 @@
 //! * [`apps`] — application kernels (tiled `A·Bᵀ`, gather);
 //! * [`analyze`] — static affine-access analyzer: symbolic prover,
 //!   theorem certification, and access-plan lint;
+//! * [`serve`] — hardened TCP/JSON query service over the hot paths:
+//!   admission control, deadlines, circuit breaker, graceful drain;
 //! * [`stats`] — RNG and statistics substrate.
 
 #![forbid(unsafe_code)]
@@ -30,5 +32,6 @@ pub use rap_dmm as dmm;
 pub use rap_gpu_sim as gpu_sim;
 pub use rap_permute as permute;
 pub use rap_resilience as resilience;
+pub use rap_serve as serve;
 pub use rap_stats as stats;
 pub use rap_transpose as transpose;
