@@ -9,7 +9,7 @@
 use crate::scratch::AccessScratch;
 use rand::Rng;
 use rap_core::mapping::MatrixMapping;
-use rap_core::RowShift;
+use rap_core::{CompactCongestion, RowShift};
 use serde::{Deserialize, Serialize};
 
 /// Logical matrix coordinate `(row i, column j)`.
@@ -80,11 +80,7 @@ pub fn generate<R: Rng + ?Sized>(pattern: MatrixPattern, w: usize, rng: &mut R) 
             .map(|d| (0..wu).map(|j| (j, (j + d) % wu)).collect())
             .collect(),
         MatrixPattern::Random => (0..wu)
-            .map(|_| {
-                (0..wu)
-                    .map(|_| (rng.gen_range(0..wu), rng.gen_range(0..wu)))
-                    .collect()
-            })
+            .map(|_| (0..wu).map(|_| random_pair(rng, wu)).collect())
             .collect(),
         MatrixPattern::Broadcast => (0..wu).map(|_| vec![(0, 0); w]).collect(),
     }
@@ -116,10 +112,40 @@ pub fn generate_warp_into<R: Rng + ?Sized>(
         MatrixPattern::Stride => out.extend((0..wu).map(|i| (i, warp))),
         MatrixPattern::Diagonal => out.extend((0..wu).map(|j| (j, (j + warp) % wu))),
         MatrixPattern::Random => {
-            out.extend((0..wu).map(|_| (rng.gen_range(0..wu), rng.gen_range(0..wu))));
+            out.extend((0..wu).map(|_| random_pair(rng, wu)));
         }
         MatrixPattern::Broadcast => out.extend(std::iter::repeat_n((0, 0), w)),
     }
+}
+
+/// Draw a uniform coordinate pair `(i, j)` in `[0, w)²` from (typically)
+/// one 64-bit word: each half is an exact 32-bit Lemire sample, and a
+/// half redraws from a fresh word only with probability `w / 2³²`.
+/// Exactly uniform, at half the generator traffic of two `gen_range`
+/// calls — the random pattern's inner loop draws millions of pairs.
+#[inline]
+fn random_pair<R: Rng + ?Sized>(rng: &mut R, w: u32) -> (u32, u32) {
+    let v: u64 = rng.gen();
+    (
+        lemire_half(rng, (v >> 32) as u32, w),
+        lemire_half(rng, v as u32, w),
+    )
+}
+
+/// Exact Lemire sample of `[0, w)` seeded from the 32-bit word `x`,
+/// redrawing from `rng` only when `x` falls in the biased zone
+/// (probability `< w / 2³²`, so the division and the loop are
+/// effectively never executed).
+#[inline]
+fn lemire_half<R: Rng + ?Sized>(rng: &mut R, x: u32, w: u32) -> u32 {
+    let mut m = u64::from(x) * u64::from(w);
+    if (m as u32) < w {
+        let t = w.wrapping_neg() % w;
+        while (m as u32) < t {
+            m = u64::from(rng.gen::<u32>()) * u64::from(w);
+        }
+    }
+    (m >> 32) as u32
 }
 
 /// The scheme-aware adversary: given full knowledge of the mapping,
@@ -181,6 +207,165 @@ pub fn warp_congestion_with(
     let result = scratch.congestion.congestion(mapping.width(), &addrs);
     scratch.addrs = addrs;
     result
+}
+
+/// Congestion of one warp of `pattern`, fused end to end: coordinates are
+/// generated inline, the permute-shift mapping is a single byte read from
+/// the table composed into `scratch` (see [`AccessScratch::compose`]),
+/// and dedup + counting collapse into the bit-parallel
+/// [`CompactCongestion`] kernel — lane `(i, j)` lands in bank
+/// `rot_i(j)` at address `i·w + rot_i(j)`, so within one bank the row
+/// index `i` identifies the address and one `OR` per lane suffices. No
+/// coordinate or address buffer is materialized and no per-lane division
+/// runs.
+///
+/// Consumes the random stream **exactly** like
+/// [`generate_warp_into`] for `warp = 0..w` in order (only
+/// [`MatrixPattern::Random`] draws: one `random_pair` per lane), so
+/// results are bit-identical to the unfused
+/// `generate_warp_into` + [`warp_congestion_with`] pipeline — the engine
+/// tests and the `congestion:fused-vs-unfused` conformance oracle pin
+/// this.
+///
+/// # Panics
+/// Panics if `w == 0`, `warp ≥ w`, or the table in `scratch` was not
+/// composed for a width-`w` mapping.
+#[inline]
+#[must_use]
+pub fn warp_congestion_fused<R: Rng + ?Sized>(
+    pattern: MatrixPattern,
+    w: usize,
+    warp: u32,
+    rng: &mut R,
+    scratch: &mut AccessScratch,
+) -> u32 {
+    assert!(w > 0, "matrix width must be positive");
+    let wu = w as u32;
+    assert!(warp < wu, "warp {warp} out of range for width {w}");
+    let composed = &scratch.composed;
+    assert_eq!(
+        composed.width(),
+        wu,
+        "scratch table composed for a different width"
+    );
+    let mut cc = CompactCongestion::new(w);
+    match pattern {
+        MatrixPattern::Contiguous => {
+            let base = warp * wu;
+            for j in 0..wu {
+                cc.lane(warp, composed.bank_of_index(base + j));
+            }
+        }
+        MatrixPattern::Stride => {
+            for i in 0..wu {
+                cc.lane(i, composed.bank_of_index(i * wu + warp));
+            }
+        }
+        MatrixPattern::Diagonal => {
+            for j in 0..wu {
+                // (j + warp) mod w via conditional subtract: both < w.
+                let mut c = j + warp;
+                c -= wu * u32::from(c >= wu);
+                cc.lane(j, composed.bank_of_index(j * wu + c));
+            }
+        }
+        MatrixPattern::Random => {
+            for _ in 0..wu {
+                let (i, j) = random_pair(rng, wu);
+                cc.lane(i, composed.bank_of_index(i * wu + j));
+            }
+        }
+        MatrixPattern::Broadcast => {
+            for _ in 0..wu {
+                cc.lane(0, composed.bank_of_index(0));
+            }
+        }
+    }
+    cc.finish()
+}
+
+/// Evaluate **every** warp of one trial of `pattern` through the fused
+/// path, feeding each warp's congestion to `sink` in warp order.
+///
+/// Semantically identical to calling [`warp_congestion_fused`] for
+/// `warp = 0..w` in order (same results, same RNG consumption — the
+/// fused-vs-unfused tests cover this entry point too), but the pattern
+/// dispatch happens once per trial instead of once per warp, so the
+/// compiler specializes the whole warp loop for each pattern. On the
+/// Monte-Carlo hot path that specialization is worth more than a third
+/// of the total runtime.
+///
+/// # Panics
+/// Panics if `w == 0` or the table in `scratch` was not composed for a
+/// width-`w` mapping.
+pub fn trial_congestions_fused<R: Rng + ?Sized>(
+    pattern: MatrixPattern,
+    w: usize,
+    rng: &mut R,
+    scratch: &mut AccessScratch,
+    mut sink: impl FnMut(u32),
+) {
+    assert!(w > 0, "matrix width must be positive");
+    let wu = w as u32;
+    // One arm per pattern so each loop inlines `warp_congestion_fused`
+    // with the pattern a compile-time constant.
+    match pattern {
+        MatrixPattern::Contiguous => {
+            for warp in 0..wu {
+                sink(warp_congestion_fused(
+                    MatrixPattern::Contiguous,
+                    w,
+                    warp,
+                    rng,
+                    scratch,
+                ));
+            }
+        }
+        MatrixPattern::Stride => {
+            for warp in 0..wu {
+                sink(warp_congestion_fused(
+                    MatrixPattern::Stride,
+                    w,
+                    warp,
+                    rng,
+                    scratch,
+                ));
+            }
+        }
+        MatrixPattern::Diagonal => {
+            for warp in 0..wu {
+                sink(warp_congestion_fused(
+                    MatrixPattern::Diagonal,
+                    w,
+                    warp,
+                    rng,
+                    scratch,
+                ));
+            }
+        }
+        MatrixPattern::Random => {
+            for warp in 0..wu {
+                sink(warp_congestion_fused(
+                    MatrixPattern::Random,
+                    w,
+                    warp,
+                    rng,
+                    scratch,
+                ));
+            }
+        }
+        MatrixPattern::Broadcast => {
+            for warp in 0..wu {
+                sink(warp_congestion_fused(
+                    MatrixPattern::Broadcast,
+                    w,
+                    warp,
+                    rng,
+                    scratch,
+                ));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -324,5 +509,49 @@ mod tests {
     fn adversarial_bank_bounds_checked() {
         let m = RowShift::raw(8);
         let _ = adversarial_warp(&m, 8);
+    }
+
+    /// The fused evaluator must be bit-identical to the unfused
+    /// generate + map + count pipeline for every pattern, scheme, and
+    /// SWAR-range width — and must consume the random stream exactly the
+    /// same way (checked by comparing warp-by-warp with twin RNGs).
+    #[test]
+    fn fused_path_matches_unfused_pipeline() {
+        let mut scratch = AccessScratch::new();
+        for scheme in Scheme::all() {
+            for w in [1usize, 2, 5, 16, 31, 32, 33, 63, 64] {
+                let mut map_rng = SmallRng::seed_from_u64(1000 + w as u64);
+                let mapping = RowShift::of_scheme(scheme, &mut map_rng, w);
+                assert!(scratch.compose(&mapping), "w={w} must compose");
+                for p in [
+                    MatrixPattern::Contiguous,
+                    MatrixPattern::Stride,
+                    MatrixPattern::Diagonal,
+                    MatrixPattern::Random,
+                    MatrixPattern::Broadcast,
+                ] {
+                    let seed = 7 * w as u64 + 13;
+                    let mut rng_a = SmallRng::seed_from_u64(seed);
+                    let mut rng_b = SmallRng::seed_from_u64(seed);
+                    let mut buf = Vec::new();
+                    for warp in 0..w as u32 {
+                        let fused = warp_congestion_fused(p, w, warp, &mut rng_a, &mut scratch);
+                        generate_warp_into(p, w, warp, &mut rng_b, &mut buf);
+                        let unfused = warp_congestion_with(&mapping, &buf, &mut scratch);
+                        assert_eq!(fused, unfused, "{scheme} {p} w={w} warp={warp}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different width")]
+    fn fused_path_rejects_stale_table() {
+        let mut scratch = AccessScratch::new();
+        let mapping = RowShift::raw(8);
+        assert!(scratch.compose(&mapping));
+        let mut r = rng();
+        let _ = warp_congestion_fused(MatrixPattern::Contiguous, 16, 0, &mut r, &mut scratch);
     }
 }

@@ -59,6 +59,23 @@ pub fn block_range(block: u64, trials: u64) -> std::ops::Range<u64> {
     start..trials.min(start + TRIALS_PER_BLOCK)
 }
 
+/// Per-worker buffers of the matrix engine: the shared access scratch
+/// (congestion kernel + composed lookup table) and the coordinate buffer
+/// of the unfused fallback. One instance lives per worker thread for a
+/// whole sweep (`map_init`), so steady state allocates nothing.
+#[derive(Default)]
+pub(crate) struct MatrixScratch {
+    access: AccessScratch,
+    warp_buf: Vec<Coord>,
+}
+
+/// Per-worker buffers of the 4-D engine (see [`MatrixScratch`]).
+#[derive(Default)]
+pub(crate) struct Array4dScratch {
+    access: AccessScratch,
+    warp_buf: Vec<Coord4>,
+}
+
 /// Evaluate one block of matrix-congestion trials serially into a fresh
 /// accumulator. `child` must be the `domain.child("matrix")` stream; both
 /// the plain and the resilient engines call exactly this body, which is
@@ -70,19 +87,51 @@ pub(crate) fn matrix_block(
     child: &SeedDomain,
     block: std::ops::Range<u64>,
 ) -> OnlineStats {
-    let mut scratch = AccessScratch::new();
-    let mut warp_buf: Vec<Coord> = Vec::new();
+    matrix_block_in(
+        scheme,
+        pattern,
+        w,
+        child,
+        block,
+        &mut MatrixScratch::default(),
+    )
+}
+
+/// [`matrix_block`] with caller-owned scratch, so a worker thread reuses
+/// one set of buffers across every block it executes.
+///
+/// Per trial this composes the fresh mapping into the scratch lookup
+/// table and evaluates every warp through the fused single-table-read
+/// path; widths beyond the table's 64-bank range fall back to the
+/// unfused generate + map + count pipeline. Both paths consume the
+/// trial's random stream identically and count congestion identically
+/// (pinned by the fused-vs-unfused tests and the conformance oracle), so
+/// which path ran is unobservable in the result.
+pub(crate) fn matrix_block_in(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    child: &SeedDomain,
+    block: std::ops::Range<u64>,
+    s: &mut MatrixScratch,
+) -> OnlineStats {
     let mut stats = OnlineStats::new();
     for trial in block {
         let mut rng = child.rng(trial);
         let mapping = RowShift::of_scheme(scheme, &mut rng, w);
-        for warp in 0..w as u32 {
-            matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
-            stats.push_u32(matrix::warp_congestion_with(
-                &mapping,
-                &warp_buf,
-                &mut scratch,
-            ));
+        if s.access.compose(&mapping) {
+            matrix::trial_congestions_fused(pattern, w, &mut rng, &mut s.access, |c| {
+                stats.push_u32(c);
+            });
+        } else {
+            for warp in 0..w as u32 {
+                matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut s.warp_buf);
+                stats.push_u32(matrix::warp_congestion_with(
+                    &mapping,
+                    &s.warp_buf,
+                    &mut s.access,
+                ));
+            }
         }
     }
     stats
@@ -98,18 +147,39 @@ pub(crate) fn array4d_block(
     child: &SeedDomain,
     block: std::ops::Range<u64>,
 ) -> OnlineStats {
-    let mut scratch = AccessScratch::new();
-    let mut warp_buf: Vec<Coord4> = Vec::new();
+    array4d_block_in(
+        scheme,
+        pattern,
+        w,
+        warps_per_trial,
+        child,
+        block,
+        &mut Array4dScratch::default(),
+    )
+}
+
+/// [`array4d_block`] with caller-owned scratch (see [`matrix_block_in`];
+/// the 4-D mapping has no composed table, but the congestion kernel's
+/// buffers and the coordinate buffer are still reused across blocks).
+pub(crate) fn array4d_block_in(
+    scheme: Scheme4d,
+    pattern: Pattern4d,
+    w: usize,
+    warps_per_trial: u32,
+    child: &SeedDomain,
+    block: std::ops::Range<u64>,
+    s: &mut Array4dScratch,
+) -> OnlineStats {
     let mut stats = OnlineStats::new();
     for trial in block {
         let mut rng = child.rng(trial);
         let mapping = Mapping4d::new(scheme, &mut rng, w).expect("valid width");
         for _ in 0..warps_per_trial {
-            array4d::generate_warp_into(pattern, scheme, w, &mut rng, &mut warp_buf);
+            array4d::generate_warp_into(pattern, scheme, w, &mut rng, &mut s.warp_buf);
             stats.push_u32(array4d::warp_congestion_with(
                 &mapping,
-                &warp_buf,
-                &mut scratch,
+                &s.warp_buf,
+                &mut s.access,
             ));
         }
     }
@@ -122,16 +192,20 @@ pub(crate) fn array4d_block(
 /// This is the determinism kernel of the engine: the result depends only
 /// on `trials` and `run_block`, never on how many workers executed the
 /// blocks (see the module docs).
-fn parallel_trials<F>(trials: u64, run_block: F) -> OnlineStats
+/// `init` builds one scratch per worker thread (`map_init`); the scratch
+/// carries buffers only, never statistics, so reuse across blocks cannot
+/// perturb the result.
+fn parallel_trials<S, I, F>(trials: u64, init: I, run_block: F) -> OnlineStats
 where
-    F: Fn(std::ops::Range<u64>) -> OnlineStats + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<u64>) -> OnlineStats + Sync,
 {
     assert!(trials > 0, "need at least one trial");
     let blocks: Vec<std::ops::Range<u64>> = (0..trials)
         .step_by(TRIALS_PER_BLOCK as usize)
         .map(|start| start..trials.min(start + TRIALS_PER_BLOCK))
         .collect();
-    let per_block: Vec<OnlineStats> = blocks.into_par_iter().map(run_block).collect();
+    let per_block: Vec<OnlineStats> = blocks.into_par_iter().map_init(init, run_block).collect();
     let mut total = OnlineStats::new();
     for block in &per_block {
         total.merge(block);
@@ -161,8 +235,8 @@ pub fn matrix_congestion(
 ) -> OnlineStats {
     assert!(trials > 0, "need at least one trial");
     let child = domain.child("matrix");
-    parallel_trials(trials, |block| {
-        matrix_block(scheme, pattern, w, &child, block)
+    parallel_trials(trials, MatrixScratch::default, |s, block| {
+        matrix_block_in(scheme, pattern, w, &child, block, s)
     })
 }
 
@@ -191,8 +265,8 @@ pub fn array4d_congestion(
         "need at least one sample"
     );
     let child = domain.child("array4d");
-    parallel_trials(trials, |block| {
-        array4d_block(scheme, pattern, w, warps_per_trial, &child, block)
+    parallel_trials(trials, Array4dScratch::default, |s, block| {
+        array4d_block_in(scheme, pattern, w, warps_per_trial, &child, block, s)
     })
 }
 
@@ -206,9 +280,8 @@ fn matrix_block_cancellable(
     child: &SeedDomain,
     block: std::ops::Range<u64>,
     token: &CancelToken,
+    s: &mut MatrixScratch,
 ) -> Option<OnlineStats> {
-    let mut scratch = AccessScratch::new();
-    let mut warp_buf: Vec<Coord> = Vec::new();
     let mut stats = OnlineStats::new();
     for trial in block {
         if token.is_cancelled() {
@@ -216,13 +289,19 @@ fn matrix_block_cancellable(
         }
         let mut rng = child.rng(trial);
         let mapping = RowShift::of_scheme(scheme, &mut rng, w);
-        for warp in 0..w as u32 {
-            matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut warp_buf);
-            stats.push_u32(matrix::warp_congestion_with(
-                &mapping,
-                &warp_buf,
-                &mut scratch,
-            ));
+        if s.access.compose(&mapping) {
+            matrix::trial_congestions_fused(pattern, w, &mut rng, &mut s.access, |c| {
+                stats.push_u32(c);
+            });
+        } else {
+            for warp in 0..w as u32 {
+                matrix::generate_warp_into(pattern, w, warp, &mut rng, &mut s.warp_buf);
+                stats.push_u32(matrix::warp_congestion_with(
+                    &mapping,
+                    &s.warp_buf,
+                    &mut s.access,
+                ));
+            }
         }
     }
     Some(stats)
@@ -257,11 +336,11 @@ pub fn matrix_congestion_cancellable(
     let total_blocks = blocks.len() as u64;
     let per_block: Vec<Option<OnlineStats>> = blocks
         .into_par_iter()
-        .map(|block| {
+        .map_init(MatrixScratch::default, |s, block| {
             if token.is_cancelled() {
                 return None;
             }
-            matrix_block_cancellable(scheme, pattern, w, &child, block, token)
+            matrix_block_cancellable(scheme, pattern, w, &child, block, token, s)
         })
         .collect();
     let mut stats = OnlineStats::new();

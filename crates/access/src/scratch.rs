@@ -7,15 +7,22 @@
 //! allocations for a whole sweep.
 
 use rap_core::congestion::CongestionScratch;
+use rap_core::mapping::ComposedRowShift;
+use rap_core::RowShift;
 
 /// Caller-owned buffers threaded through the `*_into` / `*_with` variants
-/// in [`crate::matrix`] and [`crate::array4d`].
+/// in [`crate::matrix`] and [`crate::array4d`], plus the composed
+/// permute-shift lookup table of the fused fast path.
 #[derive(Debug, Clone, Default)]
 pub struct AccessScratch {
     /// Physical address buffer (one entry per thread of the current warp).
     pub(crate) addrs: Vec<u64>,
-    /// Congestion kernel buffers (unused on the `width ≤ 128` fast path).
+    /// Congestion kernel heap buffers (used only on the `width > 128`
+    /// fallback; the fast paths live on the stack).
     pub(crate) congestion: CongestionScratch,
+    /// The composed σ+shift lookup table of the current trial's mapping
+    /// (`w ≤ 64`); the allocation persists across trials.
+    pub(crate) composed: ComposedRowShift,
 }
 
 impl AccessScratch {
@@ -23,5 +30,13 @@ impl AccessScratch {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Compose `mapping`'s permutation + row shifts into the cached
+    /// lookup table, making [`crate::matrix::warp_congestion_fused`]
+    /// serve this mapping. Returns `false` (table unusable, callers take
+    /// the unfused path) when `mapping.width() > 64`.
+    pub fn compose(&mut self, mapping: &RowShift) -> bool {
+        self.composed.compose(mapping)
     }
 }

@@ -1,0 +1,169 @@
+//! CI performance gate for the Monte-Carlo engine.
+//!
+//! Measures single-thread trials/sec of the fixed perf sweep (same
+//! workload as `perf_smoke`) and compares it against the committed
+//! baseline in `results/perf_baseline.json`. The run **fails** (exit 1)
+//! when throughput drops below `min_ratio × baseline` — the tolerance
+//! band absorbs machine-to-machine variance between comparable x86-64
+//! runners while still catching real regressions (losing the bit-parallel
+//! kernel or the fused mapping costs 3-5x, far outside any band).
+//!
+//! Single-thread on purpose: per-core throughput is the quantity the
+//! optimization work targets and the only one comparable across runners
+//! with different core counts. The best of `--reps` repetitions is
+//! scored, which strips scheduler-preemption outliers without hiding a
+//! sustained regression.
+//!
+//! Usage: `cargo run -p rap-bench --bin perf_gate --release
+//! [--baseline results/perf_baseline.json] [--reps 3] [--update]`
+//!
+//! `--update` rewrites the baseline file from this run's measurement
+//! (use on the machine class that CI runs on, then commit the file).
+
+use rap_bench::{output, perf, CliArgs};
+use serde::{Deserialize, Serialize};
+
+/// The committed reference point (`results/perf_baseline.json`).
+#[derive(Debug, Serialize, Deserialize)]
+struct PerfBaseline {
+    /// Matrix width of the sweep.
+    w: usize,
+    /// Trials per cell.
+    trials_per_cell: u64,
+    /// Root seed.
+    seed: u64,
+    /// Single-thread trials/sec the baseline machine sustained.
+    trials_per_second: f64,
+    /// Failure threshold: measured/baseline below this ratio fails.
+    min_ratio: f64,
+    /// Where the baseline was recorded (human readable).
+    recorded_on: String,
+}
+
+/// The verdict written to `results/perf_gate.json`.
+#[derive(Debug, Serialize)]
+struct PerfGateReport {
+    /// Experiment id (fixed: "perf_gate").
+    id: String,
+    /// Sweep parameters, human readable.
+    params: String,
+    /// Best single-thread trials/sec over the repetitions.
+    measured_trials_per_second: f64,
+    /// Every repetition's trials/sec, in run order.
+    rep_trials_per_second: Vec<f64>,
+    /// The committed baseline value.
+    baseline_trials_per_second: f64,
+    /// measured / baseline.
+    ratio: f64,
+    /// The failure threshold from the baseline file.
+    min_ratio: f64,
+    /// Logical CPUs of this host.
+    logical_cpus: usize,
+    /// Physical cores of this host.
+    physical_cpus: usize,
+    /// True when the gate passed.
+    pass: bool,
+}
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("perf_gate: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = CliArgs::from_env();
+    let _failpoints = rap_bench::failpoints_from_env()?;
+    let baseline_path =
+        std::path::PathBuf::from(args.get("baseline").unwrap_or("results/perf_baseline.json"));
+    let reps = args.get_u64("reps", 3).max(1);
+    let update = args.get("update").is_some() || std::env::args().any(|a| a == "--update");
+
+    let text = std::fs::read_to_string(&baseline_path)
+        .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+    let mut baseline: PerfBaseline = serde_json::from_str(&text)
+        .map_err(|e| format!("parsing {}: {e}", baseline_path.display()))?;
+    if !(baseline.min_ratio > 0.0 && baseline.min_ratio <= 1.0) {
+        return Err(format!(
+            "baseline min_ratio {} must be in (0, 1]",
+            baseline.min_ratio
+        ));
+    }
+
+    let (w, trials, seed) = (baseline.w, baseline.trials_per_cell, baseline.seed);
+    println!(
+        "perf_gate — single-thread sweep w={w}, {trials} trials/cell, best of {reps} rep(s), \
+         baseline {:.0} trials/s (recorded on: {})",
+        baseline.trials_per_second, baseline.recorded_on
+    );
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .map_err(|e| format!("building 1-thread pool: {e}"))?;
+    // Warm up (page in code, grow allocator arenas) before timing.
+    let _ = pool.install(|| perf::run_sweep(w, trials.min(100), seed));
+
+    let mut rep_rates = Vec::new();
+    let mut checksum = None;
+    for rep in 0..reps {
+        let timing = pool.install(|| perf::run_sweep(w, trials, seed));
+        match checksum {
+            None => checksum = Some(timing.mean_checksum),
+            Some(c) => assert!(
+                c == timing.mean_checksum,
+                "run-to-run determinism violated: {c} vs {}",
+                timing.mean_checksum
+            ),
+        }
+        println!(
+            "  rep {} of {reps}: {:.0} trials/s ({:.3}s)",
+            rep + 1,
+            timing.trials_per_second(),
+            timing.wall_seconds
+        );
+        rep_rates.push(timing.trials_per_second());
+    }
+    let measured = rep_rates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let ratio = measured / baseline.trials_per_second;
+    let pass = ratio >= baseline.min_ratio;
+
+    let report = PerfGateReport {
+        id: "perf_gate".into(),
+        params: format!("w={w} trials={trials} seed={seed} reps={reps}"),
+        measured_trials_per_second: measured,
+        rep_trials_per_second: rep_rates,
+        baseline_trials_per_second: baseline.trials_per_second,
+        ratio,
+        min_ratio: baseline.min_ratio,
+        logical_cpus: perf::logical_cpus(),
+        physical_cpus: perf::physical_cpus(),
+        pass,
+    };
+    let path = output::results_dir().join("perf_gate.json");
+    rap_resilience::write_json_atomic(&path, &report)
+        .map_err(|e| format!("writing report: {e}"))?;
+    println!(
+        "measured {measured:.0} trials/s = {ratio:.2}x baseline (threshold {:.2}x) → {}",
+        baseline.min_ratio,
+        if pass { "PASS" } else { "FAIL" }
+    );
+    println!("wrote {}", path.display());
+
+    if update {
+        baseline.trials_per_second = measured;
+        rap_resilience::write_json_atomic(&baseline_path, &baseline)
+            .map_err(|e| format!("updating baseline: {e}"))?;
+        println!("updated baseline {}", baseline_path.display());
+        return Ok(());
+    }
+    if !pass {
+        return Err(format!(
+            "throughput regressed: {measured:.0} trials/s is {ratio:.2}x the baseline \
+             {:.0} trials/s, below the {:.2}x floor",
+            baseline.trials_per_second, baseline.min_ratio
+        ));
+    }
+    Ok(())
+}

@@ -6,6 +6,14 @@
 //! criterion benches this runs in seconds and produces machine-readable
 //! output, so it can gate regressions in CI or quick local checks.
 //!
+//! The scaling numbers are honest about the hardware: the report carries
+//! both **logical** and **physical** CPU counts, every sample that ran
+//! more worker threads than physical cores is flagged `unreliable` (SMT
+//! or timesharing, not parallel scaling), and the built-in scaling check
+//! — best reliable multi-thread speedup ≥ 1.2 — only arms on hosts with
+//! at least two physical cores. On a 1-core box the run still doubles as
+//! a cross-thread-count determinism check (see the checksum assert).
+//!
 //! Timings are not checkpointed: wall-clock samples are inherently
 //! non-reproducible, so a resumed run could never be byte-identical to an
 //! uninterrupted one. Instead `--budget-ms` bounds the run — thread
@@ -15,11 +23,7 @@
 //! Usage: `cargo run -p rap-bench --bin perf_smoke --release
 //! [--trials 2000] [--w 32] [--seed 2014] [--budget-ms N]`
 
-use rap_access::montecarlo::matrix_congestion;
-use rap_access::MatrixPattern;
-use rap_bench::{output, CliArgs};
-use rap_core::Scheme;
-use rap_stats::SeedDomain;
+use rap_bench::{output, perf, CliArgs};
 use serde::Serialize;
 use std::time::{Duration, Instant};
 
@@ -34,6 +38,9 @@ struct ThreadSample {
     trials_per_second: f64,
     /// Speedup over the 1-thread sweep.
     speedup: f64,
+    /// True when `threads` exceeds the physical core count: the speedup
+    /// then measures SMT/timesharing effects, not parallel scaling.
+    unreliable: bool,
 }
 
 /// The full smoke report written to `results/perf_smoke.json`.
@@ -51,33 +58,23 @@ struct PerfSmokeReport {
     cells: usize,
     /// Total trials across the sweep.
     total_trials: u64,
-    /// Hardware parallelism reported by the host.
-    hardware_threads: usize,
+    /// Logical CPUs (SMT threads count separately).
+    logical_cpus: usize,
+    /// Physical cores (sysfs/cpuinfo topology; see `rap_bench::perf`).
+    physical_cpus: usize,
     /// One entry per tested thread count.
     samples: Vec<ThreadSample>,
     /// Checksum: sum of all cell means, to pin that every thread count
     /// computed the identical estimate (the engine's determinism
     /// contract).
     mean_checksum: f64,
+    /// Outcome of the scaling check: "passed", or the reason it was
+    /// skipped.
+    scaling_check: String,
     /// True when the wall budget cut the thread-count sweep short.
     degraded: bool,
     /// Human-readable notes about skipped thread counts.
     notes: Vec<String>,
-}
-
-/// Run the fixed sweep once and return (wall seconds, sum of cell means).
-fn run_sweep(w: usize, trials: u64, seed: u64) -> (f64, f64) {
-    let domain = SeedDomain::new(seed).child("perf_smoke");
-    let start = Instant::now();
-    let mut checksum = 0.0;
-    for pattern in MatrixPattern::table2() {
-        for scheme in Scheme::all() {
-            let cell_domain = domain.child(pattern.name()).child(scheme.name());
-            let stats = matrix_congestion(scheme, pattern, w, trials, &cell_domain);
-            checksum += stats.mean();
-        }
-    }
-    (start.elapsed().as_secs_f64(), checksum)
 }
 
 fn main() {
@@ -100,23 +97,27 @@ fn run() -> Result<(), String> {
     let budget_ms = args.get_u64("budget-ms", 0);
     let deadline = (budget_ms > 0).then(|| Instant::now() + Duration::from_millis(budget_ms));
 
-    let cells = MatrixPattern::table2().len() * Scheme::all().len();
+    let cells = perf::sweep_cells();
     let total_trials = trials * cells as u64;
-    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let logical = perf::logical_cpus();
+    let physical = perf::physical_cpus();
 
-    println!("perf_smoke — Table-II-style sweep, w={w}, {trials} trials/cell, {cells} cells");
+    println!(
+        "perf_smoke — Table-II-style sweep, w={w}, {trials} trials/cell, {cells} cells, \
+         {logical} logical / {physical} physical CPUs"
+    );
 
     // Warm up (page in code, grow allocator arenas) before timing.
-    let _ = run_sweep(w, trials.min(100), seed);
+    let _ = perf::run_sweep(w, trials.min(100), seed);
 
     // Always time 2 threads even on a 1-core host: the run doubles as a
     // cross-thread-count determinism check (see the checksum assert).
     let mut thread_counts = vec![1usize, 2];
-    if hardware > 3 {
-        thread_counts.push(hardware / 2);
+    if logical > 3 {
+        thread_counts.push(logical / 2);
     }
-    if hardware > 2 {
-        thread_counts.push(hardware);
+    if logical > 2 {
+        thread_counts.push(logical);
     }
     thread_counts.dedup();
 
@@ -135,29 +136,63 @@ fn run() -> Result<(), String> {
             .num_threads(threads)
             .build()
             .map_err(|e| format!("building {threads}-thread pool: {e}"))?;
-        let (wall, sum) = pool.install(|| run_sweep(w, trials, seed));
+        let timing = pool.install(|| perf::run_sweep(w, trials, seed));
         match checksum {
-            None => checksum = Some(sum),
+            None => checksum = Some(timing.mean_checksum),
             // Engine contract: the estimate is bit-identical per thread
             // count, so the checksum must be too.
-            Some(c) => assert!(c == sum, "thread-count determinism violated: {c} vs {sum}"),
+            Some(c) => assert!(
+                c == timing.mean_checksum,
+                "thread-count determinism violated: {c} vs {}",
+                timing.mean_checksum
+            ),
         }
-        let base = *baseline.get_or_insert(wall);
+        let base = *baseline.get_or_insert(timing.wall_seconds);
         let sample = ThreadSample {
             threads,
-            wall_seconds: wall,
-            trials_per_second: total_trials as f64 / wall,
-            speedup: base / wall,
+            wall_seconds: timing.wall_seconds,
+            trials_per_second: timing.trials_per_second(),
+            speedup: base / timing.wall_seconds,
+            unreliable: threads > physical,
         };
         println!(
-            "  threads={:<3} wall={:.3}s  {:.0} trials/s  speedup {:.2}x",
-            sample.threads, sample.wall_seconds, sample.trials_per_second, sample.speedup
+            "  threads={:<3} wall={:.3}s  {:.0} trials/s  speedup {:.2}x{}",
+            sample.threads,
+            sample.wall_seconds,
+            sample.trials_per_second,
+            sample.speedup,
+            if sample.unreliable {
+                "  (unreliable: oversubscribes physical cores)"
+            } else {
+                ""
+            }
         );
         samples.push(sample);
     }
     for note in &notes {
         eprintln!("perf_smoke: {note}");
     }
+
+    // Scaling check: only meaningful where real parallel hardware exists
+    // and the budget let a reliable multi-thread sample run.
+    let best_reliable = samples
+        .iter()
+        .filter(|s| s.threads > 1 && !s.unreliable)
+        .map(|s| s.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let scaling_check = if physical < 2 {
+        format!("skipped: {physical} physical core(s), speedups are timesharing noise")
+    } else if best_reliable == f64::NEG_INFINITY {
+        "skipped: no reliable multi-thread sample ran".to_string()
+    } else if best_reliable >= 1.2 {
+        "passed".to_string()
+    } else {
+        return Err(format!(
+            "scaling check failed: best reliable multi-thread speedup {best_reliable:.2}x < 1.2x \
+             on {physical} physical cores"
+        ));
+    };
+    println!("scaling check: {scaling_check}");
 
     let report = PerfSmokeReport {
         id: "perf_smoke".into(),
@@ -166,9 +201,11 @@ fn run() -> Result<(), String> {
         trials_per_cell: trials,
         cells,
         total_trials,
-        hardware_threads: hardware,
+        logical_cpus: logical,
+        physical_cpus: physical,
         samples,
         mean_checksum: checksum.unwrap_or(0.0),
+        scaling_check,
         degraded: !notes.is_empty(),
         notes,
     };

@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod output;
 pub mod paper;
+pub mod perf;
 pub mod table;
 
 /// Parse `--key value` style options from `std::env::args`, with defaults.

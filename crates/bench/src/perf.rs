@@ -1,0 +1,155 @@
+//! Shared machinery of the performance binaries (`perf_smoke`,
+//! `perf_gate`): hardware-topology detection and the fixed
+//! Table-II-style timing sweep.
+//!
+//! Trustworthy scaling numbers need to know the difference between
+//! **logical** CPUs (what `available_parallelism` reports — SMT threads
+//! included) and **physical** cores: a "2x speedup at 2 threads" on one
+//! physical core is timesharing noise, not parallel scaling. The
+//! detectors here read the Linux CPU topology (sysfs, then
+//! `/proc/cpuinfo`) and fall back to the logical count when neither is
+//! readable, so callers can flag oversubscribed samples instead of
+//! reporting them as scaling.
+
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_core::Scheme;
+use rap_stats::SeedDomain;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// Logical CPUs visible to this process (SMT threads count separately).
+#[must_use]
+pub fn logical_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Physical cores, best effort: unique `(package, core)` pairs from the
+/// sysfs CPU topology, then `/proc/cpuinfo`, then the logical count when
+/// neither source is readable (non-Linux hosts, restricted containers).
+/// Always at least 1 and never more than [`logical_cpus`].
+#[must_use]
+pub fn physical_cpus() -> usize {
+    let detected = sysfs_physical().or_else(cpuinfo_physical);
+    detected
+        .unwrap_or_else(logical_cpus)
+        .clamp(1, logical_cpus())
+}
+
+/// Unique `(physical_package_id, core_id)` pairs from
+/// `/sys/devices/system/cpu/cpu*/topology/`.
+fn sysfs_physical() -> Option<usize> {
+    let entries = std::fs::read_dir("/sys/devices/system/cpu").ok()?;
+    let mut pairs = HashSet::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_str()?;
+        let digits = name.strip_prefix("cpu")?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let topology = entry.path().join("topology");
+        let core = std::fs::read_to_string(topology.join("core_id")).ok();
+        let package = std::fs::read_to_string(topology.join("physical_package_id")).ok();
+        if let (Some(core), Some(package)) = (core, package) {
+            pairs.insert((package.trim().to_string(), core.trim().to_string()));
+        }
+    }
+    (!pairs.is_empty()).then_some(pairs.len())
+}
+
+/// Unique `(physical id, core id)` pairs from `/proc/cpuinfo` blocks.
+fn cpuinfo_physical() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let mut pairs = HashSet::new();
+    let (mut package, mut core) = (None, None);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            if let (Some(p), Some(c)) = (package.take(), core.take()) {
+                pairs.insert((p, c));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        match key.trim() {
+            "physical id" => package = Some(value.trim().to_string()),
+            "core id" => core = Some(value.trim().to_string()),
+            _ => {}
+        }
+    }
+    if let (Some(p), Some(c)) = (package, core) {
+        pairs.insert((p, c));
+    }
+    (!pairs.is_empty()).then_some(pairs.len())
+}
+
+/// Number of `(pattern, scheme)` cells in the fixed sweep.
+#[must_use]
+pub fn sweep_cells() -> usize {
+    MatrixPattern::table2().len() * Scheme::all().len()
+}
+
+/// One timed run of the fixed sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepTiming {
+    /// Wall time of the whole sweep in seconds.
+    pub wall_seconds: f64,
+    /// Sum of all cell means — the determinism checksum (bit-identical
+    /// across thread counts and runs with the same parameters).
+    pub mean_checksum: f64,
+    /// Total Monte-Carlo trials executed.
+    pub total_trials: u64,
+}
+
+impl SweepTiming {
+    /// Trials completed per wall-clock second.
+    #[must_use]
+    pub fn trials_per_second(&self) -> f64 {
+        self.total_trials as f64 / self.wall_seconds
+    }
+}
+
+/// Time the fixed Table-II-style sweep (every Table II pattern × scheme
+/// at width `w`, `trials` Monte-Carlo trials per cell) on the current
+/// rayon pool.
+#[must_use]
+pub fn run_sweep(w: usize, trials: u64, seed: u64) -> SweepTiming {
+    let domain = SeedDomain::new(seed).child("perf_smoke");
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for pattern in MatrixPattern::table2() {
+        for scheme in Scheme::all() {
+            let cell_domain = domain.child(pattern.name()).child(scheme.name());
+            let stats = matrix_congestion(scheme, pattern, w, trials, &cell_domain);
+            checksum += stats.mean();
+        }
+    }
+    SweepTiming {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        mean_checksum: checksum,
+        total_trials: trials * sweep_cells() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_counts_are_sane() {
+        let logical = logical_cpus();
+        let physical = physical_cpus();
+        assert!(logical >= 1);
+        assert!((1..=logical).contains(&physical));
+    }
+
+    #[test]
+    fn sweep_checksum_is_deterministic() {
+        let a = run_sweep(8, 40, 7);
+        let b = run_sweep(8, 40, 7);
+        assert_eq!(a.mean_checksum, b.mean_checksum);
+        assert_eq!(a.total_trials, 40 * sweep_cells() as u64);
+    }
+}

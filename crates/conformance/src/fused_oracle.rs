@@ -1,0 +1,126 @@
+//! Oracle for the fused permute-shift congestion kernel
+//! (`congestion:fused-vs-unfused`): the bit-parallel fast path —
+//! coordinates generated inline, the mapping a single table read, dedup
+//! and counting collapsed into `CompactCongestion` — against the fully
+//! unfused pipeline: `generate_warp_into`, per-lane
+//! [`MatrixMapping::address`] arithmetic, and the sort-free
+//! [`BankLoads::analyze`] reference count.
+//!
+//! Each seed decodes one `(width, scheme, pattern)` instance with
+//! `width ≤ 64` (the fused path's domain, including the SWAR word
+//! boundaries 63 and 64), composes the lookup table once, and then walks
+//! **every** warp of one trial through both paths with identically seeded
+//! random streams. Any per-warp disagreement — value or random-stream
+//! drift — is a divergence.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::pattern::splitmix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_access::matrix::{self, MatrixPattern};
+use rap_access::AccessScratch;
+use rap_core::{BankLoads, MatrixMapping, RowShift, Scheme};
+
+/// Widths the fused kernel serves (its `w ≤ 64` precondition), with the
+/// 64-bit mask boundaries 63/64 explicitly present.
+const FUSED_WIDTHS: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64];
+
+/// The five matrix pattern families of the paper's Table II plus
+/// broadcast.
+const PATTERNS: [MatrixPattern; 5] = [
+    MatrixPattern::Contiguous,
+    MatrixPattern::Stride,
+    MatrixPattern::Diagonal,
+    MatrixPattern::Random,
+    MatrixPattern::Broadcast,
+];
+
+/// Pairs [`matrix::trial_congestions_fused`] (and through it
+/// [`matrix::warp_congestion_fused`]) with the unfused
+/// generate → address → analyze pipeline across all warps of a trial.
+#[derive(Debug, Default)]
+pub struct FusedKernelOracle {
+    warp_buf: Vec<matrix::Coord>,
+    addr_buf: Vec<u64>,
+}
+
+impl Oracle for FusedKernelOracle {
+    fn name(&self) -> &'static str {
+        "congestion:fused-vs-unfused"
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let mut rng = SmallRng::seed_from_u64(splitmix64(seed ^ 0x5f3d_a2c1_8b47_e690));
+        let width = FUSED_WIDTHS[rng.gen_range(0..FUSED_WIDTHS.len())];
+        let scheme = Scheme::all()[rng.gen_range(0..Scheme::all().len())];
+        let pattern = PATTERNS[rng.gen_range(0..PATTERNS.len())];
+        let mapping = RowShift::of_scheme(scheme, &mut rng, width);
+
+        let mut scratch = AccessScratch::default();
+        assert!(
+            scratch.compose(&mapping),
+            "width {width} is within the fused path's domain"
+        );
+
+        // Twin random streams: the fused path must consume randomness
+        // exactly like the unfused generator, warp by warp.
+        let stream_seed = rng.gen::<u64>();
+        let mut rng_fused = SmallRng::seed_from_u64(stream_seed);
+        let mut rng_unfused = SmallRng::seed_from_u64(stream_seed);
+
+        let mut fused = Vec::with_capacity(width);
+        matrix::trial_congestions_fused(pattern, width, &mut rng_fused, &mut scratch, |c| {
+            fused.push(c);
+        });
+
+        for warp in 0..width as u32 {
+            matrix::generate_warp_into(pattern, width, warp, &mut rng_unfused, &mut self.warp_buf);
+            self.addr_buf.clear();
+            self.addr_buf.extend(
+                self.warp_buf
+                    .iter()
+                    .map(|&(i, j)| u64::from(mapping.address(i, j))),
+            );
+            let expected = BankLoads::analyze(width, &self.addr_buf).congestion();
+            let actual = fused[warp as usize];
+            if expected != actual {
+                return Err(Divergence::new(
+                    self.name(),
+                    seed,
+                    format!(
+                        "scheme={scheme} width={width} pattern={} warp={warp}",
+                        pattern.name()
+                    ),
+                    expected.to_string(),
+                    actual.to_string(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::case_seed;
+
+    #[test]
+    fn fused_oracle_passes_a_sample() {
+        let mut oracle = FusedKernelOracle::default();
+        for i in 0..200 {
+            let s = case_seed(11, oracle.name(), i);
+            assert!(oracle.check(s).is_ok(), "seed {s:#x}");
+        }
+    }
+
+    #[test]
+    fn fused_oracle_is_deterministic_in_the_seed() {
+        let mut a = FusedKernelOracle::default();
+        let mut b = FusedKernelOracle::default();
+        for i in 0..32 {
+            let s = case_seed(5, "congestion:fused-vs-unfused", i);
+            assert_eq!(a.check(s).is_ok(), b.check(s).is_ok());
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! the same base seed serialize identically, which is itself asserted by
 //! the determinism test.
 
+use crate::fused_oracle::FusedKernelOracle;
 use crate::kernels::{AnalyzePath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath};
 use crate::machine::{DmmTimingOracle, UmmRowsOracle};
 use crate::mapping_oracle::MappingAlgebraOracle;
@@ -100,7 +101,7 @@ impl Harness {
         self
     }
 
-    /// The standard bounded suite wired into `cargo test`: all ten
+    /// The standard bounded suite wired into `cargo test`: all eleven
     /// oracle pairs, budgeted to just over 10 000 cases in well under a
     /// minute.
     #[must_use]
@@ -139,6 +140,7 @@ impl Harness {
             )),
             1850 * m,
         );
+        h.push(Box::new(FusedKernelOracle::default()), 700 * m);
         h.push(Box::new(DmmTimingOracle), 700 * m);
         h.push(Box::new(UmmRowsOracle), 700 * m);
         h.push(Box::new(MappingAlgebraOracle), 700 * m);

@@ -14,9 +14,11 @@
 //! * [`mod@reference`] — the naive references;
 //! * [`oracle`] — the [`Oracle`] trait and the [`Divergence`] record;
 //! * [`shrink`] — greedy minimization of failing cases;
-//! * concrete oracles in [`kernels`], [`machine`], [`mapping_oracle`],
-//!   [`transpose_oracle`], [`schedule_oracle`], and [`prover_oracle`]
-//!   (the static prover of `rap-analyze` vs the simulated bank loads);
+//! * concrete oracles in [`kernels`], [`fused_oracle`] (the bit-parallel
+//!   fused permute-shift kernel vs the unfused pipeline), [`machine`],
+//!   [`mapping_oracle`], [`transpose_oracle`], [`schedule_oracle`], and
+//!   [`prover_oracle`] (the static prover of `rap-analyze` vs the
+//!   simulated bank loads);
 //! * [`mutation`] — deliberately broken kernels proving the harness has
 //!   teeth;
 //! * [`harness`] — the driver producing a serializable
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fused_oracle;
 pub mod harness;
 pub mod kernels;
 pub mod machine;
@@ -46,6 +49,7 @@ pub mod schedule_oracle;
 pub mod shrink;
 pub mod transpose_oracle;
 
+pub use fused_oracle::FusedKernelOracle;
 pub use harness::{ConformanceReport, Harness, IsolatedRun, IsolationPolicy, OracleRun};
 pub use kernels::{
     AnalyzePath, CongestionPath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath,

@@ -23,10 +23,11 @@ pub type Coord = (u32, u32);
 
 /// The widths every oracle sweeps: all of `1..=32` (the paper's warp
 /// sizes and everything below), plus the fast-path boundary widths
-/// 33/64/127/128/129 and the wide fallback 256.
+/// 33/63/64/65/127/128/129 (63/64/65 bracket the bit-parallel kernel's
+/// 64-bit mask words) and the wide fallback 256.
 pub const WIDTH_LADDER: &[usize] = &[
     1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26,
-    27, 28, 29, 30, 31, 32, 33, 64, 127, 128, 129, 256,
+    27, 28, 29, 30, 31, 32, 33, 63, 64, 65, 127, 128, 129, 256,
 ];
 
 /// SplitMix64 — the seed diffuser behind every decode (public so repro

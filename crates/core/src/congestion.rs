@@ -58,6 +58,41 @@ impl BankLoads {
         }
     }
 
+    /// [`BankLoads::analyze`] through the bit-parallel kernel: for
+    /// `width ≤ 64` and at most 64 lanes the per-bank loads are counted in
+    /// packed SWAR byte counters and expanded at the end, skipping the
+    /// sort entirely; everything else falls back to [`BankLoads::analyze`].
+    /// Results are bit-identical to `analyze` on every input — the unit
+    /// and conformance tests pin this.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn analyze_fast(width: usize, addresses: &[u64]) -> Self {
+        assert!(width > 0, "machine width must be positive");
+        if width > SWAR_BANKS || addresses.len() > SWAR_LANES {
+            return Self::analyze(width, addresses);
+        }
+        let mut swar = SwarCounters::new(width);
+        let mut uniq = [0u64; SWAR_LANES];
+        let mut n = 0usize;
+        'warp: for &a in addresses {
+            for &k in &uniq[..n] {
+                if k == a {
+                    continue 'warp;
+                }
+            }
+            uniq[n] = a;
+            n += 1;
+            swar.count(a);
+        }
+        Self {
+            width,
+            unique_requests: n,
+            loads: (0..width as u32).map(|b| swar.load(b)).collect(),
+        }
+    }
+
     /// The congestion: maximum unique-request count over banks (0 for an
     /// empty access).
     #[must_use]
@@ -105,27 +140,114 @@ impl BankLoads {
     }
 }
 
-/// Reusable scratch for the congestion kernel: a sort/dedup buffer plus
-/// per-bank unique-request counts.
-///
-/// [`BankLoads::analyze`] allocates two fresh `Vec`s per warp; in a
-/// Monte-Carlo sweep that is millions of allocations doing no useful work.
-/// Holding one `CongestionScratch` per worker amortizes the buffers to a
-/// single high-water-mark allocation, and warps with `width ≤ 128` bypass
-/// the heap entirely through a fixed stack hash set (128 slots for ≤ 64
-/// lanes, 256 up to 128) with a `u128` bank-occupancy bitmask.
-///
-/// All paths compute the exact same metric as [`BankLoads::analyze`]
-/// (sort, CRCW-merge duplicates, max unique-per-bank count) — the unit and
-/// property tests assert bit-identical results.
-#[derive(Debug, Clone, Default)]
-pub struct CongestionScratch {
-    sorted: Vec<u64>,
-    counts: Vec<u32>,
+/// Bank capacity of the bit-parallel fast path: 64 packed `u8` counters.
+const SWAR_BANKS: usize = 64;
+
+/// Lane capacity of the bit-parallel fast path. At most 64 unique
+/// addresses are counted, so every packed counter stays within `u8`.
+const SWAR_LANES: usize = 64;
+
+/// Packed per-bank unique-request counters: 8 `u8` counters per `u64`
+/// word, `[u64; 8]` covering the 64 banks of the SWAR fast path. An
+/// increment is one shifted add into the bank's byte; the running maximum
+/// re-extracts the just-incremented byte with the same shift, so the
+/// whole update is branch-free.
+#[derive(Debug, Clone)]
+struct SwarCounters {
+    cells: [u64; 8],
+    max: u64,
+    wd: u64,
+    /// Bank mask, valid only when `pow2`.
+    mask: u64,
+    pow2: bool,
 }
 
-/// Dedup + count in fixed stack buffers, tracking bank occupancy in an
-/// integer bitmask.
+impl SwarCounters {
+    #[inline]
+    fn new(width: usize) -> Self {
+        debug_assert!((1..=SWAR_BANKS).contains(&width));
+        let wd = width as u64;
+        Self {
+            cells: [0u64; 8],
+            max: 0,
+            wd,
+            mask: wd - 1,
+            pow2: wd.is_power_of_two(),
+        }
+    }
+
+    /// Bank of `a` — the power-of-two test is hoisted into `new` so every
+    /// width the paper evaluates replaces the `u64` division with an AND.
+    #[inline]
+    fn bank_of(&self, a: u64) -> u32 {
+        if self.pow2 {
+            (a & self.mask) as u32
+        } else {
+            (a % self.wd) as u32
+        }
+    }
+
+    /// Count one unique request to `bank`.
+    #[inline]
+    fn bump(&mut self, bank: u32) {
+        debug_assert!((bank as usize) < SWAR_BANKS);
+        let shift = (bank & 7) * 8;
+        let cell = &mut self.cells[(bank >> 3) as usize];
+        *cell += 1u64 << shift;
+        self.max = self.max.max((*cell >> shift) & 0xFF);
+    }
+
+    /// Count one unique request at address `a`.
+    #[inline]
+    fn count(&mut self, a: u64) {
+        self.bump(self.bank_of(a));
+    }
+
+    /// Unique-request count of `bank`.
+    #[inline]
+    fn load(&self, bank: u32) -> u32 {
+        ((self.cells[(bank >> 3) as usize] >> ((bank & 7) * 8)) & 0xFF) as u32
+    }
+
+    /// The running maximum over all banks.
+    #[inline]
+    fn max(&self) -> u32 {
+        self.max as u32
+    }
+}
+
+/// The bit-parallel congestion kernel for `width ≤ 64` and at most 64
+/// lanes.
+///
+/// CRCW merging is a branch-light linear scan over the unique addresses
+/// seen so far (keyed `u64` comparisons over a stack array — for warp
+/// sizes the comparison loop vectorizes and beats a hash probe chain's
+/// multiply + dependent load + branches), and per-bank counts live in
+/// packed SWAR byte counters ([`SwarCounters`]) instead of a 128-entry
+/// `u8` array with a `u128` occupancy bitmask. `O(n²)` comparisons in the
+/// worst case, but with `n ≤ 64` the constant is far below the branchy
+/// alternatives, there is no allocation, and the input is untouched.
+#[inline]
+fn congestion_swar(width: usize, addresses: &[u64]) -> u32 {
+    debug_assert!(width <= SWAR_BANKS && addresses.len() <= SWAR_LANES);
+    let mut swar = SwarCounters::new(width);
+    let mut uniq = [0u64; SWAR_LANES];
+    let mut n = 0usize;
+    'warp: for &a in addresses {
+        for &k in &uniq[..n] {
+            if k == a {
+                continue 'warp; // CRCW merge: duplicate address counts once
+            }
+        }
+        uniq[n] = a;
+        n += 1;
+        swar.count(a);
+    }
+    swar.max()
+}
+
+/// Dedup + count in fixed stack buffers for the 65..=128 band, tracking
+/// bank occupancy in an integer bitmask.
 ///
 /// CRCW merging is done without sorting: each address is inserted into a
 /// `TABLE`-slot open-addressing set on the stack (Fibonacci hash, linear
@@ -133,10 +255,7 @@ pub struct CongestionScratch {
 /// `TABLE ≥ 2 · len` the expected probe count per insert is ~1, so the
 /// whole kernel is `O(n)` with no allocation and the input untouched —
 /// unlike the sort-based [`BankLoads::analyze`]. Slot occupancy lives in
-/// a packed bitmask (`used`), bank occupancy in `occupied`; the
-/// power-of-two test for the bank computation is hoisted so every width
-/// the paper evaluates (16..256) replaces the per-address `u64` division
-/// with an AND.
+/// a packed bitmask (`used`), bank occupancy in `occupied`.
 #[inline]
 fn congestion_fixed<const TABLE: usize>(width: usize, addresses: &[u64]) -> u32 {
     const {
@@ -184,14 +303,39 @@ fn congestion_fixed<const TABLE: usize>(width: usize, addresses: &[u64]) -> u32 
     u32::from(max)
 }
 
+/// The allocation-free fast paths, wired in exactly once: the SWAR kernel
+/// for `width ≤ 64` with ≤ 64 lanes, the stack hash set for the 65..=128
+/// band, `None` when only a heap path can serve. Both the free
+/// [`congestion`] and [`CongestionScratch::congestion`] dispatch through
+/// here (previously each carried its own copy of the if-chain).
 #[inline]
-fn congestion_fixed64(width: usize, addresses: &[u64]) -> u32 {
-    congestion_fixed::<128>(width, addresses)
+fn congestion_small(width: usize, addresses: &[u64]) -> Option<u32> {
+    if width <= SWAR_BANKS && addresses.len() <= SWAR_LANES {
+        Some(congestion_swar(width, addresses))
+    } else if width <= 128 && addresses.len() <= 128 {
+        Some(congestion_fixed::<256>(width, addresses))
+    } else {
+        None
+    }
 }
 
-#[inline]
-fn congestion_fixed128(width: usize, addresses: &[u64]) -> u32 {
-    congestion_fixed::<256>(width, addresses)
+/// Reusable scratch for the congestion kernel: a sort/dedup buffer plus
+/// per-bank unique-request counts.
+///
+/// [`BankLoads::analyze`] allocates two fresh `Vec`s per warp; in a
+/// Monte-Carlo sweep that is millions of allocations doing no useful work.
+/// Holding one `CongestionScratch` per worker amortizes the buffers to a
+/// single high-water-mark allocation, and warps with `width ≤ 128` bypass
+/// the heap entirely — `width ≤ 64` through the bit-parallel SWAR kernel,
+/// 65..=128 through a fixed stack hash set.
+///
+/// All paths compute the exact same metric as [`BankLoads::analyze`]
+/// (sort, CRCW-merge duplicates, max unique-per-bank count) — the unit,
+/// property, and conformance tests assert bit-identical results.
+#[derive(Debug, Clone, Default)]
+pub struct CongestionScratch {
+    sorted: Vec<u64>,
+    counts: Vec<u32>,
 }
 
 impl CongestionScratch {
@@ -210,13 +354,8 @@ impl CongestionScratch {
     #[must_use]
     pub fn congestion(&mut self, width: usize, addresses: &[u64]) -> u32 {
         assert!(width > 0, "machine width must be positive");
-        if width <= 64 && addresses.len() <= 64 {
-            congestion_fixed64(width, addresses)
-        } else if width <= 128 && addresses.len() <= 128 {
-            congestion_fixed128(width, addresses)
-        } else {
-            self.congestion_general(width, addresses)
-        }
+        congestion_small(width, addresses)
+            .unwrap_or_else(|| self.congestion_general(width, addresses))
     }
 
     /// Heap-buffer path for wide machines or oversized address lists; the
@@ -238,6 +377,71 @@ impl CongestionScratch {
     }
 }
 
+/// One warp's congestion accumulated bit-parallel: a `u64` bitmask per
+/// bank, one bit per *tag*, where the caller guarantees that two lanes
+/// refer to the same address **iff** they share the `(tag, bank)` pair.
+/// Congestion is then the maximum `popcount` over the per-bank masks —
+/// dedup and counting collapse into a single `OR` per lane.
+///
+/// The permute-shift matrix mapping fits this exactly: lane `(i, j)`
+/// lands in bank `rot_i(j)` at address `i·w + rot_i(j)`, so within one
+/// bank the row index `i` (< `w` ≤ 64) identifies the address — pass
+/// `tag = i`. Any injective mapping with a ≤ 64-valued per-bank
+/// discriminator works the same way.
+///
+/// Lives entirely on the stack (512 B of masks), so there is nothing to
+/// reuse across warps — build one per warp with [`CompactCongestion::new`].
+#[derive(Debug, Clone)]
+pub struct CompactCongestion {
+    masks: [u64; SWAR_BANKS],
+    width: u32,
+}
+
+impl CompactCongestion {
+    /// Start a warp accumulation for a `width`-bank machine.
+    ///
+    /// # Panics
+    /// Panics if `width == 0` or `width > 64` (the compact path exists
+    /// only for the bit-parallel bank range).
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "machine width must be positive");
+        assert!(
+            width <= SWAR_BANKS,
+            "compact path requires width ≤ {SWAR_BANKS}, got {width}"
+        );
+        Self {
+            masks: [0; SWAR_BANKS],
+            width: width as u32,
+        }
+    }
+
+    /// Count one lane: `bank` is the bank it lands in and `tag` (< 64)
+    /// discriminates addresses within that bank. Branch-free — one `OR`;
+    /// a duplicate `(tag, bank)` pair sets an already-set bit.
+    ///
+    /// Out-of-range inputs are a contract violation (debug-asserted);
+    /// in release builds they wrap into the valid range rather than
+    /// reading out of bounds.
+    #[inline]
+    pub fn lane(&mut self, tag: u32, bank: u32) {
+        debug_assert!(tag < SWAR_BANKS as u32, "tag {tag} out of range");
+        debug_assert!(bank < self.width, "bank {bank} out of range");
+        self.masks[(bank & 63) as usize] |= 1u64 << (tag & 63);
+    }
+
+    /// The congestion of the lanes seen so far (0 if none).
+    #[inline]
+    #[must_use]
+    pub fn finish(self) -> u32 {
+        self.masks[..self.width as usize]
+            .iter()
+            .map(|m| m.count_ones())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Congestion of one warp access (stack/scratch-free convenience; takes
 /// the same fast paths as [`CongestionScratch::congestion`]).
 ///
@@ -249,13 +453,8 @@ impl CongestionScratch {
 #[must_use]
 pub fn congestion(width: usize, addresses: &[u64]) -> u32 {
     assert!(width > 0, "machine width must be positive");
-    if width <= 64 && addresses.len() <= 64 {
-        congestion_fixed64(width, addresses)
-    } else if width <= 128 && addresses.len() <= 128 {
-        congestion_fixed128(width, addresses)
-    } else {
-        BankLoads::analyze(width, addresses).congestion()
-    }
+    congestion_small(width, addresses)
+        .unwrap_or_else(|| BankLoads::analyze(width, addresses).congestion())
 }
 
 /// Whether a warp access is conflict-free.
@@ -399,6 +598,161 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// SWAR boundary widths: 63 (odd, last SWAR width minus one), 64 (the
+    /// last SWAR width, power of two), 65 (first width past the packed
+    /// counters). Every lane count around the 64-lane capacity is swept,
+    /// adversarial inputs included (all-same-bank, all-duplicates, and a
+    /// max-density mix), against the allocating reference.
+    #[test]
+    fn swar_boundaries_match_analyze() {
+        let mut scratch = CongestionScratch::new();
+        for width in [63usize, 64, 65] {
+            for n in [0usize, 1, 62, 63, 64, 65, 66] {
+                let w = width as u64;
+                let cases: [Vec<u64>; 4] = [
+                    // one bank, all unique: congestion = n
+                    (0..n as u64).map(|i| i * w).collect(),
+                    // all lanes one address: congestion ≤ 1
+                    vec![7 * w + 3; n],
+                    // half duplicates, half same-bank uniques
+                    (0..n as u64)
+                        .map(|i| if i % 2 == 0 { w + 1 } else { i * w })
+                        .collect(),
+                    // pseudo-random with cross-bank spread
+                    (0..n as u64)
+                        .map(|i| (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) % (5 * w))
+                        .collect(),
+                ];
+                for (ci, addrs) in cases.iter().enumerate() {
+                    let reference = BankLoads::analyze(width, addrs).congestion();
+                    assert_eq!(
+                        congestion(width, addrs),
+                        reference,
+                        "free fn, width={width} n={n} case={ci}"
+                    );
+                    assert_eq!(
+                        scratch.congestion(width, addrs),
+                        reference,
+                        "scratch, width={width} n={n} case={ci}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A packed byte counter must hold the worst case: 64 unique
+    /// addresses all in one bank (count 64 < 256, no carry into the
+    /// neighbouring counter byte).
+    #[test]
+    fn swar_counter_never_carries_into_neighbour_bank() {
+        for width in [63usize, 64] {
+            let w = width as u64;
+            // 64 unique addresses in bank 8 (cell 1, byte 0) and one in
+            // bank 9 (cell 1, byte 1): a carry from byte 0 would corrupt
+            // bank 9's count.
+            let mut addrs: Vec<u64> = (0..63).map(|i| 8 + i * w).collect();
+            addrs.push(9);
+            let b = BankLoads::analyze_fast(width, &addrs);
+            assert_eq!(b.load(8), 63);
+            assert_eq!(b.load(9), 1);
+            assert_eq!(b.congestion(), 63);
+        }
+    }
+
+    #[test]
+    fn analyze_fast_is_bit_identical_to_analyze() {
+        for width in [1usize, 2, 31, 32, 33, 63, 64, 65, 127, 128, 129, 200] {
+            for n in [0usize, 1, 2, 63, 64, 65, 100] {
+                let addrs: Vec<u64> = (0..n)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40;
+                        x % (3 * width as u64 + 7)
+                    })
+                    .collect();
+                assert_eq!(
+                    BankLoads::analyze_fast(width, &addrs),
+                    BankLoads::analyze(width, &addrs),
+                    "width={width}, n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn analyze_fast_zero_width_rejected() {
+        let _ = BankLoads::analyze_fast(0, &[1]);
+    }
+
+    /// The compact bitmask path must agree with the address-space kernels
+    /// on every width it serves, for many adversarial warps. Each lane is
+    /// a synthetic `(tag, bank)` pair encoding address `tag·w + bank`
+    /// (injective, and `bank_of` recovers `bank`), which is exactly the
+    /// contract the fused matrix evaluator relies on.
+    #[test]
+    fn compact_path_matches_analyze_across_many_warps() {
+        for width in [1usize, 2, 31, 32, 33, 63, 64] {
+            let w = width as u64;
+            for warp in 0..200u64 {
+                let lanes: Vec<(u32, u32)> = (0..width as u64)
+                    .map(|t| {
+                        let x = splitmix_like(warp * 131 + t * 7 + width as u64);
+                        (((x >> 32) % w) as u32, (x % w) as u32)
+                    })
+                    .collect();
+                let addrs: Vec<u64> = lanes
+                    .iter()
+                    .map(|&(tag, bank)| u64::from(tag) * w + u64::from(bank))
+                    .collect();
+                let reference = BankLoads::analyze(width, &addrs).congestion();
+                let mut cc = CompactCongestion::new(width);
+                for &(tag, bank) in &lanes {
+                    cc.lane(tag, bank);
+                }
+                assert_eq!(cc.finish(), reference, "width={width}, warp={warp}");
+            }
+        }
+    }
+
+    /// Duplicate `(tag, bank)` pairs merge (CRCW semantics), an empty
+    /// warp reports 0, and consecutive accumulations are independent.
+    #[test]
+    fn compact_path_merges_duplicates_and_isolates_warps() {
+        assert_eq!(CompactCongestion::new(8).finish(), 0);
+        let mut cc = CompactCongestion::new(8);
+        for _ in 0..64 {
+            cc.lane(5, 3);
+        }
+        assert_eq!(cc.finish(), 1, "one address hit 64 times is congestion 1");
+        // A fully-loaded warp, then a fresh accumulator: no leakage.
+        let mut cc = CompactCongestion::new(4);
+        for tag in 0..4u32 {
+            cc.lane(tag, 2);
+        }
+        assert_eq!(cc.finish(), 4);
+        let mut cc = CompactCongestion::new(4);
+        cc.lane(0, 2);
+        assert_eq!(cc.finish(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn compact_zero_width_rejected() {
+        let _ = CompactCongestion::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width ≤ 64")]
+    fn compact_wide_width_rejected() {
+        let _ = CompactCongestion::new(65);
+    }
+
+    fn splitmix_like(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^ (z >> 31)
     }
 
     #[test]

@@ -63,9 +63,9 @@ pub mod packed;
 pub mod permutation;
 pub mod theory;
 
-pub use congestion::{bank_of, BankLoads};
+pub use congestion::{bank_of, BankLoads, CompactCongestion, CongestionScratch};
 pub use error::CoreError;
-pub use mapping::{MatrixMapping, RowShift, Scheme};
+pub use mapping::{ComposedRowShift, MatrixMapping, RowShift, Scheme};
 pub use modern::{build_mapping, Padded, XorSwizzle};
 pub use multidim::{Mapping4d, Scheme4d};
 pub use nd::{MappingNd, SchemeNd};

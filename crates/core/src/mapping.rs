@@ -260,6 +260,111 @@ impl MatrixMapping for RowShift {
     }
 }
 
+/// A [`RowShift`] mapping with the permutation/shift composition
+/// precomputed into one dense `w²`-entry lookup table, for `w ≤ 64`.
+///
+/// `rot[i·w + j] = (j + shift[i]) mod w` is the rotated physical column of
+/// logical element `(i, j)`; since the row base `i·w` is a multiple of
+/// `w`, that single byte is simultaneously the **bank** of the element and
+/// the low part of its address (`address = i·w + rot`). A Monte-Carlo
+/// inner loop therefore does one table read per lane instead of the
+/// mul/mod/permute arithmetic of [`RowShift::address`] — the per-lane
+/// hardware division is gone, and the table itself is built row-wise from
+/// two wrap segments with **no** per-element `mod`.
+///
+/// The table is rebuilt per trial (mappings are redrawn every trial) but
+/// its allocation is cached across trials via [`ComposedRowShift::compose`]
+/// on a persistent value — `rap-access`'s `AccessScratch` holds one per
+/// worker.
+#[derive(Debug, Clone, Default)]
+pub struct ComposedRowShift {
+    width: u32,
+    rot: Vec<u8>,
+}
+
+impl ComposedRowShift {
+    /// Widest mapping the composed table serves — matched to the SWAR
+    /// congestion kernel's 64-bank capacity so a rotated column always
+    /// fits a byte and the compact-key dedup stays in range.
+    pub const MAX_WIDTH: usize = 64;
+
+    /// An empty table; [`ComposedRowShift::compose`] fills it.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recompute the table for `mapping`, reusing the existing
+    /// allocation. Returns `false` (leaving the table unusable) when
+    /// `mapping.width() > MAX_WIDTH` — callers fall back to the unfused
+    /// per-address arithmetic.
+    pub fn compose(&mut self, mapping: &RowShift) -> bool {
+        let w = mapping.width();
+        if w == 0 || w > Self::MAX_WIDTH {
+            self.width = 0;
+            return false;
+        }
+        // The identity row 0, 1, …, 63; every rotated row is two
+        // contiguous slices of it, so composition is 2w small memcpys.
+        const IOTA: [u8; ComposedRowShift::MAX_WIDTH] = {
+            let mut a = [0u8; ComposedRowShift::MAX_WIDTH];
+            let mut k = 0;
+            while k < a.len() {
+                a[k] = k as u8;
+                k += 1;
+            }
+            a
+        };
+        self.width = w as u32;
+        self.rot.resize(w * w, 0);
+        for (i, row) in self.rot.chunks_exact_mut(w).enumerate() {
+            // Row i's rotated columns are s, s+1, …, w−1, 0, 1, …, s−1:
+            // two contiguous wrap segments, no per-element mod.
+            let s = mapping.shift_of_row(i as u32) as usize % w;
+            row[..w - s].copy_from_slice(&IOTA[s..w]);
+            row[w - s..].copy_from_slice(&IOTA[..s]);
+        }
+        true
+    }
+
+    /// Matrix dimension of the composed mapping (0 when unusable).
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Whether the table currently holds a composed mapping.
+    #[inline]
+    #[must_use]
+    pub fn is_composed(&self) -> bool {
+        self.width > 0
+    }
+
+    /// Bank of the element with compact logical index `idx = i·w + j` —
+    /// one byte read.
+    ///
+    /// # Panics
+    /// Panics if `idx ≥ w²` (via the slice index).
+    #[inline]
+    #[must_use]
+    pub fn bank_of_index(&self, idx: u32) -> u32 {
+        u32::from(self.rot[idx as usize])
+    }
+
+    /// Physical flat address of the element with compact logical index
+    /// `idx = i·w + j`: the row base plus the composed rotation.
+    ///
+    /// # Panics
+    /// Panics if `idx ≥ w²` (via the slice index).
+    #[inline]
+    #[must_use]
+    pub fn address_of_index(&self, idx: u32) -> u32 {
+        let w = self.width;
+        (idx / w) * w + u32::from(self.rot[idx as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +520,56 @@ mod tests {
     #[test]
     fn default_storage_is_square() {
         assert_eq!(RowShift::raw(8).storage_words(), 64);
+    }
+
+    /// The composed table must reproduce `address`/`bank` exactly for
+    /// every scheme and width it serves, including the 63/64 boundary.
+    #[test]
+    fn composed_table_matches_unfused_arithmetic() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut composed = ComposedRowShift::new();
+        for scheme in Scheme::all() {
+            for w in [1usize, 2, 7, 16, 32, 33, 63, 64] {
+                let m = RowShift::of_scheme(scheme, &mut rng, w);
+                assert!(composed.compose(&m), "{scheme} w={w} must compose");
+                assert!(composed.is_composed());
+                assert_eq!(composed.width(), w as u32);
+                for i in 0..w as u32 {
+                    for j in 0..w as u32 {
+                        let idx = i * w as u32 + j;
+                        assert_eq!(
+                            composed.address_of_index(idx),
+                            m.address(i, j),
+                            "{scheme} w={w} ({i},{j}) address"
+                        );
+                        assert_eq!(
+                            composed.bank_of_index(idx),
+                            m.bank(i, j),
+                            "{scheme} w={w} ({i},{j}) bank"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composed_table_rejects_wide_mappings_and_recovers() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut composed = ComposedRowShift::new();
+        let wide = RowShift::rap(&mut rng, 65);
+        assert!(!composed.compose(&wide));
+        assert!(!composed.is_composed());
+        // The same value composes a servable mapping afterwards (the
+        // allocation is reused, stale bytes must not leak).
+        let narrow = RowShift::rap(&mut rng, 8);
+        assert!(composed.compose(&narrow));
+        for idx in 0..64u32 {
+            assert_eq!(
+                composed.address_of_index(idx),
+                narrow.address(idx / 8, idx % 8)
+            );
+        }
     }
 
     #[test]

@@ -223,17 +223,27 @@ impl Mapping4d {
     #[must_use]
     pub fn address(&self, d3: u32, d2: u32, d1: u32, d0: u32) -> u64 {
         let w = u64::from(self.width);
-        debug_assert!(d0 < self.width);
         let row_base = ((u64::from(d3) * w + u64::from(d2)) * w + u64::from(d1)) * w;
-        let rotated = (u64::from(d0) + u64::from(self.shift(d1, d2, d3))) % w;
-        row_base + rotated
+        row_base + u64::from(self.bank(d3, d2, d1, d0))
     }
 
     /// Bank of element `A[d3][d2][d1][d0]` — `(d0 + f(d1,d2,d3)) mod w`.
+    ///
+    /// Every shift function is bounded by `3(w−1)` (R1P/3P sum three
+    /// values `< w`; the rest stay below `2w`), so `d0 + f < 4w` and the
+    /// `mod` reduces to two branchless conditional subtractions instead
+    /// of a hardware division — this sits on the per-lane path of the
+    /// Table IV Monte-Carlo sweeps.
     #[inline]
     #[must_use]
     pub fn bank(&self, d3: u32, d2: u32, d1: u32, d0: u32) -> u32 {
-        (self.address(d3, d2, d1, d0) % u64::from(self.width)) as u32
+        let w = u64::from(self.width);
+        debug_assert!(d0 < self.width);
+        let mut r = u64::from(d0) + u64::from(self.shift(d1, d2, d3));
+        debug_assert!(r < 4 * w, "shift function exceeded its 3(w-1) bound");
+        r -= 2 * w * u64::from(r >= 2 * w);
+        r -= w * u64::from(r >= w);
+        r as u32
     }
 
     /// Number of stored random values (Table IV accounting).

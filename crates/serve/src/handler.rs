@@ -154,7 +154,7 @@ fn layout(scheme_str: &str, width: usize, seed: u64) -> Outcome {
 }
 
 fn congestion(width: usize, addresses: &[u64]) -> Outcome {
-    let loads = BankLoads::analyze(width, addresses);
+    let loads = BankLoads::analyze_fast(width, addresses);
     Outcome::Ok(object(vec![
         ("width", Value::U64(width as u64)),
         ("congestion", Value::U64(u64::from(loads.congestion()))),

