@@ -18,6 +18,13 @@
 //! | `RAP-W002` | warning  | may conflict under an adversarial instantiation    |
 //! | `RAP-I001` | info     | proven conflict-free for every instantiation       |
 //! | `RAP-N001` | note     | data-dependent access — static bounds only         |
+//! | `RAP-S001` | warning  | a strictly better layout exists (synthesis beat the scheme's certified bound) |
+//! | `RAP-S002` | note     | even the synthesized optimum conflicts (workload is intrinsically congested) |
+//!
+//! The `RAP-S` rules are emitted by the synthesis subsystem
+//! (`rap-synthesize::lint`), which compares each plan's certified bound
+//! under a fixed scheme against a checked synthesis certificate; the
+//! rule IDs live here so the catalogue stays in one place.
 
 use crate::engine::{Analysis, Prover, Witness};
 use crate::ir::{AffineForm, AffineWarp, AnalyzeError, Axis};
@@ -38,6 +45,12 @@ pub const RULE_MAY_CONFLICT: &str = "RAP-W002";
 pub const RULE_CONFLICT_FREE: &str = "RAP-I001";
 /// Data-dependent access — only distribution-level bounds apply.
 pub const RULE_DATA_DEPENDENT: &str = "RAP-N001";
+/// A strictly better layout exists: the synthesized optimum beats the
+/// scheme's certified bound for this plan (emitted by rap-synthesize).
+pub const RULE_BETTER_LAYOUT_EXISTS: &str = "RAP-S001";
+/// Even the synthesized optimal layout conflicts — the workload is
+/// intrinsically congested (emitted by rap-synthesize).
+pub const RULE_INTRINSIC_CONGESTION: &str = "RAP-S002";
 
 /// Diagnostic severity, ordered from worst to mildest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]

@@ -9,7 +9,8 @@
 //! rap transpose --kind crsw --scheme rap [--width 32] [--latency 8]
 //! rap trace     --kind drdw --scheme raw [--width 8] [--latency 3]
 //! rap permute   --family transpose [--width 16] [--latency 8]
-//! rap analyze   --width 32 [--scheme rap|all] [--plans] [--json]
+//! rap analyze   --width 32 [--scheme rap|all] [--plans] [--access <specs>] [--json]
+//! rap synthesize --width 8 --workload <specs> [--mode sigma|table] [--emit cert.json]
 //! rap chaos     [--width 32] [--trials 256] [--fault panic|enospc|delay]
 //! rap serve     [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
 //! rap query     --addr <host:port> --json '<request>'
@@ -51,8 +52,19 @@ USAGE:
   rap permute    --family <identity|transpose|random|bitrev> [--width 16]
                  [--latency 8] [--seed <n>]
   rap analyze    --width <w> [--scheme <raw|ras|rap|xor|padded|all>]
-                 [--plans] [--json]   (static prover: certify Theorems 1
-                 and 2, optionally lint the declared access plans)
+                 [--plans] [--access <spec;spec;...>] [--json]
+                 (static prover: certify Theorems 1 and 2, optionally
+                 lint the declared plans and/or analyze an explicit
+                 plan batch — one bad plan fails the whole batch)
+  rap synthesize --width <w> --workload <spec;spec;...>
+                 [--mode <sigma|table>] [--seed <n>] [--emit <path>]
+                 [--lint <raw|ras|rap|xor|padded>] [--json]
+                 (search for the layout minimizing worst-case congestion
+                 over the workload; the result is accepted only after
+                 the independent certificate checker passes. Plan specs:
+                 contiguous:<row>  column:<col>  diagonal:<off>
+                 broadcast:<i>,<j>  flat:<stride>,<off>
+                 coord:<ic>,<io>,<jc>,<jo>)
   rap chaos      [--width 32] [--trials 256] [--seed <n>] [--rate 3]
                  [--fault <panic|enospc|delay>]   (inject faults into the
                  Monte-Carlo engine and verify the recovered estimate is
@@ -199,6 +211,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "trace" => cmd_trace(&opts),
         "permute" => cmd_permute(&opts),
         "analyze" => cmd_analyze(&opts),
+        "synthesize" => cmd_synthesize(&opts),
         "chaos" => cmd_chaos(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
@@ -509,7 +522,15 @@ struct AnalyzeOutput {
     width: usize,
     theorems: Vec<TheoremReport>,
     lint: Vec<LintReport>,
+    access: Vec<AccessOutput>,
     proven: bool,
+}
+
+/// One `--access` batch plan's verdict.
+#[derive(serde::Serialize)]
+struct AccessOutput {
+    plan: String,
+    analysis: rap_analyze::Analysis,
 }
 
 fn cmd_analyze(opts: &Opts) -> Result<String, String> {
@@ -530,12 +551,33 @@ fn cmd_analyze(opts: &Opts) -> Result<String, String> {
             lint.push(lint_plans(width, scheme).map_err(|e| e.to_string())?);
         }
     }
+    // `--access "<spec;spec>"`: analyze an explicit plan batch. Parsing
+    // and analysis are all-or-error — a malformed or out-of-domain plan
+    // anywhere fails the whole command with a contextual message (exit
+    // 1), it is never silently skipped.
+    let mut access = Vec::new();
+    if let Some(spec) = opts.map.get("access") {
+        let workload = rap_synthesize::parse_workload(spec, width)?;
+        let prover = rap_analyze::Prover::new(width).map_err(|e| e.to_string())?;
+        for &scheme in &lint_schemes {
+            for plan in &workload.plans {
+                let analysis = prover
+                    .analyze(&plan.warp, scheme)
+                    .map_err(|e| format!("plan `{}`: {e}", plan.name))?;
+                access.push(AccessOutput {
+                    plan: plan.name.clone(),
+                    analysis,
+                });
+            }
+        }
+    }
     let proven = theorems.iter().all(|t| t.proven);
     if opts.flag("json") {
         let out = AnalyzeOutput {
             width,
             theorems,
             lint,
+            access,
             proven,
         };
         return serde_json::to_string_pretty(&out).map_err(|e| e.to_string());
@@ -548,6 +590,71 @@ fn cmd_analyze(opts: &Opts) -> Result<String, String> {
     for report in &lint {
         out.push_str(&report.render());
         out.push('\n');
+    }
+    for a in &access {
+        out.push_str(&format!(
+            "access {:<24} under {}: congestion in [{}, {}] — {}\n",
+            a.plan, a.analysis.scheme, a.analysis.lo, a.analysis.hi, a.analysis.reason
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_synthesize(opts: &Opts) -> Result<String, String> {
+    use rap_synthesize::{
+        check_certificate, lint_against_optimum, parse_workload, synthesize, Mode,
+    };
+    let width = checked_width(opts, 8)?;
+    let spec = opts.required("workload")?;
+    let mode = Mode::parse(opts.map.get("mode").map_or("sigma", String::as_str))?;
+    let seed = opts.u64("seed", 2014)?;
+    let workload = parse_workload(spec, width)?;
+    let synth = synthesize(&workload, mode, seed)?;
+    let cert = &synth.certificate;
+    // Never trust the search: the result is only surfaced after the
+    // independent checker accepts its certificate.
+    check_certificate(cert)
+        .map_err(|e| format!("certificate REJECTED by the independent checker: {e}"))?;
+    let emit_path = opts.map.get("emit");
+    if let Some(path) = emit_path {
+        std::fs::write(path, cert.to_json()).map_err(|e| format!("--emit {path}: {e}"))?;
+    }
+    if opts.flag("json") {
+        return Ok(cert.to_json());
+    }
+    let mut out = format!(
+        "synthesized {} layout, w = {} via {} ({} candidate(s)/node(s) explored)\n\
+         certified objective {}{} — independent checker: ACCEPTED\n\
+         layout: {:?}\n",
+        cert.mode,
+        cert.width,
+        cert.method,
+        synth.explored,
+        cert.objective,
+        if cert.optimal { " (optimal)" } else { "" },
+        cert.layout,
+    );
+    for claim in &cert.claims {
+        out.push_str(&format!(
+            "  {:<24} congestion {} (hot bank {})\n",
+            claim.name, claim.bound, claim.witness.bank
+        ));
+    }
+    if let Some(path) = emit_path {
+        out.push_str(&format!("certificate written to {path}\n"));
+    }
+    if let Some(scheme_arg) = opts.map.get("lint") {
+        let scheme = parse_scheme(scheme_arg)?;
+        let cert_ref = emit_path.map_or("<in-memory certificate>", String::as_str);
+        let diags = lint_against_optimum(cert, scheme, cert_ref)?;
+        if diags.is_empty() {
+            out.push_str(&format!(
+                "lint vs {scheme}: no findings — the scheme already matches the synthesized bounds\n"
+            ));
+        }
+        for d in &diags {
+            out.push_str(&format!("{} | {} | {}\n", d.rule, d.plan, d.message));
+        }
     }
     Ok(out)
 }
@@ -754,6 +861,124 @@ mod tests {
     }
 
     #[test]
+    fn analyze_access_batch_reports_bounds() {
+        let out = call(&[
+            "analyze",
+            "--width",
+            "8",
+            "--access",
+            "column:0;contiguous:1;diagonal:2",
+        ])
+        .unwrap();
+        assert!(out.contains("access column:0"), "{out}");
+        assert!(out.contains("congestion in [1, 1]"), "{out}");
+        let json = call(&["analyze", "--width", "8", "--access", "column:0", "--json"]).unwrap();
+        assert!(json.contains("\"access\""), "{json}");
+        assert!(json.contains("column:0"), "{json}");
+    }
+
+    #[test]
+    fn analyze_access_bad_plan_fails_whole_batch() {
+        // A malformed plan inside a multi-plan batch is a contextual
+        // error (exit 1), never a silent skip.
+        let err = call(&[
+            "analyze",
+            "--width",
+            "8",
+            "--access",
+            "column:0;bogus:9;diagonal:1",
+        ])
+        .unwrap_err();
+        assert!(err.contains("plan 2 of 3"), "{err}");
+        assert!(err.contains("bogus"), "{err}");
+        // Same for an empty slot and an out-of-domain flat plan.
+        let err = call(&["analyze", "--width", "8", "--access", "column:0;;flat:2,0"]).unwrap_err();
+        assert!(err.contains("plan 2 of 3"), "{err}");
+        let err = call(&["analyze", "--width", "4", "--access", "flat:64,0"]).unwrap_err();
+        assert!(err.contains("flat:64,0"), "{err}");
+    }
+
+    #[test]
+    fn synthesize_finds_checked_optimum() {
+        let out = call(&[
+            "synthesize",
+            "--width",
+            "5",
+            "--workload",
+            "column:0;diagonal:1;contiguous:0",
+        ])
+        .unwrap();
+        assert!(out.contains("certified objective 1 (optimal)"), "{out}");
+        assert!(out.contains("ACCEPTED"), "{out}");
+        assert!(out.contains("exhaustive"), "{out}");
+    }
+
+    #[test]
+    fn synthesize_emits_json_certificate() {
+        let out = call(&[
+            "synthesize",
+            "--width",
+            "4",
+            "--workload",
+            "column:0",
+            "--json",
+        ])
+        .unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        assert!(out.contains("\"layout\""), "{out}");
+        let cert = rap_synthesize::Certificate::from_json(&out).unwrap();
+        rap_synthesize::check_certificate(&cert).unwrap();
+    }
+
+    #[test]
+    fn synthesize_lints_against_a_scheme() {
+        let out = call(&[
+            "synthesize",
+            "--width",
+            "5",
+            "--workload",
+            "column:0",
+            "--lint",
+            "raw",
+        ])
+        .unwrap();
+        assert!(out.contains("RAP-S001"), "{out}");
+        assert!(out.contains("strictly better layout"), "{out}");
+    }
+
+    #[test]
+    fn synthesize_validates_options() {
+        assert!(call(&["synthesize", "--width", "4"])
+            .unwrap_err()
+            .contains("--workload"));
+        assert!(call(&["synthesize", "--width", "4", "--workload", "zzz:1"])
+            .unwrap_err()
+            .contains("unknown plan family"));
+        assert!(call(&[
+            "synthesize",
+            "--width",
+            "4",
+            "--workload",
+            "column:0",
+            "--mode",
+            "zigzag"
+        ])
+        .unwrap_err()
+        .contains("unknown mode"));
+        assert!(call(&[
+            "synthesize",
+            "--width",
+            "4",
+            "--workload",
+            "column:0",
+            "--lint",
+            "zzz"
+        ])
+        .unwrap_err()
+        .contains("unknown scheme"));
+    }
+
+    #[test]
     fn flags_parse_in_any_position() {
         let out = call(&["analyze", "--plans", "--width", "4"]).unwrap();
         assert!(out.contains("RAP lint, w = 4"));
@@ -814,6 +1039,7 @@ mod tests {
             vec!["trace", "--kind", "crsw", "--scheme", "raw"],
             vec!["permute", "--family", "identity"],
             vec!["analyze"],
+            vec!["synthesize", "--workload", "column:0"],
             vec!["chaos"],
         ] {
             for bad in ["0", "4097", "99999999999"] {

@@ -28,6 +28,7 @@ const TOKENS: &[&str] = &[
     "trace",
     "permute",
     "analyze",
+    "synthesize",
     "chaos",
     "query",
     "help",
@@ -50,8 +51,29 @@ const TOKENS: &[&str] = &[
     "--gantt",
     "--addr",
     "--timeout-ms",
+    // (--emit is excluded: a sampled valid invocation would write a
+    // stray certificate file named after whatever token follows)
+    "--access",
+    "--workload",
+    "--mode",
+    "--lint",
     "--",
     "--=",
+    // mode values and plan-spec batches, valid and malformed (a bad
+    // plan inside a batch must be a contextual error, never a panic
+    // or a silent skip)
+    "sigma",
+    "table",
+    "zigzag",
+    "column:0",
+    "column:0;diagonal:1",
+    "column:0;bogus:9",
+    "column:0;;flat:2,0",
+    "broadcast:1",
+    "flat:99999999999999999999,1",
+    "coord:1,2,3",
+    ":",
+    ";;;",
     // scheme/pattern/kind/family/fault values, valid and not
     "raw",
     "ras",
@@ -112,21 +134,22 @@ proptest! {
     /// mixed argv).
     #[test]
     fn hostile_option_values_never_panic(
-        cmd in 0usize..8,
-        key in 0usize..8,
-        val in 0usize..12,
+        cmd in 0usize..9,
+        key in 0usize..10,
+        val in 0usize..15,
     ) {
         const CMDS: &[&str] = &[
             "layout", "congestion", "pattern", "transpose", "trace", "permute", "analyze",
-            "chaos",
+            "chaos", "synthesize",
         ];
         const KEYS: &[&str] = &[
             "--width", "--scheme", "--pattern", "--kind", "--addresses", "--trials",
-            "--seed", "--latency",
+            "--seed", "--latency", "--access", "--workload",
         ];
         const VALS: &[&str] = &[
             "0", "4097", "99999999999999999999999999", "-1", "abc", "", "zzz", "1,,2",
-            "0,x", "1.5", "raw", "8",
+            "0,x", "1.5", "raw", "8", "column:0;bogus:9", "column:0;;flat:2,0",
+            "flat:99999999999999999999,1",
         ];
         let argv: Vec<String> = vec![
             CMDS[cmd].to_string(),

@@ -13,6 +13,7 @@ use crate::oracle::{Divergence, Oracle};
 use crate::pattern::case_seed;
 use crate::prover_oracle::ProverOracle;
 use crate::schedule_oracle::ScheduleOracle;
+use crate::synth_oracle::SynthCertificateOracle;
 use crate::transpose_oracle::TransposeOracle;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -101,7 +102,7 @@ impl Harness {
         self
     }
 
-    /// The standard bounded suite wired into `cargo test`: all eleven
+    /// The standard bounded suite wired into `cargo test`: all twelve
     /// oracle pairs, budgeted to just over 10 000 cases in well under a
     /// minute.
     #[must_use]
@@ -147,6 +148,7 @@ impl Harness {
         h.push(Box::new(TransposeOracle), 400 * m);
         h.push(Box::new(ScheduleOracle), 300 * m);
         h.push(Box::new(ProverOracle), 500 * m);
+        h.push(Box::new(SynthCertificateOracle), 150 * m);
         h
     }
 

@@ -18,7 +18,9 @@
 //!   fused permute-shift kernel vs the unfused pipeline), [`machine`],
 //!   [`mapping_oracle`], [`transpose_oracle`], [`schedule_oracle`], and
 //!   [`prover_oracle`] (the static prover of `rap-analyze` vs the
-//!   simulated bank loads);
+//!   simulated bank loads), and [`synth_oracle`] (synthesis certificates
+//!   vs an oracle-local brute-force optimum plus checker rejection of
+//!   forgeries);
 //! * [`mutation`] — deliberately broken kernels proving the harness has
 //!   teeth;
 //! * [`harness`] — the driver producing a serializable
@@ -47,6 +49,7 @@ pub mod prover_oracle;
 pub mod reference;
 pub mod schedule_oracle;
 pub mod shrink;
+pub mod synth_oracle;
 pub mod transpose_oracle;
 
 pub use fused_oracle::FusedKernelOracle;
@@ -65,4 +68,5 @@ pub use reference::{
 };
 pub use schedule_oracle::ScheduleOracle;
 pub use shrink::shrink_case;
+pub use synth_oracle::SynthCertificateOracle;
 pub use transpose_oracle::TransposeOracle;

@@ -1,0 +1,269 @@
+//! Synthesis-certificate oracle: every certificate the layout search
+//! emits at exhaustively checkable widths must (a) be accepted by the
+//! independent checker, (b) claim exactly the true optimum — recomputed
+//! here by a third, oracle-local brute force that shares no code with
+//! either the search or the checker — and (c) become *rejectable*: a
+//! seed-chosen single-field corruption of the same certificate must be
+//! refused by the checker.
+//!
+//! The three computations are deliberately disjoint: the search uses
+//! incremental load vectors and matching-guided pruning, the checker
+//! re-derives bounds from the certificate text, and this oracle
+//! enumerates whole layouts recursively over plain cell lists. Agreement
+//! across all three for every seed is the conformance claim.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::pattern::splitmix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_synthesize::{check_certificate, synthesize, AccessPlan, Certificate, Mode, Workload};
+
+/// Differential oracle pitting the synthesis certificate against an
+/// oracle-local exhaustive optimum and the checker's rejection power.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SynthCertificateOracle;
+
+/// Widths where the oracle's own brute force stays instant: at most
+/// `5! = 120` permutations or `4^4 = 256` free tables per case.
+const SIGMA_WIDTHS: &[usize] = &[2, 3, 4, 5];
+const TABLE_WIDTHS: &[usize] = &[2, 3, 4];
+
+/// The workload and mode decoded from one seed.
+fn decode(seed: u64) -> (Mode, Workload) {
+    let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
+    let mode = if rng.gen_bool(0.5) {
+        Mode::Sigma
+    } else {
+        Mode::Table
+    };
+    let widths = match mode {
+        Mode::Sigma => SIGMA_WIDTHS,
+        Mode::Table => TABLE_WIDTHS,
+    };
+    let width = widths[rng.gen_range(0..widths.len())];
+    let w = width as u64;
+    let n_plans = rng.gen_range(1..=3usize);
+    let mut plans = Vec::with_capacity(n_plans);
+    for _ in 0..n_plans {
+        let warp = match rng.gen_range(0..5u32) {
+            0 => rap_analyze::AffineWarp::contiguous(rng.gen_range(0..w), width),
+            1 => rap_analyze::AffineWarp::column(rng.gen_range(0..w), width),
+            2 => rap_analyze::AffineWarp::diagonal(rng.gen_range(0..w), width),
+            3 => {
+                rap_analyze::AffineWarp::broadcast(rng.gen_range(0..w), rng.gen_range(0..w), width)
+            }
+            _ => {
+                let divisors: Vec<u64> = (1..=w).filter(|s| w.is_multiple_of(*s)).collect();
+                rap_analyze::AffineWarp::flat_stride(
+                    divisors[rng.gen_range(0..divisors.len())],
+                    0,
+                    width,
+                )
+            }
+        };
+        plans.push(AccessPlan {
+            name: format!("{warp}"),
+            warp,
+        });
+    }
+    (mode, Workload::new(width, plans))
+}
+
+/// The worst plan congestion of `cells` under one concrete shift table —
+/// plain counting with same-cell dedup, nothing shared with the search.
+fn layout_congestion(width: usize, cells: &[Vec<(u32, u32)>], table: &[u32]) -> u32 {
+    let mut worst = 0u32;
+    for plan in cells {
+        let mut uniq: Vec<(u32, u32)> = plan.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut loads = vec![0u32; width];
+        for &(i, j) in &uniq {
+            let bank = (j + table[i as usize]) as usize % width;
+            loads[bank] += 1;
+        }
+        worst = worst.max(loads.iter().copied().max().unwrap_or(0));
+    }
+    worst
+}
+
+/// The true optimum by whole-layout enumeration (recursive odometer over
+/// free tables; permutations are the tables that use each value once).
+fn oracle_optimum(width: usize, cells: &[Vec<(u32, u32)>], mode: Mode) -> u32 {
+    fn descend(
+        width: usize,
+        cells: &[Vec<(u32, u32)>],
+        mode: Mode,
+        table: &mut Vec<u32>,
+        used: &mut Vec<bool>,
+        best: &mut u32,
+    ) {
+        if table.len() == width {
+            *best = (*best).min(layout_congestion(width, cells, table));
+            return;
+        }
+        for v in 0..width as u32 {
+            if mode == Mode::Sigma {
+                if used[v as usize] {
+                    continue;
+                }
+                used[v as usize] = true;
+            }
+            table.push(v);
+            descend(width, cells, mode, table, used, best);
+            table.pop();
+            if mode == Mode::Sigma {
+                used[v as usize] = false;
+            }
+        }
+    }
+    let mut best = u32::MAX;
+    descend(
+        width,
+        cells,
+        mode,
+        &mut Vec::with_capacity(width),
+        &mut vec![false; width],
+        &mut best,
+    );
+    best
+}
+
+/// Corrupt one field of the certificate; every arm must be rejected.
+fn corrupt(cert: &mut Certificate, pick: u64) -> &'static str {
+    match pick % 6 {
+        0 => {
+            cert.version += 1;
+            "version"
+        }
+        1 => {
+            cert.mode = "zigzag".into();
+            "mode"
+        }
+        2 => {
+            cert.objective += 1;
+            "objective"
+        }
+        3 => {
+            cert.claims[0].bound += 1;
+            "claim bound"
+        }
+        4 => {
+            cert.layout.pop();
+            "layout shape"
+        }
+        _ => {
+            let lane = cert.claims[0].witness.lanes.first().copied().unwrap_or(0);
+            cert.claims[0].witness.lanes.push(lane);
+            "witness lanes"
+        }
+    }
+}
+
+impl Oracle for SynthCertificateOracle {
+    fn name(&self) -> &'static str {
+        "synthesize:certificate-vs-bruteforce"
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let (mode, workload) = decode(seed);
+        let case = format!(
+            "{mode} w={} [{}]",
+            workload.width,
+            workload
+                .plans
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+
+        let synthesis =
+            synthesize(&workload, mode, seed).expect("decoded workloads stay in-domain");
+        let cert = synthesis.certificate;
+
+        // (a) The independent checker must accept what the search emits.
+        if let Err(e) = check_certificate(&cert) {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                case,
+                "checker accepts the synthesized certificate".to_string(),
+                format!("checker rejected it: {e}"),
+            ));
+        }
+
+        // (b) Inside the exhaustive window the claimed objective must be
+        // the true optimum, and the search must say so.
+        let cells = workload.cells().expect("decoded warps stay in-domain");
+        let optimum = oracle_optimum(workload.width, &cells, mode);
+        if cert.objective != optimum || !cert.optimal {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                case,
+                format!("certified optimal objective {optimum}"),
+                format!(
+                    "certificate claims objective {} (optimal: {})",
+                    cert.objective, cert.optimal
+                ),
+            ));
+        }
+
+        // (c) A single-field corruption must flip the verdict.
+        let mut forged = cert;
+        let field = corrupt(&mut forged, splitmix64(seed ^ 0x5eed));
+        if check_certificate(&forged).is_ok() {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                case,
+                format!("checker rejects the certificate with a corrupted {field}"),
+                "checker accepted the forgery".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundreds_of_seeds_run_clean() {
+        let mut oracle = SynthCertificateOracle;
+        for seed in 0..300u64 {
+            oracle
+                .check(seed)
+                .expect("search, checker, and brute force agree");
+        }
+    }
+
+    #[test]
+    fn decode_is_deterministic_and_in_domain() {
+        for seed in 0..200u64 {
+            let (m1, w1) = decode(seed);
+            let (m2, w2) = decode(seed);
+            assert_eq!(
+                (m1, w1.width, w1.plans.len()),
+                (m2, w2.width, w2.plans.len())
+            );
+            assert!(w1.cells().is_ok(), "seed {seed} decodes in-domain");
+        }
+    }
+
+    #[test]
+    fn every_corruption_arm_is_rejected() {
+        let workload = Workload::mixed(4);
+        let base = synthesize(&workload, Mode::Sigma, 1).unwrap().certificate;
+        for pick in 0..6u64 {
+            let mut forged = base.clone();
+            let field = corrupt(&mut forged, pick);
+            assert!(
+                check_certificate(&forged).is_err(),
+                "corrupted {field} must be rejected"
+            );
+        }
+    }
+}

@@ -128,6 +128,12 @@ pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
             latency,
             seed,
         } => transpose(kind, scheme, *width, *latency, *seed),
+        Command::Synthesize {
+            workload,
+            mode,
+            width,
+            seed,
+        } => synthesize_layout(workload, mode, *width, *seed),
         // Inline commands never reach the worker pool.
         Command::Health | Command::Stats | Command::Shutdown => {
             Outcome::Failed(format!("command '{}' is served inline", cmd.name()))
@@ -304,6 +310,99 @@ fn transpose(kind_str: &str, scheme_str: &str, width: usize, latency: u64, seed:
         ("read_congestion", Value::F64(run.read_congestion())),
         ("write_congestion", Value::F64(run.write_congestion())),
         ("verified", Value::Bool(run.verified)),
+    ]))
+}
+
+fn synthesize_layout(workload_str: &str, mode_str: &str, width: usize, seed: u64) -> Outcome {
+    let mode = match rap_synthesize::Mode::parse(mode_str) {
+        Ok(m) => m,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    let workload = match rap_synthesize::parse_workload(workload_str, width) {
+        Ok(w) => w,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    let synthesis = match rap_synthesize::synthesize(&workload, mode, seed) {
+        Ok(s) => s,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    // Every certificate the service emits is gated by the independent
+    // checker; a rejection here is an internal invariant violation (the
+    // search produced a bad certificate), not a client error.
+    if let Err(e) = rap_synthesize::check_certificate(&synthesis.certificate) {
+        return Outcome::Failed(format!(
+            "synthesized certificate rejected by the independent checker: {e}"
+        ));
+    }
+    let cert = &synthesis.certificate;
+    Outcome::Ok(object(vec![
+        ("mode", Value::String(cert.mode.clone())),
+        ("width", Value::U64(cert.width as u64)),
+        ("method", Value::String(cert.method.clone())),
+        ("optimal", Value::Bool(cert.optimal)),
+        ("objective", Value::U64(u64::from(cert.objective))),
+        ("explored", Value::U64(synthesis.explored)),
+        ("checked", Value::Bool(true)),
+        ("certificate", cert.to_value()),
+        ("source", Value::String("synthesis".into())),
+    ]))
+}
+
+/// The analyzer-backed degraded path for `synthesize` requests: no layout
+/// search runs; instead the prover certifies the workload under every
+/// applicable *known* static scheme and the best (lowest worst-case
+/// congestion) envelope is served.
+///
+/// Runs **outside** the failpoint-instrumented handler path on purpose —
+/// the fallback must stay available precisely when handlers are failing.
+///
+/// # Errors
+/// A `bad_request`-worthy message for a malformed workload spec or a
+/// width the prover rejects.
+pub fn degraded_synthesize(workload_str: &str, width: usize) -> Result<Value, String> {
+    let workload = rap_synthesize::parse_workload(workload_str, width)?;
+    let prover = rap_analyze::Prover::new(width).map_err(|e| e.to_string())?;
+    let mut candidates = vec![Scheme::Padded, Scheme::Rap, Scheme::Ras, Scheme::Raw];
+    if width.is_power_of_two() {
+        candidates.push(Scheme::Xor);
+    }
+    let mut best: Option<(Scheme, u32, u32, Vec<Value>)> = None;
+    for scheme in candidates {
+        let mut hi = 0u32;
+        let mut lo = 0u32;
+        let mut plans = Vec::with_capacity(workload.plans.len());
+        for plan in &workload.plans {
+            let analysis = prover
+                .analyze(&plan.warp, scheme)
+                .map_err(|e| format!("plan `{}`: {e}", plan.name))?;
+            hi = hi.max(analysis.hi);
+            lo = lo.max(analysis.lo);
+            plans.push(object(vec![
+                ("plan", Value::String(plan.name.clone())),
+                ("lo", Value::U64(u64::from(analysis.lo))),
+                ("hi", Value::U64(u64::from(analysis.hi))),
+            ]));
+        }
+        if best.as_ref().is_none_or(|(_, best_hi, ..)| hi < *best_hi) {
+            best = Some((scheme, hi, lo, plans));
+        }
+    }
+    let (scheme, hi, lo, plans) = best.ok_or_else(|| "empty workload".to_string())?;
+    Ok(object(vec![
+        ("scheme", Value::String(scheme.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("lo", Value::U64(u64::from(lo))),
+        ("hi", Value::U64(u64::from(hi))),
+        ("plans", Value::Array(plans)),
+        (
+            "reason",
+            Value::String(format!(
+                "layout search shed by the circuit breaker; serving the best \
+                 known static scheme's certified bound ({scheme}: worst-case \
+                 congestion {hi})"
+            )),
+        ),
+        ("source", Value::String("static-analyzer".into())),
     ]))
 }
 
@@ -518,6 +617,89 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn synthesize_returns_a_checked_certificate() {
+        let out = execute(
+            &Command::Synthesize {
+                workload: "column:0;contiguous:0".into(),
+                mode: "sigma".into(),
+                width: 4,
+                seed: 2014,
+            },
+            &never(),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                assert_eq!(get(&data, "checked"), &Value::Bool(true));
+                assert_eq!(get(&data, "optimal"), &Value::Bool(true));
+                // Columns are conflict-free under every permutation shift
+                // and rows under any shift at all, so the exhaustive
+                // search must certify objective 1.
+                assert_eq!(get(&data, "objective"), &Value::U64(1));
+                let cert = get(&data, "certificate");
+                assert_eq!(get(cert, "width"), &Value::U64(4));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn synthesize_semantic_errors_are_bad_requests() {
+        let bad_mode = execute(
+            &Command::Synthesize {
+                workload: "column:0".into(),
+                mode: "zigzag".into(),
+                width: 4,
+                seed: 1,
+            },
+            &never(),
+        );
+        assert!(matches!(bad_mode, Outcome::BadRequest(ref e) if e.contains("zigzag")));
+        let bad_plan = execute(
+            &Command::Synthesize {
+                workload: "column:0;bogus:9".into(),
+                mode: "sigma".into(),
+                width: 4,
+                seed: 1,
+            },
+            &never(),
+        );
+        assert!(
+            matches!(bad_plan, Outcome::BadRequest(ref e) if e.contains("plan 2 of 2")),
+            "{bad_plan:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_synthesize_serves_best_known_scheme() {
+        // A pure column workload: Padded certifies congestion 1, so the
+        // degraded path must pick it over RAW's worst-case w.
+        let data = degraded_synthesize("column:0", 8).unwrap();
+        assert_eq!(get(&data, "hi"), &Value::U64(1));
+        assert_eq!(get(&data, "scheme"), &Value::String("Padded".into()));
+        assert_eq!(
+            get(&data, "source"),
+            &Value::String("static-analyzer".into())
+        );
+        assert!(degraded_synthesize("bogus:1", 8).is_err());
+        assert!(degraded_synthesize("column:0", 0).is_err());
+    }
+
+    #[test]
+    fn degraded_synthesize_ignores_handler_failpoints() {
+        use rap_resilience::{FailPlan, Fault, HitSchedule};
+        let _l = CHAOS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let guard = rap_resilience::install(FailPlan::new(1).rule(
+            "serve.handler",
+            Fault::Panic,
+            HitSchedule::Always,
+        ));
+        assert!(degraded_synthesize("column:0;diagonal:1", 8).is_ok());
+        drop(guard);
     }
 
     #[test]

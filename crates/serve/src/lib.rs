@@ -17,8 +17,9 @@
 //!   `serve.handler` failpoint at its entry so the chaos suite can
 //!   inject faults exactly where real bugs would land. When the breaker
 //!   is open, `pattern` queries degrade to the static analyzer's
-//!   certified `[lo, hi]` congestion bounds (`degraded:true`) rather
-//!   than erroring;
+//!   certified `[lo, hi]` congestion bounds and `synthesize` queries to
+//!   the best known static scheme's certified bound (`degraded:true`)
+//!   rather than erroring;
 //! * [`protocol`] — the wire types: hand-parsed requests with contextual
 //!   validation errors, responses with stable error kinds and codes;
 //! * [`metrics`] — counters whose conservation law

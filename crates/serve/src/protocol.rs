@@ -20,6 +20,16 @@ use serde::{Deserialize, Serialize, Value};
 /// `w` lanes), so one hostile request cannot take the worker heap down.
 pub const MAX_WIDTH: usize = 4096;
 
+/// The widest matrix a `synthesize` request may name — the search
+/// evaluates whole layouts per candidate, so it gets a tighter cap than
+/// the per-warp commands (mirrors the transpose cap rationale).
+pub const MAX_SYNTHESIZE_WIDTH: usize = 512;
+
+/// Longest accepted `workload` spec string, in bytes: a plan costs a
+/// dozen-odd bytes, so this bounds the plan count without a separate
+/// knob.
+pub const MAX_WORKLOAD_SPEC: usize = 4096;
+
 /// What a client asked for.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -71,6 +81,21 @@ pub enum Command {
         /// Mapping seed.
         seed: u64,
     },
+    /// Layout synthesis: search for the shift table / σ minimizing the
+    /// workload's certified worst-case congestion and return the
+    /// checked certificate. Breaker-degradable: when the search path is
+    /// shed, the best *known* static scheme's certified bound is served
+    /// from the prover instead.
+    Synthesize {
+        /// `;`-separated plan specs (the `rap synthesize` grammar).
+        workload: String,
+        /// Layout family: `sigma` or `table`.
+        mode: String,
+        /// Matrix width.
+        width: usize,
+        /// Search seed (annealing path only).
+        seed: u64,
+    },
     /// Liveness + queue/breaker snapshot (served inline, never queued).
     Health,
     /// Full counter snapshot (served inline, never queued).
@@ -89,6 +114,7 @@ impl Command {
             Command::Pattern { .. } => "pattern",
             Command::Analyze { .. } => "analyze",
             Command::Transpose { .. } => "transpose",
+            Command::Synthesize { .. } => "synthesize",
             Command::Health => "health",
             Command::Stats => "stats",
             Command::Shutdown => "shutdown",
@@ -202,13 +228,41 @@ impl Request {
                 latency: opt_u64(pairs, "latency")?.unwrap_or(8).max(1),
                 seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
             },
+            "synthesize" => {
+                let workload = required_string(pairs, "workload")?;
+                if workload.len() > MAX_WORKLOAD_SPEC {
+                    return Err(format!(
+                        "field 'workload' is {} bytes (max {MAX_WORKLOAD_SPEC})",
+                        workload.len()
+                    ));
+                }
+                let mode = opt_string(pairs, "mode")?.unwrap_or_else(|| "sigma".to_string());
+                if mode != "sigma" && mode != "table" {
+                    return Err(format!(
+                        "field 'mode' must be 'sigma' or 'table', got '{mode}'"
+                    ));
+                }
+                let width = width_field(pairs, 8)?;
+                if width > MAX_SYNTHESIZE_WIDTH {
+                    return Err(format!(
+                        "field 'width' must be 1..={MAX_SYNTHESIZE_WIDTH} for synthesize \
+                         (the search is superlinear in w), got {width}"
+                    ));
+                }
+                Command::Synthesize {
+                    workload,
+                    mode,
+                    width,
+                    seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
+                }
+            }
             "health" => Command::Health,
             "stats" => Command::Stats,
             "shutdown" => Command::Shutdown,
             other => {
                 return Err(format!(
                     "unknown cmd '{other}' (expected layout|congestion|pattern|analyze|\
-                     transpose|health|stats|shutdown)"
+                     transpose|synthesize|health|stats|shutdown)"
                 ))
             }
         };
@@ -447,6 +501,64 @@ mod tests {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    #[test]
+    fn parses_a_synthesize_request_with_defaults() {
+        let r = Request::parse(r#"{"cmd":"synthesize","workload":"column:0;diagonal:1"}"#).unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::Synthesize {
+                workload: "column:0;diagonal:1".into(),
+                mode: "sigma".into(),
+                width: 8,
+                seed: 2014,
+            }
+        );
+        let r = Request::parse(
+            r#"{"cmd":"synthesize","workload":"column:0","mode":"table","width":4,"seed":9}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::Synthesize {
+                workload: "column:0".into(),
+                mode: "table".into(),
+                width: 4,
+                seed: 9,
+            }
+        );
+    }
+
+    #[test]
+    fn synthesize_requests_are_validated() {
+        for (line, needle) in [
+            (
+                r#"{"cmd":"synthesize"}"#.to_string(),
+                "missing required field 'workload'",
+            ),
+            (
+                r#"{"cmd":"synthesize","workload":"column:0","mode":"zigzag"}"#.to_string(),
+                "'sigma' or 'table'",
+            ),
+            (
+                r#"{"cmd":"synthesize","workload":"column:0","width":513}"#.to_string(),
+                "superlinear",
+            ),
+            (
+                format!(
+                    r#"{{"cmd":"synthesize","workload":"{}"}}"#,
+                    "x".repeat(MAX_WORKLOAD_SPEC + 1)
+                ),
+                "bytes (max",
+            ),
+        ] {
+            let err = Request::parse(&line).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+        // The spec's *content* is the handler's concern, not the
+        // protocol's: a syntactically bogus plan still parses here.
+        assert!(Request::parse(r#"{"cmd":"synthesize","workload":"bogus:9"}"#).is_ok());
     }
 
     #[test]

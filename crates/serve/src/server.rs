@@ -14,8 +14,8 @@
 //! Every parsed request is answered exactly once, on the connection it
 //! arrived on, no matter what happens in between: queue full → `shed`,
 //! deadline expired → `timeout`, handler panicked past its retries →
-//! `panic`, breaker open → degraded analyzer bounds (for `pattern`) or
-//! `unavailable`, server draining → `draining`. The metrics module's
+//! `panic`, breaker open → degraded analyzer bounds (for `pattern` and
+//! `synthesize`) or `unavailable`, server draining → `draining`. The metrics module's
 //! conservation invariant checks this numerically.
 
 use crate::handler::{self, Outcome};
@@ -516,7 +516,8 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
         return;
     }
     // Admission through the breaker: when open, `pattern` degrades to
-    // the analyzer's certified bounds; everything else is refused.
+    // the analyzer's certified bounds and `synthesize` to the best known
+    // static scheme's certified bound; everything else is refused.
     if matches!(shared.breaker.admit(), rap_resilience::Admission::Reject) {
         serve_breaker_reject(shared, job);
         return;
@@ -526,21 +527,29 @@ fn process_job(shared: &Arc<Shared>, job: &Job) {
 
 fn serve_breaker_reject(shared: &Arc<Shared>, job: &Job) {
     let id = job.request.id;
-    if let Command::Pattern {
-        pattern,
-        scheme,
-        width,
-        ..
-    } = &job.request.cmd
-    {
-        match handler::degraded_pattern(pattern, scheme, *width) {
+    // Both degraded paths run outside the failpoint-instrumented handler
+    // and do no search/sampling, so they stay cheap and available while
+    // the real handlers are failing.
+    let degraded = match &job.request.cmd {
+        Command::Pattern {
+            pattern,
+            scheme,
+            width,
+            ..
+        } => Some(handler::degraded_pattern(pattern, scheme, *width)),
+        Command::Synthesize {
+            workload, width, ..
+        } => Some(handler::degraded_synthesize(workload, *width)),
+        _ => None,
+    };
+    if let Some(result) = degraded {
+        match result {
             Ok(data) => {
                 Metrics::bump(&shared.metrics.degraded_served);
                 shared.write_response(
                     &job.out,
                     &Response::degraded(id, shared.breaker_state(), data),
                 );
-                return;
             }
             Err(message) => {
                 Metrics::bump(&shared.metrics.bad_requests);
@@ -548,9 +557,9 @@ fn serve_breaker_reject(shared: &Arc<Shared>, job: &Job) {
                     &job.out,
                     &Response::error(id, shared.breaker_state(), ErrorKind::BadRequest, message),
                 );
-                return;
             }
         }
+        return;
     }
     Metrics::bump(&shared.metrics.breaker_rejects);
     shared.write_response(
@@ -899,6 +908,20 @@ mod tests {
         let data = serde_json::to_string(&resp.data.unwrap()).unwrap();
         assert!(data.contains("\"source\":\"static-analyzer\""), "{data}");
         assert!(data.contains("\"hi\":1"), "Theorem 2 bound: {data}");
+        // ...synthesize degrades to the best known static scheme's
+        // certified bound (no layout search runs while open; columns and
+        // rows are conflict-free under Padded, so lo == hi == 1)...
+        let resp = client
+            .roundtrip(
+                r#"{"cmd":"synthesize","id":12,"workload":"column:0;contiguous:0","width":16}"#,
+            )
+            .unwrap();
+        assert!(resp.ok && resp.degraded, "{resp:?}");
+        assert_eq!(resp.breaker, "open");
+        let data = serde_json::to_string(&resp.data.unwrap()).unwrap();
+        assert!(data.contains("\"source\":\"static-analyzer\""), "{data}");
+        assert!(data.contains("\"lo\":1"), "{data}");
+        assert!(data.contains("\"hi\":1"), "{data}");
         // ...while commands without a fallback get a structured 503.
         let resp = client
             .roundtrip(r#"{"cmd":"analyze","id":11,"width":8}"#)

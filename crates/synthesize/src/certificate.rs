@@ -1,0 +1,126 @@
+//! The machine-checkable certificate a synthesis result ships with.
+//!
+//! A [`Certificate`] is everything the independent checker in
+//! [`crate::check`] needs to accept or reject a synthesized layout
+//! **without trusting the search**: the concrete layout, each plan's
+//! claimed congestion bound, the per-bank load trace behind the bound,
+//! and a witness (the lanes that attain the bound in the hot bank).
+//! The JSON encoding is the interchange format of the `rap synthesize`
+//! CLI, the `synthesize` serve endpoint, and the bench artifacts.
+
+use rap_analyze::AffineWarp;
+use serde::{Deserialize, Serialize};
+
+/// Current certificate format version; the checker rejects any other.
+pub const CERT_VERSION: u32 = 1;
+
+/// The lanes attaining a plan's claimed bound, all hitting one bank.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimWitness {
+    /// The hot bank.
+    pub bank: u32,
+    /// Exactly `bound` lanes whose (pairwise-distinct) cells map to
+    /// `bank` under the certificate's layout.
+    pub lanes: Vec<u32>,
+}
+
+/// One plan's claimed congestion bound plus the trace backing it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanClaim {
+    /// The plan's name (its spec text).
+    pub name: String,
+    /// The affine warp, so the checker can re-evaluate cells itself.
+    pub warp: AffineWarp,
+    /// Claimed worst-case congestion of this plan under the layout.
+    pub bound: u32,
+    /// Per-bank unique-request counts under the layout — the lemma
+    /// trace; the checker recomputes and compares it entrywise.
+    pub bank_loads: Vec<u32>,
+    /// The witness attaining `bound`.
+    pub witness: ClaimWitness,
+}
+
+/// A complete synthesis certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Format version ([`CERT_VERSION`]).
+    pub version: u32,
+    /// Machine width (banks per row).
+    pub width: usize,
+    /// Layout family: `"sigma"` (permutation shift table, the RAP
+    /// constraint) or `"table"` (free shift table, the RAS family).
+    pub mode: String,
+    /// How the layout was found: `"exhaustive"`, `"branch-and-bound"`,
+    /// or `"annealing"`.  Informational — the checker ignores it.
+    pub method: String,
+    /// Whether the search claims the layout is globally optimal.  The
+    /// checker re-verifies this by brute force at exhaustively
+    /// checkable widths and otherwise treats it as attested.
+    pub optimal: bool,
+    /// The shift table: bank of cell `(i, j)` is `(j + layout[i]) mod w`.
+    pub layout: Vec<u32>,
+    /// Claimed workload objective: max of all plan bounds.
+    pub objective: u32,
+    /// Per-plan claims, one per workload plan.
+    pub claims: Vec<PlanClaim>,
+}
+
+impl Certificate {
+    /// Pretty-printed JSON encoding.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e| {
+            // Serialization of a plain data struct cannot fail with the
+            // vendored encoder; keep a defensive non-panicking path.
+            format!("{{\"error\":\"{e}\"}}")
+        })
+    }
+
+    /// Decode a certificate from JSON.
+    ///
+    /// # Errors
+    /// A message describing the malformed input.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("malformed certificate JSON: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Certificate {
+        Certificate {
+            version: CERT_VERSION,
+            width: 2,
+            mode: "sigma".into(),
+            method: "exhaustive".into(),
+            optimal: true,
+            layout: vec![0, 1],
+            objective: 1,
+            claims: vec![PlanClaim {
+                name: "contiguous:0".into(),
+                warp: AffineWarp::contiguous(0, 2),
+                bound: 1,
+                bank_loads: vec![1, 1],
+                witness: ClaimWitness {
+                    bank: 0,
+                    lanes: vec![0],
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let cert = tiny();
+        let back = Certificate::from_json(&cert.to_json()).unwrap();
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        let err = Certificate::from_json("{not json").unwrap_err();
+        assert!(err.contains("malformed certificate"), "{err}");
+    }
+}

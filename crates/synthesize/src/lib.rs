@@ -1,0 +1,46 @@
+//! Layout **synthesis** for the RAP shared-memory technique.
+//!
+//! rap-analyze answers "given a scheme, how bad can this access plan
+//! be?" — this crate inverts the question: **given a workload of affine
+//! access plans, which concrete shift table (or permutation σ)
+//! minimizes the certified worst-case congestion?**
+//!
+//! The subsystem has three deliberately separated parts:
+//!
+//! * [`search`] — the untrusted search engine.  Exhaustive enumeration
+//!   for tiny widths (σ for `w ≤ 5`, free tables for `w ≤ 4`),
+//!   matching-guided branch-and-bound up to `w = 32`, and seeded
+//!   simulated annealing above that.  Whatever it returns is a *claim*.
+//! * [`certificate`] — every search result is serialized as a JSON
+//!   [`Certificate`]: the layout, a per-plan claimed bound, the
+//!   per-bank load trace, and a witness (the lanes attaining the bound
+//!   in the hot bank).
+//! * [`check`] — a minimal **independent checker** that shares no
+//!   bound-computation code with the prover or the search: it
+//!   re-evaluates each plan's cells with its own evaluator, recounts
+//!   bank loads with its own counter, re-validates the witness, and
+//!   (at exhaustively checkable widths) re-verifies optimality claims
+//!   by brute force.  A synthesis result is accepted **iff** its
+//!   certificate checks.
+//!
+//! [`lint`] closes the loop with rap-analyze: plans whose certified
+//! bound under a *fixed* scheme exceeds the synthesized optimum are
+//! flagged (`RAP-S001`) — a strictly better layout exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certificate;
+pub mod check;
+pub mod lint;
+pub mod search;
+pub mod workload;
+
+pub use certificate::{Certificate, ClaimWitness, PlanClaim, CERT_VERSION};
+pub use check::{check_certificate, CheckError};
+pub use lint::lint_against_optimum;
+pub use search::{
+    synthesize, Method, Mode, Synthesis, BNB_MAX_WIDTH, SIGMA_EXHAUSTIVE_MAX_WIDTH,
+    TABLE_EXHAUSTIVE_MAX_WIDTH,
+};
+pub use workload::{parse_plan, parse_workload, AccessPlan, Workload};

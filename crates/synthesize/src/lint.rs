@@ -1,0 +1,140 @@
+//! Synthesis-aware lint: compare each plan's certified bound under a
+//! *fixed* scheme against a checked synthesis certificate and flag the
+//! gap.
+//!
+//! Emits the `RAP-S` rules catalogued in `rap-analyze::lint`:
+//!
+//! * `RAP-S001` (warning) — the scheme's certified worst case for a
+//!   plan strictly exceeds the synthesized layout's bound: **a strictly
+//!   better layout exists**, and the diagnostic names the certificate
+//!   that proves it.
+//! * `RAP-S002` (note) — the certificate claims optimality and the
+//!   optimum still conflicts (`bound > 1`): the congestion is intrinsic
+//!   to the workload, no layout in the family can remove it.
+//!
+//! The certificate is independently re-checked before any diagnostic is
+//! produced — an unchecked certificate flags nothing.
+
+use crate::certificate::Certificate;
+use crate::check::check_certificate;
+use rap_analyze::lint::{RULE_BETTER_LAYOUT_EXISTS, RULE_INTRINSIC_CONGESTION};
+use rap_analyze::{Diagnostic, Prover, Severity};
+use rap_core::Scheme;
+
+/// Lint a checked certificate against `scheme`'s certified bounds.
+/// `cert_path` is quoted in every diagnostic so the better layout is
+/// one file away.
+///
+/// # Errors
+/// A rejected certificate (stringified [`crate::check::CheckError`]),
+/// a zero width, or a prover failure on a claimed warp.
+pub fn lint_against_optimum(
+    cert: &Certificate,
+    scheme: Scheme,
+    cert_path: &str,
+) -> Result<Vec<Diagnostic>, String> {
+    check_certificate(cert).map_err(|e| format!("certificate rejected: {e}"))?;
+    let prover = Prover::new(cert.width).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for claim in &cert.claims {
+        let analysis = prover
+            .analyze(&claim.warp, scheme)
+            .map_err(|e| format!("plan `{}`: {e}", claim.name))?;
+        if analysis.hi > claim.bound {
+            out.push(Diagnostic {
+                rule: RULE_BETTER_LAYOUT_EXISTS.into(),
+                severity: Severity::Warning,
+                plan: claim.name.clone(),
+                phase: "synthesize".into(),
+                scheme,
+                form: claim.warp.to_string(),
+                lo: analysis.lo,
+                hi: analysis.hi,
+                message: format!(
+                    "a strictly better layout exists: {scheme} certifies worst-case \
+                     congestion {} for this plan, the synthesized {} layout achieves {} \
+                     (certificate: {cert_path})",
+                    analysis.hi, cert.mode, claim.bound
+                ),
+                witness: analysis.witness.clone(),
+            });
+        }
+        if cert.optimal && claim.bound > 1 {
+            out.push(Diagnostic {
+                rule: RULE_INTRINSIC_CONGESTION.into(),
+                severity: Severity::Note,
+                plan: claim.name.clone(),
+                phase: "synthesize".into(),
+                scheme,
+                form: claim.warp.to_string(),
+                lo: claim.bound,
+                hi: claim.bound,
+                message: format!(
+                    "intrinsic congestion: even the optimal {} layout leaves congestion {} \
+                     on this plan (certificate: {cert_path})",
+                    cert.mode, claim.bound
+                ),
+                witness: None,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{synthesize, Mode};
+    use crate::workload::parse_workload;
+
+    #[test]
+    fn flags_schemes_the_synthesis_beats() {
+        // Under RAW a column sweep is the full-w pileup; a synthesized σ
+        // reaches 1 — S001 must fire and cite the certificate path.
+        let wl = parse_workload("column:0;contiguous:0", 5).unwrap();
+        let cert = synthesize(&wl, Mode::Sigma, 1).unwrap().certificate;
+        let diags = lint_against_optimum(&cert, Scheme::Raw, "certs/w5.json").unwrap();
+        let s001 = diags
+            .iter()
+            .find(|d| d.rule == RULE_BETTER_LAYOUT_EXISTS)
+            .expect("RAW column must be beaten");
+        assert_eq!(s001.plan, "column:0");
+        assert!(s001.message.contains("certs/w5.json"), "{}", s001.message);
+        assert_eq!(s001.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn silent_when_scheme_matches_the_optimum() {
+        // A contiguous row is conflict-free under every scheme; nothing
+        // beats bound 1, and an optimal bound-1 certificate raises no
+        // S002 either.
+        let wl = parse_workload("contiguous:0", 4).unwrap();
+        let cert = synthesize(&wl, Mode::Sigma, 1).unwrap().certificate;
+        let diags = lint_against_optimum(&cert, Scheme::Padded, "c.json").unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn intrinsic_congestion_is_noted() {
+        // The main diagonal at w=2 conflicts under BOTH permutations
+        // (no complete mapping of an even cyclic group exists), so the
+        // certified optimum is 2 — S002.
+        let wl = parse_workload("diagonal:0", 2).unwrap();
+        let cert = synthesize(&wl, Mode::Sigma, 1).unwrap().certificate;
+        assert_eq!(cert.objective, 2, "even-width diagonal is intrinsic");
+        let diags = lint_against_optimum(&cert, Scheme::Rap, "c.json").unwrap();
+        assert!(
+            diags.iter().any(|d| d.rule == RULE_INTRINSIC_CONGESTION),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn rejected_certificates_flag_nothing() {
+        let wl = parse_workload("column:0", 4).unwrap();
+        let mut cert = synthesize(&wl, Mode::Sigma, 1).unwrap().certificate;
+        cert.objective += 1;
+        let err = lint_against_optimum(&cert, Scheme::Raw, "c.json").unwrap_err();
+        assert!(err.contains("certificate rejected"), "{err}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Workloads: named sets of affine access plans, plus the shared
+//! plan-spec grammar used by `rap synthesize --workload` and
+//! `rap analyze --access`.
+//!
+//! A **plan spec** is `family:args`, one of:
+//!
+//! | spec | warp |
+//! |------|------|
+//! | `contiguous:<row>` | lane `t` reads `(row, t)` |
+//! | `column:<col>` | lane `t` reads `(t, col)` |
+//! | `diagonal:<off>` | lane `t` reads `((t+off) mod w, t)` |
+//! | `broadcast:<i>,<j>` | every lane reads `(i, j)` |
+//! | `flat:<stride>,<offset>` | lane `t` reads flat index `stride·t + offset` |
+//! | `coord:<ic>,<io>,<jc>,<jo>` | lane `t` reads `(ic·t+io mod w, jc·t+jo mod w)` |
+//!
+//! A **workload spec** is a `;`-separated list of plan specs.  Parsing
+//! is all-or-error: a malformed plan anywhere in the batch is a
+//! contextual error naming the 1-based position and the offending
+//! text — a bad plan is never silently skipped.
+
+use rap_analyze::{AffineWarp, AnalyzeError, Axis};
+use serde::{Deserialize, Serialize};
+
+/// One named access plan in a workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessPlan {
+    /// Human-readable name (the normalized spec text).
+    pub name: String,
+    /// The affine warp the plan issues.
+    pub warp: AffineWarp,
+}
+
+/// A set of access plans synthesized against together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Machine width (banks per row, lanes per warp).
+    pub width: usize,
+    /// The plans; the synthesis objective is the max congestion over
+    /// all of them.
+    pub plans: Vec<AccessPlan>,
+}
+
+impl Workload {
+    /// A workload over `plans` on a width-`width` machine.
+    #[must_use]
+    pub const fn new(width: usize, plans: Vec<AccessPlan>) -> Self {
+        Self { width, plans }
+    }
+
+    /// The canonical mixed benchmark workload at `width`: one
+    /// contiguous row, two columns, one diagonal, and one flat
+    /// stride-2 plan.  Columns force RAW to its worst case `w`, so the
+    /// synthesized optimum is comparable against every static scheme.
+    #[must_use]
+    pub fn mixed(width: usize) -> Self {
+        let w = width as u64;
+        Self::new(
+            width,
+            vec![
+                AccessPlan {
+                    name: "contiguous:0".into(),
+                    warp: AffineWarp::contiguous(0, width),
+                },
+                AccessPlan {
+                    name: "column:0".into(),
+                    warp: AffineWarp::column(0, width),
+                },
+                AccessPlan {
+                    name: format!("column:{}", w / 2),
+                    warp: AffineWarp::column(w / 2, width),
+                },
+                AccessPlan {
+                    name: "diagonal:1".into(),
+                    warp: AffineWarp::diagonal(1, width),
+                },
+                AccessPlan {
+                    name: "flat:2,0".into(),
+                    warp: AffineWarp::flat_stride(2, 0, width.div_ceil(2)),
+                },
+            ],
+        )
+    }
+
+    /// Evaluate every plan's cells, with the plan name attached to any
+    /// domain error.
+    ///
+    /// # Errors
+    /// A contextual message naming the failing plan, wrapping the
+    /// underlying [`AnalyzeError`].
+    pub fn cells(&self) -> Result<Vec<Vec<(u32, u32)>>, String> {
+        self.plans
+            .iter()
+            .map(|p| {
+                p.warp
+                    .cells(self.width)
+                    .map_err(|e| format!("plan `{}`: {e}", p.name))
+            })
+            .collect()
+    }
+}
+
+/// Parse one plan spec (see the module docs for the grammar) into an
+/// [`AccessPlan`] issuing `lanes` lanes.
+///
+/// # Errors
+/// A message describing what is wrong with the spec text.
+pub fn parse_plan(spec: &str, lanes: usize) -> Result<AccessPlan, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err("empty plan spec".into());
+    }
+    let (family, rest) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("`{spec}`: expected `family:args`"))?;
+    let args: Vec<u64> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|a| {
+                a.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("`{spec}`: `{a}` is not a non-negative integer"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let arity = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "`{spec}`: `{family}` takes {n} argument(s), got {}",
+                args.len()
+            ))
+        }
+    };
+    let warp = match family {
+        "contiguous" => {
+            arity(1)?;
+            AffineWarp::contiguous(args[0], lanes)
+        }
+        "column" => {
+            arity(1)?;
+            AffineWarp::column(args[0], lanes)
+        }
+        "diagonal" => {
+            arity(1)?;
+            AffineWarp::diagonal(args[0], lanes)
+        }
+        "broadcast" => {
+            arity(2)?;
+            AffineWarp::broadcast(args[0], args[1], lanes)
+        }
+        "flat" => {
+            arity(2)?;
+            AffineWarp::flat_stride(args[0], args[1], lanes)
+        }
+        "coord" => {
+            arity(4)?;
+            AffineWarp::new(
+                rap_analyze::AffineForm::Coord {
+                    i: Axis::new(args[0], args[1]),
+                    j: Axis::new(args[2], args[3]),
+                },
+                lanes,
+            )
+        }
+        other => {
+            return Err(format!(
+                "`{spec}`: unknown plan family `{other}` (expected contiguous, column, \
+                 diagonal, broadcast, flat, or coord)"
+            ))
+        }
+    };
+    Ok(AccessPlan {
+        name: spec.to_string(),
+        warp,
+    })
+}
+
+/// Parse a `;`-separated workload spec at machine width `width`
+/// (each plan issues `width` lanes).
+///
+/// All-or-error: any malformed plan fails the whole batch with a
+/// contextual message naming its 1-based position.
+///
+/// # Errors
+/// Empty spec, empty plan slot, or any per-plan parse error.
+pub fn parse_workload(spec: &str, width: usize) -> Result<Workload, String> {
+    if width == 0 {
+        return Err(AnalyzeError::ZeroWidth.to_string());
+    }
+    let slots: Vec<&str> = spec.split(';').collect();
+    if slots.iter().all(|s| s.trim().is_empty()) {
+        return Err("workload spec is empty — expected at least one plan".into());
+    }
+    let mut plans = Vec::with_capacity(slots.len());
+    for (idx, slot) in slots.iter().enumerate() {
+        let plan = parse_plan(slot, width)
+            .map_err(|e| format!("plan {} of {}: {e}", idx + 1, slots.len()))?;
+        plans.push(plan);
+    }
+    Ok(Workload::new(width, plans))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_family() {
+        let w = parse_workload(
+            "contiguous:0;column:3;diagonal:1;broadcast:2,2;flat:2,0;coord:1,0,2,1",
+            8,
+        )
+        .unwrap();
+        assert_eq!(w.plans.len(), 6);
+        assert_eq!(w.plans[1].warp, AffineWarp::column(3, 8));
+        assert_eq!(w.plans[5].name, "coord:1,0,2,1");
+    }
+
+    #[test]
+    fn bad_plan_fails_whole_batch_with_position() {
+        let err = parse_workload("column:0;bogus:9;diagonal:1", 8).unwrap_err();
+        assert!(err.contains("plan 2 of 3"), "{err}");
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn empty_slot_is_a_contextual_error() {
+        let err = parse_workload("column:0;;diagonal:1", 8).unwrap_err();
+        assert!(err.contains("plan 2 of 3"), "{err}");
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn arity_and_integer_errors_name_the_spec() {
+        let err = parse_plan("broadcast:1", 8).unwrap_err();
+        assert!(err.contains("takes 2 argument(s)"), "{err}");
+        let err = parse_plan("column:x", 8).unwrap_err();
+        assert!(err.contains("not a non-negative integer"), "{err}");
+        let err = parse_plan("column", 8).unwrap_err();
+        assert!(err.contains("expected `family:args`"), "{err}");
+    }
+
+    #[test]
+    fn zero_width_and_empty_spec_rejected() {
+        assert!(parse_workload("column:0", 0).is_err());
+        assert!(parse_workload("  ;  ", 8).unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn mixed_workload_cells_evaluate() {
+        for w in [2usize, 3, 5, 8, 32] {
+            let cells = Workload::mixed(w).cells().unwrap();
+            assert_eq!(cells.len(), 5);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_cells_name_the_plan() {
+        let wl = Workload::new(
+            4,
+            vec![AccessPlan {
+                name: "flat:4,0".into(),
+                warp: AffineWarp::flat_stride(4, 0, 5),
+            }],
+        );
+        let err = wl.cells().unwrap_err();
+        assert!(err.contains("plan `flat:4,0`"), "{err}");
+    }
+}

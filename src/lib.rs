@@ -18,6 +18,9 @@
 //! * [`apps`] — application kernels (tiled `A·Bᵀ`, gather);
 //! * [`analyze`] — static affine-access analyzer: symbolic prover,
 //!   theorem certification, and access-plan lint;
+//! * [`synthesize`] — layout synthesis: search for optimal
+//!   permute-shift layouts, machine-checkable certificates, and the
+//!   independent certificate checker;
 //! * [`serve`] — hardened TCP/JSON query service over the hot paths:
 //!   admission control, deadlines, circuit breaker, graceful drain;
 //! * [`stats`] — RNG and statistics substrate.
@@ -34,4 +37,5 @@ pub use rap_permute as permute;
 pub use rap_resilience as resilience;
 pub use rap_serve as serve;
 pub use rap_stats as stats;
+pub use rap_synthesize as synthesize;
 pub use rap_transpose as transpose;
