@@ -240,6 +240,43 @@ pub fn matrix_congestion(
     })
 }
 
+/// Evaluate exactly one fixed-size block of [`matrix_congestion`]'s
+/// decomposition over `trials` total trials, serially, into a fresh
+/// accumulator.
+///
+/// Merging the accumulators of blocks `0..blocks_for(trials)` in block-
+/// index order reproduces the full estimator's result **bit for bit**,
+/// on any machine — each trial's random stream depends only on
+/// `(domain, trial index)`. This is the distribution unit of
+/// `rap-cluster`: workers execute single blocks anywhere, the
+/// coordinator merges in index order, and re-executing a block after a
+/// worker crash yields the identical accumulator.
+///
+/// # Panics
+/// Panics if `w == 0`, `trials == 0`, or `block >= blocks_for(trials)`.
+#[must_use]
+pub fn matrix_block_stats(
+    scheme: Scheme,
+    pattern: MatrixPattern,
+    w: usize,
+    trials: u64,
+    block: u64,
+    domain: &SeedDomain,
+) -> OnlineStats {
+    assert!(trials > 0, "need at least one trial");
+    assert!(
+        block < blocks_for(trials),
+        "block {block} out of range for {trials} trials"
+    );
+    matrix_block(
+        scheme,
+        pattern,
+        w,
+        &domain.child("matrix"),
+        block_range(block, trials),
+    )
+}
+
 /// Estimate the expected per-warp congestion of `pattern` under `scheme`
 /// on a `w⁴` array (Table IV).
 ///
@@ -485,6 +522,37 @@ mod tests {
         );
         // Paper Table II: 2.92 at w=16.
         assert!((raw.mean() - 2.92).abs() < 0.2);
+    }
+
+    #[test]
+    fn single_block_merge_is_bit_identical_to_full_estimator() {
+        // 77 trials → 3 blocks (32 + 32 + 13): exercises the ragged tail.
+        let trials = 77;
+        for scheme in [Scheme::Raw, Scheme::Ras, Scheme::Rap] {
+            let full = matrix_congestion(scheme, MatrixPattern::Random, 16, trials, &domain());
+            let mut merged = OnlineStats::new();
+            for block in 0..blocks_for(trials) {
+                merged.merge(&matrix_block_stats(
+                    scheme,
+                    MatrixPattern::Random,
+                    16,
+                    trials,
+                    block,
+                    &domain(),
+                ));
+            }
+            assert_eq!(
+                merged.to_raw(),
+                full.to_raw(),
+                "{scheme}: block merge must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_block_panics() {
+        let _ = matrix_block_stats(Scheme::Rap, MatrixPattern::Stride, 8, 32, 1, &domain());
     }
 
     #[test]

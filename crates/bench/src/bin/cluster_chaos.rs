@@ -1,0 +1,91 @@
+//! Experiment CLUSTER_CHAOS: soak the `rap-cluster` coordinator — a
+//! distributed Table II sweep plus a router request storm — while one
+//! worker is killed mid-flight and `ledger.append` faults storm the
+//! coordinator, and write `results/cluster_chaos.json`. Exits non-zero
+//! if any merged result diverges from the single-process bits, a request
+//! is lost, or a kill+resume changes a byte — so CI can gate on it.
+//!
+//! Usage: `cargo run -p rap-bench --bin cluster_chaos --release \
+//!     [--seed 2014] [--workers 8] [--requests 100000] [--clients 8] \
+//!     [--trials 200] [--worker-bin target/release/rap]`
+//!
+//! With `--worker-bin` the pool spawns real `rap serve` processes on
+//! real sockets and the mid-sweep kill is a genuine SIGKILL; without it
+//! the same protocol path runs against in-process servers.
+
+use rap_bench::experiments::cluster_chaos::{self, ChaosConfig};
+use rap_bench::{output, CliArgs};
+
+fn main() {
+    if let Err(err) = run() {
+        eprintln!("cluster_chaos: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = CliArgs::from_env();
+    let cfg = ChaosConfig {
+        seed: args.get_u64("seed", 2014),
+        workers: args.get_usize("workers", 8),
+        requests: args.get_u64("requests", 100_000),
+        clients: args.get_u64("clients", 8),
+        base_trials: args.get_u64("trials", 200),
+        worker_bin: args.get("worker-bin").map(std::path::PathBuf::from),
+    };
+
+    println!(
+        "CLUSTER_CHAOS — {} requests over {} {} workers, one killed mid-sweep, \
+         coordinator fault storms (seed {})\n",
+        cfg.requests,
+        cfg.workers,
+        if cfg.worker_bin.is_some() {
+            "process"
+        } else {
+            "in-process"
+        },
+        cfg.seed
+    );
+
+    // Worker-side panics are isolated by the server; the coordinator's
+    // own failpoint storms are expected — keep the report readable.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = cluster_chaos::run_caught(&cfg);
+    std::panic::set_hook(prev_hook);
+
+    for check in &report.checks {
+        println!(
+            "  {} {:40} {}",
+            if check.passed { "PASS" } else { "FAIL" },
+            check.name,
+            check.detail
+        );
+    }
+    println!(
+        "\n{}/{} checks passed ({:.0} req/s through the router)",
+        report.checks.iter().filter(|c| c.passed).count(),
+        report.checks.len(),
+        report.query_throughput,
+    );
+
+    let path = output::results_dir().join("cluster_chaos.json");
+    rap_resilience::write_json_atomic(&path, &report)
+        .map_err(|e| format!("writing results: {e}"))?;
+    println!("wrote {}", path.display());
+
+    if !report.passed {
+        return Err("cluster chaos soak FAILED".into());
+    }
+
+    // Distributed-vs-single record pair for the CI job's external `cmp`
+    // — the byte-identity claim should not rest on this process's own
+    // comparison alone.
+    let (distributed, single) = cluster_chaos::write_identity_pair(&cfg, &output::results_dir())?;
+    println!(
+        "wrote identity pair: {} vs {}",
+        distributed.display(),
+        single.display()
+    );
+    Ok(())
+}

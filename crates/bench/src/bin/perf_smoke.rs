@@ -21,7 +21,13 @@
 //! is marked `degraded` with a note per skipped count.
 //!
 //! Usage: `cargo run -p rap-bench --bin perf_smoke --release
-//! [--trials 2000] [--w 32] [--seed 2014] [--budget-ms N]`
+//! [--trials 2000] [--w 32] [--seed 2014] [--budget-ms N]
+//! [--cluster-workers 2] [--worker-bin target/release/rap]`
+//!
+//! The report also carries a cluster section — worker-process count,
+//! per-shard `pattern_block` throughput, and the aggregate blocks/sec of
+//! a small distributed sweep — so shard regressions are visible next to
+//! the single-process engine numbers. `--cluster-workers 0` disables it.
 
 use rap_bench::{output, perf, CliArgs};
 use serde::Serialize;
@@ -41,6 +47,35 @@ struct ThreadSample {
     /// True when `threads` exceeds the physical core count: the speedup
     /// then measures SMT/timesharing effects, not parallel scaling.
     unreliable: bool,
+}
+
+/// Throughput of one cluster shard, measured over its own socket.
+#[derive(Debug, Serialize)]
+struct ShardSample {
+    /// Worker index in the pool.
+    worker: usize,
+    /// The shard's listen address.
+    addr: String,
+    /// `pattern_block` requests timed against this shard.
+    requests: u64,
+    /// Requests per second this shard sustained.
+    requests_per_second: f64,
+}
+
+/// Cluster section of the report: how many workers, how fast each shard
+/// is, and the distributed sweep's aggregate block throughput.
+#[derive(Debug, Serialize)]
+struct ClusterPerf {
+    /// Worker processes (or in-process servers) in the pool.
+    worker_processes: u64,
+    /// True when the workers were real spawned `rap serve` processes.
+    process_workers: bool,
+    /// Per-shard `pattern_block` throughput.
+    shards: Vec<ShardSample>,
+    /// Blocks in the timed distributed sweep.
+    sweep_blocks: u64,
+    /// Aggregate blocks per second of the distributed sweep.
+    sweep_blocks_per_second: f64,
 }
 
 /// The full smoke report written to `results/perf_smoke.json`.
@@ -71,10 +106,77 @@ struct PerfSmokeReport {
     /// Outcome of the scaling check: "passed", or the reason it was
     /// skipped.
     scaling_check: String,
+    /// Sharded-coordinator throughput (`--cluster-workers 0` disables).
+    cluster: Option<ClusterPerf>,
     /// True when the wall budget cut the thread-count sweep short.
     degraded: bool,
     /// Human-readable notes about skipped thread counts.
     notes: Vec<String>,
+}
+
+/// Time each shard individually, then a small distributed sweep.
+fn cluster_perf(
+    workers: usize,
+    worker_bin: Option<&str>,
+    seed: u64,
+) -> Result<ClusterPerf, String> {
+    use rap_bench::experiments::table2::{self, Table2Config};
+    use rap_cluster::{Cluster, ClusterConfig, WorkerPool};
+
+    let pool = match worker_bin {
+        Some(bin) => WorkerPool::spawn_processes(std::path::Path::new(bin), workers)
+            .map_err(|e| format!("spawning workers from {bin}: {e}"))?,
+        None => WorkerPool::in_process(workers).map_err(|e| format!("spawning workers: {e}"))?,
+    };
+
+    // Per-shard: a burst of real block requests over the shard's socket.
+    const PROBE_REQUESTS: u64 = 64;
+    let mut shards = Vec::with_capacity(workers);
+    for (w, addr) in pool.addrs().into_iter().enumerate() {
+        let mut client =
+            rap_serve::Client::connect(addr).map_err(|e| format!("shard {w} connect: {e}"))?;
+        let start = Instant::now();
+        for i in 0..PROBE_REQUESTS {
+            let line = format!(
+                r#"{{"cmd":"pattern_block","id":{i},"pattern":"random","scheme":"rap","width":16,"trials":32,"block":0,"seed":{seed}}}"#
+            );
+            let resp = client
+                .roundtrip(&line)
+                .map_err(|e| format!("shard {w} request {i}: {e}"))?;
+            if !resp.ok {
+                return Err(format!("shard {w} refused a block request: {resp:?}"));
+            }
+        }
+        shards.push(ShardSample {
+            worker: w,
+            addr: addr.to_string(),
+            requests: PROBE_REQUESTS,
+            requests_per_second: PROBE_REQUESTS as f64 / start.elapsed().as_secs_f64().max(1e-9),
+        });
+    }
+
+    // Aggregate: a small distributed Table II sweep, timed end to end.
+    let t2 = Table2Config {
+        widths: vec![16, 32],
+        base_trials: 200,
+        seed,
+    };
+    let cluster = Cluster::new(pool, ClusterConfig::default());
+    let ledger = rap_resilience::Ledger::in_memory();
+    let start = Instant::now();
+    let (_, report) = cluster.run_sweep(&table2::sweep_cells(&t2), &ledger);
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    cluster.pool().shutdown();
+    if report.degraded {
+        return Err(format!("the timed sweep degraded: {report:?}"));
+    }
+    Ok(ClusterPerf {
+        worker_processes: workers as u64,
+        process_workers: worker_bin.is_some(),
+        shards,
+        sweep_blocks: report.blocks_total,
+        sweep_blocks_per_second: report.blocks_total as f64 / wall,
+    })
 }
 
 fn main() {
@@ -194,6 +296,31 @@ fn run() -> Result<(), String> {
     };
     println!("scaling check: {scaling_check}");
 
+    // Cluster throughput: worker count and per-shard request rates.
+    let cluster_workers = args.get_usize("cluster-workers", 2);
+    let cluster = if cluster_workers == 0 {
+        None
+    } else {
+        let perf = cluster_perf(cluster_workers.min(16), args.get("worker-bin"), seed)?;
+        println!(
+            "cluster: {} {} worker(s), sweep {:.0} blocks/s",
+            perf.worker_processes,
+            if perf.process_workers {
+                "process"
+            } else {
+                "in-process"
+            },
+            perf.sweep_blocks_per_second
+        );
+        for s in &perf.shards {
+            println!(
+                "  shard {} ({}): {:.0} block requests/s",
+                s.worker, s.addr, s.requests_per_second
+            );
+        }
+        Some(perf)
+    };
+
     let report = PerfSmokeReport {
         id: "perf_smoke".into(),
         params: format!("w={w} trials={trials} seed={seed}"),
@@ -206,6 +333,7 @@ fn run() -> Result<(), String> {
         samples,
         mean_checksum: checksum.unwrap_or(0.0),
         scaling_check,
+        cluster,
         degraded: !notes.is_empty(),
         notes,
     };

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod apps;
 pub mod chaos;
+pub mod cluster_chaos;
 pub mod lemma1;
 pub mod malicious;
 pub mod modern;

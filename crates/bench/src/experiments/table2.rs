@@ -149,6 +149,57 @@ pub fn run_resilient(
     (cells, report)
 }
 
+/// The sweep as distributable [`rap_cluster::SweepCell`]s: identical
+/// cell order, checkpoint keys, and seed domains to [`run_resilient`],
+/// so a cluster coordinator's merge is bit-identical to [`run`] and a
+/// ledger written by either executor resumes into the other.
+#[must_use]
+pub fn sweep_cells(cfg: &Table2Config) -> Vec<rap_cluster::SweepCell> {
+    let domain = SeedDomain::new(cfg.seed).child("table2");
+    let mut cells = Vec::new();
+    for pattern in MatrixPattern::table2() {
+        for scheme in Scheme::all() {
+            for &w in &cfg.widths {
+                let cell_domain = domain
+                    .child(pattern.name())
+                    .child(scheme.name())
+                    .child_idx(w as u64);
+                cells.push(rap_cluster::SweepCell::new(
+                    format!("{}/{}/w={w}", pattern.name(), scheme.name()),
+                    pattern,
+                    scheme,
+                    w,
+                    cfg.trials_for(w),
+                    &cell_domain,
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Attach merged per-cell statistics (in [`sweep_cells`] order) back to
+/// [`Table2Cell`]s carrying the paper references.
+///
+/// # Panics
+/// When `stats` does not have one entry per sweep cell.
+#[must_use]
+pub fn cells_from_stats(cfg: &Table2Config, stats: &[OnlineStats]) -> Vec<Table2Cell> {
+    let shape = sweep_cells(cfg);
+    assert_eq!(shape.len(), stats.len(), "one stats entry per sweep cell");
+    shape
+        .iter()
+        .zip(stats)
+        .map(|(c, s)| Table2Cell {
+            pattern: c.pattern,
+            scheme: c.scheme,
+            w: c.width,
+            stats: *s,
+            paper: table2_reference(c.scheme, c.pattern.name(), c.width),
+        })
+        .collect()
+}
+
 /// Convert the measured cells into a serializable record.
 #[must_use]
 pub fn to_record(cfg: &Table2Config, cells: &[Table2Cell]) -> ExperimentRecord {
@@ -323,6 +374,34 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cluster_sweep_over_these_cells_matches_run_bit_for_bit() {
+        use rap_cluster::{Cluster, ClusterConfig, WorkerPool};
+        let cfg = small_cfg();
+        let plain = run(&cfg);
+        let cells = sweep_cells(&cfg);
+        assert_eq!(cells.len(), plain.len());
+        let pool = WorkerPool::in_process(2).expect("spawn workers");
+        let cluster = Cluster::new(pool, ClusterConfig::default());
+        let ledger = rap_resilience::Ledger::in_memory();
+        let (merged, report) = cluster.run_sweep(&cells, &ledger);
+        assert!(!report.degraded, "{report:?}");
+        let rebuilt = cells_from_stats(&cfg, &merged);
+        for (a, b) in rebuilt.iter().zip(&plain) {
+            assert_eq!((a.pattern, a.scheme, a.w), (b.pattern, b.scheme, b.w));
+            assert_eq!(a.paper, b.paper);
+            assert_eq!(
+                a.stats.to_raw(),
+                b.stats.to_raw(),
+                "{} {} w={}",
+                a.pattern,
+                a.scheme,
+                a.w
+            );
+        }
+        cluster.pool().shutdown();
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! rap chaos     [--width 32] [--trials 256] [--fault panic|enospc|delay]
 //! rap serve     [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
 //! rap query     --addr <host:port> --json '<request>'
+//! rap cluster   --pattern random --scheme rap [--workers 2|--addrs a,b]
 //! ```
 //!
 //! All logic lives in [`run`], which returns the rendered output so the
@@ -74,7 +75,17 @@ USAGE:
                  (hardened query service; line-delimited JSON over TCP;
                  send {\"cmd\":\"shutdown\"} for a graceful drain)
   rap query      --addr <host:port> --json '<request>' [--timeout-ms 10000]
-                 (send one request line, print the one response line)
+                 (send one request line, print the one response line; a
+                 dropped connection gets exactly one seeded-backoff
+                 reconnect attempt before a contextual exit-1 error)
+  rap cluster    --pattern <p> --scheme <raw|ras|rap> [--width 32]
+                 [--trials 1000] [--seed <n>] [--workers 2 | --addrs
+                 <host:port,...>] [--in-process] [--quorum 1]
+                 [--checkpoint <path>] [--verify]
+                 (shard the Monte-Carlo estimate across rap-serve
+                 workers — spawned processes by default, or external
+                 --addrs — and merge bit-identically to a local run;
+                 --verify recomputes locally and checks the bits)
   rap help
 
 Widths are capped at 4096 everywhere (one request must not exhaust the
@@ -215,6 +226,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "chaos" => cmd_chaos(&opts),
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
+        "cluster" => cmd_cluster(&opts),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -503,17 +515,221 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
     ))
 }
 
+/// Human description of a query I/O failure: name the common shapes
+/// (mid-response close, read timeout) instead of leaking raw errno text.
+fn describe_query_error(e: &std::io::Error) -> String {
+    match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            "the server closed the connection before responding".to_string()
+        }
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+            "the read timed out".to_string()
+        }
+        std::io::ErrorKind::InvalidData => format!("malformed response line ({e})"),
+        _ => e.to_string(),
+    }
+}
+
 fn cmd_query(opts: &Opts) -> Result<String, String> {
-    let addr = opts.required("addr")?;
-    let line = opts.required("json")?;
-    let timeout = opts.u64("timeout-ms", 10_000)?.max(1);
-    let mut client =
-        rap_serve::Client::connect_with_timeout(addr, std::time::Duration::from_millis(timeout))
-            .map_err(|e| format!("connect {addr}: {e}"))?;
-    let response = client
-        .roundtrip(line)
-        .map_err(|e| format!("query {addr}: {e}"))?;
-    Ok(response.to_line())
+    let addr = opts.required("addr")?.to_string();
+    let line = opts.required("json")?.to_string();
+    let timeout = std::time::Duration::from_millis(opts.u64("timeout-ms", 10_000)?.max(1));
+    let seed = opts.u64("seed", 2014)?;
+    let attempt = || -> std::io::Result<rap_serve::Response> {
+        rap_serve::Client::connect_with_timeout(&addr, timeout)?.roundtrip(&line)
+    };
+    match attempt() {
+        Ok(response) => Ok(response.to_line()),
+        Err(first) => {
+            // A dropped or mid-response-closed connection gets exactly
+            // one seeded-backoff reconnect (a worker restarting or a
+            // draining acceptor is often back within milliseconds);
+            // a second failure is a contextual exit-1 error, never a
+            // panic and never an unbounded retry loop.
+            std::thread::sleep(rap_resilience::RetryPolicy::default().backoff(
+                "cli.query",
+                seed,
+                1,
+            ));
+            match attempt() {
+                Ok(response) => Ok(response.to_line()),
+                Err(second) => Err(format!(
+                    "query {addr}: {}; after one reconnect attempt: {}",
+                    describe_query_error(&first),
+                    describe_query_error(&second),
+                )),
+            }
+        }
+    }
+}
+
+/// Everything `rap cluster` needs, validated up front.
+struct ClusterOptions {
+    pattern: MatrixPattern,
+    scheme: Scheme,
+    width: usize,
+    trials: u64,
+    seed: u64,
+    workers: usize,
+    addrs: Option<Vec<std::net::SocketAddr>>,
+}
+
+/// Parse and validate every `rap cluster` option **before** anything is
+/// spawned: worker counts, external addresses (rejecting duplicates —
+/// two workers cannot share a port), and the sampled-scheme requirement.
+fn cluster_options(opts: &Opts) -> Result<ClusterOptions, String> {
+    let pattern = parse_pattern(opts.map.get("pattern").map_or("random", String::as_str))?;
+    let scheme = parse_scheme(opts.map.get("scheme").map_or("rap", String::as_str))?;
+    if !matches!(scheme, Scheme::Raw | Scheme::Ras | Scheme::Rap) {
+        return Err(format!(
+            "--scheme {scheme} is deterministic — there are no Monte-Carlo trials to distribute \
+             (use raw, ras, or rap)"
+        ));
+    }
+    let width = checked_width(opts, 32)?;
+    let trials = opts.u64("trials", 1000)?.max(1);
+    let seed = opts.u64("seed", 2014)?;
+    let addrs = match opts.map.get("addrs") {
+        None => None,
+        Some(spec) => {
+            let mut parsed = Vec::new();
+            for token in spec.split(',') {
+                let addr: std::net::SocketAddr = token
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("--addrs: '{token}' is not a host:port address"))?;
+                if parsed.contains(&addr) {
+                    return Err(format!(
+                        "--addrs: port collision — {addr} is listed more than once; \
+                         every worker needs its own address"
+                    ));
+                }
+                parsed.push(addr);
+            }
+            if parsed.is_empty() {
+                return Err("--addrs: need at least one worker address".to_string());
+            }
+            Some(parsed)
+        }
+    };
+    let workers = opts.usize("workers", 2)?;
+    if addrs.is_none() && !(1..=64).contains(&workers) {
+        return Err(format!("--workers must be 1..=64, got {workers}"));
+    }
+    Ok(ClusterOptions {
+        pattern,
+        scheme,
+        width,
+        trials,
+        seed,
+        workers,
+        addrs,
+    })
+}
+
+fn cmd_cluster(opts: &Opts) -> Result<String, String> {
+    use rap_cluster::{Cluster, ClusterConfig, SweepCell, WorkerPool};
+
+    // Every option is validated before a single worker exists, so a bad
+    // invocation costs a message, not a spawned fleet.
+    let ClusterOptions {
+        pattern,
+        scheme,
+        width,
+        trials,
+        seed,
+        workers,
+        addrs,
+    } = cluster_options(opts)?;
+    let quorum = opts.usize("quorum", 1)?.max(1);
+
+    let pool = match &addrs {
+        Some(addrs) => WorkerPool::connect(addrs),
+        None if opts.flag("in-process") => {
+            WorkerPool::in_process(workers).map_err(|e| format!("spawning workers: {e}"))?
+        }
+        None => {
+            let binary =
+                std::env::current_exe().map_err(|e| format!("resolving the rap binary: {e}"))?;
+            WorkerPool::spawn_processes(&binary, workers)
+                .map_err(|e| format!("spawning {workers} worker process(es): {e}"))?
+        }
+    };
+
+    let domain = SeedDomain::new(seed);
+    let cell = SweepCell::new(
+        format!("{}/{}/w={width}", pattern.name(), scheme.name()),
+        pattern,
+        scheme,
+        width,
+        trials,
+        &domain,
+    );
+    let ledger = match opts.map.get("checkpoint") {
+        None => rap_resilience::Ledger::in_memory(),
+        Some(path) => {
+            let fp = rap_resilience::fingerprint([
+                "cli-cluster".to_string(),
+                cell.key.clone(),
+                format!("trials={trials}"),
+                format!("seed={seed}"),
+            ]);
+            rap_resilience::Ledger::open(
+                std::path::Path::new(path),
+                fp,
+                rap_resilience::SyncPolicy::EveryEntry,
+            )
+            .map_err(|e| format!("--checkpoint {path}: {e}"))?
+        }
+    };
+
+    let cluster = Cluster::new(
+        pool,
+        ClusterConfig {
+            quorum,
+            ..ClusterConfig::default()
+        },
+    );
+    let cells = vec![cell];
+    let (merged, report) = cluster.run_sweep(&cells, &ledger);
+    cluster.pool().shutdown();
+    let stats = &merged[0];
+
+    let mut out = format!(
+        "{pattern} access under {scheme}, w={width}, {trials} trials over {} worker(s):\n\
+         expected congestion {:.4} (stderr {:.4}), range [{:.0}, {:.0}]\n\
+         blocks: {} total = {} on workers + {} local + {} from checkpoint; \
+         {} redispatched, {} hedged, {} duplicate(s) deduped\n\
+         source {}, degraded: {}, workers died {}, reconnects {}\n",
+        report.workers,
+        stats.mean(),
+        stats.std_error(),
+        stats.min().unwrap_or(0.0),
+        stats.max().unwrap_or(0.0),
+        report.blocks_total,
+        report.executed,
+        report.local_blocks,
+        report.from_checkpoint,
+        report.redispatched,
+        report.hedged,
+        report.hedge_wasted,
+        report.source,
+        if report.degraded { "yes" } else { "no" },
+        report.workers_died,
+        report.reconnects,
+    );
+    if opts.flag("verify") {
+        let local = matrix_congestion(scheme, pattern, width, trials, &domain);
+        let identical = local.to_raw() == stats.to_raw();
+        out.push_str(&format!(
+            "bit-identical to single-process: {}\n",
+            if identical { "yes" } else { "NO" }
+        ));
+        if !identical {
+            return Err(out);
+        }
+    }
+    Ok(out)
 }
 
 /// Serializable payload of `rap analyze --json`.
@@ -1081,6 +1297,96 @@ mod tests {
         assert!(call(&["query", "--addr", "127.0.0.1:9", "--json", "{}"])
             .unwrap_err()
             .contains("connect"));
+    }
+
+    #[test]
+    fn query_reconnects_once_then_reports_mid_response_close() {
+        // A server that accepts, reads the request, and slams the
+        // connection shut — twice, so the single reconnect attempt also
+        // sees a mid-response close.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            for _ in 0..2 {
+                let (stream, _) = listener.accept().unwrap();
+                let mut line = String::new();
+                let mut reader = std::io::BufReader::new(stream);
+                let _ = std::io::BufRead::read_line(&mut reader, &mut line);
+                // dropped here: close before any response byte
+            }
+        });
+        let err = call(&[
+            "query",
+            "--addr",
+            &addr,
+            "--json",
+            r#"{"cmd":"health"}"#,
+            "--timeout-ms",
+            "2000",
+        ])
+        .unwrap_err();
+        server.join().unwrap();
+        assert!(err.contains("closed the connection"), "{err}");
+        assert!(err.contains("reconnect"), "{err}");
+    }
+
+    #[test]
+    fn cluster_validates_before_spawning() {
+        // Every bad invocation must die in option validation — no worker
+        // process or thread may ever be spawned for these.
+        for (argv, needle) in [
+            (
+                vec!["cluster", "--workers", "0"],
+                "--workers must be 1..=64",
+            ),
+            (
+                vec!["cluster", "--workers", "65"],
+                "--workers must be 1..=64",
+            ),
+            (vec!["cluster", "--workers", "abc"], "expected a number"),
+            (vec!["cluster", "--scheme", "xor"], "deterministic"),
+            (vec!["cluster", "--scheme", "padded"], "deterministic"),
+            (vec!["cluster", "--scheme", "zzz"], "unknown scheme"),
+            (vec!["cluster", "--pattern", "zzz"], "unknown pattern"),
+            (vec!["cluster", "--width", "0"], "1..=4096"),
+            (
+                vec!["cluster", "--addrs", "127.0.0.1:7001,127.0.0.1:7001"],
+                "port collision",
+            ),
+            (
+                vec!["cluster", "--addrs", "not-an-address"],
+                "not a host:port",
+            ),
+            (vec!["cluster", "--addrs", ""], "not a host:port"),
+        ] {
+            let err = call(&argv).unwrap_err();
+            assert!(err.contains(needle), "{argv:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn cluster_in_process_verify_matches_local_bits() {
+        let out = call(&[
+            "cluster",
+            "--pattern",
+            "random",
+            "--scheme",
+            "rap",
+            "--width",
+            "16",
+            "--trials",
+            "96",
+            "--workers",
+            "2",
+            "--in-process",
+            "--verify",
+        ])
+        .unwrap();
+        assert!(
+            out.contains("bit-identical to single-process: yes"),
+            "{out}"
+        );
+        assert!(out.contains("2 worker(s)"), "{out}");
     }
 
     #[test]

@@ -20,7 +20,10 @@ use proptest::prelude::*;
 /// layout render per case is a wasted minute, and the cap boundary is
 /// covered by the unit tests).
 const TOKENS: &[&str] = &[
-    // commands (serve excluded: valid invocations block by design)
+    // commands (serve excluded: valid invocations block by design;
+    // cluster excluded: a valid invocation spawns a worker pool and
+    // runs a distributed sweep — its hostile-option surface is covered
+    // by the dedicated property below, which never reaches a spawn)
     "layout",
     "congestion",
     "pattern",
@@ -159,5 +162,36 @@ proptest! {
             VALS[val].to_string(),
         ];
         let _ = rap_cli::run(&argv);
+    }
+
+    /// `rap cluster` with hostile option values: worker count zero or
+    /// over-cap, malformed counts, port collisions and junk in
+    /// `--addrs`, deterministic schemes. Every sampled case must fail
+    /// option validation — contextually, before any worker process or
+    /// thread is spawned — so the property doubles as a guard that
+    /// validation stays strictly ahead of spawning.
+    #[test]
+    fn hostile_cluster_options_never_panic_or_spawn(
+        key in 0usize..6,
+        val in 0usize..12,
+    ) {
+        const KEYS: &[&str] = &[
+            "--workers", "--addrs", "--scheme", "--pattern", "--width", "--trials",
+        ];
+        const VALS: &[&str] = &[
+            "0", "65", "99999999999999999999999999", "-1", "abc", "",
+            "127.0.0.1:7001,127.0.0.1:7001", "not-an-address", "1,,2",
+            "xor", "padded", "zzz",
+        ];
+        let argv: Vec<String> = vec![
+            "cluster".to_string(),
+            KEYS[key].to_string(),
+            VALS[val].to_string(),
+            // A poisoned second option: even when the first pair happens
+            // to parse (e.g. --trials 0 saturates to 1), this one cannot.
+            "--workers".to_string(),
+            "0".to_string(),
+        ];
+        rap_cli::run(&argv).unwrap_err();
     }
 }

@@ -1,0 +1,140 @@
+//! Consistent-hash routing of repeated queries to warm shards.
+//!
+//! Each worker owns a set of virtual points on a 64-bit ring; a query key
+//! routes to the owner of the first point clockwise from the key's hash.
+//! Two properties matter here:
+//!
+//! * **warmth** — the same key always lands on the same shard while the
+//!   membership is stable, so repeated queries hit a worker whose caches
+//!   (OS page cache, allocator arenas, branch predictors) already saw
+//!   that workload;
+//! * **minimal disruption** — when one shard dies, only the keys it owned
+//!   move (to the next point clockwise); every other key keeps its warm
+//!   shard. A modulo assignment would reshuffle almost everything.
+//!
+//! Hashing reuses the workspace's FNV-1a + SplitMix64 construction
+//! ([`rap_resilience::fingerprint`]), so placements are identical across
+//! processes and platforms — a coordinator restarted after `kill -9`
+//! routes exactly as its predecessor did.
+
+use rap_resilience::fingerprint;
+
+/// Virtual points per worker. Enough to keep the per-worker key share
+/// within a few percent of uniform at the fleet sizes we run (≤ 64).
+const VNODES: usize = 32;
+
+/// A consistent-hash ring over worker indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, worker)` sorted by point.
+    points: Vec<(u64, usize)>,
+    workers: usize,
+}
+
+impl HashRing {
+    /// Build the ring for `workers` shards.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let mut points = Vec::with_capacity(workers * VNODES);
+        for w in 0..workers {
+            for v in 0..VNODES {
+                points.push((fingerprint([format!("ring/{w}/{v}")]), w));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, workers }
+    }
+
+    /// Number of workers the ring was built over.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The primary shard for `key`, or `None` on an empty ring.
+    #[must_use]
+    pub fn route(&self, key: &str) -> Option<usize> {
+        self.walk(key).into_iter().next()
+    }
+
+    /// Every worker in failover order for `key`: the primary first, then
+    /// each distinct successor clockwise. A caller needing a healthy
+    /// shard takes the first entry that answers.
+    #[must_use]
+    pub fn walk(&self, key: &str) -> Vec<usize> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let h = fingerprint(["key", key]);
+        let start = self.points.partition_point(|&(p, _)| p < h) % self.points.len();
+        let mut order = Vec::with_capacity(self.workers);
+        for i in 0..self.points.len() {
+            let (_, w) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&w) {
+                order.push(w);
+                if order.len() == self.workers {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> Vec<String> {
+        (0..512).map(|i| format!("cell-{i}/w=32")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let a = HashRing::new(8);
+        let b = HashRing::new(8);
+        for k in keys() {
+            let w = a.route(&k).unwrap();
+            assert_eq!(Some(w), b.route(&k));
+            assert!(w < 8);
+        }
+        assert_eq!(HashRing::new(0).route("x"), None);
+    }
+
+    #[test]
+    fn every_worker_owns_some_keys() {
+        let ring = HashRing::new(8);
+        let mut owned = [0usize; 8];
+        for k in keys() {
+            owned[ring.route(&k).unwrap()] += 1;
+        }
+        assert!(
+            owned.iter().all(|&c| c > 0),
+            "vnode count too low for coverage: {owned:?}"
+        );
+    }
+
+    #[test]
+    fn walk_lists_every_worker_exactly_once() {
+        let ring = HashRing::new(5);
+        for k in keys().iter().take(32) {
+            let mut order = ring.walk(k);
+            assert_eq!(order.len(), 5);
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn losing_one_shard_only_moves_its_keys() {
+        let ring = HashRing::new(8);
+        let dead = 3usize;
+        for k in keys() {
+            let before = ring.route(&k).unwrap();
+            let after = *ring.walk(&k).iter().find(|&&w| w != dead).unwrap();
+            if before != dead {
+                assert_eq!(before, after, "key {k} moved although its shard lived");
+            }
+        }
+    }
+}

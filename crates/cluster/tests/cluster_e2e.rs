@@ -1,0 +1,207 @@
+//! End-to-end coordinator tests over in-process worker shards.
+//!
+//! Everything here runs real servers on real loopback sockets — only the
+//! process boundary is elided (the chaos bench and CI soak cover spawned
+//! binaries and genuine SIGKILL). The invariant under test throughout:
+//! the distributed sweep merges to statistics **bit-identical** to
+//! [`matrix_congestion`] run locally, whatever the worker count or
+//! failure schedule.
+
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_cluster::{Cluster, ClusterConfig, SweepCell, WorkerPool};
+use rap_core::Scheme;
+use rap_resilience::Ledger;
+use rap_stats::{OnlineStats, SeedDomain};
+use std::time::Duration;
+
+/// A small three-cell sweep with a ragged tail block (77 trials).
+fn cells() -> Vec<SweepCell> {
+    let root = SeedDomain::new(2014).child("e2e");
+    vec![
+        SweepCell::new(
+            "Random/RAP/w=16",
+            MatrixPattern::Random,
+            Scheme::Rap,
+            16,
+            77,
+            &root.child("a"),
+        ),
+        SweepCell::new(
+            "Random/RAS/w=8",
+            MatrixPattern::Random,
+            Scheme::Ras,
+            8,
+            96,
+            &root.child("b"),
+        ),
+        SweepCell::new(
+            "Diagonal/RAW/w=16",
+            MatrixPattern::Diagonal,
+            Scheme::Raw,
+            16,
+            40,
+            &root.child("c"),
+        ),
+    ]
+}
+
+/// The single-process ground truth for [`cells`].
+fn local_truth() -> Vec<OnlineStats> {
+    let root = SeedDomain::new(2014).child("e2e");
+    vec![
+        matrix_congestion(Scheme::Rap, MatrixPattern::Random, 16, 77, &root.child("a")),
+        matrix_congestion(Scheme::Ras, MatrixPattern::Random, 8, 96, &root.child("b")),
+        matrix_congestion(
+            Scheme::Raw,
+            MatrixPattern::Diagonal,
+            16,
+            40,
+            &root.child("c"),
+        ),
+    ]
+}
+
+fn fast_cfg() -> ClusterConfig {
+    ClusterConfig {
+        request_timeout: Duration::from_secs(5),
+        ..ClusterConfig::default()
+    }
+}
+
+fn assert_bit_identical(merged: &[OnlineStats], truth: &[OnlineStats]) {
+    assert_eq!(merged.len(), truth.len());
+    for (i, (m, t)) in merged.iter().zip(truth).enumerate() {
+        assert_eq!(m.to_raw(), t.to_raw(), "cell {i} diverged");
+    }
+}
+
+#[test]
+fn distributed_sweep_matches_single_process_bit_for_bit() {
+    for workers in [1usize, 2] {
+        let pool = WorkerPool::in_process(workers).expect("spawn workers");
+        let cluster = Cluster::new(pool, fast_cfg());
+        let ledger = Ledger::in_memory();
+        let (merged, report) = cluster.run_sweep(&cells(), &ledger);
+        assert_bit_identical(&merged, &local_truth());
+        assert!(
+            !report.degraded,
+            "healthy pool must not degrade: {report:?}"
+        );
+        assert_eq!(report.source, "cluster");
+        assert_eq!(report.executed, report.blocks_total);
+        cluster.pool().shutdown();
+    }
+}
+
+#[test]
+fn killed_worker_redispatches_and_stays_bit_exact() {
+    let pool = WorkerPool::in_process(2).expect("spawn workers");
+    // One reconnect attempt with tiny backoff: dead workers are declared
+    // dead fast enough for the test, live ones are unaffected.
+    let cfg = ClusterConfig {
+        max_reconnects: 1,
+        ..fast_cfg()
+    };
+    let cluster = Cluster::new(pool, cfg);
+    cluster.pool().kill(1);
+    let ledger = Ledger::in_memory();
+    let (merged, report) = cluster.run_sweep(&cells(), &ledger);
+    assert_bit_identical(&merged, &local_truth());
+    assert_eq!(
+        report.executed + report.local_blocks,
+        report.blocks_total,
+        "{report:?}"
+    );
+    // The surviving worker (plus, at worst, the local fallback) carried
+    // the sweep; the dead shard was noticed and written off.
+    assert!(report.workers_died <= 1);
+    cluster.pool().shutdown();
+}
+
+#[test]
+fn below_quorum_degrades_to_local_with_identical_bits() {
+    let pool = WorkerPool::in_process(1).expect("spawn worker");
+    let cluster = Cluster::new(pool, fast_cfg());
+    cluster.pool().kill(0);
+    // Give the drain a moment so the health probe sees `draining`.
+    std::thread::sleep(Duration::from_millis(50));
+    let ledger = Ledger::in_memory();
+    let (merged, report) = cluster.run_sweep(&cells(), &ledger);
+    assert_bit_identical(&merged, &local_truth());
+    assert!(report.degraded);
+    assert_eq!(report.source, "cluster-local");
+    assert_eq!(report.local_blocks, report.blocks_total);
+    assert_eq!(report.executed, 0);
+    cluster.pool().shutdown();
+}
+
+#[test]
+fn coordinator_resume_reuses_the_ledger_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!("rap-cluster-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path = dir.join("sweep.ledger");
+    let fp = rap_resilience::fingerprint(["cluster-e2e"]);
+
+    // First run: completes and checkpoints every block.
+    {
+        let pool = WorkerPool::in_process(2).expect("spawn workers");
+        let cluster = Cluster::new(pool, fast_cfg());
+        let ledger =
+            Ledger::open(&path, fp, rap_resilience::SyncPolicy::Flush).expect("open ledger");
+        let (_, report) = cluster.run_sweep(&cells(), &ledger);
+        assert_eq!(report.executed, report.blocks_total);
+        cluster.pool().shutdown();
+    }
+
+    // "Restarted" coordinator: everything comes from the checkpoint, no
+    // worker executes anything, and the merge is still bit-identical.
+    let pool = WorkerPool::in_process(1).expect("spawn worker");
+    let cluster = Cluster::new(pool, fast_cfg());
+    let ledger = Ledger::open(&path, fp, rap_resilience::SyncPolicy::Flush).expect("reopen ledger");
+    assert!(ledger.resumed_entries() > 0);
+    let (merged, report) = cluster.run_sweep(&cells(), &ledger);
+    assert_bit_identical(&merged, &local_truth());
+    assert_eq!(report.from_checkpoint, report.blocks_total);
+    assert_eq!(report.executed, 0);
+    assert!(!report.degraded);
+    cluster.pool().shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queries_route_and_fail_over_to_local_degraded() {
+    let pool = WorkerPool::in_process(2).expect("spawn workers");
+    let cluster = Cluster::new(pool, fast_cfg());
+    let line = r#"{"cmd":"congestion","width":4,"addresses":[0,4,8,1]}"#;
+
+    // Healthy: served by a shard, full fidelity.
+    let resp = cluster.query("warm-key", line).expect("routed query");
+    assert!(resp.ok && !resp.degraded);
+
+    // Malformed lines are rejected before any shard sees them.
+    assert!(matches!(
+        cluster.query("warm-key", "not json"),
+        Err(rap_cluster::ClusterError::BadRequest(_))
+    ));
+
+    // Both shards down: the coordinator answers in-process, explicitly
+    // degraded with source "cluster-local".
+    cluster.pool().kill(0);
+    cluster.pool().kill(1);
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = cluster.query("warm-key", line).expect("degraded fallback");
+    assert!(resp.ok && resp.degraded);
+    let data = resp.data.as_ref().unwrap();
+    let source = data
+        .as_object()
+        .unwrap()
+        .iter()
+        .find(|(k, _)| k == "source")
+        .map(|(_, v)| v.clone());
+    assert_eq!(
+        source,
+        Some(serde::Value::String("cluster-local".to_string()))
+    );
+    cluster.pool().shutdown();
+}

@@ -1,0 +1,199 @@
+//! Distributed-vs-single oracle: a `rap-cluster` sweep sharded over an
+//! in-process worker pool must merge to **bit-identical**
+//! [`RawOnlineStats`](rap_stats::RawOnlineStats) against the plain
+//! single-process [`matrix_congestion`] run — including under
+//! seed-chosen worker kills before dispatch (forcing re-dispatch onto
+//! survivors, or the quorum-degrade local path when the sole worker
+//! dies).
+//!
+//! The two computations share only the trial sampler: the cluster path
+//! goes seed-domain → wire protocol → per-block worker execution →
+//! first-writer-wins merge through the checkpoint ledger, while the
+//! reference streams every trial through one accumulator in one
+//! process. Exact agreement of all five raw moments for every seed is
+//! the conformance claim, and it is also what lets the coordinator
+//! degrade or fail over without anyone downstream being able to tell.
+
+use crate::oracle::{Divergence, Oracle};
+use crate::pattern::splitmix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rap_access::montecarlo::matrix_congestion;
+use rap_access::MatrixPattern;
+use rap_cluster::{Cluster, ClusterConfig, SweepCell, WorkerPool};
+use rap_core::Scheme;
+use rap_resilience::Ledger;
+use rap_stats::SeedDomain;
+
+/// Differential oracle pitting a sharded cluster sweep against the
+/// single-process Monte-Carlo reference.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ClusterOracle;
+
+/// Worker-pool sizes the oracle cycles through: the degenerate single
+/// worker, the smallest pool with real routing, and a pool wider than
+/// any case's block count (idle shards must not perturb the merge).
+const WORKER_LADDER: &[usize] = &[1, 2, 8];
+
+/// Sampled schemes only — xor/padded are deterministic and have no
+/// Monte-Carlo block decomposition to distribute.
+const SCHEMES: &[Scheme] = &[Scheme::Raw, Scheme::Ras, Scheme::Rap];
+
+const PATTERNS: &[MatrixPattern] = &[
+    MatrixPattern::Contiguous,
+    MatrixPattern::Stride,
+    MatrixPattern::Diagonal,
+    MatrixPattern::Random,
+    MatrixPattern::Broadcast,
+];
+
+/// One decoded case: a pool size, an optional pre-dispatch kill, and
+/// one or two sweep cells.
+struct Case {
+    workers: usize,
+    kill: Option<usize>,
+    cells: Vec<SweepCell>,
+}
+
+impl Case {
+    fn describe(&self) -> String {
+        let cells: Vec<&str> = self.cells.iter().map(|c| c.key.as_str()).collect();
+        format!(
+            "{} worker(s), kill={:?}, cells [{}]",
+            self.workers,
+            self.kill,
+            cells.join("; ")
+        )
+    }
+}
+
+fn decode(seed: u64) -> Case {
+    let mut rng = SmallRng::seed_from_u64(splitmix64(seed));
+    let workers = WORKER_LADDER[rng.gen_range(0..WORKER_LADDER.len())];
+    // Half the multi-worker cases kill one shard before dispatch (its
+    // blocks re-route to survivors); a quarter of the single-worker
+    // cases kill the only shard (quorum degrade → local execution).
+    let kill = if workers > 1 {
+        rng.gen_bool(0.5).then(|| rng.gen_range(0..workers))
+    } else {
+        rng.gen_bool(0.25).then_some(0)
+    };
+    let domain = SeedDomain::new(seed).child("cluster-oracle");
+    let n_cells = rng.gen_range(1..=2usize);
+    let mut cells = Vec::with_capacity(n_cells);
+    for idx in 0..n_cells {
+        let pattern = PATTERNS[rng.gen_range(0..PATTERNS.len())];
+        let scheme = SCHEMES[rng.gen_range(0..SCHEMES.len())];
+        let width = [4usize, 8, 16][rng.gen_range(0..3)];
+        // 33..=160 trials: always at least two blocks, so every case
+        // actually exercises the merge (and kills re-route real work).
+        let trials = rng.gen_range(33..=160u64);
+        cells.push(SweepCell::new(
+            format!("{}/{}/w={width}#{idx}", pattern.name(), scheme.name()),
+            pattern,
+            scheme,
+            width,
+            trials,
+            &domain.child_idx(idx as u64),
+        ));
+    }
+    Case {
+        workers,
+        kill,
+        cells,
+    }
+}
+
+impl Oracle for ClusterOracle {
+    fn name(&self) -> &'static str {
+        "cluster:distributed-vs-single"
+    }
+
+    fn check(&mut self, seed: u64) -> Result<(), Divergence> {
+        let case = decode(seed);
+        let described = case.describe();
+
+        let pool = WorkerPool::in_process(case.workers).expect("in-process workers bind on demand");
+        let cluster = Cluster::new(pool, ClusterConfig::default());
+        if let Some(id) = case.kill {
+            cluster.pool().kill(id);
+        }
+        let ledger = Ledger::in_memory();
+        let (merged, report) = cluster.run_sweep(&case.cells, &ledger);
+        cluster.pool().shutdown();
+
+        // Block conservation: every block is accounted to exactly one of
+        // the three sources, whatever died.
+        let accounted = report.executed + report.local_blocks + report.from_checkpoint;
+        if accounted != report.blocks_total {
+            return Err(Divergence::new(
+                self.name(),
+                seed,
+                described,
+                format!("{} blocks accounted", report.blocks_total),
+                format!(
+                    "{accounted} ({} worker + {} local + {} checkpoint)",
+                    report.executed, report.local_blocks, report.from_checkpoint
+                ),
+            ));
+        }
+
+        for (cell, stats) in case.cells.iter().zip(&merged) {
+            let reference = matrix_congestion(
+                cell.scheme,
+                cell.pattern,
+                cell.width,
+                cell.trials,
+                &SeedDomain::from_state(cell.domain_state),
+            );
+            if reference.to_raw() != stats.to_raw() {
+                return Err(Divergence::new(
+                    self.name(),
+                    seed,
+                    format!("{described}, diverging cell {}", cell.key),
+                    format!("{:?}", reference.to_raw()),
+                    format!("{:?} (report: {report:?})", stats.to_raw()),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dozens_of_seeds_run_clean() {
+        let mut oracle = ClusterOracle;
+        for seed in 0..24u64 {
+            oracle
+                .check(seed)
+                .expect("distributed merge is bit-identical to the local run");
+        }
+    }
+
+    #[test]
+    fn decode_is_deterministic_and_covers_the_ladder() {
+        let mut seen_workers = std::collections::HashSet::new();
+        let mut seen_kills = false;
+        for seed in 0..64u64 {
+            let a = decode(seed);
+            let b = decode(seed);
+            assert_eq!(a.workers, b.workers);
+            assert_eq!(a.kill, b.kill);
+            assert_eq!(
+                a.cells.iter().map(|c| &c.key).collect::<Vec<_>>(),
+                b.cells.iter().map(|c| &c.key).collect::<Vec<_>>()
+            );
+            for cell in &a.cells {
+                assert!(cell.blocks() >= 2, "every case exercises the merge");
+            }
+            seen_workers.insert(a.workers);
+            seen_kills |= a.kill.is_some();
+        }
+        assert_eq!(seen_workers.len(), WORKER_LADDER.len());
+        assert!(seen_kills, "kill schedules are reachable");
+    }
+}

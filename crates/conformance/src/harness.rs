@@ -5,6 +5,7 @@
 //! the same base seed serialize identically, which is itself asserted by
 //! the determinism test.
 
+use crate::cluster_oracle::ClusterOracle;
 use crate::fused_oracle::FusedKernelOracle;
 use crate::kernels::{AnalyzePath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath};
 use crate::machine::{DmmTimingOracle, UmmRowsOracle};
@@ -102,7 +103,7 @@ impl Harness {
         self
     }
 
-    /// The standard bounded suite wired into `cargo test`: all twelve
+    /// The standard bounded suite wired into `cargo test`: all thirteen
     /// oracle pairs, budgeted to just over 10 000 cases in well under a
     /// minute.
     #[must_use]
@@ -149,6 +150,10 @@ impl Harness {
         h.push(Box::new(ScheduleOracle), 300 * m);
         h.push(Box::new(ProverOracle), 500 * m);
         h.push(Box::new(SynthCertificateOracle), 150 * m);
+        // Each case spins up (and tears down) a real in-process worker
+        // pool behind TCP sockets, so the budget is deliberately small:
+        // the per-case bit-equality claim, not case volume, is the value.
+        h.push(Box::new(ClusterOracle), 12 * m);
         h
     }
 

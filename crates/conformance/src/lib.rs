@@ -18,9 +18,11 @@
 //!   fused permute-shift kernel vs the unfused pipeline), [`machine`],
 //!   [`mapping_oracle`], [`transpose_oracle`], [`schedule_oracle`], and
 //!   [`prover_oracle`] (the static prover of `rap-analyze` vs the
-//!   simulated bank loads), and [`synth_oracle`] (synthesis certificates
+//!   simulated bank loads), [`synth_oracle`] (synthesis certificates
 //!   vs an oracle-local brute-force optimum plus checker rejection of
-//!   forgeries);
+//!   forgeries), and [`cluster_oracle`] (sharded `rap-cluster` sweeps —
+//!   with seed-chosen worker kills — vs the single-process Monte-Carlo
+//!   run, bit for bit);
 //! * [`mutation`] — deliberately broken kernels proving the harness has
 //!   teeth;
 //! * [`harness`] — the driver producing a serializable
@@ -37,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster_oracle;
 pub mod fused_oracle;
 pub mod harness;
 pub mod kernels;
@@ -52,6 +55,7 @@ pub mod shrink;
 pub mod synth_oracle;
 pub mod transpose_oracle;
 
+pub use cluster_oracle::ClusterOracle;
 pub use fused_oracle::FusedKernelOracle;
 pub use harness::{ConformanceReport, Harness, IsolatedRun, IsolationPolicy, OracleRun};
 pub use kernels::{

@@ -12,9 +12,15 @@
 //!   cheap fallback instead — `rap-serve` answers `pattern` queries from
 //!   the static analyzer's `[lo, hi]` bounds, marked `degraded:true`).
 //!   After `cooldown` the next admission probe moves to half-open.
-//! * **HalfOpen** — calls are admitted as probes. `success_to_close`
-//!   consecutive successes close the breaker; any failure re-opens it
-//!   with a fresh cooldown.
+//! * **HalfOpen** — **one** call at a time is admitted as a probe;
+//!   concurrent callers are rejected until the in-flight probe reports
+//!   back (a thundering herd arriving at cooldown expiry must not all
+//!   hit a path that is presumed broken). `success_to_close`
+//!   consecutive successful probes close the breaker; any failure
+//!   re-opens it with a fresh cooldown. A probe that completes without
+//!   a verdict (e.g. the request was malformed before it reached the
+//!   protected path) frees the slot via
+//!   [`release_probe`](CircuitBreaker::release_probe).
 //!
 //! The state machine is a single mutex-guarded struct: admissions and
 //! outcome recordings are each one short critical section, and a
@@ -90,6 +96,10 @@ struct Inner {
     state: BreakerState,
     consecutive_failures: u32,
     half_open_successes: u32,
+    /// Probes admitted in half-open that have not yet reported back.
+    /// Capped at one: the whole point of half-open is to risk a single
+    /// call on a path that was just storming failures.
+    half_open_inflight: u32,
     open_until: Option<Instant>,
     trips: u64,
 }
@@ -111,6 +121,7 @@ impl CircuitBreaker {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
                 half_open_successes: 0,
+                half_open_inflight: 0,
                 open_until: None,
                 trips: 0,
             }),
@@ -125,15 +136,26 @@ impl CircuitBreaker {
 
     /// Decide whether a call may run right now. An open breaker whose
     /// cooldown has elapsed transitions to half-open and admits the call
-    /// as a probe.
+    /// as a probe; while a probe is in flight, every other half-open
+    /// caller is rejected — two concurrent arrivals at cooldown expiry
+    /// admit exactly one.
     pub fn admit(&self) -> Admission {
         let mut inner = self.lock();
         match inner.state {
-            BreakerState::Closed | BreakerState::HalfOpen => Admission::Allow,
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::HalfOpen => {
+                if inner.half_open_inflight == 0 {
+                    inner.half_open_inflight = 1;
+                    Admission::Allow
+                } else {
+                    Admission::Reject
+                }
+            }
             BreakerState::Open => {
                 if inner.open_until.is_some_and(|t| Instant::now() >= t) {
                     inner.state = BreakerState::HalfOpen;
                     inner.half_open_successes = 0;
+                    inner.half_open_inflight = 1;
                     inner.open_until = None;
                     Admission::Allow
                 } else {
@@ -149,11 +171,13 @@ impl CircuitBreaker {
         match inner.state {
             BreakerState::Closed => inner.consecutive_failures = 0,
             BreakerState::HalfOpen => {
+                inner.half_open_inflight = inner.half_open_inflight.saturating_sub(1);
                 inner.half_open_successes += 1;
                 if inner.half_open_successes >= self.config.success_to_close {
                     inner.state = BreakerState::Closed;
                     inner.consecutive_failures = 0;
                     inner.half_open_successes = 0;
+                    inner.half_open_inflight = 0;
                 }
             }
             // A success finishing after the breaker re-opened (another
@@ -180,11 +204,23 @@ impl CircuitBreaker {
         }
     }
 
+    /// Report that an admitted call completed without a success/failure
+    /// verdict on the protected path (e.g. it was rejected as a bad
+    /// request before the path ran). Frees a half-open probe slot so the
+    /// breaker cannot wedge rejecting forever; counts toward nothing.
+    pub fn release_probe(&self) {
+        let mut inner = self.lock();
+        if inner.state == BreakerState::HalfOpen {
+            inner.half_open_inflight = inner.half_open_inflight.saturating_sub(1);
+        }
+    }
+
     fn trip(inner: &mut Inner, cooldown: Duration) {
         inner.state = BreakerState::Open;
         inner.open_until = Some(Instant::now() + cooldown);
         inner.consecutive_failures = 0;
         inner.half_open_successes = 0;
+        inner.half_open_inflight = 0;
         inner.trips += 1;
     }
 
@@ -278,6 +314,96 @@ mod tests {
         }
         b.record_success(); // raced completion from before the trip
         assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    /// Loom-free deterministic interleaving of the half-open race: the
+    /// exact schedule "A admits, B admits, A reports" is played out as
+    /// straight-line code, which the mutex-guarded state machine makes
+    /// equivalent to any true thread interleaving of those three
+    /// critical sections.
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        // A and B race into the cooled-down breaker; A wins the slot.
+        assert_eq!(b.admit(), Admission::Allow, "A: the probe");
+        assert_eq!(b.admit(), Admission::Reject, "B: probe in flight");
+        assert_eq!(b.admit(), Admission::Reject, "C: still in flight");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // A reports success; the slot frees for the next single probe.
+        b.record_success();
+        assert_eq!(b.admit(), Admission::Allow, "second probe");
+        assert_eq!(b.admit(), Admission::Reject);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed, "2 successes close");
+        // Closed again: concurrency is unrestricted.
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.admit(), Admission::Allow);
+    }
+
+    #[test]
+    fn half_open_probe_failure_frees_nothing_but_reopens() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admission::Allow);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit(), Admission::Reject, "fresh cooldown, no slot");
+    }
+
+    #[test]
+    fn released_probe_frees_the_slot_without_counting() {
+        let b = CircuitBreaker::new(fast());
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit(), Admission::Allow);
+        assert_eq!(b.admit(), Admission::Reject);
+        // The probe turned out to be a malformed request: no verdict.
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "no progress made");
+        assert_eq!(b.admit(), Admission::Allow, "slot is free again");
+        b.record_success();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    /// True two-thread race: both threads call `admit` on a cooled-down
+    /// breaker through a barrier; exactly one may win the probe slot.
+    #[test]
+    fn two_concurrent_probes_admit_exactly_one() {
+        use std::sync::{Arc, Barrier};
+        for _ in 0..50 {
+            let b = Arc::new(CircuitBreaker::new(fast()));
+            for _ in 0..3 {
+                b.record_failure();
+            }
+            std::thread::sleep(Duration::from_millis(25));
+            let barrier = Arc::new(Barrier::new(2));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        barrier.wait();
+                        b.admit()
+                    })
+                })
+                .collect();
+            let admitted = handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .filter(|a| *a == Admission::Allow)
+                .count();
+            assert_eq!(admitted, 1, "exactly one probe through the race");
+        }
     }
 
     #[test]

@@ -37,6 +37,10 @@ impl Client {
     ) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(read_timeout))?;
+        // Request lines are small; without this, Nagle holds the second
+        // of two back-to-back small writes until the first is ACKed
+        // (~40ms with delayed ACKs), capping a roundtrip loop at ~25/s.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),
@@ -49,8 +53,12 @@ impl Client {
     /// # Errors
     /// Propagates write errors (server gone).
     pub fn send(&mut self, line: &str) -> std::io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
+        // One write per request: line and newline in a single buffer so
+        // the request leaves in one segment.
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
         self.writer.flush()
     }
 

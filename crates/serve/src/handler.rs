@@ -14,7 +14,7 @@
 //! discarding finished work.
 
 use crate::protocol::{object, Command};
-use rap_access::montecarlo::matrix_congestion_cancellable;
+use rap_access::montecarlo::{blocks_for, matrix_block_stats, matrix_congestion_cancellable};
 use rap_access::{CancelToken, MatrixPattern};
 use rap_analyze::{certify_theorem1, certify_theorem2, fallback_bounds, FallbackPattern};
 use rap_core::modern::build_mapping;
@@ -97,6 +97,18 @@ fn stats_value(stats: &OnlineStats) -> Value {
     ])
 }
 
+/// The accumulator as IEEE-754 bit patterns: lossless over the wire, so
+/// a coordinator's block merge is bit-identical to a local one.
+fn raw_stats_value(raw: &rap_stats::RawOnlineStats) -> Value {
+    object(vec![
+        ("count", Value::U64(raw.count)),
+        ("mean_bits", Value::U64(raw.mean_bits)),
+        ("m2_bits", Value::U64(raw.m2_bits)),
+        ("min_bits", Value::U64(raw.min_bits)),
+        ("max_bits", Value::U64(raw.max_bits)),
+    ])
+}
+
 /// Execute one command. Must be called inside a `catch_unwind` boundary:
 /// the `serve.handler` failpoint (and any real handler bug) may panic.
 #[must_use]
@@ -120,6 +132,23 @@ pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
             trials,
             seed,
         } => pattern_mc(pattern, scheme, *width, *trials, *seed, token),
+        Command::PatternBlock {
+            pattern,
+            scheme,
+            width,
+            trials,
+            block,
+            seed,
+            domain_state,
+        } => pattern_block(
+            pattern,
+            scheme,
+            *width,
+            *trials,
+            *block,
+            *seed,
+            *domain_state,
+        ),
         Command::Analyze { width } => analyze(*width),
         Command::Transpose {
             kind,
@@ -260,6 +289,54 @@ fn pattern_mc(
             partial.completed_blocks, partial.total_blocks
         ),
     )
+}
+
+/// Evaluate exactly one 32-trial block of the decomposition `pattern`
+/// uses over `trials` total trials, returning the raw accumulator.
+///
+/// No cancellation token: a block is 32 trials, the unit the deadline
+/// machinery itself is built from — it either completes quickly or the
+/// request deadline fails the whole job. Deterministic schemes
+/// (xor/padded) sample nothing per trial and have no block
+/// decomposition; asking for one is a contextual bad request.
+#[allow(clippy::too_many_arguments)]
+fn pattern_block(
+    pattern_str: &str,
+    scheme_str: &str,
+    width: usize,
+    trials: u64,
+    block: u64,
+    seed: u64,
+    domain_state: Option<u64>,
+) -> Outcome {
+    let pattern = match parse_pattern(pattern_str) {
+        Ok(p) => p,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    let scheme = match parse_scheme(scheme_str) {
+        Ok(s) => s,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    if !matches!(scheme, Scheme::Raw | Scheme::Ras | Scheme::Rap) {
+        return Outcome::BadRequest(format!(
+            "scheme '{scheme}' is deterministic and has no Monte-Carlo block \
+             decomposition; use 'pattern'"
+        ));
+    }
+    // A raw domain state (from `SeedDomain::seed`) transports a *derived*
+    // domain losslessly; the mixing `seed` form cannot express one.
+    let domain = domain_state.map_or_else(|| SeedDomain::new(seed), SeedDomain::from_state);
+    let stats = matrix_block_stats(scheme, pattern, width, trials, block, &domain);
+    Outcome::Ok(object(vec![
+        ("pattern", Value::String(pattern_str.to_ascii_lowercase())),
+        ("scheme", Value::String(scheme.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("trials", Value::U64(trials)),
+        ("block", Value::U64(block)),
+        ("total_blocks", Value::U64(blocks_for(trials))),
+        ("raw_stats", raw_stats_value(&stats.to_raw())),
+        ("source", Value::String("monte-carlo-block".into())),
+    ]))
 }
 
 fn analyze(width: usize) -> Outcome {
@@ -585,6 +662,110 @@ mod tests {
             Outcome::Ok(data) => {
                 assert_eq!(get(get(&data, "stats"), "mean"), &Value::F64(1.0));
             }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pattern_block_merge_matches_the_plain_engine_bit_for_bit() {
+        let trials = 77; // 3 blocks, ragged tail
+        let mut merged = OnlineStats::new();
+        for block in 0..rap_access::montecarlo::blocks_for(trials) {
+            let out = execute(
+                &Command::PatternBlock {
+                    pattern: "random".into(),
+                    scheme: "rap".into(),
+                    width: 16,
+                    trials,
+                    block,
+                    seed: 2014,
+                    domain_state: None,
+                },
+                &never(),
+            );
+            let Outcome::Ok(data) = out else {
+                panic!("{out:?}");
+            };
+            let raw = get(&data, "raw_stats");
+            let bits = |key: &str| match get(raw, key) {
+                Value::U64(v) => *v,
+                other => panic!("{key}: {other:?}"),
+            };
+            merged.merge(&OnlineStats::from_raw(&rap_stats::RawOnlineStats {
+                count: bits("count"),
+                mean_bits: bits("mean_bits"),
+                m2_bits: bits("m2_bits"),
+                min_bits: bits("min_bits"),
+                max_bits: bits("max_bits"),
+            }));
+        }
+        let full = rap_access::montecarlo::matrix_congestion(
+            rap_core::Scheme::Rap,
+            MatrixPattern::Random,
+            16,
+            trials,
+            &SeedDomain::new(2014),
+        );
+        assert_eq!(
+            merged.to_raw(),
+            full.to_raw(),
+            "wire round trip is lossless"
+        );
+    }
+
+    #[test]
+    fn pattern_block_domain_state_ships_derived_domains_bit_exactly() {
+        // A Table II-style derived cell domain, unreachable through the
+        // mixing `seed` field.
+        let cell = SeedDomain::new(2014)
+            .child("table2")
+            .child("random")
+            .child("RAP")
+            .child_idx(16);
+        let out = execute(
+            &Command::PatternBlock {
+                pattern: "random".into(),
+                scheme: "rap".into(),
+                width: 16,
+                trials: 32,
+                block: 0,
+                seed: 0,
+                domain_state: Some(cell.seed()),
+            },
+            &never(),
+        );
+        let Outcome::Ok(data) = out else {
+            panic!("{out:?}");
+        };
+        let local = matrix_block_stats(
+            rap_core::Scheme::Rap,
+            MatrixPattern::Random,
+            16,
+            32,
+            0,
+            &cell,
+        );
+        let raw = get(&data, "raw_stats");
+        assert_eq!(get(raw, "mean_bits"), &Value::U64(local.to_raw().mean_bits));
+        assert_eq!(get(raw, "m2_bits"), &Value::U64(local.to_raw().m2_bits));
+    }
+
+    #[test]
+    fn pattern_block_rejects_deterministic_schemes() {
+        let out = execute(
+            &Command::PatternBlock {
+                pattern: "stride".into(),
+                scheme: "padded".into(),
+                width: 8,
+                trials: 32,
+                block: 0,
+                seed: 7,
+                domain_state: None,
+            },
+            &never(),
+        );
+        match out {
+            Outcome::BadRequest(msg) => assert!(msg.contains("deterministic"), "{msg}"),
             other => panic!("{other:?}"),
         }
     }

@@ -8,11 +8,14 @@
 //! * [`queue`] — a bounded job queue with explicit admission control:
 //!   a full queue sheds with a structured `429`-style response instead
 //!   of queueing unboundedly or dropping silently;
-//! * [`server`] — the std-only runtime (no async framework): acceptor,
-//!   per-connection reader threads, a fixed worker pool, per-request
-//!   deadlines with cooperative cancellation, per-worker panic isolation
-//!   (`catch_unwind` + bounded seed-keyed retries), and a circuit
-//!   breaker that trips on consecutive panics/timeouts;
+//! * [`server`] — the std-only runtime (no async framework), layered as
+//!   transport (sockets, line framing, connection caps) → routing
+//!   (inline vs queued dispatch, deadline/breaker/retry policies) →
+//!   handler: acceptor, per-connection reader threads, a fixed worker
+//!   pool, per-request deadlines with cooperative cancellation,
+//!   per-worker panic isolation (`catch_unwind` + bounded seed-keyed
+//!   retries), and a circuit breaker that trips on consecutive
+//!   panics/timeouts;
 //! * [`handler`] — command dispatch into the workspace crates, with the
 //!   `serve.handler` failpoint at its entry so the chaos suite can
 //!   inject faults exactly where real bugs would land. When the breaker
@@ -51,7 +54,9 @@ pub mod handler;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;
+mod routing;
 pub mod server;
+mod transport;
 
 pub use client::Client;
 pub use metrics::{Metrics, MetricsSnapshot};

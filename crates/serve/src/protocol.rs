@@ -63,6 +63,31 @@ pub enum Command {
         /// Seed domain root.
         seed: u64,
     },
+    /// One fixed-size block of a `pattern` Monte-Carlo estimate — the
+    /// distribution unit of `rap-cluster`. Returns the block's raw
+    /// accumulator as IEEE-754 bit patterns so a coordinator merging
+    /// blocks in index order reproduces the single-process result bit
+    /// for bit.
+    PatternBlock {
+        /// Pattern family name.
+        pattern: String,
+        /// Scheme name (must be a sampled scheme: raw|ras|rap).
+        scheme: String,
+        /// Matrix width.
+        width: usize,
+        /// Total trials of the decomposition the block indexes into.
+        trials: u64,
+        /// Block index in `0..blocks_for(trials)`.
+        block: u64,
+        /// Seed domain root.
+        seed: u64,
+        /// Raw seed-domain state (overrides `seed` when present). This is
+        /// the lossless transport form from [`rap_stats::SeedDomain::seed`]:
+        /// a coordinator sends a *derived* cell domain (e.g. a Table II
+        /// cell's) here, which cannot be expressed through the mixing
+        /// `seed` constructor.
+        domain_state: Option<u64>,
+    },
     /// Static prover: certify Theorems 1 and 2 at a width.
     Analyze {
         /// Matrix width.
@@ -112,6 +137,7 @@ impl Command {
             Command::Layout { .. } => "layout",
             Command::Congestion { .. } => "congestion",
             Command::Pattern { .. } => "pattern",
+            Command::PatternBlock { .. } => "pattern_block",
             Command::Analyze { .. } => "analyze",
             Command::Transpose { .. } => "transpose",
             Command::Synthesize { .. } => "synthesize",
@@ -218,6 +244,28 @@ impl Request {
                     .clamp(1, 1_000_000),
                 seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
             },
+            "pattern_block" => {
+                let trials = opt_u64(pairs, "trials")?
+                    .unwrap_or(1000)
+                    .clamp(1, 1_000_000);
+                let block = opt_u64(pairs, "block")?
+                    .ok_or_else(|| "missing required field 'block'".to_string())?;
+                let blocks = rap_access::montecarlo::blocks_for(trials);
+                if block >= blocks {
+                    return Err(format!(
+                        "field 'block' must be 0..{blocks} for {trials} trials, got {block}"
+                    ));
+                }
+                Command::PatternBlock {
+                    pattern: required_string(pairs, "pattern")?,
+                    scheme: required_string(pairs, "scheme")?,
+                    width: width_field(pairs, 32)?,
+                    trials,
+                    block,
+                    seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
+                    domain_state: opt_u64(pairs, "domain_state")?,
+                }
+            }
             "analyze" => Command::Analyze {
                 width: width_field(pairs, 32)?,
             },
@@ -261,8 +309,8 @@ impl Request {
             "shutdown" => Command::Shutdown,
             other => {
                 return Err(format!(
-                    "unknown cmd '{other}' (expected layout|congestion|pattern|analyze|\
-                     transpose|synthesize|health|stats|shutdown)"
+                    "unknown cmd '{other}' (expected layout|congestion|pattern|pattern_block|\
+                     analyze|transpose|synthesize|health|stats|shutdown)"
                 ))
             }
         };
@@ -497,9 +545,48 @@ mod tests {
                 "field 'scheme' must be a string",
             ),
             (r#"{"cmd":"analyze","id":-3}"#, "non-negative integer"),
+            (
+                r#"{"cmd":"pattern_block","pattern":"stride","scheme":"rap"}"#,
+                "missing required field 'block'",
+            ),
+            (
+                r#"{"cmd":"pattern_block","pattern":"stride","scheme":"rap","trials":64,"block":2}"#,
+                "field 'block' must be 0..2 for 64 trials",
+            ),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn parses_a_pattern_block_request() {
+        let r = Request::parse(
+            r#"{"cmd":"pattern_block","id":3,"pattern":"random","scheme":"ras","width":16,"trials":100,"block":3,"seed":5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::PatternBlock {
+                pattern: "random".into(),
+                scheme: "ras".into(),
+                width: 16,
+                trials: 100,
+                block: 3,
+                seed: 5,
+                domain_state: None,
+            }
+        );
+        assert_eq!(r.cmd.name(), "pattern_block");
+        let r = Request::parse(
+            r#"{"cmd":"pattern_block","pattern":"random","scheme":"rap","trials":64,"block":1,"domain_state":12345}"#,
+        )
+        .unwrap();
+        match r.cmd {
+            Command::PatternBlock { domain_state, .. } => {
+                assert_eq!(domain_state, Some(12345));
+            }
+            other => panic!("wrong cmd: {other:?}"),
         }
     }
 

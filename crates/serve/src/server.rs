@@ -1,4 +1,4 @@
-//! The server runtime: acceptor, connection readers, worker pool, drain.
+//! The server runtime: thread lifecycle, shared state, and drain.
 //!
 //! Thread topology (all std, no async runtime):
 //!
@@ -11,24 +11,30 @@
 //!                              (shared, mutex'd writer)    catch_unwind
 //! ```
 //!
+//! The runtime is layered: `transport` owns sockets and line
+//! framing, `routing` owns per-request dispatch and the
+//! execution policies (deadline, breaker, retry, panic isolation), and
+//! `handler` owns the domain work. This module owns what is
+//! left — configuration, the `Shared` state every layer hangs off,
+//! spawning the acceptor and worker threads, and the graceful drain.
+//!
 //! Every parsed request is answered exactly once, on the connection it
 //! arrived on, no matter what happens in between: queue full → `shed`,
 //! deadline expired → `timeout`, handler panicked past its retries →
 //! `panic`, breaker open → degraded analyzer bounds (for `pattern` and
-//! `synthesize`) or `unavailable`, server draining → `draining`. The metrics module's
-//! conservation invariant checks this numerically.
+//! `synthesize`) or `unavailable`, server draining → `draining`. The
+//! metrics module's conservation invariant checks this numerically.
 
-use crate::handler::{self, Outcome};
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::protocol::{object, Command, ErrorKind, Request, Response};
-use crate::queue::{BoundedQueue, PushError};
-use rap_access::CancelToken;
+use crate::protocol::{ErrorKind, Response};
+use crate::queue::BoundedQueue;
+use crate::routing::{self, Job};
+use crate::transport::{self, SharedWriter};
 use rap_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
-use serde::{Serialize, Value};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use serde::Serialize;
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,45 +77,26 @@ impl Default for ServerConfig {
     }
 }
 
-/// A unit of queued work: the request plus where/when to answer it.
-struct Job {
-    request: Request,
-    deadline: Instant,
-    out: SharedWriter,
-    seq: u64,
-}
-
-/// One writer per connection, shared by its reader thread and every
-/// worker holding one of its jobs. Locking per line keeps responses to
-/// pipelined requests from interleaving bytes.
-type SharedWriter = Arc<Mutex<TcpStream>>;
-
-struct Shared {
-    config: ServerConfig,
-    queue: BoundedQueue<Job>,
-    metrics: Metrics,
-    breaker: CircuitBreaker,
+/// State shared by the acceptor, every connection thread, and the worker
+/// pool — one allocation, reference-counted across all of them.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) queue: BoundedQueue<Job>,
+    pub(crate) metrics: Metrics,
+    pub(crate) breaker: CircuitBreaker,
     /// Set once: stop accepting connections and begin drain.
     stopping: AtomicBool,
-    connections: AtomicUsize,
-    job_seq: AtomicU64,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) job_seq: AtomicU64,
 }
 
 impl Shared {
-    fn breaker_state(&self) -> &'static str {
+    pub(crate) fn breaker_state(&self) -> &'static str {
         self.breaker.state().name()
     }
 
-    fn write_response(&self, out: &SharedWriter, response: &Response) {
-        let line = response.to_line();
-        let mut guard = out
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let result = guard
-            .write_all(line.as_bytes())
-            .and_then(|()| guard.flush());
-        drop(guard);
-        if result.is_err() {
+    pub(crate) fn write_response(&self, out: &SharedWriter, response: &Response) {
+        if transport::send_line(out, &response.to_line()).is_err() {
             // The client vanished (e.g. `kill -9` mid-soak). The request
             // is still accounted for by whichever outcome counter the
             // caller bumped — nothing leaks, the bytes just had nowhere
@@ -118,11 +105,11 @@ impl Shared {
         }
     }
 
-    fn begin_shutdown(&self) {
+    pub(crate) fn begin_shutdown(&self) {
         self.stopping.store(true, Ordering::SeqCst);
     }
 
-    fn is_stopping(&self) -> bool {
+    pub(crate) fn is_stopping(&self) -> bool {
         self.stopping.load(Ordering::SeqCst)
     }
 }
@@ -192,7 +179,7 @@ impl Server {
                 let shared = Arc::clone(&self.shared);
                 std::thread::Builder::new()
                     .name(format!("rap-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || routing::worker_loop(&shared))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -201,7 +188,7 @@ impl Server {
             let listener = self.listener;
             std::thread::Builder::new()
                 .name("rap-serve-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &shared))
+                .spawn(move || transport::acceptor_loop(&listener, &shared))
                 .expect("spawn acceptor thread")
         };
         Ok(ServerHandle {
@@ -297,409 +284,6 @@ impl ServerHandle {
             metrics: self.shared.metrics.snapshot(),
         }
     }
-}
-
-fn acceptor_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.is_stopping() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.connections.load(Ordering::SeqCst) >= shared.config.max_connections {
-                    Metrics::bump(&shared.metrics.connections_refused);
-                    refuse_connection(shared, stream);
-                    continue;
-                }
-                Metrics::bump(&shared.metrics.connections);
-                shared.connections.fetch_add(1, Ordering::SeqCst);
-                let shared = Arc::clone(shared);
-                // Connection threads are deliberately not joined: they sit
-                // in blocking reads owned by clients. They exit on client
-                // EOF and only account for already-counted work.
-                let _ = std::thread::Builder::new()
-                    .name("rap-serve-conn".to_string())
-                    .spawn(move || {
-                        connection_loop(&shared, stream);
-                        shared.connections.fetch_sub(1, Ordering::SeqCst);
-                    });
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn refuse_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let out: SharedWriter = Arc::new(Mutex::new(stream));
-    shared.write_response(
-        &out,
-        &Response::error(
-            None,
-            shared.breaker_state(),
-            ErrorKind::Shed,
-            format!(
-                "connection limit ({}) reached; retry later",
-                shared.config.max_connections
-            ),
-        ),
-    );
-}
-
-fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let out: SharedWriter = Arc::new(Mutex::new(write_half));
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        Metrics::bump(&shared.metrics.received);
-        match Request::parse(&line) {
-            Err(message) => {
-                Metrics::bump(&shared.metrics.bad_requests);
-                shared.write_response(
-                    &out,
-                    &Response::error(None, shared.breaker_state(), ErrorKind::BadRequest, message),
-                );
-            }
-            Ok(request) => dispatch(shared, request, &out),
-        }
-    }
-}
-
-fn dispatch(shared: &Arc<Shared>, request: Request, out: &SharedWriter) {
-    match &request.cmd {
-        // Observability and lifecycle commands bypass the queue: they
-        // must answer even (especially) when the queue is saturated.
-        Command::Health => {
-            Metrics::bump(&shared.metrics.completed_ok);
-            let data = health_data(shared);
-            shared.write_response(out, &Response::ok(request.id, shared.breaker_state(), data));
-        }
-        Command::Stats => {
-            Metrics::bump(&shared.metrics.completed_ok);
-            let data = stats_data(shared);
-            shared.write_response(out, &Response::ok(request.id, shared.breaker_state(), data));
-        }
-        Command::Shutdown => {
-            Metrics::bump(&shared.metrics.completed_ok);
-            shared.write_response(
-                out,
-                &Response::ok(
-                    request.id,
-                    shared.breaker_state(),
-                    object(vec![("draining", Value::Bool(true))]),
-                ),
-            );
-            shared.begin_shutdown();
-        }
-        _ if shared.is_stopping() => {
-            Metrics::bump(&shared.metrics.drained_rejects);
-            shared.write_response(
-                out,
-                &Response::error(
-                    request.id,
-                    shared.breaker_state(),
-                    ErrorKind::Draining,
-                    "server is draining; not accepting new work",
-                ),
-            );
-        }
-        _ => {
-            let timeout_ms = request
-                .timeout_ms
-                .unwrap_or(shared.config.default_timeout_ms)
-                .clamp(1, shared.config.max_timeout_ms);
-            let job = Job {
-                seq: shared.job_seq.fetch_add(1, Ordering::Relaxed),
-                deadline: Instant::now() + Duration::from_millis(timeout_ms),
-                request,
-                out: Arc::clone(out),
-            };
-            let id = job.request.id;
-            match shared.queue.try_push(job) {
-                Ok(()) => Metrics::bump(&shared.metrics.accepted),
-                Err(PushError::Full) => {
-                    Metrics::bump(&shared.metrics.shed);
-                    shared.write_response(
-                        out,
-                        &Response::error(
-                            id,
-                            shared.breaker_state(),
-                            ErrorKind::Shed,
-                            format!(
-                                "queue full ({} pending); request shed, retry with backoff",
-                                shared.config.queue_capacity
-                            ),
-                        ),
-                    );
-                }
-                Err(PushError::Closed) => {
-                    Metrics::bump(&shared.metrics.drained_rejects);
-                    shared.write_response(
-                        out,
-                        &Response::error(
-                            id,
-                            shared.breaker_state(),
-                            ErrorKind::Draining,
-                            "server is draining; not accepting new work",
-                        ),
-                    );
-                }
-            }
-        }
-    }
-}
-
-fn health_data(shared: &Arc<Shared>) -> Value {
-    let status = if shared.is_stopping() {
-        "draining"
-    } else {
-        "ok"
-    };
-    object(vec![
-        ("status", Value::String(status.to_string())),
-        ("queue_depth", Value::U64(shared.queue.len() as u64)),
-        (
-            "queue_capacity",
-            Value::U64(shared.config.queue_capacity as u64),
-        ),
-        ("breaker", Value::String(shared.breaker_state().to_string())),
-        ("breaker_trips", Value::U64(shared.breaker.trips())),
-        ("workers", Value::U64(shared.config.workers as u64)),
-        (
-            "connections",
-            Value::U64(shared.connections.load(Ordering::SeqCst) as u64),
-        ),
-    ])
-}
-
-fn stats_data(shared: &Arc<Shared>) -> Value {
-    let snapshot = shared.metrics.snapshot();
-    object(vec![
-        ("metrics", snapshot.to_value()),
-        ("errors_total", Value::U64(snapshot.errors_total())),
-        (
-            "conserves_responses",
-            Value::Bool(snapshot.conserves_responses()),
-        ),
-        ("queue_depth", Value::U64(shared.queue.len() as u64)),
-        ("breaker", Value::String(shared.breaker_state().to_string())),
-        ("breaker_trips", Value::U64(shared.breaker.trips())),
-    ])
-}
-
-fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
-        process_job(shared, &job);
-    }
-}
-
-fn process_job(shared: &Arc<Shared>, job: &Job) {
-    let id = job.request.id;
-    // Expired while queued: a timeout, but not the handler's fault — the
-    // breaker only judges execution, not queueing.
-    if Instant::now() >= job.deadline {
-        Metrics::bump(&shared.metrics.timeouts_queue);
-        shared.write_response(
-            &job.out,
-            &Response::error(
-                id,
-                shared.breaker_state(),
-                ErrorKind::Timeout,
-                "deadline expired while queued",
-            ),
-        );
-        return;
-    }
-    // Admission through the breaker: when open, `pattern` degrades to
-    // the analyzer's certified bounds and `synthesize` to the best known
-    // static scheme's certified bound; everything else is refused.
-    if matches!(shared.breaker.admit(), rap_resilience::Admission::Reject) {
-        serve_breaker_reject(shared, job);
-        return;
-    }
-    run_with_isolation(shared, job);
-}
-
-fn serve_breaker_reject(shared: &Arc<Shared>, job: &Job) {
-    let id = job.request.id;
-    // Both degraded paths run outside the failpoint-instrumented handler
-    // and do no search/sampling, so they stay cheap and available while
-    // the real handlers are failing.
-    let degraded = match &job.request.cmd {
-        Command::Pattern {
-            pattern,
-            scheme,
-            width,
-            ..
-        } => Some(handler::degraded_pattern(pattern, scheme, *width)),
-        Command::Synthesize {
-            workload, width, ..
-        } => Some(handler::degraded_synthesize(workload, *width)),
-        _ => None,
-    };
-    if let Some(result) = degraded {
-        match result {
-            Ok(data) => {
-                Metrics::bump(&shared.metrics.degraded_served);
-                shared.write_response(
-                    &job.out,
-                    &Response::degraded(id, shared.breaker_state(), data),
-                );
-            }
-            Err(message) => {
-                Metrics::bump(&shared.metrics.bad_requests);
-                shared.write_response(
-                    &job.out,
-                    &Response::error(id, shared.breaker_state(), ErrorKind::BadRequest, message),
-                );
-            }
-        }
-        return;
-    }
-    Metrics::bump(&shared.metrics.breaker_rejects);
-    shared.write_response(
-        &job.out,
-        &Response::error(
-            id,
-            shared.breaker_state(),
-            ErrorKind::Unavailable,
-            format!(
-                "circuit breaker is {}; '{}' has no degraded path",
-                shared.breaker_state(),
-                job.request.cmd.name()
-            ),
-        ),
-    );
-}
-
-fn run_with_isolation(shared: &Arc<Shared>, job: &Job) {
-    let id = job.request.id;
-    let token = CancelToken::with_deadline(job.deadline);
-    let mut attempt: u32 = 0;
-    loop {
-        if Instant::now() >= job.deadline {
-            Metrics::bump(&shared.metrics.timeouts_handler);
-            shared.breaker.record_failure();
-            shared.write_response(
-                &job.out,
-                &Response::error(
-                    id,
-                    shared.breaker_state(),
-                    ErrorKind::Timeout,
-                    format!("deadline expired during execution (attempt {attempt})"),
-                ),
-            );
-            return;
-        }
-        let cmd = job.request.cmd.clone();
-        let exec_token = token.clone();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            handler::execute(&cmd, &exec_token)
-        }));
-        match result {
-            Ok(Outcome::Ok(data)) => {
-                shared.breaker.record_success();
-                Metrics::bump(&shared.metrics.completed_ok);
-                shared.write_response(&job.out, &Response::ok(id, shared.breaker_state(), data));
-                return;
-            }
-            Ok(Outcome::Degraded(data, _reason)) => {
-                // The handler coped (partial Monte-Carlo under deadline);
-                // the service is healthy even if the answer is partial.
-                shared.breaker.record_success();
-                Metrics::bump(&shared.metrics.degraded_served);
-                shared.write_response(
-                    &job.out,
-                    &Response::degraded(id, shared.breaker_state(), data),
-                );
-                return;
-            }
-            Ok(Outcome::BadRequest(message)) => {
-                Metrics::bump(&shared.metrics.bad_requests);
-                shared.write_response(
-                    &job.out,
-                    &Response::error(id, shared.breaker_state(), ErrorKind::BadRequest, message),
-                );
-                return;
-            }
-            Ok(Outcome::TimedOut(message)) => {
-                Metrics::bump(&shared.metrics.timeouts_handler);
-                shared.breaker.record_failure();
-                shared.write_response(
-                    &job.out,
-                    &Response::error(id, shared.breaker_state(), ErrorKind::Timeout, message),
-                );
-                return;
-            }
-            Ok(Outcome::Failed(message)) => {
-                shared.breaker.record_failure();
-                if !retry_or_give_up(shared, job, &mut attempt) {
-                    Metrics::bump(&shared.metrics.handler_failures);
-                    shared.write_response(
-                        &job.out,
-                        &Response::error(
-                            id,
-                            shared.breaker_state(),
-                            ErrorKind::HandlerFailed,
-                            format!("{message} (after {attempt} attempt(s))"),
-                        ),
-                    );
-                    return;
-                }
-            }
-            Err(panic_payload) => {
-                Metrics::bump(&shared.metrics.handler_panics);
-                shared.breaker.record_failure();
-                let what = panic_message(panic_payload.as_ref());
-                if !retry_or_give_up(shared, job, &mut attempt) {
-                    Metrics::bump(&shared.metrics.handler_failures);
-                    shared.write_response(
-                        &job.out,
-                        &Response::error(
-                            id,
-                            shared.breaker_state(),
-                            ErrorKind::Panic,
-                            format!("handler panicked: {what} (after {attempt} attempt(s))"),
-                        ),
-                    );
-                    return;
-                }
-            }
-        }
-    }
-}
-
-/// Decide whether another attempt is worth making; sleeps the backoff
-/// when it is. Returns `false` when the retry budget or the deadline is
-/// exhausted.
-fn retry_or_give_up(shared: &Arc<Shared>, job: &Job, attempt: &mut u32) -> bool {
-    if *attempt >= shared.config.retry.max_retries {
-        return false;
-    }
-    *attempt += 1;
-    let backoff = shared
-        .config
-        .retry
-        .backoff("serve.handler", job.seq, *attempt);
-    if Instant::now() + backoff >= job.deadline {
-        return false;
-    }
-    Metrics::bump(&shared.metrics.handler_retries);
-    std::thread::sleep(backoff);
-    true
-}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| (*s).to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "opaque panic payload".to_string())
 }
 
 #[cfg(test)]

@@ -71,6 +71,19 @@ impl SeedDomain {
         }
     }
 
+    /// Rebuild a domain from a raw state previously captured with
+    /// [`Self::seed`] — the lossless transport form.
+    ///
+    /// [`Self::new`] mixes its argument, so `new(d.seed())` is *not* `d`;
+    /// a derived child domain shipped across a process boundary (the
+    /// cluster coordinator sends table-cell domains to workers this way)
+    /// must travel as `from_state(d.seed())` to reproduce the same
+    /// streams bit for bit.
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
+
     /// Derive a child domain identified by a textual label.
     ///
     /// Children with distinct labels are decorrelated; the same label always
@@ -139,6 +152,16 @@ mod tests {
         let a = SeedDomain::new(7).child("x").child_idx(3);
         let b = SeedDomain::new(7).child("x").child_idx(3);
         assert_eq!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn from_state_round_trips_derived_domains() {
+        let d = SeedDomain::new(2014).child("table2").child_idx(32);
+        let shipped = SeedDomain::from_state(d.seed());
+        assert_eq!(shipped, d);
+        assert_eq!(shipped.child("matrix").seed(), d.child("matrix").seed());
+        // `new` is a mixer, not the inverse of `seed`.
+        assert_ne!(SeedDomain::new(d.seed()), d);
     }
 
     #[test]
