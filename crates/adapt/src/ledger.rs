@@ -1,0 +1,177 @@
+//! The epoch ledger: durable, replayable record of every transition.
+//!
+//! A thin typed layer over the generic [`Journal`] from
+//! `rap-resilience` — the same crash-safety core as the PR-4 block
+//! checkpoint ledger: fingerprint-pinned header, torn-tail truncation
+//! on open, serialized durable appends, and the `ledger.append`
+//! failpoint (whose `PartialWrite` fault tears a record exactly the way
+//! a crash would).
+//!
+//! The fingerprint pins `(width, seed)` so a ledger written for one
+//! controller configuration is discarded wholesale rather than replayed
+//! into a different one.
+
+use crate::epoch::EpochRecord;
+use rap_resilience::{fingerprint, Journal, JournalSpec, SyncPolicy};
+use std::io;
+use std::path::Path;
+
+/// On-disk format version.
+const EPOCH_LEDGER_VERSION: u32 = 1;
+/// Magic string identifying epoch ledgers.
+const EPOCH_LEDGER_MAGIC: &str = "rap-adapt-epochs";
+
+/// An open epoch ledger.
+#[derive(Debug)]
+pub struct EpochLedger {
+    journal: Journal,
+}
+
+impl EpochLedger {
+    /// The run fingerprint for a `(width, seed)` controller.
+    #[must_use]
+    pub fn run_fingerprint(width: usize, seed: u64) -> u64 {
+        fingerprint(["adapt", &format!("w={width}"), &format!("seed={seed}")])
+    }
+
+    /// Open (or create) the ledger at `path`, returning the validated
+    /// records of a previous run for replay.
+    ///
+    /// # Errors
+    /// Propagates I/O errors; a mismatched header discards the file
+    /// (fresh start, not an error).
+    pub fn open(
+        path: &Path,
+        width: usize,
+        seed: u64,
+        sync: SyncPolicy,
+    ) -> io::Result<(Self, Vec<EpochRecord>)> {
+        let spec = JournalSpec {
+            magic: EPOCH_LEDGER_MAGIC,
+            version: EPOCH_LEDGER_VERSION,
+            fingerprint: Self::run_fingerprint(width, seed),
+            sync,
+        };
+        let journal = Journal::open(path, &spec, |line| {
+            serde_json::from_str::<EpochRecord>(line).is_ok()
+        })?;
+        let records = journal
+            .resumed_lines()
+            .iter()
+            .filter_map(|line| serde_json::from_str(line).ok())
+            .collect();
+        Ok((Self { journal }, records))
+    }
+
+    /// A purely in-memory ledger (tests, default serve config).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self {
+            journal: Journal::in_memory(),
+        }
+    }
+
+    /// Durably append one transition record.
+    ///
+    /// # Errors
+    /// Propagates I/O errors, including injected `ledger.append` faults.
+    pub fn append(&self, record: &EpochRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.journal.append(&line)
+    }
+
+    /// True when an existing file was discarded at open (header
+    /// mismatch).
+    #[must_use]
+    pub fn discarded_stale(&self) -> bool {
+        self.journal.discarded_stale()
+    }
+
+    /// True when a torn trailing record was truncated at open.
+    #[must_use]
+    pub fn truncated_tail(&self) -> bool {
+        self.journal.truncated_tail()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{standard_candidates, Candidate};
+    use crate::epoch::{EpochMachine, Phase};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rap-adapt-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("epochs.ledger")
+    }
+
+    fn record_stream() -> Vec<crate::epoch::EpochRecord> {
+        let set = standard_candidates(8);
+        let raw: Candidate = set.iter().find(|c| c.name == "raw").unwrap().clone();
+        let rap = set.iter().find(|c| c.name == "rap").unwrap();
+        let mut m = EpochMachine::new(8, raw);
+        let mut out = Vec::new();
+        for (phase, target) in [
+            (Phase::Proposed, Some(rap)),
+            (Phase::Migrating, None),
+            (Phase::Committed, None),
+        ] {
+            let rec = m.prepare(phase, target).unwrap();
+            m.apply(&rec, target.cloned()).unwrap();
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let path = scratch("roundtrip");
+        let stream = record_stream();
+        {
+            let (ledger, resumed) = EpochLedger::open(&path, 8, 7, SyncPolicy::Flush).unwrap();
+            assert!(resumed.is_empty());
+            for rec in &stream {
+                ledger.append(rec).unwrap();
+            }
+        }
+        let (ledger, resumed) = EpochLedger::open(&path, 8, 7, SyncPolicy::Flush).unwrap();
+        assert!(!ledger.discarded_stale());
+        assert_eq!(resumed, stream, "lossless round trip");
+    }
+
+    #[test]
+    fn different_config_discards_the_file() {
+        let path = scratch("stale");
+        {
+            let (ledger, _) = EpochLedger::open(&path, 8, 7, SyncPolicy::Flush).unwrap();
+            ledger.append(&record_stream()[0]).unwrap();
+        }
+        let (ledger, resumed) = EpochLedger::open(&path, 16, 7, SyncPolicy::Flush).unwrap();
+        assert!(ledger.discarded_stale());
+        assert!(resumed.is_empty());
+        let (_, resumed) = EpochLedger::open(&path, 16, 7, SyncPolicy::Flush).unwrap();
+        assert!(resumed.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_drops_only_the_torn_record() {
+        let path = scratch("torn");
+        let stream = record_stream();
+        {
+            let (ledger, _) = EpochLedger::open(&path, 8, 7, SyncPolicy::Flush).unwrap();
+            for rec in &stream {
+                ledger.append(rec).unwrap();
+            }
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (ledger, resumed) = EpochLedger::open(&path, 8, 7, SyncPolicy::Flush).unwrap();
+        assert!(ledger.truncated_tail());
+        assert_eq!(resumed, stream[..2], "clean prefix survives");
+    }
+}

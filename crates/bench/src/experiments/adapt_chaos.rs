@@ -1,0 +1,778 @@
+//! Experiment ADAPT_CHAOS: soak the self-healing adaptive remapping
+//! layer end to end — live servers, shifting traffic, epoch fault
+//! storms, and kills mid-migration — and prove its three headline
+//! guarantees each time:
+//!
+//! 1. **Swap under traffic shift** — an unfrozen adaptive server fed
+//!    contiguous traffic stays put; shifting the storm to stride
+//!    traffic (pathological for the initial `raw` layout) makes the
+//!    controller propose, migrate, and commit a better scheme, after
+//!    which the *measured* windowed stride congestion drops strictly
+//!    below the old scheme's certified bound. The server's response
+//!    conservation law holds throughout.
+//! 2. **Epoch fault storm** — panics at `adapt.observe`/`adapt.propose`
+//!    /`adapt.migrate`/`adapt.commit`, plus partial writes and delays
+//!    inside epoch-ledger appends, while adaptive traffic keeps
+//!    flowing. Every request is still answered (conservation), the
+//!    controller never reaches an invalid phase, and the storm must
+//!    actually bite (observed faults > 0) or the check fails as vacuous.
+//! 3. **Kill mid-migration, resume byte-identical** — a server is
+//!    killed while a forced migration is in flight; the restart rolls
+//!    the interrupted epoch back and its adaptive answers are
+//!    **byte-identical** to the static path on the rolled-back scheme.
+//!    A second kill *after* a commit proves the committed epoch
+//!    survives: the next restart answers byte-identically to the static
+//!    path on the *new* scheme.
+//!
+//! With a `--server-bin` path the servers are real `rap serve --adapt`
+//! processes on real sockets and the kills are genuine SIGKILLs (CI
+//! does this); otherwise the same wire protocol runs against in-process
+//! servers. The fault-storm check always runs in-process — failpoint
+//! registries are per-process, so faults installed here cannot reach a
+//! child.
+
+use super::serve_chaos::SoakCheck;
+use rap_resilience::{install, FailPlan, Fault, HitSchedule};
+use rap_serve::{AdaptOptions, Client, Response, Server, ServerConfig, ServerHandle};
+use serde::{Serialize, Value};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Soak parameters (see the module docs).
+#[derive(Debug, Clone)]
+pub struct AdaptChaosConfig {
+    /// Root seed keying request seeds and fault schedules.
+    pub seed: u64,
+    /// Tile width of every adaptive server (16 keeps the stride
+    /// pathology sharp: congestion = width under `raw`).
+    pub width: usize,
+    /// Requests per traffic phase in the swap and storm checks.
+    pub requests: u64,
+    /// Spawn real `rap serve --adapt` processes from this binary;
+    /// `None` runs in-process servers over the same wire protocol.
+    pub server_bin: Option<PathBuf>,
+}
+
+impl Default for AdaptChaosConfig {
+    fn default() -> Self {
+        AdaptChaosConfig {
+            seed: 2014,
+            width: 16,
+            requests: 192,
+            server_bin: None,
+        }
+    }
+}
+
+/// The full soak result, written to `results/adapt_chaos.json`.
+#[derive(Debug, Serialize)]
+pub struct AdaptChaosReport {
+    /// Root seed.
+    pub seed: u64,
+    /// Tile width.
+    pub width: u64,
+    /// Whether servers were real processes (`rap serve --adapt`).
+    pub process_servers: bool,
+    /// Total requests driven across all checks.
+    pub requests_driven: u64,
+    /// Committed swaps observed across all checks.
+    pub swaps_observed: u64,
+    /// Epoch faults + rollbacks the storm check survived.
+    pub faults_survived: u64,
+    /// One entry per check.
+    pub checks: Vec<SoakCheck>,
+    /// True iff every check passed.
+    pub passed: bool,
+}
+
+/// One adaptive server under test — in-process or a spawned child.
+enum AdaptServer {
+    InProcess(ServerHandle),
+    Process(Child, SocketAddr),
+}
+
+impl AdaptServer {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            AdaptServer::InProcess(h) => h.addr(),
+            AdaptServer::Process(_, addr) => *addr,
+        }
+    }
+
+    /// Kill the server without draining: SIGKILL for a child process; an
+    /// immediate shutdown for an in-process server. Either way no epoch
+    /// record is written after this point.
+    fn kill(self) {
+        match self {
+            AdaptServer::InProcess(h) => {
+                h.begin_shutdown();
+                let _ = h.join();
+            }
+            AdaptServer::Process(mut child, _) => {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// The adaptive controller settings every server in the soak runs:
+/// initial `raw` (whose stride bound equals the width — the worst
+/// certified candidate for the shifted storm), fast evaluation cadence,
+/// and a short automatic migration.
+fn adapt_config(cfg: &AdaptChaosConfig, frozen: bool) -> rap_adapt::AdaptConfig {
+    rap_adapt::AdaptConfig {
+        width: cfg.width,
+        initial: "raw".to_string(),
+        seed: cfg.seed,
+        window: 64,
+        eval_every: 8,
+        min_samples: 8,
+        migrate_steps: 4,
+        start_frozen: frozen,
+        ..rap_adapt::AdaptConfig::default()
+    }
+}
+
+/// Start one adaptive server per the config's backend choice.
+fn start_server(
+    cfg: &AdaptChaosConfig,
+    ledger: Option<&std::path::Path>,
+    frozen: bool,
+) -> Result<AdaptServer, String> {
+    match &cfg.server_bin {
+        None => {
+            let handle = Server::bind(ServerConfig {
+                workers: 4,
+                adapt: Some(AdaptOptions {
+                    config: adapt_config(cfg, frozen),
+                    ledger: ledger.map(std::path::Path::to_path_buf),
+                }),
+                ..ServerConfig::default()
+            })
+            .and_then(Server::spawn)
+            .map_err(|e| format!("in-process adaptive server: {e}"))?;
+            Ok(AdaptServer::InProcess(handle))
+        }
+        Some(bin) => {
+            let mut args = vec![
+                "serve".to_string(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--workers".to_string(),
+                "4".to_string(),
+                "--adapt".to_string(),
+                "--adapt-width".to_string(),
+                cfg.width.to_string(),
+                "--adapt-initial".to_string(),
+                "raw".to_string(),
+                "--adapt-seed".to_string(),
+                cfg.seed.to_string(),
+                "--adapt-window".to_string(),
+                "64".to_string(),
+                "--adapt-eval-every".to_string(),
+                "8".to_string(),
+                "--adapt-min-samples".to_string(),
+                "8".to_string(),
+                "--adapt-migrate-steps".to_string(),
+                "4".to_string(),
+            ];
+            if frozen {
+                args.push("--adapt-frozen".to_string());
+            }
+            if let Some(path) = ledger {
+                args.push("--adapt-ledger".to_string());
+                args.push(path.display().to_string());
+            }
+            let mut child = Command::new(bin)
+                .args(&args)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawning {}: {e}", bin.display()))?;
+            let stdout = child.stdout.take().ok_or("child stdout was not captured")?;
+            let mut reader = BufReader::new(stdout);
+            let addr = loop {
+                let mut line = String::new();
+                let n = reader
+                    .read_line(&mut line)
+                    .map_err(|e| format!("reading readiness: {e}"))?;
+                if n == 0 {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err("server exited before its readiness line".to_string());
+                }
+                if let Some(rest) = line.trim().strip_prefix(rap_cluster::READY_PREFIX) {
+                    break rest
+                        .trim()
+                        .parse::<SocketAddr>()
+                        .map_err(|e| format!("bad readiness address '{rest}': {e}"))?;
+                }
+            };
+            std::thread::spawn(move || {
+                let _ = std::io::copy(&mut reader.into_inner(), &mut std::io::sink());
+            });
+            Ok(AdaptServer::Process(child, addr))
+        }
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    Client::connect_with_timeout(addr, Duration::from_secs(10))
+        .map_err(|e| format!("connect {addr}: {e}"))
+}
+
+fn roundtrip(client: &mut Client, line: &str) -> Result<Response, String> {
+    client
+        .roundtrip(line)
+        .map_err(|e| format!("roundtrip `{line}`: {e}"))
+}
+
+/// A field of an object `Value`, by key.
+fn field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn data_field<'a>(resp: &'a Response, key: &str) -> Result<&'a Value, String> {
+    resp.data
+        .as_ref()
+        .and_then(|d| field(d, key))
+        .ok_or_else(|| format!("no '{key}' in {resp:?}"))
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::String(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Parsed slice of an `adapt_status` payload the checks assert on.
+struct Status {
+    scheme: String,
+    phase: String,
+    swaps: u64,
+    rollbacks: u64,
+    observe_faults: u64,
+    swap_faults: u64,
+    resumed_records: u64,
+    resumed_interrupted: bool,
+    /// (windowed mean, active certified bound) for the stride class.
+    stride: (f64, f64),
+}
+
+fn adapt_status(client: &mut Client) -> Result<Status, String> {
+    let resp = roundtrip(client, r#"{"cmd":"adapt_status"}"#)?;
+    if !resp.ok {
+        return Err(format!("adapt_status rejected: {resp:?}"));
+    }
+    let stride = data_field(&resp, "classes")?
+        .as_array()
+        .ok_or("classes is not an array")?
+        .iter()
+        .find(|c| field(c, "class").and_then(as_str) == Some("stride"))
+        .ok_or("no stride class in status")?;
+    let stride = (
+        field(stride, "mean").and_then(as_f64).unwrap_or(f64::NAN),
+        field(stride, "bound").and_then(as_f64).unwrap_or(f64::NAN),
+    );
+    let get_u64 = |key: &str| -> Result<u64, String> {
+        data_field(&resp, key)
+            .ok()
+            .and_then(as_u64)
+            .ok_or_else(|| format!("'{key}' is not a number in {resp:?}"))
+    };
+    Ok(Status {
+        scheme: data_field(&resp, "scheme")
+            .ok()
+            .and_then(|v| as_str(v).map(str::to_string))
+            .ok_or("no scheme in status")?,
+        phase: data_field(&resp, "phase")
+            .ok()
+            .and_then(|v| as_str(v).map(str::to_string))
+            .ok_or("no phase in status")?,
+        swaps: get_u64("swaps")?,
+        rollbacks: get_u64("rollbacks")?,
+        observe_faults: get_u64("observe_faults")?,
+        swap_faults: get_u64("swap_faults")?,
+        resumed_records: get_u64("resumed_records")?,
+        resumed_interrupted: data_field(&resp, "resumed_interrupted")
+            .is_ok_and(|v| matches!(v, Value::Bool(true))),
+        stride,
+    })
+}
+
+/// `received == completed_ok + degraded_served + errors_total`, read
+/// from the server's own stats endpoint.
+fn conservation_holds(client: &mut Client) -> Result<(), String> {
+    let resp = roundtrip(client, r#"{"cmd":"stats"}"#)?;
+    match data_field(&resp, "conserves_responses")? {
+        Value::Bool(true) => Ok(()),
+        other => Err(format!("conservation broken: {other:?}")),
+    }
+}
+
+/// One adaptive `pattern` request line.
+fn adaptive_line(id: u64, pattern: &str, width: usize, seed: u64) -> String {
+    format!(
+        r#"{{"cmd":"pattern","id":{id},"pattern":"{pattern}","scheme":"adaptive","width":{width},"trials":2,"seed":{seed}}}"#
+    )
+}
+
+/// The same request against a static scheme (the byte-identity
+/// reference).
+fn static_line(id: u64, pattern: &str, scheme: &str, width: usize, seed: u64) -> String {
+    format!(
+        r#"{{"cmd":"pattern","id":{id},"pattern":"{pattern}","scheme":"{scheme}","width":{width},"trials":2,"seed":{seed}}}"#
+    )
+}
+
+/// Drive `n` adaptive requests of one pattern; every response must be
+/// `ok` (the breaker never opens in these soaks). Returns requests sent.
+fn drive(
+    client: &mut Client,
+    pattern: &str,
+    n: u64,
+    width: usize,
+    seed: u64,
+) -> Result<u64, String> {
+    for i in 0..n {
+        let resp = roundtrip(client, &adaptive_line(i, pattern, width, seed ^ i))?;
+        if !resp.ok {
+            return Err(format!("adaptive {pattern} request {i} failed: {resp:?}"));
+        }
+    }
+    Ok(n)
+}
+
+/// Check 1: contiguous traffic holds steady; a stride storm triggers a
+/// certified swap; the measured stride congestion ends below the old
+/// scheme's certified bound; conservation holds throughout.
+fn swap_under_traffic_shift(cfg: &AdaptChaosConfig) -> Result<(String, u64, u64), String> {
+    let server = start_server(cfg, None, false)?;
+    let mut client = connect(server.addr())?;
+    let mut driven = 0u64;
+
+    // Phase 1: contiguous traffic — congestion 1.0 under every scheme,
+    // so no swap can pay off.
+    driven += drive(
+        &mut client,
+        "contiguous",
+        cfg.requests / 3,
+        cfg.width,
+        cfg.seed,
+    )?;
+    let calm = adapt_status(&mut client)?;
+    if calm.swaps != 0 || calm.scheme != "raw" {
+        server.kill();
+        return Err(format!(
+            "calm contiguous traffic must not trigger a swap (swaps {}, scheme {})",
+            calm.swaps, calm.scheme
+        ));
+    }
+    // The old scheme's certified stride bound, straight from the active
+    // candidate before anything shifts (raw: bound == width).
+    let old_bound = calm.stride.1;
+    if !(old_bound.is_finite() && old_bound >= cfg.width as f64) {
+        server.kill();
+        return Err(format!(
+            "raw's certified stride bound looks wrong: {old_bound}"
+        ));
+    }
+
+    // Phase 2: the storm shifts to stride — pathological for raw.
+    driven += drive(&mut client, "stride", cfg.requests, cfg.width, cfg.seed)?;
+    let shifted = adapt_status(&mut client)?;
+    if shifted.swaps == 0 || shifted.scheme == "raw" {
+        server.kill();
+        return Err(format!(
+            "the stride storm never triggered a swap (phase {}, scheme {}, mean {:.2})",
+            shifted.phase, shifted.scheme, shifted.stride.0
+        ));
+    }
+
+    // Phase 3: keep driving stride until the monitor window holds only
+    // post-swap samples, then compare measured congestion to the OLD
+    // certified bound — the observable "self-healing" claim.
+    driven += drive(&mut client, "stride", 80, cfg.width, cfg.seed)?;
+    let healed = adapt_status(&mut client)?;
+    let measured = healed.stride.0;
+    if !(measured.is_finite() && measured < old_bound) {
+        server.kill();
+        return Err(format!(
+            "measured stride congestion {measured:.2} did not drop below the old certified \
+             bound {old_bound} (scheme {}, phase {})",
+            healed.scheme, healed.phase
+        ));
+    }
+    conservation_holds(&mut client)?;
+    let detail = format!(
+        "swap raw -> {} committed under a stride storm; measured congestion {measured:.2} \
+         < old certified bound {old_bound} ({driven} requests, conservation holds)",
+        healed.scheme
+    );
+    let swaps = healed.swaps;
+    server.kill();
+    Ok((detail, driven, swaps))
+}
+
+/// Check 2: epoch fault storm — always in-process (failpoints are
+/// process-local). The server must answer everything, the controller
+/// must end in a valid phase, and the storm must actually bite.
+fn epoch_fault_storm(cfg: &AdaptChaosConfig) -> Result<(String, u64, u64), String> {
+    let in_process = AdaptChaosConfig {
+        server_bin: None,
+        ..cfg.clone()
+    };
+    // The epoch sites fire only on transitions (evaluation every
+    // `eval_every` observations; propose/migrate/commit rarer still),
+    // so rates are aggressive — a 1/7 observe rate at mini scale sees
+    // ~12 hits and can legitimately never fire. Rules stack per site:
+    // some hits panic (the worker must isolate them — those leave no
+    // counter), the rest inject ENOSPC (counted, so the storm's bite is
+    // provable from `adapt_status`).
+    let guard = install(
+        FailPlan::new(cfg.seed)
+            .rule(
+                "adapt.observe",
+                Fault::Panic,
+                HitSchedule::Rate { num: 1, den: 7 },
+            )
+            .rule(
+                "adapt.observe",
+                Fault::Enospc,
+                HitSchedule::Rate { num: 1, den: 3 },
+            )
+            .rule(
+                "adapt.propose",
+                Fault::Panic,
+                HitSchedule::Rate { num: 1, den: 7 },
+            )
+            .rule(
+                "adapt.propose",
+                Fault::Enospc,
+                HitSchedule::Rate { num: 1, den: 4 },
+            )
+            .rule(
+                "adapt.migrate",
+                Fault::Enospc,
+                HitSchedule::Rate { num: 1, den: 3 },
+            )
+            .rule(
+                "adapt.commit",
+                Fault::Enospc,
+                HitSchedule::Rate { num: 1, den: 4 },
+            )
+            .rule(
+                "ledger.append",
+                Fault::PartialWrite,
+                HitSchedule::Rate { num: 1, den: 11 },
+            )
+            .rule(
+                "ledger.append",
+                Fault::Delay,
+                HitSchedule::Rate { num: 1, den: 9 },
+            ),
+    );
+    let result = (|| -> Result<(String, u64, u64), String> {
+        let server = start_server(&in_process, None, false)?;
+        let mut client = connect(server.addr())?;
+        let mut driven = 0u64;
+        let mut status = adapt_status(&mut client)?;
+        // Stride-heavy traffic keeps proposing swaps straight into the
+        // fault storm; contiguous interludes vary the interleavings.
+        // Keep storming past the base six rounds until a fault lands
+        // (bounded) — a storm nothing survives proves nothing.
+        for round in 0..24u64 {
+            let pattern = if round % 3 == 2 {
+                "contiguous"
+            } else {
+                "stride"
+            };
+            driven += drive(
+                &mut client,
+                pattern,
+                cfg.requests / 6,
+                cfg.width,
+                cfg.seed ^ round,
+            )?;
+            status = adapt_status(&mut client)?;
+            if round >= 5 && status.observe_faults + status.swap_faults + status.rollbacks > 0 {
+                break;
+            }
+        }
+        if !matches!(status.phase.as_str(), "stable" | "proposed" | "migrating") {
+            server.kill();
+            return Err(format!("invalid controller phase '{}'", status.phase));
+        }
+        let faults = status.observe_faults + status.swap_faults + status.rollbacks;
+        if faults == 0 {
+            server.kill();
+            return Err("the fault storm never bit; the check proved nothing".to_string());
+        }
+        conservation_holds(&mut client)?;
+        let detail = format!(
+            "{driven} requests answered through {} observe fault(s), {} swap fault(s), \
+             {} rollback(s); controller ended {} / {} (conservation holds)",
+            status.observe_faults,
+            status.swap_faults,
+            status.rollbacks,
+            status.scheme,
+            status.phase
+        );
+        let swaps = status.swaps;
+        server.kill();
+        Ok((detail, driven, faults.max(swaps)))
+    })();
+    drop(guard);
+    result
+}
+
+/// The probe set both sides of a byte-identity comparison answer.
+const PROBE_PATTERNS: &[&str] = &["contiguous", "stride", "diagonal", "random"];
+
+/// Every adaptive answer must re-serialize byte-identically to the
+/// static path on `scheme`, over the same connection.
+fn assert_adaptive_matches_static(
+    client: &mut Client,
+    scheme: &str,
+    width: usize,
+    seed: u64,
+) -> Result<(), String> {
+    for (i, pattern) in PROBE_PATTERNS.iter().enumerate() {
+        let id = 9_000 + i as u64;
+        let adaptive = roundtrip(client, &adaptive_line(id, pattern, width, seed ^ i as u64))?;
+        let reference = roundtrip(
+            client,
+            &static_line(id, pattern, scheme, width, seed ^ i as u64),
+        )?;
+        let (a, r) = (adaptive.to_line(), reference.to_line());
+        if a != r {
+            return Err(format!(
+                "adaptive '{pattern}' diverged from static '{scheme}':\n  adaptive:  {a}\n  reference: {r}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check 3: kill a server mid-migration; the restart must roll back to
+/// the last committed epoch and answer byte-identically to the static
+/// path on it. Kill again after a commit; the next restart must keep
+/// the committed scheme, byte-identically.
+fn kill_mid_migration_resume(cfg: &AdaptChaosConfig) -> Result<(String, u64, u64), String> {
+    let dir = std::env::temp_dir().join(format!(
+        "rap-adapt-chaos-{}-{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("scratch dir: {e}"))?;
+    let ledger = dir.join("epochs.jsonl");
+    let mut driven = 0u64;
+
+    // Server A: forced swap with a migration long enough that nothing
+    // can commit it before the kill.
+    let server = start_server(cfg, Some(&ledger), true)?;
+    let mut client = connect(server.addr())?;
+    let forced = roundtrip(
+        &mut client,
+        r#"{"cmd":"adapt_force","target":"padded","steps":1000000}"#,
+    )?;
+    if !forced.ok {
+        server.kill();
+        return Err(format!("force failed: {forced:?}"));
+    }
+    driven += drive(&mut client, "stride", 3, cfg.width, cfg.seed)?;
+    drop(client);
+    server.kill(); // mid-migration: Proposed+Migrating are on disk, no commit
+
+    // Server B: resume must roll back to raw, bit-identically.
+    let server = start_server(cfg, Some(&ledger), true)?;
+    let mut client = connect(server.addr())?;
+    let resumed = adapt_status(&mut client)?;
+    if !(resumed.resumed_interrupted && resumed.scheme == "raw" && resumed.phase == "stable") {
+        server.kill();
+        return Err(format!(
+            "expected a rolled-back resume to raw/stable, got {}/{} (interrupted {})",
+            resumed.scheme, resumed.phase, resumed.resumed_interrupted
+        ));
+    }
+    assert_adaptive_matches_static(&mut client, "raw", cfg.width, cfg.seed)?;
+    driven += 2 * PROBE_PATTERNS.len() as u64;
+    let rollback_records = resumed.resumed_records;
+
+    // Commit a swap for real this time, then kill post-commit.
+    let forced = roundtrip(
+        &mut client,
+        r#"{"cmd":"adapt_force","target":"padded","steps":0}"#,
+    )?;
+    if !forced.ok {
+        server.kill();
+        return Err(format!("post-resume force failed: {forced:?}"));
+    }
+    drop(client);
+    server.kill();
+
+    // Server C: the committed epoch must survive the kill.
+    let server = start_server(cfg, Some(&ledger), true)?;
+    let mut client = connect(server.addr())?;
+    let committed = adapt_status(&mut client)?;
+    if !(committed.scheme == "padded"
+        && committed.phase == "stable"
+        && !committed.resumed_interrupted)
+    {
+        server.kill();
+        return Err(format!(
+            "expected the committed padded epoch to survive, got {}/{} (interrupted {})",
+            committed.scheme, committed.phase, committed.resumed_interrupted
+        ));
+    }
+    if committed.resumed_records == 0 {
+        server.kill();
+        return Err("the final resume replayed no records; the ledger went missing".to_string());
+    }
+    assert_adaptive_matches_static(&mut client, "padded", cfg.width, cfg.seed)?;
+    driven += 2 * PROBE_PATTERNS.len() as u64;
+    conservation_holds(&mut client)?;
+    server.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((
+        format!(
+            "mid-migration kill rolled back to raw ({rollback_records} record(s) replayed) and a \
+             post-commit kill kept padded ({} record(s)); both resumes byte-identical to the \
+             static paths",
+            committed.resumed_records
+        ),
+        driven,
+        1,
+    ))
+}
+
+/// Run the whole soak suite.
+#[must_use]
+pub fn run(cfg: &AdaptChaosConfig) -> AdaptChaosReport {
+    let cfg = AdaptChaosConfig {
+        width: cfg.width.clamp(4, 64),
+        requests: cfg.requests.clamp(96, 1_000_000),
+        ..cfg.clone()
+    };
+    let mut checks = Vec::new();
+    let mut requests_driven = 0u64;
+    let mut swaps_observed = 0u64;
+    let mut faults_survived = 0u64;
+
+    let mut named = |name: &str, result: Result<(String, u64, u64), String>| match result {
+        Ok((detail, driven, counted)) => {
+            requests_driven += driven;
+            match name {
+                "epoch-fault-storm-tolerated" => faults_survived += counted,
+                _ => swaps_observed += counted,
+            }
+            SoakCheck {
+                name: name.to_string(),
+                passed: true,
+                detail,
+            }
+        }
+        Err(detail) => SoakCheck {
+            name: name.to_string(),
+            passed: false,
+            detail,
+        },
+    };
+
+    checks.push(named(
+        "swap-under-traffic-shift",
+        swap_under_traffic_shift(&cfg),
+    ));
+    checks.push(named(
+        "epoch-fault-storm-tolerated",
+        epoch_fault_storm(&cfg),
+    ));
+    checks.push(named(
+        "kill-mid-migration-resume-byte-identical",
+        kill_mid_migration_resume(&cfg),
+    ));
+
+    let passed = checks.iter().all(|c| c.passed);
+    AdaptChaosReport {
+        seed: cfg.seed,
+        width: cfg.width as u64,
+        process_servers: cfg.server_bin.is_some(),
+        requests_driven,
+        swaps_observed,
+        faults_survived,
+        checks,
+        passed,
+    }
+}
+
+/// [`run`] wrapped in `catch_unwind` per the suite convention: a broken
+/// invariant must report a failed check, not kill the harness.
+#[must_use]
+pub fn run_caught(cfg: &AdaptChaosConfig) -> AdaptChaosReport {
+    catch_unwind(AssertUnwindSafe(|| run(cfg))).unwrap_or_else(|_| AdaptChaosReport {
+        seed: cfg.seed,
+        width: cfg.width as u64,
+        process_servers: cfg.server_bin.is_some(),
+        requests_driven: 0,
+        swaps_observed: 0,
+        faults_survived: 0,
+        checks: vec![SoakCheck {
+            name: "suite-panicked".to_string(),
+            passed: false,
+            detail: "the adapt chaos harness itself panicked".to_string(),
+        }],
+        passed: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature soak (fast enough for unit CI) must pass end to end.
+    #[test]
+    fn mini_adapt_soak_passes() {
+        let _chaos = crate::experiments::chaos_test_guard();
+        let report = run_caught(&AdaptChaosConfig {
+            seed: 11,
+            width: 16,
+            requests: 96,
+            server_bin: None,
+        });
+        for c in &report.checks {
+            assert!(c.passed, "{}: {}", c.name, c.detail);
+        }
+        assert!(report.passed);
+        assert!(report.swaps_observed >= 1, "{report:?}");
+        assert!(report.faults_survived >= 1, "{report:?}");
+    }
+}

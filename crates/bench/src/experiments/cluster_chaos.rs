@@ -558,6 +558,7 @@ mod tests {
     /// A miniature soak (fast enough for unit CI) must pass end to end.
     #[test]
     fn mini_cluster_soak_passes() {
+        let _chaos = crate::experiments::chaos_test_guard();
         let report = run_caught(&ChaosConfig {
             seed: 7,
             workers: 2,

@@ -1,6 +1,7 @@
 //! The experiment implementations, one module per DESIGN.md experiment id.
 
 pub mod ablation;
+pub mod adapt_chaos;
 pub mod apps;
 pub mod chaos;
 pub mod cluster_chaos;
@@ -14,3 +15,20 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod umm;
+
+/// Serializes the fault-installing mini-soak `#[test]`s: the failpoint
+/// registry is process-global and `install` is last-writer-wins, so two
+/// chaos tests running on parallel test threads would silently replace
+/// each other's plans. Production bins are single-suite processes and
+/// never need this.
+#[cfg(test)]
+pub(crate) static CHAOS_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Take [`CHAOS_TEST_LOCK`], surviving a previous holder's panic (the
+/// chaos suites deliberately panic under injected faults).
+#[cfg(test)]
+pub(crate) fn chaos_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -618,6 +618,7 @@ mod tests {
     /// A miniature soak (fast enough for unit CI) must pass end to end.
     #[test]
     fn mini_soak_passes() {
+        let _chaos = crate::experiments::chaos_test_guard();
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let report = run_caught(7, 64, 4);

@@ -12,9 +12,10 @@
 //! rap analyze   --width 32 [--scheme rap|all] [--plans] [--access <specs>] [--json]
 //! rap synthesize --width 8 --workload <specs> [--mode sigma|table] [--emit cert.json]
 //! rap chaos     [--width 32] [--trials 256] [--fault panic|enospc|delay]
-//! rap serve     [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
+//! rap serve     [--addr 127.0.0.1:7414] [--workers 4] [--queue 64] [--adapt]
 //! rap query     --addr <host:port> --json '<request>'
 //! rap cluster   --pattern random --scheme rap [--workers 2|--addrs a,b]
+//! rap adapt     --trace observations.txt [--ledger epochs.jsonl] [--json]
 //! ```
 //!
 //! All logic lives in [`run`], which returns the rendered output so the
@@ -72,8 +73,17 @@ USAGE:
                  bit-identical to the fault-free run)
   rap serve      [--addr 127.0.0.1:7414] [--workers 4] [--queue 64]
                  [--connections 64] [--timeout-ms 2000] [--drain-ms 2000]
+                 [--adapt] [--adapt-ledger <path>] [--adapt-width 32]
+                 [--adapt-initial rap] [--adapt-workload <specs>]
+                 [--adapt-frozen] [--adapt-window 256] [--adapt-eval-every 64]
+                 [--adapt-min-samples 32] [--adapt-migrate-steps 16]
                  (hardened query service; line-delimited JSON over TCP;
-                 send {\"cmd\":\"shutdown\"} for a graceful drain)
+                 send {\"cmd\":\"shutdown\"} for a graceful drain. --adapt
+                 enables self-healing remapping: scheme \"adaptive\"
+                 resolves to the committed candidate, observed congestion
+                 drives certified epoch swaps, and --adapt-ledger makes
+                 every transition durable so a killed server resumes
+                 bit-identically)
   rap query      --addr <host:port> --json '<request>' [--timeout-ms 10000]
                  (send one request line, print the one response line; a
                  dropped connection gets exactly one seeded-backoff
@@ -86,6 +96,17 @@ USAGE:
                  workers — spawned processes by default, or external
                  --addrs — and merge bit-identically to a local run;
                  --verify recomputes locally and checks the bits)
+  rap adapt      --trace <path> [--width 32] [--initial rap] [--seed <n>]
+                 [--workload <specs>] [--window 256] [--eval-every 64]
+                 [--min-samples 32] [--migrate-steps 16] [--frozen]
+                 [--ledger <path>] [--json]
+                 (replay a congestion trace through the adaptive epoch
+                 controller. Trace lines: '<class> <congestion>' feeds an
+                 observation (class: contiguous|stride|diagonal|random);
+                 'force <candidate> [steps]' runs a forced swap;
+                 'freeze on|off' toggles automatic swaps; '#' comments.
+                 --ledger makes epochs durable: rerun the same command to
+                 resume — interrupted migrations roll back on open)
   rap help
 
 Widths are capped at 4096 everywhere (one request must not exhaust the
@@ -227,6 +248,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "serve" => cmd_serve(&opts),
         "query" => cmd_query(&opts),
         "cluster" => cmd_cluster(&opts),
+        "adapt" => cmd_adapt(&opts),
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }
@@ -466,13 +488,58 @@ fn cmd_chaos(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Build an [`rap_adapt::AdaptConfig`] from options. `prefix` is `""`
+/// for `rap adapt` (bare `--width`, `--initial`, …) and `"adapt"` for
+/// `rap serve` (`--adapt-width`, `--adapt-initial`, … — the bare names
+/// already belong to the server).
+fn adapt_config(opts: &Opts, prefix: &str) -> Result<rap_adapt::AdaptConfig, String> {
+    let key = |k: &str| {
+        if prefix.is_empty() {
+            k.to_string()
+        } else {
+            format!("{prefix}-{k}")
+        }
+    };
+    let width_key = key("width");
+    let width = opts.usize(&width_key, 32)?;
+    if width == 0 || width > MAX_CLI_WIDTH {
+        return Err(format!(
+            "--{width_key} must be 1..={MAX_CLI_WIDTH}, got {width}"
+        ));
+    }
+    Ok(rap_adapt::AdaptConfig {
+        width,
+        initial: opts
+            .map
+            .get(&key("initial"))
+            .cloned()
+            .unwrap_or_else(|| "rap".to_string()),
+        seed: opts.u64(&key("seed"), 2014)?,
+        window: opts.usize(&key("window"), 256)?.max(1),
+        eval_every: opts.u64(&key("eval-every"), 64)?.max(1),
+        min_samples: opts.u64(&key("min-samples"), 32)?,
+        migrate_steps: opts.u64(&key("migrate-steps"), 16)?,
+        synth_workload: opts.map.get(&key("workload")).cloned(),
+        start_frozen: opts.flag(&key("frozen")),
+        ..rap_adapt::AdaptConfig::default()
+    })
+}
+
 fn cmd_serve(opts: &Opts) -> Result<String, String> {
-    use rap_serve::{Server, ServerConfig};
+    use rap_serve::{AdaptOptions, Server, ServerConfig};
     let addr = opts
         .map
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7414".to_string());
+    let adapt = if opts.flag("adapt") || opts.map.keys().any(|k| k.starts_with("adapt-")) {
+        Some(AdaptOptions {
+            config: adapt_config(opts, "adapt")?,
+            ledger: opts.map.get("adapt-ledger").map(std::path::PathBuf::from),
+        })
+    } else {
+        None
+    };
     let config = ServerConfig {
         addr: addr.clone(),
         workers: opts.usize("workers", 4)?.clamp(1, 64),
@@ -480,6 +547,7 @@ fn cmd_serve(opts: &Opts) -> Result<String, String> {
         max_connections: opts.usize("connections", 64)?.clamp(1, 10_000),
         default_timeout_ms: opts.u64("timeout-ms", 2_000)?.max(1),
         drain_budget_ms: opts.u64("drain-ms", 2_000)?,
+        adapt,
         ..ServerConfig::default()
     };
     let server = Server::bind(config).map_err(|e| format!("bind {addr}: {e}"))?;
@@ -747,6 +815,132 @@ struct AnalyzeOutput {
 struct AccessOutput {
     plan: String,
     analysis: rap_analyze::Analysis,
+}
+
+fn parse_traffic_class(s: &str) -> Result<rap_adapt::TrafficClass, String> {
+    use rap_adapt::TrafficClass;
+    match s.to_ascii_lowercase().as_str() {
+        "contiguous" => Ok(TrafficClass::Contiguous),
+        "stride" => Ok(TrafficClass::Stride),
+        "diagonal" => Ok(TrafficClass::Diagonal),
+        "random" => Ok(TrafficClass::Random),
+        other => Err(format!(
+            "unknown traffic class '{other}' (expected contiguous|stride|diagonal|random)"
+        )),
+    }
+}
+
+fn cmd_adapt(opts: &Opts) -> Result<String, String> {
+    use rap_adapt::AdaptiveController;
+    let trace_path = opts.required("trace")?.to_string();
+    let config = adapt_config(opts, "")?;
+    let controller = match opts.map.get("ledger") {
+        Some(path) => AdaptiveController::open(config, std::path::Path::new(path))
+            .map_err(|e| format!("--ledger {path}: {e}"))?,
+        None => AdaptiveController::new(config)?,
+    };
+    let text =
+        std::fs::read_to_string(&trace_path).map_err(|e| format!("--trace {trace_path}: {e}"))?;
+    let mut observations = 0u64;
+    let mut log = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        // Strip comments; a trace is hand-written and hand-annotated.
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |msg: String| format!("{trace_path}:{}: {msg}", idx + 1);
+        let mut parts = line.split_whitespace();
+        let head = parts.next().unwrap_or_default();
+        match head {
+            "force" => {
+                let target = parts
+                    .next()
+                    .ok_or_else(|| at("force needs a candidate name".to_string()))?;
+                let steps = match parts.next() {
+                    None => controller.config().migrate_steps,
+                    Some(s) => s.parse().map_err(|_| at(format!("bad step count '{s}'")))?,
+                };
+                // A rejected force is replay-visible output, not an
+                // error: the trace documents what the operator tried.
+                match controller.force(target, steps) {
+                    Ok(()) => log.push_str(&format!(
+                        "force {target}: accepted (phase {})\n",
+                        controller.phase_name()
+                    )),
+                    Err(e) => log.push_str(&format!("force {target}: rejected — {e}\n")),
+                }
+            }
+            "freeze" => {
+                let on = match parts.next() {
+                    None | Some("on") => true,
+                    Some("off") => false,
+                    Some(other) => return Err(at(format!("freeze takes on|off, got '{other}'"))),
+                };
+                controller.freeze(on);
+                log.push_str(&format!("freeze {}\n", if on { "on" } else { "off" }));
+            }
+            class => {
+                let class = parse_traffic_class(class).map_err(at)?;
+                let value: f64 = parts
+                    .next()
+                    .ok_or_else(|| at("observation needs a congestion value".to_string()))?
+                    .parse()
+                    .map_err(|_| at("congestion must be a number".to_string()))?;
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(at(format!(
+                        "congestion must be a finite positive number, got {value}"
+                    )));
+                }
+                controller.observe(class, value);
+                observations += 1;
+            }
+        }
+        if let Some(extra) = parts.next() {
+            return Err(at(format!("unexpected trailing token '{extra}'")));
+        }
+    }
+    let status = controller.status();
+    if opts.flag("json") {
+        return serde_json::to_string_pretty(&status.to_value()).map_err(|e| e.to_string());
+    }
+    let mut out = log;
+    out.push_str(&format!(
+        "replayed {observations} observation(s); active {} (epoch {}, phase {}{})\n\
+         swaps {}, rollbacks {}, resumed {} record(s){}\n",
+        status.scheme,
+        status.epoch,
+        status.phase,
+        status
+            .pending
+            .as_ref()
+            .map_or(String::new(), |p| format!(" -> {p}")),
+        status.swaps,
+        status.rollbacks,
+        status.resumed_records,
+        if status.resumed_interrupted {
+            " (rolled back an interrupted epoch)"
+        } else {
+            ""
+        },
+    ));
+    for (class, w, bound) in &status.classes {
+        out.push_str(&format!(
+            "  {:<12} samples {:>4}  mean {:.3}  max {:.3}  ewma {:.3}  certified bound {}\n",
+            class.name(),
+            w.samples,
+            w.mean,
+            w.max,
+            w.ewma,
+            bound,
+        ));
+    }
+    for (name, source, bounds) in &status.candidates {
+        out.push_str(&format!(
+            "  candidate {name:<16} [{source}] bounds {bounds:?}\n"
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_analyze(opts: &Opts) -> Result<String, String> {
@@ -1409,5 +1603,93 @@ mod tests {
         handle.begin_shutdown();
         let report = handle.join();
         assert!(report.metrics.conserves_responses());
+    }
+
+    #[test]
+    fn adapt_replays_a_trace_and_swaps() {
+        let dir = std::env::temp_dir().join(format!("rap-cli-adapt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.txt");
+        std::fs::write(
+            &trace,
+            "# operator-annotated congestion trace\n\
+             stride 17.0\n\
+             stride 17.0   # stride traffic is hot\n\
+             force padded 0\n\
+             contiguous 1.0\n",
+        )
+        .unwrap();
+        let trace = trace.to_string_lossy().to_string();
+        let out = call(&["adapt", "--trace", &trace, "--frozen"]).unwrap();
+        assert!(out.contains("force padded: accepted"), "{out}");
+        assert!(
+            out.contains("active padded (epoch 1, phase stable)"),
+            "{out}"
+        );
+        assert!(out.contains("replayed 3 observation(s)"), "{out}");
+        assert!(out.contains("candidate"), "{out}");
+
+        let json = call(&["adapt", "--trace", &trace, "--frozen", "--json"]).unwrap();
+        assert!(json.contains("\"scheme\""), "{json}");
+        assert!(json.contains("\"padded\""), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adapt_trace_errors_are_contextual() {
+        assert!(call(&["adapt"]).unwrap_err().contains("--trace"));
+        assert!(call(&["adapt", "--trace", "/nonexistent/trace.txt"])
+            .unwrap_err()
+            .contains("/nonexistent/trace.txt"));
+
+        let dir = std::env::temp_dir().join(format!("rap-cli-adapt-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases = [
+            ("bogus 3.0\n", "unknown traffic class"),
+            ("stride\n", "needs a congestion value"),
+            ("stride nan\n", "finite positive"),
+            ("stride 2.0 extra\n", "trailing token"),
+            ("freeze sideways\n", "freeze takes on|off"),
+            ("force\n", "force needs a candidate name"),
+        ];
+        for (i, (body, needle)) in cases.iter().enumerate() {
+            let trace = dir.join(format!("bad-{i}.txt"));
+            std::fs::write(&trace, body).unwrap();
+            let trace = trace.to_string_lossy().to_string();
+            let err = call(&["adapt", "--trace", &trace]).unwrap_err();
+            assert!(err.contains(needle), "case {i}: {err}");
+            assert!(err.contains(":1:"), "case {i} must cite the line: {err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn adapt_resumes_from_its_ledger() {
+        let dir = std::env::temp_dir().join(format!("rap-cli-adapt-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger = dir.join("epochs.jsonl").to_string_lossy().to_string();
+        let swap = dir.join("swap.txt");
+        std::fs::write(&swap, "force padded 0\n").unwrap();
+        let swap = swap.to_string_lossy().to_string();
+        let out = call(&["adapt", "--trace", &swap, "--frozen", "--ledger", &ledger]).unwrap();
+        assert!(out.contains("active padded (epoch 1"), "{out}");
+
+        // Replaying an empty trace against the same ledger must land on
+        // the committed layout, not the configured initial one.
+        let empty = dir.join("empty.txt");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        let empty = empty.to_string_lossy().to_string();
+        let out = call(&["adapt", "--trace", &empty, "--frozen", "--ledger", &ledger]).unwrap();
+        assert!(out.contains("active padded (epoch 1"), "{out}");
+        assert!(!out.contains("resumed 0 record"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_validates_adapt_options_before_binding() {
+        let err = call(&["serve", "--adapt", "--adapt-width", "0"]).unwrap_err();
+        assert!(err.contains("--adapt-width"), "{err}");
+        let err = call(&["serve", "--adapt", "--adapt-width", "abc"]).unwrap_err();
+        assert!(err.contains("expected a number"), "{err}");
     }
 }

@@ -301,6 +301,12 @@ impl Cluster {
     /// (it is deterministic; no shard would answer differently); other
     /// failures try the next shard.
     ///
+    /// Shards whose last probe saw an epoch swap in flight are
+    /// *deprioritized*, not excluded: the walk first tries stable
+    /// shards, then admits migrating ones (they still answer — from
+    /// their old committed layout — so they beat the local fallback),
+    /// and re-admits them fully once a probe sees the commit.
+    ///
     /// # Errors
     /// [`ClusterError::BadRequest`] for a malformed line,
     /// [`ClusterError::Unavailable`] when no shard and no fallback could
@@ -309,28 +315,42 @@ impl Cluster {
         // Validate before touching the network: a malformed line fails
         // identically everywhere.
         let request = Request::parse(line).map_err(ClusterError::BadRequest)?;
-        for w in self.ring.walk(key) {
-            let mut slot = self.pool.slot(w);
-            if slot.dead {
-                continue;
-            }
-            if slot.ensure_connected(self.cfg.request_timeout).is_err() {
-                continue;
-            }
-            let Some(client) = slot.client.as_mut() else {
-                continue;
-            };
-            match client.roundtrip(line) {
-                Ok(resp) => {
-                    if resp.ok || resp.error_kind() == Some("bad_request") {
-                        return Ok(resp);
-                    }
-                    // shed / draining / timeout: fail over clockwise.
-                }
-                Err(_) => slot.client = None,
+        let walk = self.ring.walk(key);
+        let (stable, migrating): (Vec<usize>, Vec<usize>) =
+            walk.into_iter().partition(|&w| !self.pool.migrating(w));
+        for w in stable.into_iter().chain(migrating) {
+            if let Some(resp) = self.try_worker(w, line) {
+                return Ok(resp);
             }
         }
         local_query(&request)
+    }
+
+    /// One routing attempt against shard `w`. `Some` only for an answer
+    /// the walk should return (success or deterministic `bad_request`);
+    /// `None` means fail over to the next shard.
+    fn try_worker(&self, w: usize, line: &str) -> Option<Response> {
+        let mut slot = self.pool.slot(w);
+        if slot.dead {
+            return None;
+        }
+        if slot.ensure_connected(self.cfg.request_timeout).is_err() {
+            return None;
+        }
+        let client = slot.client.as_mut()?;
+        match client.roundtrip(line) {
+            Ok(resp) => {
+                if resp.ok || resp.error_kind() == Some("bad_request") {
+                    return Some(resp);
+                }
+                // shed / draining / timeout: fail over clockwise.
+                None
+            }
+            Err(_) => {
+                slot.client = None;
+                None
+            }
+        }
     }
 
     /// Run a sweep distributed over the pool, merging to statistics
@@ -642,7 +662,7 @@ fn note_failure(st: &Mutex<DispatchState>, it: Item) -> u32 {
 /// In-process fallback for a routed query: execute the handler directly
 /// and mark the answer `degraded`, source `"cluster-local"`.
 fn local_query(request: &Request) -> Result<Response, ClusterError> {
-    match handler::execute(&request.cmd, &CancelToken::never()) {
+    match handler::execute(&request.cmd, &CancelToken::never(), None) {
         Outcome::Ok(data) | Outcome::Degraded(data, _) => Ok(Response::degraded(
             request.id,
             "local",

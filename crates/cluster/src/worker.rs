@@ -40,6 +40,11 @@ pub(crate) struct WorkerSlot {
     pub(crate) dead: bool,
     /// Successful reconnects after a dropped connection.
     pub(crate) reconnects: u64,
+    /// Last probe saw an epoch swap in flight (`adapt_phase` was
+    /// `proposed` or `migrating`): the shard still answers — from its
+    /// old committed layout — but the router deprioritizes it until a
+    /// probe sees the commit.
+    pub(crate) migrating: bool,
 }
 
 impl WorkerSlot {
@@ -65,6 +70,7 @@ fn slot_for(addr: SocketAddr) -> Mutex<WorkerSlot> {
         client: None,
         dead: false,
         reconnects: 0,
+        migrating: false,
     })
 }
 
@@ -74,12 +80,26 @@ impl WorkerPool {
     /// # Errors
     /// Propagates bind/spawn failures.
     pub fn in_process(n: usize) -> io::Result<Self> {
-        let mut slots = Vec::with_capacity(n);
-        let mut backends = Vec::with_capacity(n);
-        for _ in 0..n {
+        Self::in_process_with(
+            std::iter::repeat_with(ServerConfig::default)
+                .take(n)
+                .collect(),
+        )
+    }
+
+    /// Spawn one in-process server per config (adaptive shards, custom
+    /// queues — anything [`ServerConfig`] can express). `workers` is
+    /// clamped to at least 2 so a shard never self-deadlocks in tests.
+    ///
+    /// # Errors
+    /// Propagates bind/spawn failures.
+    pub fn in_process_with(configs: Vec<ServerConfig>) -> io::Result<Self> {
+        let mut slots = Vec::with_capacity(configs.len());
+        let mut backends = Vec::with_capacity(configs.len());
+        for config in configs {
             let handle = Server::bind(ServerConfig {
-                workers: 2,
-                ..ServerConfig::default()
+                workers: config.workers.max(2),
+                ..config
             })?
             .spawn()?;
             slots.push(slot_for(handle.addr()));
@@ -228,14 +248,34 @@ impl WorkerPool {
         if slot.ensure_connected(read_timeout).is_err() {
             return false;
         }
-        let ok = slot
+        let health = slot
             .client
             .as_mut()
-            .is_some_and(|c| matches!(c.roundtrip(r#"{"cmd":"health"}"#), Ok(r) if health_ok(&r)));
+            .and_then(|c| c.roundtrip(r#"{"cmd":"health"}"#).ok());
+        let ok = health.as_ref().is_some_and(health_ok);
+        // Track the shard's swap phase as a side effect of the probe:
+        // mid-migration shards are deprioritized by the router and
+        // re-admitted by the first probe that sees the commit.
+        slot.migrating = health.as_ref().is_some_and(health_migrating);
         if !ok {
             slot.client = None;
         }
         ok
+    }
+
+    /// Whether the last probe saw an epoch swap in flight on `id`.
+    #[must_use]
+    pub fn migrating(&self, id: usize) -> bool {
+        self.slot(id).migrating
+    }
+
+    /// Shards whose last probe saw a swap in flight.
+    #[must_use]
+    pub fn migrating_workers(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| Self::lock_at(s).migrating)
+            .count()
     }
 
     /// Gracefully stop every backend this pool owns: in-process servers
@@ -269,6 +309,19 @@ fn health_ok(resp: &rap_serve::Response) -> bool {
             .and_then(serde::Value::as_object)
             .and_then(|pairs| pairs.iter().find(|(k, _)| k == "status"))
             .is_some_and(|(_, v)| matches!(v, serde::Value::String(s) if s == "ok"))
+}
+
+/// True when a `health` response reports an epoch swap in flight
+/// (`adapt_phase` of `proposed` or `migrating`; `null`/absent means the
+/// shard does not adapt at all).
+fn health_migrating(resp: &rap_serve::Response) -> bool {
+    resp.data
+        .as_ref()
+        .and_then(serde::Value::as_object)
+        .and_then(|pairs| pairs.iter().find(|(k, _)| k == "adapt_phase"))
+        .is_some_and(
+            |(_, v)| matches!(v, serde::Value::String(s) if s == "proposed" || s == "migrating"),
+        )
 }
 
 impl Drop for WorkerPool {

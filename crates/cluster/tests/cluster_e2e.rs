@@ -205,3 +205,124 @@ fn queries_route_and_fail_over_to_local_degraded() {
     );
     cluster.pool().shutdown();
 }
+
+/// The `received` counter of each shard, read over a throwaway
+/// connection (each read itself bumps the counter by exactly one, the
+/// same on every shard, so deltas between two reads stay comparable).
+fn received(addrs: &[std::net::SocketAddr]) -> Vec<u64> {
+    addrs
+        .iter()
+        .map(|&addr| {
+            let mut c = rap_serve::Client::connect(addr).expect("connect for stats");
+            let resp = c.roundtrip(r#"{"cmd":"stats"}"#).expect("stats roundtrip");
+            let metrics = resp
+                .data
+                .as_ref()
+                .and_then(serde::Value::as_object)
+                .and_then(|d| d.iter().find(|(k, _)| k == "metrics"))
+                .and_then(|(_, v)| v.as_object())
+                .expect("stats payload has a metrics object");
+            match metrics.iter().find(|(k, _)| k == "received") {
+                Some((_, serde::Value::U64(n))) => *n,
+                other => panic!("no received counter in {other:?}"),
+            }
+        })
+        .collect()
+}
+
+/// A top-level string field of a response payload.
+fn data_str(resp: &rap_serve::Response, key: &str) -> String {
+    resp.data
+        .as_ref()
+        .and_then(serde::Value::as_object)
+        .and_then(|d| d.iter().find(|(k, _)| k == key))
+        .and_then(|(_, v)| match v {
+            serde::Value::String(s) => Some(s.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no string field '{key}' in {resp:?}"))
+}
+
+#[test]
+fn query_routing_skips_migrating_shards_until_commit() {
+    // Shard 0 adapts (frozen, so only forced swaps move it); shard 1 is
+    // a plain static server.
+    let adaptive = rap_serve::ServerConfig {
+        adapt: Some(rap_serve::AdaptOptions {
+            config: rap_adapt::AdaptConfig {
+                width: 16,
+                start_frozen: true,
+                ..rap_adapt::AdaptConfig::default()
+            },
+            ledger: None,
+        }),
+        ..rap_serve::ServerConfig::default()
+    };
+    let pool = WorkerPool::in_process_with(vec![adaptive, rap_serve::ServerConfig::default()])
+        .expect("spawn workers");
+    let addrs = pool.addrs();
+    let cluster = Cluster::new(pool, fast_cfg());
+    assert_eq!(cluster.healthy_workers(), 2);
+    assert_eq!(cluster.pool().migrating_workers(), 0);
+
+    // Hold shard 0 mid-migration: a forced swap spanning two further
+    // observations before it may commit.
+    let mut direct = rap_serve::Client::connect(addrs[0]).expect("connect shard 0");
+    let forced = direct
+        .roundtrip(r#"{"cmd":"adapt_force","target":"padded","steps":2}"#)
+        .expect("force swap");
+    assert!(forced.ok, "force failed: {forced:?}");
+
+    // The next probe round discovers the in-flight swap; the shard still
+    // counts as healthy (it answers, from its old committed layout).
+    assert_eq!(cluster.healthy_workers(), 2);
+    assert!(cluster.pool().migrating(0), "probe must see the swap");
+    assert_eq!(cluster.pool().migrating_workers(), 1);
+
+    // Routed queries keep succeeding — and every one of them lands on
+    // the stable shard, whatever its key hashes to.
+    let line =
+        r#"{"cmd":"pattern","pattern":"contiguous","scheme":"rap","width":16,"trials":4,"seed":7}"#;
+    let before = received(&addrs);
+    for i in 0..4 {
+        let resp = cluster
+            .query(&format!("key-{i}"), line)
+            .expect("routed query");
+        assert!(resp.ok, "query failed mid-migration: {resp:?}");
+    }
+    let after = received(&addrs);
+    assert_eq!(
+        after[0] - before[0],
+        1,
+        "migrating shard must see only the stats read, not routed queries"
+    );
+    assert_eq!(
+        after[1] - before[1],
+        1 + 4,
+        "stable shard must take every routed query"
+    );
+
+    // Two adaptive observations finish the migration on the shard; the
+    // next probe round re-admits it to routing.
+    let observe = r#"{"cmd":"pattern","pattern":"contiguous","scheme":"adaptive","width":16,"trials":4,"seed":7}"#;
+    for _ in 0..2 {
+        let resp = direct.roundtrip(observe).expect("adaptive observation");
+        assert!(resp.ok, "adaptive query failed: {resp:?}");
+    }
+    let status = direct
+        .roundtrip(r#"{"cmd":"adapt_status"}"#)
+        .expect("status");
+    assert!(status.ok);
+    assert_eq!(data_str(&status, "scheme"), "padded", "swap did not commit");
+    assert_eq!(data_str(&status, "phase"), "stable");
+
+    assert_eq!(cluster.healthy_workers(), 2);
+    assert_eq!(
+        cluster.pool().migrating_workers(),
+        0,
+        "committed shard must be re-admitted to routing"
+    );
+    let resp = cluster.query("key-0", line).expect("post-commit query");
+    assert!(resp.ok);
+    cluster.pool().shutdown();
+}

@@ -5,6 +5,7 @@
 //! the same base seed serialize identically, which is itself asserted by
 //! the determinism test.
 
+use crate::adapt_oracle::AdaptOracle;
 use crate::cluster_oracle::ClusterOracle;
 use crate::fused_oracle::FusedKernelOracle;
 use crate::kernels::{AnalyzePath, FreeFnPath, KernelOracle, MergedAccessPath, ScratchPath};
@@ -103,7 +104,7 @@ impl Harness {
         self
     }
 
-    /// The standard bounded suite wired into `cargo test`: all thirteen
+    /// The standard bounded suite wired into `cargo test`: all fourteen
     /// oracle pairs, budgeted to just over 10 000 cases in well under a
     /// minute.
     #[must_use]
@@ -154,6 +155,10 @@ impl Harness {
         // pool behind TCP sockets, so the budget is deliberately small:
         // the per-case bit-equality claim, not case volume, is the value.
         h.push(Box::new(ClusterOracle), 12 * m);
+        // Each case builds an adaptive controller (certified candidate
+        // bounds from the prover) and replays its request sequence three
+        // times; prover setup, not case volume, dominates the cost.
+        h.push(Box::new(AdaptOracle), 24 * m);
         h
     }
 

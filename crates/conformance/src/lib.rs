@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt_oracle;
 pub mod cluster_oracle;
 pub mod fused_oracle;
 pub mod harness;
@@ -55,6 +56,7 @@ pub mod shrink;
 pub mod synth_oracle;
 pub mod transpose_oracle;
 
+pub use adapt_oracle::AdaptOracle;
 pub use cluster_oracle::ClusterOracle;
 pub use fused_oracle::FusedKernelOracle;
 pub use harness::{ConformanceReport, Harness, IsolatedRun, IsolationPolicy, OracleRun};

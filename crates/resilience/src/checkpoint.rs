@@ -8,58 +8,25 @@
 //! **bit patterns** ([`rap_stats::RawOnlineStats`]), so a resumed run
 //! merges to the byte-identical result an uninterrupted run produces.
 //!
-//! Crash-safety model:
-//!
-//! * the file is append-only; a crash can lose at most the suffix being
-//!   written. On open, a torn trailing line is detected, reported
-//!   ([`Ledger::truncated_tail`]), and truncated away before appending
-//!   resumes — a half-written entry is re-executed, never half-trusted;
-//! * the header pins a caller-supplied [`fingerprint`] of every parameter
-//!   that affects the block structure (experiment id, widths, trials,
-//!   seed, block size). A ledger whose fingerprint disagrees is discarded
-//!   wholesale rather than silently poisoning the resume;
-//! * appends take `&self` (an internal mutex serializes writers) so the
-//!   parallel executor can record blocks as they finish, and each entry is
-//!   flushed (and optionally fsync'd) before `record` returns.
+//! The crash-safety machinery — header fingerprint pinning, torn-tail
+//! truncation, serialized durable appends, and the `ledger.append`
+//! failpoint — lives in the generic [`Journal`]
+//! core, which the adaptive-remapping epoch ledger (`rap-adapt`) shares.
+//! This module is the block-accumulator record type layered on top.
 
-use crate::failpoint::{self, Fault};
+use crate::journal::{json_err, Journal, JournalSpec};
 use rap_stats::{OnlineStats, RawOnlineStats};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
-use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::io;
+use std::path::Path;
+
+pub use crate::journal::{fingerprint, SyncPolicy};
 
 /// Current on-disk format version.
 const LEDGER_VERSION: u32 = 1;
 /// Magic string identifying ledger files.
 const LEDGER_MAGIC: &str = "rap-ledger";
-
-/// Hash a sequence of textual parameter parts into a run fingerprint.
-///
-/// Uses the same FNV-1a + SplitMix64 construction as the seed domains, so
-/// fingerprints are stable across processes and platforms. Include every
-/// parameter that affects the block structure or the sample streams.
-#[must_use]
-pub fn fingerprint<I, S>(parts: I) -> u64
-where
-    I: IntoIterator<Item = S>,
-    S: AsRef<str>,
-{
-    let mut state = rap_stats::rng::hash_label(LEDGER_MAGIC);
-    for part in parts {
-        state = rap_stats::rng::splitmix64(state ^ rap_stats::rng::hash_label(part.as_ref()));
-    }
-    state
-}
-
-#[derive(Debug, Serialize, Deserialize)]
-struct Header {
-    magic: String,
-    version: u32,
-    fingerprint: u64,
-}
 
 /// One completed block: cell key, block index, and the accumulator.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,47 +39,12 @@ pub struct LedgerEntry {
     pub stats: RawOnlineStats,
 }
 
-/// How durable each append is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SyncPolicy {
-    /// `fsync` after every entry — a crash loses nothing acknowledged.
-    /// This is what the bench binaries use.
-    EveryEntry,
-    /// Flush to the OS after every entry but skip the `fsync`; a power
-    /// loss may drop recent entries (they simply re-run). Right for
-    /// tests and high-block-rate sweeps.
-    #[default]
-    Flush,
-}
-
-enum Backing {
-    File {
-        writer: BufWriter<File>,
-        sync: SyncPolicy,
-    },
-    Memory,
-}
-
 /// An open checkpoint ledger (see the module docs).
+#[derive(Debug)]
 pub struct Ledger {
-    path: Option<PathBuf>,
+    journal: Journal,
     completed: HashMap<(String, u64), RawOnlineStats>,
-    backing: Mutex<Backing>,
     resumed_entries: usize,
-    discarded_stale: bool,
-    truncated_tail: bool,
-}
-
-impl std::fmt::Debug for Ledger {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ledger")
-            .field("path", &self.path)
-            .field("completed", &self.completed.len())
-            .field("resumed_entries", &self.resumed_entries)
-            .field("discarded_stale", &self.discarded_stale)
-            .field("truncated_tail", &self.truncated_tail)
-            .finish_non_exhaustive()
-    }
 }
 
 impl Ledger {
@@ -126,101 +58,30 @@ impl Ledger {
     /// # Errors
     /// Propagates I/O errors opening, reading, or preparing the file.
     pub fn open(path: &Path, fingerprint: u64, sync: SyncPolicy) -> io::Result<Self> {
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| ctx(&e, "creating ledger directory", parent))?;
-        }
-
+        let spec = JournalSpec {
+            magic: LEDGER_MAGIC,
+            version: LEDGER_VERSION,
+            fingerprint,
+            sync,
+        };
+        let journal = Journal::open(path, &spec, |line| {
+            serde_json::from_str::<LedgerEntry>(line).is_ok()
+        })?;
         let mut completed = HashMap::new();
         let mut resumed_entries = 0;
-        let mut discarded_stale = false;
-        let mut truncated_tail = false;
-        // Byte offset up to which the existing file is valid for this run.
-        let mut keep_bytes: u64 = 0;
-        let mut needs_header = true;
-
-        if path.exists() {
-            let mut text = String::new();
-            File::open(path)
-                .and_then(|mut f| f.read_to_string(&mut text))
-                .map_err(|e| ctx(&e, "reading ledger", path))?;
-            let mut offset: u64 = 0;
-            let mut first = true;
-            for line in text.split_inclusive('\n') {
-                let complete = line.ends_with('\n');
-                let body = line.trim_end_matches('\n');
-                if first {
-                    match serde_json::from_str::<Header>(body) {
-                        Ok(h)
-                            if complete
-                                && h.magic == LEDGER_MAGIC
-                                && h.version == LEDGER_VERSION
-                                && h.fingerprint == fingerprint =>
-                        {
-                            needs_header = false;
-                            offset += line.len() as u64;
-                            keep_bytes = offset;
-                        }
-                        _ => {
-                            // Stale run (different parameters), foreign
-                            // file, or torn header: start fresh.
-                            discarded_stale = true;
-                            break;
-                        }
-                    }
-                    first = false;
-                    continue;
-                }
-                match serde_json::from_str::<LedgerEntry>(body) {
-                    Ok(entry) if complete => {
-                        completed.insert((entry.cell, entry.block), entry.stats);
-                        resumed_entries += 1;
-                        offset += line.len() as u64;
-                        keep_bytes = offset;
-                    }
-                    _ => {
-                        // Torn or corrupt line: everything from here on is
-                        // untrusted. Truncate and re-execute those blocks.
-                        truncated_tail = true;
-                        break;
-                    }
-                }
+        for line in journal.resumed_lines() {
+            // The open-time validator accepted the line, so this parse
+            // cannot fail; skip defensively rather than unwrap.
+            if let Ok(entry) = serde_json::from_str::<LedgerEntry>(line) {
+                completed.insert((entry.cell, entry.block), entry.stats);
+                resumed_entries += 1;
             }
         }
-
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(false)
-            .open(path)
-            .map_err(|e| ctx(&e, "opening ledger", path))?;
-        file.set_len(keep_bytes)
-            .map_err(|e| ctx(&e, "truncating ledger", path))?;
-        let mut writer = BufWriter::new(file);
-        writer
-            .seek(SeekFrom::Start(keep_bytes))
-            .map_err(|e| ctx(&e, "seeking ledger", path))?;
-
-        let ledger = Self {
-            path: Some(path.to_path_buf()),
+        Ok(Self {
+            journal,
             completed,
-            backing: Mutex::new(Backing::File { writer, sync }),
             resumed_entries,
-            discarded_stale,
-            truncated_tail,
-        };
-        if needs_header {
-            let header = serde_json::to_string(&Header {
-                magic: LEDGER_MAGIC.to_string(),
-                version: LEDGER_VERSION,
-                fingerprint,
-            })
-            .map_err(|e| json_err(&e))?;
-            ledger
-                .append_line(&header)
-                .map_err(|e| ctx(&e, "writing ledger header", path))?;
-        }
-        Ok(ledger)
+        })
     }
 
     /// A purely in-memory ledger (tests, `rap chaos` demos): records are
@@ -228,12 +89,9 @@ impl Ledger {
     #[must_use]
     pub fn in_memory() -> Self {
         Self {
-            path: None,
+            journal: Journal::in_memory(),
             completed: HashMap::new(),
-            backing: Mutex::new(Backing::Memory),
             resumed_entries: 0,
-            discarded_stale: false,
-            truncated_tail: false,
         }
     }
 
@@ -255,13 +113,13 @@ impl Ledger {
     /// (or header) did not match this run.
     #[must_use]
     pub fn discarded_stale(&self) -> bool {
-        self.discarded_stale
+        self.journal.discarded_stale()
     }
 
     /// True when a torn trailing line was found and truncated at open.
     #[must_use]
     pub fn truncated_tail(&self) -> bool {
-        self.truncated_tail
+        self.journal.truncated_tail()
     }
 
     /// Durably record a completed block. Safe to call from parallel
@@ -278,38 +136,7 @@ impl Ledger {
             stats: stats.to_raw(),
         })
         .map_err(|e| json_err(&e))?;
-        self.append_line(&line)
-    }
-
-    fn append_line(&self, line: &str) -> io::Result<()> {
-        let mut backing = self
-            .backing
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match &mut *backing {
-            Backing::Memory => Ok(()),
-            Backing::File { writer, sync } => {
-                if let Some(Fault::PartialWrite) = failpoint::fire("ledger.append")? {
-                    // Persist a torn prefix — exactly what a crash
-                    // mid-append leaves — then fail. The open-time
-                    // truncation logic must recover from this.
-                    let cut = line.len() / 2;
-                    writer.write_all(&line.as_bytes()[..cut])?;
-                    writer.flush()?;
-                    return Err(io::Error::new(
-                        io::ErrorKind::WriteZero,
-                        format!("failpoint 'ledger.append': torn after {cut} bytes"),
-                    ));
-                }
-                writer.write_all(line.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
-                if matches!(sync, SyncPolicy::EveryEntry) {
-                    writer.get_ref().sync_all()?;
-                }
-                Ok(())
-            }
-        }
+        self.journal.append(&line)
     }
 
     /// Delete the backing file — call after the final result has been
@@ -318,34 +145,14 @@ impl Ledger {
     /// # Errors
     /// Propagates the removal error (missing file is fine).
     pub fn remove_file(self) -> io::Result<()> {
-        if let Some(path) = &self.path {
-            drop(self.backing); // close the handle first
-            match std::fs::remove_file(path) {
-                Ok(()) => Ok(()),
-                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-                Err(e) => Err(ctx(&e, "removing ledger", path)),
-            }
-        } else {
-            Ok(())
-        }
+        self.journal.remove_file()
     }
-}
-
-fn ctx(err: &io::Error, what: &str, path: &Path) -> io::Error {
-    io::Error::new(err.kind(), format!("{what} {}: {err}", path.display()))
-}
-
-fn json_err(err: &serde_json::Error) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("encoding ledger line: {err}"),
-    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::failpoint::{install, FailPlan, HitSchedule};
+    use crate::failpoint::{install, FailPlan, Fault, HitSchedule};
     use crate::test_support::{locked, scratch_dir};
 
     fn stats_of(xs: &[f64]) -> OnlineStats {

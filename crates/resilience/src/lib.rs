@@ -37,6 +37,7 @@ pub mod checkpoint;
 pub mod durable;
 pub mod executor;
 pub mod failpoint;
+pub mod journal;
 
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{fingerprint, Ledger, LedgerEntry, SyncPolicy};
@@ -45,6 +46,7 @@ pub use executor::{run_cell, BlockReport, CellRun, RetryPolicy, RunBudget};
 pub use failpoint::{
     install, install_from_env, FailPlan, FailpointGuard, Fault, FaultEvent, HitSchedule,
 };
+pub use journal::{Journal, JournalSpec};
 
 #[cfg(test)]
 pub(crate) mod test_support {

@@ -16,9 +16,10 @@
 use crate::protocol::{object, Command};
 use rap_access::montecarlo::{blocks_for, matrix_block_stats, matrix_congestion_cancellable};
 use rap_access::{CancelToken, MatrixPattern};
+use rap_adapt::{AdaptiveController, CandidateKind, TrafficClass};
 use rap_analyze::{certify_theorem1, certify_theorem2, fallback_bounds, FallbackPattern};
 use rap_core::modern::build_mapping;
-use rap_core::{diagnostics::render_layout, BankLoads, Scheme};
+use rap_core::{diagnostics::render_layout, BankLoads, RowShift, Scheme};
 use rap_resilience::failpoint;
 use rap_stats::{OnlineStats, SeedDomain};
 use rap_transpose::{run_transpose, TransposeKind};
@@ -110,9 +111,11 @@ fn raw_stats_value(raw: &rap_stats::RawOnlineStats) -> Value {
 }
 
 /// Execute one command. Must be called inside a `catch_unwind` boundary:
-/// the `serve.handler` failpoint (and any real handler bug) may panic.
+/// the `serve.handler` failpoint (and any real handler bug) may panic —
+/// as may the `adapt.*` epoch failpoints reached through `adapt` on
+/// `pattern scheme:"adaptive"` and `adapt_force` requests.
 #[must_use]
-pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
+pub fn execute(cmd: &Command, token: &CancelToken, adapt: Option<&AdaptiveController>) -> Outcome {
     // The chaos injection point: panics unwind to the worker's isolation
     // boundary, ENOSPC becomes a retryable failure, delays just happen.
     if let Err(e) = failpoint::fire("serve.handler") {
@@ -131,7 +134,13 @@ pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
             width,
             trials,
             seed,
-        } => pattern_mc(pattern, scheme, *width, *trials, *seed, token),
+        } => {
+            if scheme.eq_ignore_ascii_case("adaptive") {
+                pattern_adaptive(pattern, *width, *trials, *seed, token, adapt)
+            } else {
+                pattern_mc(pattern, scheme, *width, *trials, *seed, token)
+            }
+        }
         Command::PatternBlock {
             pattern,
             scheme,
@@ -163,8 +172,13 @@ pub fn execute(cmd: &Command, token: &CancelToken) -> Outcome {
             width,
             seed,
         } => synthesize_layout(workload, mode, *width, *seed),
+        Command::AdaptForce { target, steps } => adapt_force(adapt, target, *steps),
         // Inline commands never reach the worker pool.
-        Command::Health | Command::Stats | Command::Shutdown => {
+        Command::AdaptStatus
+        | Command::AdaptFreeze { .. }
+        | Command::Health
+        | Command::Stats
+        | Command::Shutdown => {
             Outcome::Failed(format!("command '{}' is served inline", cmd.name()))
         }
     }
@@ -289,6 +303,190 @@ fn pattern_mc(
             partial.completed_blocks, partial.total_blocks
         ),
     )
+}
+
+/// Serve a `pattern` query for scheme `"adaptive"`: resolve the
+/// controller's committed layout, answer **exactly** as the static path
+/// for that layout would (bit-identical payload — the `adapt:stable-vs-
+/// static` oracle holds the serve layer to this), then feed the measured
+/// congestion back into the monitor. During a migration the committed
+/// layout is still the *old* one, so in-flight swaps never leak a torn
+/// hybrid into a response.
+fn pattern_adaptive(
+    pattern_str: &str,
+    width: usize,
+    trials: u64,
+    seed: u64,
+    token: &CancelToken,
+    adapt: Option<&AdaptiveController>,
+) -> Outcome {
+    let Some(ctl) = adapt else {
+        return Outcome::BadRequest(
+            "scheme 'adaptive' needs adaptive remapping enabled on this server \
+             (start with --adapt)"
+                .to_string(),
+        );
+    };
+    let pattern = match parse_pattern(pattern_str) {
+        Ok(p) => p,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    if width != ctl.width() {
+        return Outcome::BadRequest(format!(
+            "scheme 'adaptive' serves the controller's tile width {}, got {width}",
+            ctl.width()
+        ));
+    }
+    let active = ctl.active();
+    let outcome = match &active.kind {
+        // The canonical scheme name round-trips through `parse_scheme`,
+        // so the delegated payload is the one a static request produces.
+        CandidateKind::Scheme(scheme) => {
+            pattern_mc(pattern_str, &scheme.to_string(), width, trials, seed, token)
+        }
+        CandidateKind::Table(layout) => pattern_table(
+            pattern_str,
+            &active.name,
+            layout,
+            width,
+            trials,
+            seed,
+            token,
+        ),
+    };
+    // Close the loop: the response's own mean congestion is the
+    // observation. This may advance the epoch machine (and, under an
+    // installed fail plan, panic at an `adapt.*` site) — by then the
+    // payload above is computed, and a retried request recomputes it
+    // deterministically from the same seed.
+    if let Outcome::Ok(data) | Outcome::Degraded(data, _) = &outcome {
+        if let Some(mean) = observed_mean(data) {
+            ctl.observe(traffic_class(pattern), mean);
+        }
+    }
+    outcome
+}
+
+/// Evaluate a pattern family under a fixed synthesized shift table —
+/// the deterministic-scheme branch of `pattern_mc`, with the table
+/// standing in for the sampled layout. The payload's `scheme` field
+/// carries the candidate name (`synth:…`), the only name the layout has.
+#[allow(clippy::too_many_arguments)]
+fn pattern_table(
+    pattern_str: &str,
+    name: &str,
+    layout: &[u32],
+    width: usize,
+    trials: u64,
+    seed: u64,
+    token: &CancelToken,
+) -> Outcome {
+    let pattern = match parse_pattern(pattern_str) {
+        Ok(p) => p,
+        Err(e) => return Outcome::BadRequest(e),
+    };
+    // The table was validated when the candidate was built; a rejection
+    // here is an internal invariant violation, not a client error.
+    let mapping = match RowShift::ras_from(width, layout.to_vec()) {
+        Ok(m) => m,
+        Err(e) => return Outcome::Failed(format!("active synthesized table rejected: {e}")),
+    };
+    let domain = SeedDomain::new(seed);
+    let n_trials = if pattern == MatrixPattern::Random {
+        trials
+    } else {
+        1
+    };
+    let mut stats = OnlineStats::new();
+    let mut done = 0u64;
+    for t in 0..n_trials {
+        if token.is_cancelled() {
+            break;
+        }
+        let mut rng = domain.rng(t);
+        for warp in rap_access::matrix::generate(pattern, width, &mut rng) {
+            stats.push_u32(rap_access::matrix::warp_congestion(&mapping, &warp));
+        }
+        done += 1;
+    }
+    let cancelled = done < n_trials;
+    let data = object(vec![
+        ("pattern", Value::String(pattern_str.to_ascii_lowercase())),
+        ("scheme", Value::String(name.to_string())),
+        ("width", Value::U64(width as u64)),
+        ("trials_requested", Value::U64(trials)),
+        ("stats", stats_value(&stats)),
+        ("completed_blocks", Value::U64(done)),
+        ("total_blocks", Value::U64(n_trials)),
+        ("cancelled", Value::Bool(cancelled)),
+        ("source", Value::String("monte-carlo".into())),
+    ]);
+    if !cancelled {
+        return Outcome::Ok(data);
+    }
+    if done == 0 {
+        return Outcome::TimedOut("deadline expired before any Monte-Carlo block completed".into());
+    }
+    Outcome::Degraded(
+        data,
+        format!("deadline expired after {done}/{n_trials} blocks; partial estimate"),
+    )
+}
+
+fn traffic_class(pattern: MatrixPattern) -> TrafficClass {
+    match pattern {
+        MatrixPattern::Contiguous => TrafficClass::Contiguous,
+        MatrixPattern::Stride => TrafficClass::Stride,
+        MatrixPattern::Diagonal => TrafficClass::Diagonal,
+        // The wire grammar has no broadcast pattern; bucket it under the
+        // trivial-envelope class if one ever reaches here.
+        MatrixPattern::Random | MatrixPattern::Broadcast => TrafficClass::Random,
+    }
+}
+
+/// Pull `data.stats.mean` back out of a finished pattern payload.
+fn observed_mean(data: &Value) -> Option<f64> {
+    let field = |v: &Value, key: &str| -> Option<Value> {
+        v.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+    };
+    match field(&field(data, "stats")?, "mean")? {
+        Value::F64(mean) if mean.is_finite() => Some(mean),
+        _ => None,
+    }
+}
+
+/// Run a forced epoch swap through the controller: the full protocol —
+/// propose, migrate, commit, every failpoint, every ledger append.
+fn adapt_force(adapt: Option<&AdaptiveController>, target: &str, steps: Option<u64>) -> Outcome {
+    let Some(ctl) = adapt else {
+        return Outcome::BadRequest(
+            "adapt_force needs adaptive remapping enabled on this server (start with --adapt)"
+                .to_string(),
+        );
+    };
+    let steps = steps.unwrap_or(ctl.config().migrate_steps);
+    match ctl.force(target, steps) {
+        Ok(()) => {
+            let active = ctl.active();
+            Outcome::Ok(object(vec![
+                ("forced", Value::Bool(true)),
+                ("target", Value::String(target.to_string())),
+                ("steps", Value::U64(steps)),
+                ("phase", Value::String(ctl.phase_name().to_string())),
+                ("scheme", Value::String(active.name)),
+                ("epoch", Value::U64(active.epoch)),
+            ]))
+        }
+        // A fault-aborted attempt rolled back cleanly and is worth a
+        // retry; a refused target/phase is the client's to fix.
+        Err(e) if e.contains("fault") || e.contains("durable") || e.contains("unflushed") => {
+            Outcome::Failed(e)
+        }
+        Err(e) => Outcome::BadRequest(e),
+    }
 }
 
 /// Evaluate exactly one 32-trial block of the decomposition `pattern`
@@ -538,6 +736,7 @@ mod tests {
                     seed: 1,
                 },
                 &never(),
+                None,
             );
             match out {
                 Outcome::Ok(data) => {
@@ -560,6 +759,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         assert!(matches!(bad_scheme, Outcome::BadRequest(ref e) if e.contains("zzz")));
         let xor_np2 = execute(
@@ -569,6 +769,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         assert!(matches!(xor_np2, Outcome::BadRequest(ref e) if e.contains("power-of-two")));
         let big_transpose = execute(
@@ -580,6 +781,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         assert!(matches!(big_transpose, Outcome::BadRequest(ref e) if e.contains("capped")));
     }
@@ -592,6 +794,7 @@ mod tests {
                 addresses: vec![0, 4, 8, 1],
             },
             &never(),
+            None,
         );
         match out {
             Outcome::Ok(data) => {
@@ -613,6 +816,7 @@ mod tests {
                 seed: 7,
             },
             &never(),
+            None,
         );
         match out {
             Outcome::Ok(data) => {
@@ -636,6 +840,7 @@ mod tests {
                 seed: 7,
             },
             &token,
+            None,
         );
         match out {
             Outcome::TimedOut(_) => {}
@@ -657,6 +862,7 @@ mod tests {
                 seed: 7,
             },
             &never(),
+            None,
         );
         match out {
             Outcome::Ok(data) => {
@@ -682,6 +888,7 @@ mod tests {
                     domain_state: None,
                 },
                 &never(),
+                None,
             );
             let Outcome::Ok(data) = out else {
                 panic!("{out:?}");
@@ -733,6 +940,7 @@ mod tests {
                 domain_state: Some(cell.seed()),
             },
             &never(),
+            None,
         );
         let Outcome::Ok(data) = out else {
             panic!("{out:?}");
@@ -763,6 +971,7 @@ mod tests {
                 domain_state: None,
             },
             &never(),
+            None,
         );
         match out {
             Outcome::BadRequest(msg) => assert!(msg.contains("deterministic"), "{msg}"),
@@ -772,7 +981,7 @@ mod tests {
 
     #[test]
     fn analyze_certifies_both_theorems() {
-        let out = execute(&Command::Analyze { width: 8 }, &never());
+        let out = execute(&Command::Analyze { width: 8 }, &never(), None);
         match out {
             Outcome::Ok(data) => assert_eq!(get(&data, "proven"), &Value::Bool(true)),
             other => panic!("{other:?}"),
@@ -790,6 +999,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         match out {
             Outcome::Ok(data) => {
@@ -810,6 +1020,7 @@ mod tests {
                 seed: 2014,
             },
             &never(),
+            None,
         );
         match out {
             Outcome::Ok(data) => {
@@ -836,6 +1047,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         assert!(matches!(bad_mode, Outcome::BadRequest(ref e) if e.contains("zigzag")));
         let bad_plan = execute(
@@ -846,6 +1058,7 @@ mod tests {
                 seed: 1,
             },
             &never(),
+            None,
         );
         assert!(
             matches!(bad_plan, Outcome::BadRequest(ref e) if e.contains("plan 2 of 2")),
@@ -896,6 +1109,175 @@ mod tests {
             .contains("power-of-two"));
     }
 
+    fn controller(width: usize, initial: &str) -> rap_adapt::AdaptiveController {
+        rap_adapt::AdaptiveController::new(rap_adapt::AdaptConfig {
+            width,
+            initial: initial.to_string(),
+            start_frozen: true, // no organic swaps under test traffic
+            ..rap_adapt::AdaptConfig::default()
+        })
+        .expect("in-memory controller")
+    }
+
+    #[test]
+    fn adaptive_pattern_is_bit_identical_to_the_static_path() {
+        let ctl = controller(16, "rap");
+        for pattern in ["contiguous", "stride", "diagonal", "random"] {
+            let cmd = |scheme: &str| Command::Pattern {
+                pattern: pattern.into(),
+                scheme: scheme.into(),
+                width: 16,
+                trials: 64,
+                seed: 7,
+            };
+            let adaptive = execute(&cmd("adaptive"), &never(), Some(&ctl));
+            let static_run = execute(&cmd("rap"), &never(), None);
+            assert_eq!(adaptive, static_run, "{pattern}: payloads must match");
+        }
+        // The controller really observed the served traffic.
+        let status = ctl.status();
+        let samples: u64 = status.classes.iter().map(|(_, w, _)| w.samples).sum();
+        assert_eq!(samples, 4, "one observation per adaptive request");
+    }
+
+    #[test]
+    fn adaptive_pattern_needs_a_controller_and_the_right_width() {
+        let cmd = Command::Pattern {
+            pattern: "stride".into(),
+            scheme: "adaptive".into(),
+            width: 16,
+            trials: 8,
+            seed: 1,
+        };
+        let out = execute(&cmd, &never(), None);
+        assert!(matches!(out, Outcome::BadRequest(ref e) if e.contains("--adapt")));
+        let ctl = controller(8, "rap");
+        let out = execute(&cmd, &never(), Some(&ctl));
+        assert!(
+            matches!(out, Outcome::BadRequest(ref e) if e.contains("tile width 8")),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn adapt_force_runs_the_epoch_protocol() {
+        let ctl = controller(16, "rap");
+        let out = execute(
+            &Command::AdaptForce {
+                target: "padded".into(),
+                steps: Some(0),
+            },
+            &never(),
+            Some(&ctl),
+        );
+        match out {
+            Outcome::Ok(data) => {
+                assert_eq!(get(&data, "scheme"), &Value::String("padded".into()));
+                assert_eq!(get(&data, "phase"), &Value::String("stable".into()));
+                assert_eq!(get(&data, "epoch"), &Value::U64(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        // After the commit, the adaptive path serves the new layout.
+        let adaptive = execute(
+            &Command::Pattern {
+                pattern: "stride".into(),
+                scheme: "adaptive".into(),
+                width: 16,
+                trials: 8,
+                seed: 7,
+            },
+            &never(),
+            Some(&ctl),
+        );
+        let fresh = execute(
+            &Command::Pattern {
+                pattern: "stride".into(),
+                scheme: "padded".into(),
+                width: 16,
+                trials: 8,
+                seed: 7,
+            },
+            &never(),
+            None,
+        );
+        assert_eq!(
+            adaptive, fresh,
+            "post-commit responses track the new layout"
+        );
+        // Refusals are client errors, not infrastructure failures.
+        let out = execute(
+            &Command::AdaptForce {
+                target: "bogus".into(),
+                steps: None,
+            },
+            &never(),
+            Some(&ctl),
+        );
+        assert!(matches!(out, Outcome::BadRequest(ref e) if e.contains("unknown candidate")));
+        let out = execute(
+            &Command::AdaptForce {
+                target: "rap".into(),
+                steps: None,
+            },
+            &never(),
+            None,
+        );
+        assert!(matches!(out, Outcome::BadRequest(ref e) if e.contains("--adapt")));
+    }
+
+    #[test]
+    fn adaptive_serves_synthesized_tables_deterministically() {
+        let ctl = rap_adapt::AdaptiveController::new(rap_adapt::AdaptConfig {
+            width: 8,
+            initial: "raw".to_string(),
+            synth_workload: Some("column:0;contiguous:0".to_string()),
+            start_frozen: true,
+            ..rap_adapt::AdaptConfig::default()
+        })
+        .expect("controller with synthesized candidates");
+        let synth = ctl
+            .status()
+            .candidates
+            .iter()
+            .find(|(name, ..)| name.starts_with("synth:"))
+            .map(|(name, ..)| name.clone())
+            .expect("a synthesized candidate");
+        let out = execute(
+            &Command::AdaptForce {
+                target: synth.clone(),
+                steps: Some(0),
+            },
+            &never(),
+            Some(&ctl),
+        );
+        assert!(matches!(out, Outcome::Ok(_)), "{out:?}");
+        let run = |seed: u64| {
+            execute(
+                &Command::Pattern {
+                    pattern: "contiguous".into(),
+                    scheme: "adaptive".into(),
+                    width: 8,
+                    trials: 4,
+                    seed,
+                },
+                &never(),
+                Some(&ctl),
+            )
+        };
+        let (a, b) = (run(3), run(3));
+        assert_eq!(a, b, "table evaluation is deterministic");
+        match a {
+            Outcome::Ok(data) => {
+                assert_eq!(get(&data, "scheme"), &Value::String(synth));
+                // The synthesized table was optimized for this workload:
+                // contiguous rows stay conflict-free.
+                assert_eq!(get(get(&data, "stats"), "mean"), &Value::F64(1.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
     /// The failpoint registry is process-global; serialize chaos tests.
     static CHAOS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
@@ -912,7 +1294,7 @@ mod tests {
             Fault::Enospc,
             HitSchedule::Always,
         ));
-        let out = execute(&cmd, &never());
+        let out = execute(&cmd, &never(), None);
         assert!(matches!(out, Outcome::Failed(ref e) if e.contains("ENOSPC")));
         drop(guard);
 
@@ -923,7 +1305,7 @@ mod tests {
         ));
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let caught = std::panic::catch_unwind(|| execute(&cmd, &CancelToken::never()));
+        let caught = std::panic::catch_unwind(|| execute(&cmd, &CancelToken::never(), None));
         std::panic::set_hook(prev);
         assert!(caught.is_err(), "panic failpoint must unwind");
         drop(guard);

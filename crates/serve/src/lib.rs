@@ -62,4 +62,4 @@ pub use client::Client;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{Command, ErrorKind, Request, Response, WireError, MAX_WIDTH};
 pub use queue::{BoundedQueue, PushError};
-pub use server::{DrainReport, Server, ServerConfig, ServerHandle};
+pub use server::{AdaptOptions, DrainReport, Server, ServerConfig, ServerHandle};

@@ -121,6 +121,28 @@ pub enum Command {
         /// Search seed (annealing path only).
         seed: u64,
     },
+    /// Adaptive-remapping status snapshot: active scheme, epoch, phase,
+    /// per-class windowed congestion vs. the certified bound, swap and
+    /// rollback counts (served inline, never queued — it must answer
+    /// mid-migration).
+    AdaptStatus,
+    /// Force an epoch swap to a named candidate. Queued like any
+    /// mutating command: the full epoch protocol runs, every
+    /// `adapt.*` failpoint fires, and every transition is ledgered.
+    AdaptForce {
+        /// Target candidate name (`raw|ras|rap|xor|padded` or a
+        /// synthesized `synth:…` table).
+        target: String,
+        /// Migration steps before commit; omitted → controller default,
+        /// `0` commits inline.
+        steps: Option<u64>,
+    },
+    /// Freeze (`true`) or thaw (`false`) automatic swapping; forced
+    /// swaps still work while frozen (served inline, never queued).
+    AdaptFreeze {
+        /// Desired freeze state.
+        frozen: bool,
+    },
     /// Liveness + queue/breaker snapshot (served inline, never queued).
     Health,
     /// Full counter snapshot (served inline, never queued).
@@ -141,6 +163,9 @@ impl Command {
             Command::Analyze { .. } => "analyze",
             Command::Transpose { .. } => "transpose",
             Command::Synthesize { .. } => "synthesize",
+            Command::AdaptStatus => "adapt_status",
+            Command::AdaptForce { .. } => "adapt_force",
+            Command::AdaptFreeze { .. } => "adapt_freeze",
             Command::Health => "health",
             Command::Stats => "stats",
             Command::Shutdown => "shutdown",
@@ -304,13 +329,26 @@ impl Request {
                     seed: opt_u64(pairs, "seed")?.unwrap_or(2014),
                 }
             }
+            "adapt_status" => Command::AdaptStatus,
+            "adapt_force" => Command::AdaptForce {
+                target: required_string(pairs, "target")?,
+                steps: opt_u64(pairs, "steps")?,
+            },
+            "adapt_freeze" => Command::AdaptFreeze {
+                frozen: match lookup(pairs, "frozen") {
+                    None | Some(Value::Null) => true,
+                    Some(Value::Bool(b)) => *b,
+                    Some(_) => return Err("field 'frozen' must be a boolean".to_string()),
+                },
+            },
             "health" => Command::Health,
             "stats" => Command::Stats,
             "shutdown" => Command::Shutdown,
             other => {
                 return Err(format!(
                     "unknown cmd '{other}' (expected layout|congestion|pattern|pattern_block|\
-                     analyze|transpose|synthesize|health|stats|shutdown)"
+                     analyze|transpose|synthesize|adapt_status|adapt_force|adapt_freeze|\
+                     health|stats|shutdown)"
                 ))
             }
         };
@@ -646,6 +684,41 @@ mod tests {
         // The spec's *content* is the handler's concern, not the
         // protocol's: a syntactically bogus plan still parses here.
         assert!(Request::parse(r#"{"cmd":"synthesize","workload":"bogus:9"}"#).is_ok());
+    }
+
+    #[test]
+    fn parses_adapt_commands() {
+        let r = Request::parse(r#"{"cmd":"adapt_status","id":4}"#).unwrap();
+        assert_eq!(r.cmd, Command::AdaptStatus);
+        assert_eq!(r.cmd.name(), "adapt_status");
+
+        let r = Request::parse(r#"{"cmd":"adapt_force","target":"padded","steps":3}"#).unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::AdaptForce {
+                target: "padded".into(),
+                steps: Some(3),
+            }
+        );
+        let r = Request::parse(r#"{"cmd":"adapt_force","target":"rap"}"#).unwrap();
+        assert_eq!(
+            r.cmd,
+            Command::AdaptForce {
+                target: "rap".into(),
+                steps: None,
+            }
+        );
+        assert!(Request::parse(r#"{"cmd":"adapt_force"}"#)
+            .unwrap_err()
+            .contains("missing required field 'target'"));
+
+        let r = Request::parse(r#"{"cmd":"adapt_freeze"}"#).unwrap();
+        assert_eq!(r.cmd, Command::AdaptFreeze { frozen: true });
+        let r = Request::parse(r#"{"cmd":"adapt_freeze","frozen":false}"#).unwrap();
+        assert_eq!(r.cmd, Command::AdaptFreeze { frozen: false });
+        assert!(Request::parse(r#"{"cmd":"adapt_freeze","frozen":"yes"}"#)
+            .unwrap_err()
+            .contains("must be a boolean"));
     }
 
     #[test]

@@ -48,6 +48,41 @@ pub(crate) fn dispatch(shared: &Arc<Shared>, request: Request, out: &SharedWrite
             let data = stats_data(shared);
             shared.write_response(out, &Response::ok(request.id, shared.breaker_state(), data));
         }
+        // Adaptive observability/control bypasses the queue too: status
+        // must answer mid-migration and freeze must work even when the
+        // workers are wedged — that is exactly when you need them.
+        Command::AdaptStatus => match shared.adapt.as_deref() {
+            Some(controller) => {
+                Metrics::bump(&shared.metrics.completed_ok);
+                shared.write_response(
+                    out,
+                    &Response::ok(
+                        request.id,
+                        shared.breaker_state(),
+                        controller.status().to_value(),
+                    ),
+                );
+            }
+            None => adapt_disabled(shared, request.id, out),
+        },
+        Command::AdaptFreeze { frozen } => match shared.adapt.as_deref() {
+            Some(controller) => {
+                controller.freeze(*frozen);
+                Metrics::bump(&shared.metrics.completed_ok);
+                shared.write_response(
+                    out,
+                    &Response::ok(
+                        request.id,
+                        shared.breaker_state(),
+                        object(vec![
+                            ("frozen", Value::Bool(*frozen)),
+                            ("phase", Value::String(controller.phase_name().to_string())),
+                        ]),
+                    ),
+                );
+            }
+            None => adapt_disabled(shared, request.id, out),
+        },
         Command::Shutdown => {
             Metrics::bump(&shared.metrics.completed_ok);
             shared.write_response(
@@ -118,6 +153,19 @@ pub(crate) fn dispatch(shared: &Arc<Shared>, request: Request, out: &SharedWrite
     }
 }
 
+fn adapt_disabled(shared: &Arc<Shared>, id: Option<u64>, out: &SharedWriter) {
+    Metrics::bump(&shared.metrics.bad_requests);
+    shared.write_response(
+        out,
+        &Response::error(
+            id,
+            shared.breaker_state(),
+            ErrorKind::BadRequest,
+            "adaptive remapping is not enabled on this server (start with --adapt)",
+        ),
+    );
+}
+
 fn health_data(shared: &Arc<Shared>) -> Value {
     let status = if shared.is_stopping() {
         "draining"
@@ -138,6 +186,15 @@ fn health_data(shared: &Arc<Shared>) -> Value {
             "connections",
             Value::U64(shared.connections.load(Ordering::SeqCst) as u64),
         ),
+        // `null` when adaptation is off; the cluster coordinator reads
+        // this to route around mid-migration shards.
+        (
+            "adapt_phase",
+            shared
+                .adapt
+                .as_deref()
+                .map_or(Value::Null, |c| Value::String(c.phase_name().to_string())),
+        ),
     ])
 }
 
@@ -153,6 +210,13 @@ fn stats_data(shared: &Arc<Shared>) -> Value {
         ("queue_depth", Value::U64(shared.queue.len() as u64)),
         ("breaker", Value::String(shared.breaker_state().to_string())),
         ("breaker_trips", Value::U64(shared.breaker.trips())),
+        (
+            "adapt",
+            shared
+                .adapt
+                .as_deref()
+                .map_or(Value::Null, |c| c.status().to_value()),
+        ),
     ])
 }
 
@@ -263,8 +327,9 @@ fn run_with_isolation(shared: &Arc<Shared>, job: &Job) {
         }
         let cmd = job.request.cmd.clone();
         let exec_token = token.clone();
+        let adapt = shared.adapt.clone();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            handler::execute(&cmd, &exec_token)
+            handler::execute(&cmd, &exec_token, adapt.as_deref())
         }));
         match result {
             Ok(Outcome::Ok(data)) => {

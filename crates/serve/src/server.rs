@@ -30,6 +30,7 @@ use crate::protocol::{ErrorKind, Response};
 use crate::queue::BoundedQueue;
 use crate::routing::{self, Job};
 use crate::transport::{self, SharedWriter};
+use rap_adapt::AdaptiveController;
 use rap_resilience::{BreakerConfig, CircuitBreaker, RetryPolicy};
 use serde::Serialize;
 use std::net::TcpListener;
@@ -59,6 +60,20 @@ pub struct ServerConfig {
     pub breaker: BreakerConfig,
     /// Retry/backoff policy for panicked or failed handlers.
     pub retry: RetryPolicy,
+    /// Adaptive remapping: when set, the server hosts an
+    /// [`AdaptiveController`], serves `pattern` scheme `"adaptive"`,
+    /// and answers `adapt_status`/`adapt_force`/`adapt_freeze`.
+    pub adapt: Option<AdaptOptions>,
+}
+
+/// How a server's adaptive-remapping subsystem is configured.
+#[derive(Debug, Clone)]
+pub struct AdaptOptions {
+    /// Controller tunables (width, initial candidate, cost model, …).
+    pub config: rap_adapt::AdaptConfig,
+    /// Durable epoch-ledger path — a restart replays it and rolls back
+    /// any interrupted migration. `None` keeps epochs in memory.
+    pub ledger: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +88,7 @@ impl Default for ServerConfig {
             drain_budget_ms: 2_000,
             breaker: BreakerConfig::default(),
             retry: RetryPolicy::default(),
+            adapt: None,
         }
     }
 }
@@ -88,6 +104,8 @@ pub(crate) struct Shared {
     stopping: AtomicBool,
     pub(crate) connections: AtomicUsize,
     pub(crate) job_seq: AtomicU64,
+    /// The adaptive-remapping controller, when enabled.
+    pub(crate) adapt: Option<Arc<AdaptiveController>>,
 }
 
 impl Shared {
@@ -148,7 +166,22 @@ impl Server {
     pub fn bind(config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // Opening the controller before any thread starts means a
+        // resume (ledger replay + rollback of an interrupted epoch)
+        // finishes before the first request can observe the state.
+        let adapt = match &config.adapt {
+            None => None,
+            Some(opts) => {
+                let controller = match &opts.ledger {
+                    Some(path) => AdaptiveController::open(opts.config.clone(), path),
+                    None => AdaptiveController::new(opts.config.clone()),
+                }
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+                Some(Arc::new(controller))
+            }
+        };
         let shared = Arc::new(Shared {
+            adapt,
             queue: BoundedQueue::new(config.queue_capacity),
             metrics: Metrics::default(),
             breaker: CircuitBreaker::new(config.breaker),
@@ -223,6 +256,13 @@ impl ServerHandle {
     #[must_use]
     pub fn breaker_trips(&self) -> u64 {
         self.shared.breaker.trips()
+    }
+
+    /// The adaptive controller, when the server was configured with one
+    /// (test/observability hook; clients use `adapt_status`).
+    #[must_use]
+    pub fn adapt(&self) -> Option<&AdaptiveController> {
+        self.shared.adapt.as_deref()
     }
 
     /// Ask the server to stop accepting and begin draining
@@ -558,6 +598,84 @@ mod tests {
         assert_eq!(handle.breaker_state(), "closed", "breaker recovered");
         let report = shutdown(handle);
         assert!(report.metrics.conserves_responses());
+    }
+
+    #[test]
+    fn adaptive_endpoints_answer_over_the_wire() {
+        let (handle, mut client) = small_server(ServerConfig {
+            adapt: Some(crate::server::AdaptOptions {
+                config: rap_adapt::AdaptConfig {
+                    width: 16,
+                    initial: "rap".to_string(),
+                    start_frozen: true,
+                    ..rap_adapt::AdaptConfig::default()
+                },
+                ledger: None,
+            }),
+            ..ServerConfig::default()
+        });
+        // Status answers inline with the committed scheme.
+        let resp = client
+            .roundtrip(r#"{"cmd":"adapt_status","id":1}"#)
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        let line = serde_json::to_string(&resp.data.unwrap()).unwrap();
+        assert!(line.contains("\"scheme\":\"rap\""), "{line}");
+        assert!(line.contains("\"phase\":\"stable\""), "{line}");
+        assert!(line.contains("\"frozen\":true"), "{line}");
+        // Health carries the phase for the cluster coordinator.
+        let health = client.roundtrip(r#"{"cmd":"health"}"#).unwrap();
+        let line = serde_json::to_string(&health.data.unwrap()).unwrap();
+        assert!(line.contains("\"adapt_phase\":\"stable\""), "{line}");
+        // Stats grows an adapt section.
+        let stats = client.roundtrip(r#"{"cmd":"stats"}"#).unwrap();
+        let line = serde_json::to_string(&stats.data.unwrap()).unwrap();
+        assert!(line.contains("\"adapt\":{"), "{line}");
+        assert!(line.contains("\"swaps\":0"), "{line}");
+        // The adaptive scheme serves the committed layout bit-identically.
+        let adaptive = client
+            .roundtrip(r#"{"cmd":"pattern","id":2,"pattern":"stride","scheme":"adaptive","width":16,"trials":32,"seed":9}"#)
+            .unwrap();
+        let static_run = client
+            .roundtrip(r#"{"cmd":"pattern","id":2,"pattern":"stride","scheme":"rap","width":16,"trials":32,"seed":9}"#)
+            .unwrap();
+        assert!(adaptive.ok, "{adaptive:?}");
+        assert_eq!(adaptive, static_run, "bit-identical to the static path");
+        // A forced swap commits and the served layout follows.
+        let resp = client
+            .roundtrip(r#"{"cmd":"adapt_force","id":3,"target":"padded","steps":0}"#)
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        let resp = client.roundtrip(r#"{"cmd":"adapt_status"}"#).unwrap();
+        let line = serde_json::to_string(&resp.data.unwrap()).unwrap();
+        assert!(line.contains("\"scheme\":\"padded\""), "{line}");
+        assert!(line.contains("\"epoch\":1"), "{line}");
+        // Freeze toggles and reports.
+        let resp = client
+            .roundtrip(r#"{"cmd":"adapt_freeze","frozen":false}"#)
+            .unwrap();
+        assert!(resp.ok, "{resp:?}");
+        assert!(!handle.adapt().unwrap().frozen());
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
+    }
+
+    #[test]
+    fn adapt_endpoints_without_controller_are_bad_requests() {
+        let (handle, mut client) = small_server(ServerConfig::default());
+        for line in [
+            r#"{"cmd":"adapt_status"}"#,
+            r#"{"cmd":"adapt_force","target":"rap"}"#,
+            r#"{"cmd":"adapt_freeze"}"#,
+        ] {
+            let resp = client.roundtrip(line).unwrap();
+            assert_eq!(resp.error_kind(), Some("bad_request"), "{line}: {resp:?}");
+        }
+        let health = client.roundtrip(r#"{"cmd":"health"}"#).unwrap();
+        let line = serde_json::to_string(&health.data.unwrap()).unwrap();
+        assert!(line.contains("\"adapt_phase\":null"), "{line}");
+        let report = shutdown(handle);
+        assert!(report.metrics.conserves_responses(), "{report:?}");
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Checker-verified swap candidates for the adaptive remapping monitor.
+//!
+//! The adaptive controller (`rap-adapt`) may only hot-swap a tenant onto
+//! a layout whose worst-case congestion bound is *machine-checked* — a
+//! search result alone is a claim, not a guarantee.  This module is the
+//! gate: it runs the synthesis search in both layout families, passes
+//! every certificate through the independent checker, and returns only
+//! the survivors.  A layout whose certificate fails the checker is
+//! dropped (never an error for the caller: the static schemes always
+//! remain as candidates).
+
+use crate::certificate::Certificate;
+use crate::check::check_certificate;
+use crate::search::{synthesize, Mode};
+use crate::workload::Workload;
+
+/// A synthesized layout whose certificate passed the independent checker.
+#[derive(Debug, Clone)]
+pub struct VerifiedLayout {
+    /// Stable candidate name, e.g. `"synth:sigma:w16"`.
+    pub name: String,
+    /// Which layout family the search ran in.
+    pub mode: Mode,
+    /// The shift table: bank of cell `(i, j)` is `(j + layout[i]) mod w`.
+    pub layout: Vec<u32>,
+    /// Certified worst-case bank loads over the workload's plans.
+    pub objective: u32,
+    /// True when the search proved no layout in the family does better.
+    pub optimal: bool,
+    /// The full machine-checked certificate.
+    pub certificate: Certificate,
+}
+
+/// Synthesize checker-verified swap candidates for `workload`.
+///
+/// Runs the search once per layout family (σ and free table) with seeds
+/// derived from `seed`, independently re-checks each certificate, and
+/// returns the survivors sorted by certified objective (best first),
+/// deduplicated by layout.  An empty vector means no synthesis survived
+/// the checker — callers fall back to the static schemes.
+///
+/// # Errors
+/// Returns `Err` only for an unusable workload (zero width or no plans);
+/// individual search or check failures merely drop that candidate.
+pub fn candidates(workload: &Workload, seed: u64) -> Result<Vec<VerifiedLayout>, String> {
+    if workload.width == 0 {
+        return Err("workload width must be positive".to_string());
+    }
+    if workload.plans.is_empty() {
+        return Err("workload has no access plans".to_string());
+    }
+    let mut out: Vec<VerifiedLayout> = Vec::new();
+    for (idx, mode) in [Mode::Sigma, Mode::Table].into_iter().enumerate() {
+        // Distinct deterministic seed per family; no RNG dependency needed.
+        let mode_seed = seed ^ (0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(idx as u64 + 1));
+        let Ok(synthesis) = synthesize(workload, mode, mode_seed) else {
+            continue;
+        };
+        let cert = synthesis.certificate;
+        if check_certificate(&cert).is_err() {
+            // An unverifiable claim never becomes a swap target.
+            continue;
+        }
+        if out.iter().any(|v| v.layout == cert.layout) {
+            continue;
+        }
+        out.push(VerifiedLayout {
+            name: format!("synth:{mode}:w{}", workload.width),
+            mode,
+            layout: cert.layout.clone(),
+            objective: cert.objective,
+            optimal: cert.optimal,
+            certificate: cert,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.objective
+            .cmp(&b.objective)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_workload_yields_verified_candidates() {
+        let workload = Workload::mixed(8);
+        let found = candidates(&workload, 2014).unwrap();
+        assert!(!found.is_empty(), "mixed workload must synthesize");
+        for v in &found {
+            assert_eq!(v.layout.len(), 8);
+            assert!(v.layout.iter().all(|&s| (s as usize) < 8));
+            assert_eq!(v.certificate.objective, v.objective);
+            check_certificate(&v.certificate).expect("returned cert re-checks");
+        }
+        // Sorted best-first.
+        for pair in found.windows(2) {
+            assert!(pair[0].objective <= pair[1].objective);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let workload = Workload::mixed(8);
+        let a = candidates(&workload, 7).unwrap();
+        let b = candidates(&workload, 7).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.layout, y.layout);
+            assert_eq!(x.objective, y.objective);
+        }
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let workload = Workload {
+            width: 8,
+            plans: Vec::new(),
+        };
+        assert!(candidates(&workload, 0).is_err());
+    }
+}

@@ -30,12 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod candidates;
 pub mod certificate;
 pub mod check;
 pub mod lint;
 pub mod search;
 pub mod workload;
 
+pub use candidates::{candidates, VerifiedLayout};
 pub use certificate::{Certificate, ClaimWitness, PlanClaim, CERT_VERSION};
 pub use check::{check_certificate, CheckError};
 pub use lint::lint_against_optimum;
